@@ -1,0 +1,109 @@
+// Ablation: the Sec. IV-B channel optimization.
+//
+// Cross-group communication could run the whole protocol in the union of
+// the two groups (straw-man: L*R*Bcast(2G)); RAC instead keeps L-1 relay
+// hops inside the sender's group and broadcasts only the innermost onion
+// in the channel: (L-1)*R*Bcast(G) + R*Bcast(2G) = (L+1)*R*Bcast(G),
+// cheaper whenever L+1 < 2L, i.e. L > 1.
+//
+// Verified twice: algebraically on the cost model, and empirically by
+// counting actual bytes offered to the network by the packet-level DES
+// under a cross-group workload.
+#include <cstdio>
+
+#include "analysis/cost_model.hpp"
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+// Measure bytes-per-delivered-message for cross-group traffic in the DES.
+double des_bytes_per_message(std::uint32_t n, std::uint32_t group_target,
+                             int messages) {
+  SimulationConfig cfg;
+  cfg.num_nodes = n;
+  cfg.group_target = group_target;
+  cfg.seed = 7;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = 2'000;
+  cfg.node.send_period = 5 * kMillisecond;
+  cfg.node.check_sweep_period = 0;
+  Simulation sim(cfg);
+
+  // Cross-group sender/destination pair.
+  std::size_t sender = 0, dest = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (sim.node(i).group() == 0) sender = i;
+    if (sim.node(i).group() == sim.num_groups() - 1) dest = i;
+  }
+  std::size_t delivered = 0;
+  sim.node(dest).set_deliver_callback([&](Bytes) { ++delivered; });
+
+  // Only the sender originates; others forward (no noise: count the
+  // incremental cost of the anonymous messages alone).
+  sim.node(sender).start();
+  // Other nodes must forward but not send own noise: mark them silent.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (i == sender) continue;
+    Node::Behavior b;
+    b.silent = true;
+    sim.node(i).set_behavior(b);
+    sim.node(i).start();
+  }
+  for (int m = 0; m < messages; ++m) {
+    sim.node(sender).send_anonymous(sim.destination_of(dest), Bytes{1});
+  }
+  // Measure up to the moment the last message lands so the sender's
+  // post-workload noise slots don't pollute the byte count.
+  while (delivered < static_cast<std::size_t>(messages) &&
+         sim.simulator().now() < 10 * kSecond) {
+    sim.run_for(5 * kMillisecond);
+  }
+  if (delivered == 0) return 0.0;
+  return static_cast<double>(sim.network().total_bytes()) /
+         static_cast<double>(delivered);
+}
+
+}  // namespace
+
+int main() {
+  using namespace rac::analysis;
+
+  std::printf("# Channel optimization: (L-1)R*Bcast(G) + R*Bcast(2G)  vs  "
+              "straw-man L*R*Bcast(2G)\n\n");
+  std::printf("%4s %22s %22s %10s\n", "L", "optimized copies",
+              "straw-man copies", "saving");
+  for (unsigned l = 1; l <= 8; ++l) {
+    const double opt = rac_grouped_cost(l, 7, 1'000).total_copies();
+    const double naive = rac_supergroup_cost(l, 7, 1'000).total_copies();
+    std::printf("%4u %22.0f %22.0f %9.0f%%\n", l, opt, naive,
+                100.0 * (1.0 - opt / naive));
+  }
+  std::printf("\n# Cost expressions (L=5, G=1000):\n#   optimized: %s\n"
+              "#   straw-man: %s\n",
+              rac_grouped_cost(5, 7, 1'000).to_string().c_str(),
+              rac_supergroup_cost(5, 7, 1'000).to_string().c_str());
+
+  // Empirical cross-check in the DES: the measured wire bytes per
+  // delivered cross-group message should track (L+1)*R*G*cell within
+  // protocol overheads.
+  std::printf("\n# Packet-level cross-check (N=120, two groups of 60, "
+              "L=5, R=7, 2 kB payload):\n");
+  const double measured = des_bytes_per_message(120, 60, 20);
+  // cell ~ payload + onion overheads; copies ~ (L-1)*R*G + R*2G with G=60.
+  const double g = 60, r = 7, l = 5;
+  const double copies = (l - 1) * r * g + r * 2 * g;
+  const double cell = 2'000 + 400;  // payload + layers/envelope margin
+  std::printf("#   measured bytes/message: %12.0f\n", measured);
+  std::printf("#   cost-model prediction:  %12.0f ((L+1)*R*G copies x cell)\n",
+              copies * cell);
+  std::printf(
+      "#   ratio:                  %12.2f (~1.2 expected: the DES also "
+      "counts the\n#     sender's own broadcast, envelope framing and the "
+      "in-flight tail,\n#     which the paper's (L+1)*R*Bcast(G) algebra "
+      "folds away)\n",
+      measured / (copies * cell));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Ablation: group size G (the paper fixes G = 1000 via smin/smax).
+//
+// G sets the anonymity set ("the sender/receiver is one among G") and the
+// throughput simultaneously: cost (L+1)*R*Bcast(G) means throughput ~ 1/G,
+// while both sender- and receiver-break probabilities improve rapidly with
+// G. This regenerates that trade at N = 100.000, f = 10%.
+#include <cstdio>
+
+#include "analysis/anonymity.hpp"
+#include "baselines/flow_model.hpp"
+
+int main() {
+  using namespace rac;
+  using namespace rac::analysis;
+  using namespace rac::baselines;
+
+  constexpr std::uint64_t kN = 100'000;
+
+  std::printf("# Ablation: group size G (N=100.000, L=5, R=7, f=10%%)\n");
+  std::printf("%8s %14s %16s %18s\n", "G", "tput(kb/s)", "sender-break",
+              "receiver-break");
+  for (const std::uint64_t g :
+       {50ull, 100ull, 200ull, 500ull, 1'000ull, 2'000ull, 5'000ull,
+        10'000ull}) {
+    const AnonymityParams p{kN, g, 0.10, 5};
+    std::printf("%8llu %14.2f %16s %18s\n",
+                static_cast<unsigned long long>(g),
+                rac_goodput_bps(kN, 5, 7, g) / 1e3,
+                rac_sender_break(p).to_scientific().c_str(),
+                rac_receiver_break(p).to_scientific().c_str());
+  }
+
+  std::printf(
+      "\n# Reading (footnote 4 + Sec. VI-D): even G=1000 keeps the\n"
+      "# anonymity set large while the cost stays independent of N; the\n"
+      "# receiver-break probability collapses doubly-exponentially with G\n"
+      "# because the opponent must capture all of the destination group\n"
+      "# but one. smin exists to keep G above the anonymity floor, smax to\n"
+      "# cap the broadcast cost.\n");
+  return 0;
+}

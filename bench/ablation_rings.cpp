@@ -1,0 +1,54 @@
+// Ablation: number of rings R (the paper fixes R = 7).
+//
+// Rings buy broadcast robustness and eviction safety (Sec. IV-C: the
+// successor set must keep an honest majority; Sec. V-A2 case 2) at linear
+// bandwidth cost. This sweep shows the compromise probability, the
+// Kermarrec-style reliability bound, and the throughput cost per R.
+#include <cstdio>
+
+#include "analysis/ring_security.hpp"
+#include "baselines/flow_model.hpp"
+
+int main() {
+  using namespace rac;
+  using namespace rac::analysis;
+  using namespace rac::baselines;
+
+  std::printf("# Ablation: number of rings R (N=100.000, G=1000, L=5)\n");
+  std::printf("%4s %16s %20s %20s\n", "R", "tput-1000(kb/s)",
+              "P[maj-opp|f=5%]", "P[maj-opp|f=10%]");
+  for (unsigned r = 3; r <= 15; r += 2) {
+    std::printf("%4u %16.2f %20s %20s\n", r,
+                rac_goodput_bps(100'000, 5, r, 1'000) / 1e3,
+                successor_compromise_prob(r, 0.05,
+                                          paper_majority_threshold(r))
+                    .to_scientific()
+                    .c_str(),
+                successor_compromise_prob(r, 0.10,
+                                          paper_majority_threshold(r))
+                    .to_scientific()
+                    .c_str());
+  }
+
+  std::printf("\n# Rings needed to push P[majority-opponent successors] "
+              "below target (f=5%%):\n");
+  for (const double target : {1e-3, 1e-5, 1e-8, 1e-12}) {
+    std::printf("#   target %.0e -> R = %u\n", target,
+                rings_needed(0.05, target));
+  }
+
+  std::printf("\n# Reliability bound (footnote 5: log(N)+c honest "
+              "successors needed):\n");
+  for (const std::uint64_t n : {1'000ull, 10'000ull, 100'000ull}) {
+    std::printf("#   N=%6llu, f=10%%, c=1: R >= %u\n",
+                static_cast<unsigned long long>(n),
+                rings_for_reliability(n, 0.10, 1.0));
+  }
+
+  std::printf(
+      "\n# Paper instantiation: R=7 at f=5%% gives %s (paper: <6.0e-6).\n",
+      successor_compromise_prob(7, 0.05, paper_majority_threshold(7))
+          .to_scientific()
+          .c_str());
+  return 0;
+}

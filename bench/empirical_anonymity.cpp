@@ -1,0 +1,115 @@
+// Empirical anonymity under the global passive opponent (Sec. II-A's
+// threat model, measured rather than derived).
+//
+// Two runs of the same 25-node group, watched by a wire tap on every link:
+//   A) the RAC protocol as specified — constant rate, noise in idle slots;
+//   B) a variant with cover traffic disabled (Behavior::no_noise).
+// In both, node 4 streams anonymous messages. The observer applies
+// count-based differential analysis and gap/burst timing analysis; run A
+// must yield nothing, run B identifies the sender — the observational
+// justification for the paper's noise rule (Sec. IV-C) and Lemma 6.
+#include <cstdio>
+
+#include "rac/observer.hpp"
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+struct RunResult {
+  double worst_ratio_deviation = 0;  // idle vs active per-node send counts
+  std::size_t cell_sizes = 0;
+  std::map<sim::EndpointId, std::uint64_t> bursts;
+};
+
+RunResult run(bool with_noise, std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 25;
+  cfg.seed = seed;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 500;
+  cfg.node.send_period = 20 * kMillisecond;
+  cfg.node.check_sweep_period = 0;
+  Simulation sim(cfg);
+  GlobalObserver obs(sim.network());
+
+  if (!with_noise) {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      Node::Behavior b;
+      b.no_noise = true;
+      sim.node(i).set_behavior(b);
+    }
+  }
+  sim.start_all();
+  sim.run_for(300 * kMillisecond);
+
+  // Idle window.
+  obs.reset(sim.simulator().now());
+  sim.run_for(1 * kSecond);
+  std::vector<std::uint64_t> idle(sim.size());
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    idle[i] = obs.profile(sim.node(i).endpoint()).messages_sent;
+  }
+
+  // Active window: node 4 streams.
+  obs.reset(sim.simulator().now());
+  for (int i = 0; i < 30; ++i) {
+    sim.node(4).send_anonymous(sim.destination_of(9), to_bytes("payload"));
+  }
+  sim.run_for(1 * kSecond);
+
+  RunResult r;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    const auto active = obs.profile(sim.node(i).endpoint()).messages_sent;
+    const double base = idle[i] > 0 ? static_cast<double>(idle[i]) : 1.0;
+    r.worst_ratio_deviation =
+        std::max(r.worst_ratio_deviation,
+                 std::abs(static_cast<double>(active) - base) / base);
+  }
+  r.cell_sizes = obs.cell_sizes(512).size();
+  r.bursts = obs.burst_initiators(5 * kMillisecond);
+  return r;
+}
+
+void report(const char* title, const RunResult& r,
+            sim::EndpointId sender_ep) {
+  std::printf("%s\n", title);
+  std::printf("  worst per-node send-count change (idle vs active): %.1f%%\n",
+              r.worst_ratio_deviation * 100.0);
+  std::printf("  distinct data-cell wire sizes on the links: %zu\n",
+              r.cell_sizes);
+  if (r.bursts.empty()) {
+    std::printf("  burst/timing analysis: no silence gaps to exploit\n");
+  } else {
+    std::printf("  burst/timing analysis (bursts initiated per node):\n");
+    for (const auto& [node, count] : r.bursts) {
+      std::printf("    node %3u: %3llu%s\n", node,
+                  static_cast<unsigned long long>(count),
+                  node == sender_ep ? "   <-- the actual sender" : "");
+    }
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Empirical anonymity: global passive opponent vs a streaming "
+      "sender (node 4)\n\n");
+  const RunResult a = run(/*with_noise=*/true, 1);
+  report("A) RAC as specified (constant rate + noise):", a, 4);
+  const RunResult b = run(/*with_noise=*/false, 1);
+  report("B) cover traffic disabled (no_noise):", b, 4);
+
+  std::printf(
+      "# Verdict: %s\n",
+      (a.worst_ratio_deviation < 0.1 && a.cell_sizes == 1 &&
+       a.bursts.size() <= 1 && !b.bursts.empty())
+          ? "run A leaks nothing observable; run B's burst analysis "
+            "identifies the sender - noise is load-bearing (Lemma 6)"
+          : "UNEXPECTED - see numbers above");
+  return 0;
+}

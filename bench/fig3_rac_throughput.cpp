@@ -1,0 +1,103 @@
+// Figure 3 — "Throughput as a function of the number of nodes in the
+// system for Dissent v1, Dissent v2, RAC-NoGroup and RAC-1000" (Sec. VI-C).
+//
+// Configuration matches Sec. VI-B: R = 7 rings, L = 5 relays, RAC-1000
+// groups of 1000 nodes, 10 kB messages, 1 Gb/s links, Dissent v2 at its
+// optimal server count. Onion routing's 200 Mb/s reference point (C/L) is
+// printed for context.
+//
+// The full N sweep uses the flow models (Omnet++-equivalent fluid limit);
+// packet-level DES points are produced for small N where event-level
+// simulation is tractable on one core, using proportionally smaller
+// payloads so steady state is reached quickly (tests/test_flow_vs_des.cpp
+// asserts model/DES agreement).
+#include <cstdio>
+
+#include "baselines/dissent_v1.hpp"
+#include "baselines/flow_model.hpp"
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+using namespace rac::baselines;
+
+double des_rac_kbps(std::uint32_t n, std::uint32_t group_target,
+                    std::size_t payload, SimDuration horizon) {
+  SimulationConfig cfg;
+  cfg.num_nodes = n;
+  cfg.group_target = group_target;
+  cfg.seed = 42;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = payload;
+  cfg.node.send_period = 0;
+  cfg.node.saturation_window = 16;
+  cfg.node.check_sweep_period = 0;
+  Simulation sim(cfg);
+  sim.start_uniform_traffic();
+  sim.run_for(horizon);
+  // Scale the small-payload measurement back to the 10 kB operating point:
+  // goodput is payload/cell-efficiency-bound, so report the measured link
+  // share re-applied to 10 kB cells.
+  const double raw =
+      sim.avg_node_goodput_bps(horizon / 2, sim.simulator().now());
+  const double cell =
+      static_cast<double>(cfg.node.effective_cell_size(sim.crypto()));
+  const double cell_10k = cell - static_cast<double>(payload) + 10'000.0;
+  return raw * (10'000.0 / static_cast<double>(payload)) *
+         (cell / cell_10k) / 1e3;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "# Figure 3: throughput (kb/s per node) vs N\n"
+      "# L=5, R=7, G=1000, 10 kB messages, 1 Gb/s links\n"
+      "# onion-routing reference (C/L): %.0f kb/s\n",
+      onion_goodput_bps(5) / 1e3);
+  std::printf("%10s %14s %14s %12s %12s %14s\n", "N", "RAC-NoGroup",
+              "RAC-1000", "Dissent-v1", "Dissent-v2", "des-RAC-NoGrp");
+
+  const std::uint64_t sweep[] = {100,    200,    500,    1'000,  2'000,
+                                 5'000,  10'000, 20'000, 50'000, 100'000};
+  for (const std::uint64_t n : sweep) {
+    const double nogroup = rac_goodput_bps(n, 5, 7, 0) / 1e3;
+    const double grouped = rac_goodput_bps(n, 5, 7, 1'000) / 1e3;
+    const double v1 = dissent_v1_goodput_bps(n) / 1e3;
+    const double v2 = dissent_v2_goodput_bps(n) / 1e3;
+    if (n <= 200) {
+      std::printf("%10llu %14.3f %14.3f %12.4f %12.4f %14.3f\n",
+                  static_cast<unsigned long long>(n), nogroup, grouped, v1,
+                  v2,
+                  des_rac_kbps(static_cast<std::uint32_t>(n), 0, 2'000,
+                               400 * kMillisecond));
+    } else {
+      std::printf("%10llu %14.3f %14.3f %12.4f %12.4f %14s\n",
+                  static_cast<unsigned long long>(n), nogroup, grouped, v1,
+                  v2, "-");
+    }
+  }
+
+  // The paper's headline observations, recomputed.
+  const double v2_at_100k = dissent_v2_goodput_bps(100'000);
+  const double nogroup_at_100k = rac_goodput_bps(100'000, 5, 7, 0);
+  const double grouped_at_100k = rac_goodput_bps(100'000, 5, 7, 1'000);
+  std::printf(
+      "\n# Paper shape checks at N = 100.000:\n"
+      "#  - RAC-NoGroup / Dissent-v2 throughput ratio: %6.1fx (paper: ~15x)\n"
+      "#  - RAC-1000   / Dissent-v2 throughput ratio: %6.1fx (paper: ~1300x)\n"
+      "#  - RAC-1000 flat for N > 1000:               %s\n"
+      "#  - RAC configs coincide for N <= 1000:       %s\n",
+      nogroup_at_100k / v2_at_100k, grouped_at_100k / v2_at_100k,
+      (rac_goodput_bps(100'000, 5, 7, 1'000) /
+           rac_goodput_bps(2'000, 5, 7, 1'000) >
+       0.9)
+          ? "yes"
+          : "NO",
+      rac_goodput_bps(1'000, 5, 7, 1'000) == rac_goodput_bps(1'000, 5, 7, 0)
+          ? "yes"
+          : "NO");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension experiment: intersection attacks vs RAC's eviction hardening
+// (Sec. V-A2 case 2 — "evicting nodes can be used to ... render the system
+// prone to intersection attacks").
+//
+// The attack intersects the candidate sets of linked observations; it
+// lives off membership churn. The table shows how fast the expected
+// candidate set collapses at various forced-churn rates, and what RAC's
+// R-ring eviction bound actually concedes to the opponent.
+#include <cstdio>
+
+#include "analysis/intersection.hpp"
+#include "analysis/ring_security.hpp"
+
+int main() {
+  using namespace rac;
+  using namespace rac::analysis;
+
+  constexpr std::uint64_t kG = 1'000;
+
+  std::printf("# Intersection attack on a group of %llu: expected candidate-"
+              "set size\n# after k linked observations, by per-interval "
+              "retention\n",
+              static_cast<unsigned long long>(kG));
+  std::printf("%12s %10s %10s %10s %10s %10s\n", "retention", "k=2", "k=5",
+              "k=10", "k=50", "k=200");
+  for (const double retention : {0.50, 0.90, 0.95, 0.99, 0.999}) {
+    std::printf("%12.3f %10.1f %10.1f %10.1f %10.1f %10.1f\n", retention,
+                expected_intersection_size(kG, retention, 2),
+                expected_intersection_size(kG, retention, 5),
+                expected_intersection_size(kG, retention, 10),
+                expected_intersection_size(kG, retention, 50),
+                expected_intersection_size(kG, retention, 200));
+  }
+
+  std::printf("\n# Observations needed to shrink the set to 10 candidates:\n");
+  for (const double retention : {0.50, 0.90, 0.95, 0.99}) {
+    std::printf("#   retention %.2f -> %u observations\n", retention,
+                observations_to_shrink(kG, retention, 10.0));
+  }
+
+  // What RAC concedes: forced evictions need a majority-opponent
+  // successor set.
+  for (const double f : {0.05, 0.10}) {
+    const LogProb eviction =
+        successor_compromise_prob(7, f, paper_majority_threshold(7));
+    const double retention = rac_effective_retention(eviction);
+    std::printf(
+        "\n# RAC, R=7, f=%.0f%%: forced-eviction probability %s per node,\n"
+        "#   effective retention >= %.8f; after 10000 linked observations\n"
+        "#   the candidate set still holds %.1f of %llu members.\n",
+        f * 100, eviction.to_scientific().c_str(), retention,
+        expected_intersection_size(kG, retention, 10'000),
+        static_cast<unsigned long long>(kG));
+  }
+  std::printf("\n# Verdict: without forced churn the intersection attack "
+              "starves —\n# the quantified version of Sec. V-A2's eviction-"
+              "hardening argument.\n");
+  return 0;
+}

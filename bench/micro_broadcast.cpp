@@ -1,0 +1,90 @@
+// Micro-benchmarks of the overlay and control plane (google-benchmark):
+// ring construction and lookups, envelope codec, padding, and the
+// accountable shuffle.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/onion.hpp"
+#include "overlay/broadcast.hpp"
+#include "overlay/view.hpp"
+#include "rac/shuffle.hpp"
+#include "rac/wire.hpp"
+
+namespace {
+
+using namespace rac;
+using namespace rac::overlay;
+
+std::vector<RingMember> members(std::size_t n) {
+  Rng rng(1);
+  std::vector<RingMember> m;
+  m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.push_back(RingMember{static_cast<EndpointId>(i), rng.next()});
+  }
+  return m;
+}
+
+void BM_RingSetBuild(benchmark::State& state) {
+  const auto m = members(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RingSet(m, 7));
+  }
+  state.SetLabel("G=" + std::to_string(state.range(0)) + " R=7");
+}
+BENCHMARK(BM_RingSetBuild)->Arg(100)->Arg(1'000)->Arg(10'000);
+
+void BM_SuccessorSetLookup(benchmark::State& state) {
+  const RingSet rs(members(1'000), 7);
+  EndpointId node = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.successor_set(node));
+    node = (node + 1) % 1'000;
+  }
+}
+BENCHMARK(BM_SuccessorSetLookup);
+
+void BM_EnvelopeCodec_10kB(benchmark::State& state) {
+  Rng rng(2);
+  EnvelopeHeader h;
+  h.scope = ScopeId{ScopeType::kGroup, 3};
+  h.kind = 1;
+  h.bcast_id = 99;
+  const Bytes body = rng.bytes(10'000);
+  for (auto _ : state) {
+    const sim::Payload wire = encode_envelope(h, body);
+    benchmark::DoNotOptimize(decode_envelope(*wire));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_EnvelopeCodec_10kB);
+
+void BM_PadUnpadCell_10kB(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes content = rng.bytes(9'000);
+  for (auto _ : state) {
+    const Bytes cell = pad_cell(content, 10'500, rng);
+    benchmark::DoNotOptimize(unpad_cell(cell));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'500);
+}
+BENCHMARK(BM_PadUnpadCell_10kB);
+
+void BM_ShuffleRound(benchmark::State& state) {
+  auto provider = make_sim_provider();
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<Bytes> inputs;
+  for (std::size_t i = 0; i < n; ++i) {
+    inputs.push_back(rng.bytes(RelayBlacklistEntry::encoded_size()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_shuffle(*provider, rng, inputs));
+  }
+  state.SetLabel("members=" + std::to_string(n));
+}
+BENCHMARK(BM_ShuffleRound)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace

@@ -1,0 +1,142 @@
+// Micro-benchmarks of the crypto substrate (google-benchmark): hash/AEAD
+// primitives, X25519, sealed boxes across all three providers, and onion
+// build/peel at the paper's operating point (L=5, 10 kB payload).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/onion.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/provider.hpp"
+#include "crypto/puzzle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace rac;
+
+void BM_Sha256_10kB(benchmark::State& state) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(10'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_Sha256_10kB);
+
+void BM_ChaCha20_10kB(benchmark::State& state) {
+  Rng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes nonce = rng.bytes(12);
+  Bytes data = rng.bytes(10'000);
+  for (auto _ : state) {
+    chacha20_xor(key, nonce, 0,
+                 std::span<std::uint8_t>(data.data(), data.size()));
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_ChaCha20_10kB);
+
+void BM_Poly1305_10kB(benchmark::State& state) {
+  Rng rng(3);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(10'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(poly1305(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_Poly1305_10kB);
+
+void BM_X25519(benchmark::State& state) {
+  Rng rng(4);
+  const X25519Key scalar = x25519_clamp(rng.bytes(32));
+  const X25519Key pub = x25519_base(ByteView(scalar.data(), 32));
+  X25519Key out;
+  for (auto _ : state) {
+    x25519(out, ByteView(scalar.data(), 32), ByteView(pub.data(), 32));
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_X25519);
+
+std::unique_ptr<CryptoProvider> provider_for(int index) {
+  switch (index) {
+    case 0: return make_sim_provider();
+    case 1: return make_native_provider();
+    default: return make_openssl_provider();
+  }
+}
+
+void BM_SealOpen_10kB(benchmark::State& state) {
+  auto provider = provider_for(static_cast<int>(state.range(0)));
+  Rng rng(5);
+  const KeyPair kp = provider->generate_keypair(rng);
+  const Bytes msg = rng.bytes(10'000);
+  for (auto _ : state) {
+    const Bytes box = provider->seal(kp.pub, msg, rng);
+    benchmark::DoNotOptimize(provider->open(kp, box));
+  }
+  state.SetLabel(provider->name());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10'000);
+}
+BENCHMARK(BM_SealOpen_10kB)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_OnionBuild_L5_10kB(benchmark::State& state) {
+  auto provider = provider_for(static_cast<int>(state.range(0)));
+  Rng rng(6);
+  std::vector<PublicKey> relays;
+  for (int i = 0; i < 5; ++i) {
+    relays.push_back(provider->generate_keypair(rng).pub);
+  }
+  const KeyPair dest = provider->generate_keypair(rng);
+  const Bytes payload = rng.bytes(10'000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        build_onion(*provider, rng, payload, dest.pub, relays, 42));
+  }
+  state.SetLabel(provider->name());
+}
+BENCHMARK(BM_OnionBuild_L5_10kB)->Arg(0)->Arg(1);
+
+void BM_OnionPeelAttempt_NotForMe(benchmark::State& state) {
+  // The hot path of every node on every cell: attempting to decipher a
+  // broadcast that is not for it.
+  auto provider = provider_for(static_cast<int>(state.range(0)));
+  Rng rng(7);
+  std::vector<PublicKey> relays;
+  for (int i = 0; i < 5; ++i) {
+    relays.push_back(provider->generate_keypair(rng).pub);
+  }
+  const KeyPair dest = provider->generate_keypair(rng);
+  const KeyPair bystander_id = provider->generate_keypair(rng);
+  const KeyPair bystander_ps = provider->generate_keypair(rng);
+  const BuiltOnion onion = build_onion(*provider, rng, rng.bytes(10'000),
+                                       dest.pub, relays, std::nullopt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(peel_content(*provider, bystander_id,
+                                          bystander_ps, onion.first_content));
+  }
+  state.SetLabel(provider->name());
+}
+BENCHMARK(BM_OnionPeelAttempt_NotForMe)->Arg(0)->Arg(1);
+
+void BM_PuzzleSolve(benchmark::State& state) {
+  Rng rng(8);
+  const Bytes pubkey = rng.bytes(32);
+  const auto bits = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solve_puzzle(pubkey, bits, rng));
+  }
+  state.SetLabel("mk_bits=" + std::to_string(bits));
+}
+BENCHMARK(BM_PuzzleSolve)->Arg(4)->Arg(8)->Arg(12);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Anonymous chat across groups: the paper's motivating use case (an
+// anonymous publish-subscribe-style application where peers are known only
+// by pseudonym keys, Sec. IV-C "Joining the system").
+//
+// Sixty nodes in two groups of thirty; three of them hold a conversation
+// under pseudonyms. Cross-group messages travel through a channel (the
+// union of the two groups) marked in the innermost onion layer —
+// Sec. IV-B's key idea #2.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+struct ChatUser {
+  const char* handle;
+  std::size_t node;
+};
+
+}  // namespace
+
+int main() {
+  SimulationConfig cfg;
+  cfg.num_nodes = 60;
+  cfg.group_target = 30;  // two groups -> one channel
+  cfg.seed = 99;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 600;
+  cfg.node.send_period = 10 * kMillisecond;
+  Simulation sim(cfg);
+
+  // Pick pseudonymous participants spread across the two groups.
+  std::vector<ChatUser> users;
+  const char* handles[] = {"orchid", "kestrel", "basilisk"};
+  std::size_t next_handle = 0;
+  for (std::size_t i = 0; i < sim.size() && next_handle < 3; ++i) {
+    // one from group 0, two from group 1
+    const bool want = (next_handle == 0 && sim.node(i).group() == 0) ||
+                      (next_handle > 0 && sim.node(i).group() == 1);
+    if (want) {
+      users.push_back(ChatUser{handles[next_handle], i});
+      ++next_handle;
+    }
+  }
+
+  std::printf("== anonymous chat over RAC (two groups of 30, L=3, R=5) ==\n");
+  for (const ChatUser& u : users) {
+    std::printf("   %-9s -> node %2zu (group %u), pseudonym key %s...\n",
+                u.handle, u.node, sim.node(u.node).group(),
+                sim.node(u.node).pseudonym_keys().pub.fingerprint().c_str());
+    sim.node(u.node).set_deliver_callback([handle = u.handle](Bytes payload) {
+      std::printf("   [%s receives] %s\n", handle,
+                  to_string(payload).c_str());
+    });
+  }
+  std::printf("   (nobody can link these handles to node numbers; group\n"
+              "    membership narrows each to 1-in-30 at most)\n\n");
+
+  sim.start_all();
+
+  // A scripted conversation: note orchid<->kestrel is cross-group.
+  struct Line {
+    std::size_t from, to;
+    const char* text;
+    SimDuration at;
+  };
+  const Line script[] = {
+      {0, 1, "orchid: anyone on this channel?", 50 * kMillisecond},
+      {1, 0, "kestrel: loud and clear, across groups even", 400 * kMillisecond},
+      {2, 0, "basilisk: count me in", 700 * kMillisecond},
+      {0, 2, "orchid: good - same time tomorrow", 1'000 * kMillisecond},
+  };
+  for (const Line& line : script) {
+    const auto from = users[line.from].node;
+    const auto to = users[line.to].node;
+    sim.simulator().schedule_at(line.at, [&sim, from, to, text = line.text] {
+      sim.node(from).send_anonymous(sim.destination_of(to), to_bytes(text));
+    });
+  }
+
+  sim.run_for(4 * kSecond);
+
+  std::printf(
+      "\ntraffic summary: %llu cells crossed the wire, of which %llu were\n"
+      "noise - an observer sees every node sending identically-sized cells\n"
+      "at a constant rate whether or not it chats.\n",
+      static_cast<unsigned long long>(sim.total_counter("data_cells_sent") +
+                                      sim.total_counter("noise_cells_sent") +
+                                      sim.total_counter("relay_rebroadcasts")),
+      static_cast<unsigned long long>(sim.total_counter("noise_cells_sent")));
+  return 0;
+}

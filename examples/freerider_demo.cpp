@@ -1,0 +1,133 @@
+// Freerider detection demo: inject the deviations the paper's checks are
+// built to catch (Sec. IV-C) and watch suspicion, blacklisting and
+// eviction unfold.
+//
+//  - a RELAY FREERIDER silently drops onions it should rebroadcast
+//    -> caught by check #1 (senders track expected relay broadcasts),
+//       blacklisted locally, evicted after an anonymous shuffle round;
+//  - a FORWARDING FREERIDER drops ring forwards
+//    -> caught by check #2 (every broadcast is owed once to every ring
+//       successor), evicted by a quorum of accusing followers;
+//  - a REPLAYER sends every forward twice
+//    -> also caught by check #2 (the "once and only once" rule).
+#include <cstdio>
+
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+SimulationConfig base_config(std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = seed;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 500;
+  cfg.node.send_period = 20 * kMillisecond;
+  cfg.node.check_timeout = 150 * kMillisecond;
+  cfg.node.check_sweep_period = 80 * kMillisecond;
+  cfg.node.follower_quorum_t = 2;
+  cfg.node.assumed_opponent_fraction = 0.1;
+  cfg.node.smax = 20;  // relay-eviction quorum = 0.1*20+1 = 3 accusers
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  // --- Scenario 1: relay freerider ---
+  {
+    std::printf("== Scenario 1: relay freerider (check #1) ==\n");
+    Simulation sim(base_config(1));
+    const std::size_t freerider = 13;
+    Node::Behavior b;
+    b.drop_relay_duty = true;
+    sim.node(freerider).set_behavior(b);
+    std::printf("node %zu will drop every onion it should relay\n",
+                freerider);
+
+    sim.start_all();
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      if (i == freerider) continue;
+      for (int k = 0; k < 6; ++k) {
+        sim.node(i).send_anonymous(sim.destination_of((i + 1) % sim.size()),
+                                   to_bytes("m"));
+      }
+    }
+    sim.run_for(5 * kSecond);
+
+    std::size_t accusers = 0;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      accusers += sim.node(i).blacklists().suspected_relays().contains(
+          sim.node(freerider).endpoint());
+    }
+    std::printf("dropped relay duties: %llu; senders that blacklisted it "
+                "locally: %zu\n",
+                static_cast<unsigned long long>(
+                    sim.node(freerider).counters().get(
+                        "relay_duties_dropped")),
+                accusers);
+    std::printf("running the anonymous relay-blacklist shuffle round...\n");
+    sim.run_blacklist_round(0);
+    std::printf("freerider still in the group: %s\n\n",
+                sim.group_view(0).contains(sim.node(freerider).endpoint())
+                    ? "YES (insufficient accusers)"
+                    : "no - evicted");
+  }
+
+  // --- Scenario 2: forwarding freerider ---
+  {
+    std::printf("== Scenario 2: forwarding freerider (check #2) ==\n");
+    Simulation sim(base_config(2));
+    const std::size_t freerider = 6;
+    Node::Behavior b;
+    b.forward_drop_rate = 1.0;
+    sim.node(freerider).set_behavior(b);
+    std::printf("node %zu will drop every ring forward\n", freerider);
+
+    sim.start_all();
+    sim.run_for(3 * kSecond);
+    std::printf(
+        "missing-copy detections: %llu; accusations broadcast: %llu\n",
+        static_cast<unsigned long long>(
+            sim.total_counter("check2_missing_copy")),
+        static_cast<unsigned long long>(
+            sim.total_counter("pred_accusations_sent")));
+    std::printf("freerider still in the group: %s\n",
+                sim.group_view(0).contains(sim.node(freerider).endpoint())
+                    ? "YES"
+                    : "no - evicted by its followers");
+    std::printf("honest members remaining: %zu of 19\n\n",
+                sim.group_view(0).size());
+  }
+
+  // --- Scenario 3: replayer ---
+  {
+    std::printf("== Scenario 3: replay attacker (check #2, duplicates) ==\n");
+    Simulation sim(base_config(3));
+    const std::size_t attacker = 11;
+    Node::Behavior b;
+    b.replay_forward = true;
+    sim.node(attacker).set_behavior(b);
+    std::printf("node %zu will send every forward twice\n", attacker);
+
+    sim.start_all();
+    sim.run_for(3 * kSecond);
+    std::printf("duplicate-copy detections: %llu\n",
+                static_cast<unsigned long long>(
+                    sim.total_counter("check2_duplicate_copy")));
+    std::printf("attacker still in the group: %s\n",
+                sim.group_view(0).contains(sim.node(attacker).endpoint())
+                    ? "YES"
+                    : "no - evicted");
+  }
+
+  std::printf(
+      "\nThis is the Nash-equilibrium machinery of Sec. V-B: every\n"
+      "deviation that saves resources is observable by someone whose\n"
+      "accusation carries eviction weight, so a rational freerider's best\n"
+      "response is to follow the protocol.\n");
+  return 0;
+}

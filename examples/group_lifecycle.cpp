@@ -1,0 +1,84 @@
+// Group lifecycle demo (Sec. IV-C "Joining the system" / "Managing
+// groups"): watch a deployment grow by joins, split when a group exceeds
+// smax, and dissolve a group that falls below smin.
+#include <cstdio>
+
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+void print_topology(Simulation& sim, const char* when) {
+  std::printf("%s\n", when);
+  for (const std::uint32_t g : sim.active_groups()) {
+    std::printf("  group %u: %zu members\n", g, sim.group_view(g).size());
+  }
+}
+
+}  // namespace
+
+int main() {
+  SimulationConfig cfg;
+  cfg.num_nodes = 22;
+  cfg.seed = 7;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 400;
+  cfg.node.send_period = 20 * kMillisecond;
+  cfg.node.join_settle_time = 50 * kMillisecond;
+  cfg.node.mk_bits = 4;
+  cfg.node.smin = 5;
+  cfg.node.smax = 24;  // the 25th member triggers a split
+  cfg.auto_group_management = true;
+  Simulation sim(cfg);
+
+  std::printf("== group lifecycle (smin=5, smax=24, auto management) ==\n\n");
+  print_topology(sim, "at start (22 nodes):");
+  sim.start_all();
+  sim.run_for(200 * kMillisecond);
+
+  std::printf("\nthree newcomers solve their join puzzles and enter...\n");
+  for (int i = 0; i < 3; ++i) {
+    const std::size_t idx = sim.join_node(static_cast<std::size_t>(i));
+    sim.run_for(300 * kMillisecond);
+    std::printf("  node %zu joined (ident-determined group %u)\n", idx,
+                sim.node(idx).group());
+  }
+  print_topology(sim,
+                 "\nafter 25 members, smax=24 forced a deterministic split\n"
+                 "(lower identifiers stay, upper identifiers form the new "
+                 "group):");
+
+  // Show that cross-group messaging works right away.
+  std::size_t a = 0, b = 0;
+  const auto groups = sim.active_groups();
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (sim.node(i).group() == groups.front()) a = i;
+    if (sim.node(i).group() == groups.back()) b = i;
+  }
+  std::size_t delivered = 0;
+  sim.node(b).set_deliver_callback([&](Bytes p) {
+    ++delivered;
+    std::printf("\n  [group %u node %zu] received \"%s\" through the "
+                "channel\n",
+                sim.node(b).group(), b, to_string(p).c_str());
+  });
+  sim.node(a).send_anonymous(sim.destination_of(b), to_bytes("post-split"));
+  sim.run_for(3 * kSecond);
+
+  std::printf("\nnow dissolving group %u (as if evictions pushed it under "
+              "smin)...\n",
+              groups.back());
+  sim.dissolve_group(groups.back());
+  print_topology(sim, "after the dissolve (members rejoined by identifier):");
+
+  std::printf("\ndeliveries: %zu; group-control notices broadcast: %llu; "
+              "false evictions: %llu\n",
+              delivered,
+              static_cast<unsigned long long>(
+                  sim.total_counter("group_control_sent")),
+              static_cast<unsigned long long>(
+                  sim.total_counter("pred_eviction_quorums")));
+  return 0;
+}

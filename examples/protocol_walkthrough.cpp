@@ -1,0 +1,113 @@
+// Figure 2 walkthrough: the dissemination of one RAC message, narrated
+// step by step, using the onion codec directly (no simulator).
+//
+// The paper's Fig. 2 shows node A sending to node D through relays B and
+// C: A broadcasts the onion; every node forwards it; B deciphers a layer
+// and broadcasts the inner onion; C deciphers the next layer and
+// broadcasts the payload box; only D can open it.
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "crypto/onion.hpp"
+#include "crypto/provider.hpp"
+
+namespace {
+
+using namespace rac;
+
+struct Actor {
+  const char* name;
+  KeyPair id_keys;
+  KeyPair pseudonym_keys;
+};
+
+const char* kind_name(PeelResult::Kind k) {
+  switch (k) {
+    case PeelResult::Kind::kNotForMe: return "cannot decipher - forward only";
+    case PeelResult::Kind::kRelay: return "deciphered a layer - I am a relay";
+    case PeelResult::Kind::kDelivered: return "deciphered the payload - for me!";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  auto provider = make_native_provider();  // real X25519 + ChaCha20-Poly1305
+  Rng rng(7);
+
+  // The cast of Fig. 2: sender A, relays B and C, destination D, and a
+  // bystander E who only forwards.
+  Actor a{"A", provider->generate_keypair(rng), provider->generate_keypair(rng)};
+  Actor b{"B", provider->generate_keypair(rng), provider->generate_keypair(rng)};
+  Actor c{"C", provider->generate_keypair(rng), provider->generate_keypair(rng)};
+  Actor d{"D", provider->generate_keypair(rng), provider->generate_keypair(rng)};
+  Actor e{"E", provider->generate_keypair(rng), provider->generate_keypair(rng)};
+
+  std::printf("== Figure 2 walkthrough (provider: %s) ==\n\n",
+              provider->name().c_str());
+
+  const Bytes payload = to_bytes("the message for D");
+  std::printf(
+      "Step 1: A seals the payload to D's PSEUDONYM key, then wraps two\n"
+      "        layers for the ID keys of relays B then C.\n");
+  const BuiltOnion onion = build_onion(*provider, rng, payload,
+                                       d.pseudonym_keys.pub,
+                                       {b.id_keys.pub, c.id_keys.pub},
+                                       std::nullopt);
+  std::printf("        outer onion: %zu bytes; A remembers %zu expected\n"
+              "        relay broadcasts for misbehaviour check #1.\n\n",
+              onion.first_content.size(), onion.expected_broadcasts.size());
+
+  std::printf("Step 2: A broadcasts the onion over the rings. Every node\n"
+              "        tries to decipher it:\n");
+  for (const Actor* actor : {&b, &c, &d, &e}) {
+    const PeelResult r = peel_content(*provider, actor->id_keys,
+                                      actor->pseudonym_keys,
+                                      onion.first_content);
+    std::printf("        %s: %s\n", actor->name, kind_name(r.kind));
+  }
+
+  const PeelResult at_b = peel_content(*provider, b.id_keys,
+                                       b.pseudonym_keys, onion.first_content);
+  std::printf(
+      "\nStep 3: B rebroadcasts the inner onion (%zu bytes). A observes it\n"
+      "        and ticks off expectation #1 (fingerprints match: %s).\n",
+      at_b.next_content.size(),
+      content_fingerprint(at_b.next_content) == onion.expected_broadcasts[0]
+          ? "yes"
+          : "NO");
+  for (const Actor* actor : {&c, &d, &e}) {
+    const PeelResult r = peel_content(*provider, actor->id_keys,
+                                      actor->pseudonym_keys,
+                                      at_b.next_content);
+    std::printf("        %s: %s\n", actor->name, kind_name(r.kind));
+  }
+
+  const PeelResult at_c = peel_content(*provider, c.id_keys,
+                                       c.pseudonym_keys, at_b.next_content);
+  std::printf(
+      "\nStep 4: C rebroadcasts the payload box (%zu bytes; expectation #2\n"
+      "        matches: %s). Nobody but D can open it:\n",
+      at_c.next_content.size(),
+      content_fingerprint(at_c.next_content) == onion.expected_broadcasts[1]
+          ? "yes"
+          : "NO");
+  for (const Actor* actor : {&b, &e, &d}) {
+    const PeelResult r = peel_content(*provider, actor->id_keys,
+                                      actor->pseudonym_keys,
+                                      at_c.next_content);
+    std::printf("        %s: %s\n", actor->name, kind_name(r.kind));
+    if (r.kind == PeelResult::Kind::kDelivered) {
+      std::printf("           D reads: \"%s\"\n",
+                  to_string(r.payload).c_str());
+    }
+  }
+
+  std::printf(
+      "\nNote: on the wire all three broadcasts are padded to one fixed\n"
+      "cell size, so an observer cannot track the onion by its shrinking\n"
+      "length; and D behaved exactly like E at every step - receiver\n"
+      "anonymity is optimal (Sec. V-A1b).\n");
+  return 0;
+}

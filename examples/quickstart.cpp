@@ -1,0 +1,58 @@
+// Quickstart: bring up a 30-node RAC deployment in the simulator, send an
+// anonymous message, and watch it arrive.
+//
+//   $ ./quickstart
+//
+// What happens under the hood (Sec. IV of the paper):
+//  - the sender seals the payload to the destination's pseudonym key,
+//    wraps it in 3 onion layers addressed to random relays' ID keys,
+//  - the onion is broadcast over 5 rings; every node forwards each cell
+//    once to all its ring successors,
+//  - each relay that can open a layer rebroadcasts the inner onion,
+//  - only the destination's pseudonym key opens the innermost box.
+#include <cstdio>
+
+#include "rac/simulation.hpp"
+
+int main() {
+  using namespace rac;
+
+  SimulationConfig cfg;
+  cfg.num_nodes = 30;
+  cfg.seed = 2026;
+  cfg.node.num_relays = 3;         // L
+  cfg.node.num_rings = 5;          // R
+  cfg.node.payload_size = 1'000;
+  cfg.node.send_period = 10 * kMillisecond;  // constant-rate with noise
+
+  Simulation sim(cfg);
+
+  const std::size_t alice = 3;
+  const std::size_t bob = 17;
+  sim.node(bob).set_deliver_callback([&](Bytes payload) {
+    std::printf("[bob, node %zu]   received anonymously: \"%s\"\n", bob,
+                to_string(payload).c_str());
+  });
+
+  sim.start_all();
+  std::printf("[alice, node %zu] sending to bob's pseudonym key...\n", alice);
+  sim.node(alice).send_anonymous(sim.destination_of(bob),
+                                 to_bytes("hello from nowhere"));
+  sim.run_for(2 * kSecond);
+
+  std::printf(
+      "\nstats after 2 simulated seconds:\n"
+      "  cells forwarded by the overlay: %llu\n"
+      "  noise cells emitted (constant-rate cover traffic): %llu\n"
+      "  onions observed fully relayed (check #1 clean): %llu\n"
+      "  false suspicions among honest nodes: %llu\n",
+      static_cast<unsigned long long>(
+          sim.total_counter("relay_rebroadcasts")),
+      static_cast<unsigned long long>(sim.total_counter("noise_cells_sent")),
+      static_cast<unsigned long long>(
+          sim.total_counter("onions_fully_relayed")),
+      static_cast<unsigned long long>(
+          sim.total_counter("pred_accusations_sent") +
+          sim.total_counter("relays_suspected")));
+  return 0;
+}

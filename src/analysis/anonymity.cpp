@@ -1,0 +1,100 @@
+#include "analysis/anonymity.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::analysis {
+
+LogProb draw_all_marked(std::uint64_t marked, std::uint64_t pool,
+                        std::uint64_t picks) {
+  if (pool == 0 || picks > pool) {
+    throw std::invalid_argument("draw_all_marked: bad pool/picks");
+  }
+  if (picks > marked) return LogProb::zero();
+  double log10 = 0.0;
+  for (std::uint64_t i = 0; i < picks; ++i) {
+    log10 += std::log10(static_cast<double>(marked - i)) -
+             std::log10(static_cast<double>(pool - i));
+  }
+  return LogProb::from_log10(std::min(log10, 0.0));
+}
+
+namespace {
+
+/// One term of the sender-break max: X opponents in the group and an
+/// all-opponent path of L+1 picks among G.
+LogProb sender_term(const AnonymityParams& p, std::uint64_t x) {
+  const LogProb path = draw_all_marked(x, p.g, p.l + 1);
+  if (p.g == p.n) {
+    // NoGroup: the "placement" product is over the whole system, i.e. the
+    // opponent fraction is already in place; only the path term remains
+    // with marked = fN.
+    return path;
+  }
+  const LogProb placement = draw_all_marked(p.opponents(), p.n, x);
+  return path * placement;
+}
+
+}  // namespace
+
+std::uint64_t rac_sender_worst_x(const AnonymityParams& p) {
+  if (p.g == p.n) return p.opponents();
+  const std::uint64_t x_max = std::min(p.g, p.opponents());
+  std::uint64_t best_x = 0;
+  LogProb best = LogProb::zero();
+  for (std::uint64_t x = p.l + 1; x <= x_max; ++x) {
+    const LogProb v = sender_term(p, x);
+    if (v > best) {
+      best = v;
+      best_x = x;
+    } else if (!best.is_zero() && v < best && x > best_x + 16) {
+      break;  // unimodal in x; stop well past the peak
+    }
+  }
+  return best_x;
+}
+
+LogProb rac_sender_break(const AnonymityParams& p) {
+  if (p.g == p.n) return draw_all_marked(p.opponents(), p.n, p.l + 1);
+  const std::uint64_t x = rac_sender_worst_x(p);
+  if (x == 0) return LogProb::zero();
+  return sender_term(p, x);
+}
+
+LogProb rac_receiver_break(const AnonymityParams& p) {
+  // All of the destination group but one: G-1 nodes must be opponents.
+  if (p.g < 2) return LogProb::zero();
+  const std::uint64_t needed = p.g - 1;
+  if (needed > p.opponents()) return LogProb::zero();
+  return draw_all_marked(p.opponents(), p.n, needed);
+}
+
+LogProb rac_unlinkability_break(const AnonymityParams& p) {
+  // Bounded by receiver anonymity (Sec. V-A1c): linking a pair requires
+  // identifying the receiver within the destination group.
+  return rac_receiver_break(p);
+}
+
+LogProb rac_active_path_forcing(const AnonymityParams& p) {
+  // At most fG rebuilds can be forced before all group opponents are
+  // blacklisted as relays; union bound over rebuild attempts.
+  const double fg = p.f * static_cast<double>(p.g);
+  const LogProb per_attempt = rac_sender_break(p);
+  if (per_attempt.is_zero() || fg <= 0) return LogProb::zero();
+  const double l = per_attempt.log10() + std::log10(fg);
+  return LogProb::from_log10(std::min(l, 0.0));
+}
+
+LogProb onion_sender_break(const AnonymityParams& p) {
+  return draw_all_marked(p.opponents(), p.n, p.l + 1);
+}
+
+LogProb onion_receiver_break(const AnonymityParams& p) {
+  return onion_sender_break(p);
+}
+
+LogProb dissent_break(const AnonymityParams& p) {
+  return p.f >= 1.0 ? LogProb::one() : LogProb::zero();
+}
+
+}  // namespace rac::analysis

@@ -1,0 +1,79 @@
+// Section V anonymity formulas, evaluated in log10 domain.
+//
+// These functions regenerate Table I ("Anonymity guarantees of the various
+// protocols in a system of 100.000 nodes") and the spot numbers quoted in
+// Sections IV-A and V-A. Probabilities such as 5.8e-1020 are far below
+// IEEE-double range, hence LogProb.
+//
+// Notation follows the paper: N system size, G group size, f opponent
+// fraction, L relays per onion path. "Break probability" is the probability
+// that an opponent controlling fraction f of the nodes violates the given
+// property for one targeted message/node.
+#pragma once
+
+#include <cstdint>
+
+#include "common/logprob.hpp"
+
+namespace rac::analysis {
+
+struct AnonymityParams {
+  std::uint64_t n = 100'000;  // N: system size
+  std::uint64_t g = 1'000;    // G: group size (g == n models RAC-NoGroup)
+  double f = 0.1;             // fraction of opponent nodes
+  unsigned l = 5;             // L: relays per onion path
+
+  std::uint64_t opponents() const {
+    return static_cast<std::uint64_t>(f * static_cast<double>(n));
+  }
+};
+
+/// prod_{i=0}^{picks-1} (good - i) / (pool - i): probability that `picks`
+/// draws without replacement from `pool` all land in a marked subset of
+/// size `marked`. Zero when picks > marked.
+LogProb draw_all_marked(std::uint64_t marked, std::uint64_t pool,
+                        std::uint64_t picks);
+
+// --- RAC (Sec. V-A1). With g == n the formulas reduce to RAC-NoGroup. ---
+
+/// Sender anonymity break probability (passive opponent):
+///   max_X [ prod_{i=0}^{L}(X-i)/(G-i) * prod_{i=0}^{X-1}(fN-i)/(N-i) ]
+/// i.e. the opponent packs X nodes into the victim's group AND the victim
+/// picks an all-opponent path. The path product has L+1 factors, exactly as
+/// written in the paper.
+LogProb rac_sender_break(const AnonymityParams& p);
+
+/// Receiver anonymity break probability: the opponent must control all
+/// nodes of the destination group but one (Sec. V-A1b).
+LogProb rac_receiver_break(const AnonymityParams& p);
+
+/// Unlinkability break probability — bounded by receiver anonymity
+/// (Sec. V-A1c).
+LogProb rac_unlinkability_break(const AnonymityParams& p);
+
+/// The X achieving the max in rac_sender_break (for ablation output).
+std::uint64_t rac_sender_worst_x(const AnonymityParams& p);
+
+// --- Active opponent (Sec. V-A2). ---
+
+/// Case 1: opponent relays drop messages to force path rebuilds. Each
+/// dropper is blacklisted, so at most fG rebuild attempts can be forced per
+/// sender; the paper bounds the success probability by fG times the
+/// passive sender-break probability.
+LogProb rac_active_path_forcing(const AnonymityParams& p);
+
+// --- Baselines (Table I columns). ---
+
+/// Onion routing: opponent must control the whole relay path. Same L+1
+/// factor product as RAC-NoGroup (the paper instantiates both to 9.9e-7 at
+/// f = 10%).
+LogProb onion_sender_break(const AnonymityParams& p);
+/// Receiver and unlinkability coincide with sender for onion routing: the
+/// opponent controlling the path reads the destination.
+LogProb onion_receiver_break(const AnonymityParams& p);
+
+/// Dissent v1/v2: anonymity only breaks when the opponent controls all
+/// nodes (resp. all trusted servers); with f < 1 the probability is 0.
+LogProb dissent_break(const AnonymityParams& p);
+
+}  // namespace rac::analysis

@@ -1,0 +1,83 @@
+#include "analysis/cost_model.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace rac::analysis {
+
+double ProtocolCost::total_copies() const {
+  double total = 0;
+  for (const auto& t : terms) total += t.copies();
+  return total;
+}
+
+std::string ProtocolCost::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%g*Bcast(%g)", terms[i].count,
+                  terms[i].group_size);
+    if (i > 0) out += " + ";
+    out += buf;
+  }
+  return out;
+}
+
+ProtocolCost dissent_v1_cost(std::uint64_t n) {
+  return ProtocolCost{"dissent-v1",
+                      {{static_cast<double>(n), static_cast<double>(n)}}};
+}
+
+ProtocolCost dissent_v2_cost(std::uint64_t n, std::uint64_t s) {
+  if (s == 0 || s > n) {
+    throw std::invalid_argument("dissent_v2_cost: bad server count");
+  }
+  return ProtocolCost{
+      "dissent-v2",
+      {{1.0, static_cast<double>(n) / static_cast<double>(s)},
+       {static_cast<double>(s), static_cast<double>(s)}}};
+}
+
+std::uint64_t dissent_v2_optimal_servers(std::uint64_t n) {
+  // Minimize N/S + S^2: the continuous optimum is S = (N/2)^(1/3); scan
+  // the neighbourhood for the integer minimum.
+  const double guess =
+      std::cbrt(static_cast<double>(n) / 2.0);
+  std::uint64_t best = 1;
+  double best_cost = dissent_v2_cost(n, 1).total_copies();
+  const std::uint64_t lo =
+      guess > 4.0 ? static_cast<std::uint64_t>(guess) - 3 : 1;
+  const std::uint64_t hi =
+      std::min<std::uint64_t>(n, static_cast<std::uint64_t>(guess) + 4);
+  for (std::uint64_t s = lo; s <= hi; ++s) {
+    const double c = dissent_v2_cost(n, s).total_copies();
+    if (c < best_cost) {
+      best_cost = c;
+      best = s;
+    }
+  }
+  return best;
+}
+
+ProtocolCost rac_nogroup_cost(std::uint64_t n, unsigned l, unsigned r) {
+  return ProtocolCost{
+      "rac-nogroup",
+      {{static_cast<double>(l) * r, static_cast<double>(n)}}};
+}
+
+ProtocolCost rac_grouped_cost(unsigned l, unsigned r, std::uint64_t g) {
+  if (l == 0) throw std::invalid_argument("rac_grouped_cost: L must be >= 1");
+  return ProtocolCost{
+      "rac-grouped",
+      {{static_cast<double>(l - 1) * r, static_cast<double>(g)},
+       {static_cast<double>(r), 2.0 * static_cast<double>(g)}}};
+}
+
+ProtocolCost rac_supergroup_cost(unsigned l, unsigned r, std::uint64_t g) {
+  return ProtocolCost{
+      "rac-supergroup-strawman",
+      {{static_cast<double>(l) * r, 2.0 * static_cast<double>(g)}}};
+}
+
+}  // namespace rac::analysis

@@ -1,0 +1,54 @@
+// The paper's x*Bcast(y) cost algebra (Secs. III and IV).
+//
+// "Protocol P has a cost of x * Bcast(y)" = each anonymous communication
+// sends x broadcast messages in a group of y nodes. Total message copies
+// per anonymous communication is the sum of x*y over terms, which is the
+// quantity the scalability argument rests on: RAC's copies depend only on
+// L, R, G — not on N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rac::analysis {
+
+struct BcastTerm {
+  double count;       // x: number of broadcasts
+  double group_size;  // y: size of the broadcast group
+
+  double copies() const { return count * group_size; }
+};
+
+struct ProtocolCost {
+  std::string protocol;
+  std::vector<BcastTerm> terms;
+
+  /// Total message copies per anonymous communication.
+  double total_copies() const;
+  /// "x1*Bcast(y1) + x2*Bcast(y2)" rendering for reports.
+  std::string to_string() const;
+};
+
+/// Dissent v1: N * Bcast(N) (Sec. III).
+ProtocolCost dissent_v1_cost(std::uint64_t n);
+
+/// Dissent v2 with S trusted servers: Bcast(N/S) + S * Bcast(S) (Sec. III).
+ProtocolCost dissent_v2_cost(std::uint64_t n, std::uint64_t s);
+
+/// The S minimizing dissent_v2_cost's total copies for a given N.
+std::uint64_t dissent_v2_optimal_servers(std::uint64_t n);
+
+/// RAC without groups: L * R * Bcast(N) (Sec. IV-A).
+ProtocolCost rac_nogroup_cost(std::uint64_t n, unsigned l, unsigned r);
+
+/// RAC with groups and the channel optimization:
+/// (L-1) * R * Bcast(G) + R * Bcast(2G) = (L+1) * R * Bcast(G) (Sec. IV-B).
+ProtocolCost rac_grouped_cost(unsigned l, unsigned r, std::uint64_t g);
+
+/// The rejected straw-man of Sec. IV-B: run everything in the union of the
+/// two groups, L * R * Bcast(2G). Kept to reproduce the claim
+/// (L+1)*R*Bcast(G) < L*R*Bcast(2G) for the common values of L.
+ProtocolCost rac_supergroup_cost(unsigned l, unsigned r, std::uint64_t g);
+
+}  // namespace rac::analysis

@@ -1,0 +1,36 @@
+#include "analysis/intersection.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::analysis {
+
+double expected_intersection_size(std::uint64_t g, double retention,
+                                  unsigned observations) {
+  if (g == 0 || retention < 0.0 || retention > 1.0 || observations == 0) {
+    throw std::invalid_argument("expected_intersection_size: bad args");
+  }
+  return 1.0 + static_cast<double>(g - 1) *
+                   std::pow(retention, static_cast<double>(observations - 1));
+}
+
+unsigned observations_to_shrink(std::uint64_t g, double retention,
+                                double target) {
+  if (target <= 1.0) {
+    throw std::invalid_argument("observations_to_shrink: target must be > 1");
+  }
+  if (g <= 1 || static_cast<double>(g) <= target) return 1;
+  if (retention >= 1.0) return 0;  // never shrinks
+  if (retention <= 0.0) return 2;  // one intersection suffices
+  // 1 + (G-1) r^(k-1) <= target  =>  k >= 1 + ln((target-1)/(G-1)) / ln r
+  const double needed =
+      1.0 + std::log((target - 1.0) / static_cast<double>(g - 1)) /
+                std::log(retention);
+  return static_cast<unsigned>(std::ceil(needed));
+}
+
+double rac_effective_retention(LogProb eviction_prob) {
+  return eviction_prob.complement().linear();
+}
+
+}  // namespace rac::analysis

@@ -1,0 +1,39 @@
+// Intersection-attack analysis (Raymond [17], referenced in Sec. V-A2).
+//
+// An opponent who can correlate several messages of the same (pseudonymous)
+// sender intersects the candidate sets observed at each message: members
+// present at every observation. The attack only gains power if membership
+// churns between observations — which is exactly why RAC hardens eviction
+// (Sec. V-A2 case 2): if the opponent cannot force honest nodes out, the
+// candidate set never shrinks below the group.
+#pragma once
+
+#include <cstdint>
+
+#include "common/logprob.hpp"
+
+namespace rac::analysis {
+
+/// Expected candidate-set size after `observations` linked messages when,
+/// between consecutive observations, each non-sender candidate survives
+/// (remains a member) independently with probability `retention`.
+/// E[|S_k|] = 1 + (G-1) * retention^(k-1).
+double expected_intersection_size(std::uint64_t g, double retention,
+                                  unsigned observations);
+
+/// Number of linked observations needed to shrink the expected candidate
+/// set to at most `target` (> 1). Returns 0 if retention == 1 (the set
+/// never shrinks — RAC's regime when forced evictions are negligible).
+unsigned observations_to_shrink(std::uint64_t g, double retention,
+                                double target);
+
+/// Upper bound on the per-interval retention *reduction* an active
+/// opponent can force in RAC: it must evict honest members, and each
+/// eviction requires a majority-opponent successor set (probability
+/// `eviction_prob` per node per attempt). Effective retention
+/// >= 1 - eviction_prob, so with the paper's R=7 / f=5% bound of 6.0e-6
+/// the candidate set is expected to stay above G-1 for ~100k linked
+/// observations — the attack is starved.
+double rac_effective_retention(LogProb eviction_prob);
+
+}  // namespace rac::analysis

@@ -1,0 +1,60 @@
+#include "analysis/ring_security.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::analysis {
+
+LogProb successor_compromise_prob(unsigned rings, double f, unsigned m) {
+  return binomial_tail_geq(rings, m, f);
+}
+
+unsigned paper_majority_threshold(unsigned rings) { return rings / 2 + 2; }
+
+unsigned strict_majority_threshold(unsigned rings) { return rings / 2 + 1; }
+
+unsigned rings_needed(double f, double target,
+                      unsigned (*threshold_fn)(unsigned)) {
+  if (target <= 0.0 || target >= 1.0) {
+    throw std::invalid_argument("rings_needed: target must be in (0,1)");
+  }
+  for (unsigned r = 1; r <= 99; r += 2) {
+    const unsigned m = threshold_fn(r);
+    if (m > r) continue;  // degenerate: no successor set of this size can
+                          // even contain m opponents
+    const LogProb prob = successor_compromise_prob(r, f, m);
+    if (prob.log10() <= std::log10(target)) return r;
+  }
+  return 0;
+}
+
+LogProb successor_compromise_prob_hypergeom(unsigned rings, std::uint64_t g,
+                                            std::uint64_t x, unsigned m) {
+  if (g == 0 || x > g || rings > g) {
+    throw std::invalid_argument("successor_compromise_prob_hypergeom: bad args");
+  }
+  // P[K >= m], K ~ Hypergeometric(g, x, rings):
+  //   P[K = k] = C(x, k) * C(g - x, rings - k) / C(g, rings)
+  LogProb acc = LogProb::zero();
+  const double denom = log10_binomial_coeff(g, rings);
+  for (unsigned k = m; k <= rings; ++k) {
+    if (k > x) break;
+    if (rings - k > g - x) continue;
+    const double l = log10_binomial_coeff(x, k) +
+                     log10_binomial_coeff(g - x, rings - k) - denom;
+    acc += LogProb::from_log10(std::min(l, 0.0));
+  }
+  return acc;
+}
+
+unsigned rings_for_reliability(std::uint64_t n, double f, double c) {
+  if (n < 2) return 1;
+  const double needed = std::log(static_cast<double>(n)) + c;
+  const double honest_fraction = 1.0 - f;
+  if (honest_fraction <= 0.0) {
+    throw std::invalid_argument("rings_for_reliability: f >= 1");
+  }
+  return static_cast<unsigned>(std::ceil(needed / honest_fraction));
+}
+
+}  // namespace rac::analysis

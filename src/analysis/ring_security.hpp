@@ -1,0 +1,48 @@
+// Ring-count security analysis (Sec. IV-C and V-A2 case 2).
+//
+// With R rings, a node's successor set holds about R nodes; opponents who
+// reach the eviction quorum among a victim's successors can expel it. These
+// helpers compute, under a Binomial(R, f) model of opponent placement:
+//   - the probability that at least `m` of the R successors are opponents,
+//   - the minimal R meeting a target failure probability,
+// regenerating the paper's claims ("7 rings ... probability lower than
+// 6.0e-6 to have a majority of opponent nodes", f = 5%).
+//
+// Note on "majority": instantiating the paper's 6.0e-6 figure requires the
+// threshold m = floor(R/2) + 2 (one above strict majority) — see
+// EXPERIMENTS.md for the reproduction notes.
+#pragma once
+
+#include "common/logprob.hpp"
+
+namespace rac::analysis {
+
+/// P[#opponents >= m] among `rings` successor slots, opponent fraction f.
+LogProb successor_compromise_prob(unsigned rings, double f, unsigned m);
+
+/// Threshold used by the paper's 6.0e-6 instantiation: floor(R/2) + 2.
+unsigned paper_majority_threshold(unsigned rings);
+
+/// Strict majority threshold: floor(R/2) + 1.
+unsigned strict_majority_threshold(unsigned rings);
+
+/// Minimal odd number of rings R such that
+/// successor_compromise_prob(R, f, threshold_fn(R)) <= target.
+/// Returns 0 if no R <= 99 satisfies it.
+unsigned rings_needed(double f, double target,
+                      unsigned (*threshold_fn)(unsigned) =
+                          &paper_majority_threshold);
+
+/// Probability that a node has at least `m` opponents among `rings`
+/// successors in a group of size g holding exactly x opponents
+/// (hypergeometric, the finite-group refinement of the binomial model).
+LogProb successor_compromise_prob_hypergeom(unsigned rings, std::uint64_t g,
+                                            std::uint64_t x, unsigned m);
+
+/// Reliability claim of footnote 5: each node needs >= log(N) + c honest
+/// successors for reliable dissemination (Kermarrec et al.). Returns the
+/// minimal ring count R such that the expected number of honest successors
+/// R*(1-f) >= ln(n) + c.
+unsigned rings_for_reliability(std::uint64_t n, double f, double c);
+
+}  // namespace rac::analysis

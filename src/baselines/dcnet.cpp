@@ -1,0 +1,36 @@
+#include "baselines/dcnet.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace rac::baselines {
+
+std::uint64_t pair_seed(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = std::min(a, b);
+  const std::uint32_t hi = std::max(a, b);
+  std::uint64_t state =
+      (static_cast<std::uint64_t>(lo) << 32) | (hi ^ 0xDCDC'0001u);
+  return splitmix64(state);
+}
+
+Bytes dcnet_pad(std::uint64_t seed, std::uint64_t round, std::size_t len) {
+  Bytes pad(len);
+  std::uint64_t state = seed ^ (round * 0xA24BAED4963EE407ULL);
+  std::size_t i = 0;
+  while (i < len) {
+    const std::uint64_t v = splitmix64(state);
+    const std::size_t take = std::min<std::size_t>(8, len - i);
+    for (std::size_t b = 0; b < take; ++b) {
+      pad[i + b] = static_cast<std::uint8_t>(v >> (8 * b));
+    }
+    i += take;
+  }
+  return pad;
+}
+
+void xor_accumulate(Bytes& acc, ByteView pad) {
+  xor_into(std::span<std::uint8_t>(acc.data(), acc.size()), pad);
+}
+
+}  // namespace rac::baselines

@@ -1,0 +1,26 @@
+// DC-net primitives shared by the Dissent v1 and v2 baselines.
+//
+// A DC-net round combines per-pair pseudo-random pads by XOR: every pair
+// sharing a seed contributes the same pad twice, so XOR-ing every
+// participant's ciphertext cancels all pads and reveals the slot owner's
+// message (Chaum's dining cryptographers, as used by both Dissent papers).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rac::baselines {
+
+/// Symmetric 64-bit seed for the pair (a, b) — both sides derive the same
+/// value (a production system would run a DH key agreement; the simulator
+/// derives it from the pair identity).
+std::uint64_t pair_seed(std::uint32_t a, std::uint32_t b);
+
+/// Deterministic pad of `len` bytes for `round` under `seed`.
+Bytes dcnet_pad(std::uint64_t seed, std::uint64_t round, std::size_t len);
+
+/// XOR `pad` into `acc` (acc.size() == pad.size()).
+void xor_accumulate(Bytes& acc, ByteView pad);
+
+}  // namespace rac::baselines

@@ -1,0 +1,137 @@
+#include "baselines/dissent_v1.hpp"
+
+#include <stdexcept>
+
+#include "baselines/dcnet.hpp"
+#include "common/serialize.hpp"
+#include "rac/shuffle.hpp"
+
+namespace rac::baselines {
+
+std::uint32_t DissentV1Sim::slot_owner() const {
+  if (!config_.shuffle_scheduling) {
+    return static_cast<std::uint32_t>(round_ % config_.num_nodes);
+  }
+  return slot_schedule_[round_ % config_.num_nodes];
+}
+
+void DissentV1Sim::reshuffle_schedule() {
+  // Each member submits its identity; the accountable shuffle outputs an
+  // unlinkable permutation that fixes slot ownership for the next epoch.
+  auto provider = make_sim_provider();
+  std::vector<Bytes> inputs;
+  inputs.reserve(config_.num_nodes);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    BinaryWriter w;
+    w.u32(i);
+    inputs.push_back(w.take());
+  }
+  const ShuffleResult result = run_shuffle(*provider, rng_, inputs);
+  if (!result.success) {
+    throw std::logic_error("DissentV1Sim: honest shuffle failed");
+  }
+  slot_schedule_.clear();
+  slot_schedule_.reserve(result.outputs.size());
+  for (const Bytes& out : result.outputs) {
+    BinaryReader r(out);
+    slot_schedule_.push_back(r.u32());
+  }
+}
+
+DissentV1Sim::DissentV1Sim(DissentV1Config config)
+    : config_(config), sim_(config.seed), rng_(config.seed ^ 0xD155E47ULL) {
+  if (config_.num_nodes < 3) {
+    throw std::invalid_argument("DissentV1Sim: need at least 3 nodes");
+  }
+  net_ = std::make_unique<sim::Network>(sim_, config_.network);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_->add_endpoint([this, i](sim::EndpointId from,
+                                 const sim::Payload& msg) {
+      on_receive(i, from, msg);
+    });
+  }
+  received_.resize(config_.num_nodes, 0);
+  accumulator_.resize(config_.num_nodes);
+}
+
+void DissentV1Sim::start() {
+  running_ = true;
+  begin_round();
+}
+
+void DissentV1Sim::run_to_target() {
+  if (config_.rounds_target == 0) {
+    throw std::logic_error("run_to_target: rounds_target not set");
+  }
+  while (rounds_completed_ < config_.rounds_target && sim_.step()) {
+  }
+}
+
+Bytes DissentV1Sim::make_ciphertext(std::uint32_t node) const {
+  const std::uint32_t owner = slot_owner();
+  if (!config_.full_crypto) return Bytes(config_.msg_bytes, 0);
+
+  Bytes cipher = node == owner ? owner_message_
+                               : Bytes(config_.msg_bytes, 0);
+  for (std::uint32_t peer = 0; peer < config_.num_nodes; ++peer) {
+    if (peer == node) continue;
+    xor_accumulate(cipher,
+                   dcnet_pad(pair_seed(node, peer), round_,
+                             config_.msg_bytes));
+  }
+  return cipher;
+}
+
+void DissentV1Sim::begin_round() {
+  if (!running_) return;
+  const std::uint32_t n = config_.num_nodes;
+  if (config_.shuffle_scheduling && round_ % n == 0) reshuffle_schedule();
+  if (config_.full_crypto) {
+    owner_message_ = rng_.bytes(config_.msg_bytes);
+  }
+  nodes_done_ = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    received_[i] = 0;
+    // Each node starts its accumulator with its own ciphertext.
+    Bytes cipher = make_ciphertext(i);
+    if (config_.full_crypto) accumulator_[i] = cipher;
+    const sim::Payload wire = sim::make_payload(std::move(cipher));
+    for (std::uint32_t j = 0; j < n; ++j) {
+      if (j != i) net_->send(i, j, wire);
+    }
+  }
+}
+
+void DissentV1Sim::on_receive(std::uint32_t node, std::uint32_t /*from*/,
+                              const sim::Payload& msg) {
+  if (config_.full_crypto) {
+    xor_accumulate(accumulator_[node], *msg);
+  }
+  if (++received_[node] == config_.num_nodes - 1) node_completed(node);
+}
+
+void DissentV1Sim::node_completed(std::uint32_t node) {
+  if (config_.full_crypto && accumulator_[node] != owner_message_) {
+    ++decode_failures_;
+  }
+  if (++nodes_done_ < config_.num_nodes) return;
+
+  // Round fully decoded everywhere: the owner's message reached its
+  // (anonymous) destination — account one delivered message.
+  meter_.record(sim_.now(), config_.msg_bytes);
+  ++rounds_completed_;
+  ++round_;
+  if (config_.rounds_target != 0 &&
+      rounds_completed_ >= config_.rounds_target) {
+    running_ = false;
+    return;
+  }
+  begin_round();
+}
+
+double DissentV1Sim::avg_node_goodput_bps(SimTime from, SimTime to) const {
+  return meter_.bits_per_second(from, to) /
+         static_cast<double>(config_.num_nodes);
+}
+
+}  // namespace rac::baselines

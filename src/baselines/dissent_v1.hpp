@@ -1,0 +1,82 @@
+// Dissent v1 baseline (Corrigan-Gibbs & Ford, CCS'10) — the DC-net bulk
+// protocol, packet-level.
+//
+// Per round, one slot owner transmits anonymously: every node sends its
+// DC-net ciphertext (message-sized) to every other node; XOR-ing all N
+// ciphertexts reveals the owner's message at every node. This is the
+// N * Bcast(N) cost of Sec. III, and why throughput collapses past ~50
+// nodes (Fig. 1).
+//
+// `full_crypto = true` computes real pads/XOR so tests can assert round
+// correctness; `false` ships size-equivalent zero buffers for larger-N
+// throughput runs (the wire cost — what Figs. 1/3 measure — is identical).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace rac::baselines {
+
+struct DissentV1Config {
+  std::uint32_t num_nodes = 20;
+  std::size_t msg_bytes = 10'000;
+  bool full_crypto = true;
+  std::uint32_t rounds_target = 0;  // stop after this many rounds (0 = none)
+  /// Assign slot owners through the accountable anonymous shuffle (the
+  /// actual Dissent v1 design: the shuffle phase fixes an owner
+  /// permutation nobody can link to identities) instead of round-robin.
+  /// One shuffle schedules the next num_nodes rounds.
+  bool shuffle_scheduling = false;
+  sim::NetworkConfig network;
+  std::uint64_t seed = 1;
+};
+
+class DissentV1Sim {
+ public:
+  explicit DissentV1Sim(DissentV1Config config);
+
+  void start();
+  void run_for(SimDuration d) { sim_.run_for(d); }
+  /// Run until rounds_target rounds completed (requires rounds_target > 0).
+  void run_to_target();
+
+  sim::Simulator& simulator() { return sim_; }
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  const sim::ThroughputMeter& meter() const { return meter_; }
+  double avg_node_goodput_bps(SimTime from, SimTime to) const;
+  /// All nodes decoded every completed round to the owner's message
+  /// (always true when full_crypto is off — nothing to check).
+  bool all_rounds_correct() const { return decode_failures_ == 0; }
+
+ private:
+  void begin_round();
+  void on_receive(std::uint32_t node, std::uint32_t from,
+                  const sim::Payload& msg);
+  Bytes make_ciphertext(std::uint32_t node) const;
+  void node_completed(std::uint32_t node);
+  std::uint32_t slot_owner() const;
+  void reshuffle_schedule();
+
+  DissentV1Config config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  Rng rng_;
+  sim::ThroughputMeter meter_;
+
+  std::uint64_t round_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  Bytes owner_message_;              // expected plaintext this round
+  std::vector<std::uint32_t> received_;  // per-node ciphertext count
+  std::vector<Bytes> accumulator_;       // per-node XOR state (full crypto)
+  std::uint32_t nodes_done_ = 0;
+  bool running_ = false;
+  std::vector<std::uint32_t> slot_schedule_;  // shuffle-scheduling mode
+};
+
+}  // namespace rac::baselines

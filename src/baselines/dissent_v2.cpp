@@ -1,0 +1,158 @@
+#include "baselines/dissent_v2.hpp"
+
+#include <stdexcept>
+
+#include "baselines/dcnet.hpp"
+#include "baselines/flow_model.hpp"
+
+namespace rac::baselines {
+
+DissentV2Sim::DissentV2Sim(DissentV2Config config)
+    : config_(config),
+      num_servers_(config.num_servers != 0
+                       ? config.num_servers
+                       : static_cast<std::uint32_t>(
+                             dissent_v2_optimal_servers(config.num_clients))),
+      sim_(config.seed),
+      rng_(config.seed ^ 0xD155E4702ULL) {
+  if (config_.num_clients < 2) {
+    throw std::invalid_argument("DissentV2Sim: need at least 2 clients");
+  }
+  if (num_servers_ > config_.num_clients) {
+    throw std::invalid_argument("DissentV2Sim: more servers than clients");
+  }
+  net_ = std::make_unique<sim::Network>(sim_, config_.network);
+  const std::uint32_t total = num_servers_ + config_.num_clients;
+  for (std::uint32_t ep = 0; ep < total; ++ep) {
+    net_->add_endpoint([this, ep](sim::EndpointId from,
+                                  const sim::Payload& msg) {
+      on_receive(ep, from, msg);
+    });
+  }
+  clients_received_.resize(num_servers_, 0);
+  combined_received_.resize(num_servers_, 0);
+  own_combined_.resize(num_servers_);
+  foreign_.resize(num_servers_);
+  clients_per_server_.resize(num_servers_, 0);
+  for (std::uint32_t c = 0; c < config_.num_clients; ++c) {
+    clients_per_server_[home_server(c)]++;
+  }
+}
+
+void DissentV2Sim::start() {
+  running_ = true;
+  begin_round();
+}
+
+void DissentV2Sim::run_to_target() {
+  if (config_.rounds_target == 0) {
+    throw std::logic_error("run_to_target: rounds_target not set");
+  }
+  while (rounds_completed_ < config_.rounds_target && sim_.step()) {
+  }
+}
+
+void DissentV2Sim::begin_round() {
+  if (!running_) return;
+  const std::uint32_t owner =
+      static_cast<std::uint32_t>(round_ % config_.num_clients);
+  if (config_.full_crypto) owner_message_ = rng_.bytes(config_.msg_bytes);
+  clients_done_ = 0;
+
+  for (std::uint32_t s = 0; s < num_servers_; ++s) {
+    clients_received_[s] = 0;
+    combined_received_[s] = 0;
+    if (config_.full_crypto) {
+      // The server's own pad contribution covers every client it shares a
+      // seed with — i.e. all of them.
+      Bytes pads(config_.msg_bytes, 0);
+      for (std::uint32_t c = 0; c < config_.num_clients; ++c) {
+        xor_accumulate(pads, dcnet_pad(pair_seed(num_servers_ + c, s),
+                                       round_, config_.msg_bytes));
+      }
+      own_combined_[s] = std::move(pads);
+      foreign_[s].assign(config_.msg_bytes, 0);
+    }
+  }
+
+  // Phase 1: every client uploads its ciphertext to its home server.
+  for (std::uint32_t c = 0; c < config_.num_clients; ++c) {
+    Bytes cipher = c == owner && config_.full_crypto
+                       ? owner_message_
+                       : Bytes(config_.msg_bytes, 0);
+    if (config_.full_crypto) {
+      for (std::uint32_t s = 0; s < num_servers_; ++s) {
+        xor_accumulate(cipher, dcnet_pad(pair_seed(num_servers_ + c, s),
+                                         round_, config_.msg_bytes));
+      }
+    }
+    net_->send(num_servers_ + c, home_server(c),
+               sim::make_payload(std::move(cipher)));
+  }
+}
+
+void DissentV2Sim::on_receive(std::uint32_t ep, std::uint32_t from,
+                              const sim::Payload& msg) {
+  if (is_server(ep)) {
+    if (is_server(from)) {
+      if (config_.full_crypto) xor_accumulate(foreign_[ep], *msg);
+      ++combined_received_[ep];
+    } else {
+      if (config_.full_crypto) xor_accumulate(own_combined_[ep], *msg);
+      ++clients_received_[ep];
+      if (clients_received_[ep] == clients_per_server_[ep]) {
+        // Phase 2: exchange this server's combined blob (its pads XOR its
+        // clients' ciphertexts) with every other server.
+        const sim::Payload combined = sim::make_payload(
+            config_.full_crypto ? own_combined_[ep]
+                                : Bytes(config_.msg_bytes, 0));
+        for (std::uint32_t s = 0; s < num_servers_; ++s) {
+          if (s != ep) net_->send(ep, s, combined);
+        }
+      }
+    }
+    server_try_finish(ep);
+  } else {
+    // Phase 3 result arriving at a client.
+    if (++clients_done_ == config_.num_clients) {
+      meter_.record(sim_.now(), config_.msg_bytes);
+      ++rounds_completed_;
+      ++round_;
+      if (config_.rounds_target != 0 &&
+          rounds_completed_ >= config_.rounds_target) {
+        running_ = false;
+        return;
+      }
+      begin_round();
+    }
+  }
+}
+
+void DissentV2Sim::server_try_finish(std::uint32_t server) {
+  if (clients_received_[server] != clients_per_server_[server] ||
+      combined_received_[server] != num_servers_ - 1) {
+    return;
+  }
+  Bytes plaintext;
+  if (config_.full_crypto) {
+    plaintext = own_combined_[server];
+    xor_accumulate(plaintext, foreign_[server]);
+    if (plaintext != owner_message_) ++decode_failures_;
+  } else {
+    plaintext.assign(config_.msg_bytes, 0);
+  }
+  // Phase 3: push the plaintext to this server's clients.
+  const sim::Payload result = sim::make_payload(std::move(plaintext));
+  for (std::uint32_t c = 0; c < config_.num_clients; ++c) {
+    if (home_server(c) == server) net_->send(server, num_servers_ + c, result);
+  }
+  // Mark finished so duplicate calls (late messages) don't resend.
+  clients_received_[server] = clients_per_server_[server] + 1;
+}
+
+double DissentV2Sim::avg_node_goodput_bps(SimTime from, SimTime to) const {
+  return meter_.bits_per_second(from, to) /
+         static_cast<double>(config_.num_clients);
+}
+
+}  // namespace rac::baselines

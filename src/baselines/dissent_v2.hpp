@@ -1,0 +1,86 @@
+// Dissent v2 baseline (Wolinsky et al., OSDI'12 — "Dissent in numbers"),
+// packet-level: a client/server DC-net.
+//
+// Every client shares a DC-net seed with every server. Per round:
+//   1. each client sends its message-sized ciphertext to its home server;
+//   2. each server XORs its clients' ciphertexts with its own pads and
+//      exchanges the combined blob with every other server;
+//   3. each server recovers the plaintext and pushes it down to its
+//      clients.
+// Cost per round: Bcast(N/S) + S * Bcast(S) (Sec. III); the throughput-
+// optimal S is picked per N as in the paper's Fig. 1 configuration.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace rac::baselines {
+
+struct DissentV2Config {
+  std::uint32_t num_clients = 100;
+  std::uint32_t num_servers = 0;  // 0 = throughput-optimal for num_clients
+  std::size_t msg_bytes = 10'000;
+  bool full_crypto = true;
+  std::uint32_t rounds_target = 0;
+  sim::NetworkConfig network;
+  std::uint64_t seed = 1;
+};
+
+class DissentV2Sim {
+ public:
+  explicit DissentV2Sim(DissentV2Config config);
+
+  void start();
+  void run_for(SimDuration d) { sim_.run_for(d); }
+  void run_to_target();
+
+  sim::Simulator& simulator() { return sim_; }
+  std::uint32_t num_servers() const { return num_servers_; }
+  std::uint64_t rounds_completed() const { return rounds_completed_; }
+  const sim::ThroughputMeter& meter() const { return meter_; }
+  /// Per *client* goodput — servers are infrastructure, as in the paper.
+  double avg_node_goodput_bps(SimTime from, SimTime to) const;
+  bool all_rounds_correct() const { return decode_failures_ == 0; }
+
+ private:
+  // Endpoint layout: [0, S) servers, [S, S + N) clients.
+  bool is_server(std::uint32_t ep) const { return ep < num_servers_; }
+  std::uint32_t client_index(std::uint32_t ep) const {
+    return ep - num_servers_;
+  }
+  std::uint32_t home_server(std::uint32_t client) const {
+    return client % num_servers_;
+  }
+
+  void begin_round();
+  void on_receive(std::uint32_t ep, std::uint32_t from,
+                  const sim::Payload& msg);
+  void server_try_finish(std::uint32_t server);
+
+  DissentV2Config config_;
+  std::uint32_t num_servers_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  Rng rng_;
+  sim::ThroughputMeter meter_;
+
+  std::uint64_t round_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  std::uint64_t decode_failures_ = 0;
+  Bytes owner_message_;
+  // Per-server round state.
+  std::vector<std::uint32_t> clients_received_;
+  std::vector<std::uint32_t> combined_received_;
+  std::vector<Bytes> own_combined_;  // pads ⊕ own clients' ciphertexts
+  std::vector<Bytes> foreign_;       // XOR of other servers' combineds
+  std::uint32_t clients_done_ = 0;
+  std::vector<std::uint32_t> clients_per_server_;
+  bool running_ = false;
+};
+
+}  // namespace rac::baselines

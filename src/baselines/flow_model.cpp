@@ -1,0 +1,83 @@
+#include "baselines/flow_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rac::baselines {
+
+namespace {
+void check(std::uint64_t n) {
+  if (n < 2) throw std::invalid_argument("flow model: need n >= 2");
+}
+}  // namespace
+
+double dissent_v1_goodput_bps(std::uint64_t n, const FlowParams& p) {
+  check(n);
+  return p.link_bps / (static_cast<double>(n) * static_cast<double>(n - 1));
+}
+
+double dissent_v2_goodput_bps_at(std::uint64_t n, std::uint64_t s,
+                                 const FlowParams& p) {
+  check(n);
+  if (s == 0 || s > n) {
+    throw std::invalid_argument("dissent_v2: bad server count");
+  }
+  const double transmissions = static_cast<double>(n) / static_cast<double>(s) +
+                               static_cast<double>(s) - 1.0;
+  return p.link_bps / (static_cast<double>(n) * transmissions);
+}
+
+std::uint64_t dissent_v2_optimal_servers(std::uint64_t n) {
+  check(n);
+  // Continuous optimum of N/S + S - 1 is S = sqrt(N); scan neighbours for
+  // the integer argmin.
+  const auto guess = static_cast<std::uint64_t>(
+      std::llround(std::sqrt(static_cast<double>(n))));
+  std::uint64_t best = 1;
+  double best_cost = static_cast<double>(n);  // S=1: N + 0
+  const std::uint64_t lo = guess > 3 ? guess - 3 : 1;
+  const std::uint64_t hi = std::min<std::uint64_t>(n, guess + 3);
+  for (std::uint64_t s = lo; s <= hi; ++s) {
+    const double cost = static_cast<double>(n) / static_cast<double>(s) +
+                        static_cast<double>(s) - 1.0;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = s;
+    }
+  }
+  return best;
+}
+
+double dissent_v2_goodput_bps(std::uint64_t n, const FlowParams& p) {
+  return dissent_v2_goodput_bps_at(n, dissent_v2_optimal_servers(n), p);
+}
+
+double onion_goodput_bps(unsigned l, const FlowParams& p) {
+  if (l == 0) throw std::invalid_argument("onion: need l >= 1");
+  return p.link_bps / static_cast<double>(l);
+}
+
+double rac_goodput_bps(std::uint64_t n, unsigned l, unsigned r,
+                       std::uint64_t g, const FlowParams& p) {
+  check(n);
+  if (l == 0 || r == 0) throw std::invalid_argument("rac: need l, r >= 1");
+  if (g == 0 || g >= n) {
+    // RAC-NoGroup: L*R*Bcast(N) copies, shared among N senders and N
+    // forwarding uplinks => each node transmits L*R copies per message it
+    // originates.
+    return p.link_bps /
+           (static_cast<double>(n) * static_cast<double>(l) * r);
+  }
+  // Grouped: k groups of size G. In-group messages cost L*R*Bcast(G);
+  // cross-group ones (L-1)*R*Bcast(G) + R*Bcast(2G) = (L+1)*R*Bcast(G)
+  // (channel copies split across both groups' uplinks).
+  const double k = static_cast<double>(n) / static_cast<double>(g);
+  const double cross_fraction = k <= 1.0 ? 0.0 : (k - 1.0) / k;
+  const double copies_per_member =
+      static_cast<double>(r) *
+      (static_cast<double>(l) * (1.0 - cross_fraction) +
+       static_cast<double>(l + 1) * cross_fraction);
+  return p.link_bps / (static_cast<double>(g) * copies_per_member);
+}
+
+}  // namespace rac::baselines

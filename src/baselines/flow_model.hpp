@@ -1,0 +1,52 @@
+// Flow-level (fluid) throughput models for every protocol in Figs. 1 and 3.
+//
+// Derivation: on the paper's ideal star network every node has a full-
+// duplex access link of capacity C. For each protocol we count how many
+// link transmissions of one `msg_bytes` message the bottleneck link carries
+// per delivered anonymous message; the sustainable per-node goodput is C
+// divided by that count (x * Bcast(y) algebra of Secs. III/IV made
+// concrete). The DES cross-validates these models at small N (see
+// tests/test_flow_vs_des.cpp); the 100.000-node sweeps of the benches use
+// them beyond packet-level reach.
+#pragma once
+
+#include <cstdint>
+
+namespace rac::baselines {
+
+struct FlowParams {
+  double link_bps = 1e9;          // C: access link capacity
+  std::size_t msg_bytes = 10'000; // anonymous message size (paper: 10 kB)
+};
+
+/// Dissent v1: every node sends its DC-net ciphertext to all others each
+/// round; one round delivers one message. Per-node goodput = C / (N(N-1)).
+double dissent_v1_goodput_bps(std::uint64_t n, const FlowParams& p = {});
+
+/// Dissent v2 with S trusted servers: per round a server receives N/S
+/// client ciphertexts, exchanges S-1 combined ciphertexts, and pushes the
+/// result to N/S clients. Bottleneck (full-duplex server link):
+/// N/S + S - 1 transmissions per round => goodput = C / (N (N/S + S - 1)).
+double dissent_v2_goodput_bps_at(std::uint64_t n, std::uint64_t s,
+                                 const FlowParams& p = {});
+
+/// The throughput-optimal server count (argmax of the above, ~ sqrt(N)).
+std::uint64_t dissent_v2_optimal_servers(std::uint64_t n);
+
+/// Dissent v2 at its optimal server count ("we configure Dissent v2 with
+/// the optimal number of trusted servers for each network size").
+double dissent_v2_goodput_bps(std::uint64_t n, const FlowParams& p = {});
+
+/// Onion routing with path length L: each message is transmitted L times
+/// (paper, Sec. VI-C: "with an onion path length of 5, the throughput
+/// provided by onion routing is 200Mb/s" = C/L).
+double onion_goodput_bps(unsigned l, const FlowParams& p = {});
+
+/// RAC. g == 0 or g >= n models RAC-NoGroup: cost L*R*Bcast(N) =>
+/// goodput C / (N L R). Grouped: in-group traffic costs L*R*Bcast(G),
+/// cross-group traffic (L+1)*R*Bcast(G); with k = N/G groups and uniform
+/// random destinations a fraction (k-1)/k of traffic is cross-group.
+double rac_goodput_bps(std::uint64_t n, unsigned l, unsigned r,
+                       std::uint64_t g, const FlowParams& p = {});
+
+}  // namespace rac::baselines

@@ -1,0 +1,144 @@
+#include "baselines/onion_routing.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace rac::baselines {
+
+namespace {
+// Size-only wire format: u64 msg id + zero filler to msg_bytes.
+std::uint64_t read_msg_id(const Bytes& wire) {
+  BinaryReader r(wire);
+  return r.u64();
+}
+}  // namespace
+
+OnionRoutingSim::OnionRoutingSim(OnionRoutingConfig config)
+    : config_(config), sim_(config.seed), rng_(config.seed ^ 0x023102ULL) {
+  if (config_.num_nodes < config_.path_length + 2) {
+    throw std::invalid_argument("OnionRoutingSim: too few nodes for path");
+  }
+  net_ = std::make_unique<sim::Network>(sim_, config_.network);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    net_->add_endpoint(
+        [this, i](sim::EndpointId /*from*/, const sim::Payload& msg) {
+          on_receive(i, msg);
+        });
+  }
+  if (config_.full_crypto) {
+    crypto_ = make_native_provider();
+    keys_.reserve(config_.num_nodes);
+    for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+      keys_.push_back(crypto_->generate_keypair(rng_));
+    }
+  }
+  destination_.resize(config_.num_nodes);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    do {
+      destination_[i] =
+          static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
+    } while (destination_[i] == i);
+  }
+  msg_tx_ = transmission_delay(config_.msg_bytes, config_.network.link_bps);
+}
+
+void OnionRoutingSim::start() {
+  running_ = true;
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) send_slot(i);
+}
+
+void OnionRoutingSim::schedule_send(std::uint32_t node) {
+  if (!running_) return;
+  const SimTime busy = net_->uplink_busy_until(node);
+  const SimDuration backlog = busy - sim_.now();
+  const SimDuration delay =
+      backlog > 2 * msg_tx_ ? backlog - 2 * msg_tx_ : msg_tx_;
+  sim_.schedule(delay, [this, node] {
+    if (running_) send_slot(node);
+  });
+}
+
+void OnionRoutingSim::send_slot(std::uint32_t node) {
+  const SimTime busy = net_->uplink_busy_until(node);
+  if (busy - sim_.now() <= 2 * msg_tx_) {
+    // Pick L distinct relays (not self, not the destination).
+    std::vector<std::uint32_t> relays;
+    relays.reserve(config_.path_length);
+    while (relays.size() < config_.path_length) {
+      const auto r =
+          static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
+      if (r == node || r == destination_[node]) continue;
+      if (std::find(relays.begin(), relays.end(), r) != relays.end()) continue;
+      relays.push_back(r);
+    }
+
+    if (config_.full_crypto) {
+      // Innermost: payload for the destination; each layer above adds the
+      // next hop.
+      Bytes onion = crypto_->seal(keys_[destination_[node]].pub,
+                                  rng_.bytes(config_.msg_bytes / 2), rng_);
+      std::uint32_t next_hop = destination_[node];
+      for (std::size_t i = relays.size(); i-- > 0;) {
+        BinaryWriter w;
+        w.u32(next_hop);
+        w.blob(onion);
+        onion = crypto_->seal(keys_[relays[i]].pub, w.data(), rng_);
+        next_hop = relays[i];
+      }
+      net_->send(node, relays.front(), sim::make_payload(std::move(onion)));
+    } else {
+      const std::uint64_t id = rng_.next();
+      BinaryWriter w;
+      w.u64(id);
+      Bytes wire = w.take();
+      wire.resize(config_.msg_bytes, 0);
+      std::vector<std::uint32_t> route(relays.begin() + 1, relays.end());
+      route.push_back(destination_[node]);
+      routes_.emplace(id, std::move(route));
+      net_->send(node, relays.front(), sim::make_payload(std::move(wire)));
+    }
+  }
+  schedule_send(node);
+}
+
+void OnionRoutingSim::on_receive(std::uint32_t node, const sim::Payload& msg) {
+  if (config_.full_crypto) {
+    const auto opened = crypto_->open(keys_[node], *msg);
+    if (!opened) return;  // malformed: drop
+    BinaryReader r(*opened);
+    // A relay layer starts with a next-hop id + inner blob; the payload for
+    // the destination is raw random bytes, so decoding fails there.
+    try {
+      const std::uint32_t next = r.u32();
+      Bytes inner = r.blob();
+      r.expect_done();
+      if (next < config_.num_nodes) {
+        net_->send(node, next, sim::make_payload(std::move(inner)));
+        return;
+      }
+    } catch (const DecodeError&) {
+      // fall through: this node is the destination
+    }
+    meter_.record(sim_.now(), config_.msg_bytes);
+  } else {
+    const std::uint64_t id = read_msg_id(*msg);
+    const auto it = routes_.find(id);
+    if (it == routes_.end()) return;
+    if (it->second.empty()) {
+      routes_.erase(it);
+      meter_.record(sim_.now(), config_.msg_bytes);
+      return;
+    }
+    const std::uint32_t next = it->second.front();
+    it->second.erase(it->second.begin());
+    net_->send(node, next, msg);
+  }
+}
+
+double OnionRoutingSim::avg_node_goodput_bps(SimTime from, SimTime to) const {
+  return meter_.bits_per_second(from, to) /
+         static_cast<double>(config_.num_nodes);
+}
+
+}  // namespace rac::baselines

@@ -1,0 +1,66 @@
+// Plain onion routing baseline (Sec. II-B / the 200 Mb/s reference point of
+// Sec. VI-C): no broadcast, no freerider resilience — each message travels
+// sender -> relay_1 -> ... -> relay_L, the last relay being the exit that
+// hands the payload to the destination.
+//
+// With full_crypto the onion is built with real sealed-box layers
+// ({next-hop, inner} per layer) and peeled at every relay; otherwise the
+// route is tracked driver-side and size-equivalent buffers travel.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "crypto/provider.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace rac::baselines {
+
+struct OnionRoutingConfig {
+  std::uint32_t num_nodes = 50;
+  unsigned path_length = 5;  // L: relays per path
+  std::size_t msg_bytes = 10'000;
+  bool full_crypto = false;
+  sim::NetworkConfig network;
+  std::uint64_t seed = 1;
+};
+
+class OnionRoutingSim {
+ public:
+  explicit OnionRoutingSim(OnionRoutingConfig config);
+
+  /// Every node streams messages to a fixed random destination at
+  /// saturation (same workload as Sec. VI-C).
+  void start();
+  void run_for(SimDuration d) { sim_.run_for(d); }
+
+  sim::Simulator& simulator() { return sim_; }
+  const sim::ThroughputMeter& meter() const { return meter_; }
+  double avg_node_goodput_bps(SimTime from, SimTime to) const;
+  std::uint64_t messages_delivered() const { return meter_.total_messages(); }
+
+ private:
+  void send_slot(std::uint32_t node);
+  void schedule_send(std::uint32_t node);
+  void on_receive(std::uint32_t node, const sim::Payload& msg);
+
+  OnionRoutingConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<sim::Network> net_;
+  std::unique_ptr<CryptoProvider> crypto_;
+  Rng rng_;
+  sim::ThroughputMeter meter_;
+
+  std::vector<KeyPair> keys_;              // full-crypto relay keys
+  std::vector<std::uint32_t> destination_; // fixed per sender
+  // Size-only mode: msg id -> remaining route (next hops, then dest).
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> routes_;
+  SimDuration msg_tx_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace rac::baselines

@@ -1,0 +1,44 @@
+// Byte-buffer utilities shared by every layer of the RAC codebase.
+//
+// The whole system moves opaque byte strings around (onions, padded
+// broadcast payloads, keys), so we standardise on a single `Bytes` alias
+// plus a handful of conversion helpers here rather than letting each module
+// pick its own buffer type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rac {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteView = std::span<const std::uint8_t>;
+
+/// Encode a byte string as lowercase hex.
+std::string to_hex(ByteView data);
+
+/// Decode a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Copy a UTF-8/ASCII string into a byte buffer.
+Bytes to_bytes(std::string_view s);
+
+/// Interpret a byte buffer as a string (lossless copy, no validation).
+std::string to_string(ByteView data);
+
+/// Constant-time equality for fixed-size secrets (MAC tags, key material).
+/// Returns false on length mismatch without early exit on content.
+bool ct_equal(ByteView a, ByteView b);
+
+/// XOR `src` into `dst` in place. Lengths must match.
+void xor_into(std::span<std::uint8_t> dst, ByteView src);
+
+/// Concatenate any number of byte views into a fresh buffer.
+Bytes concat(std::initializer_list<ByteView> parts);
+
+}  // namespace rac

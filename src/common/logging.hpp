@@ -1,0 +1,48 @@
+// Tiny leveled logger for simulator traces and examples.
+//
+// Not thread-aware by design: the DES kernel is single-threaded, and the
+// logger exists so examples can print protocol walkthroughs, not as an
+// observability stack.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace rac {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Process-wide minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit one line at the given level (used by the RAC_LOG macro).
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(LogLevel level) : level_(level) {}
+  ~LineBuilder() { log_line(level_, stream_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace rac
+
+/// Usage: RAC_LOG(kInfo) << "node " << id << " joined";
+#define RAC_LOG(level)                                        \
+  if (::rac::LogLevel::level < ::rac::log_level()) {          \
+  } else                                                      \
+    ::rac::detail::LineBuilder(::rac::LogLevel::level)

@@ -1,0 +1,148 @@
+#include "common/logprob.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rac {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+constexpr double kLn10 = 2.302585092994045684;
+}  // namespace
+
+LogProb LogProb::from_linear(double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("LogProb: probability outside [0,1]");
+  }
+  if (p == 0.0) return LogProb(kNegInf);
+  return LogProb(std::log10(p));
+}
+
+LogProb LogProb::from_log10(double log10_p) {
+  if (log10_p > 0.0) {
+    // Tolerate tiny positive rounding noise, reject real violations.
+    if (log10_p < 1e-12) {
+      log10_p = 0.0;
+    } else {
+      throw std::invalid_argument("LogProb: log10 > 0 (p > 1)");
+    }
+  }
+  return LogProb(log10_p);
+}
+
+LogProb LogProb::zero() { return LogProb(kNegInf); }
+LogProb LogProb::one() { return LogProb(0.0); }
+
+double LogProb::linear() const {
+  return is_zero() ? 0.0 : std::pow(10.0, log10_);
+}
+
+bool LogProb::is_zero() const { return std::isinf(log10_); }
+bool LogProb::is_one() const { return log10_ == 0.0; }
+
+LogProb LogProb::operator*(LogProb other) const {
+  if (is_zero() || other.is_zero()) return zero();
+  return LogProb(log10_ + other.log10_);
+}
+
+LogProb& LogProb::operator*=(LogProb other) {
+  *this = *this * other;
+  return *this;
+}
+
+LogProb LogProb::operator/(LogProb other) const {
+  if (other.is_zero()) {
+    throw std::domain_error("LogProb: division by zero probability");
+  }
+  if (is_zero()) return zero();
+  const double l = log10_ - other.log10_;
+  assert(l <= 1e-9 && "LogProb division result exceeds 1");
+  return LogProb(l > 0.0 ? 0.0 : l);
+}
+
+LogProb LogProb::operator+(LogProb other) const {
+  if (is_zero()) return other;
+  if (other.is_zero()) return *this;
+  const double hi = std::max(log10_, other.log10_);
+  const double lo = std::min(log10_, other.log10_);
+  // log10(10^hi + 10^lo) = hi + log10(1 + 10^(lo-hi))
+  const double sum = hi + std::log1p(std::pow(10.0, lo - hi)) / kLn10;
+  return LogProb(sum > 0.0 ? 0.0 : sum);  // clamp to probability 1
+}
+
+LogProb& LogProb::operator+=(LogProb other) {
+  *this = *this + other;
+  return *this;
+}
+
+LogProb LogProb::complement() const {
+  if (is_zero()) return one();
+  if (is_one()) return zero();
+  // ln(1 - 10^l) = ln(-expm1(l * ln10)); stable both for l -> 0- and
+  // for very negative l.
+  const double ln_1mp = std::log(-std::expm1(log10_ * kLn10));
+  return LogProb(ln_1mp / kLn10);
+}
+
+LogProb LogProb::pow(std::uint64_t k) const {
+  if (k == 0) return one();
+  if (is_zero()) return zero();
+  return LogProb(log10_ * static_cast<double>(k));
+}
+
+std::string LogProb::to_scientific(int digits) const {
+  if (is_zero()) return "0";
+  if (is_one()) return "1";
+  const double exp_floor = std::floor(log10_);
+  int exponent = static_cast<int>(exp_floor);
+  double mantissa = std::pow(10.0, log10_ - exp_floor);
+  // Rounding the mantissa can push it to 10.0; renormalise.
+  const double scale = std::pow(10.0, digits - 1);
+  mantissa = std::round(mantissa * scale) / scale;
+  if (mantissa >= 10.0) {
+    mantissa /= 10.0;
+    exponent += 1;
+  }
+  char buf[64];
+  if (exponent >= -2 && exponent <= 0) {
+    // Render "0.53"-style for human-scale probabilities, as the paper does.
+    std::snprintf(buf, sizeof(buf), "%.*g", digits + 1,
+                  mantissa * std::pow(10.0, exponent));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.*fe%d", digits - 1, mantissa, exponent);
+  }
+  return buf;
+}
+
+double log10_binomial_coeff(std::uint64_t n, std::uint64_t k) {
+  if (k > n) throw std::invalid_argument("log10_binomial_coeff: k > n");
+  return (std::lgamma(static_cast<double>(n) + 1.0) -
+          std::lgamma(static_cast<double>(k) + 1.0) -
+          std::lgamma(static_cast<double>(n - k) + 1.0)) /
+         kLn10;
+}
+
+LogProb binomial_pmf(std::uint64_t n, std::uint64_t k, double p) {
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("binomial_pmf: p outside [0,1]");
+  }
+  if (k > n) return LogProb::zero();
+  if (p == 0.0) return k == 0 ? LogProb::one() : LogProb::zero();
+  if (p == 1.0) return k == n ? LogProb::one() : LogProb::zero();
+  const double l = log10_binomial_coeff(n, k) +
+                   static_cast<double>(k) * std::log10(p) +
+                   static_cast<double>(n - k) * std::log10(1.0 - p);
+  return LogProb::from_log10(std::min(l, 0.0));
+}
+
+LogProb binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p) {
+  if (k == 0) return LogProb::one();
+  if (k > n) return LogProb::zero();
+  LogProb acc = LogProb::zero();
+  for (std::uint64_t i = k; i <= n; ++i) acc += binomial_pmf(n, i, p);
+  return acc;
+}
+
+}  // namespace rac

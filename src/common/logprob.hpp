@@ -1,0 +1,74 @@
+// Log-domain probability arithmetic.
+//
+// Table I of the RAC paper reports probabilities as small as 5.8e-1020,
+// far below DBL_MIN (~2.2e-308). `LogProb` stores log10(p) so the Section V
+// formulas can be evaluated exactly as written without underflow, and be
+// printed back in the paper's scientific notation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace rac {
+
+/// A probability in [0, 1] stored as log10(p). Value-semantic.
+///
+/// Multiplication/division are exact in the log domain; addition uses
+/// log-sum-exp. Zero is representable (log10 = -inf).
+class LogProb {
+ public:
+  /// Constructs probability 1.
+  constexpr LogProb() = default;
+
+  /// From a linear-domain probability in [0, 1].
+  static LogProb from_linear(double p);
+  /// From an already-logged value log10(p), p in [0,1] (log10 <= 0).
+  static LogProb from_log10(double log10_p);
+  static LogProb zero();
+  static LogProb one();
+
+  double log10() const { return log10_; }
+  /// Linear value; underflows to 0.0 for log10 < ~-308 (by design — use
+  /// log10()/to_scientific() for tiny values).
+  double linear() const;
+
+  bool is_zero() const;
+  bool is_one() const;
+
+  LogProb operator*(LogProb other) const;
+  LogProb& operator*=(LogProb other);
+  /// Division: this must be <= other result stays a probability only if
+  /// this <= other; callers own that invariant (asserted in debug).
+  LogProb operator/(LogProb other) const;
+  /// Probability sum (log-sum-exp); clamped to 1.
+  LogProb operator+(LogProb other) const;
+  LogProb& operator+=(LogProb other);
+
+  /// 1 - p, computed stably for p near 0 and near 1.
+  LogProb complement() const;
+
+  /// p^k for integer k >= 0.
+  LogProb pow(std::uint64_t k) const;
+
+  auto operator<=>(const LogProb& other) const = default;
+
+  /// Render as the paper does: "5.8e-1020", "7.1e-11", "0.53", "0", "1".
+  /// `digits` = significant digits of the mantissa.
+  std::string to_scientific(int digits = 2) const;
+
+ private:
+  explicit constexpr LogProb(double l) : log10_(l) {}
+
+  double log10_ = 0.0;  // log10(1) = 0
+};
+
+/// log10 of the binomial coefficient C(n, k) via lgamma.
+double log10_binomial_coeff(std::uint64_t n, std::uint64_t k);
+
+/// P[X = k] for X ~ Binomial(n, p), computed in the log domain.
+LogProb binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X >= k] for X ~ Binomial(n, p), exact log-domain summation.
+LogProb binomial_tail_geq(std::uint64_t n, std::uint64_t k, double p);
+
+}  // namespace rac

@@ -1,0 +1,102 @@
+#include "common/serialize.hpp"
+
+namespace rac {
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void BinaryWriter::i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+void BinaryWriter::raw(ByteView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void BinaryWriter::blob(ByteView data) {
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void BinaryWriter::str(std::string_view s) {
+  blob(ByteView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void BinaryReader::need(std::size_t n) const {
+  if (remaining() < n) throw DecodeError("BinaryReader: truncated input");
+}
+
+std::uint8_t BinaryReader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t BinaryReader::u16() {
+  need(2);
+  std::uint16_t v = 0;
+  for (int i = 0; i < 2; ++i) {
+    v = static_cast<std::uint16_t>(v | (static_cast<std::uint16_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i)));
+  }
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+std::int64_t BinaryReader::i64() { return static_cast<std::int64_t>(u64()); }
+
+Bytes BinaryReader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+Bytes BinaryReader::blob() {
+  const std::uint32_t n = u32();
+  return raw(n);
+}
+
+std::string BinaryReader::str() {
+  const Bytes b = blob();
+  return std::string(b.begin(), b.end());
+}
+
+void BinaryReader::expect_done() const {
+  if (!done()) throw DecodeError("BinaryReader: trailing bytes");
+}
+
+}  // namespace rac

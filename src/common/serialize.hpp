@@ -1,0 +1,75 @@
+// Minimal deterministic binary serialization.
+//
+// All wire formats in the repo (onion layers, broadcast envelopes, DC-net
+// rounds) are encoded with these little-endian writer/reader primitives so
+// message sizes are stable across platforms and runs.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+/// Thrown by BinaryReader when the input is truncated or malformed.
+class DecodeError : public std::runtime_error {
+ public:
+  explicit DecodeError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Appends little-endian fields to an internal buffer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v);
+  /// Raw bytes, no length prefix.
+  void raw(ByteView data);
+  /// Length-prefixed (u32) byte string.
+  void blob(ByteView data);
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Consumes little-endian fields from a byte view. Throws DecodeError on
+/// underflow; callers treat that as a malformed message.
+class BinaryReader {
+ public:
+  explicit BinaryReader(ByteView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64();
+  /// Read exactly n raw bytes.
+  Bytes raw(std::size_t n);
+  /// Read a u32-length-prefixed byte string.
+  Bytes blob();
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  /// Require that the input was fully consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  ByteView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rac

@@ -1,0 +1,37 @@
+// Simulated-time types.
+//
+// Simulation time is an integer count of nanoseconds so that event ordering
+// is exact and runs are bit-reproducible (no floating-point drift in the
+// event queue). Helpers convert to/from seconds for rate math.
+#pragma once
+
+#include <cstdint>
+
+namespace rac {
+
+/// Simulated time in nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+/// A duration in simulated nanoseconds.
+using SimDuration = std::int64_t;
+
+constexpr SimDuration kNanosecond = 1;
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+constexpr SimDuration from_seconds(double s) {
+  return static_cast<SimDuration>(s * static_cast<double>(kSecond));
+}
+
+/// Time to serialize `bytes` onto a link of `bits_per_second` capacity.
+constexpr SimDuration transmission_delay(std::uint64_t bytes,
+                                         double bits_per_second) {
+  return from_seconds(static_cast<double>(bytes) * 8.0 / bits_per_second);
+}
+
+}  // namespace rac

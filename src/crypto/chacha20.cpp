@@ -1,0 +1,77 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rac {
+
+namespace {
+
+std::uint32_t load32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(ByteView key, ByteView nonce,
+                                            std::uint32_t counter) {
+  if (key.size() != kChaChaKeySize) {
+    throw std::invalid_argument("chacha20: key must be 32 bytes");
+  }
+  if (nonce.size() != kChaChaNonceSize) {
+    throw std::invalid_argument("chacha20: nonce must be 12 bytes");
+  }
+
+  std::array<std::uint32_t, 16> state = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      load32(&key[0]),  load32(&key[4]),  load32(&key[8]),  load32(&key[12]),
+      load32(&key[16]), load32(&key[20]), load32(&key[24]), load32(&key[28]),
+      counter, load32(&nonce[0]), load32(&nonce[4]), load32(&nonce[8])};
+
+  std::array<std::uint32_t, 16> working = state;
+  for (int i = 0; i < 10; ++i) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out;
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+void chacha20_xor(ByteView key, ByteView nonce, std::uint32_t initial_counter,
+                  std::span<std::uint8_t> data) {
+  std::uint32_t counter = initial_counter;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const auto block = chacha20_block(key, nonce, counter++);
+    const std::size_t take = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < take; ++i) data[offset + i] ^= block[i];
+    offset += take;
+  }
+}
+
+}  // namespace rac

@@ -1,0 +1,26 @@
+// ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+//
+// Together with Poly1305 it forms the AEAD used inside sealed boxes; it is
+// also used stand-alone to derive padding keystreams.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+constexpr std::size_t kChaChaKeySize = 32;
+constexpr std::size_t kChaChaNonceSize = 12;
+
+/// One ChaCha20 block (64 bytes) for the given key/nonce/counter.
+std::array<std::uint8_t, 64> chacha20_block(
+    ByteView key, ByteView nonce, std::uint32_t counter);
+
+/// XOR `data` in place with the ChaCha20 keystream starting at block
+/// `initial_counter` (encryption and decryption are the same operation).
+void chacha20_xor(ByteView key, ByteView nonce, std::uint32_t initial_counter,
+                  std::span<std::uint8_t> data);
+
+}  // namespace rac

@@ -1,0 +1,55 @@
+#include "crypto/hmac.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rac {
+
+Sha256::Digest hmac_sha256(ByteView key, ByteView message) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const auto kd = Sha256::hash(key);
+    std::memcpy(block.data(), kd.data(), kd.size());
+  } else {
+    std::memcpy(block.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad).update(message);
+  const auto inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad).update(inner_digest);
+  return outer.finalize();
+}
+
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info,
+                  std::size_t length) {
+  if (length > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_sha256: length too large");
+  }
+  const auto prk = hmac_sha256(salt, ikm);
+
+  Bytes out;
+  out.reserve(length);
+  Bytes t;  // T(0) = empty
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    Bytes input = t;
+    input.insert(input.end(), info.begin(), info.end());
+    input.push_back(counter++);
+    const auto block = hmac_sha256(prk, input);
+    t.assign(block.begin(), block.end());
+    const std::size_t take = std::min(t.size(), length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace rac

@@ -1,0 +1,19 @@
+// HMAC-SHA256 and HKDF (RFC 2104 / RFC 5869), built on our SHA-256.
+//
+// HKDF is the key-derivation step of the sealed-box construction: it turns
+// an X25519 shared secret plus the two public keys into a symmetric key.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rac {
+
+/// HMAC-SHA256(key, message).
+Sha256::Digest hmac_sha256(ByteView key, ByteView message);
+
+/// HKDF-Extract-then-Expand producing `length` bytes (length <= 255*32).
+Bytes hkdf_sha256(ByteView ikm, ByteView salt, ByteView info,
+                  std::size_t length);
+
+}  // namespace rac

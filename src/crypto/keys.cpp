@@ -1,0 +1,10 @@
+#include "crypto/keys.hpp"
+
+namespace rac {
+
+std::string PublicKey::fingerprint() const {
+  const std::size_t n = std::min<std::size_t>(4, data.size());
+  return to_hex(ByteView(data.data(), n));
+}
+
+}  // namespace rac

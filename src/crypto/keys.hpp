@@ -1,0 +1,40 @@
+// Key material types.
+//
+// RAC gives every node two independent key pairs (Sec. IV-C):
+//  - ID keys: linked to the node identity; relays are picked by their public
+//    ID key and onion layers are sealed to it.
+//  - Pseudonym keys: unlinkable to the identity; payloads are sealed to the
+//    destination's public pseudonym key.
+// Both are ordinary sealed-box key pairs; the distinction is purely in how
+// the protocol uses and publishes them.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+constexpr std::size_t kPublicKeySize = 32;
+constexpr std::size_t kPrivateKeySize = 32;
+
+struct PublicKey {
+  Bytes data;
+
+  auto operator<=>(const PublicKey&) const = default;
+  /// Short hex prefix for logs.
+  std::string fingerprint() const;
+};
+
+struct PrivateKey {
+  Bytes data;
+};
+
+struct KeyPair {
+  PublicKey pub;
+  PrivateKey priv;
+};
+
+}  // namespace rac

@@ -1,0 +1,50 @@
+// CryptoProvider backed entirely by this repo's primitives
+// (X25519 + ChaCha20-Poly1305 sealed boxes).
+#include <stdexcept>
+
+#include "crypto/provider.hpp"
+#include "crypto/sealed_box.hpp"
+#include "crypto/x25519.hpp"
+
+namespace rac {
+
+namespace {
+
+std::optional<Bytes> native_dh(ByteView scalar, ByteView point) {
+  X25519Key out;
+  if (!x25519(out, scalar, point)) return std::nullopt;
+  return Bytes(out.begin(), out.end());
+}
+
+class NativeProvider final : public CryptoProvider {
+ public:
+  KeyPair generate_keypair(Rng& rng) const override {
+    const Bytes seed = rng.bytes(kX25519KeySize);
+    const X25519Key priv = x25519_clamp(seed);
+    const X25519Key pub = x25519_base(ByteView(priv.data(), priv.size()));
+    return KeyPair{PublicKey{Bytes(pub.begin(), pub.end())},
+                   PrivateKey{Bytes(priv.begin(), priv.end())}};
+  }
+
+  Bytes seal(const PublicKey& to, ByteView plaintext,
+             Rng& rng) const override {
+    const KeyPair eph = generate_keypair(rng);
+    return sealed_box_seal(native_dh, to, eph.pub.data, eph.priv.data,
+                           plaintext);
+  }
+
+  std::optional<Bytes> open(const KeyPair& kp, ByteView box) const override {
+    return sealed_box_open(native_dh, kp, box);
+  }
+
+  std::size_t seal_overhead() const override { return kSealedBoxOverhead; }
+  std::string name() const override { return "native-x25519-chacha20poly1305"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoProvider> make_native_provider() {
+  return std::make_unique<NativeProvider>();
+}
+
+}  // namespace rac

@@ -1,0 +1,153 @@
+#include "crypto/onion.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace rac {
+
+namespace {
+
+constexpr std::uint32_t kLayerMagic = 0x3143'4152;  // "RAC1"
+constexpr std::uint8_t kFlagChannelMarker = 0x01;
+
+// Serialized layer header: magic (4) + flags (1) [+ channel (4)] + blob
+// length prefix (4).
+std::size_t layer_header_size(bool with_channel) {
+  return 4 + 1 + (with_channel ? 4 : 0) + 4;
+}
+
+Bytes encode_layer(ByteView inner, std::optional<std::uint32_t> channel) {
+  BinaryWriter w;
+  w.u32(kLayerMagic);
+  w.u8(channel ? kFlagChannelMarker : 0);
+  if (channel) w.u32(*channel);
+  w.blob(inner);
+  return w.take();
+}
+
+}  // namespace
+
+Bytes pad_cell(ByteView content, std::size_t cell_size, Rng& rng) {
+  const std::size_t needed = 4 + content.size();
+  if (needed > cell_size) {
+    throw std::invalid_argument("pad_cell: content exceeds cell size");
+  }
+  Bytes cell;
+  cell.reserve(cell_size);
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(content.size()));
+  w.raw(content);
+  cell = w.take();
+  const std::size_t filler = cell_size - cell.size();
+  const std::size_t old = cell.size();
+  cell.resize(cell_size);
+  rng.fill(std::span<std::uint8_t>(cell.data() + old, filler));
+  return cell;
+}
+
+Bytes unpad_cell(ByteView cell) {
+  BinaryReader r(cell);
+  const std::uint32_t len = r.u32();
+  if (len > r.remaining()) throw DecodeError("unpad_cell: bad length");
+  return r.raw(len);
+}
+
+Bytes make_noise_cell(std::size_t cell_size, Rng& rng) {
+  if (cell_size < 4) throw std::invalid_argument("make_noise_cell: tiny cell");
+  // Random plausible content length, random bytes. No key opens it, so
+  // receivers treat it exactly like an onion they are not part of.
+  const std::size_t max_content = cell_size - 4;
+  const std::size_t len = rng.next_below(max_content + 1);
+  const Bytes content = rng.bytes(len);
+  return pad_cell(content, cell_size, rng);
+}
+
+std::size_t onion_wire_size(std::size_t payload_size, std::size_t num_relays,
+                            const CryptoProvider& provider,
+                            bool with_channel_marker) {
+  // Innermost: payload box.
+  std::size_t size = payload_size + provider.seal_overhead();
+  for (std::size_t i = 0; i < num_relays; ++i) {
+    const bool channel = with_channel_marker && i == 0;  // innermost layer
+    size += layer_header_size(channel) + provider.seal_overhead();
+  }
+  return size;
+}
+
+BuiltOnion build_onion(const CryptoProvider& provider, Rng& rng,
+                       ByteView payload, const PublicKey& dest_pseudonym_pub,
+                       const std::vector<PublicKey>& relay_id_pubs,
+                       std::optional<std::uint32_t> channel_marker) {
+  if (relay_id_pubs.empty()) {
+    throw std::invalid_argument("build_onion: need at least one relay");
+  }
+
+  BuiltOnion out;
+  out.expected_broadcasts.resize(relay_id_pubs.size());
+
+  // Innermost content: the payload sealed to the destination pseudonym key.
+  Bytes content = provider.seal(dest_pseudonym_pub, payload, rng);
+  // The last relay broadcasts exactly this content (into the channel when a
+  // marker is present).
+  out.expected_broadcasts.back() = content_fingerprint(content);
+
+  // Wrap layers inside-out: last relay first.
+  for (std::size_t i = relay_id_pubs.size(); i-- > 0;) {
+    const bool is_last_relay = (i == relay_id_pubs.size() - 1);
+    const Bytes layer = encode_layer(
+        content, is_last_relay ? channel_marker : std::nullopt);
+    content = provider.seal(relay_id_pubs[i], layer, rng);
+    if (i > 0) {
+      // Relay i-1 peels its layer and broadcasts `content`'s inner — which
+      // is the box we just wrapped... careful: relay i-1 broadcasts the box
+      // sealed to relay i, i.e. the `content` from before this wrap. That
+      // fingerprint was recorded on the previous iteration for i ==
+      // last; for middle relays record it now:
+      out.expected_broadcasts[i - 1] = content_fingerprint(content);
+    }
+  }
+  // expected_broadcasts[j] must be what relay j broadcasts AFTER peeling:
+  // relay j peels the box sealed to it and broadcasts the inner box (sealed
+  // to relay j+1), or the payload box if j is last. The loop above recorded
+  // fingerprint(box sealed to relay i) into slot i-1, which is exactly
+  // "what relay i-1 broadcasts". Slot L-1 holds the payload box. Correct.
+
+  out.first_content = std::move(content);
+  return out;
+}
+
+PeelResult peel_content(const CryptoProvider& provider,
+                        const KeyPair& id_keys, const KeyPair& pseudonym_keys,
+                        ByteView content) {
+  PeelResult result;
+
+  if (auto layer = provider.open(id_keys, content)) {
+    BinaryReader r(*layer);
+    try {
+      if (r.u32() != kLayerMagic) return result;  // opened but not a layer
+      const std::uint8_t flags = r.u8();
+      if (flags & kFlagChannelMarker) result.channel = r.u32();
+      result.next_content = r.blob();
+      r.expect_done();
+    } catch (const DecodeError&) {
+      return PeelResult{};  // malformed layer: treat as not-for-me
+    }
+    result.kind = PeelResult::Kind::kRelay;
+    return result;
+  }
+
+  if (auto payload = provider.open(pseudonym_keys, content)) {
+    result.kind = PeelResult::Kind::kDelivered;
+    result.payload = std::move(*payload);
+    return result;
+  }
+
+  return result;  // kNotForMe
+}
+
+Sha256::Digest content_fingerprint(ByteView content) {
+  return Sha256::hash(content);
+}
+
+}  // namespace rac

@@ -1,0 +1,84 @@
+// Onion construction and peeling (Sec. IV-A / IV-C of the paper).
+//
+// A sender seals the application payload to the destination's public
+// *pseudonym* key, then wraps it in L layers sealed to the public *ID* keys
+// of randomly chosen relays. Each layer carries a magic flag (so a node
+// knows it deciphered successfully) and, on the innermost layer only, an
+// optional channel marker telling the last relay which channel (union of
+// two groups) to broadcast the payload into.
+//
+// Everything that travels on the wire is padded to a fixed cell size so
+// opponents cannot track messages by length (Sec. IV-C "Sending a
+// message").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/provider.hpp"
+#include "crypto/sha256.hpp"
+
+namespace rac {
+
+/// Pad `content` into a cell of exactly `cell_size` bytes
+/// (u32 length prefix + content + random filler).
+Bytes pad_cell(ByteView content, std::size_t cell_size, Rng& rng);
+
+/// Inverse of pad_cell. Throws DecodeError on malformed cells.
+Bytes unpad_cell(ByteView cell);
+
+/// A noise cell: correctly padded, uniformly random content that no key can
+/// open. Indistinguishable on the wire from a real onion cell.
+Bytes make_noise_cell(std::size_t cell_size, Rng& rng);
+
+/// Exact size of the outermost onion for a payload of `payload_size` routed
+/// through `num_relays` relays (before cell padding). Callers choose
+/// cell_size >= this.
+std::size_t onion_wire_size(std::size_t payload_size, std::size_t num_relays,
+                            const CryptoProvider& provider,
+                            bool with_channel_marker);
+
+struct BuiltOnion {
+  /// Unpadded outermost onion, ready for pad_cell + broadcast by the sender.
+  Bytes first_content;
+  /// SHA-256 of each successive content the sender expects to observe being
+  /// broadcast: expected[i] is what relay i (0-based) must broadcast after
+  /// peeling its layer. expected.back() is the payload box the last relay
+  /// broadcasts (into the channel if a marker was set). Used for
+  /// misbehaviour check #1.
+  std::vector<Sha256::Digest> expected_broadcasts;
+};
+
+/// Build an L-layer onion. `relay_id_pubs` are ordered first relay -> last
+/// relay. `channel_marker`, if set, is embedded in the last relay's layer.
+BuiltOnion build_onion(const CryptoProvider& provider, Rng& rng,
+                       ByteView payload, const PublicKey& dest_pseudonym_pub,
+                       const std::vector<PublicKey>& relay_id_pubs,
+                       std::optional<std::uint32_t> channel_marker);
+
+/// Outcome of a node inspecting an (unpadded) broadcast content.
+struct PeelResult {
+  enum class Kind {
+    kNotForMe,   // could not decipher with either key: forward only
+    kRelay,      // ID key opened a layer: rebroadcast next_content
+    kDelivered,  // pseudonym key opened the payload: deliver to application
+  };
+  Kind kind = Kind::kNotForMe;
+  Bytes next_content;                   // kRelay
+  std::optional<std::uint32_t> channel; // kRelay, innermost layer only
+  Bytes payload;                        // kDelivered
+};
+
+/// Try to peel `content` as a relay (ID keys) or recipient (pseudonym keys).
+PeelResult peel_content(const CryptoProvider& provider,
+                        const KeyPair& id_keys, const KeyPair& pseudonym_keys,
+                        ByteView content);
+
+/// Fingerprint used to match observed broadcasts against
+/// BuiltOnion::expected_broadcasts.
+Sha256::Digest content_fingerprint(ByteView content);
+
+}  // namespace rac

@@ -1,0 +1,99 @@
+// CryptoProvider whose asymmetric step (X25519 keygen + ECDH) runs through
+// OpenSSL EVP. The symmetric layer reuses the shared sealed-box code, so
+// boxes interoperate with the native provider — the test suite seals with
+// one and opens with the other to cross-validate our from-scratch X25519.
+#include <openssl/evp.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "crypto/provider.hpp"
+#include "crypto/sealed_box.hpp"
+#include "crypto/x25519.hpp"
+
+namespace rac {
+
+namespace {
+
+struct PkeyDeleter {
+  void operator()(EVP_PKEY* p) const { EVP_PKEY_free(p); }
+};
+struct CtxDeleter {
+  void operator()(EVP_PKEY_CTX* p) const { EVP_PKEY_CTX_free(p); }
+};
+using PkeyPtr = std::unique_ptr<EVP_PKEY, PkeyDeleter>;
+using CtxPtr = std::unique_ptr<EVP_PKEY_CTX, CtxDeleter>;
+
+PkeyPtr load_private(ByteView raw) {
+  PkeyPtr key(EVP_PKEY_new_raw_private_key(EVP_PKEY_X25519, nullptr,
+                                           raw.data(), raw.size()));
+  if (!key) throw std::runtime_error("openssl: load private key failed");
+  return key;
+}
+
+PkeyPtr load_public(ByteView raw) {
+  PkeyPtr key(EVP_PKEY_new_raw_public_key(EVP_PKEY_X25519, nullptr, raw.data(),
+                                          raw.size()));
+  if (!key) throw std::runtime_error("openssl: load public key failed");
+  return key;
+}
+
+std::optional<Bytes> openssl_dh(ByteView scalar, ByteView point) {
+  const PkeyPtr priv = load_private(scalar);
+  const PkeyPtr peer = load_public(point);
+  CtxPtr ctx(EVP_PKEY_CTX_new(priv.get(), nullptr));
+  if (!ctx || EVP_PKEY_derive_init(ctx.get()) <= 0 ||
+      EVP_PKEY_derive_set_peer(ctx.get(), peer.get()) <= 0) {
+    return std::nullopt;
+  }
+  std::size_t len = 0;
+  if (EVP_PKEY_derive(ctx.get(), nullptr, &len) <= 0) return std::nullopt;
+  Bytes shared(len);
+  if (EVP_PKEY_derive(ctx.get(), shared.data(), &len) <= 0) {
+    // OpenSSL rejects low-order results here, matching our native check.
+    return std::nullopt;
+  }
+  shared.resize(len);
+  return shared;
+}
+
+class OpenSslProvider final : public CryptoProvider {
+ public:
+  KeyPair generate_keypair(Rng& rng) const override {
+    // Deterministic from the simulation RNG: clamp a random seed and load
+    // it as a raw private key, deriving the public half via OpenSSL.
+    const Bytes seed = rng.bytes(kX25519KeySize);
+    const X25519Key clamped = x25519_clamp(seed);
+    const PkeyPtr priv =
+        load_private(ByteView(clamped.data(), clamped.size()));
+    std::size_t publen = kPublicKeySize;
+    Bytes pub(publen);
+    if (EVP_PKEY_get_raw_public_key(priv.get(), pub.data(), &publen) <= 0) {
+      throw std::runtime_error("openssl: get raw public key failed");
+    }
+    return KeyPair{PublicKey{std::move(pub)},
+                   PrivateKey{Bytes(clamped.begin(), clamped.end())}};
+  }
+
+  Bytes seal(const PublicKey& to, ByteView plaintext,
+             Rng& rng) const override {
+    const KeyPair eph = generate_keypair(rng);
+    return sealed_box_seal(openssl_dh, to, eph.pub.data, eph.priv.data,
+                           plaintext);
+  }
+
+  std::optional<Bytes> open(const KeyPair& kp, ByteView box) const override {
+    return sealed_box_open(openssl_dh, kp, box);
+  }
+
+  std::size_t seal_overhead() const override { return kSealedBoxOverhead; }
+  std::string name() const override { return "openssl-x25519-chacha20poly1305"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoProvider> make_openssl_provider() {
+  return std::make_unique<OpenSslProvider>();
+}
+
+}  // namespace rac

@@ -1,0 +1,177 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rac {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+u64 load64(const std::uint8_t* p) {
+  u64 v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+PolyTag poly1305(ByteView key, ByteView message) {
+  if (key.size() != kPolyKeySize) {
+    throw std::invalid_argument("poly1305: key must be 32 bytes");
+  }
+
+  // r with required bits cleared (clamping), split into 44/44/42-bit limbs
+  // would be fancier; a simple 2x64 + carry via __int128 on 5x26 limbs is
+  // clearer. We use the classic 5x26-bit limb representation.
+  std::uint32_t r[5], h[5] = {0, 0, 0, 0, 0};
+  {
+    const u64 t0 = load64(&key[0]);
+    const u64 t1 = load64(&key[8]);
+    r[0] = static_cast<std::uint32_t>(t0) & 0x3ffffff;
+    r[1] = static_cast<std::uint32_t>(t0 >> 26) & 0x3ffff03;
+    r[2] = static_cast<std::uint32_t>(t0 >> 52 | t1 << 12) & 0x3ffc0ff;
+    r[3] = static_cast<std::uint32_t>(t1 >> 14) & 0x3f03fff;
+    r[4] = static_cast<std::uint32_t>(t1 >> 40) & 0x00fffff;
+  }
+  const std::uint32_t s1 = r[1] * 5, s2 = r[2] * 5, s3 = r[3] * 5,
+                      s4 = r[4] * 5;
+
+  std::size_t offset = 0;
+  while (offset < message.size()) {
+    std::uint8_t block[17] = {0};
+    const std::size_t take =
+        std::min<std::size_t>(16, message.size() - offset);
+    std::memcpy(block, message.data() + offset, take);
+    block[take] = 1;  // append the 2^(8*take) bit
+    offset += take;
+
+    const u64 t0 = load64(&block[0]);
+    const u64 t1 = load64(&block[8]);
+    h[0] += static_cast<std::uint32_t>(t0) & 0x3ffffff;
+    h[1] += static_cast<std::uint32_t>(t0 >> 26) & 0x3ffffff;
+    h[2] += static_cast<std::uint32_t>(t0 >> 52 | t1 << 12) & 0x3ffffff;
+    h[3] += static_cast<std::uint32_t>(t1 >> 14) & 0x3ffffff;
+    h[4] += static_cast<std::uint32_t>(t1 >> 40) |
+            (static_cast<std::uint32_t>(block[16]) << 24);
+
+    // h *= r (mod 2^130 - 5)
+    u128 d0 = static_cast<u128>(h[0]) * r[0] + static_cast<u128>(h[1]) * s4 +
+              static_cast<u128>(h[2]) * s3 + static_cast<u128>(h[3]) * s2 +
+              static_cast<u128>(h[4]) * s1;
+    u128 d1 = static_cast<u128>(h[0]) * r[1] + static_cast<u128>(h[1]) * r[0] +
+              static_cast<u128>(h[2]) * s4 + static_cast<u128>(h[3]) * s3 +
+              static_cast<u128>(h[4]) * s2;
+    u128 d2 = static_cast<u128>(h[0]) * r[2] + static_cast<u128>(h[1]) * r[1] +
+              static_cast<u128>(h[2]) * r[0] + static_cast<u128>(h[3]) * s4 +
+              static_cast<u128>(h[4]) * s3;
+    u128 d3 = static_cast<u128>(h[0]) * r[3] + static_cast<u128>(h[1]) * r[2] +
+              static_cast<u128>(h[2]) * r[1] + static_cast<u128>(h[3]) * r[0] +
+              static_cast<u128>(h[4]) * s4;
+    u128 d4 = static_cast<u128>(h[0]) * r[4] + static_cast<u128>(h[1]) * r[3] +
+              static_cast<u128>(h[2]) * r[2] + static_cast<u128>(h[3]) * r[1] +
+              static_cast<u128>(h[4]) * r[0];
+
+    u64 carry = static_cast<u64>(d0 >> 26);
+    h[0] = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += carry;
+    carry = static_cast<u64>(d1 >> 26);
+    h[1] = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += carry;
+    carry = static_cast<u64>(d2 >> 26);
+    h[2] = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += carry;
+    carry = static_cast<u64>(d3 >> 26);
+    h[3] = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += carry;
+    carry = static_cast<u64>(d4 >> 26);
+    h[4] = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h[0] += static_cast<std::uint32_t>(carry * 5);
+    h[1] += h[0] >> 26;
+    h[0] &= 0x3ffffff;
+  }
+
+  // Full carry propagation.
+  std::uint32_t carry = h[1] >> 26;
+  h[1] &= 0x3ffffff;
+  h[2] += carry;
+  carry = h[2] >> 26;
+  h[2] &= 0x3ffffff;
+  h[3] += carry;
+  carry = h[3] >> 26;
+  h[3] &= 0x3ffffff;
+  h[4] += carry;
+  carry = h[4] >> 26;
+  h[4] &= 0x3ffffff;
+  h[0] += carry * 5;
+  carry = h[0] >> 26;
+  h[0] &= 0x3ffffff;
+  h[1] += carry;
+
+  // Compute h + -p and select.
+  std::uint32_t g[5];
+  g[0] = h[0] + 5;
+  carry = g[0] >> 26;
+  g[0] &= 0x3ffffff;
+  g[1] = h[1] + carry;
+  carry = g[1] >> 26;
+  g[1] &= 0x3ffffff;
+  g[2] = h[2] + carry;
+  carry = g[2] >> 26;
+  g[2] &= 0x3ffffff;
+  g[3] = h[3] + carry;
+  carry = g[3] >> 26;
+  g[3] &= 0x3ffffff;
+  g[4] = h[4] + carry - (1u << 26);
+
+  const std::uint32_t mask = (g[4] >> 31) - 1;  // all-ones if g >= p
+  for (int i = 0; i < 5; ++i) {
+    h[static_cast<std::size_t>(i)] = (h[static_cast<std::size_t>(i)] & ~mask) |
+                                     (g[static_cast<std::size_t>(i)] & mask);
+  }
+
+  // h = h % 2^128, then add s = key[16..32).
+  u64 f0 = (static_cast<u64>(h[0]) | (static_cast<u64>(h[1]) << 26) |
+            (static_cast<u64>(h[2]) << 52));
+  u64 f1 = ((static_cast<u64>(h[2]) >> 12) | (static_cast<u64>(h[3]) << 14) |
+            (static_cast<u64>(h[4]) << 40));
+
+  const u64 s_lo = load64(&key[16]);
+  const u64 s_hi = load64(&key[24]);
+  u128 acc = static_cast<u128>(f0) + s_lo;
+  f0 = static_cast<u64>(acc);
+  acc = static_cast<u128>(f1) + s_hi + static_cast<u64>(acc >> 64);
+  f1 = static_cast<u64>(acc);
+
+  PolyTag tag;
+  for (int i = 0; i < 8; ++i) {
+    tag[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(f0 >> (8 * i));
+    tag[static_cast<std::size_t>(i) + 8] =
+        static_cast<std::uint8_t>(f1 >> (8 * i));
+  }
+  return tag;
+}
+
+PolyTag poly1305_aead_tag(ByteView one_time_key, ByteView aad,
+                          ByteView ciphertext) {
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  auto pad16 = [&mac_data]() {
+    while (mac_data.size() % 16 != 0) mac_data.push_back(0);
+  };
+  mac_data.insert(mac_data.end(), aad.begin(), aad.end());
+  pad16();
+  mac_data.insert(mac_data.end(), ciphertext.begin(), ciphertext.end());
+  pad16();
+  for (int part = 0; part < 2; ++part) {
+    const std::uint64_t len = part == 0 ? aad.size() : ciphertext.size();
+    for (int i = 0; i < 8; ++i) {
+      mac_data.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    }
+  }
+  return poly1305(one_time_key, mac_data);
+}
+
+}  // namespace rac

@@ -1,0 +1,24 @@
+// Poly1305 one-time authenticator (RFC 8439), implemented from scratch.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+constexpr std::size_t kPolyKeySize = 32;
+constexpr std::size_t kPolyTagSize = 16;
+
+using PolyTag = std::array<std::uint8_t, kPolyTagSize>;
+
+/// Compute the Poly1305 tag of `message` under a 32-byte one-time key.
+PolyTag poly1305(ByteView key, ByteView message);
+
+/// AEAD-style tag over ciphertext + AAD with length framing, as in
+/// RFC 8439 section 2.8 (used by the sealed-box construction).
+PolyTag poly1305_aead_tag(ByteView one_time_key, ByteView aad,
+                          ByteView ciphertext);
+
+}  // namespace rac

@@ -1,0 +1,57 @@
+// CryptoProvider: the single crypto abstraction the protocol layers see.
+//
+// Semantics are those of an anonymous sealed box (think libsodium
+// crypto_box_seal): anyone holding a public key can seal; only the matching
+// private key opens; opening with any other key fails cleanly. RAC's onion
+// layers, payload encryption, and "can I decipher this?" relay checks are
+// all expressed through this interface, which lets the simulator swap real
+// crypto (X25519 + ChaCha20-Poly1305) for a fast structural stand-in at
+// 100.000-node scale without touching protocol code.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/keys.hpp"
+
+namespace rac {
+
+class CryptoProvider {
+ public:
+  virtual ~CryptoProvider() = default;
+
+  /// Generate a fresh key pair from the given deterministic RNG.
+  virtual KeyPair generate_keypair(Rng& rng) const = 0;
+
+  /// Seal `plaintext` to the holder of `to`. Non-deterministic (uses rng
+  /// for the ephemeral key / nonce).
+  virtual Bytes seal(const PublicKey& to, ByteView plaintext,
+                     Rng& rng) const = 0;
+
+  /// Try to open a sealed box. Returns nullopt when the box was not sealed
+  /// to this key pair or has been tampered with.
+  virtual std::optional<Bytes> open(const KeyPair& kp,
+                                    ByteView box) const = 0;
+
+  /// Fixed size delta: box.size() == plaintext.size() + seal_overhead().
+  virtual std::size_t seal_overhead() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// X25519 + ChaCha20-Poly1305 with all primitives from this repo.
+std::unique_ptr<CryptoProvider> make_native_provider();
+
+/// Same box format, but key generation and ECDH go through OpenSSL EVP.
+/// Interoperable with the native provider (boxes sealed by one open with
+/// the other).
+std::unique_ptr<CryptoProvider> make_openssl_provider();
+
+/// Structurally identical, cryptographically worthless fast provider for
+/// large-scale simulations: same sizes, same success/failure behaviour.
+std::unique_ptr<CryptoProvider> make_sim_provider();
+
+}  // namespace rac

@@ -1,0 +1,78 @@
+#include "crypto/puzzle.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace rac {
+
+namespace {
+
+constexpr char kDomainF[] = "rac-puzzle-f";
+constexpr char kDomainG[] = "rac-puzzle-g";
+
+ByteView domain(const char* d, std::size_t n) {
+  return ByteView(reinterpret_cast<const std::uint8_t*>(d), n);
+}
+
+std::uint64_t low_bits_mask(unsigned bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+}  // namespace
+
+std::uint64_t puzzle_f(ByteView x) {
+  const auto d =
+      Sha256::hash_parts({domain(kDomainF, sizeof(kDomainF) - 1), x});
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t puzzle_g(ByteView pubkey, ByteView y) {
+  const auto d = Sha256::hash_parts(
+      {domain(kDomainG, sizeof(kDomainG) - 1), pubkey, y});
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+PuzzleSolution solve_puzzle(ByteView pubkey, unsigned mk_bits, Rng& rng) {
+  if (mk_bits > 30) {
+    throw std::invalid_argument("solve_puzzle: mk_bits too large for a sim");
+  }
+  const std::uint64_t mask = low_bits_mask(mk_bits);
+  const std::uint64_t target = puzzle_f(pubkey) & mask;
+
+  PuzzleSolution sol;
+  for (;;) {
+    sol.attempts++;
+    Bytes y = rng.bytes(16);
+    if ((puzzle_f(y) & mask) == target &&
+        !(y.size() == pubkey.size() && ct_equal(y, pubkey))) {
+      sol.node_ident = puzzle_g(pubkey, y);
+      sol.y = std::move(y);
+      return sol;
+    }
+  }
+}
+
+bool verify_puzzle(ByteView pubkey, ByteView y, unsigned mk_bits) {
+  if (y.size() == pubkey.size() && ct_equal(y, pubkey)) return false;
+  const std::uint64_t mask = low_bits_mask(mk_bits);
+  return (puzzle_f(pubkey) & mask) == (puzzle_f(y) & mask);
+}
+
+std::uint32_t group_of_ident(std::uint64_t node_ident,
+                             std::uint32_t num_groups) {
+  if (num_groups == 0) {
+    throw std::invalid_argument("group_of_ident: num_groups == 0");
+  }
+  return static_cast<std::uint32_t>(node_ident % num_groups);
+}
+
+}  // namespace rac

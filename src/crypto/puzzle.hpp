@@ -1,0 +1,46 @@
+// Herbivore-style join puzzle (Sec. IV-C "Joining the system").
+//
+// A joining node with ID public key K must find a vector y != K such that
+// the least-significant mk bits of f(K) equal those of f(y); its node
+// identifier is then g(K, y). Because f and g are one-way, a node cannot
+// steer itself into a chosen group: the identifier (and hence the group,
+// identifier mod num_groups) is effectively random, which underpins the
+// sender-anonymity argument for RAC-1000 (an opponent cannot concentrate
+// nodes in a victim's group).
+//
+// f(x) = SHA-256("rac-puzzle-f" || x), g(K,y) = SHA-256("rac-puzzle-g" ||
+// K || y); identifiers are the 64-bit truncation of g.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace rac {
+
+struct PuzzleSolution {
+  Bytes y;                   // the found vector
+  std::uint64_t node_ident = 0;  // g(K, y) truncated to 64 bits
+  std::uint64_t attempts = 0;    // work performed (for cost accounting)
+};
+
+/// f(x) truncated to 64 bits (exposed for tests).
+std::uint64_t puzzle_f(ByteView x);
+
+/// g(K, y) truncated to 64 bits — the node identifier.
+std::uint64_t puzzle_g(ByteView pubkey, ByteView y);
+
+/// Solve the puzzle for difficulty `mk_bits` (expected 2^mk_bits attempts).
+/// mk_bits must be <= 30 to keep simulations bounded.
+PuzzleSolution solve_puzzle(ByteView pubkey, unsigned mk_bits, Rng& rng);
+
+/// Verify a claimed solution (run by every group member on a JOIN request).
+bool verify_puzzle(ByteView pubkey, ByteView y, unsigned mk_bits);
+
+/// Deterministic group assignment from a node identifier.
+std::uint32_t group_of_ident(std::uint64_t node_ident,
+                             std::uint32_t num_groups);
+
+}  // namespace rac

@@ -1,0 +1,80 @@
+#include "crypto/sealed_box.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace rac {
+
+namespace {
+
+constexpr char kSalt[] = "rac-box-v1";
+
+Bytes derive_key(ByteView shared, ByteView eph_pub, ByteView recipient_pub) {
+  const Bytes info = concat({eph_pub, recipient_pub});
+  return hkdf_sha256(shared,
+                     ByteView(reinterpret_cast<const std::uint8_t*>(kSalt),
+                              sizeof(kSalt) - 1),
+                     info, kChaChaKeySize);
+}
+
+Bytes poly_one_time_key(ByteView key, ByteView nonce) {
+  const auto block0 = chacha20_block(key, nonce, 0);
+  return Bytes(block0.begin(), block0.begin() + kPolyKeySize);
+}
+
+}  // namespace
+
+Bytes sealed_box_seal(const DhFn& dh, const PublicKey& recipient,
+                      ByteView eph_pub, ByteView eph_priv,
+                      ByteView plaintext) {
+  const auto shared = dh(eph_priv, recipient.data);
+  if (!shared) {
+    // Recipient key is a low-order point; treat as programmer error — keys
+    // in this system are always honestly generated through the provider.
+    throw std::invalid_argument("sealed_box_seal: degenerate recipient key");
+  }
+  const Bytes key = derive_key(*shared, eph_pub, recipient.data);
+  const std::array<std::uint8_t, kChaChaNonceSize> nonce{};
+
+  Bytes box;
+  box.reserve(kSealedBoxOverhead + plaintext.size());
+  box.insert(box.end(), eph_pub.begin(), eph_pub.end());
+  box.insert(box.end(), plaintext.begin(), plaintext.end());
+  std::span<std::uint8_t> ct(box.data() + kPublicKeySize, plaintext.size());
+  chacha20_xor(key, nonce, 1, ct);
+
+  const auto tag = poly1305_aead_tag(poly_one_time_key(key, nonce), eph_pub,
+                                     ByteView(ct.data(), ct.size()));
+  box.insert(box.end(), tag.begin(), tag.end());
+  return box;
+}
+
+std::optional<Bytes> sealed_box_open(const DhFn& dh, const KeyPair& kp,
+                                     ByteView box) {
+  if (box.size() < kSealedBoxOverhead) return std::nullopt;
+  const ByteView eph_pub = box.subspan(0, kPublicKeySize);
+  const ByteView ct =
+      box.subspan(kPublicKeySize, box.size() - kSealedBoxOverhead);
+  const ByteView tag = box.subspan(box.size() - kPolyTagSize);
+
+  const auto shared = dh(kp.priv.data, eph_pub);
+  if (!shared) return std::nullopt;
+  const Bytes key = derive_key(*shared, eph_pub, kp.pub.data);
+  const std::array<std::uint8_t, kChaChaNonceSize> nonce{};
+
+  const auto expected =
+      poly1305_aead_tag(poly_one_time_key(key, nonce), eph_pub, ct);
+  if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+    return std::nullopt;
+  }
+
+  Bytes plaintext(ct.begin(), ct.end());
+  chacha20_xor(key, nonce, 1, plaintext);
+  return plaintext;
+}
+
+}  // namespace rac

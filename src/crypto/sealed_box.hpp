@@ -1,0 +1,38 @@
+// Shared sealed-box construction for the X25519-based providers.
+//
+// Box layout: ephemeral_pub (32) || ciphertext (|pt|) || poly1305 tag (16).
+// Key schedule: k = HKDF-SHA256(ikm = X25519(eph_priv, recipient_pub),
+//                               salt = "rac-box-v1",
+//                               info = eph_pub || recipient_pub, 32 bytes).
+// Nonce is all-zero: k is unique per box because the ephemeral key is.
+// AEAD per RFC 8439 (poly key = first half of keystream block 0, data
+// encrypted from block 1, AAD = eph_pub).
+//
+// The DH step is pluggable so the native and OpenSSL providers produce
+// interoperable boxes while exercising different X25519 implementations.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/keys.hpp"
+
+namespace rac {
+
+constexpr std::size_t kSealedBoxOverhead = 32 + 16;
+
+/// dh(scalar, point) -> 32-byte shared secret, or nullopt for a low-order
+/// result that must be rejected.
+using DhFn =
+    std::function<std::optional<Bytes>(ByteView scalar, ByteView point)>;
+
+/// Seal plaintext to `recipient` given a pre-generated ephemeral key pair.
+Bytes sealed_box_seal(const DhFn& dh, const PublicKey& recipient,
+                      ByteView eph_pub, ByteView eph_priv, ByteView plaintext);
+
+/// Open a box with the recipient key pair; nullopt on any failure.
+std::optional<Bytes> sealed_box_open(const DhFn& dh, const KeyPair& kp,
+                                     ByteView box);
+
+}  // namespace rac

@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for ring positions, onion-layer fingerprints, the Herbivore-style
+// join puzzle, and as the compression function behind HMAC/HKDF. The
+// streaming interface allows hashing without concatenating inputs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  Sha256& update(ByteView data);
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(ByteView data);
+  /// One-shot over the concatenation of several views.
+  static Digest hash_parts(std::initializer_list<ByteView> parts);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// First 8 bytes of SHA-256(data) as a little-endian u64 — the repo's
+/// standard way of deriving ring positions and other hash-based ordinals.
+std::uint64_t sha256_trunc64(ByteView data);
+
+}  // namespace rac

@@ -1,0 +1,132 @@
+// Fast structural stand-in for the sealed box, used by large-scale
+// simulations (Sec. VI runs up to 100.000 nodes).
+//
+// NOT cryptography. It preserves exactly the properties the protocol logic
+// depends on — identical box sizes (kSealedBoxOverhead), only the matching
+// key pair opens, tampering is detected, wrong-key open fails — while
+// replacing elliptic-curve math with 64-bit mixing. Throughput results are
+// unaffected because the paper's evaluation is bandwidth-bound (ideal
+// 1 Gb/s network, fixed 10 kB messages), not CPU-bound.
+#include <cstring>
+
+#include "crypto/provider.hpp"
+#include "crypto/sealed_box.hpp"
+
+namespace rac {
+
+namespace {
+
+std::uint64_t load_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+void store_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+// Key layout (32 bytes): key_id (8) || stream_seed (8) || zero padding (16).
+// Public and private halves carry the same material; "private" possession
+// is modelled by the protocol only handing the KeyPair to its owner.
+constexpr std::size_t kIdOffset = 0;
+constexpr std::size_t kSeedOffset = 8;
+
+// Box layout mirrors the real one: header (32) || ct || tag (16), where the
+// header holds key_id (8) || nonce (8) || zeros (16).
+void xor_stream(std::span<std::uint8_t> data, std::uint64_t seed) {
+  std::uint64_t state = seed;
+  std::size_t i = 0;
+  while (i < data.size()) {
+    const std::uint64_t ks = splitmix64(state);
+    const std::size_t take = std::min<std::size_t>(8, data.size() - i);
+    for (std::size_t b = 0; b < take; ++b) {
+      data[i + b] ^= static_cast<std::uint8_t>(ks >> (8 * b));
+    }
+    i += take;
+  }
+}
+
+std::array<std::uint8_t, 16> cheap_tag(std::uint64_t seed, ByteView ct) {
+  std::uint64_t h1 = seed ^ 0x9E3779B97F4A7C15ULL;
+  std::uint64_t h2 = ~seed;
+  std::size_t i = 0;
+  while (i < ct.size()) {
+    std::uint64_t chunk = 0;
+    const std::size_t take = std::min<std::size_t>(8, ct.size() - i);
+    for (std::size_t b = 0; b < take; ++b) {
+      chunk |= static_cast<std::uint64_t>(ct[i + b]) << (8 * b);
+    }
+    h1 = splitmix64(h1 ^= chunk);
+    h2 += h1 ^ (chunk * 0xff51afd7ed558ccdULL);
+    i += take;
+  }
+  h2 = splitmix64(h2 ^= ct.size());
+  std::array<std::uint8_t, 16> tag;
+  store_u64(tag.data(), h1);
+  store_u64(tag.data() + 8, h2);
+  return tag;
+}
+
+class SimProvider final : public CryptoProvider {
+ public:
+  KeyPair generate_keypair(Rng& rng) const override {
+    Bytes material(kPublicKeySize, 0);
+    store_u64(material.data() + kIdOffset, rng.next());
+    store_u64(material.data() + kSeedOffset, rng.next());
+    return KeyPair{PublicKey{material}, PrivateKey{material}};
+  }
+
+  Bytes seal(const PublicKey& to, ByteView plaintext,
+             Rng& rng) const override {
+    const std::uint64_t key_id = load_u64(to.data.data() + kIdOffset);
+    const std::uint64_t key_seed = load_u64(to.data.data() + kSeedOffset);
+    const std::uint64_t nonce = rng.next();
+
+    Bytes box(kSealedBoxOverhead + plaintext.size(), 0);
+    store_u64(box.data(), key_id);
+    store_u64(box.data() + 8, nonce);
+    std::memcpy(box.data() + kPublicKeySize, plaintext.data(),
+                plaintext.size());
+    std::span<std::uint8_t> ct(box.data() + kPublicKeySize, plaintext.size());
+    const std::uint64_t stream_seed = key_seed ^ (nonce * 0xD6E8FEB86659FD93ULL);
+    xor_stream(ct, stream_seed);
+    const auto tag = cheap_tag(stream_seed, ByteView(ct.data(), ct.size()));
+    std::memcpy(box.data() + kPublicKeySize + ct.size(), tag.data(),
+                tag.size());
+    return box;
+  }
+
+  std::optional<Bytes> open(const KeyPair& kp, ByteView box) const override {
+    if (box.size() < kSealedBoxOverhead) return std::nullopt;
+    const std::uint64_t my_id = load_u64(kp.priv.data.data() + kIdOffset);
+    if (load_u64(box.data()) != my_id) return std::nullopt;
+
+    const std::uint64_t key_seed = load_u64(kp.priv.data.data() + kSeedOffset);
+    const std::uint64_t nonce = load_u64(box.data() + 8);
+    const std::uint64_t stream_seed = key_seed ^ (nonce * 0xD6E8FEB86659FD93ULL);
+
+    const ByteView ct =
+        box.subspan(kPublicKeySize, box.size() - kSealedBoxOverhead);
+    const ByteView tag = box.subspan(box.size() - 16);
+    const auto expected = cheap_tag(stream_seed, ct);
+    if (!ct_equal(ByteView(expected.data(), expected.size()), tag)) {
+      return std::nullopt;
+    }
+
+    Bytes plaintext(ct.begin(), ct.end());
+    xor_stream(plaintext, stream_seed);
+    return plaintext;
+  }
+
+  std::size_t seal_overhead() const override { return kSealedBoxOverhead; }
+  std::string name() const override { return "sim-fast-insecure"; }
+};
+
+}  // namespace
+
+std::unique_ptr<CryptoProvider> make_sim_provider() {
+  return std::make_unique<SimProvider>();
+}
+
+}  // namespace rac

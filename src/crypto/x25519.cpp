@@ -1,0 +1,256 @@
+#include "crypto/x25519.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace rac {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// Field element in GF(2^255 - 19), 5 limbs of 51 bits.
+struct Fe {
+  u64 v[5];
+};
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+Fe fe_zero() { return {{0, 0, 0, 0, 0}}; }
+Fe fe_one() { return {{1, 0, 0, 0, 0}}; }
+
+Fe fe_from_bytes(const std::uint8_t* s) {
+  auto load64le = [](const std::uint8_t* p) {
+    u64 v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<u64>(p[i]) << (8 * i);
+    return v;
+  };
+  Fe h;
+  h.v[0] = load64le(s) & kMask51;
+  h.v[1] = (load64le(s + 6) >> 3) & kMask51;
+  h.v[2] = (load64le(s + 12) >> 6) & kMask51;
+  h.v[3] = (load64le(s + 19) >> 1) & kMask51;
+  h.v[4] = (load64le(s + 24) >> 12) & kMask51;
+  return h;
+}
+
+void fe_carry(Fe& h) {
+  for (int round = 0; round < 2; ++round) {
+    u64 c;
+    c = h.v[0] >> 51; h.v[0] &= kMask51; h.v[1] += c;
+    c = h.v[1] >> 51; h.v[1] &= kMask51; h.v[2] += c;
+    c = h.v[2] >> 51; h.v[2] &= kMask51; h.v[3] += c;
+    c = h.v[3] >> 51; h.v[3] &= kMask51; h.v[4] += c;
+    c = h.v[4] >> 51; h.v[4] &= kMask51; h.v[0] += c * 19;
+  }
+}
+
+void fe_to_bytes(std::uint8_t* s, Fe h) {
+  fe_carry(h);
+  // Freeze: subtract p if h >= p, twice to be safe.
+  for (int round = 0; round < 2; ++round) {
+    u64 q = (h.v[0] + 19) >> 51;
+    q = (h.v[1] + q) >> 51;
+    q = (h.v[2] + q) >> 51;
+    q = (h.v[3] + q) >> 51;
+    q = (h.v[4] + q) >> 51;
+    h.v[0] += 19 * q;
+    u64 c;
+    c = h.v[0] >> 51; h.v[0] &= kMask51; h.v[1] += c;
+    c = h.v[1] >> 51; h.v[1] &= kMask51; h.v[2] += c;
+    c = h.v[2] >> 51; h.v[2] &= kMask51; h.v[3] += c;
+    c = h.v[3] >> 51; h.v[3] &= kMask51; h.v[4] += c;
+    h.v[4] &= kMask51;
+  }
+
+  const u64 out0 = h.v[0] | (h.v[1] << 51);
+  const u64 out1 = (h.v[1] >> 13) | (h.v[2] << 38);
+  const u64 out2 = (h.v[2] >> 26) | (h.v[3] << 25);
+  const u64 out3 = (h.v[3] >> 39) | (h.v[4] << 12);
+  const u64 outs[4] = {out0, out1, out2, out3};
+  for (int w = 0; w < 4; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      s[8 * w + i] = static_cast<std::uint8_t>(outs[w] >> (8 * i));
+    }
+  }
+}
+
+Fe fe_add(const Fe& a, const Fe& b) {
+  Fe out;
+  for (int i = 0; i < 5; ++i) out.v[i] = a.v[i] + b.v[i];
+  return out;
+}
+
+// a - b without borrowing below zero: add 2*p first.
+Fe fe_sub(const Fe& a, const Fe& b) {
+  constexpr u64 two_p0 = 0xfffffffffffda;
+  constexpr u64 two_p1234 = 0xffffffffffffe;
+  Fe out;
+  out.v[0] = a.v[0] + two_p0 - b.v[0];
+  out.v[1] = a.v[1] + two_p1234 - b.v[1];
+  out.v[2] = a.v[2] + two_p1234 - b.v[2];
+  out.v[3] = a.v[3] + two_p1234 - b.v[3];
+  out.v[4] = a.v[4] + two_p1234 - b.v[4];
+  fe_carry(out);
+  return out;
+}
+
+Fe fe_mul(const Fe& a, const Fe& b) {
+  const u128 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = b1 * 19, b2_19 = b2 * 19, b3_19 = b3 * 19, b4_19 = b4 * 19;
+
+  u128 t0 = a0 * b0 + a1 * b4_19 + a2 * b3_19 + a3 * b2_19 + a4 * b1_19;
+  u128 t1 = a0 * b1 + a1 * b0 + a2 * b4_19 + a3 * b3_19 + a4 * b2_19;
+  u128 t2 = a0 * b2 + a1 * b1 + a2 * b0 + a3 * b4_19 + a4 * b3_19;
+  u128 t3 = a0 * b3 + a1 * b2 + a2 * b1 + a3 * b0 + a4 * b4_19;
+  u128 t4 = a0 * b4 + a1 * b3 + a2 * b2 + a3 * b1 + a4 * b0;
+
+  Fe out;
+  u64 c;
+  out.v[0] = static_cast<u64>(t0) & kMask51; c = static_cast<u64>(t0 >> 51);
+  t1 += c;
+  out.v[1] = static_cast<u64>(t1) & kMask51; c = static_cast<u64>(t1 >> 51);
+  t2 += c;
+  out.v[2] = static_cast<u64>(t2) & kMask51; c = static_cast<u64>(t2 >> 51);
+  t3 += c;
+  out.v[3] = static_cast<u64>(t3) & kMask51; c = static_cast<u64>(t3 >> 51);
+  t4 += c;
+  out.v[4] = static_cast<u64>(t4) & kMask51; c = static_cast<u64>(t4 >> 51);
+  out.v[0] += c * 19;
+  c = out.v[0] >> 51; out.v[0] &= kMask51; out.v[1] += c;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) { return fe_mul(a, a); }
+
+Fe fe_mul_small(const Fe& a, u64 k) {
+  u128 c = 0;
+  Fe out;
+  for (int i = 0; i < 5; ++i) {
+    const u128 t = static_cast<u128>(a.v[i]) * k + c;
+    out.v[i] = static_cast<u64>(t) & kMask51;
+    c = t >> 51;
+  }
+  out.v[0] += static_cast<u64>(c) * 19;
+  fe_carry(out);
+  return out;
+}
+
+// a^(p-2) = a^-1 via the standard addition chain.
+Fe fe_invert(const Fe& z) {
+  Fe z2 = fe_sq(z);                       // 2
+  Fe z8 = fe_sq(fe_sq(z2));               // 8
+  Fe z9 = fe_mul(z8, z);                  // 9
+  Fe z11 = fe_mul(z9, z2);                // 11
+  Fe z22 = fe_sq(z11);                    // 22
+  Fe z_5_0 = fe_mul(z22, z9);             // 2^5 - 2^0
+  Fe t = fe_sq(z_5_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  Fe z_10_0 = fe_mul(t, z_5_0);           // 2^10 - 2^0
+  t = fe_sq(z_10_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_20_0 = fe_mul(t, z_10_0);          // 2^20 - 2^0
+  t = fe_sq(z_20_0);
+  for (int i = 1; i < 20; ++i) t = fe_sq(t);
+  Fe z_40_0 = fe_mul(t, z_20_0);          // 2^40 - 2^0
+  t = fe_sq(z_40_0);
+  for (int i = 1; i < 10; ++i) t = fe_sq(t);
+  Fe z_50_0 = fe_mul(t, z_10_0);          // 2^50 - 2^0
+  t = fe_sq(z_50_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_100_0 = fe_mul(t, z_50_0);         // 2^100 - 2^0
+  t = fe_sq(z_100_0);
+  for (int i = 1; i < 100; ++i) t = fe_sq(t);
+  Fe z_200_0 = fe_mul(t, z_100_0);        // 2^200 - 2^0
+  t = fe_sq(z_200_0);
+  for (int i = 1; i < 50; ++i) t = fe_sq(t);
+  Fe z_250_0 = fe_mul(t, z_50_0);         // 2^250 - 2^0
+  t = fe_sq(z_250_0);
+  for (int i = 1; i < 5; ++i) t = fe_sq(t);
+  return fe_mul(t, z11);                  // 2^255 - 21
+}
+
+void fe_cswap(Fe& a, Fe& b, u64 swap) {
+  const u64 mask = ~(swap - 1);  // all-ones iff swap == 1
+  for (int i = 0; i < 5; ++i) {
+    const u64 x = mask & (a.v[i] ^ b.v[i]);
+    a.v[i] ^= x;
+    b.v[i] ^= x;
+  }
+}
+
+bool fe_is_zero(Fe a) {
+  std::uint8_t bytes[32];
+  fe_to_bytes(bytes, a);
+  std::uint8_t acc = 0;
+  for (auto b : bytes) acc |= b;
+  return acc == 0;
+}
+
+}  // namespace
+
+X25519Key x25519_clamp(ByteView random32) {
+  if (random32.size() != 32) {
+    throw std::invalid_argument("x25519_clamp: need 32 bytes");
+  }
+  X25519Key k;
+  std::memcpy(k.data(), random32.data(), 32);
+  k[0] &= 248;
+  k[31] &= 127;
+  k[31] |= 64;
+  return k;
+}
+
+bool x25519(X25519Key& out, ByteView scalar, ByteView point) {
+  if (scalar.size() != 32 || point.size() != 32) {
+    throw std::invalid_argument("x25519: keys must be 32 bytes");
+  }
+  const X25519Key e = x25519_clamp(scalar);
+
+  std::uint8_t u_bytes[32];
+  std::memcpy(u_bytes, point.data(), 32);
+  u_bytes[31] &= 127;  // mask the high bit per RFC 7748
+  const Fe x1 = fe_from_bytes(u_bytes);
+
+  Fe x2 = fe_one(), z2 = fe_zero(), x3 = x1, z3 = fe_one();
+  u64 swap = 0;
+
+  for (int pos = 254; pos >= 0; --pos) {
+    const u64 bit = (e[static_cast<std::size_t>(pos / 8)] >> (pos % 8)) & 1;
+    swap ^= bit;
+    fe_cswap(x2, x3, swap);
+    fe_cswap(z2, z3, swap);
+    swap = bit;
+
+    const Fe a = fe_add(x2, z2);
+    const Fe aa = fe_sq(a);
+    const Fe b = fe_sub(x2, z2);
+    const Fe bb = fe_sq(b);
+    const Fe e_ = fe_sub(aa, bb);
+    const Fe c = fe_add(x3, z3);
+    const Fe d = fe_sub(x3, z3);
+    const Fe da = fe_mul(d, a);
+    const Fe cb = fe_mul(c, b);
+    x3 = fe_sq(fe_add(da, cb));
+    z3 = fe_mul(x1, fe_sq(fe_sub(da, cb)));
+    x2 = fe_mul(aa, bb);
+    z2 = fe_mul(e_, fe_add(aa, fe_mul_small(e_, 121665)));
+  }
+  fe_cswap(x2, x3, swap);
+  fe_cswap(z2, z3, swap);
+
+  const Fe result = fe_mul(x2, fe_invert(z2));
+  fe_to_bytes(out.data(), result);
+  return !fe_is_zero(result);
+}
+
+X25519Key x25519_base(ByteView scalar) {
+  std::uint8_t base[32] = {9};
+  X25519Key out;
+  x25519(out, scalar, ByteView(base, 32));
+  return out;
+}
+
+}  // namespace rac

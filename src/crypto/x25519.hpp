@@ -1,0 +1,29 @@
+// X25519 Diffie-Hellman (RFC 7748), implemented from scratch.
+//
+// Field arithmetic over GF(2^255 - 19) with 5x51-bit limbs and a
+// constant-structure Montgomery ladder. Cross-checked against OpenSSL's
+// X25519 in the test suite.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+constexpr std::size_t kX25519KeySize = 32;
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Scalar multiplication: out = scalar * point. The scalar is clamped per
+/// RFC 7748. Returns false iff the result is the all-zero point (low-order
+/// input), which callers must reject.
+bool x25519(X25519Key& out, ByteView scalar, ByteView point);
+
+/// Derive the public key for a (clamped) private scalar: scalar * basepoint.
+X25519Key x25519_base(ByteView scalar);
+
+/// Clamp 32 random bytes into a valid X25519 private scalar.
+X25519Key x25519_clamp(ByteView random32);
+
+}  // namespace rac

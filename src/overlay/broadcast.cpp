@@ -1,0 +1,138 @@
+#include "overlay/broadcast.hpp"
+
+#include "common/serialize.hpp"
+
+namespace rac::overlay {
+
+namespace {
+constexpr std::uint16_t kEnvelopeMagic = 0x4243;  // "BC"
+}
+
+Payload encode_envelope(const EnvelopeHeader& header, ByteView body) {
+  BinaryWriter w;
+  w.u16(kEnvelopeMagic);
+  w.u8(static_cast<std::uint8_t>(header.scope.type));
+  w.u8(header.kind);
+  w.u32(header.scope.id);
+  w.u64(header.bcast_id);
+  w.blob(body);
+  return sim::make_payload(w.take());
+}
+
+DecodedEnvelope decode_envelope(const Bytes& wire) {
+  BinaryReader r(wire);
+  if (r.u16() != kEnvelopeMagic) {
+    throw DecodeError("decode_envelope: bad magic");
+  }
+  DecodedEnvelope env;
+  env.header.scope.type = static_cast<ScopeType>(r.u8());
+  env.header.kind = r.u8();
+  env.header.scope.id = r.u32();
+  env.header.bcast_id = r.u64();
+  const std::uint32_t body_len = r.u32();
+  if (body_len > r.remaining()) {
+    throw DecodeError("decode_envelope: truncated body");
+  }
+  // Body is a view into the wire buffer: offset = fixed header (16) + 4.
+  env.body = ByteView(wire.data() + (wire.size() - r.remaining()), body_len);
+  return env;
+}
+
+std::uint32_t Broadcaster::Receipt::copies_from(EndpointId node) const {
+  for (const auto& [pred, copies] : from) {
+    if (pred == node) return copies;
+  }
+  return 0;
+}
+
+Broadcaster::Broadcaster(EndpointId self, SendFn send, DeliverFn deliver)
+    : self_(self), send_(std::move(send)), deliver_(std::move(deliver)) {}
+
+void Broadcaster::register_scope(ScopeId scope, const View* view) {
+  scopes_[scope.key()] = view;
+}
+
+void Broadcaster::unregister_scope(ScopeId scope) {
+  scopes_.erase(scope.key());
+}
+
+bool Broadcaster::has_scope(ScopeId scope) const {
+  return scopes_.contains(scope.key());
+}
+
+Broadcaster::Receipt& Broadcaster::note_receipt(
+    std::uint64_t bcast_id, ScopeId scope, SimTime now,
+    std::optional<EndpointId> from) {
+  auto [it, inserted] = receipts_.try_emplace(bcast_id);
+  Receipt& rec = it->second;
+  if (inserted) {
+    rec.scope = scope;
+    rec.first_seen = now;
+  }
+  if (from) {
+    for (auto& [pred, copies] : rec.from) {
+      if (pred == *from) {
+        ++copies;
+        return rec;
+      }
+    }
+    rec.from.emplace_back(*from, 1);
+  }
+  return rec;
+}
+
+std::uint64_t Broadcaster::originate(Rng& rng, ScopeId scope,
+                                     std::uint8_t kind, ByteView body,
+                                     SimTime now) {
+  const auto it = scopes_.find(scope.key());
+  if (it == scopes_.end()) {
+    throw std::logic_error("Broadcaster::originate: unregistered scope");
+  }
+  EnvelopeHeader header;
+  header.scope = scope;
+  header.kind = kind;
+  header.bcast_id = rng.next();
+  const Payload wire = encode_envelope(header, body);
+
+  Receipt& rec = note_receipt(header.bcast_id, scope, now, std::nullopt);
+  rec.originated_here = true;
+  forward(scope, wire);
+  return header.bcast_id;
+}
+
+void Broadcaster::on_receive(EndpointId from, const Payload& wire,
+                             SimTime now) {
+  const DecodedEnvelope env = decode_envelope(*wire);
+  const auto scope_it = scopes_.find(env.header.scope.key());
+  if (scope_it == scopes_.end()) return;  // not (or no longer) in this scope
+
+  const bool first_time = !receipts_.contains(env.header.bcast_id);
+  Receipt& rec = note_receipt(env.header.bcast_id, env.header.scope, now,
+                              from);
+  if (!first_time) return;  // duplicate: recorded for check #2, not re-sent
+
+  forward(env.header.scope, wire);
+  if (!rec.originated_here) deliver_(env.header, env.body, from);
+}
+
+void Broadcaster::forward(ScopeId scope, const Payload& wire) {
+  const View* view = scopes_.at(scope.key());
+  if (!view->contains(self_)) return;  // joined scope but not yet placed
+  for (const EndpointId succ : view->rings().successor_set(self_)) {
+    send_(succ, wire);
+    ++forwarded_;
+  }
+}
+
+void Broadcaster::purge_receipts_before(SimTime t) {
+  std::erase_if(receipts_,
+                [t](const auto& kv) { return kv.second.first_seen < t; });
+}
+
+const Broadcaster::Receipt* Broadcaster::receipt(
+    std::uint64_t bcast_id) const {
+  const auto it = receipts_.find(bcast_id);
+  return it == receipts_.end() ? nullptr : &it->second;
+}
+
+}  // namespace rac::overlay

@@ -1,0 +1,120 @@
+// Ring-structured reliable broadcast (RAC key idea #1, Sec. IV-A).
+//
+// Rule: the first time a node receives a message in a scope, it forwards
+// the message to all its distinct ring successors in that scope. Every node
+// therefore expects each message from each of its ring predecessors; a
+// predecessor that omits a copy (or sends one twice — a replay) is caught
+// by misbehaviour check #2, which consumes the receipt records this class
+// keeps.
+//
+// The Broadcaster is per-node plumbing: it encodes/decodes envelopes,
+// deduplicates by broadcast id, forwards, and tracks who delivered what.
+// The policy (suspicion, blacklists, eviction) lives in rac::Node.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "overlay/view.hpp"
+#include "sim/network.hpp"
+
+namespace rac::overlay {
+
+using sim::Payload;
+
+enum class ScopeType : std::uint8_t { kGroup = 0, kChannel = 1 };
+
+/// (type, id) of a group or channel, packable into a map key.
+struct ScopeId {
+  ScopeType type = ScopeType::kGroup;
+  std::uint32_t id = 0;
+
+  std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(type) << 32) | id;
+  }
+  bool operator==(const ScopeId&) const = default;
+};
+
+struct EnvelopeHeader {
+  ScopeId scope;
+  std::uint8_t kind = 0;       // protocol-defined message kind
+  std::uint64_t bcast_id = 0;  // chosen by the broadcast initiator
+};
+
+/// Serialize header + body into one wire buffer.
+Payload encode_envelope(const EnvelopeHeader& header, ByteView body);
+
+struct DecodedEnvelope {
+  EnvelopeHeader header;
+  ByteView body;  // view into the wire buffer
+};
+
+/// Parse a wire buffer. Throws DecodeError on malformed input.
+DecodedEnvelope decode_envelope(const Bytes& wire);
+
+class Broadcaster {
+ public:
+  /// send(to, wire): transmit one copy of the encoded envelope.
+  using SendFn = std::function<void(EndpointId to, const Payload& wire)>;
+  /// deliver fires exactly once per broadcast id, on first receipt (not on
+  /// self-originated broadcasts).
+  using DeliverFn = std::function<void(const EnvelopeHeader& header,
+                                       ByteView body, EndpointId from)>;
+
+  Broadcaster(EndpointId self, SendFn send, DeliverFn deliver);
+
+  /// Scopes this node participates in; `view` must outlive registration.
+  void register_scope(ScopeId scope, const View* view);
+  void unregister_scope(ScopeId scope);
+  bool has_scope(ScopeId scope) const;
+
+  /// Start a broadcast in a registered scope. Returns its broadcast id.
+  std::uint64_t originate(Rng& rng, ScopeId scope, std::uint8_t kind,
+                          ByteView body, SimTime now);
+
+  /// Handle an incoming wire message: dedup, forward, deliver, record
+  /// receipt. Unknown scopes are ignored (stale traffic after leaving).
+  void on_receive(EndpointId from, const Payload& wire, SimTime now);
+
+  /// Receipt bookkeeping for misbehaviour check #2.
+  struct Receipt {
+    ScopeId scope;
+    SimTime first_seen = 0;
+    bool originated_here = false;
+    /// (predecessor, copies received from it).
+    std::vector<std::pair<EndpointId, std::uint32_t>> from;
+
+    std::uint32_t copies_from(EndpointId node) const;
+  };
+  const Receipt* receipt(std::uint64_t bcast_id) const;
+
+  /// All tracked receipts, keyed by broadcast id (the misbehaviour sweep
+  /// iterates these, then purges what it has checked).
+  const std::unordered_map<std::uint64_t, Receipt>& receipts() const {
+    return receipts_;
+  }
+
+  /// Drop receipts first seen before `t` to bound memory.
+  void purge_receipts_before(SimTime t);
+  std::size_t tracked_receipts() const { return receipts_.size(); }
+
+  std::uint64_t forwarded_count() const { return forwarded_; }
+
+ private:
+  void forward(ScopeId scope, const Payload& wire);
+  Receipt& note_receipt(std::uint64_t bcast_id, ScopeId scope, SimTime now,
+                        std::optional<EndpointId> from);
+
+  EndpointId self_;
+  SendFn send_;
+  DeliverFn deliver_;
+  std::unordered_map<std::uint64_t, const View*> scopes_;  // by ScopeId::key
+  std::unordered_map<std::uint64_t, Receipt> receipts_;    // by bcast_id
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace rac::overlay

@@ -1,0 +1,110 @@
+#include "overlay/rings.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rac::overlay {
+
+std::uint64_t ring_position(std::uint64_t ident, unsigned ring) {
+  // hash(ID, i): SplitMix64 over the pair; cheap, well-mixed, and
+  // deterministic across platforms.
+  std::uint64_t state = ident ^ (0x517C'C1B7'2722'0A95ULL *
+                                 (static_cast<std::uint64_t>(ring) + 1));
+  return splitmix64(state);
+}
+
+RingSet::RingSet(std::vector<RingMember> members, unsigned num_rings)
+    : members_(std::move(members)), num_rings_(num_rings) {
+  if (num_rings_ == 0) throw std::invalid_argument("RingSet: zero rings");
+  if (members_.empty()) throw std::invalid_argument("RingSet: empty scope");
+  ident_of_.reserve(members_.size());
+  for (const auto& m : members_) {
+    if (!ident_of_.emplace(m.node, m.ident).second) {
+      throw std::invalid_argument("RingSet: duplicate member");
+    }
+  }
+  rings_.resize(num_rings_);
+  for (unsigned r = 0; r < num_rings_; ++r) {
+    auto& ring = rings_[r];
+    ring.order.reserve(members_.size());
+    for (const auto& m : members_) {
+      ring.order.emplace_back(ring_position(m.ident, r), m.node);
+    }
+    std::sort(ring.order.begin(), ring.order.end());
+  }
+}
+
+bool RingSet::contains(EndpointId node) const {
+  return ident_of_.contains(node);
+}
+
+std::size_t RingSet::rank_of(const Ring& ring, EndpointId node,
+                             std::uint64_t ident) const {
+  // Position of node on this ring; binary search on (pos, node).
+  const unsigned ring_index = static_cast<unsigned>(&ring - rings_.data());
+  const auto key = std::pair{ring_position(ident, ring_index), node};
+  const auto it =
+      std::lower_bound(ring.order.begin(), ring.order.end(), key);
+  if (it == ring.order.end() || *it != key) {
+    throw std::out_of_range("RingSet: node not on ring");
+  }
+  return static_cast<std::size_t>(it - ring.order.begin());
+}
+
+EndpointId RingSet::successor_on_ring(EndpointId node, unsigned ring) const {
+  const auto ident_it = ident_of_.find(node);
+  if (ident_it == ident_of_.end()) {
+    throw std::out_of_range("RingSet: unknown node");
+  }
+  const Ring& r = rings_.at(ring);
+  const std::size_t rank = rank_of(r, node, ident_it->second);
+  return r.order[(rank + 1) % r.order.size()].second;
+}
+
+EndpointId RingSet::predecessor_on_ring(EndpointId node, unsigned ring) const {
+  const auto ident_it = ident_of_.find(node);
+  if (ident_it == ident_of_.end()) {
+    throw std::out_of_range("RingSet: unknown node");
+  }
+  const Ring& r = rings_.at(ring);
+  const std::size_t rank = rank_of(r, node, ident_it->second);
+  return r.order[(rank + r.order.size() - 1) % r.order.size()].second;
+}
+
+std::vector<EndpointId> RingSet::successors(EndpointId node) const {
+  std::vector<EndpointId> out;
+  out.reserve(num_rings_);
+  for (unsigned r = 0; r < num_rings_; ++r) {
+    out.push_back(successor_on_ring(node, r));
+  }
+  return out;
+}
+
+std::vector<EndpointId> RingSet::predecessors(EndpointId node) const {
+  std::vector<EndpointId> out;
+  out.reserve(num_rings_);
+  for (unsigned r = 0; r < num_rings_; ++r) {
+    out.push_back(predecessor_on_ring(node, r));
+  }
+  return out;
+}
+
+namespace {
+std::vector<EndpointId> distinct_excluding(std::vector<EndpointId> v,
+                                           EndpointId self) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  std::erase(v, self);
+  return v;
+}
+}  // namespace
+
+std::vector<EndpointId> RingSet::successor_set(EndpointId node) const {
+  return distinct_excluding(successors(node), node);
+}
+
+std::vector<EndpointId> RingSet::predecessor_set(EndpointId node) const {
+  return distinct_excluding(predecessors(node), node);
+}
+
+}  // namespace rac::overlay

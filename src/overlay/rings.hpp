@@ -1,0 +1,70 @@
+// Multiple-ring structure, after the Fireflies group-membership protocol
+// (Johansen et al., EuroSys'06), as used by RAC's broadcast (Sec. IV-A).
+//
+// Members of a scope (group or channel) are placed on R virtual rings; the
+// position of a node on ring i is a hash of (node identifier, i). On each
+// ring a node has one successor and one predecessor; a broadcast forwards
+// every first-seen message to all R successors, and a node expects every
+// message from each of its R predecessors — which is what makes freeriding
+// on forwarding detectable.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace rac::overlay {
+
+using sim::EndpointId;
+
+struct RingMember {
+  EndpointId node;
+  std::uint64_t ident;  // protocol-level node identifier (puzzle output)
+};
+
+/// Position of `ident` on ring `ring` — hash of the couple (ID, i) as in
+/// Fireflies.
+std::uint64_t ring_position(std::uint64_t ident, unsigned ring);
+
+/// Immutable snapshot of R rings over a member set. Rebuilt by View on
+/// membership change.
+class RingSet {
+ public:
+  RingSet(std::vector<RingMember> members, unsigned num_rings);
+
+  unsigned num_rings() const { return num_rings_; }
+  std::size_t size() const { return members_.size(); }
+  bool contains(EndpointId node) const;
+  const std::vector<RingMember>& members() const { return members_; }
+
+  EndpointId successor_on_ring(EndpointId node, unsigned ring) const;
+  EndpointId predecessor_on_ring(EndpointId node, unsigned ring) const;
+
+  /// One successor per ring (may contain repeats in small scopes, and may
+  /// include `node` itself only when it is alone — callers skip self).
+  std::vector<EndpointId> successors(EndpointId node) const;
+  std::vector<EndpointId> predecessors(EndpointId node) const;
+
+  /// Distinct successors excluding the node itself (the "successor set"
+  /// whose honest majority Sec. IV-C relies on).
+  std::vector<EndpointId> successor_set(EndpointId node) const;
+  std::vector<EndpointId> predecessor_set(EndpointId node) const;
+
+ private:
+  struct Ring {
+    // Sorted by (position, node) — node id breaks hash ties.
+    std::vector<std::pair<std::uint64_t, EndpointId>> order;
+  };
+
+  std::size_t rank_of(const Ring& ring, EndpointId node,
+                      std::uint64_t ident) const;
+
+  std::vector<RingMember> members_;
+  std::unordered_map<EndpointId, std::uint64_t> ident_of_;
+  std::vector<Ring> rings_;
+  unsigned num_rings_;
+};
+
+}  // namespace rac::overlay

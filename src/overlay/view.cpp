@@ -1,0 +1,33 @@
+#include "overlay/view.hpp"
+
+#include <stdexcept>
+
+namespace rac::overlay {
+
+bool View::add(EndpointId node, std::uint64_t ident) {
+  const bool inserted = members_.emplace(node, ident).second;
+  if (inserted) ++epoch_;
+  return inserted;
+}
+
+bool View::remove(EndpointId node) {
+  const bool erased = members_.erase(node) > 0;
+  if (erased) ++epoch_;
+  return erased;
+}
+
+const RingSet& View::rings() const {
+  if (members_.empty()) throw std::logic_error("View::rings: empty view");
+  if (!rings_ || rings_epoch_ != epoch_) {
+    std::vector<RingMember> m;
+    m.reserve(members_.size());
+    for (const auto& [node, ident] : members_) {
+      m.push_back(RingMember{node, ident});
+    }
+    rings_ = std::make_shared<const RingSet>(std::move(m), num_rings_);
+    rings_epoch_ = epoch_;
+  }
+  return *rings_;
+}
+
+}  // namespace rac::overlay

@@ -1,0 +1,50 @@
+// Mutable membership view of one scope (a group or a channel).
+//
+// Every node maintains such a view per scope it belongs to (Sec. IV-C:
+// "a view containing the list of the nodes present in the system"). The
+// ring structure is a deterministic function of the membership, so after
+// any add/remove every correct node recomputes identical rings — which is
+// how RAC replaces an evicted predecessor/successor "deterministically
+// computed from the view updated after the eviction".
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "overlay/rings.hpp"
+
+namespace rac::overlay {
+
+class View {
+ public:
+  explicit View(unsigned num_rings) : num_rings_(num_rings) {}
+
+  /// Add a member; returns false if already present.
+  bool add(EndpointId node, std::uint64_t ident);
+  /// Remove a member; returns false if absent.
+  bool remove(EndpointId node);
+  bool contains(EndpointId node) const { return members_.contains(node); }
+  std::size_t size() const { return members_.size(); }
+  unsigned num_rings() const { return num_rings_; }
+  const std::map<EndpointId, std::uint64_t>& members() const {
+    return members_;
+  }
+
+  /// Current ring snapshot (lazily rebuilt after membership changes).
+  /// Requires a non-empty view.
+  const RingSet& rings() const;
+
+  /// Monotonic counter bumped on every membership change; lets cached
+  /// consumers detect staleness.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  std::map<EndpointId, std::uint64_t> members_;
+  unsigned num_rings_;
+  std::uint64_t epoch_ = 0;
+  mutable std::shared_ptr<const RingSet> rings_;
+  mutable std::uint64_t rings_epoch_ = ~std::uint64_t{0};
+};
+
+}  // namespace rac::overlay

@@ -1,0 +1,86 @@
+#include "rac/blacklist.hpp"
+
+namespace rac {
+
+Blacklists::Blacklists(unsigned follower_quorum_t, std::uint32_t relay_quorum,
+                       std::uint32_t evict_notice_quorum)
+    : follower_quorum_t_(follower_quorum_t),
+      relay_quorum_(relay_quorum),
+      evict_notice_quorum_(evict_notice_quorum) {}
+
+bool Blacklists::suspect_relay(EndpointId relay) {
+  const bool fresh = suspected_relays_.insert(relay).second;
+  if (fresh) undisseminated_relays_.insert(relay);
+  return fresh;
+}
+
+bool Blacklists::is_suspected_relay(EndpointId relay) const {
+  return suspected_relays_.contains(relay);
+}
+
+bool Blacklists::suspect_predecessor(ScopeId scope, EndpointId pred,
+                                     SuspicionReason reason) {
+  return suspected_preds_.emplace(std::pair{scope.key(), pred}, reason)
+      .second;
+}
+
+bool Blacklists::is_suspected_predecessor(ScopeId scope,
+                                          EndpointId pred) const {
+  return suspected_preds_.contains(std::pair{scope.key(), pred});
+}
+
+RelayBlacklistEntry Blacklists::take_relay_entry() {
+  RelayBlacklistEntry entry;
+  std::size_t slot = 0;
+  auto it = undisseminated_relays_.begin();
+  while (it != undisseminated_relays_.end() &&
+         slot < RelayBlacklistEntry::kMaxAccused) {
+    entry.accused[slot++] = *it;
+    it = undisseminated_relays_.erase(it);
+  }
+  return entry;
+}
+
+bool Blacklists::record_pred_accusation(ScopeId scope, EndpointId accused,
+                                        EndpointId accuser,
+                                        bool accuser_is_follower) {
+  ++accusations_recorded_;
+  if (!accuser_is_follower) return false;
+  auto& accusers = pred_ledger_[std::pair{scope.key(), accused}];
+  const std::size_t before = accusers.size();
+  accusers.insert(accuser);
+  const std::size_t quorum = follower_quorum_t_ + 1;
+  return before < quorum && accusers.size() >= quorum;
+}
+
+bool Blacklists::record_relay_accusation(EndpointId accused) {
+  ++accusations_recorded_;
+  const std::uint32_t count = ++relay_round_counts_[accused];
+  return count == relay_quorum_;
+}
+
+void Blacklists::begin_relay_round() { relay_round_counts_.clear(); }
+
+bool Blacklists::record_evict_notice(std::uint32_t channel,
+                                     EndpointId evicted,
+                                     EndpointId notifier) {
+  auto& notifiers = evict_notice_ledger_[std::pair{channel, evicted}];
+  const std::size_t before = notifiers.size();
+  notifiers.insert(notifier);
+  return before < evict_notice_quorum_ &&
+         notifiers.size() >= evict_notice_quorum_;
+}
+
+void Blacklists::forget(EndpointId node) {
+  suspected_relays_.erase(node);
+  undisseminated_relays_.erase(node);
+  std::erase_if(suspected_preds_,
+                [node](const auto& kv) { return kv.first.second == node; });
+  std::erase_if(pred_ledger_,
+                [node](const auto& kv) { return kv.first.second == node; });
+  relay_round_counts_.erase(node);
+  std::erase_if(evict_notice_ledger_,
+                [node](const auto& kv) { return kv.first.second == node; });
+}
+
+}  // namespace rac

@@ -1,0 +1,99 @@
+// Suspicion state and eviction quorums (Sec. IV-C, "Checking the
+// misbehavior of nodes" and "Evicting nodes").
+//
+// Each node keeps:
+//  - a *relays* blacklist: relays that failed to forward one of this node's
+//    own onions (check #1). Disseminated anonymously via the shuffle; a
+//    node is evicted once (fG + 1) group members blacklist it.
+//  - *predecessors* blacklists, one per scope: ring predecessors that
+//    omitted/duplicated a copy or broke the rate (checks #2/#3).
+//    Accusations are broadcast in clear; a node is evicted once (t + 1) of
+//    its followers accuse it, t being the Fireflies bound on opponent
+//    followers.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "overlay/broadcast.hpp"
+#include "rac/wire.hpp"
+
+namespace rac {
+
+using overlay::EndpointId;
+using overlay::ScopeId;
+
+class Blacklists {
+ public:
+  Blacklists(unsigned follower_quorum_t, std::uint32_t relay_quorum,
+             std::uint32_t evict_notice_quorum);
+
+  // --- Local suspicions (this node's own observations). ---
+
+  /// Check #1 outcome: `relay` failed to forward our onion.
+  /// Returns true on first suspicion.
+  bool suspect_relay(EndpointId relay);
+  bool is_suspected_relay(EndpointId relay) const;
+  const std::set<EndpointId>& suspected_relays() const {
+    return suspected_relays_;
+  }
+
+  /// Check #2/#3 outcome. Returns true on first suspicion of this pred in
+  /// this scope (callers broadcast the accusation exactly once).
+  bool suspect_predecessor(ScopeId scope, EndpointId pred,
+                           SuspicionReason reason);
+  bool is_suspected_predecessor(ScopeId scope, EndpointId pred) const;
+
+  /// Fill a fixed-length shuffle slot with up to kMaxAccused not-yet-
+  /// disseminated relay suspicions (marking them disseminated).
+  RelayBlacklistEntry take_relay_entry();
+
+  // --- Eviction ledgers (evidence received from the group/channel). ---
+
+  /// Record a predecessor accusation. `accuser_is_follower` must be the
+  /// caller's check that the accuser sits in the accused's successor set
+  /// for that scope (non-followers don't count toward the quorum).
+  /// Returns true when the (t + 1) follower quorum is newly reached.
+  bool record_pred_accusation(ScopeId scope, EndpointId accused,
+                              EndpointId accuser, bool accuser_is_follower);
+
+  /// Record one anonymous relay-blacklist entry naming `accused` in the
+  /// current shuffle round. Returns true when the (fG + 1) quorum is newly
+  /// reached this round.
+  bool record_relay_accusation(EndpointId accused);
+  /// Reset per-round relay accusation counters (call between shuffles).
+  void begin_relay_round();
+
+  /// Record an eviction notice relayed into a channel. Returns true when
+  /// (f + 1) distinct notifiers are newly reached.
+  bool record_evict_notice(std::uint32_t channel, EndpointId evicted,
+                           EndpointId notifier);
+
+  /// Forget all state about an evicted node.
+  void forget(EndpointId node);
+
+  std::uint64_t accusations_recorded() const { return accusations_recorded_; }
+
+ private:
+  unsigned follower_quorum_t_;
+  std::uint32_t relay_quorum_;
+  std::uint32_t evict_notice_quorum_;
+
+  std::set<EndpointId> suspected_relays_;
+  std::set<EndpointId> undisseminated_relays_;
+  // (scope key, pred) -> reason of first suspicion
+  std::map<std::pair<std::uint64_t, EndpointId>, SuspicionReason>
+      suspected_preds_;
+
+  // (scope key, accused) -> accusing followers seen so far
+  std::map<std::pair<std::uint64_t, EndpointId>, std::set<EndpointId>>
+      pred_ledger_;
+  std::map<EndpointId, std::uint32_t> relay_round_counts_;
+  std::map<std::pair<std::uint32_t, EndpointId>, std::set<EndpointId>>
+      evict_notice_ledger_;
+  std::uint64_t accusations_recorded_ = 0;
+};
+
+}  // namespace rac

@@ -1,0 +1,18 @@
+#include "rac/config.hpp"
+
+#include "crypto/onion.hpp"
+
+namespace rac {
+
+std::size_t Config::derived_cell_size(const CryptoProvider& provider) const {
+  // +4 for the pad_cell length prefix.
+  return onion_wire_size(payload_size, num_relays, provider,
+                         /*with_channel_marker=*/true) +
+         4;
+}
+
+std::size_t Config::effective_cell_size(const CryptoProvider& provider) const {
+  return cell_size != 0 ? cell_size : derived_cell_size(provider);
+}
+
+}  // namespace rac

@@ -1,0 +1,75 @@
+// RAC protocol parameters (Sec. IV and VI-B).
+//
+// Paper defaults: L = 5 relays, R = 7 rings, groups of G = 1000
+// (RAC-1000) or a single system-wide group (RAC-NoGroup), 10 kB messages,
+// 1 Gb/s links.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.hpp"
+#include "crypto/provider.hpp"
+
+namespace rac {
+
+struct Config {
+  /// L: relays per onion path.
+  unsigned num_relays = 5;
+  /// R: rings of the broadcast overlay.
+  unsigned num_rings = 7;
+  /// Application payload bytes per anonymous message (paper: 10 kB).
+  std::size_t payload_size = 10'000;
+  /// Fixed broadcast cell size; 0 derives the minimum that fits the
+  /// outermost onion.
+  std::size_t cell_size = 0;
+
+  /// Constant sending rate: one cell every send_period (Sec. IV-C requires
+  /// nodes to send or forward at a constant rate, padding with noise).
+  /// 0 enables saturation pacing: originate whenever the uplink runs dry —
+  /// the "highest possible throughput it can sustain" workload of Sec. VI.
+  SimDuration send_period = 10 * kMillisecond;
+  /// Saturation mode only: maximum own onions in flight (not yet observed
+  /// fully relayed). Self-clocks origination to what the system actually
+  /// sustains, like a transport window; without it queues diverge because
+  /// per-message cost is paid by the whole group, not the sender's uplink.
+  std::size_t saturation_window = 8;
+
+  /// T: deadline for relay-forwarding (check #1) and predecessor-copy
+  /// (check #2) expectations.
+  SimDuration check_timeout = 400 * kMillisecond;
+  /// Cadence of the background sweep that enforces expired expectations
+  /// and the rate check (#3). 0 disables all three checks.
+  SimDuration check_sweep_period = 100 * kMillisecond;
+  /// Tolerated relative shortfall in the predecessor rate check (#3):
+  /// suspect a predecessor only when its observed rate falls below
+  /// (1 - rate_tolerance) of the expected scope rate.
+  double rate_tolerance = 0.5;
+
+  /// f: assumed fraction of opponent nodes, used to size the relay
+  /// eviction quorum (fG + 1 accusers, Sec. IV-C "Evicting nodes").
+  double assumed_opponent_fraction = 0.1;
+  /// t: maximum opponent followers a node can have (Fireflies bound);
+  /// predecessor eviction needs t + 1 accusing followers.
+  unsigned follower_quorum_t = 3;
+
+  /// Group size bounds (Sec. IV-C "Managing groups").
+  std::uint32_t smin = 500;
+  std::uint32_t smax = 2'000;
+
+  /// Access-link capacity (bits/s), used by the saturation pacer; must
+  /// match the Network the node runs on. Paper: 1 Gb/s.
+  double link_bps = 1e9;
+
+  /// Join puzzle difficulty (expected 2^mk_bits hash evaluations).
+  unsigned mk_bits = 6;
+  /// T of the join protocol: maximum dissemination time in a group.
+  SimDuration join_settle_time = 200 * kMillisecond;
+
+  /// Smallest cell size that fits the outermost onion (with a channel
+  /// marker) under this configuration.
+  std::size_t derived_cell_size(const CryptoProvider& provider) const;
+  /// cell_size if set, else derived_cell_size.
+  std::size_t effective_cell_size(const CryptoProvider& provider) const;
+};
+
+}  // namespace rac

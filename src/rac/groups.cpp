@@ -1,0 +1,57 @@
+#include "rac/groups.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rac {
+
+SplitPlan plan_group_split(const overlay::View& view, std::uint32_t group,
+                           std::uint32_t new_group) {
+  if (view.size() < 2) {
+    throw std::invalid_argument("plan_group_split: nothing to split");
+  }
+  // Sort members by protocol identifier (ties broken by endpoint so the
+  // plan is a total order even with colliding idents).
+  std::vector<std::pair<std::uint64_t, overlay::EndpointId>> members;
+  members.reserve(view.size());
+  for (const auto& [ep, ident] : view.members()) {
+    members.emplace_back(ident, ep);
+  }
+  std::sort(members.begin(), members.end());
+
+  SplitPlan plan;
+  plan.group = group;
+  plan.new_group = new_group;
+  const std::size_t half = members.size() / 2;
+  plan.pivot_ident = members[half].first;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    (i < half ? plan.stay : plan.move).push_back(members[i].second);
+  }
+  return plan;
+}
+
+std::vector<std::pair<overlay::EndpointId, std::uint32_t>>
+plan_group_dissolve(const overlay::View& view,
+                    const std::vector<std::uint32_t>& active_groups) {
+  if (active_groups.empty()) {
+    throw std::invalid_argument("plan_group_dissolve: no groups left");
+  }
+  std::vector<std::pair<overlay::EndpointId, std::uint32_t>> out;
+  out.reserve(view.size());
+  for (const auto& [ep, ident] : view.members()) {
+    out.emplace_back(ep, active_groups[ident % active_groups.size()]);
+  }
+  return out;
+}
+
+GroupBoundAction group_bound_action(std::size_t size, std::uint32_t smin,
+                                    std::uint32_t smax) {
+  if (smin > smax) {
+    throw std::invalid_argument("group_bound_action: smin > smax");
+  }
+  if (size > smax) return GroupBoundAction::kSplit;
+  if (size > 0 && size < smin) return GroupBoundAction::kDissolve;
+  return GroupBoundAction::kNone;
+}
+
+}  // namespace rac

@@ -1,0 +1,46 @@
+// Group management (Sec. IV-C "Managing groups").
+//
+// Groups must stay within [smin, smax]: above smax the group broadcasts a
+// split notice and divides deterministically — "nodes with the lower IDs
+// go in the first group, and nodes with the higher IDs go in the second
+// group" — below smin it dissolves and its members rejoin the system to be
+// assigned to other groups. Because the decision is a pure function of the
+// (consistent) view, every correct member computes the same outcome with
+// no coordinator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "overlay/view.hpp"
+
+namespace rac {
+
+struct SplitPlan {
+  std::uint32_t group = 0;        // the group being split
+  std::uint32_t new_group = 0;    // id assigned to the upper half
+  std::uint64_t pivot_ident = 0;  // members with ident >= pivot move
+  std::vector<overlay::EndpointId> stay;  // lower identifiers
+  std::vector<overlay::EndpointId> move;  // upper identifiers
+};
+
+/// Deterministic split of `view` into a lower half (keeps `group`) and an
+/// upper half (becomes `new_group`). |stay| and |move| differ by at most 1;
+/// ordering is by protocol identifier, as in the paper.
+SplitPlan plan_group_split(const overlay::View& view, std::uint32_t group,
+                           std::uint32_t new_group);
+
+/// Deterministic reassignment of a dissolving group's members onto the
+/// remaining active groups (ident mod |active|), mirroring the rejoin the
+/// paper prescribes without redoing the puzzles.
+std::vector<std::pair<overlay::EndpointId, std::uint32_t>>
+plan_group_dissolve(const overlay::View& view,
+                    const std::vector<std::uint32_t>& active_groups);
+
+/// True when the view violates its size bounds and needs a split (true,
+/// oversized) or dissolve (true, undersized). smin <= smax required.
+enum class GroupBoundAction { kNone, kSplit, kDissolve };
+GroupBoundAction group_bound_action(std::size_t size, std::uint32_t smin,
+                                    std::uint32_t smax);
+
+}  // namespace rac

@@ -1,0 +1,672 @@
+#include "rac/node.hpp"
+
+#include <algorithm>
+
+#include "common/serialize.hpp"
+#include "crypto/puzzle.hpp"
+
+namespace rac {
+
+namespace {
+
+/// Frame an application payload into the fixed payload_size plaintext that
+/// gets sealed to the destination pseudonym key.
+Bytes frame_payload(ByteView payload, std::size_t payload_size) {
+  if (payload.size() + 4 > payload_size) {
+    throw std::invalid_argument("frame_payload: payload too large");
+  }
+  BinaryWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload);
+  Bytes framed = w.take();
+  framed.resize(payload_size, 0);
+  return framed;
+}
+
+std::optional<Bytes> unframe_payload(ByteView framed) {
+  try {
+    BinaryReader r(framed);
+    const std::uint32_t len = r.u32();
+    if (len > r.remaining()) return std::nullopt;
+    return r.raw(len);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::uint64_t digest_prefix(const Sha256::Digest& d) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(d[static_cast<std::size_t>(i)]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+Node::Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
+           std::uint32_t group, std::optional<KeyPair> id_keys)
+    : env_(env),
+      config_(config),
+      endpoint_(endpoint),
+      ident_(ident),
+      group_(group),
+      rng_(ident ^ (0x9E3779B97F4A7C15ULL * (endpoint + 1))),
+      bcaster_(
+          endpoint,
+          /*send=*/
+          [this](EndpointId to, const sim::Payload& wire) {
+            if (in_forwarding_) {
+              if (behavior_.forward_drop_rate > 0.0 &&
+                  rng_.next_bool(behavior_.forward_drop_rate)) {
+                counters_.bump("forwards_dropped");
+                return;
+              }
+              if (behavior_.replay_forward) {
+                env_.network->send(endpoint_, to, wire);
+                counters_.bump("forwards_replayed");
+              }
+            }
+            env_.network->send(endpoint_, to, wire);
+          },
+          /*deliver=*/
+          [this](const overlay::EnvelopeHeader& header, ByteView body,
+                 EndpointId from) {
+            if (header.kind == static_cast<std::uint8_t>(MsgKind::kDataCell)) {
+              handle_data_cell(header, body);
+            } else {
+              handle_control(header, body, from);
+            }
+          }),
+      blacklists_(
+          config.follower_quorum_t,
+          /*relay_quorum=*/
+          static_cast<std::uint32_t>(config.assumed_opponent_fraction *
+                                     static_cast<double>(config.smax)) +
+              1,
+          /*evict_notice_quorum=*/
+          static_cast<std::uint32_t>(config.assumed_opponent_fraction *
+                                     static_cast<double>(config.smax)) +
+              1) {
+  id_keys_ = id_keys ? std::move(*id_keys)
+                     : env_.crypto->generate_keypair(rng_);
+  pseudonym_keys_ = env_.crypto->generate_keypair(rng_);
+  cell_size_ = config_.effective_cell_size(*env_.crypto);
+}
+
+void Node::attach_group_view(overlay::View* view) {
+  group_view_ = view;
+  bcaster_.register_scope(group_scope(), view);
+}
+
+void Node::attach_channel_view(std::uint32_t channel, overlay::View* view) {
+  channel_views_[channel] = view;
+  bcaster_.register_scope(ScopeId{ScopeType::kChannel, channel}, view);
+}
+
+void Node::detach_channel_view(std::uint32_t channel) {
+  channel_views_.erase(channel);
+  bcaster_.unregister_scope(ScopeId{ScopeType::kChannel, channel});
+}
+
+void Node::rebind_group(std::uint32_t new_group, overlay::View* view) {
+  bcaster_.unregister_scope(group_scope());
+  group_ = new_group;
+  attach_group_view(view);
+  note_scope_change(group_scope(), env_.simulator->now());
+  // Relay paths built in the old group may not complete; drop the
+  // expectations rather than blacklist relays split away from us.
+  pending_onions_.clear();
+  expectation_index_.clear();
+  rate_counts_.clear();
+  rate_window_start_ = env_.simulator->now();
+}
+
+void Node::announce_group_control(GroupControl::Op op) {
+  GroupControl control;
+  control.op = op;
+  control.group = group_;
+  bcaster_.originate(rng_, group_scope(),
+                     static_cast<std::uint8_t>(MsgKind::kGroupControl),
+                     control.encode(), env_.simulator->now());
+  counters_.bump("group_control_sent");
+}
+
+overlay::View* Node::view_for(ScopeId scope) const {
+  if (scope.type == ScopeType::kGroup) {
+    return scope.id == group_ ? group_view_ : nullptr;
+  }
+  const auto it = channel_views_.find(scope.id);
+  return it == channel_views_.end() ? nullptr : it->second;
+}
+
+void Node::send_anonymous(const Destination& dest, Bytes payload) {
+  outbox_.push_back(OutgoingMessage{dest, std::move(payload)});
+}
+
+void Node::start() {
+  if (running_) return;
+  running_ = true;
+  ++run_token_;
+  cell_tx_ = transmission_delay(cell_size_, config_.link_bps);
+  rate_window_start_ = env_.simulator->now();
+  // A node that starts mid-simulation (a joiner) observed none of the
+  // in-flight traffic: exempt the settling period from check #2.
+  note_scope_change(group_scope(), env_.simulator->now());
+  for (const auto& [ch, view] : channel_views_) {
+    note_scope_change(ScopeId{ScopeType::kChannel, ch},
+                      env_.simulator->now());
+  }
+  if (config_.send_period > 0) {
+    // Random initial phase: real nodes do not share a slot clock, and
+    // synchronized slots would hand a timing observer artificial "waves".
+    schedule_slot_in(1 + static_cast<SimDuration>(rng_.next_below(
+                             static_cast<std::uint64_t>(config_.send_period))));
+  } else {
+    schedule_next_send();
+  }
+  if (config_.check_sweep_period > 0) {
+    const std::uint64_t token = run_token_;
+    env_.simulator->schedule(config_.check_sweep_period, [this, token] {
+      if (running_ && token == run_token_) run_check_sweep();
+    });
+  }
+}
+
+void Node::stop() {
+  running_ = false;
+  ++run_token_;
+}
+
+void Node::schedule_slot_in(SimDuration delay) {
+  const std::uint64_t token = run_token_;
+  const std::uint64_t epoch = ++slot_epoch_;
+  env_.simulator->schedule(delay, [this, token, epoch] {
+    if (running_ && token == run_token_ && epoch == slot_epoch_) send_slot();
+  });
+}
+
+void Node::schedule_next_send() {
+  if (!running_) return;
+  SimDuration delay;
+  if (config_.send_period > 0) {
+    delay = config_.send_period;
+  } else if (!relay_duties_.empty() ||
+             pending_onions_.size() < config_.saturation_window) {
+    // Saturation pacing: come back once the uplink has ~drained.
+    const SimTime busy = env_.network->uplink_busy_until(endpoint_);
+    const SimDuration backlog = busy - env_.simulator->now();
+    delay = backlog > 2 * cell_tx_ ? backlog - 2 * cell_tx_ : cell_tx_;
+    if (delay <= 0) delay = cell_tx_;
+  } else {
+    // Window full: completions re-arm the slot promptly; keep a coarse
+    // fallback in case an in-flight onion only expires at the sweep.
+    delay = 50 * cell_tx_;
+  }
+  schedule_slot_in(delay);
+}
+
+void Node::send_slot() {
+  const bool saturation = config_.send_period == 0;
+  bool uplink_ready = true;
+  if (saturation) {
+    // In saturation mode only add to the uplink once it has drained.
+    const SimTime busy = env_.network->uplink_busy_until(endpoint_);
+    uplink_ready = (busy - env_.simulator->now()) <= 2 * cell_tx_;
+  }
+  if (uplink_ready) {
+    if (!relay_duties_.empty()) {
+      // Forwarding obligations take the slot before own traffic (and are
+      // served even by `silent` nodes — silence suppresses origination,
+      // not relaying; refusing duties is Behavior::drop_relay_duty).
+      auto [scope, content] = std::move(relay_duties_.front());
+      relay_duties_.pop_front();
+      const Bytes cell = pad_cell(content, cell_size_, rng_);
+      bcaster_.originate(rng_, scope,
+                         static_cast<std::uint8_t>(MsgKind::kDataCell), cell,
+                         env_.simulator->now());
+      counters_.bump("relay_rebroadcasts");
+      // The overlay never delivers a node's own broadcast back to it, yet
+      // this relay may itself be the destination of the content it just
+      // rebroadcast: inspect it locally too.
+      process_content(content);
+    } else if (behavior_.silent) {
+      // Originate nothing.
+    } else if (saturation &&
+               pending_onions_.size() >= config_.saturation_window) {
+      // Window full: wait until in-flight onions complete (self-clocking;
+      // note_observed_content reschedules us on completion).
+      counters_.bump("sends_gated_by_window");
+    } else if (auto cell = build_next_onion()) {
+      originate_cell(std::move(*cell));
+      ++payloads_sent_;
+      counters_.bump("data_cells_sent");
+    } else if (!saturation && !behavior_.no_noise) {
+      // Constant-rate protocol: pad idle slots with noise (Sec. IV-C). In
+      // saturation mode demand is infinite by definition, so an empty
+      // outbox means the workload ended — stay quiet instead of flooding
+      // unclocked noise.
+      originate_cell(make_noise_cell(cell_size_, rng_));
+      counters_.bump("noise_cells_sent");
+    }
+  }
+  schedule_next_send();
+}
+
+void Node::originate_cell(Bytes cell) {
+  bcaster_.originate(rng_, group_scope(),
+                     static_cast<std::uint8_t>(MsgKind::kDataCell), cell,
+                     env_.simulator->now());
+}
+
+std::vector<EndpointId> Node::pick_relays() {
+  std::vector<EndpointId> candidates;
+  candidates.reserve(group_view_->size());
+  for (const auto& [node, ident] : group_view_->members()) {
+    if (node != endpoint_ && !blacklists_.is_suspected_relay(node)) {
+      candidates.push_back(node);
+    }
+  }
+  if (candidates.size() < config_.num_relays) return {};
+  std::vector<EndpointId> relays;
+  relays.reserve(config_.num_relays);
+  for (const std::size_t idx :
+       rng_.sample_indices(candidates.size(), config_.num_relays)) {
+    relays.push_back(candidates[idx]);
+  }
+  return relays;
+}
+
+void Node::announce_join(const JoinAnnounce& announce) {
+  bcaster_.originate(rng_, group_scope(),
+                     static_cast<std::uint8_t>(MsgKind::kJoinAnnounce),
+                     announce.encode(), env_.simulator->now());
+  counters_.bump("joins_announced");
+}
+
+std::optional<Bytes> Node::build_next_onion() {
+  if (outbox_.empty() && traffic_gen_) {
+    // Infinite-demand workload: synthesize the next message.
+    Bytes payload = rng_.bytes(config_.payload_size - 4);
+    outbox_.push_back(OutgoingMessage{traffic_gen_(), std::move(payload)});
+  }
+  if (outbox_.empty() || group_view_ == nullptr) return std::nullopt;
+  const std::vector<EndpointId> relay_eps = pick_relays();
+  if (relay_eps.empty()) {
+    counters_.bump("sends_blocked_no_relays");
+    return std::nullopt;
+  }
+
+  OutgoingMessage msg = std::move(outbox_.front());
+  outbox_.pop_front();
+
+  // The driver shares a directory of ID public keys through the crypto
+  // provider being deterministic per (ident, endpoint); here we need the
+  // relays' ID public keys, which the driver exposes via the id_key
+  // resolver installed at wiring time.
+  std::vector<PublicKey> relay_pubs;
+  relay_pubs.reserve(relay_eps.size());
+  for (const EndpointId ep : relay_eps) {
+    relay_pubs.push_back(resolve_id_pub_(ep));
+  }
+
+  std::optional<std::uint32_t> marker;
+  if (msg.dest.group != group_) {
+    marker = channel_id(group_, msg.dest.group);
+  }
+
+  const Bytes framed = frame_payload(msg.payload, config_.payload_size);
+  BuiltOnion onion = build_onion(*env_.crypto, rng_, framed,
+                                 msg.dest.pseudonym_pub, relay_pubs, marker);
+
+  // Check #1 bookkeeping: expect to observe each relay's rebroadcast.
+  const std::uint64_t onion_id = next_onion_id_++;
+  PendingOnion pending;
+  pending.expected = onion.expected_broadcasts;
+  pending.relays = relay_eps;
+  pending.created = env_.simulator->now();
+  pending.deadline = env_.simulator->now() + config_.check_timeout;
+  for (std::size_t i = 0; i < pending.expected.size(); ++i) {
+    expectation_index_[digest_prefix(pending.expected[i])] = {onion_id, i};
+  }
+  pending_onions_.emplace(onion_id, std::move(pending));
+
+  return pad_cell(onion.first_content, cell_size_, rng_);
+}
+
+void Node::on_network_receive(EndpointId from, const sim::Payload& msg) {
+  try {
+    // Cheap header peek for the per-predecessor rate accounting (#3).
+    const overlay::DecodedEnvelope env = overlay::decode_envelope(*msg);
+    rate_counts_[{env.header.scope.key(), from}]++;
+  } catch (const DecodeError&) {
+    counters_.bump("malformed_messages");
+    return;
+  }
+  in_forwarding_ = true;
+  bcaster_.on_receive(from, msg, env_.simulator->now());
+  in_forwarding_ = false;
+}
+
+void Node::note_observed_content(ByteView content) {
+  const auto it = expectation_index_.find(
+      digest_prefix(content_fingerprint(content)));
+  if (it == expectation_index_.end()) return;
+  const auto [onion_id, index] = it->second;
+  expectation_index_.erase(it);
+  const auto onion_it = pending_onions_.find(onion_id);
+  if (onion_it == pending_onions_.end()) return;
+  PendingOnion& po = onion_it->second;
+  po.confirmed = std::max(po.confirmed, index + 1);
+  if (po.confirmed == po.expected.size()) {
+    onion_latency_.add(to_seconds(env_.simulator->now() - po.created));
+    pending_onions_.erase(onion_it);
+    counters_.bump("onions_fully_relayed");
+    if (config_.send_period == 0 && running_ &&
+        pending_onions_.size() == config_.saturation_window - 1) {
+      // The window just opened: take the freed slot promptly.
+      schedule_slot_in(0);
+    }
+  }
+}
+
+void Node::handle_data_cell(const overlay::EnvelopeHeader& header,
+                            ByteView body) {
+  Bytes content;
+  try {
+    content = unpad_cell(body);
+  } catch (const DecodeError&) {
+    counters_.bump("malformed_cells");
+    return;
+  }
+  note_observed_content(content);
+  process_content(content);
+  (void)header;
+}
+
+void Node::process_content(ByteView content) {
+  PeelResult peeled =
+      peel_content(*env_.crypto, id_keys_, pseudonym_keys_, content);
+  switch (peeled.kind) {
+    case PeelResult::Kind::kNotForMe:
+      break;
+    case PeelResult::Kind::kRelay: {
+      counters_.bump("relay_duties");
+      if (behavior_.drop_relay_duty) {
+        counters_.bump("relay_duties_dropped");
+        break;
+      }
+      ScopeId scope = group_scope();
+      if (peeled.channel) {
+        if (!channel_views_.contains(*peeled.channel)) {
+          counters_.bump("relay_unknown_channel");
+          break;
+        }
+        scope = ScopeId{ScopeType::kChannel, *peeled.channel};
+      }
+      relay_duties_.emplace_back(scope, std::move(peeled.next_content));
+      if (config_.send_period == 0 && running_) {
+        // Saturation pacing: make sure a slot is armed soon — the pending
+        // one may be the long window-full fallback.
+        schedule_slot_in(cell_tx_);
+      }
+      break;
+    }
+    case PeelResult::Kind::kDelivered: {
+      if (auto payload = unframe_payload(peeled.payload)) {
+        ++payloads_delivered_;
+        counters_.bump("payloads_delivered");
+        if (deliver_app_) deliver_app_(std::move(*payload));
+      } else {
+        counters_.bump("malformed_payloads");
+      }
+      break;
+    }
+  }
+}
+
+void Node::handle_control(const overlay::EnvelopeHeader& header,
+                          ByteView body, EndpointId /*from*/) {
+  try {
+    switch (static_cast<MsgKind>(header.kind)) {
+      case MsgKind::kPredAccusation: {
+        const PredAccusation acc = PredAccusation::decode(body);
+        const bool is_follower =
+            is_follower_of(header.scope, acc.accused, acc.accuser);
+        if (blacklists_.record_pred_accusation(header.scope, acc.accused,
+                                               acc.accuser, is_follower)) {
+          counters_.bump("pred_eviction_quorums");
+          if (evict_) evict_(header.scope, acc.accused);
+        }
+        break;
+      }
+      case MsgKind::kEvictNotice: {
+        const EvictNotice notice = EvictNotice::decode(body);
+        if (header.scope.type != ScopeType::kChannel) break;
+        if (blacklists_.record_evict_notice(header.scope.id, notice.evicted,
+                                            notice.notifier)) {
+          counters_.bump("channel_evictions");
+          if (evict_) evict_(header.scope, notice.evicted);
+        }
+        break;
+      }
+      case MsgKind::kJoinAnnounce: {
+        const JoinAnnounce join = JoinAnnounce::decode(body);
+        if (!verify_puzzle(join.id_pubkey, join.puzzle_y, config_.mk_bits) ||
+            puzzle_g(join.id_pubkey, join.puzzle_y) != join.ident) {
+          counters_.bump("join_rejected");
+          break;
+        }
+        counters_.bump("join_verified");
+        overlay::View* view = view_for(header.scope);
+        if (view) view->add(join.endpoint, join.ident);  // idempotent
+        note_scope_change(header.scope, env_.simulator->now());
+        break;
+      }
+      case MsgKind::kGroupControl:
+        counters_.bump("group_control_seen");
+        break;
+      default:
+        counters_.bump("unknown_control");
+        break;
+    }
+  } catch (const DecodeError&) {
+    counters_.bump("malformed_control");
+  }
+}
+
+bool Node::is_follower_of(ScopeId scope, EndpointId accused,
+                          EndpointId accuser) const {
+  const overlay::View* view = view_for(scope);
+  if (view == nullptr || !view->contains(accused) ||
+      !view->contains(accuser)) {
+    return false;
+  }
+  const auto followers = view->rings().successor_set(accused);
+  return std::find(followers.begin(), followers.end(), accuser) !=
+         followers.end();
+}
+
+void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
+                              SuspicionReason reason) {
+  if (!blacklists_.suspect_predecessor(scope, pred, reason)) return;
+  counters_.bump("pred_accusations_sent");
+  PredAccusation acc;
+  acc.accuser = endpoint_;
+  acc.accused = pred;
+  acc.reason = reason;
+  bcaster_.originate(rng_, scope,
+                     static_cast<std::uint8_t>(MsgKind::kPredAccusation),
+                     acc.encode(), env_.simulator->now());
+  // Count our own accusation toward the quorum as well.
+  if (blacklists_.record_pred_accusation(
+          scope, pred, endpoint_, is_follower_of(scope, pred, endpoint_))) {
+    counters_.bump("pred_eviction_quorums");
+    if (evict_) evict_(scope, pred);
+  }
+}
+
+void Node::run_check_sweep() {
+  const SimTime now = env_.simulator->now();
+
+  // Check #1: relays that failed to rebroadcast one of our onions.
+  for (auto it = pending_onions_.begin(); it != pending_onions_.end();) {
+    PendingOnion& po = it->second;
+    if (po.deadline > now) {
+      ++it;
+      continue;
+    }
+    const EndpointId culprit = po.relays.at(po.confirmed);
+    if (blacklists_.suspect_relay(culprit)) {
+      counters_.bump("relays_suspected");
+    }
+    for (std::size_t i = po.confirmed; i < po.expected.size(); ++i) {
+      expectation_index_.erase(digest_prefix(po.expected[i]));
+    }
+    it = pending_onions_.erase(it);
+  }
+
+  check_receipts(now);
+  check_rates(now);
+
+  if (running_) {
+    const std::uint64_t token = run_token_;
+    env_.simulator->schedule(config_.check_sweep_period, [this, token] {
+      if (running_ && token == run_token_) run_check_sweep();
+    });
+  }
+}
+
+void Node::note_scope_change(ScopeId scope, SimTime when) {
+  SimTime& at = scope_changed_at_[scope.key()];
+  at = std::max(at, when);
+}
+
+void Node::check_receipts(SimTime now) {
+  // Check #2: every broadcast must arrive exactly once from each ring
+  // predecessor within the timeout.
+  const SimTime cutoff = now - config_.check_timeout;
+  for (const auto& [bcast_id, receipt] : bcaster_.receipts()) {
+    if (receipt.first_seen > cutoff) continue;
+    const overlay::View* view = view_for(receipt.scope);
+    if (view == nullptr || !view->contains(endpoint_)) continue;
+    // Grace window around membership changes: ring relationships for
+    // broadcasts in flight at the change are ambiguous (the paper's 2T
+    // join rule); only enforce against a stable ring structure.
+    const auto changed_it = scope_changed_at_.find(receipt.scope.key());
+    if (changed_it != scope_changed_at_.end() &&
+        receipt.first_seen < changed_it->second + config_.check_timeout) {
+      continue;
+    }
+    for (const EndpointId pred : view->rings().predecessor_set(endpoint_)) {
+      const std::uint32_t copies = receipt.copies_from(pred);
+      if (copies == 0) {
+        counters_.bump("check2_missing_copy");
+        accuse_predecessor(receipt.scope, pred,
+                           SuspicionReason::kMissingCopy);
+      } else if (copies > 1) {
+        counters_.bump("check2_duplicate_copy");
+        accuse_predecessor(receipt.scope, pred,
+                           SuspicionReason::kDuplicateCopy);
+      }
+    }
+  }
+  bcaster_.purge_receipts_before(cutoff);
+}
+
+void Node::check_rates(SimTime now) {
+  // Check #3 (constant-rate mode only): the reception rate from each group
+  // ring predecessor must match the scope broadcast rate G / send_period.
+  if (config_.send_period <= 0 || group_view_ == nullptr ||
+      !group_view_->contains(endpoint_)) {
+    rate_counts_.clear();
+    rate_window_start_ = now;
+    return;
+  }
+  const SimDuration window = now - rate_window_start_;
+  if (window < 2 * config_.check_timeout) return;  // wait for a full window
+
+  // Membership changed inside the window: expected counts are ambiguous;
+  // restart the window instead of risking false accusations.
+  const auto changed_it = scope_changed_at_.find(group_scope().key());
+  if (changed_it != scope_changed_at_.end() &&
+      changed_it->second >= rate_window_start_) {
+    rate_counts_.clear();
+    rate_window_start_ = now;
+    return;
+  }
+
+  const double expected =
+      static_cast<double>(group_view_->size()) *
+      (static_cast<double>(window) /
+       static_cast<double>(config_.send_period));
+  const double lo = expected * (1.0 - config_.rate_tolerance);
+  const double hi = expected * (1.0 + config_.rate_tolerance);
+  const std::uint64_t scope_key = group_scope().key();
+  for (const EndpointId pred :
+       group_view_->rings().predecessor_set(endpoint_)) {
+    const auto it = rate_counts_.find({scope_key, pred});
+    const double count =
+        it == rate_counts_.end() ? 0.0 : static_cast<double>(it->second);
+    if (count < lo) {
+      counters_.bump("check3_rate_low");
+      accuse_predecessor(group_scope(), pred, SuspicionReason::kRateTooLow);
+    } else if (count > hi) {
+      counters_.bump("check3_rate_high");
+      accuse_predecessor(group_scope(), pred, SuspicionReason::kRateTooHigh);
+    }
+  }
+  rate_counts_.clear();
+  rate_window_start_ = now;
+}
+
+void Node::on_evicted(ScopeId scope, EndpointId evicted) {
+  if (evicted == endpoint_) {
+    if (scope.type == ScopeType::kGroup && scope.id == group_) stop();
+    return;
+  }
+  note_scope_change(scope, env_.simulator->now());
+  blacklists_.forget(evicted);
+  // Sec. IV-C: after a group eviction, group members broadcast the eviction
+  // to every channel the node belonged to.
+  if (scope.type == ScopeType::kGroup && scope.id == group_) {
+    for (const auto& [channel, view] : channel_views_) {
+      if (!view->contains(endpoint_)) continue;
+      EvictNotice notice;
+      notice.notifier = endpoint_;
+      notice.evicted = evicted;
+      notice.scope_type = static_cast<std::uint8_t>(scope.type);
+      notice.scope_id = scope.id;
+      bcaster_.originate(rng_, ScopeId{ScopeType::kChannel, channel},
+                         static_cast<std::uint8_t>(MsgKind::kEvictNotice),
+                         notice.encode(), env_.simulator->now());
+      counters_.bump("evict_notices_sent");
+    }
+  }
+}
+
+RelayBlacklistEntry Node::shuffle_contribution() {
+  return blacklists_.take_relay_entry();
+}
+
+void Node::ingest_shuffle_output(
+    const std::vector<RelayBlacklistEntry>& entries) {
+  blacklists_.begin_relay_round();
+  for (const RelayBlacklistEntry& entry : entries) {
+    // Dedup within one entry: a single accuser counts once per accused.
+    std::vector<std::uint32_t> named;
+    for (const std::uint32_t accused : entry.accused) {
+      if (accused == RelayBlacklistEntry::kNoAccused) continue;
+      if (std::find(named.begin(), named.end(), accused) != named.end()) {
+        continue;
+      }
+      named.push_back(accused);
+      if (blacklists_.record_relay_accusation(accused)) {
+        counters_.bump("relay_eviction_quorums");
+        if (evict_) evict_(group_scope(), accused);
+      }
+    }
+  }
+}
+
+}  // namespace rac

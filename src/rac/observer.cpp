@@ -1,0 +1,125 @@
+#include "rac/observer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rac {
+
+GlobalObserver::GlobalObserver(sim::Network& network) {
+  network.set_tap([this](sim::EndpointId from, sim::EndpointId to,
+                         std::size_t bytes, SimTime when) {
+    on_message(from, to, bytes, when);
+  });
+}
+
+void GlobalObserver::on_message(sim::EndpointId from, sim::EndpointId to,
+                                std::size_t bytes, SimTime when) {
+  if (when < ignore_before_) return;
+  ++observed_;
+  NodeProfile& src = profiles_[from];
+  src.messages_sent++;
+  src.bytes_sent += bytes;
+  NodeProfile& dst = profiles_[to];
+  dst.messages_received++;
+  dst.bytes_received += bytes;
+  sizes_.insert(bytes);
+  log_.emplace_back(when, from);
+}
+
+const GlobalObserver::NodeProfile& GlobalObserver::profile(
+    sim::EndpointId node) const {
+  static const NodeProfile kEmpty{};
+  const auto it = profiles_.find(node);
+  return it == profiles_.end() ? kEmpty : it->second;
+}
+
+void GlobalObserver::reset(SimTime t) {
+  ignore_before_ = t;
+  profiles_.clear();
+  sizes_.clear();
+  observed_ = 0;
+  log_.clear();
+}
+
+std::map<sim::EndpointId, std::uint64_t> GlobalObserver::burst_initiators(
+    SimDuration min_gap) const {
+  std::map<sim::EndpointId, std::uint64_t> out;
+  SimTime last = ignore_before_;
+  bool first = true;
+  for (const auto& [when, from] : log_) {
+    if (!first && when - last >= min_gap) out[from]++;
+    last = when;
+    first = false;
+  }
+  return out;
+}
+
+double GlobalObserver::median_sent() const {
+  std::vector<std::uint64_t> counts;
+  counts.reserve(profiles_.size());
+  for (const auto& [node, p] : profiles_) {
+    if (p.messages_sent > 0) counts.push_back(p.messages_sent);
+  }
+  if (counts.empty()) return 0.0;
+  std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2),
+                   counts.end());
+  return static_cast<double>(counts[counts.size() / 2]);
+}
+
+std::vector<sim::EndpointId> GlobalObserver::suspects_by(
+    double tolerance, std::uint64_t NodeProfile::* counter) const {
+  if (tolerance <= 0) {
+    throw std::invalid_argument("GlobalObserver: tolerance must be > 0");
+  }
+  // Median of the chosen counter over all profiled nodes.
+  std::vector<std::uint64_t> counts;
+  counts.reserve(profiles_.size());
+  for (const auto& [node, p] : profiles_) counts.push_back(p.*counter);
+  if (counts.empty()) return {};
+  std::nth_element(counts.begin(), counts.begin() + static_cast<std::ptrdiff_t>(counts.size() / 2),
+                   counts.end());
+  const double median = static_cast<double>(counts[counts.size() / 2]);
+
+  std::vector<sim::EndpointId> out;
+  for (const auto& [node, p] : profiles_) {
+    const double v = static_cast<double>(p.*counter);
+    if (median == 0.0) {
+      if (v > 0) out.push_back(node);
+    } else if (std::abs(v - median) / median > tolerance) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+std::vector<sim::EndpointId> GlobalObserver::sender_suspects(
+    double tolerance) const {
+  return suspects_by(tolerance, &NodeProfile::messages_sent);
+}
+
+std::vector<sim::EndpointId> GlobalObserver::receiver_suspects(
+    double tolerance) const {
+  return suspects_by(tolerance, &NodeProfile::messages_received);
+}
+
+double GlobalObserver::max_send_deviation() const {
+  const double median = median_sent();
+  if (median == 0.0) return 0.0;
+  double worst = 0.0;
+  for (const auto& [node, p] : profiles_) {
+    worst = std::max(
+        worst,
+        std::abs(static_cast<double>(p.messages_sent) - median) / median);
+  }
+  return worst;
+}
+
+std::set<std::size_t> GlobalObserver::cell_sizes(std::size_t floor) const {
+  std::set<std::size_t> out;
+  for (const std::size_t s : sizes_) {
+    if (s >= floor) out.insert(s);
+  }
+  return out;
+}
+
+}  // namespace rac

@@ -1,0 +1,92 @@
+// The global passive opponent of Sec. II-A, materialized.
+//
+// The paper's threat model grants the opponent every network link's
+// metadata — endpoints, sizes, timings — but not the ability to invert
+// encryption. GlobalObserver taps the simulated network and records
+// exactly that, then applies the classic traffic-analysis heuristics:
+//
+//  - per-node send/receive counting: a node whose link activity deviates
+//    from its peers is a traffic-analysis suspect (this is what catches
+//    senders in systems without cover traffic);
+//  - cell-size tracking: distinct sizes let an observer trace messages
+//    through relays (RAC pads everything to one cell size).
+//
+// The empirical-anonymity tests and bench use it to show that under the
+// constant-rate protocol the observer's suspect set is empty (sender
+// anonymity holds observationally), while with cover traffic disabled
+// (Behavior::no_noise) the actual senders stick out immediately — the
+// observable justification for Sec. IV-C's noise requirement.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "sim/network.hpp"
+
+namespace rac {
+
+class GlobalObserver {
+ public:
+  /// Installs itself as the network's wire tap. One observer per network.
+  explicit GlobalObserver(sim::Network& network);
+
+  struct NodeProfile {
+    std::uint64_t messages_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t messages_received = 0;
+    std::uint64_t bytes_received = 0;
+  };
+
+  const NodeProfile& profile(sim::EndpointId node) const;
+  std::size_t observed_messages() const { return observed_; }
+
+  /// Restrict analysis to traffic after `t` (skip warm-up asymmetries).
+  void reset(SimTime t);
+
+  /// Median per-node sent-message count across nodes that sent anything.
+  double median_sent() const;
+
+  /// Nodes whose sent-message count deviates from the median by more than
+  /// `tolerance` (fraction of the median). Under the constant-rate
+  /// protocol this is empty — the observational face of sender anonymity.
+  std::vector<sim::EndpointId> sender_suspects(double tolerance) const;
+  /// Same heuristic on receive counts (receiver anonymity).
+  std::vector<sim::EndpointId> receiver_suspects(double tolerance) const;
+
+  /// Largest relative deviation of any node's send count from the median.
+  double max_send_deviation() const;
+
+  /// Distinct wire sizes seen for messages of at least `floor` bytes
+  /// (data cells; small control traffic filtered out). Uniform padding
+  /// means exactly one.
+  std::set<std::size_t> cell_sizes(std::size_t floor = 512) const;
+
+  /// Timing analysis: attribute every "burst" — a transmission after at
+  /// least `min_gap` of network-wide silence — to the node that sent it.
+  /// Broadcast dissemination is count-symmetric (every node forwards every
+  /// cell), so this is the attack that actually identifies senders when
+  /// cover traffic is missing: the first cell of a wave always leaves the
+  /// originator. Under the constant-rate protocol there are no gaps, so
+  /// the map stays (near) empty — the observational meaning of Sec. IV-C's
+  /// noise rule.
+  std::map<sim::EndpointId, std::uint64_t> burst_initiators(
+      SimDuration min_gap) const;
+
+ private:
+  void on_message(sim::EndpointId from, sim::EndpointId to,
+                  std::size_t bytes, SimTime when);
+  std::vector<sim::EndpointId> suspects_by(
+      double tolerance,
+      std::uint64_t NodeProfile::* counter) const;
+
+  std::map<sim::EndpointId, NodeProfile> profiles_;
+  std::set<std::size_t> sizes_;
+  std::size_t observed_ = 0;
+  SimTime ignore_before_ = 0;
+  // Full (when, from) transmission log for the timing analysis.
+  std::vector<std::pair<SimTime, sim::EndpointId>> log_;
+};
+
+}  // namespace rac

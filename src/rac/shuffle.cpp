@@ -1,0 +1,143 @@
+#include "rac/shuffle.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rac {
+
+namespace {
+
+/// Strip one sealed-box layer from every ciphertext with `keys`, keeping
+/// undecryptable entries verbatim (a real member cannot do better; the
+/// audit catches whoever corrupted them).
+std::vector<Bytes> strip_layer(const CryptoProvider& provider,
+                               const KeyPair& keys,
+                               const std::vector<Bytes>& set) {
+  std::vector<Bytes> out;
+  out.reserve(set.size());
+  for (const Bytes& c : set) {
+    if (auto opened = provider.open(keys, c)) {
+      out.push_back(std::move(*opened));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Bytes> sorted(std::vector<Bytes> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+void apply_fault(const ShuffleFault& fault, std::size_t member, Rng& rng,
+                 std::vector<Bytes>& set) {
+  if (fault.member != member || set.empty()) return;
+  switch (fault.kind) {
+    case ShuffleFault::Kind::kNone:
+      break;
+    case ShuffleFault::Kind::kDropCiphertext:
+      set.pop_back();
+      break;
+    case ShuffleFault::Kind::kReplaceCiphertext:
+      set.back() = rng.bytes(set.back().size());
+      break;
+    case ShuffleFault::Kind::kDuplicateCiphertext:
+      set.back() = set.front();
+      break;
+  }
+}
+
+}  // namespace
+
+ShuffleResult run_shuffle(const CryptoProvider& provider, Rng& rng,
+                          const std::vector<Bytes>& inputs,
+                          const ShuffleFault& fault) {
+  const std::size_t n = inputs.size();
+  if (n == 0) throw std::invalid_argument("run_shuffle: no inputs");
+  for (const Bytes& m : inputs) {
+    if (m.size() != inputs.front().size()) {
+      throw std::invalid_argument("run_shuffle: messages must be same size");
+    }
+  }
+
+  // Phase 1: every member publishes ephemeral inner and outer key pairs.
+  std::vector<KeyPair> inner(n), outer(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    inner[i] = provider.generate_keypair(rng);
+    outer[i] = provider.generate_keypair(rng);
+  }
+
+  // Phase 2: member i onion-encrypts its message under all inner keys
+  // (layers n-1..0), then all outer keys (layers n-1..0). Every member
+  // remembers its inner ciphertext to verify survival later.
+  std::vector<Bytes> inner_ciphertexts(n);
+  std::vector<Bytes> submitted(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Bytes c = inputs[i];
+    for (std::size_t k = n; k-- > 0;) c = provider.seal(inner[k].pub, c, rng);
+    inner_ciphertexts[i] = c;
+    for (std::size_t k = n; k-- > 0;) c = provider.seal(outer[k].pub, c, rng);
+    submitted[i] = std::move(c);
+  }
+
+  // Phase 3: members 0..n-1 each strip their outer layer and permute.
+  // Inputs/outputs of every step are logged for the audit.
+  std::vector<std::vector<Bytes>> step_inputs(n), step_outputs(n);
+  std::vector<Bytes> current = submitted;
+  for (std::size_t k = 0; k < n; ++k) {
+    step_inputs[k] = current;
+    std::vector<Bytes> next = strip_layer(provider, outer[k], current);
+    // Secret permutation (Fisher-Yates from the member's private coins).
+    for (std::size_t i = next.size(); i > 1; --i) {
+      std::swap(next[i - 1], next[rng.next_below(i)]);
+    }
+    apply_fault(fault, k, rng, next);
+    step_outputs[k] = next;
+    current = std::move(next);
+  }
+
+  // Phase 4: go/no-go — every member checks its inner ciphertext survived.
+  bool all_present = current.size() == n;
+  if (all_present) {
+    const std::vector<Bytes> shuffled = sorted(current);
+    for (const Bytes& mine : inner_ciphertexts) {
+      if (!std::binary_search(shuffled.begin(), shuffled.end(), mine)) {
+        all_present = false;
+        break;
+      }
+    }
+  }
+
+  ShuffleResult result;
+  if (all_present) {
+    // Phase 5a: inner keys are revealed; strip all inner layers.
+    for (std::size_t k = 0; k < n; ++k) {
+      current = strip_layer(provider, inner[k], current);
+    }
+    result.success = true;
+    result.outputs = std::move(current);
+    return result;
+  }
+
+  // Phase 5b: audit. Outer keys are revealed; replay every member's step
+  // and blame the first whose output is not a permutation of its correctly
+  // stripped input.
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::vector<Bytes> expected =
+        sorted(strip_layer(provider, outer[k], step_inputs[k]));
+    if (sorted(step_outputs[k]) != expected) {
+      result.blamed = k;
+      break;
+    }
+  }
+  return result;
+}
+
+std::uint64_t shuffle_message_complexity(std::uint64_t n) {
+  // n hand-offs of n ciphertexts + broadcast of the final set to n members
+  // + n go/no-go votes broadcast to n members.
+  return n * n + n * n + n * n;
+}
+
+}  // namespace rac

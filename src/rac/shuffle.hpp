@@ -1,0 +1,69 @@
+// Accountable anonymous shuffle, after Dissent v1 (Corrigan-Gibbs & Ford,
+// CCS'10), used by RAC to disseminate relay blacklists without identifying
+// the accusers (Sec. IV-C "Evicting nodes": "we use the shuffle protocol of
+// Dissent v1 which allows permuting a set of fixed-length messages and
+// broadcasting the set to all members with cryptographically strong
+// anonymity").
+//
+// Data plane, faithfully implemented:
+//   1. every member i publishes ephemeral inner and outer public keys;
+//   2. member i encrypts its fixed-length message under all inner keys
+//      (layers N..1), then all outer keys (layers N..1);
+//   3. members 1..N in turn strip their outer layer from every ciphertext
+//      and apply a secret random permutation;
+//   4. the final inner-encrypted set is broadcast; each member checks its
+//      own message survived (go/no-go);
+//   5. on go, inner keys are revealed and the plaintext set decrypted; on
+//      no-go, the audit replays each member's step with revealed keys and
+//      blames the first member whose output is inconsistent.
+//
+// The control plane is synchronous here: RAC runs the shuffle as a
+// periodic group round and the simulation driver invokes it atomically
+// (its O(N^2) message cost is control-plane overhead the paper's
+// throughput experiments also exclude).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/provider.hpp"
+
+namespace rac {
+
+struct ShuffleResult {
+  bool success = false;
+  /// Permuted plaintexts (order reveals nothing about submitters).
+  std::vector<Bytes> outputs;
+  /// On failure: index of the member caught misbehaving by the audit.
+  std::optional<std::size_t> blamed;
+};
+
+/// Which member (if any) misbehaves, and how — for accountability tests.
+struct ShuffleFault {
+  enum class Kind {
+    kNone,
+    kDropCiphertext,     // discards one ciphertext during its step
+    kReplaceCiphertext,  // substitutes garbage for one ciphertext
+    kDuplicateCiphertext // emits one ciphertext twice, dropping another
+  };
+  Kind kind = Kind::kNone;
+  std::size_t member = 0;  // faulty member index
+};
+
+/// Run one shuffle round over `inputs` (all the same length). Messages are
+/// attributable to nobody in `outputs`. With a fault injected, the round
+/// fails and the audit identifies the faulty member.
+ShuffleResult run_shuffle(const CryptoProvider& provider, Rng& rng,
+                          const std::vector<Bytes>& inputs,
+                          const ShuffleFault& fault = {});
+
+/// Number of point-to-point messages a real execution of the round would
+/// exchange among n members (for cost accounting): each of the n members
+/// passes n ciphertexts to its successor, plus the final broadcast of n
+/// ciphertexts to n members and n go/no-go votes.
+std::uint64_t shuffle_message_complexity(std::uint64_t n);
+
+}  // namespace rac

@@ -1,0 +1,429 @@
+#include "rac/simulation.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/puzzle.hpp"
+
+namespace rac {
+
+std::unique_ptr<CryptoProvider> make_provider(SimulationConfig::Provider p) {
+  switch (p) {
+    case SimulationConfig::Provider::kSim: return make_sim_provider();
+    case SimulationConfig::Provider::kNative: return make_native_provider();
+    case SimulationConfig::Provider::kOpenSsl: return make_openssl_provider();
+  }
+  throw std::invalid_argument("make_provider: unknown provider");
+}
+
+Simulation::Simulation(SimulationConfig config)
+    : config_(config), sim_(config.seed) {
+  crypto_ = make_provider(config_.provider);
+  config_.node.link_bps = config_.network.link_bps;
+  net_ = std::make_unique<sim::Network>(sim_, config_.network);
+
+  const std::uint32_t n = config_.num_nodes;
+  if (n == 0) throw std::invalid_argument("Simulation: num_nodes == 0");
+  const std::uint32_t num_groups =
+      config_.group_target == 0
+          ? 1
+          : std::max<std::uint32_t>(1, n / config_.group_target);
+
+  // Endpoints first (handlers dispatch through the nodes_ vector, which is
+  // indexed identically to endpoint ids).
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const sim::EndpointId ep = net_->add_endpoint(
+        [this, i](sim::EndpointId from, const sim::Payload& msg) {
+          nodes_[i]->on_network_receive(from, msg);
+        });
+    if (ep != i) throw std::logic_error("Simulation: endpoint id mismatch");
+  }
+
+  // Group views.
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    group_views_.push_back(
+        std::make_unique<overlay::View>(config_.node.num_rings));
+  }
+
+  // Nodes: idents either random (warm start) or puzzle-derived.
+  Rng boot(sim_.rng().next());
+  const Node::Env env{&sim_, net_.get(), crypto_.get()};
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint64_t ident;
+    std::optional<KeyPair> keys;
+    if (config_.use_join_puzzle) {
+      keys = crypto_->generate_keypair(boot);
+      ident =
+          solve_puzzle(keys->pub.data, config_.node.mk_bits, boot).node_ident;
+    } else {
+      ident = boot.next();
+    }
+    const std::uint32_t group = group_of_ident(ident, num_groups);
+    nodes_.push_back(std::make_unique<Node>(env, config_.node, i, ident,
+                                            group, std::move(keys)));
+    group_views_[group]->add(i, ident);
+  }
+
+  // Channel views: union of every pair of groups.
+  for (std::uint32_t a = 0; a < num_groups; ++a) {
+    for (std::uint32_t b = a + 1; b < num_groups; ++b) {
+      const std::uint32_t ch = channel_id(a, b);
+      auto view = std::make_unique<overlay::View>(config_.node.num_rings);
+      for (const auto& [ep, ident] : group_views_[a]->members()) {
+        view->add(ep, ident);
+      }
+      for (const auto& [ep, ident] : group_views_[b]->members()) {
+        view->add(ep, ident);
+      }
+      channel_views_.emplace(ch, std::move(view));
+    }
+  }
+
+  for (auto& node : nodes_) wire_node(*node);
+}
+
+void Simulation::wire_node(Node& n) {
+  n.attach_group_view(group_views_[n.group()].get());
+  for (const auto& [ch, view] : channel_views_) {
+    const auto [a, b] = channel_groups(ch);
+    if (n.group() == a || n.group() == b) {
+      n.attach_channel_view(ch, view.get());
+    }
+  }
+  n.set_id_pub_resolver([this](EndpointId ep) {
+    return nodes_.at(ep)->id_keys().pub;
+  });
+  n.set_evict_callback([this](ScopeId scope, EndpointId evicted) {
+    apply_eviction(scope, evicted);
+  });
+}
+
+overlay::View* Simulation::channel_view(std::uint32_t channel) {
+  const auto it = channel_views_.find(channel);
+  return it == channel_views_.end() ? nullptr : it->second.get();
+}
+
+Node::Destination Simulation::destination_of(std::size_t i) const {
+  const Node& n = *nodes_.at(i);
+  return Node::Destination{n.pseudonym_keys().pub, n.group()};
+}
+
+void Simulation::start_all() {
+  for (auto& n : nodes_) n->start();
+}
+
+void Simulation::stop_all() {
+  for (auto& n : nodes_) n->stop();
+}
+
+void Simulation::start_uniform_traffic() {
+  Rng pick(sim_.rng().next());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    // Fixed random destination per sender, as in Sec. VI-C.
+    std::size_t dest;
+    do {
+      dest = pick.next_below(nodes_.size());
+    } while (dest == i);
+    const Node::Destination d = destination_of(dest);
+    nodes_[i]->set_traffic_generator([d] { return d; });
+    nodes_[dest]->set_deliver_callback([this](Bytes payload) {
+      meter_.record(sim_.now(), payload.size());
+    });
+  }
+  start_all();
+}
+
+double Simulation::avg_node_goodput_bps(SimTime from, SimTime to) const {
+  return meter_.bits_per_second(from, to) /
+         static_cast<double>(nodes_.size());
+}
+
+std::size_t Simulation::join_node(std::size_t contact) {
+  Node& x = *nodes_.at(contact);
+
+  // The newcomer generates its ID keys and solves the join puzzle; the
+  // resulting identifier determines its group (Sec. IV-C).
+  Rng boot(sim_.rng().next());
+  KeyPair keys = crypto_->generate_keypair(boot);
+  const PuzzleSolution sol =
+      solve_puzzle(keys.pub.data, config_.node.mk_bits, boot);
+  const std::uint32_t group = group_of_ident(sol.node_ident, num_groups());
+
+  const std::size_t index = nodes_.size();
+  const sim::EndpointId ep = net_->add_endpoint(
+      [this, index](sim::EndpointId from, const sim::Payload& msg) {
+        nodes_[index]->on_network_receive(from, msg);
+      });
+
+  const Node::Env env{&sim_, net_.get(), crypto_.get()};
+  nodes_.push_back(std::make_unique<Node>(env, config_.node, ep,
+                                          sol.node_ident, group,
+                                          std::move(keys)));
+  Node& newcomer = *nodes_.back();
+  wire_node(newcomer);
+
+  // x broadcasts the JOIN request in the target group; members verify the
+  // puzzle and add the newcomer to their view (handled in Node). If x is
+  // not in that group itself, it relays through the channel in a full
+  // deployment; the driver routes it to a member of the target group.
+  JoinAnnounce announce;
+  announce.ident = sol.node_ident;
+  announce.id_pubkey = newcomer.id_keys().pub.data;
+  announce.puzzle_y = sol.y;
+  announce.endpoint = ep;
+  if (x.group() == group) {
+    x.announce_join(announce);
+  } else {
+    for (auto& candidate : nodes_) {
+      if (candidate->group() == group && candidate->endpoint() != ep) {
+        candidate->announce_join(announce);
+        break;
+      }
+    }
+  }
+
+  // After period T the contact sends READY and the newcomer starts
+  // participating (Sec. IV-C). The newcomer also enters the channels of
+  // its group; members learn of it via the group's JOIN rebroadcast, which
+  // the driver applies to the shared channel views at the same time.
+  sim_.schedule(config_.node.join_settle_time, [this, index, group] {
+    Node& n = *nodes_[index];
+    for (const auto& [ch, view] : channel_views_) {
+      const auto [a, b] = channel_groups(ch);
+      if (group != a && group != b) continue;
+      view->add(n.endpoint(), n.ident());
+      // Channel members learn of the join via the group's rebroadcast;
+      // give them the same check-#2 grace as for group joins.
+      const ScopeId scope{overlay::ScopeType::kChannel, ch};
+      for (const auto& [ep, ident] : view->members()) {
+        nodes_.at(ep)->note_scope_change(scope, sim_.now());
+      }
+    }
+    n.start();
+    if (config_.auto_group_management) enforce_group_bounds();
+  });
+  return index;
+}
+
+void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
+  overlay::View* view = nullptr;
+  if (scope.type == ScopeType::kGroup) {
+    view = group_views_.at(scope.id).get();
+  } else {
+    view = channel_view(scope.id);
+  }
+  if (view == nullptr || !view->contains(evicted)) return;  // idempotent
+  view->remove(evicted);
+
+  // Fan out to every member of the scope (and to the evicted node itself).
+  std::vector<EndpointId> members;
+  members.reserve(view->size() + 1);
+  for (const auto& [ep, ident] : view->members()) members.push_back(ep);
+  members.push_back(evicted);
+  for (const EndpointId ep : members) {
+    nodes_.at(ep)->on_evicted(scope, evicted);
+  }
+}
+
+std::size_t Simulation::run_blacklist_round(std::uint32_t group) {
+  overlay::View& view = *group_views_.at(group);
+  std::vector<EndpointId> members;
+  members.reserve(view.size());
+  for (const auto& [ep, ident] : view.members()) members.push_back(ep);
+
+  std::vector<Bytes> inputs;
+  inputs.reserve(members.size());
+  for (const EndpointId ep : members) {
+    inputs.push_back(nodes_.at(ep)->shuffle_contribution().encode());
+  }
+
+  Rng shuffle_rng(sim_.rng().next());
+  const ShuffleResult result = run_shuffle(*crypto_, shuffle_rng, inputs);
+  if (!result.success) {
+    throw std::logic_error("run_blacklist_round: honest shuffle failed");
+  }
+
+  std::vector<RelayBlacklistEntry> entries;
+  entries.reserve(result.outputs.size());
+  std::size_t non_empty = 0;
+  for (const Bytes& out : result.outputs) {
+    const RelayBlacklistEntry entry = RelayBlacklistEntry::decode(out);
+    bool any = false;
+    for (const std::uint32_t a : entry.accused) {
+      any |= (a != RelayBlacklistEntry::kNoAccused);
+    }
+    non_empty += any ? 1 : 0;
+    entries.push_back(entry);
+  }
+  for (const EndpointId ep : members) {
+    nodes_.at(ep)->ingest_shuffle_output(entries);
+  }
+  return non_empty;
+}
+
+std::vector<std::uint32_t> Simulation::active_groups() const {
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t g = 0; g < group_views_.size(); ++g) {
+    if (group_views_[g]->size() > 0) out.push_back(g);
+  }
+  return out;
+}
+
+void Simulation::sync_channels() {
+  const std::vector<std::uint32_t> active = active_groups();
+  std::vector<std::uint32_t> desired;
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    for (std::size_t j = i + 1; j < active.size(); ++j) {
+      desired.push_back(channel_id(active[i], active[j]));
+    }
+  }
+
+  // Drop channels whose group pair no longer exists.
+  for (auto it = channel_views_.begin(); it != channel_views_.end();) {
+    if (std::find(desired.begin(), desired.end(), it->first) ==
+        desired.end()) {
+      for (auto& n : nodes_) n->detach_channel_view(it->first);
+      it = channel_views_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Create or rebuild every desired channel as the union of its groups.
+  for (const std::uint32_t ch : desired) {
+    const auto [a, b] = channel_groups(ch);
+    auto& view_ptr = channel_views_[ch];
+    if (!view_ptr) {
+      view_ptr = std::make_unique<overlay::View>(config_.node.num_rings);
+    }
+    overlay::View& view = *view_ptr;
+    std::vector<EndpointId> stale;
+    for (const auto& [ep, ident] : view.members()) {
+      if (!group_views_[a]->contains(ep) && !group_views_[b]->contains(ep)) {
+        stale.push_back(ep);
+      }
+    }
+    for (const EndpointId ep : stale) view.remove(ep);
+    for (const std::uint32_t g : {a, b}) {
+      for (const auto& [ep, ident] : group_views_[g]->members()) {
+        view.add(ep, ident);
+      }
+    }
+  }
+
+  // Reconcile per-node registrations and grant the check-#2 grace window.
+  for (auto& n : nodes_) {
+    for (const std::uint32_t ch : desired) {
+      const auto [a, b] = channel_groups(ch);
+      const bool member =
+          (n->group() == a || n->group() == b) &&
+          group_views_[n->group()]->contains(n->endpoint());
+      if (member) {
+        n->attach_channel_view(ch, channel_views_[ch].get());
+        n->note_scope_change(ScopeId{overlay::ScopeType::kChannel, ch},
+                             sim_.now());
+      } else {
+        n->detach_channel_view(ch);
+      }
+    }
+  }
+}
+
+std::uint32_t Simulation::split_group(std::uint32_t group) {
+  overlay::View& old_view = *group_views_.at(group);
+  if (old_view.size() < 2) {
+    throw std::invalid_argument("split_group: nothing to split");
+  }
+  if (group_views_.size() > 0xFFFF) {
+    throw std::logic_error("split_group: group id space exhausted");
+  }
+
+  // A member announces the split (the outcome is a pure function of the
+  // shared view, so any member's notice suffices).
+  nodes_.at(old_view.members().begin()->first)
+      ->announce_group_control(GroupControl::Op::kSplit);
+
+  const auto new_gid = static_cast<std::uint32_t>(group_views_.size());
+  group_views_.push_back(
+      std::make_unique<overlay::View>(config_.node.num_rings));
+  const SplitPlan plan = plan_group_split(old_view, group, new_gid);
+
+  for (const EndpointId ep : plan.move) {
+    const std::uint64_t ident = old_view.members().at(ep);
+    old_view.remove(ep);
+    group_views_[new_gid]->add(ep, ident);
+    nodes_.at(ep)->rebind_group(new_gid, group_views_[new_gid].get());
+  }
+  for (const EndpointId ep : plan.stay) {
+    nodes_.at(ep)->note_scope_change(
+        ScopeId{overlay::ScopeType::kGroup, group}, sim_.now());
+  }
+  sync_channels();
+  return new_gid;
+}
+
+void Simulation::dissolve_group(std::uint32_t group) {
+  overlay::View& view = *group_views_.at(group);
+  if (view.size() == 0) return;
+  std::vector<std::uint32_t> others = active_groups();
+  std::erase(others, group);
+  if (others.empty()) {
+    throw std::logic_error("dissolve_group: cannot dissolve the last group");
+  }
+
+  nodes_.at(view.members().begin()->first)
+      ->announce_group_control(GroupControl::Op::kDissolve);
+
+  const auto plan = plan_group_dissolve(view, others);
+  for (const auto& [ep, dest] : plan) {
+    const std::uint64_t ident = view.members().at(ep);
+    view.remove(ep);
+    group_views_[dest]->add(ep, ident);
+    nodes_.at(ep)->rebind_group(dest, group_views_[dest].get());
+  }
+  // Receiving groups' members get the grace window too.
+  for (const std::uint32_t g : others) {
+    for (const auto& [ep, ident] : group_views_[g]->members()) {
+      nodes_.at(ep)->note_scope_change(
+          ScopeId{overlay::ScopeType::kGroup, g}, sim_.now());
+    }
+  }
+  sync_channels();
+}
+
+std::size_t Simulation::enforce_group_bounds() {
+  std::size_t operations = 0;
+  bool changed = true;
+  while (changed && operations < group_views_.size() + nodes_.size()) {
+    changed = false;
+    for (const std::uint32_t g : active_groups()) {
+      switch (group_bound_action(group_views_[g]->size(), config_.node.smin,
+                                 config_.node.smax)) {
+        case GroupBoundAction::kSplit:
+          split_group(g);
+          ++operations;
+          changed = true;
+          break;
+        case GroupBoundAction::kDissolve:
+          if (active_groups().size() > 1) {
+            dissolve_group(g);
+            ++operations;
+            changed = true;
+          }
+          break;
+        case GroupBoundAction::kNone:
+          break;
+      }
+      if (changed) break;  // group set mutated; restart the scan
+    }
+  }
+  return operations;
+}
+
+std::uint64_t Simulation::total_counter(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const auto& n : nodes_) total += n->counters().get(name);
+  return total;
+}
+
+}  // namespace rac

@@ -1,0 +1,129 @@
+// Simulation driver: builds a whole RAC deployment inside the DES.
+//
+// Responsibilities:
+//  - endpoints, nodes, group assignment (random idents, or join puzzles);
+//  - shared membership views per scope (reliable broadcast keeps correct
+//    nodes' views identical, so the simulator materializes each view once
+//    — see DESIGN.md "shared views");
+//  - channel views for every pair of groups that may communicate;
+//  - the Sec. VI-C workload (every node sends to a random destination at
+//    the maximum rate it can sustain) and the delivery throughput meter;
+//  - the join protocol choreography (JOIN -> group broadcast -> READY);
+//  - eviction application and fan-out;
+//  - periodic anonymous relay-blacklist shuffle rounds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "rac/groups.hpp"
+#include "rac/node.hpp"
+#include "rac/shuffle.hpp"
+
+namespace rac {
+
+struct SimulationConfig {
+  std::uint32_t num_nodes = 100;
+  /// Target group size G; 0 = RAC-NoGroup (one system-wide group).
+  std::uint32_t group_target = 0;
+  Config node;
+  sim::NetworkConfig network;
+  std::uint64_t seed = 42;
+  enum class Provider { kSim, kNative, kOpenSsl };
+  Provider provider = Provider::kSim;
+  /// Derive idents from join puzzles (slower; exercised by join tests)
+  /// instead of uniform random idents.
+  bool use_join_puzzle = false;
+  /// Enforce [smin, smax] group bounds automatically after every join
+  /// (Sec. IV-C "Managing groups"). Off by default so throughput
+  /// experiments keep a fixed topology.
+  bool auto_group_management = false;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig config);
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Network& network() { return *net_; }
+  const CryptoProvider& crypto() const { return *crypto_; }
+
+  std::size_t size() const { return nodes_.size(); }
+  Node& node(std::size_t i) { return *nodes_.at(i); }
+  const Node& node(std::size_t i) const { return *nodes_.at(i); }
+  std::uint32_t num_groups() const {
+    return static_cast<std::uint32_t>(group_views_.size());
+  }
+  overlay::View& group_view(std::uint32_t group) {
+    return *group_views_.at(group);
+  }
+  /// Channel view for a pair of groups (nullptr if single-group system).
+  overlay::View* channel_view(std::uint32_t channel);
+
+  /// Destination handle for node i (its pseudonym key and group).
+  Node::Destination destination_of(std::size_t i) const;
+
+  // --- Workload (Sec. VI-C). ---
+  void start_all();
+  void stop_all();
+  /// Every node streams synthetic payloads to one random destination.
+  void start_uniform_traffic();
+  void run_for(SimDuration d) { sim_.run_for(d); }
+
+  /// System-wide delivered-payload meter.
+  const sim::ThroughputMeter& delivery_meter() const { return meter_; }
+  /// Average per-node goodput over [from, to) in bits/second.
+  double avg_node_goodput_bps(SimTime from, SimTime to) const;
+
+  // --- Dynamic membership. ---
+  /// Run the join protocol for a brand-new node through `contact`.
+  /// Returns the new node's index. The node starts after READY.
+  std::size_t join_node(std::size_t contact);
+
+  /// Apply an eviction decision to the shared views (idempotent) and fan
+  /// out Node::on_evicted to every member of the scope.
+  void apply_eviction(ScopeId scope, EndpointId evicted);
+
+  /// Run one anonymous relay-blacklist shuffle round in `group`
+  /// (Sec. IV-C "Evicting nodes"). Returns the number of non-empty
+  /// accusation slots.
+  std::size_t run_blacklist_round(std::uint32_t group);
+
+  // --- Group management (Sec. IV-C "Managing groups"). ---
+  /// Groups that currently have members.
+  std::vector<std::uint32_t> active_groups() const;
+  /// Split `group` deterministically (lower idents stay, upper idents form
+  /// a fresh group); a member broadcasts the split notice first.
+  /// Returns the new group's id.
+  std::uint32_t split_group(std::uint32_t group);
+  /// Dissolve `group`: its members are reassigned onto the remaining
+  /// active groups by identifier. Requires at least one other group.
+  void dissolve_group(std::uint32_t group);
+  /// Apply splits/dissolves until every active group is within
+  /// [smin, smax]. Returns the number of operations performed.
+  std::size_t enforce_group_bounds();
+
+  /// Aggregate a named counter over all nodes.
+  std::uint64_t total_counter(const std::string& name) const;
+
+ private:
+  void wire_node(Node& n);
+  /// Reconcile channel views and per-node channel registrations with the
+  /// current set of active groups (after splits/dissolves/joins).
+  void sync_channels();
+
+  SimulationConfig config_;
+  sim::Simulator sim_;
+  std::unique_ptr<CryptoProvider> crypto_;
+  std::unique_ptr<sim::Network> net_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<overlay::View>> group_views_;
+  std::unordered_map<std::uint32_t, std::unique_ptr<overlay::View>>
+      channel_views_;
+  sim::ThroughputMeter meter_;
+};
+
+/// Convenience: make the provider named by the config.
+std::unique_ptr<CryptoProvider> make_provider(SimulationConfig::Provider p);
+
+}  // namespace rac

@@ -1,0 +1,115 @@
+#include "rac/wire.hpp"
+
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+
+namespace rac {
+
+Bytes JoinAnnounce::encode() const {
+  BinaryWriter w;
+  w.u64(ident);
+  w.blob(id_pubkey);
+  w.blob(puzzle_y);
+  w.u32(endpoint);
+  return w.take();
+}
+
+JoinAnnounce JoinAnnounce::decode(ByteView wire) {
+  BinaryReader r(wire);
+  JoinAnnounce j;
+  j.ident = r.u64();
+  j.id_pubkey = r.blob();
+  j.puzzle_y = r.blob();
+  j.endpoint = r.u32();
+  r.expect_done();
+  return j;
+}
+
+Bytes PredAccusation::encode() const {
+  BinaryWriter w;
+  w.u32(accuser);
+  w.u32(accused);
+  w.u8(static_cast<std::uint8_t>(reason));
+  return w.take();
+}
+
+PredAccusation PredAccusation::decode(ByteView wire) {
+  BinaryReader r(wire);
+  PredAccusation a;
+  a.accuser = r.u32();
+  a.accused = r.u32();
+  a.reason = static_cast<SuspicionReason>(r.u8());
+  r.expect_done();
+  return a;
+}
+
+Bytes EvictNotice::encode() const {
+  BinaryWriter w;
+  w.u32(notifier);
+  w.u32(evicted);
+  w.u8(scope_type);
+  w.u32(scope_id);
+  return w.take();
+}
+
+EvictNotice EvictNotice::decode(ByteView wire) {
+  BinaryReader r(wire);
+  EvictNotice e;
+  e.notifier = r.u32();
+  e.evicted = r.u32();
+  e.scope_type = r.u8();
+  e.scope_id = r.u32();
+  r.expect_done();
+  return e;
+}
+
+Bytes RelayBlacklistEntry::encode() const {
+  BinaryWriter w;
+  for (const std::uint32_t a : accused) w.u32(a);
+  return w.take();
+}
+
+RelayBlacklistEntry RelayBlacklistEntry::decode(ByteView wire) {
+  if (wire.size() != encoded_size()) {
+    throw DecodeError("RelayBlacklistEntry: wrong size");
+  }
+  BinaryReader r(wire);
+  RelayBlacklistEntry e;
+  for (auto& a : e.accused) a = r.u32();
+  return e;
+}
+
+Bytes GroupControl::encode() const {
+  BinaryWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u32(group);
+  return w.take();
+}
+
+GroupControl GroupControl::decode(ByteView wire) {
+  BinaryReader r(wire);
+  GroupControl g;
+  g.op = static_cast<Op>(r.u8());
+  g.group = r.u32();
+  r.expect_done();
+  return g;
+}
+
+std::uint32_t channel_id(std::uint32_t group_a, std::uint32_t group_b) {
+  if (group_a == group_b) {
+    throw std::invalid_argument("channel_id: identical groups");
+  }
+  if (group_a > 0xFFFF || group_b > 0xFFFF) {
+    throw std::invalid_argument("channel_id: group id exceeds 16 bits");
+  }
+  const std::uint32_t lo = std::min(group_a, group_b);
+  const std::uint32_t hi = std::max(group_a, group_b);
+  return (lo << 16) | hi;
+}
+
+std::pair<std::uint32_t, std::uint32_t> channel_groups(std::uint32_t channel) {
+  return {channel >> 16, channel & 0xFFFF};
+}
+
+}  // namespace rac

@@ -1,0 +1,99 @@
+// RAC message kinds and control-message wire formats.
+//
+// Data cells travel as opaque fixed-size padded buffers (see crypto/onion);
+// everything here concerns the control plane: join announcements,
+// predecessor accusations, eviction notices, and relay-blacklist entries.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "overlay/broadcast.hpp"
+
+namespace rac {
+
+/// Envelope `kind` values used by RAC broadcasts.
+enum class MsgKind : std::uint8_t {
+  kDataCell = 1,         // padded onion/noise cell
+  kJoinAnnounce = 2,     // JoinAnnounce, broadcast in the target group
+  kPredAccusation = 3,   // PredAccusation, clear, in the relevant scope
+  kEvictNotice = 4,      // EvictNotice, group -> channels after an eviction
+  kRelayBlacklist = 5,   // one anonymized relay-blacklist entry (shuffled)
+  kGroupControl = 6,     // GroupControl: split / dissolve coordination
+};
+
+/// Why a predecessor was suspected (check #2 and #3, Sec. IV-C).
+enum class SuspicionReason : std::uint8_t {
+  kMissingCopy = 1,   // did not forward a broadcast it owed us
+  kDuplicateCopy = 2, // sent the same broadcast twice (replay attack)
+  kRateTooLow = 3,    // sends below the protocol rate
+  kRateTooHigh = 4,   // sends above the protocol rate
+  kRelayDrop = 5,     // (relay blacklist) failed to forward as a relay
+};
+
+struct JoinAnnounce {
+  std::uint64_t ident = 0;       // g(K, y), the puzzle-derived identifier
+  Bytes id_pubkey;               // K
+  Bytes puzzle_y;                // y, verified by every group member
+  std::uint32_t endpoint = 0;    // network address of the joiner
+
+  Bytes encode() const;
+  static JoinAnnounce decode(ByteView wire);
+};
+
+/// Predecessor accusations are "disseminated as clear messages in the
+/// channels or group" (Sec. IV-C): the accuser is identified. A production
+/// deployment signs these with the accuser's ID key; the simulator trusts
+/// the field (forging it buys an opponent nothing — only accusations from
+/// actual followers of the accused count toward the quorum).
+struct PredAccusation {
+  std::uint32_t accuser = 0;     // endpoint id of the accusing node
+  std::uint32_t accused = 0;     // endpoint id of the suspected predecessor
+  SuspicionReason reason = SuspicionReason::kMissingCopy;
+
+  Bytes encode() const;
+  static PredAccusation decode(ByteView wire);
+};
+
+struct EvictNotice {
+  std::uint32_t notifier = 0;    // group member relaying the eviction
+  std::uint32_t evicted = 0;     // endpoint id
+  std::uint8_t scope_type = 0;   // overlay::ScopeType of the origin scope
+  std::uint32_t scope_id = 0;
+
+  Bytes encode() const;
+  static EvictNotice decode(ByteView wire);
+};
+
+/// One fixed-length slot of the anonymous relay-blacklist shuffle. A node
+/// with nothing to report submits a slot of kNoAccused sentinels (slots
+/// must exist and have fixed size so silence is indistinguishable from
+/// accusation).
+struct RelayBlacklistEntry {
+  static constexpr std::size_t kMaxAccused = 4;
+  static constexpr std::uint32_t kNoAccused = 0xFFFF'FFFF;
+  std::uint32_t accused[kMaxAccused] = {kNoAccused, kNoAccused, kNoAccused,
+                                        kNoAccused};
+
+  /// Fixed-length encoding (kMaxAccused * 4 bytes) — required by the
+  /// shuffle, whose messages must all have the same size.
+  Bytes encode() const;
+  static RelayBlacklistEntry decode(ByteView wire);
+  static constexpr std::size_t encoded_size() { return kMaxAccused * 4; }
+};
+
+struct GroupControl {
+  enum class Op : std::uint8_t { kSplit = 1, kDissolve = 2 };
+  Op op = Op::kSplit;
+  std::uint32_t group = 0;
+
+  Bytes encode() const;
+  static GroupControl decode(ByteView wire);
+};
+
+/// Channel identifier for a pair of groups (order-insensitive).
+std::uint32_t channel_id(std::uint32_t group_a, std::uint32_t group_b);
+/// Recover the two group ids of a channel.
+std::pair<std::uint32_t, std::uint32_t> channel_groups(std::uint32_t channel);
+
+}  // namespace rac

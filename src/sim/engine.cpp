@@ -1,0 +1,43 @@
+#include "sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace rac::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the handle must be moved out before
+  // pop, so copy the small parts and steal the closure via const_cast-free
+  // re-wrap: copy is acceptable for the function object here because we
+  // std::move from a mutable copy of the top element.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++events_processed_;
+  ev.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace rac::sim

@@ -1,0 +1,78 @@
+#include "sim/network.hpp"
+
+#include <stdexcept>
+
+namespace rac::sim {
+
+Payload make_payload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+Network::Network(Simulator& sim, NetworkConfig config)
+    : sim_(sim), config_(config) {
+  if (config_.link_bps <= 0) {
+    throw std::invalid_argument("Network: link_bps must be positive");
+  }
+}
+
+EndpointId Network::add_endpoint(Handler handler) {
+  endpoints_.push_back(Endpoint{std::move(handler), 0, 0, {}});
+  return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::send(EndpointId from, EndpointId to, Payload payload,
+                   std::size_t wire_bytes) {
+  if (from >= endpoints_.size() || to >= endpoints_.size()) {
+    throw std::out_of_range("Network::send: unknown endpoint");
+  }
+  if (from == to) {
+    throw std::invalid_argument("Network::send: self-send not modelled");
+  }
+  const std::size_t bytes = wire_bytes != 0 ? wire_bytes : payload->size();
+  const SimDuration tx = transmission_delay(bytes, config_.link_bps);
+
+  Endpoint& src = endpoints_[from];
+
+  // Uplink serialization (FIFO behind any queued transmissions).
+  const SimTime up_start = std::max(sim_.now(), src.uplink_free);
+  const SimTime up_end = up_start + tx;
+  src.uplink_free = up_end;
+  src.stats.messages_sent++;
+  src.stats.bytes_sent += bytes;
+  total_bytes_ += bytes;
+  if (tap_) tap_(from, to, bytes, sim_.now());
+
+  // Lossy-network mode: the transmission occupies the uplink but never
+  // arrives (tail drop after the bottleneck).
+  if (config_.loss_rate > 0.0 && sim_.rng().next_bool(config_.loss_rate)) {
+    ++messages_lost_;
+    return;
+  }
+
+  // Arrival at the destination downlink after propagation; FIFO there too.
+  // Downlink occupancy is computed lazily at arrival time via a scheduled
+  // closure so FIFO order across senders follows arrival order.
+  sim_.schedule_at(up_end + config_.propagation, [this, from, to, payload,
+                                                  bytes, tx]() {
+    Endpoint& d = endpoints_[to];
+    const SimTime down_start = std::max(sim_.now(), d.downlink_free);
+    const SimTime down_end = down_start + tx;
+    d.downlink_free = down_end;
+    sim_.schedule_at(down_end, [this, from, to, payload, bytes]() {
+      Endpoint& dd = endpoints_[to];
+      dd.stats.messages_received++;
+      dd.stats.bytes_received += bytes;
+      dd.handler(from, payload);
+    });
+  });
+}
+
+SimTime Network::uplink_busy_until(EndpointId node) const {
+  return std::max(sim_.now(), endpoints_.at(node).uplink_free);
+}
+
+const LinkStats& Network::stats(EndpointId node) const {
+  return endpoints_.at(node).stats;
+}
+
+}  // namespace rac::sim

@@ -1,0 +1,97 @@
+// Star-topology network model: every endpoint hangs off one router via a
+// full-duplex access link (1 Gb/s in the paper's setup).
+//
+// Transmission model per unicast message of B bytes from a to b:
+//   1. serialize on a's uplink  — FIFO, busy for B*8/C seconds,
+//   2. propagate                — fixed one-way latency,
+//   3. serialize on b's downlink — FIFO, busy for B*8/C seconds,
+//   4. deliver to b's handler.
+// The router itself is non-blocking (ideal switch), matching the paper's
+// "ideal network configuration [to] measure the maximum throughput each
+// protocol can reach".
+//
+// Payloads are shared immutably (shared_ptr<const Bytes>) so a broadcast to
+// R successors costs pointer copies, not buffer copies.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "sim/engine.hpp"
+
+namespace rac::sim {
+
+using EndpointId = std::uint32_t;
+using Payload = std::shared_ptr<const Bytes>;
+
+/// Make a shared payload from a byte buffer.
+Payload make_payload(Bytes bytes);
+
+struct NetworkConfig {
+  double link_bps = 1e9;                   // access link capacity
+  SimDuration propagation = 50 * kMicrosecond;  // one-way latency
+  /// Probability that any given message is lost in transit (the paper's
+  /// network is ideal; loss exists to exercise the R-ring redundancy and
+  /// TCP-retransmission assumptions under degraded conditions).
+  double loss_rate = 0.0;
+};
+
+struct LinkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t messages_received = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(EndpointId from, const Payload& msg)>;
+
+  Network(Simulator& sim, NetworkConfig config);
+
+  /// Register an endpoint; its handler fires on every delivery.
+  EndpointId add_endpoint(Handler handler);
+  std::size_t num_endpoints() const { return endpoints_.size(); }
+
+  /// Queue a unicast. `wire_bytes` normally equals payload size but can be
+  /// overridden to model framing (0 = use payload size).
+  void send(EndpointId from, EndpointId to, Payload payload,
+            std::size_t wire_bytes = 0);
+
+  /// Absolute time at which `node`'s uplink finishes its current backlog
+  /// (== now when idle). Protocol nodes use this for saturation pacing.
+  SimTime uplink_busy_until(EndpointId node) const;
+
+  /// Wire tap: invoked for every message at send time with the link
+  /// metadata a global passive opponent can see (endpoints, size, time —
+  /// never the plaintext). Used by analysis::GlobalObserver.
+  using Tap = std::function<void(EndpointId from, EndpointId to,
+                                 std::size_t bytes, SimTime when)>;
+  void set_tap(Tap tap) { tap_ = std::move(tap); }
+
+  const LinkStats& stats(EndpointId node) const;
+  /// Total bytes offered to the network so far.
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  /// Messages dropped by the lossy-network mode.
+  std::uint64_t messages_lost() const { return messages_lost_; }
+
+ private:
+  struct Endpoint {
+    Handler handler;
+    SimTime uplink_free = 0;
+    SimTime downlink_free = 0;
+    LinkStats stats;
+  };
+
+  Simulator& sim_;
+  NetworkConfig config_;
+  std::vector<Endpoint> endpoints_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t messages_lost_ = 0;
+  Tap tap_;
+};
+
+}  // namespace rac::sim

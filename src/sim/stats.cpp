@@ -1,0 +1,45 @@
+#include "sim/stats.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rac::sim {
+
+void ThroughputMeter::record(SimTime when, std::uint64_t bytes) {
+  samples_.push_back(Sample{when, bytes});
+  total_bytes_ += bytes;
+  total_messages_++;
+}
+
+double ThroughputMeter::bits_per_second(SimTime from, SimTime to) const {
+  if (to <= from) throw std::invalid_argument("ThroughputMeter: empty window");
+  std::uint64_t bytes = 0;
+  for (const auto& s : samples_) {
+    if (s.when >= from && s.when < to) bytes += s.bytes;
+  }
+  return static_cast<double>(bytes) * 8.0 / to_seconds(to - from);
+}
+
+void Aggregate::add(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  sum_ += v;
+  ++count_;
+}
+
+double Aggregate::mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+void Counters::bump(const std::string& name, std::uint64_t delta) {
+  counts_[name] += delta;
+}
+
+std::uint64_t Counters::get(const std::string& name) const {
+  const auto it = counts_.find(name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace rac::sim

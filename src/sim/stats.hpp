@@ -1,0 +1,63 @@
+// Measurement helpers for simulation experiments.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rac::sim {
+
+/// Accumulates delivered bytes and reports average goodput over a window.
+/// Supports a warm-up cut so steady-state throughput excludes start-up
+/// transients.
+class ThroughputMeter {
+ public:
+  void record(SimTime when, std::uint64_t bytes);
+
+  /// Average bits/second between `from` and `to` (simulated time).
+  double bits_per_second(SimTime from, SimTime to) const;
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_messages() const { return total_messages_; }
+
+ private:
+  struct Sample {
+    SimTime when;
+    std::uint64_t bytes;
+  };
+  std::vector<Sample> samples_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_messages_ = 0;
+};
+
+/// Simple online mean/min/max/count aggregate for latencies etc.
+class Aggregate {
+ public:
+  void add(double v);
+  std::uint64_t count() const { return count_; }
+  double mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Named counters for protocol events (messages forwarded, suspicions
+/// raised, evictions, ...).
+class Counters {
+ public:
+  void bump(const std::string& name, std::uint64_t delta = 1);
+  std::uint64_t get(const std::string& name) const;
+  const std::map<std::string, std::uint64_t>& all() const { return counts_; }
+
+ private:
+  std::map<std::string, std::uint64_t> counts_;
+};
+
+}  // namespace rac::sim

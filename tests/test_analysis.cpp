@@ -1,0 +1,340 @@
+// Analysis tests: Table I reproduction (every protocol, every opponent
+// fraction), the Section IV/V spot numbers, ring security, and the
+// x*Bcast(y) cost algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/anonymity.hpp"
+#include "analysis/cost_model.hpp"
+#include "analysis/intersection.hpp"
+#include "analysis/ring_security.hpp"
+
+namespace rac::analysis {
+namespace {
+
+AnonymityParams paper_params(double f) {
+  AnonymityParams p;
+  p.n = 100'000;
+  p.g = 1'000;
+  p.f = f;
+  p.l = 5;
+  return p;
+}
+
+AnonymityParams nogroup_params(double f) {
+  AnonymityParams p = paper_params(f);
+  p.g = p.n;
+  return p;
+}
+
+void expect_log10_near(LogProb v, double expected_log10, double tol,
+                       const char* what) {
+  ASSERT_FALSE(v.is_zero()) << what;
+  EXPECT_NEAR(v.log10(), expected_log10, tol) << what;
+}
+
+// --- draw_all_marked ---
+
+TEST(DrawAllMarked, MatchesHandComputation) {
+  // 3 marked of 10, pick 2: (3/10)*(2/9) = 1/15.
+  EXPECT_NEAR(draw_all_marked(3, 10, 2).linear(), 1.0 / 15.0, 1e-12);
+  EXPECT_TRUE(draw_all_marked(3, 10, 4).is_zero());
+  EXPECT_TRUE(draw_all_marked(3, 10, 0).is_one());
+  EXPECT_TRUE(draw_all_marked(10, 10, 10).is_one());
+  EXPECT_THROW(draw_all_marked(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(draw_all_marked(3, 10, 11), std::invalid_argument);
+}
+
+// --- Table I: sender anonymity row by row ---
+// Paper values (100.000 nodes, L=5, G=1000):
+//   P=90%: onion/NoGroup 0.53,    RAC-1000 7.1e-11
+//   P=50%: onion/NoGroup 1.5e-2,  RAC-1000 1.8e-16
+//   P=10%: onion/NoGroup 9.9e-7,  RAC-1000 7.3e-22
+
+TEST(TableI, OnionSenderP90) {
+  expect_log10_near(onion_sender_break(paper_params(0.9)), std::log10(0.53),
+                    0.01, "onion sender P=90%");
+}
+
+TEST(TableI, OnionSenderP50) {
+  expect_log10_near(onion_sender_break(paper_params(0.5)),
+                    std::log10(1.5e-2), 0.02, "onion sender P=50%");
+}
+
+TEST(TableI, OnionSenderP10) {
+  expect_log10_near(onion_sender_break(paper_params(0.1)),
+                    std::log10(9.9e-7), 0.02, "onion sender P=10%");
+}
+
+TEST(TableI, NoGroupSenderEqualsOnion) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(rac_sender_break(nogroup_params(f)).log10(),
+                onion_sender_break(paper_params(f)).log10(), 1e-9)
+        << "f=" << f;
+  }
+}
+
+TEST(TableI, Rac1000SenderP10) {
+  expect_log10_near(rac_sender_break(paper_params(0.1)),
+                    std::log10(7.3e-22), 0.05, "RAC-1000 sender P=10%");
+}
+
+TEST(TableI, Rac1000SenderP50) {
+  expect_log10_near(rac_sender_break(paper_params(0.5)),
+                    std::log10(1.8e-16), 0.10, "RAC-1000 sender P=50%");
+}
+
+TEST(TableI, Rac1000SenderP90) {
+  expect_log10_near(rac_sender_break(paper_params(0.9)),
+                    std::log10(7.1e-11), 0.15, "RAC-1000 sender P=90%");
+}
+
+// --- Table I: receiver anonymity / unlinkability ---
+//   P=90%: RAC-1000 1.1e-46;  P=50%: 1.2e-303;  P=10%: 5.8e-1020.
+
+TEST(TableI, Rac1000ReceiverP90) {
+  expect_log10_near(rac_receiver_break(paper_params(0.9)),
+                    std::log10(1.1) - 46, 0.5, "RAC-1000 receiver P=90%");
+}
+
+TEST(TableI, Rac1000ReceiverP50) {
+  expect_log10_near(rac_receiver_break(paper_params(0.5)),
+                    std::log10(1.2) - 303, 0.7, "RAC-1000 receiver P=50%");
+}
+
+TEST(TableI, Rac1000ReceiverP10) {
+  expect_log10_near(rac_receiver_break(paper_params(0.1)),
+                    std::log10(5.8) - 1020, 1.0, "RAC-1000 receiver P=10%");
+}
+
+TEST(TableI, NoGroupReceiverIsZero) {
+  // The opponent would need to control all nodes but one.
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_TRUE(rac_receiver_break(nogroup_params(f)).is_zero()) << f;
+  }
+}
+
+TEST(TableI, UnlinkabilityEqualsReceiver) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(rac_unlinkability_break(paper_params(f)).log10(),
+              rac_receiver_break(paper_params(f)).log10());
+  }
+}
+
+TEST(TableI, OnionReceiverEqualsSender) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_EQ(onion_receiver_break(paper_params(f)).log10(),
+              onion_sender_break(paper_params(f)).log10());
+  }
+}
+
+TEST(TableI, DissentAlwaysZero) {
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_TRUE(dissent_break(paper_params(f)).is_zero());
+  }
+  AnonymityParams all = paper_params(1.0);
+  EXPECT_TRUE(dissent_break(all).is_one());
+}
+
+TEST(TableI, GroupingImprovesSenderAnonymity) {
+  // The counter-intuitive observation of Sec. VI-D: RAC-1000 beats
+  // RAC-NoGroup because the opponent cannot choose its groups.
+  for (const double f : {0.1, 0.5, 0.9}) {
+    EXPECT_LT(rac_sender_break(paper_params(f)),
+              rac_sender_break(nogroup_params(f)))
+        << "f=" << f;
+  }
+}
+
+TEST(SenderBreak, WorstCaseXIsJustAbovePathLength) {
+  // At f=10% the max over X is attained at X = L+1 (all six picks must be
+  // opponents and extra opponents are wasted placement probability).
+  EXPECT_EQ(rac_sender_worst_x(paper_params(0.1)), 6u);
+  // At higher f the optimum moves to larger X.
+  EXPECT_GT(rac_sender_worst_x(paper_params(0.5)), 6u);
+}
+
+// --- Section V-A2: active opponents ---
+
+TEST(ActiveOpponent, PathForcingIsFgTimesPassive) {
+  const AnonymityParams p = paper_params(0.05);
+  const LogProb passive = rac_sender_break(p);
+  const LogProb active = rac_active_path_forcing(p);
+  EXPECT_NEAR(active.log10() - passive.log10(), std::log10(50.0), 1e-9);
+}
+
+TEST(ActiveOpponent, SmallAtPaperParameters) {
+  // Paper quotes 2.8e-23 at f=5% (derived from its 5.7e-25 passive figure;
+  // our exact evaluation of the same formula lands within ~2 orders — see
+  // EXPERIMENTS.md). Assert the defining property: still astronomically
+  // small.
+  const LogProb active = rac_active_path_forcing(paper_params(0.05));
+  EXPECT_LT(active.log10(), -20.0);
+}
+
+// --- Ring security ---
+
+TEST(RingSecurity, PaperSixTimesTenMinusSix) {
+  // "with f = 5%, 7 rings guarantees probability lower than 6.0e-6 of a
+  // majority of opponents in the successor set" — reproduced with the
+  // m = floor(R/2)+2 threshold.
+  const LogProb p =
+      successor_compromise_prob(7, 0.05, paper_majority_threshold(7));
+  // Exact binomial tail is 6.03e-6; the paper rounds it to "lower than
+  // 6.0e-6".
+  EXPECT_NEAR(p.linear(), 6.03e-6, 5e-8);
+}
+
+TEST(RingSecurity, StrictMajorityIsLarger) {
+  const LogProb strict =
+      successor_compromise_prob(7, 0.05, strict_majority_threshold(7));
+  const LogProb paper =
+      successor_compromise_prob(7, 0.05, paper_majority_threshold(7));
+  EXPECT_GT(strict, paper);
+}
+
+TEST(RingSecurity, MoreRingsMoreSecurity) {
+  LogProb prev = LogProb::one();
+  for (unsigned r = 3; r <= 15; r += 2) {
+    const LogProb p =
+        successor_compromise_prob(r, 0.1, paper_majority_threshold(r));
+    EXPECT_LT(p, prev) << "R=" << r;
+    prev = p;
+  }
+}
+
+TEST(RingSecurity, RingsNeededFindsSeven) {
+  // f=5%, target 1e-5 is met by 7 rings (5.97e-6) but not 5.
+  EXPECT_LE(rings_needed(0.05, 1e-5), 7u);
+  EXPECT_GT(rings_needed(0.05, 1e-10), 7u);
+  EXPECT_THROW(rings_needed(0.05, 0.0), std::invalid_argument);
+}
+
+TEST(RingSecurity, HypergeometricTracksBinomial) {
+  // In a big group the hypergeometric refinement is close to the binomial
+  // model; in a tiny one it differs.
+  const LogProb bin = successor_compromise_prob(7, 0.1, 5);
+  const LogProb hyper_big = successor_compromise_prob_hypergeom(7, 1000, 100, 5);
+  EXPECT_NEAR(bin.log10(), hyper_big.log10(), 0.1);
+  const LogProb hyper_tiny = successor_compromise_prob_hypergeom(7, 10, 1, 5);
+  EXPECT_TRUE(hyper_tiny.is_zero());  // only one opponent exists
+}
+
+TEST(RingSecurity, ReliabilityRingBound) {
+  // log(1000) + c honest successors needed; at f=10% that needs
+  // ceil((6.9 + c)/0.9) rings.
+  EXPECT_EQ(rings_for_reliability(1000, 0.1, 0.0), 8u);
+  EXPECT_GT(rings_for_reliability(100'000, 0.1, 2.0),
+            rings_for_reliability(1000, 0.1, 2.0) - 1);
+  EXPECT_THROW(rings_for_reliability(1000, 1.0, 0.0), std::invalid_argument);
+}
+
+// --- Cost model ---
+
+TEST(CostModel, DissentV1IsNSquared) {
+  const ProtocolCost c = dissent_v1_cost(1000);
+  EXPECT_DOUBLE_EQ(c.total_copies(), 1'000'000.0);
+  EXPECT_EQ(c.to_string(), "1000*Bcast(1000)");
+}
+
+TEST(CostModel, DissentV2Terms) {
+  const ProtocolCost c = dissent_v2_cost(10'000, 10);
+  ASSERT_EQ(c.terms.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.terms[0].copies(), 1000.0);  // Bcast(N/S)
+  EXPECT_DOUBLE_EQ(c.terms[1].copies(), 100.0);   // S*Bcast(S)
+  EXPECT_THROW(dissent_v2_cost(10, 0), std::invalid_argument);
+}
+
+TEST(CostModel, DissentV2OptimalServersNearCubeRoot) {
+  for (const std::uint64_t n : {1'000ull, 10'000ull, 100'000ull}) {
+    const std::uint64_t s = dissent_v2_optimal_servers(n);
+    const double expected = std::cbrt(static_cast<double>(n) / 2.0);
+    EXPECT_NEAR(static_cast<double>(s), expected, expected * 0.5) << n;
+    // Optimality against neighbours.
+    const double at = dissent_v2_cost(n, s).total_copies();
+    EXPECT_LE(at, dissent_v2_cost(n, s + 1).total_copies());
+    EXPECT_LE(at, dissent_v2_cost(n, s - 1).total_copies());
+  }
+}
+
+TEST(CostModel, RacCostsIndependentOfN) {
+  const ProtocolCost a = rac_grouped_cost(5, 7, 1000);
+  // (L-1)*R*Bcast(G) + R*Bcast(2G) == (L+1)*R*G copies.
+  EXPECT_DOUBLE_EQ(a.total_copies(), 6.0 * 7.0 * 1000.0);
+  const ProtocolCost b = rac_nogroup_cost(100'000, 5, 7);
+  EXPECT_DOUBLE_EQ(b.total_copies(), 35.0 * 100'000.0);
+}
+
+TEST(CostModel, ChannelOptimizationBeatsSupergroup) {
+  // (L+1)*R*Bcast(G) < L*R*Bcast(2G)  <=>  L+1 < 2L  <=>  L > 1.
+  for (const unsigned l : {2u, 3u, 5u, 10u}) {
+    EXPECT_LT(rac_grouped_cost(l, 7, 1000).total_copies(),
+              rac_supergroup_cost(l, 7, 1000).total_copies())
+        << "L=" << l;
+  }
+  // Degenerate L=1: equal, no advantage.
+  EXPECT_DOUBLE_EQ(rac_grouped_cost(1, 7, 1000).total_copies(),
+                   rac_supergroup_cost(1, 7, 1000).total_copies());
+}
+
+TEST(CostModel, ScalabilityContrast) {
+  // The punchline of Sec. IV: RAC's copies stay flat as N grows, both
+  // Dissents' grow.
+  const double rac_small = rac_grouped_cost(5, 7, 1000).total_copies();
+  const double rac_large = rac_grouped_cost(5, 7, 1000).total_copies();
+  EXPECT_DOUBLE_EQ(rac_small, rac_large);
+  EXPECT_LT(dissent_v1_cost(1'000).total_copies(),
+            dissent_v1_cost(100'000).total_copies());
+  const auto v2_small = dissent_v2_cost(1'000, dissent_v2_optimal_servers(1'000));
+  const auto v2_large =
+      dissent_v2_cost(100'000, dissent_v2_optimal_servers(100'000));
+  EXPECT_LT(v2_small.total_copies(), v2_large.total_copies());
+}
+
+// --- Intersection attack (Sec. V-A2's motivation) ---
+
+TEST(Intersection, ExpectedSizeFormula) {
+  // One observation: the whole group is candidate.
+  EXPECT_DOUBLE_EQ(expected_intersection_size(1000, 0.9, 1), 1000.0);
+  // Perfect retention: never shrinks.
+  EXPECT_DOUBLE_EQ(expected_intersection_size(1000, 1.0, 50), 1000.0);
+  // Full churn: second observation pins the sender.
+  EXPECT_DOUBLE_EQ(expected_intersection_size(1000, 0.0, 2), 1.0);
+  // Generic point: 1 + 999 * 0.9^4.
+  EXPECT_NEAR(expected_intersection_size(1000, 0.9, 5),
+              1.0 + 999.0 * std::pow(0.9, 4), 1e-9);
+  EXPECT_THROW(expected_intersection_size(0, 0.5, 1), std::invalid_argument);
+  EXPECT_THROW(expected_intersection_size(10, 1.5, 1), std::invalid_argument);
+  EXPECT_THROW(expected_intersection_size(10, 0.5, 0), std::invalid_argument);
+}
+
+TEST(Intersection, ObservationsToShrink) {
+  // 10% churn between observations: the set halves in ~7 observations.
+  const unsigned k = observations_to_shrink(1000, 0.9, 500.0);
+  EXPECT_NEAR(static_cast<double>(k),
+              1.0 + std::log(499.0 / 999.0) / std::log(0.9), 1.0);
+  // Sanity: the formula's k actually achieves the target.
+  EXPECT_LE(expected_intersection_size(1000, 0.9, k), 500.0);
+  EXPECT_GT(expected_intersection_size(1000, 0.9, k - 1), 500.0);
+  // Perfect retention: unreachable.
+  EXPECT_EQ(observations_to_shrink(1000, 1.0, 2.0), 0u);
+  EXPECT_THROW(observations_to_shrink(1000, 0.9, 1.0), std::invalid_argument);
+}
+
+TEST(Intersection, RacStarvesTheAttack) {
+  // With the paper's R=7, f=5% eviction bound, the per-interval retention
+  // an active opponent can force is >= 1 - 6.0e-6: after even 10.000
+  // linked observations the expected candidate set is still ~G.
+  const LogProb eviction =
+      successor_compromise_prob(7, 0.05, paper_majority_threshold(7));
+  const double retention = rac_effective_retention(eviction);
+  EXPECT_GT(retention, 1.0 - 1e-5);
+  EXPECT_GT(expected_intersection_size(1000, retention, 10'000), 940.0);
+  // Contrast: with 5% forced churn per interval the attack would succeed
+  // in dozens of observations.
+  EXPECT_LT(observations_to_shrink(1000, 0.95, 10.0), 150u);
+}
+
+}  // namespace
+}  // namespace rac::analysis

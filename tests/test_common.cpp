@@ -1,0 +1,350 @@
+// Unit and property tests for the common substrate: bytes, rng, serialize,
+// logprob.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/bytes.hpp"
+#include "common/logprob.hpp"
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "common/time.hpp"
+
+namespace rac {
+namespace {
+
+// --- bytes ---
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, EmptyHex) {
+  EXPECT_EQ(to_hex(Bytes{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, StringConversions) {
+  const Bytes b = to_bytes("hello");
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(to_string(b), "hello");
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(ct_equal(a, b));
+  EXPECT_FALSE(ct_equal(a, c));
+  EXPECT_FALSE(ct_equal(a, d));
+}
+
+TEST(Bytes, XorInto) {
+  Bytes a = {0xff, 0x0f, 0x00};
+  const Bytes b = {0x0f, 0x0f, 0xaa};
+  xor_into(std::span<std::uint8_t>(a.data(), a.size()), b);
+  EXPECT_EQ(a, (Bytes{0xf0, 0x00, 0xaa}));
+  Bytes short_buf = {1};
+  EXPECT_THROW(
+      xor_into(std::span<std::uint8_t>(short_buf.data(), 1), b),
+      std::invalid_argument);
+}
+
+TEST(Bytes, Concat) {
+  const Bytes a = {1, 2};
+  const Bytes b = {3};
+  EXPECT_EQ(concat({a, b, a}), (Bytes{1, 2, 3, 1, 2}));
+}
+
+// --- rng ---
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, NextInInclusive) {
+  Rng r(3);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.next_in(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= (v == -2);
+    hi_seen |= (v == 2);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = r.next_double();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(6);
+  EXPECT_FALSE(r.next_bool(0.0));
+  EXPECT_TRUE(r.next_bool(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10'000; ++i) hits += r.next_bool(0.3);
+  EXPECT_NEAR(hits / 10'000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(8);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) sum += r.next_exponential(2.0);
+  EXPECT_NEAR(sum / 20'000, 2.0, 0.1);
+  EXPECT_THROW(r.next_exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng r(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto s = r.sample_indices(20, 7);
+    ASSERT_EQ(s.size(), 7u);
+    std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), 7u);
+    for (const auto idx : s) EXPECT_LT(idx, 20u);
+  }
+  EXPECT_THROW(r.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, FillAnyLength) {
+  Rng r(13);
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u}) {
+    const Bytes b = r.bytes(len);
+    EXPECT_EQ(b.size(), len);
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  EXPECT_NE(parent.next(), child.next());
+}
+
+// --- serialize ---
+
+TEST(Serialize, RoundTripAllTypes) {
+  BinaryWriter w;
+  w.u8(0xab);
+  w.u16(0xbeef);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.blob(Bytes{1, 2, 3});
+  w.str("hello");
+  const Bytes wire = w.take();
+
+  BinaryReader r(wire);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.blob(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.done());
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serialize, LittleEndianLayout) {
+  BinaryWriter w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.data(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(Serialize, TruncationThrows) {
+  BinaryWriter w;
+  w.u32(7);
+  const Bytes wire = w.take();
+  BinaryReader r(wire);
+  r.u16();
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(Serialize, BlobLengthOverflowThrows) {
+  BinaryWriter w;
+  w.u32(1000);  // claims 1000 bytes follow
+  const Bytes wire = w.take();
+  BinaryReader r(wire);
+  EXPECT_THROW(r.blob(), DecodeError);
+}
+
+TEST(Serialize, TrailingBytesDetected) {
+  BinaryWriter w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes wire = w.take();
+  BinaryReader r(wire);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), DecodeError);
+}
+
+// --- time ---
+
+TEST(Time, TransmissionDelay) {
+  // 10 kB over 1 Gb/s = 80 microseconds.
+  EXPECT_EQ(transmission_delay(10'000, 1e9), 80 * kMicrosecond);
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_EQ(from_seconds(0.5), 500 * kMillisecond);
+}
+
+// --- logprob ---
+
+TEST(LogProb, Basics) {
+  EXPECT_TRUE(LogProb::zero().is_zero());
+  EXPECT_TRUE(LogProb::one().is_one());
+  EXPECT_DOUBLE_EQ(LogProb::from_linear(0.25).linear(), 0.25);
+  EXPECT_THROW(LogProb::from_linear(1.5), std::invalid_argument);
+  EXPECT_THROW(LogProb::from_linear(-0.1), std::invalid_argument);
+  EXPECT_THROW(LogProb::from_log10(0.5), std::invalid_argument);
+}
+
+TEST(LogProb, MultiplyMatchesLinear) {
+  const auto a = LogProb::from_linear(0.3);
+  const auto b = LogProb::from_linear(0.2);
+  EXPECT_NEAR((a * b).linear(), 0.06, 1e-12);
+  EXPECT_TRUE((a * LogProb::zero()).is_zero());
+}
+
+TEST(LogProb, AddMatchesLinear) {
+  const auto a = LogProb::from_linear(0.3);
+  const auto b = LogProb::from_linear(0.2);
+  EXPECT_NEAR((a + b).linear(), 0.5, 1e-12);
+  EXPECT_NEAR((a + LogProb::zero()).linear(), 0.3, 1e-12);
+}
+
+TEST(LogProb, AddClampsAtOne) {
+  const auto a = LogProb::from_linear(0.8);
+  EXPECT_TRUE((a + a).is_one());
+}
+
+TEST(LogProb, TinyValuesSurviveBelowDoubleRange) {
+  // 10^-1020 is unrepresentable as double but exact in log domain.
+  const auto tiny = LogProb::from_log10(-1020.0);
+  EXPECT_FALSE(tiny.is_zero());
+  EXPECT_DOUBLE_EQ(tiny.log10(), -1020.0);
+  const auto squared = tiny * tiny;
+  EXPECT_DOUBLE_EQ(squared.log10(), -2040.0);
+  EXPECT_EQ(tiny.linear(), 0.0);  // documented underflow behaviour
+}
+
+TEST(LogProb, ComplementStable) {
+  EXPECT_TRUE(LogProb::zero().complement().is_one());
+  EXPECT_TRUE(LogProb::one().complement().is_zero());
+  EXPECT_NEAR(LogProb::from_linear(0.25).complement().linear(), 0.75, 1e-12);
+  // 1 - 1e-12 stays accurate.
+  const auto nearly_one = LogProb::from_linear(1e-12).complement();
+  EXPECT_NEAR(nearly_one.linear(), 1.0 - 1e-12, 1e-15);
+}
+
+TEST(LogProb, Pow) {
+  const auto half = LogProb::from_linear(0.5);
+  EXPECT_NEAR(half.pow(10).linear(), std::pow(0.5, 10), 1e-15);
+  EXPECT_TRUE(half.pow(0).is_one());
+  EXPECT_TRUE(LogProb::zero().pow(3).is_zero());
+  EXPECT_TRUE(LogProb::zero().pow(0).is_one());
+}
+
+TEST(LogProb, Ordering) {
+  EXPECT_LT(LogProb::from_linear(0.1), LogProb::from_linear(0.2));
+  EXPECT_LT(LogProb::zero(), LogProb::from_log10(-5000));
+}
+
+TEST(LogProb, ScientificRendering) {
+  EXPECT_EQ(LogProb::zero().to_scientific(), "0");
+  EXPECT_EQ(LogProb::one().to_scientific(), "1");
+  EXPECT_EQ(LogProb::from_log10(-1019.2365).to_scientific(), "5.8e-1020");
+  EXPECT_EQ(LogProb::from_linear(0.53).to_scientific(), "0.53");
+  EXPECT_EQ(LogProb::from_linear(9.9e-7).to_scientific(), "9.9e-7");
+}
+
+TEST(LogProb, BinomialCoefficients) {
+  EXPECT_NEAR(log10_binomial_coeff(7, 0), 0.0, 1e-12);
+  EXPECT_NEAR(log10_binomial_coeff(7, 3), std::log10(35.0), 1e-9);
+  EXPECT_NEAR(log10_binomial_coeff(7, 7), 0.0, 1e-9);
+  EXPECT_THROW(log10_binomial_coeff(3, 4), std::invalid_argument);
+}
+
+TEST(LogProb, BinomialPmfSumsToOne) {
+  for (const double p : {0.05, 0.3, 0.9}) {
+    LogProb total = LogProb::zero();
+    for (std::uint64_t k = 0; k <= 12; ++k) {
+      total += binomial_pmf(12, k, p);
+    }
+    EXPECT_NEAR(total.linear(), 1.0, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(LogProb, BinomialPmfEdges) {
+  EXPECT_TRUE(binomial_pmf(5, 0, 0.0).is_one());
+  EXPECT_TRUE(binomial_pmf(5, 1, 0.0).is_zero());
+  EXPECT_TRUE(binomial_pmf(5, 5, 1.0).is_one());
+  EXPECT_TRUE(binomial_pmf(5, 6, 0.3).is_zero());
+}
+
+TEST(LogProb, BinomialTail) {
+  // P[X >= 5], X ~ Bin(7, 0.05): the paper's 6.0e-6 ring claim.
+  const auto p = binomial_tail_geq(7, 5, 0.05);
+  EXPECT_NEAR(p.linear(), 5.97e-6, 2e-7);
+  EXPECT_TRUE(binomial_tail_geq(7, 0, 0.5).is_one());
+  EXPECT_TRUE(binomial_tail_geq(7, 8, 0.5).is_zero());
+}
+
+// Property sweep: complement(complement(p)) == p across magnitudes.
+class LogProbRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(LogProbRoundTrip, DoubleComplementIsIdentity) {
+  const auto p = LogProb::from_linear(GetParam());
+  const auto back = p.complement().complement();
+  EXPECT_NEAR(back.linear(), GetParam(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, LogProbRoundTrip,
+                         ::testing::Values(1e-9, 1e-4, 0.01, 0.25, 0.5, 0.75,
+                                           0.99, 0.999999));
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,579 @@
+// Crypto substrate tests: primitive test vectors (FIPS / RFC), OpenSSL
+// cross-checks of our from-scratch X25519 and AEAD, provider behaviour
+// (parameterized across all three providers), and the join puzzle.
+#include <gtest/gtest.h>
+
+#include <openssl/evp.h>
+
+#include "common/rng.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/provider.hpp"
+#include "crypto/puzzle.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace rac {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 test vectors) ---
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::hash(Bytes{})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::hash(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  Rng rng(1);
+  const Bytes data = rng.bytes(10'000);
+  // Split at awkward boundaries.
+  Sha256 h;
+  std::size_t pos = 0;
+  for (const std::size_t step : {1u, 63u, 64u, 65u, 500u}) {
+    h.update(ByteView(data.data() + pos, step));
+    pos += step;
+  }
+  h.update(ByteView(data.data() + pos, data.size() - pos));
+  EXPECT_EQ(h.finalize(), Sha256::hash(data));
+}
+
+TEST(Sha256, MatchesOpenSsl) {
+  Rng rng(2);
+  for (const std::size_t len : {0u, 1u, 55u, 56u, 64u, 1000u}) {
+    const Bytes data = rng.bytes(len);
+    unsigned char ref[32];
+    unsigned int ref_len = 0;
+    EVP_Digest(data.data(), data.size(), ref, &ref_len, EVP_sha256(),
+               nullptr);
+    ASSERT_EQ(ref_len, 32u);
+    const auto ours = Sha256::hash(data);
+    EXPECT_TRUE(ct_equal(ByteView(ours.data(), 32), ByteView(ref, 32)))
+        << "len=" << len;
+  }
+}
+
+TEST(Sha256, Trunc64Deterministic) {
+  EXPECT_EQ(sha256_trunc64(to_bytes("x")), sha256_trunc64(to_bytes("x")));
+  EXPECT_NE(sha256_trunc64(to_bytes("x")), sha256_trunc64(to_bytes("y")));
+}
+
+// --- HMAC (RFC 4231) ---
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const auto tag = hmac_sha256(key, to_bytes("Hi There"));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const auto tag = hmac_sha256(to_bytes("Jefe"),
+                               to_bytes("what do ya want for nothing?"));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  const auto tag = hmac_sha256(
+      key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First"));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf_sha256(ikm, salt, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case2LongInputs) {
+  Bytes ikm, salt, info;
+  for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
+  for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
+  const Bytes okm = hkdf_sha256(ikm, salt, info, 82);
+  EXPECT_EQ(to_hex(okm),
+            "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
+            "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
+            "cc30c58179ec3e87c14c01d5c1f3434f1d87");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf_sha256(ikm, Bytes{}, Bytes{}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, LengthLimit) {
+  EXPECT_THROW(hkdf_sha256(Bytes{1}, Bytes{}, Bytes{}, 255 * 32 + 1),
+               std::invalid_argument);
+  EXPECT_EQ(hkdf_sha256(Bytes{1}, Bytes{}, Bytes{}, 16).size(), 16u);
+}
+
+// --- ChaCha20 (RFC 8439 section 2.3.2 / 2.4.2) ---
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000090000004a00000000");
+  const auto block = chacha20_block(key, nonce, 1);
+  EXPECT_EQ(to_hex(ByteView(block.data(), block.size())),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, Rfc8439EncryptVector) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  Bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  chacha20_xor(key, nonce, 1,
+               std::span<std::uint8_t>(plaintext.data(), plaintext.size()));
+  EXPECT_EQ(to_hex(ByteView(plaintext.data(), 16)),
+            "6e2e359a2568f98041ba0728dd0d6981");
+}
+
+TEST(ChaCha20, Rfc8439FullCiphertext) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  Bytes plaintext = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.");
+  chacha20_xor(key, nonce, 1,
+               std::span<std::uint8_t>(plaintext.data(), plaintext.size()));
+  EXPECT_EQ(
+      to_hex(plaintext),
+      "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf9"
+      "1b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca"
+      "0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90b"
+      "bf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsInvolution) {
+  const Bytes key(32, 7);
+  const Bytes nonce(12, 9);
+  Rng rng(3);
+  Bytes data = rng.bytes(1000);
+  const Bytes original = data;
+  chacha20_xor(key, nonce, 0, std::span<std::uint8_t>(data.data(), data.size()));
+  EXPECT_NE(data, original);
+  chacha20_xor(key, nonce, 0, std::span<std::uint8_t>(data.data(), data.size()));
+  EXPECT_EQ(data, original);
+}
+
+TEST(ChaCha20, RejectsBadKeyOrNonce) {
+  EXPECT_THROW(chacha20_block(Bytes(31, 0), Bytes(12, 0), 0),
+               std::invalid_argument);
+  EXPECT_THROW(chacha20_block(Bytes(32, 0), Bytes(11, 0), 0),
+               std::invalid_argument);
+}
+
+// --- Poly1305 (RFC 8439 section 2.5.2) ---
+
+TEST(Poly1305, Rfc8439Vector) {
+  const Bytes key = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const auto tag = poly1305(key, to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EdgeCaseVectors) {
+  // RFC 8439 Appendix A.3 edge vectors that stress the 130-bit carry
+  // chain (test vectors 1, 2 and 11 exercise h == 0, r == 0, and the
+  // p-boundary reduction respectively).
+  {
+    // Vector 1: zero key, any message -> zero tag.
+    const Bytes key(32, 0);
+    const auto tag = poly1305(key, Bytes(64, 0));
+    EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+              "00000000000000000000000000000000");
+  }
+  {
+    // Vector 2: r = 0, s = text -> tag = s regardless of message.
+    const Bytes key = from_hex(
+        "0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
+    const Bytes msg = to_bytes(
+        "Any submission to the IETF intended by the Contributor for publi");
+    const auto tag = poly1305(key, msg);
+    EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+              "36e5f6b5c5e06070f0efca96227a863e");
+  }
+  {
+    // Vector 11 (Appendix A.3 #11): 2^130-5 boundary handling.
+    const Bytes key = from_hex(
+        "0100000000000000040000000000000000000000000000000000000000000000");
+    const Bytes msg = from_hex(
+        "e33594d7505e43b900000000000000003394d7505e4379cd0100000000000000"
+        "0000000000000000000000000000000001000000000000000000000000000000");
+    const auto tag = poly1305(key, msg);
+    EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+              "14000000000000005500000000000000");
+  }
+}
+
+TEST(Poly1305, SingleBitMessageChangesTag) {
+  Rng rng(55);
+  const Bytes key = rng.bytes(32);
+  Bytes msg = rng.bytes(100);
+  const auto tag1 = poly1305(key, msg);
+  msg[50] ^= 0x01;
+  const auto tag2 = poly1305(key, msg);
+  EXPECT_FALSE(ct_equal(ByteView(tag1.data(), 16), ByteView(tag2.data(), 16)));
+}
+
+TEST(Poly1305, EmptyMessage) {
+  const Bytes key(32, 1);
+  const auto tag = poly1305(key, Bytes{});
+  // s = key[16..32) survives untouched when h == 0.
+  EXPECT_EQ(to_hex(ByteView(tag.data(), tag.size())),
+            "01010101010101010101010101010101");
+}
+
+TEST(Poly1305, AeadMatchesOpenSslChaChaPoly) {
+  // Cross-check our ChaCha20-Poly1305 AEAD composition against OpenSSL's
+  // on a few random inputs.
+  Rng rng(4);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Bytes key = rng.bytes(32);
+    const Bytes nonce = rng.bytes(12);
+    const Bytes aad = rng.bytes(16);
+    Bytes pt = rng.bytes(200 + static_cast<std::size_t>(trial) * 37);
+
+    // Ours: encrypt from block 1, tag with one-time key from block 0.
+    Bytes ct = pt;
+    chacha20_xor(key, nonce, 1, std::span<std::uint8_t>(ct.data(), ct.size()));
+    const auto block0 = chacha20_block(key, nonce, 0);
+    const auto our_tag = poly1305_aead_tag(
+        ByteView(block0.data(), 32), aad, ct);
+
+    // OpenSSL reference.
+    EVP_CIPHER_CTX* ctx = EVP_CIPHER_CTX_new();
+    ASSERT_TRUE(ctx);
+    ASSERT_EQ(EVP_EncryptInit_ex(ctx, EVP_chacha20_poly1305(), nullptr,
+                                 key.data(), nonce.data()), 1);
+    int len = 0;
+    ASSERT_EQ(EVP_EncryptUpdate(ctx, nullptr, &len, aad.data(),
+                                static_cast<int>(aad.size())), 1);
+    Bytes ref_ct(pt.size());
+    ASSERT_EQ(EVP_EncryptUpdate(ctx, ref_ct.data(), &len, pt.data(),
+                                static_cast<int>(pt.size())), 1);
+    int fin = 0;
+    ASSERT_EQ(EVP_EncryptFinal_ex(ctx, ref_ct.data() + len, &fin), 1);
+    unsigned char ref_tag[16];
+    ASSERT_EQ(EVP_CIPHER_CTX_ctrl(ctx, EVP_CTRL_AEAD_GET_TAG, 16, ref_tag), 1);
+    EVP_CIPHER_CTX_free(ctx);
+
+    EXPECT_EQ(ct, ref_ct) << "trial " << trial;
+    EXPECT_TRUE(ct_equal(ByteView(our_tag.data(), 16), ByteView(ref_tag, 16)))
+        << "trial " << trial;
+  }
+}
+
+// --- X25519 (RFC 7748 section 5.2) ---
+
+TEST(X25519, Rfc7748Vector1) {
+  const Bytes scalar = from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const Bytes point = from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  X25519Key out;
+  ASSERT_TRUE(x25519(out, scalar, point));
+  EXPECT_EQ(to_hex(ByteView(out.data(), out.size())),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+TEST(X25519, Rfc7748Vector2) {
+  const Bytes scalar = from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const Bytes point = from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  X25519Key out;
+  ASSERT_TRUE(x25519(out, scalar, point));
+  EXPECT_EQ(to_hex(ByteView(out.data(), out.size())),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+TEST(X25519, BasePointKnownAnswer) {
+  // RFC 7748 section 6.1: Alice's key pair.
+  const Bytes alice_priv = from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto alice_pub = x25519_base(alice_priv);
+  EXPECT_EQ(to_hex(ByteView(alice_pub.data(), alice_pub.size())),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+}
+
+TEST(X25519, DiffieHellmanAgreement) {
+  Rng rng(5);
+  for (int i = 0; i < 3; ++i) {
+    const X25519Key a = x25519_clamp(rng.bytes(32));
+    const X25519Key b = x25519_clamp(rng.bytes(32));
+    const auto a_pub = x25519_base(ByteView(a.data(), 32));
+    const auto b_pub = x25519_base(ByteView(b.data(), 32));
+    X25519Key ab, ba;
+    ASSERT_TRUE(x25519(ab, ByteView(a.data(), 32), ByteView(b_pub.data(), 32)));
+    ASSERT_TRUE(x25519(ba, ByteView(b.data(), 32), ByteView(a_pub.data(), 32)));
+    EXPECT_EQ(ab, ba);
+  }
+}
+
+TEST(X25519, MatchesOpenSsl) {
+  Rng rng(6);
+  for (int i = 0; i < 4; ++i) {
+    const X25519Key priv = x25519_clamp(rng.bytes(32));
+    const Bytes peer_seed = rng.bytes(32);
+    const X25519Key peer_priv = x25519_clamp(peer_seed);
+    const auto peer_pub = x25519_base(ByteView(peer_priv.data(), 32));
+
+    X25519Key ours;
+    ASSERT_TRUE(
+        x25519(ours, ByteView(priv.data(), 32), ByteView(peer_pub.data(), 32)));
+
+    EVP_PKEY* evp_priv = EVP_PKEY_new_raw_private_key(
+        EVP_PKEY_X25519, nullptr, priv.data(), priv.size());
+    EVP_PKEY* evp_peer = EVP_PKEY_new_raw_public_key(
+        EVP_PKEY_X25519, nullptr, peer_pub.data(), peer_pub.size());
+    ASSERT_TRUE(evp_priv && evp_peer);
+    EVP_PKEY_CTX* ctx = EVP_PKEY_CTX_new(evp_priv, nullptr);
+    ASSERT_EQ(EVP_PKEY_derive_init(ctx), 1);
+    ASSERT_EQ(EVP_PKEY_derive_set_peer(ctx, evp_peer), 1);
+    std::size_t len = 32;
+    unsigned char ref[32];
+    ASSERT_EQ(EVP_PKEY_derive(ctx, ref, &len), 1);
+    EVP_PKEY_CTX_free(ctx);
+    EVP_PKEY_free(evp_priv);
+    EVP_PKEY_free(evp_peer);
+
+    EXPECT_TRUE(ct_equal(ByteView(ours.data(), 32), ByteView(ref, 32)))
+        << "trial " << i;
+  }
+}
+
+TEST(X25519, Rfc7748IteratedOnce) {
+  // Section 5.2 iteration test, first step: k = u = 09...0; after one
+  // x25519(k, u) the result is the published constant.
+  Bytes k(32, 0);
+  k[0] = 9;
+  X25519Key out;
+  ASSERT_TRUE(x25519(out, k, k));
+  EXPECT_EQ(to_hex(ByteView(out.data(), out.size())),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+TEST(X25519, ClampingSetsRequiredBits) {
+  Rng rng(77);
+  for (int i = 0; i < 10; ++i) {
+    const X25519Key k = x25519_clamp(rng.bytes(32));
+    EXPECT_EQ(k[0] & 0x07, 0);
+    EXPECT_EQ(k[31] & 0x80, 0);
+    EXPECT_EQ(k[31] & 0x40, 0x40);
+  }
+  EXPECT_THROW(x25519_clamp(Bytes(31, 0)), std::invalid_argument);
+}
+
+TEST(X25519, RejectsZeroPoint) {
+  const X25519Key scalar = x25519_clamp(Bytes(32, 7));
+  const Bytes zero_point(32, 0);
+  X25519Key out;
+  EXPECT_FALSE(x25519(out, ByteView(scalar.data(), 32), zero_point));
+}
+
+// --- Providers (parameterized over all three) ---
+
+struct ProviderCase {
+  const char* name;
+  std::unique_ptr<CryptoProvider> (*make)();
+};
+
+class ProviderTest : public ::testing::TestWithParam<ProviderCase> {
+ protected:
+  std::unique_ptr<CryptoProvider> provider_ = GetParam().make();
+  Rng rng_{99};
+};
+
+TEST_P(ProviderTest, SealOpenRoundTrip) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  const Bytes msg = rng_.bytes(500);
+  const Bytes box = provider_->seal(kp.pub, msg, rng_);
+  EXPECT_EQ(box.size(), msg.size() + provider_->seal_overhead());
+  const auto opened = provider_->open(kp, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST_P(ProviderTest, EmptyPlaintext) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  const Bytes box = provider_->seal(kp.pub, Bytes{}, rng_);
+  const auto opened = provider_->open(kp, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+TEST_P(ProviderTest, WrongKeyFails) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  const KeyPair other = provider_->generate_keypair(rng_);
+  const Bytes box = provider_->seal(kp.pub, rng_.bytes(64), rng_);
+  EXPECT_FALSE(provider_->open(other, box).has_value());
+}
+
+TEST_P(ProviderTest, TamperDetected) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  Bytes box = provider_->seal(kp.pub, rng_.bytes(64), rng_);
+  box[box.size() / 2] ^= 0x01;
+  EXPECT_FALSE(provider_->open(kp, box).has_value());
+}
+
+TEST_P(ProviderTest, TruncatedBoxFails) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  EXPECT_FALSE(provider_->open(kp, Bytes(10, 0)).has_value());
+}
+
+TEST_P(ProviderTest, SealsAreRandomized) {
+  const KeyPair kp = provider_->generate_keypair(rng_);
+  const Bytes msg = rng_.bytes(64);
+  EXPECT_NE(provider_->seal(kp.pub, msg, rng_),
+            provider_->seal(kp.pub, msg, rng_));
+}
+
+TEST_P(ProviderTest, DistinctKeysFromSameRng) {
+  const KeyPair a = provider_->generate_keypair(rng_);
+  const KeyPair b = provider_->generate_keypair(rng_);
+  EXPECT_NE(a.pub.data, b.pub.data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProviders, ProviderTest,
+    ::testing::Values(ProviderCase{"native", &make_native_provider},
+                      ProviderCase{"openssl", &make_openssl_provider},
+                      ProviderCase{"sim", &make_sim_provider}),
+    [](const ::testing::TestParamInfo<ProviderCase>& info) {
+      return info.param.name;
+    });
+
+TEST(ProviderInterop, NativeSealsOpensslOpens) {
+  Rng rng(123);
+  auto native = make_native_provider();
+  auto openssl = make_openssl_provider();
+  // Same RNG stream => same key material on both sides.
+  Rng k1(7), k2(7);
+  const KeyPair kp_native = native->generate_keypair(k1);
+  const KeyPair kp_openssl = openssl->generate_keypair(k2);
+  ASSERT_EQ(kp_native.pub.data, kp_openssl.pub.data)
+      << "keygen must agree for interop";
+
+  const Bytes msg = rng.bytes(128);
+  const Bytes box = native->seal(kp_native.pub, msg, rng);
+  const auto opened = openssl->open(kp_openssl, box);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+
+  const Bytes box2 = openssl->seal(kp_openssl.pub, msg, rng);
+  const auto opened2 = native->open(kp_native, box2);
+  ASSERT_TRUE(opened2.has_value());
+  EXPECT_EQ(*opened2, msg);
+}
+
+TEST(ProviderOverheads, AllEqual) {
+  EXPECT_EQ(make_native_provider()->seal_overhead(),
+            make_openssl_provider()->seal_overhead());
+  EXPECT_EQ(make_native_provider()->seal_overhead(),
+            make_sim_provider()->seal_overhead());
+}
+
+// --- Join puzzle ---
+
+TEST(Puzzle, SolveAndVerify) {
+  Rng rng(11);
+  const Bytes pubkey = rng.bytes(32);
+  const PuzzleSolution sol = solve_puzzle(pubkey, 8, rng);
+  EXPECT_TRUE(verify_puzzle(pubkey, sol.y, 8));
+  EXPECT_EQ(puzzle_g(pubkey, sol.y), sol.node_ident);
+  EXPECT_GE(sol.attempts, 1u);
+}
+
+TEST(Puzzle, WrongYRejected) {
+  Rng rng(12);
+  const Bytes pubkey = rng.bytes(32);
+  const PuzzleSolution sol = solve_puzzle(pubkey, 8, rng);
+  Bytes bad_y = sol.y;
+  bad_y[0] ^= 1;
+  // Overwhelmingly likely to fail an 8-bit match after a bit flip.
+  EXPECT_FALSE(verify_puzzle(pubkey, bad_y, 8) &&
+               puzzle_g(pubkey, bad_y) == sol.node_ident);
+}
+
+TEST(Puzzle, YEqualToKeyRejected) {
+  Rng rng(13);
+  const Bytes pubkey = rng.bytes(16);
+  EXPECT_FALSE(verify_puzzle(pubkey, pubkey, 0));
+}
+
+TEST(Puzzle, DifficultyScalesWork) {
+  Rng rng(14);
+  const Bytes pubkey = rng.bytes(32);
+  std::uint64_t attempts_low = 0, attempts_high = 0;
+  for (int i = 0; i < 8; ++i) {
+    Rng r1(static_cast<std::uint64_t>(i) + 100);
+    Rng r2(static_cast<std::uint64_t>(i) + 100);
+    attempts_low += solve_puzzle(pubkey, 2, r1).attempts;
+    attempts_high += solve_puzzle(pubkey, 7, r2).attempts;
+  }
+  EXPECT_GT(attempts_high, attempts_low);
+}
+
+TEST(Puzzle, DifficultyCap) {
+  Rng rng(15);
+  EXPECT_THROW(solve_puzzle(rng.bytes(32), 31, rng), std::invalid_argument);
+}
+
+TEST(Puzzle, GroupAssignmentDeterministic) {
+  EXPECT_EQ(group_of_ident(12345, 10), 12345 % 10);
+  EXPECT_THROW(group_of_ident(1, 0), std::invalid_argument);
+}
+
+TEST(Puzzle, GroupAssignmentRoughlyUniform) {
+  Rng rng(16);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 400; ++i) {
+    const Bytes pk = rng.bytes(32);
+    const PuzzleSolution sol = solve_puzzle(pk, 2, rng);
+    counts[group_of_ident(sol.node_ident, 4)]++;
+  }
+  for (const int c : counts) {
+    EXPECT_GT(c, 50);
+    EXPECT_LT(c, 150);
+  }
+}
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,217 @@
+// Onion codec tests: build/peel round trips across providers and relay
+// counts, padding uniformity, channel markers, and the sender-side
+// expectation fingerprints that power misbehaviour check #1.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "crypto/onion.hpp"
+#include "crypto/provider.hpp"
+
+namespace rac {
+namespace {
+
+struct OnionCase {
+  const char* provider_name;
+  std::unique_ptr<CryptoProvider> (*make)();
+  unsigned num_relays;
+};
+
+class OnionTest : public ::testing::TestWithParam<OnionCase> {
+ protected:
+  std::unique_ptr<CryptoProvider> provider_ = GetParam().make();
+  Rng rng_{7};
+
+  struct Cast {
+    std::vector<KeyPair> relay_ids;
+    std::vector<PublicKey> relay_pubs;
+    KeyPair dest_pseudonym;
+    KeyPair bystander_id;
+    KeyPair bystander_pseudonym;
+  };
+
+  Cast make_cast() {
+    Cast c;
+    for (unsigned i = 0; i < GetParam().num_relays; ++i) {
+      c.relay_ids.push_back(provider_->generate_keypair(rng_));
+      c.relay_pubs.push_back(c.relay_ids.back().pub);
+    }
+    c.dest_pseudonym = provider_->generate_keypair(rng_);
+    c.bystander_id = provider_->generate_keypair(rng_);
+    c.bystander_pseudonym = provider_->generate_keypair(rng_);
+    return c;
+  }
+};
+
+TEST_P(OnionTest, FullPathPeelsToPayload) {
+  const Cast cast = make_cast();
+  const Bytes payload = rng_.bytes(256);
+  const BuiltOnion onion = build_onion(*provider_, rng_, payload,
+                                       cast.dest_pseudonym.pub,
+                                       cast.relay_pubs, std::nullopt);
+  ASSERT_EQ(onion.expected_broadcasts.size(), cast.relay_ids.size());
+
+  // Walk the relay chain.
+  Bytes content = onion.first_content;
+  const KeyPair nobody = provider_->generate_keypair(rng_);
+  for (std::size_t i = 0; i < cast.relay_ids.size(); ++i) {
+    const PeelResult r = peel_content(*provider_, cast.relay_ids[i],
+                                      cast.bystander_pseudonym, content);
+    ASSERT_EQ(r.kind, PeelResult::Kind::kRelay) << "relay " << i;
+    EXPECT_FALSE(r.channel.has_value());
+    // The content this relay broadcasts matches the sender's expectation.
+    EXPECT_EQ(content_fingerprint(r.next_content),
+              onion.expected_broadcasts[i]);
+    content = r.next_content;
+    (void)nobody;
+  }
+
+  // Final content is the payload box: only the destination pseudonym opens.
+  const PeelResult d = peel_content(*provider_, cast.bystander_id,
+                                    cast.dest_pseudonym, content);
+  ASSERT_EQ(d.kind, PeelResult::Kind::kDelivered);
+  EXPECT_EQ(d.payload, payload);
+}
+
+TEST_P(OnionTest, BystanderSeesNothing) {
+  const Cast cast = make_cast();
+  const BuiltOnion onion =
+      build_onion(*provider_, rng_, rng_.bytes(64), cast.dest_pseudonym.pub,
+                  cast.relay_pubs, std::nullopt);
+  const PeelResult r = peel_content(*provider_, cast.bystander_id,
+                                    cast.bystander_pseudonym,
+                                    onion.first_content);
+  EXPECT_EQ(r.kind, PeelResult::Kind::kNotForMe);
+}
+
+TEST_P(OnionTest, WrongRelayOrderSeesNothing) {
+  const Cast cast = make_cast();
+  if (cast.relay_ids.size() < 2) GTEST_SKIP();
+  const BuiltOnion onion =
+      build_onion(*provider_, rng_, rng_.bytes(64), cast.dest_pseudonym.pub,
+                  cast.relay_pubs, std::nullopt);
+  // The second relay cannot open the outermost layer.
+  const PeelResult r = peel_content(*provider_, cast.relay_ids[1],
+                                    cast.bystander_pseudonym,
+                                    onion.first_content);
+  EXPECT_EQ(r.kind, PeelResult::Kind::kNotForMe);
+}
+
+TEST_P(OnionTest, ChannelMarkerOnlyOnLastRelay) {
+  const Cast cast = make_cast();
+  const std::uint32_t channel = 0x00010002;
+  const BuiltOnion onion =
+      build_onion(*provider_, rng_, rng_.bytes(64), cast.dest_pseudonym.pub,
+                  cast.relay_pubs, channel);
+  Bytes content = onion.first_content;
+  for (std::size_t i = 0; i < cast.relay_ids.size(); ++i) {
+    const PeelResult r = peel_content(*provider_, cast.relay_ids[i],
+                                      cast.bystander_pseudonym, content);
+    ASSERT_EQ(r.kind, PeelResult::Kind::kRelay);
+    if (i + 1 == cast.relay_ids.size()) {
+      ASSERT_TRUE(r.channel.has_value());
+      EXPECT_EQ(*r.channel, channel);
+    } else {
+      EXPECT_FALSE(r.channel.has_value());
+    }
+    content = r.next_content;
+  }
+}
+
+TEST_P(OnionTest, WireSizeFormulaIsExact) {
+  const Cast cast = make_cast();
+  const Bytes payload = rng_.bytes(500);
+  for (const bool with_channel : {false, true}) {
+    const BuiltOnion onion = build_onion(
+        *provider_, rng_, payload, cast.dest_pseudonym.pub, cast.relay_pubs,
+        with_channel ? std::optional<std::uint32_t>(5) : std::nullopt);
+    EXPECT_EQ(onion.first_content.size(),
+              onion_wire_size(payload.size(), cast.relay_pubs.size(),
+                              *provider_, with_channel));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProvidersAndDepths, OnionTest,
+    ::testing::Values(OnionCase{"sim", &make_sim_provider, 1},
+                      OnionCase{"sim", &make_sim_provider, 2},
+                      OnionCase{"sim", &make_sim_provider, 5},
+                      OnionCase{"sim", &make_sim_provider, 8},
+                      OnionCase{"native", &make_native_provider, 2},
+                      OnionCase{"native", &make_native_provider, 5},
+                      OnionCase{"openssl", &make_openssl_provider, 3}),
+    [](const ::testing::TestParamInfo<OnionCase>& info) {
+      return std::string(info.param.provider_name) + "_L" +
+             std::to_string(info.param.num_relays);
+    });
+
+// --- Padding ---
+
+TEST(Padding, RoundTrip) {
+  Rng rng(1);
+  const Bytes content = rng.bytes(100);
+  const Bytes cell = pad_cell(content, 256, rng);
+  EXPECT_EQ(cell.size(), 256u);
+  EXPECT_EQ(unpad_cell(cell), content);
+}
+
+TEST(Padding, ExactFit) {
+  Rng rng(2);
+  const Bytes content = rng.bytes(252);
+  const Bytes cell = pad_cell(content, 256, rng);
+  EXPECT_EQ(unpad_cell(cell), content);
+}
+
+TEST(Padding, ContentTooLargeThrows) {
+  Rng rng(3);
+  EXPECT_THROW(pad_cell(rng.bytes(253), 256, rng), std::invalid_argument);
+}
+
+TEST(Padding, MalformedCellThrows) {
+  BinaryWriter w;
+  w.u32(1000);  // claims more content than the cell holds
+  Bytes cell = w.take();
+  cell.resize(64, 0);
+  EXPECT_THROW(unpad_cell(cell), DecodeError);
+}
+
+TEST(Padding, UniformCellSizeHidesContentLength) {
+  Rng rng(4);
+  const Bytes a = pad_cell(rng.bytes(1), 512, rng);
+  const Bytes b = pad_cell(rng.bytes(400), 512, rng);
+  EXPECT_EQ(a.size(), b.size());
+}
+
+TEST(Padding, FillerIsRandomized) {
+  Rng rng(5);
+  const Bytes content = rng.bytes(10);
+  EXPECT_NE(pad_cell(content, 128, rng), pad_cell(content, 128, rng));
+}
+
+// --- Noise ---
+
+TEST(Noise, IsValidCellAndOpaque) {
+  Rng rng(6);
+  auto provider = make_sim_provider();
+  const KeyPair id = provider->generate_keypair(rng);
+  const KeyPair pseud = provider->generate_keypair(rng);
+  for (int i = 0; i < 20; ++i) {
+    const Bytes cell = make_noise_cell(300, rng);
+    ASSERT_EQ(cell.size(), 300u);
+    const Bytes content = unpad_cell(cell);  // must not throw
+    const PeelResult r = peel_content(*provider, id, pseud, content);
+    EXPECT_EQ(r.kind, PeelResult::Kind::kNotForMe);
+  }
+}
+
+TEST(Onion, NoRelaysRejected) {
+  Rng rng(7);
+  auto provider = make_sim_provider();
+  const KeyPair dest = provider->generate_keypair(rng);
+  EXPECT_THROW(
+      build_onion(*provider, rng, Bytes{1}, dest.pub, {}, std::nullopt),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rac

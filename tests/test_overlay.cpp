@@ -1,0 +1,351 @@
+// Overlay tests: ring invariants (parameterized property sweeps), view
+// consistency, and ring-structured broadcast dissemination with receipt
+// tracking — run over an in-memory instant "network" so the dissemination
+// logic is tested independently of the DES.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "overlay/broadcast.hpp"
+#include "overlay/view.hpp"
+
+namespace rac::overlay {
+namespace {
+
+std::vector<RingMember> make_members(std::size_t n, std::uint64_t seed = 17) {
+  Rng rng(seed);
+  std::vector<RingMember> m;
+  m.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.push_back(RingMember{static_cast<EndpointId>(i), rng.next()});
+  }
+  return m;
+}
+
+// --- RingSet properties ---
+
+struct RingCase {
+  std::size_t size;
+  unsigned rings;
+};
+
+class RingSetProperty : public ::testing::TestWithParam<RingCase> {};
+
+TEST_P(RingSetProperty, SuccessorPredecessorAreInverse) {
+  const RingSet rs(make_members(GetParam().size), GetParam().rings);
+  for (const auto& m : rs.members()) {
+    for (unsigned r = 0; r < rs.num_rings(); ++r) {
+      const EndpointId succ = rs.successor_on_ring(m.node, r);
+      EXPECT_EQ(rs.predecessor_on_ring(succ, r), m.node)
+          << "node " << m.node << " ring " << r;
+    }
+  }
+}
+
+TEST_P(RingSetProperty, EachRingIsASingleCycle) {
+  const RingSet rs(make_members(GetParam().size), GetParam().rings);
+  for (unsigned r = 0; r < rs.num_rings(); ++r) {
+    EndpointId cur = rs.members().front().node;
+    std::set<EndpointId> visited;
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      EXPECT_TRUE(visited.insert(cur).second);
+      cur = rs.successor_on_ring(cur, r);
+    }
+    EXPECT_EQ(cur, rs.members().front().node);  // back to start
+    EXPECT_EQ(visited.size(), rs.size());
+  }
+}
+
+TEST_P(RingSetProperty, SuccessorSetExcludesSelf) {
+  const RingSet rs(make_members(GetParam().size), GetParam().rings);
+  for (const auto& m : rs.members()) {
+    for (const EndpointId s : rs.successor_set(m.node)) {
+      EXPECT_NE(s, m.node);
+    }
+  }
+}
+
+TEST_P(RingSetProperty, EveryoneIsSomeonesSuccessor) {
+  const RingSet rs(make_members(GetParam().size), GetParam().rings);
+  if (rs.size() < 2) GTEST_SKIP();
+  std::set<EndpointId> covered;
+  for (const auto& m : rs.members()) {
+    for (const EndpointId s : rs.successor_set(m.node)) covered.insert(s);
+  }
+  EXPECT_EQ(covered.size(), rs.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RingSetProperty,
+    ::testing::Values(RingCase{2, 1}, RingCase{2, 7}, RingCase{3, 3},
+                      RingCase{10, 1}, RingCase{10, 7}, RingCase{50, 7},
+                      RingCase{200, 7}, RingCase{200, 11}),
+    [](const ::testing::TestParamInfo<RingCase>& info) {
+      return "n" + std::to_string(info.param.size) + "_r" +
+             std::to_string(info.param.rings);
+    });
+
+TEST(RingSet, PositionsDifferAcrossRings) {
+  // With several rings a node's successors should not all coincide (that
+  // is the point of multiple rings).
+  const RingSet rs(make_members(100), 7);
+  std::size_t total_distinct = 0;
+  for (const auto& m : rs.members()) {
+    total_distinct += rs.successor_set(m.node).size();
+  }
+  // On average close to 7 distinct successors per node.
+  EXPECT_GT(total_distinct, 100 * 5);
+}
+
+TEST(RingSet, DeterministicForSameMembers) {
+  const RingSet a(make_members(30), 5);
+  const RingSet b(make_members(30), 5);
+  for (const auto& m : a.members()) {
+    EXPECT_EQ(a.successors(m.node), b.successors(m.node));
+  }
+}
+
+TEST(RingSet, RejectsBadInput) {
+  EXPECT_THROW(RingSet({}, 3), std::invalid_argument);
+  EXPECT_THROW(RingSet(make_members(5), 0), std::invalid_argument);
+  auto dup = make_members(5);
+  dup[1].node = dup[0].node;
+  EXPECT_THROW(RingSet(std::move(dup), 3), std::invalid_argument);
+  const RingSet rs(make_members(5), 3);
+  EXPECT_THROW(rs.successor_on_ring(999, 0), std::out_of_range);
+}
+
+TEST(RingPosition, DeterministicAndSpread) {
+  EXPECT_EQ(ring_position(42, 3), ring_position(42, 3));
+  EXPECT_NE(ring_position(42, 3), ring_position(42, 4));
+  EXPECT_NE(ring_position(42, 3), ring_position(43, 3));
+}
+
+// --- View ---
+
+TEST(View, AddRemoveAndEpoch) {
+  View v(3);
+  EXPECT_TRUE(v.add(1, 100));
+  EXPECT_FALSE(v.add(1, 100));
+  EXPECT_TRUE(v.add(2, 200));
+  EXPECT_EQ(v.size(), 2u);
+  const std::uint64_t e = v.epoch();
+  EXPECT_TRUE(v.remove(1));
+  EXPECT_FALSE(v.remove(1));
+  EXPECT_GT(v.epoch(), e);
+  EXPECT_FALSE(v.contains(1));
+}
+
+TEST(View, RingsRebuildAfterChange) {
+  View v(3);
+  v.add(1, 100);
+  v.add(2, 200);
+  v.add(3, 300);
+  const RingSet& r1 = v.rings();
+  EXPECT_EQ(r1.size(), 3u);
+  v.remove(2);
+  const RingSet& r2 = v.rings();
+  EXPECT_EQ(r2.size(), 2u);
+  EXPECT_FALSE(r2.contains(2));
+}
+
+TEST(View, EmptyViewRingsThrow) {
+  View v(3);
+  EXPECT_THROW(v.rings(), std::logic_error);
+}
+
+// --- Envelope codec ---
+
+TEST(Envelope, RoundTrip) {
+  EnvelopeHeader h;
+  h.scope = ScopeId{ScopeType::kChannel, 0x00010002};
+  h.kind = 7;
+  h.bcast_id = 0xdeadbeefcafef00dULL;
+  const Bytes body = {1, 2, 3, 4, 5};
+  const sim::Payload wire = encode_envelope(h, body);
+  const DecodedEnvelope d = decode_envelope(*wire);
+  EXPECT_EQ(d.header.scope, h.scope);
+  EXPECT_EQ(d.header.kind, 7);
+  EXPECT_EQ(d.header.bcast_id, h.bcast_id);
+  EXPECT_EQ(Bytes(d.body.begin(), d.body.end()), body);
+}
+
+TEST(Envelope, MalformedRejected) {
+  EXPECT_THROW(decode_envelope(Bytes{1, 2, 3}), DecodeError);
+  Bytes junk(32, 0xff);
+  EXPECT_THROW(decode_envelope(junk), DecodeError);
+}
+
+TEST(ScopeId, KeyPacksTypeAndId) {
+  const ScopeId g{ScopeType::kGroup, 5};
+  const ScopeId c{ScopeType::kChannel, 5};
+  EXPECT_NE(g.key(), c.key());
+  EXPECT_EQ(g.key(), (ScopeId{ScopeType::kGroup, 5}).key());
+}
+
+// --- Broadcast dissemination over an instant in-memory network ---
+
+class InstantMesh {
+ public:
+  explicit InstantMesh(std::size_t n, unsigned rings, std::uint64_t seed = 23)
+      : view_(rings), rng_(seed) {
+    Rng ids(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      view_.add(static_cast<EndpointId>(i), ids.next());
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto self = static_cast<EndpointId>(i);
+      nodes_.push_back(std::make_unique<Broadcaster>(
+          self,
+          [this, self](EndpointId to, const sim::Payload& wire) {
+            queue_.emplace_back(self, to, wire);
+          },
+          [this, self](const EnvelopeHeader& h, ByteView body,
+                       EndpointId from) {
+            deliveries_[self]++;
+            last_body_.assign(body.begin(), body.end());
+            (void)h;
+            (void)from;
+          }));
+      nodes_.back()->register_scope(scope(), &view_);
+    }
+  }
+
+  ScopeId scope() const { return ScopeId{ScopeType::kGroup, 1}; }
+  Broadcaster& node(std::size_t i) { return *nodes_[i]; }
+  View& view() { return view_; }
+  Rng& rng() { return rng_; }
+
+  /// Deliver queued sends until quiescent; optionally drop messages from a
+  /// given sender with the given probability.
+  void settle(EndpointId drop_from = ~0u, double drop_rate = 0.0) {
+    Rng drop_rng(99);
+    while (!queue_.empty()) {
+      auto [from, to, wire] = queue_.front();
+      queue_.pop_front();
+      if (from == drop_from && drop_rng.next_bool(drop_rate)) continue;
+      nodes_[to]->on_receive(from, wire, ++fake_time_);
+    }
+  }
+
+  std::size_t delivered_count() const {
+    std::size_t n = 0;
+    for (const auto& [node, c] : deliveries_) n += (c > 0);
+    return n;
+  }
+
+  std::map<EndpointId, int> deliveries_;
+  Bytes last_body_;
+
+ private:
+  View view_;
+  Rng rng_;
+  std::vector<std::unique_ptr<Broadcaster>> nodes_;
+  std::deque<std::tuple<EndpointId, EndpointId, sim::Payload>> queue_;
+  SimTime fake_time_ = 0;
+};
+
+TEST(Broadcast, ReachesEveryoneExactlyOnce) {
+  InstantMesh mesh(40, 7);
+  const Bytes body = {9, 9, 9};
+  mesh.node(0).originate(mesh.rng(), mesh.scope(), 1, body, 0);
+  mesh.settle();
+  // All 39 others delivered exactly once; originator delivers nothing.
+  EXPECT_EQ(mesh.delivered_count(), 39u);
+  for (const auto& [node, count] : mesh.deliveries_) EXPECT_EQ(count, 1);
+  EXPECT_EQ(mesh.last_body_, body);
+}
+
+TEST(Broadcast, SingleRingStillFloodsFully) {
+  InstantMesh mesh(20, 1);
+  mesh.node(3).originate(mesh.rng(), mesh.scope(), 1, Bytes{1}, 0);
+  mesh.settle();
+  EXPECT_EQ(mesh.delivered_count(), 19u);
+}
+
+TEST(Broadcast, SurvivesLossyForwarderWithSevenRings) {
+  // One node dropping 100% of its forwards must not stop dissemination:
+  // every other node still has honest predecessors on other rings.
+  InstantMesh mesh(40, 7);
+  mesh.node(0).originate(mesh.rng(), mesh.scope(), 1, Bytes{1}, 0);
+  mesh.settle(/*drop_from=*/5, /*drop_rate=*/1.0);
+  // Everyone except possibly node 5 itself (which still receives) delivers.
+  EXPECT_EQ(mesh.delivered_count(), 39u);
+}
+
+TEST(Broadcast, ReceiptsRecordPerPredecessorCopies) {
+  InstantMesh mesh(30, 7);
+  const std::uint64_t id =
+      mesh.node(2).originate(mesh.rng(), mesh.scope(), 1, Bytes{5}, 0);
+  mesh.settle();
+  // Every node should have received the broadcast from each of its ring
+  // predecessors exactly once.
+  for (std::size_t i = 0; i < 30; ++i) {
+    const auto* rec = mesh.node(i).receipt(id);
+    ASSERT_NE(rec, nullptr) << "node " << i;
+    const auto preds =
+        mesh.view().rings().predecessor_set(static_cast<EndpointId>(i));
+    for (const EndpointId p : preds) {
+      EXPECT_EQ(rec->copies_from(p), 1u) << "node " << i << " pred " << p;
+    }
+  }
+}
+
+TEST(Broadcast, OriginatorDoesNotSelfDeliver) {
+  InstantMesh mesh(10, 3);
+  mesh.node(4).originate(mesh.rng(), mesh.scope(), 1, Bytes{1}, 0);
+  mesh.settle();
+  EXPECT_EQ(mesh.deliveries_.count(4), 0u);
+  const auto* rec = mesh.node(4).receipt(
+      mesh.node(4).receipts().begin()->first);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->originated_here);
+}
+
+TEST(Broadcast, UnknownScopeIgnored) {
+  InstantMesh mesh(5, 2);
+  EnvelopeHeader h;
+  h.scope = ScopeId{ScopeType::kGroup, 77};  // nobody registered this
+  h.kind = 1;
+  h.bcast_id = 123;
+  mesh.node(0).on_receive(1, encode_envelope(h, Bytes{1}), 0);
+  EXPECT_EQ(mesh.node(0).receipts().size(), 0u);
+}
+
+TEST(Broadcast, OriginateInUnregisteredScopeThrows) {
+  InstantMesh mesh(5, 2);
+  Rng rng(1);
+  EXPECT_THROW(mesh.node(0).originate(rng, ScopeId{ScopeType::kGroup, 9}, 1,
+                                      Bytes{1}, 0),
+               std::logic_error);
+}
+
+TEST(Broadcast, PurgeReceiptsBounded) {
+  InstantMesh mesh(10, 3);
+  for (int i = 0; i < 5; ++i) {
+    mesh.node(0).originate(mesh.rng(), mesh.scope(), 1, Bytes{1}, i);
+  }
+  mesh.settle();
+  EXPECT_EQ(mesh.node(0).receipts().size(), 5u);
+  mesh.node(0).purge_receipts_before(3);
+  EXPECT_EQ(mesh.node(0).receipts().size(), 2u);
+}
+
+TEST(Broadcast, ForwardCountMatchesSuccessorSets) {
+  InstantMesh mesh(25, 7);
+  mesh.node(0).originate(mesh.rng(), mesh.scope(), 1, Bytes{1}, 0);
+  mesh.settle();
+  // Each node forwards the broadcast once to each distinct successor.
+  for (std::size_t i = 0; i < 25; ++i) {
+    const auto succ =
+        mesh.view().rings().successor_set(static_cast<EndpointId>(i));
+    EXPECT_EQ(mesh.node(i).forwarded_count(), succ.size()) << "node " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rac::overlay

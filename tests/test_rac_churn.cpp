@@ -1,0 +1,162 @@
+// Churn and end-to-end parameter sweeps: the protocol keeps delivering
+// through joins, evictions, splits and across the (provider, L, R)
+// configuration space.
+#include <gtest/gtest.h>
+
+#include "rac/simulation.hpp"
+
+namespace rac {
+namespace {
+
+Config fast_config() {
+  Config c;
+  c.num_relays = 3;
+  c.num_rings = 5;
+  c.payload_size = 500;
+  c.send_period = 20 * kMillisecond;
+  c.check_timeout = 150 * kMillisecond;
+  c.check_sweep_period = 80 * kMillisecond;
+  c.join_settle_time = 50 * kMillisecond;
+  c.follower_quorum_t = 2;
+  c.mk_bits = 3;
+  return c;
+}
+
+TEST(Churn, StaggeredJoinsUnderTraffic) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 71;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  std::size_t deliveries = 0;
+  sim.node(8).set_deliver_callback([&](Bytes) { ++deliveries; });
+  sim.start_all();
+
+  // Steady background traffic to one node while five newcomers join.
+  for (int round = 0; round < 5; ++round) {
+    sim.node(2).send_anonymous(sim.destination_of(8), to_bytes("tick"));
+    sim.join_node(static_cast<std::size_t>(round));
+    sim.run_for(400 * kMillisecond);
+  }
+  sim.run_for(2 * kSecond);
+
+  EXPECT_EQ(sim.size(), 25u);
+  EXPECT_EQ(sim.group_view(0).size(), 25u);
+  EXPECT_EQ(deliveries, 5u);
+  // Joins never triggered evictions of honest nodes.
+  EXPECT_EQ(sim.total_counter("pred_eviction_quorums"), 0u);
+  // All newcomers are running participants.
+  for (std::size_t i = 20; i < 25; ++i) {
+    EXPECT_TRUE(sim.node(i).running()) << "joiner " << i;
+  }
+}
+
+TEST(Churn, JoinsEvictionAndDeliveryInterleaved) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 72;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  // One forwarding freerider that will be evicted mid-run.
+  const std::size_t freerider = 5;
+  Node::Behavior b;
+  b.forward_drop_rate = 1.0;
+  sim.node(freerider).set_behavior(b);
+
+  std::size_t deliveries = 0;
+  sim.node(12).set_deliver_callback([&](Bytes) { ++deliveries; });
+  sim.start_all();
+
+  sim.join_node(1);
+  sim.run_for(1 * kSecond);
+  sim.node(3).send_anonymous(sim.destination_of(12), to_bytes("mid-churn"));
+  sim.join_node(2);
+  sim.run_for(3 * kSecond);
+  sim.node(4).send_anonymous(sim.destination_of(12), to_bytes("late"));
+  sim.run_for(3 * kSecond);
+
+  EXPECT_FALSE(sim.group_view(0).contains(sim.node(freerider).endpoint()));
+  EXPECT_EQ(deliveries, 2u);
+  // Only the freerider left the group: 20 - 1 + 2 joins.
+  EXPECT_EQ(sim.group_view(0).size(), 21u);
+}
+
+TEST(Churn, OnionLatencyIsMeasuredAndBounded) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 73;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+  sim.start_all();
+  sim.node(0).send_anonymous(sim.destination_of(9), to_bytes("probe"));
+  sim.run_for(2 * kSecond);
+
+  const sim::Aggregate& lat = sim.node(0).onion_latency();
+  ASSERT_EQ(lat.count(), 1u);
+  EXPECT_GT(lat.mean(), 0.0);
+  // (L+1) relay generations, each at most one 20 ms slot + dissemination.
+  EXPECT_LT(lat.mean(), 0.2);
+}
+
+// --- End-to-end configuration sweep ---
+
+struct E2ECase {
+  SimulationConfig::Provider provider;
+  unsigned l;
+  unsigned r;
+};
+
+class EndToEndSweep : public ::testing::TestWithParam<E2ECase> {};
+
+TEST_P(EndToEndSweep, ThreeMessagesDeliverExactlyOnce) {
+  const E2ECase& tc = GetParam();
+  SimulationConfig cfg;
+  cfg.num_nodes = std::max(15u, tc.l + 8);
+  cfg.seed = 1000 + tc.l * 10 + tc.r;
+  cfg.provider = tc.provider;
+  cfg.node = fast_config();
+  cfg.node.num_relays = tc.l;
+  cfg.node.num_rings = tc.r;
+  cfg.node.payload_size = 400;
+  Simulation sim(cfg);
+
+  std::size_t deliveries = 0;
+  sim.node(7).set_deliver_callback([&](Bytes p) {
+    ++deliveries;
+    EXPECT_EQ(to_string(p), "sweep");
+  });
+  sim.start_all();
+  for (int i = 0; i < 3; ++i) {
+    sim.node(static_cast<std::size_t>(1 + i)).send_anonymous(
+        sim.destination_of(7), to_bytes("sweep"));
+  }
+  sim.run_for(3 * kSecond);
+  EXPECT_EQ(deliveries, 3u);
+  EXPECT_EQ(sim.total_counter("relays_suspected"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EndToEndSweep,
+    ::testing::Values(
+        E2ECase{SimulationConfig::Provider::kSim, 1, 1},
+        E2ECase{SimulationConfig::Provider::kSim, 1, 7},
+        E2ECase{SimulationConfig::Provider::kSim, 2, 3},
+        E2ECase{SimulationConfig::Provider::kSim, 3, 5},
+        E2ECase{SimulationConfig::Provider::kSim, 5, 7},
+        E2ECase{SimulationConfig::Provider::kSim, 6, 2},
+        E2ECase{SimulationConfig::Provider::kNative, 2, 3},
+        E2ECase{SimulationConfig::Provider::kOpenSsl, 2, 3}),
+    [](const ::testing::TestParamInfo<E2ECase>& info) {
+      const char* p =
+          info.param.provider == SimulationConfig::Provider::kSim ? "sim"
+          : info.param.provider == SimulationConfig::Provider::kNative
+              ? "native"
+              : "openssl";
+      return std::string(p) + "_L" + std::to_string(info.param.l) + "_R" +
+             std::to_string(info.param.r);
+    });
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,239 @@
+// Group management tests (Sec. IV-C "Managing groups"): deterministic
+// split plans, dissolve reassignment, bound enforcement, and end-to-end
+// behaviour (channels resynced, delivery working, no false accusations)
+// across splits and dissolves in the DES.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rac/groups.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac {
+namespace {
+
+Config fast_config() {
+  Config c;
+  c.num_relays = 3;
+  c.num_rings = 5;
+  c.payload_size = 500;
+  c.send_period = 20 * kMillisecond;
+  c.check_timeout = 150 * kMillisecond;
+  c.check_sweep_period = 80 * kMillisecond;
+  c.join_settle_time = 50 * kMillisecond;
+  c.mk_bits = 3;
+  return c;
+}
+
+overlay::View make_view(std::size_t n, unsigned rings = 3,
+                        std::uint64_t seed = 5) {
+  overlay::View v(rings);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    v.add(static_cast<overlay::EndpointId>(i), rng.next());
+  }
+  return v;
+}
+
+// --- Pure planning logic ---
+
+TEST(GroupSplitPlan, HalvesByIdentifier) {
+  const overlay::View v = make_view(21);
+  const SplitPlan plan = plan_group_split(v, 0, 1);
+  EXPECT_EQ(plan.stay.size(), 10u);
+  EXPECT_EQ(plan.move.size(), 11u);
+  // Every stayer's ident < every mover's ident.
+  std::uint64_t max_stay = 0, min_move = ~std::uint64_t{0};
+  for (const auto ep : plan.stay) {
+    max_stay = std::max(max_stay, v.members().at(ep));
+  }
+  for (const auto ep : plan.move) {
+    min_move = std::min(min_move, v.members().at(ep));
+  }
+  EXPECT_LT(max_stay, min_move);
+  EXPECT_EQ(plan.pivot_ident, min_move);
+}
+
+TEST(GroupSplitPlan, DeterministicAndComplete) {
+  const overlay::View v = make_view(16);
+  const SplitPlan a = plan_group_split(v, 0, 7);
+  const SplitPlan b = plan_group_split(v, 0, 7);
+  EXPECT_EQ(a.stay, b.stay);
+  EXPECT_EQ(a.move, b.move);
+  std::set<overlay::EndpointId> all(a.stay.begin(), a.stay.end());
+  all.insert(a.move.begin(), a.move.end());
+  EXPECT_EQ(all.size(), 16u);
+}
+
+TEST(GroupSplitPlan, RejectsDegenerate) {
+  const overlay::View v = make_view(1);
+  EXPECT_THROW(plan_group_split(v, 0, 1), std::invalid_argument);
+}
+
+TEST(GroupDissolvePlan, CoversAllMembersOntoActiveGroups) {
+  const overlay::View v = make_view(12);
+  const std::vector<std::uint32_t> active = {2, 5};
+  const auto plan = plan_group_dissolve(v, active);
+  EXPECT_EQ(plan.size(), 12u);
+  for (const auto& [ep, dest] : plan) {
+    EXPECT_TRUE(dest == 2 || dest == 5);
+    EXPECT_EQ(dest, active[v.members().at(ep) % 2]);
+  }
+  EXPECT_THROW(plan_group_dissolve(v, {}), std::invalid_argument);
+}
+
+TEST(GroupBounds, ActionSelection) {
+  EXPECT_EQ(group_bound_action(5, 10, 100), GroupBoundAction::kDissolve);
+  EXPECT_EQ(group_bound_action(10, 10, 100), GroupBoundAction::kNone);
+  EXPECT_EQ(group_bound_action(100, 10, 100), GroupBoundAction::kNone);
+  EXPECT_EQ(group_bound_action(101, 10, 100), GroupBoundAction::kSplit);
+  EXPECT_EQ(group_bound_action(0, 10, 100), GroupBoundAction::kNone);
+  EXPECT_THROW(group_bound_action(5, 100, 10), std::invalid_argument);
+}
+
+// --- End-to-end in the DES ---
+
+TEST(GroupManagement, SplitRebalancesAndKeepsDelivering) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.seed = 21;
+  cfg.node = fast_config();
+  cfg.node.smin = 5;
+  cfg.node.smax = 60;
+  Simulation sim(cfg);
+  ASSERT_EQ(sim.num_groups(), 1u);
+
+  sim.start_all();
+  sim.run_for(200 * kMillisecond);
+
+  const std::uint32_t new_gid = sim.split_group(0);
+  EXPECT_EQ(new_gid, 1u);
+  EXPECT_EQ(sim.active_groups().size(), 2u);
+  EXPECT_EQ(sim.group_view(0).size() + sim.group_view(1).size(), 40u);
+  EXPECT_NEAR(static_cast<double>(sim.group_view(0).size()), 20.0, 1.0);
+
+  // Every node's group field matches the view that holds it.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    EXPECT_TRUE(
+        sim.group_view(sim.node(i).group()).contains(sim.node(i).endpoint()))
+        << "node " << i;
+  }
+  // The inter-group channel exists and is the union.
+  const auto* ch = sim.channel_view(channel_id(0, 1));
+  ASSERT_NE(ch, nullptr);
+  EXPECT_EQ(ch->size(), 40u);
+  // The split notice was broadcast in-group.
+  EXPECT_GT(sim.total_counter("group_control_sent"), 0u);
+
+  // Cross-group delivery still works after the split.
+  std::size_t sender = 0, dest = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (sim.node(i).group() == 0) sender = i;
+    if (sim.node(i).group() == 1) dest = i;
+  }
+  std::size_t deliveries = 0;
+  sim.node(dest).set_deliver_callback([&](Bytes) { ++deliveries; });
+  sim.node(sender).send_anonymous(sim.destination_of(dest),
+                                  to_bytes("post-split"));
+  sim.run_for(3 * kSecond);
+  EXPECT_EQ(deliveries, 1u);
+  // And the membership change produced no false accusations.
+  EXPECT_EQ(sim.total_counter("pred_eviction_quorums"), 0u);
+}
+
+TEST(GroupManagement, DissolveMergesMembersBack) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.group_target = 20;  // two groups
+  cfg.seed = 22;
+  cfg.node = fast_config();
+  cfg.node.smin = 5;
+  cfg.node.smax = 100;
+  Simulation sim(cfg);
+  ASSERT_EQ(sim.num_groups(), 2u);
+  const std::size_t g1_size = sim.group_view(1).size();
+  ASSERT_GT(g1_size, 0u);
+
+  sim.start_all();
+  sim.run_for(200 * kMillisecond);
+  sim.dissolve_group(1);
+
+  EXPECT_EQ(sim.group_view(1).size(), 0u);
+  EXPECT_EQ(sim.group_view(0).size(), 40u);
+  EXPECT_EQ(sim.active_groups(), std::vector<std::uint32_t>{0});
+  // No channels left for a single group.
+  EXPECT_EQ(sim.channel_view(channel_id(0, 1)), nullptr);
+
+  // In-group delivery across former group boundaries.
+  std::size_t deliveries = 0;
+  sim.node(30).set_deliver_callback([&](Bytes) { ++deliveries; });
+  sim.node(2).send_anonymous(sim.destination_of(30), to_bytes("merged"));
+  sim.run_for(3 * kSecond);
+  EXPECT_EQ(deliveries, 1u);
+  EXPECT_EQ(sim.total_counter("pred_eviction_quorums"), 0u);
+}
+
+TEST(GroupManagement, DissolveLastGroupRejected) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.seed = 23;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+  EXPECT_THROW(sim.dissolve_group(0), std::logic_error);
+}
+
+TEST(GroupManagement, EnforceBoundsSplitsOversized) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 50;
+  cfg.seed = 24;
+  cfg.node = fast_config();
+  cfg.node.smin = 5;
+  cfg.node.smax = 30;  // 50 > 30: must split once
+  Simulation sim(cfg);
+  ASSERT_EQ(sim.active_groups().size(), 1u);
+
+  const std::size_t ops = sim.enforce_group_bounds();
+  EXPECT_EQ(ops, 1u);
+  EXPECT_EQ(sim.active_groups().size(), 2u);
+  for (const std::uint32_t g : sim.active_groups()) {
+    EXPECT_LE(sim.group_view(g).size(), 30u);
+    EXPECT_GE(sim.group_view(g).size(), 5u);
+  }
+}
+
+TEST(GroupManagement, EnforceBoundsIsIdempotentWhenSatisfied) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 25;
+  cfg.node = fast_config();
+  cfg.node.smin = 5;
+  cfg.node.smax = 30;
+  Simulation sim(cfg);
+  EXPECT_EQ(sim.enforce_group_bounds(), 0u);
+}
+
+TEST(GroupManagement, AutoManagementSplitsOnJoin) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.seed = 26;
+  cfg.node = fast_config();
+  cfg.node.smin = 2;
+  cfg.node.smax = 24;  // the next join overflows
+  cfg.auto_group_management = true;
+  Simulation sim(cfg);
+  sim.start_all();
+  sim.run_for(100 * kMillisecond);
+
+  sim.join_node(0);
+  sim.run_for(500 * kMillisecond);
+
+  EXPECT_EQ(sim.active_groups().size(), 2u);
+  std::size_t total = 0;
+  for (const std::uint32_t g : sim.active_groups()) {
+    total += sim.group_view(g).size();
+  }
+  EXPECT_EQ(total, 25u);
+}
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,381 @@
+// Freerider and opponent experiments: the three misbehaviour checks of
+// Sec. IV-C, blacklist quorum logic, eviction, channel eviction notices,
+// and the anonymous relay-blacklist round.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rac/blacklist.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac {
+namespace {
+
+Config fast_config() {
+  Config c;
+  c.num_relays = 3;
+  c.num_rings = 5;
+  c.payload_size = 500;
+  c.send_period = 20 * kMillisecond;
+  c.check_timeout = 150 * kMillisecond;
+  c.check_sweep_period = 80 * kMillisecond;
+  c.follower_quorum_t = 2;                // t+1 = 3 followers evict a pred
+  c.assumed_opponent_fraction = 0.1;
+  c.smax = 30;                            // relay quorum = 0.1*30+1 = 4
+  return c;
+}
+
+// --- Blacklists unit tests ---
+
+TEST(Blacklists, RelaySuspicionOnceAndEntryDrain) {
+  Blacklists b(2, 4, 4);
+  EXPECT_TRUE(b.suspect_relay(7));
+  EXPECT_FALSE(b.suspect_relay(7));
+  EXPECT_TRUE(b.is_suspected_relay(7));
+  b.suspect_relay(8);
+  b.suspect_relay(9);
+
+  const RelayBlacklistEntry e = b.take_relay_entry();
+  std::set<std::uint32_t> named;
+  for (const auto a : e.accused) {
+    if (a != RelayBlacklistEntry::kNoAccused) named.insert(a);
+  }
+  EXPECT_EQ(named, (std::set<std::uint32_t>{7, 8, 9}));
+  // Drained: next entry is empty.
+  const RelayBlacklistEntry e2 = b.take_relay_entry();
+  for (const auto a : e2.accused) {
+    EXPECT_EQ(a, RelayBlacklistEntry::kNoAccused);
+  }
+}
+
+TEST(Blacklists, PredQuorumNeedsFollowers) {
+  Blacklists b(/*t=*/2, 4, 4);
+  const ScopeId scope{overlay::ScopeType::kGroup, 1};
+  // Non-followers never reach quorum.
+  for (EndpointId a = 1; a <= 10; ++a) {
+    EXPECT_FALSE(b.record_pred_accusation(scope, 99, a, false));
+  }
+  // Followers: quorum at t+1 = 3 distinct accusers, reported exactly once.
+  EXPECT_FALSE(b.record_pred_accusation(scope, 99, 1, true));
+  EXPECT_FALSE(b.record_pred_accusation(scope, 99, 1, true));  // duplicate
+  EXPECT_FALSE(b.record_pred_accusation(scope, 99, 2, true));
+  EXPECT_TRUE(b.record_pred_accusation(scope, 99, 3, true));
+  EXPECT_FALSE(b.record_pred_accusation(scope, 99, 4, true));  // already met
+}
+
+TEST(Blacklists, PredQuorumIsPerScope) {
+  Blacklists b(0, 4, 4);  // quorum 1
+  const ScopeId g{overlay::ScopeType::kGroup, 1};
+  const ScopeId ch{overlay::ScopeType::kChannel, 1};
+  EXPECT_TRUE(b.record_pred_accusation(g, 99, 1, true));
+  EXPECT_TRUE(b.record_pred_accusation(ch, 99, 1, true));
+}
+
+TEST(Blacklists, RelayRoundQuorumResets) {
+  Blacklists b(2, /*relay_quorum=*/3, 4);
+  EXPECT_FALSE(b.record_relay_accusation(50));
+  EXPECT_FALSE(b.record_relay_accusation(50));
+  EXPECT_TRUE(b.record_relay_accusation(50));
+  EXPECT_FALSE(b.record_relay_accusation(50));  // only fires once
+  b.begin_relay_round();
+  EXPECT_FALSE(b.record_relay_accusation(50));  // counts reset
+}
+
+TEST(Blacklists, EvictNoticeQuorumDistinctNotifiers) {
+  Blacklists b(2, 4, /*evict_quorum=*/3);
+  EXPECT_FALSE(b.record_evict_notice(5, 99, 1));
+  EXPECT_FALSE(b.record_evict_notice(5, 99, 1));
+  EXPECT_FALSE(b.record_evict_notice(5, 99, 2));
+  EXPECT_TRUE(b.record_evict_notice(5, 99, 3));
+  // Different channel counts separately.
+  EXPECT_FALSE(b.record_evict_notice(6, 99, 1));
+}
+
+TEST(Blacklists, ForgetErasesAllState) {
+  Blacklists b(0, 1, 1);
+  const ScopeId g{overlay::ScopeType::kGroup, 1};
+  b.suspect_relay(9);
+  b.suspect_predecessor(g, 9, SuspicionReason::kMissingCopy);
+  b.record_pred_accusation(g, 9, 1, true);
+  b.forget(9);
+  EXPECT_FALSE(b.is_suspected_relay(9));
+  EXPECT_FALSE(b.is_suspected_predecessor(g, 9));
+}
+
+// --- Check #1: relay dropper detection ---
+
+TEST(Misbehavior, RelayDropperIsBlacklistedBySenders) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 31;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  const std::size_t dropper = 13;
+  Node::Behavior b;
+  b.drop_relay_duty = true;
+  sim.node(dropper).set_behavior(b);
+
+  sim.start_all();
+  // Many messages so the dropper lands on relay paths often.
+  for (int i = 0; i < 30; ++i) {
+    const std::size_t s = static_cast<std::size_t>(i) % 10;
+    sim.node(s).send_anonymous(sim.destination_of(s + 1), to_bytes("m"));
+  }
+  sim.run_for(4 * kSecond);
+
+  // At least one sender caught the dropper; nobody suspected an honest
+  // relay.
+  std::size_t suspecting = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    const auto& suspects = sim.node(i).blacklists().suspected_relays();
+    if (suspects.contains(
+            static_cast<EndpointId>(sim.node(dropper).endpoint()))) {
+      ++suspecting;
+    }
+    for (const EndpointId s : suspects) {
+      EXPECT_EQ(s, sim.node(dropper).endpoint())
+          << "honest relay falsely suspected by node " << i;
+    }
+  }
+  EXPECT_GT(suspecting, 0u);
+  EXPECT_GT(sim.node(dropper).counters().get("relay_duties_dropped"), 0u);
+}
+
+// --- Check #2: forward dropper eviction ---
+
+TEST(Misbehavior, ForwardDropperEvictedByFollowerQuorum) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 32;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  const std::size_t dropper = 6;
+  Node::Behavior b;
+  b.forward_drop_rate = 1.0;
+  sim.node(dropper).set_behavior(b);
+
+  sim.start_all();
+  sim.run_for(3 * kSecond);
+
+  EXPECT_FALSE(sim.group_view(0).contains(sim.node(dropper).endpoint()));
+  EXPECT_FALSE(sim.node(dropper).running());
+  // Honest nodes all still in.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (i == dropper) continue;
+    EXPECT_TRUE(sim.group_view(0).contains(sim.node(i).endpoint()))
+        << "honest node " << i << " evicted";
+  }
+  EXPECT_GT(sim.total_counter("check2_missing_copy"), 0u);
+}
+
+// --- Check #2: replay detection ---
+
+TEST(Misbehavior, ReplayerEvicted) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 33;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  const std::size_t replayer = 11;
+  Node::Behavior b;
+  b.replay_forward = true;
+  sim.node(replayer).set_behavior(b);
+
+  sim.start_all();
+  sim.run_for(3 * kSecond);
+
+  EXPECT_GT(sim.total_counter("check2_duplicate_copy"), 0u);
+  EXPECT_FALSE(sim.group_view(0).contains(sim.node(replayer).endpoint()));
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (i == replayer) continue;
+    EXPECT_TRUE(sim.group_view(0).contains(sim.node(i).endpoint()));
+  }
+}
+
+// --- Check #3: rate deviation ---
+
+TEST(Misbehavior, HeavyThrottlerTriggersRateCheck) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 15;
+  cfg.seed = 34;
+  cfg.node = fast_config();
+  cfg.node.check_timeout = 400 * kMillisecond;  // long windows for #3
+  cfg.node.rate_tolerance = 0.5;
+  Simulation sim(cfg);
+
+  const std::size_t throttler = 4;
+  Node::Behavior b;
+  b.forward_drop_rate = 0.9;  // sends at ~10% of the protocol rate
+  sim.node(throttler).set_behavior(b);
+
+  sim.start_all();
+  sim.run_for(4 * kSecond);
+
+  EXPECT_GT(sim.total_counter("check3_rate_low") +
+                sim.total_counter("check2_missing_copy"),
+            0u);
+  EXPECT_FALSE(sim.group_view(0).contains(sim.node(throttler).endpoint()));
+}
+
+// --- Eviction notices propagate to channels ---
+
+TEST(Misbehavior, GroupEvictionPropagatesToChannel) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.group_target = 20;
+  cfg.seed = 35;
+  cfg.node = fast_config();
+  // Evict-notice quorum = 0.1*30+1 = 4 notifiers.
+  Simulation sim(cfg);
+  ASSERT_EQ(sim.num_groups(), 2u);
+
+  // Pick a dropper in group 0.
+  std::size_t dropper = sim.size();
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (sim.node(i).group() == 0) {
+      dropper = i;
+      break;
+    }
+  }
+  ASSERT_LT(dropper, sim.size());
+  Node::Behavior b;
+  b.forward_drop_rate = 1.0;
+  sim.node(dropper).set_behavior(b);
+
+  sim.start_all();
+  sim.run_for(4 * kSecond);
+
+  const EndpointId ep = sim.node(dropper).endpoint();
+  EXPECT_FALSE(sim.group_view(0).contains(ep));
+  const auto* ch = sim.channel_view(channel_id(0, 1));
+  ASSERT_NE(ch, nullptr);
+  EXPECT_FALSE(ch->contains(ep)) << "channel did not learn of the eviction";
+  EXPECT_GT(sim.total_counter("evict_notices_sent"), 0u);
+  EXPECT_GT(sim.total_counter("channel_evictions"), 0u);
+}
+
+// --- Relay blacklist shuffle round ---
+
+TEST(Misbehavior, RelayBlacklistRoundEvictsRepeatOffender) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 36;
+  cfg.node = fast_config();
+  cfg.node.smax = 20;  // relay quorum = 0.1*20+1 = 3 accusers
+  Simulation sim(cfg);
+
+  const std::size_t dropper = 17;
+  Node::Behavior b;
+  b.drop_relay_duty = true;
+  sim.node(dropper).set_behavior(b);
+
+  sim.start_all();
+  // Every node streams so that many senders use (and catch) the dropper.
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    if (i == dropper) continue;
+    for (int k = 0; k < 6; ++k) {
+      sim.node(i).send_anonymous(sim.destination_of((i + 1) % sim.size()),
+                                 to_bytes("m"));
+    }
+  }
+  sim.run_for(5 * kSecond);
+
+  // Count senders that locally blacklisted the dropper.
+  std::size_t accusers = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    accusers += sim.node(i).blacklists().suspected_relays().contains(
+        sim.node(dropper).endpoint());
+  }
+  ASSERT_GE(accusers, 3u) << "not enough senders caught the dropper yet";
+
+  const std::size_t named = sim.run_blacklist_round(0);
+  EXPECT_GE(named, 3u);
+  EXPECT_FALSE(sim.group_view(0).contains(sim.node(dropper).endpoint()));
+}
+
+// --- Active opponents: the path-forcing attack (Sec. V-A2 case 1) ---
+
+TEST(ActiveOpponents, PathForcingIsCappedByBlacklisting) {
+  // A coalition of opponent relays drops every onion, forcing the sender
+  // to rebuild paths. The paper's bound: each dropper is blacklisted after
+  // one detection and never used again, so at most ~fG rebuilds can be
+  // forced — the sender ends up routing only through honest relays.
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 41;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  // 4 coordinated opponents (f = 20%).
+  const std::set<std::size_t> opponents = {3, 7, 11, 15};
+  for (const std::size_t o : opponents) {
+    Node::Behavior b;
+    b.drop_relay_duty = true;
+    sim.node(o).set_behavior(b);
+  }
+
+  const std::size_t sender = 0;
+  std::size_t delivered = 0;
+  sim.node(9).set_deliver_callback([&](Bytes) { ++delivered; });
+  sim.start_all();
+  for (int m = 0; m < 40; ++m) {
+    sim.node(sender).send_anonymous(sim.destination_of(9), to_bytes("x"));
+  }
+  sim.run_for(20 * kSecond);
+
+  const auto& suspects = sim.node(sender).blacklists().suspected_relays();
+  // Every suspect is a real opponent — no honest relay was framed.
+  for (const EndpointId s : suspects) {
+    EXPECT_TRUE(opponents.contains(s)) << "honest relay " << s << " framed";
+  }
+  // The attack is capped: once the opponents the sender happened to pick
+  // are blacklisted, messages flow; most of the 40 messages arrive.
+  EXPECT_GT(delivered, 24u);  // detection lag burns a handful up front
+  // And the forced rebuilds cannot exceed the opponents' numbers by much:
+  // each opponent can burn at most one onion of this sender... per relay
+  // position it occupied before being blacklisted.
+  EXPECT_LE(sim.node(sender).counters().get("relays_suspected"),
+            opponents.size());
+}
+
+TEST(ActiveOpponents, HonestMajorityKeepsBroadcastReliable) {
+  // Sec. V-A2 case 2 prerequisite: with R rings and a minority of
+  // dropping opponents, dissemination still reaches everyone, so honest
+  // nodes are never starved into false suspicion.
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 42;
+  cfg.node = fast_config();
+  cfg.node.num_rings = 7;
+  Simulation sim(cfg);
+
+  for (const std::size_t o : {2u, 9u, 16u}) {  // 15% droppers
+    Node::Behavior b;
+    b.forward_drop_rate = 1.0;
+    sim.node(o).set_behavior(b);
+  }
+  std::size_t delivered = 0;
+  sim.node(13).set_deliver_callback([&](Bytes) { ++delivered; });
+  sim.start_all();
+  for (int m = 0; m < 10; ++m) {
+    sim.node(5).send_anonymous(sim.destination_of(13), to_bytes("y"));
+  }
+  sim.run_for(8 * kSecond);
+
+  EXPECT_EQ(delivered, 10u);
+  // The droppers get evicted; honest membership is intact.
+  std::size_t honest_in = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    const bool dropper = i == 2 || i == 9 || i == 16;
+    const bool in = sim.group_view(0).contains(sim.node(i).endpoint());
+    if (!dropper && in) ++honest_in;
+    if (dropper) EXPECT_FALSE(in) << "dropper " << i << " survived";
+  }
+  EXPECT_EQ(honest_in, 17u);
+}
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,130 @@
+// Accountable anonymous shuffle tests (Dissent v1 shuffle, Sec. IV-C):
+// correctness of the honest data plane, anonymity of the permutation, and
+// the audit's ability to blame each kind of faulty member.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "rac/shuffle.hpp"
+
+namespace rac {
+namespace {
+
+std::vector<Bytes> make_inputs(std::size_t n, std::size_t len, Rng& rng) {
+  std::vector<Bytes> inputs;
+  inputs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) inputs.push_back(rng.bytes(len));
+  return inputs;
+}
+
+std::vector<Bytes> sorted(std::vector<Bytes> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct ShuffleCase {
+  const char* provider_name;
+  std::unique_ptr<CryptoProvider> (*make)();
+  std::size_t members;
+};
+
+class ShuffleTest : public ::testing::TestWithParam<ShuffleCase> {
+ protected:
+  std::unique_ptr<CryptoProvider> provider_ = GetParam().make();
+  Rng rng_{4242};
+};
+
+TEST_P(ShuffleTest, HonestRoundOutputsPermutationOfInputs) {
+  const auto inputs = make_inputs(GetParam().members, 32, rng_);
+  const ShuffleResult r = run_shuffle(*provider_, rng_, inputs);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(r.blamed.has_value());
+  EXPECT_EQ(sorted(r.outputs), sorted(inputs));
+}
+
+TEST_P(ShuffleTest, DropIsBlamed) {
+  const auto inputs = make_inputs(GetParam().members, 32, rng_);
+  ShuffleFault fault;
+  fault.kind = ShuffleFault::Kind::kDropCiphertext;
+  fault.member = GetParam().members / 2;
+  const ShuffleResult r = run_shuffle(*provider_, rng_, inputs, fault);
+  EXPECT_FALSE(r.success);
+  ASSERT_TRUE(r.blamed.has_value());
+  EXPECT_EQ(*r.blamed, fault.member);
+}
+
+TEST_P(ShuffleTest, ReplaceIsBlamed) {
+  const auto inputs = make_inputs(GetParam().members, 32, rng_);
+  ShuffleFault fault;
+  fault.kind = ShuffleFault::Kind::kReplaceCiphertext;
+  fault.member = 0;
+  const ShuffleResult r = run_shuffle(*provider_, rng_, inputs, fault);
+  EXPECT_FALSE(r.success);
+  ASSERT_TRUE(r.blamed.has_value());
+  EXPECT_EQ(*r.blamed, 0u);
+}
+
+TEST_P(ShuffleTest, DuplicateIsBlamed) {
+  const auto inputs = make_inputs(GetParam().members, 32, rng_);
+  ShuffleFault fault;
+  fault.kind = ShuffleFault::Kind::kDuplicateCiphertext;
+  fault.member = GetParam().members - 1;
+  const ShuffleResult r = run_shuffle(*provider_, rng_, inputs, fault);
+  EXPECT_FALSE(r.success);
+  ASSERT_TRUE(r.blamed.has_value());
+  EXPECT_EQ(*r.blamed, fault.member);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ProvidersAndSizes, ShuffleTest,
+    ::testing::Values(ShuffleCase{"sim", &make_sim_provider, 3},
+                      ShuffleCase{"sim", &make_sim_provider, 8},
+                      ShuffleCase{"sim", &make_sim_provider, 20},
+                      ShuffleCase{"native", &make_native_provider, 4}),
+    [](const ::testing::TestParamInfo<ShuffleCase>& info) {
+      return std::string(info.param.provider_name) + "_n" +
+             std::to_string(info.param.members);
+    });
+
+TEST(Shuffle, PermutationActuallyShuffles) {
+  // Over several rounds with distinct inputs, at least one round must
+  // change the order (overwhelming probability).
+  auto provider = make_sim_provider();
+  Rng rng(7);
+  bool reordered = false;
+  for (int round = 0; round < 5 && !reordered; ++round) {
+    const auto inputs = make_inputs(10, 16, rng);
+    const ShuffleResult r = run_shuffle(*provider, rng, inputs);
+    ASSERT_TRUE(r.success);
+    reordered = (r.outputs != inputs);
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(Shuffle, SingleMemberDegenerate) {
+  auto provider = make_sim_provider();
+  Rng rng(8);
+  const std::vector<Bytes> inputs = {rng.bytes(16)};
+  const ShuffleResult r = run_shuffle(*provider, rng, inputs);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.outputs, inputs);
+}
+
+TEST(Shuffle, RejectsMixedSizesAndEmpty) {
+  auto provider = make_sim_provider();
+  Rng rng(9);
+  std::vector<Bytes> mixed = {rng.bytes(16), rng.bytes(17)};
+  EXPECT_THROW(run_shuffle(*provider, rng, mixed), std::invalid_argument);
+  EXPECT_THROW(run_shuffle(*provider, rng, {}), std::invalid_argument);
+}
+
+TEST(Shuffle, MessageComplexityQuadratic) {
+  EXPECT_EQ(shuffle_message_complexity(1), 3u);
+  EXPECT_EQ(shuffle_message_complexity(10), 300u);
+  // Grows quadratically: the protocol is a control-plane cost, run
+  // periodically, not per message.
+  EXPECT_EQ(shuffle_message_complexity(100), 30'000u);
+}
+
+}  // namespace
+}  // namespace rac

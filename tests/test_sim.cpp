@@ -1,0 +1,226 @@
+// DES kernel and network model tests: event ordering, determinism, link
+// serialization timing, FIFO queueing, and saturation behaviour — the
+// properties the throughput experiments rest on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+#include "sim/stats.hpp"
+
+namespace rac::sim {
+namespace {
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Engine, TiesBreakInScheduleOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, NestedScheduling) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule(10, [&] {
+    ++fired;
+    sim.schedule(10, [&] { ++fired; });
+  });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Simulator sim(1);
+  int fired = 0;
+  sim.schedule(10, [&] { ++fired; });
+  sim.schedule(20, [&] { ++fired; });
+  sim.run_until(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 15);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Engine, RejectsPastAndNegative) {
+  Simulator sim(1);
+  sim.schedule(10, [] {});
+  sim.run_to_completion();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, DeterministicRngStream) {
+  Simulator a(42), b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next(), b.rng().next());
+}
+
+TEST(Network, SingleMessageTiming) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 50 * kMicrosecond});
+  SimTime delivered_at = -1;
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([&](EndpointId from, const Payload& p) {
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(p->size(), 10'000u);
+    delivered_at = sim.now();
+  });
+  net.send(0, 1, make_payload(Bytes(10'000, 0)));
+  sim.run_to_completion();
+  // 80us uplink + 50us propagation + 80us downlink.
+  EXPECT_EQ(delivered_at, 210 * kMicrosecond);
+}
+
+TEST(Network, UplinkSerializesFifo) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  std::vector<SimTime> arrivals;
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([&](EndpointId, const Payload&) {
+    arrivals.push_back(sim.now());
+  });
+  const Payload p = make_payload(Bytes(10'000, 0));  // 80us each
+  for (int i = 0; i < 3; ++i) net.send(0, 1, p);
+  sim.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 3u);
+  // Uplink finishes at 80/160/240us; downlink adds 80us after each, and
+  // pipeline overlaps: arrivals at 160, 240, 320us.
+  EXPECT_EQ(arrivals[0], 160 * kMicrosecond);
+  EXPECT_EQ(arrivals[1], 240 * kMicrosecond);
+  EXPECT_EQ(arrivals[2], 320 * kMicrosecond);
+}
+
+TEST(Network, DownlinkContentionFromTwoSenders) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  std::vector<SimTime> arrivals;
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([&](EndpointId, const Payload&) {
+    arrivals.push_back(sim.now());
+  });
+  const Payload p = make_payload(Bytes(10'000, 0));
+  net.send(0, 2, p);
+  net.send(1, 2, p);
+  sim.run_to_completion();
+  ASSERT_EQ(arrivals.size(), 2u);
+  // Both uplinks finish at 80us; the receiver's downlink serializes them:
+  // 160us and 240us.
+  EXPECT_EQ(arrivals[0], 160 * kMicrosecond);
+  EXPECT_EQ(arrivals[1], 240 * kMicrosecond);
+}
+
+TEST(Network, WireBytesOverrideControlsTiming) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  SimTime arrival = 0;
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([&](EndpointId, const Payload&) { arrival = sim.now(); });
+  net.send(0, 1, make_payload(Bytes(10, 0)), 10'000);
+  sim.run_to_completion();
+  EXPECT_EQ(arrival, 160 * kMicrosecond);
+}
+
+TEST(Network, StatsAccounting) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.send(0, 1, make_payload(Bytes(100, 0)));
+  net.send(0, 1, make_payload(Bytes(50, 0)));
+  sim.run_to_completion();
+  EXPECT_EQ(net.stats(0).messages_sent, 2u);
+  EXPECT_EQ(net.stats(0).bytes_sent, 150u);
+  EXPECT_EQ(net.stats(1).messages_received, 2u);
+  EXPECT_EQ(net.stats(1).bytes_received, 150u);
+  EXPECT_EQ(net.total_bytes(), 150u);
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  EXPECT_THROW(net.send(0, 5, make_payload(Bytes(1, 0))), std::out_of_range);
+  EXPECT_THROW(net.send(0, 0, make_payload(Bytes(1, 0))),
+               std::invalid_argument);
+}
+
+TEST(Network, UplinkBusyUntilTracksBacklog) {
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  EXPECT_EQ(net.uplink_busy_until(0), sim.now());
+  net.send(0, 1, make_payload(Bytes(10'000, 0)));
+  EXPECT_EQ(net.uplink_busy_until(0), 80 * kMicrosecond);
+  net.send(0, 1, make_payload(Bytes(10'000, 0)));
+  EXPECT_EQ(net.uplink_busy_until(0), 160 * kMicrosecond);
+}
+
+TEST(Network, SaturatedLinkReachesCapacity) {
+  // Pump messages back-to-back for a simulated 10ms and verify goodput
+  // approaches 1 Gb/s.
+  Simulator sim(1);
+  Network net(sim, NetworkConfig{1e9, 0});
+  ThroughputMeter meter;
+  net.add_endpoint([](EndpointId, const Payload&) {});
+  net.add_endpoint([&](EndpointId, const Payload& p) {
+    meter.record(sim.now(), p->size());
+  });
+  const Payload p = make_payload(Bytes(10'000, 0));
+  for (int i = 0; i < 125; ++i) net.send(0, 1, p);  // 10ms worth
+  sim.run_to_completion();
+  const double bps = meter.bits_per_second(0, sim.now());
+  EXPECT_GT(bps, 0.95e9);
+  EXPECT_LE(bps, 1.01e9);
+}
+
+TEST(Stats, ThroughputMeterWindows) {
+  ThroughputMeter m;
+  m.record(1 * kSecond, 1000);
+  m.record(2 * kSecond, 1000);
+  m.record(3 * kSecond, 1000);
+  // Window [1s, 3s) captures the first two samples: 2000 B over 2 s.
+  EXPECT_DOUBLE_EQ(m.bits_per_second(1 * kSecond, 3 * kSecond), 8000.0);
+  EXPECT_EQ(m.total_bytes(), 3000u);
+  EXPECT_EQ(m.total_messages(), 3u);
+  EXPECT_THROW(m.bits_per_second(2, 2), std::invalid_argument);
+}
+
+TEST(Stats, Aggregate) {
+  Aggregate a;
+  EXPECT_EQ(a.mean(), 0.0);
+  a.add(1.0);
+  a.add(3.0);
+  a.add(2.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
+  EXPECT_EQ(a.count(), 3u);
+}
+
+TEST(Stats, Counters) {
+  Counters c;
+  c.bump("x");
+  c.bump("x", 4);
+  EXPECT_EQ(c.get("x"), 5u);
+  EXPECT_EQ(c.get("missing"), 0u);
+}
+
+}  // namespace
+}  // namespace rac::sim

@@ -1,0 +1,149 @@
+// Control-plane wire format tests: round trips, malformed input, and the
+// channel-id packing.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "common/serialize.hpp"
+#include "crypto/provider.hpp"
+#include "rac/config.hpp"
+#include "rac/wire.hpp"
+
+namespace rac {
+namespace {
+
+TEST(Wire, JoinAnnounceRoundTrip) {
+  JoinAnnounce j;
+  j.ident = 0xABCDEF0123456789ULL;
+  j.id_pubkey = Bytes(32, 7);
+  j.puzzle_y = Bytes{1, 2, 3, 4};
+  j.endpoint = 42;
+  const JoinAnnounce back = JoinAnnounce::decode(j.encode());
+  EXPECT_EQ(back.ident, j.ident);
+  EXPECT_EQ(back.id_pubkey, j.id_pubkey);
+  EXPECT_EQ(back.puzzle_y, j.puzzle_y);
+  EXPECT_EQ(back.endpoint, 42u);
+}
+
+TEST(Wire, JoinAnnounceRejectsTrailing) {
+  JoinAnnounce j;
+  j.id_pubkey = Bytes(4, 1);
+  Bytes wire = j.encode();
+  wire.push_back(0);
+  EXPECT_THROW(JoinAnnounce::decode(wire), DecodeError);
+  EXPECT_THROW(JoinAnnounce::decode(Bytes{1, 2}), DecodeError);
+}
+
+TEST(Wire, PredAccusationRoundTrip) {
+  PredAccusation a;
+  a.accuser = 5;
+  a.accused = 9;
+  a.reason = SuspicionReason::kRateTooHigh;
+  const PredAccusation back = PredAccusation::decode(a.encode());
+  EXPECT_EQ(back.accuser, 5u);
+  EXPECT_EQ(back.accused, 9u);
+  EXPECT_EQ(back.reason, SuspicionReason::kRateTooHigh);
+}
+
+TEST(Wire, EvictNoticeRoundTrip) {
+  EvictNotice e;
+  e.notifier = 1;
+  e.evicted = 2;
+  e.scope_type = 0;
+  e.scope_id = 77;
+  const EvictNotice back = EvictNotice::decode(e.encode());
+  EXPECT_EQ(back.notifier, 1u);
+  EXPECT_EQ(back.evicted, 2u);
+  EXPECT_EQ(back.scope_id, 77u);
+}
+
+TEST(Wire, RelayBlacklistEntryFixedSize) {
+  RelayBlacklistEntry e;
+  EXPECT_EQ(e.encode().size(), RelayBlacklistEntry::encoded_size());
+  e.accused[0] = 3;
+  e.accused[3] = 0;  // endpoint 0 is a legal accusation target
+  const auto back = RelayBlacklistEntry::decode(e.encode());
+  EXPECT_EQ(back.accused[0], 3u);
+  EXPECT_EQ(back.accused[1], RelayBlacklistEntry::kNoAccused);
+  EXPECT_EQ(back.accused[3], 0u);
+  EXPECT_THROW(RelayBlacklistEntry::decode(Bytes(15, 0)), DecodeError);
+  EXPECT_THROW(RelayBlacklistEntry::decode(Bytes(17, 0)), DecodeError);
+}
+
+TEST(Wire, GroupControlRoundTrip) {
+  GroupControl g;
+  g.op = GroupControl::Op::kDissolve;
+  g.group = 12;
+  const GroupControl back = GroupControl::decode(g.encode());
+  EXPECT_EQ(back.op, GroupControl::Op::kDissolve);
+  EXPECT_EQ(back.group, 12u);
+}
+
+TEST(Wire, ChannelIdPacking) {
+  EXPECT_EQ(channel_id(3, 7), channel_id(7, 3));
+  EXPECT_NE(channel_id(3, 7), channel_id(3, 8));
+  const auto [a, b] = channel_groups(channel_id(9, 4));
+  EXPECT_EQ(a, 4u);
+  EXPECT_EQ(b, 9u);
+  EXPECT_THROW(channel_id(3, 3), std::invalid_argument);
+  EXPECT_THROW(channel_id(0x10000, 1), std::invalid_argument);
+}
+
+TEST(Config, DerivedCellSizeCoversWorstCaseOnion) {
+  auto provider = make_sim_provider();
+  Config c;
+  c.num_relays = 5;
+  c.payload_size = 10'000;
+  const std::size_t cell = c.derived_cell_size(*provider);
+  // Payload + (L+1) seal overheads + layer headers + pad prefix.
+  EXPECT_GT(cell, 10'000u + 6 * 48);
+  EXPECT_LT(cell, 10'500u);
+  // Explicit cell_size wins.
+  c.cell_size = 20'000;
+  EXPECT_EQ(c.effective_cell_size(*provider), 20'000u);
+  // More relays -> bigger minimum cell.
+  Config c2 = c;
+  c2.cell_size = 0;
+  c2.num_relays = 8;
+  EXPECT_GT(c2.derived_cell_size(*provider), cell);
+}
+
+// Decode robustness: random byte strings must either decode or throw
+// DecodeError — never crash, never read out of bounds (run under the
+// normal test harness; ASan builds make this a real fuzz check).
+TEST(Wire, RandomBytesNeverCrashDecoders) {
+  Rng rng(0xF422);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Bytes junk = rng.bytes(rng.next_below(64));
+    for (int which = 0; which < 5; ++which) {
+      try {
+        switch (which) {
+          case 0: JoinAnnounce::decode(junk); break;
+          case 1: PredAccusation::decode(junk); break;
+          case 2: EvictNotice::decode(junk); break;
+          case 3: RelayBlacklistEntry::decode(junk); break;
+          case 4: GroupControl::decode(junk); break;
+        }
+      } catch (const DecodeError&) {
+        // expected for malformed input
+      }
+    }
+  }
+}
+
+TEST(Wire, TruncationsOfValidMessagesThrow) {
+  JoinAnnounce j;
+  j.ident = 7;
+  j.id_pubkey = Bytes(32, 1);
+  j.puzzle_y = Bytes(16, 2);
+  j.endpoint = 3;
+  const Bytes wire = j.encode();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    const Bytes truncated(wire.begin(),
+                          wire.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW(JoinAnnounce::decode(truncated), DecodeError)
+        << "cut=" << cut;
+  }
+}
+
+}  // namespace
+}  // namespace rac

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Plot Figures 1 and 3 from the bench binaries' output.
+
+Usage:
+    build/bench/fig1_dissent_throughput > fig1.txt
+    build/bench/fig3_rac_throughput   > fig3.txt
+    tools/plot_figures.py fig1.txt fig3.txt      # writes fig1.png, fig3.png
+
+Requires matplotlib. The bench output format is one header line starting
+with column names (N first) followed by rows; '#' lines and '-' cells are
+ignored, axes are log-log like the paper's.
+"""
+import sys
+
+
+def parse_table(path):
+    header = None
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if header is None and parts[0] == "N":
+                header = parts
+                continue
+            if header is None:
+                continue
+            try:
+                n = float(parts[0])
+            except ValueError:
+                continue
+            row = {"N": n}
+            for name, cell in zip(header[1:], parts[1:]):
+                try:
+                    row[name] = float(cell)
+                except ValueError:
+                    pass  # '-' cells
+            rows.append(row)
+    if header is None:
+        raise SystemExit(f"{path}: no table header found")
+    return header, rows
+
+
+def plot(path, out):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    header, rows = parse_table(path)
+    series = [name for name in header[1:] if any(name in r for r in rows)]
+    plt.figure(figsize=(6, 4))
+    for name in series:
+        xs = [r["N"] for r in rows if name in r]
+        ys = [r[name] for r in rows if name in r]
+        marker = "o" if len(xs) < 6 else None
+        plt.plot(xs, ys, label=name, marker=marker)
+    plt.xscale("log")
+    plt.yscale("log")
+    plt.xlabel("Number of nodes")
+    plt.ylabel("Throughput (kb/s)")
+    plt.legend(fontsize=8)
+    plt.grid(True, which="both", alpha=0.3)
+    plt.tight_layout()
+    plt.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    if len(sys.argv) < 2:
+        raise SystemExit(__doc__)
+    for i, path in enumerate(sys.argv[1:], start=1):
+        plot(path, f"fig{i}.png")
+
+
+if __name__ == "__main__":
+    main()
