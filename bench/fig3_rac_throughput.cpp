@@ -11,7 +11,14 @@
 // simulation is tractable on one core, using proportionally smaller
 // payloads so steady state is reached quickly (tests/test_flow_vs_des.cpp
 // asserts model/DES agreement).
+// `fig3_rac_throughput --smoke <nodes> <sim_ms> [payload_bytes]` runs one
+// packet-level DES point and prints a JSON record (delivered payload count,
+// goodput, kernel events/sec) for tools/bench_json.py and the bench_smoke
+// CTest label; see EXPERIMENTS.md "Bench JSON".
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "baselines/dissent_v1.hpp"
 #include "baselines/flow_model.hpp"
@@ -49,9 +56,62 @@ double des_rac_kbps(std::uint32_t n, std::uint32_t group_target,
          (cell / cell_10k) / 1e3;
 }
 
+int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
+  SimulationConfig cfg;
+  cfg.num_nodes = n;
+  cfg.group_target = 0;
+  cfg.seed = 42;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = payload;
+  cfg.node.send_period = 0;
+  cfg.node.saturation_window = 16;
+  cfg.node.check_sweep_period = 0;
+  Simulation sim(cfg);
+  sim.start_uniform_traffic();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+  const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+
+  const std::uint64_t events = sim.simulator().events_processed();
+  const double goodput_kbps =
+      sim.avg_node_goodput_bps(horizon / 2, sim.simulator().now()) / 1e3;
+  std::printf(
+      "{\n"
+      "  \"nodes\": %u,\n"
+      "  \"sim_seconds\": %.6f,\n"
+      "  \"payload_bytes\": %zu,\n"
+      "  \"delivered_payloads\": %llu,\n"
+      "  \"delivered_bytes\": %llu,\n"
+      "  \"avg_node_goodput_kbps\": %.3f,\n"
+      "  \"events\": %llu,\n"
+      "  \"wall_s\": %.6f,\n"
+      "  \"events_per_sec\": %.1f,\n"
+      "  \"wall_per_sim_second\": %.6f\n"
+      "}\n",
+      n, to_seconds(horizon), payload,
+      static_cast<unsigned long long>(sim.delivery_meter().total_messages()),
+      static_cast<unsigned long long>(sim.delivery_meter().total_bytes()),
+      goodput_kbps, static_cast<unsigned long long>(events), wall_s,
+      wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0,
+      wall_s / to_seconds(horizon));
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
+    const std::uint32_t n =
+        argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 100;
+    const SimDuration horizon =
+        (argc > 3 ? std::atoll(argv[3]) : 400) * kMillisecond;
+    const std::size_t payload =
+        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 2'000;
+    return run_smoke(n, horizon, payload);
+  }
   std::printf(
       "# Figure 3: throughput (kb/s per node) vs N\n"
       "# L=5, R=7, G=1000, 10 kB messages, 1 Gb/s links\n"

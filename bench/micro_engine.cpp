@@ -1,0 +1,248 @@
+// Microbenchmark for the DES kernel hot path (`rac::sim::Simulator`).
+//
+// Every experiment in this repo funnels through schedule()/step(), so the
+// kernel's events/sec bounds how large a deployment the packet-level DES can
+// reach. This benchmark exercises the scheduling patterns that dominate real
+// runs:
+//
+//   hold            — the classic DES "hold model": a fixed population of
+//                     in-flight events, each firing reschedules itself a
+//                     short pseudo-random delay ahead (uplink/downlink
+//                     serialization events cluster within microseconds).
+//   burst_drain     — schedule a large batch at random times, then drain it
+//                     (broadcast fan-out bursts).
+//   far_mix         — 90% near events, 10% seconds-away timers (check
+//                     sweeps, join settle timers) to exercise the far-heap
+//                     path of the hybrid scheduler.
+//   same_time_ties  — many events at identical timestamps (ring fan-out at
+//                     one cell boundary); stresses the tie-break path.
+//
+// Usage: micro_engine [--json <path|->] [--scale <x>]
+//
+// Emits a human-readable table on stdout and, with --json, a machine
+// readable report consumed by tools/bench_json.py (see EXPERIMENTS.md,
+// "Bench JSON").  All delays are deterministic (SplitMix-style sequences),
+// so two runs execute the identical event trace.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace rac;
+using sim::Simulator;
+
+double now_seconds() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(Clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E37'79B9'7F4A'7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58'476D'1CE4'E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D0'49BB'1331'11EBULL;
+  return x ^ (x >> 31);
+}
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+// --- hold model ------------------------------------------------------------
+
+struct HoldCtx {
+  Simulator* sim;
+  std::uint64_t remaining;
+  SimDuration max_delay;
+};
+
+struct HoldEvent {
+  HoldCtx* ctx;
+  std::uint64_t state;
+
+  void operator()() const {
+    if (ctx->remaining == 0) return;
+    --ctx->remaining;
+    const std::uint64_t next = mix(state);
+    const SimDuration delay =
+        1 + static_cast<SimDuration>(next % static_cast<std::uint64_t>(
+                                                ctx->max_delay));
+    ctx->sim->schedule(delay, HoldEvent{ctx, next});
+  }
+};
+
+BenchResult bench_hold(std::uint64_t population, std::uint64_t total_events,
+                       SimDuration max_delay, const char* name) {
+  Simulator sim(1);
+  HoldCtx ctx{&sim, total_events, max_delay};
+  for (std::uint64_t i = 0; i < population; ++i) {
+    sim.schedule(1 + static_cast<SimDuration>(i % 64),
+                 HoldEvent{&ctx, mix(i)});
+  }
+  const double t0 = now_seconds();
+  sim.run_to_completion();
+  const double t1 = now_seconds();
+  return BenchResult{name, sim.events_processed(), t1 - t0};
+}
+
+// --- burst/drain -----------------------------------------------------------
+
+BenchResult bench_burst_drain(std::uint64_t batch, int rounds) {
+  Simulator sim(1);
+  std::uint64_t sink = 0;
+  const double t0 = now_seconds();
+  for (int r = 0; r < rounds; ++r) {
+    std::uint64_t s = 0x1234'5678u + static_cast<std::uint64_t>(r);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      s = mix(s);
+      const SimDuration delay =
+          static_cast<SimDuration>(s % (100 * kMillisecond));
+      sim.schedule(delay, [&sink] { ++sink; });
+    }
+    sim.run_to_completion();
+  }
+  const double t1 = now_seconds();
+  return BenchResult{"burst_drain", sim.events_processed(), t1 - t0};
+}
+
+// --- near/far mix ----------------------------------------------------------
+
+struct FarCtx {
+  Simulator* sim;
+  std::uint64_t remaining;
+};
+
+struct FarEvent {
+  FarCtx* ctx;
+  std::uint64_t state;
+
+  void operator()() const {
+    if (ctx->remaining == 0) return;
+    --ctx->remaining;
+    const std::uint64_t next = mix(state);
+    // 90% near (<= 16 us), 10% far (1..5 s): the far timers cross any
+    // realistic calendar-queue horizon and must round-trip the heap.
+    SimDuration delay;
+    if (next % 10 == 0) {
+      delay = kSecond + static_cast<SimDuration>(next % (4 * kSecond));
+    } else {
+      delay = 1 + static_cast<SimDuration>(next % (16 * kMicrosecond));
+    }
+    ctx->sim->schedule(delay, FarEvent{ctx, next});
+  }
+};
+
+BenchResult bench_far_mix(std::uint64_t population,
+                          std::uint64_t total_events) {
+  Simulator sim(1);
+  FarCtx ctx{&sim, total_events};
+  for (std::uint64_t i = 0; i < population; ++i) {
+    sim.schedule(1 + static_cast<SimDuration>(i), FarEvent{&ctx, mix(i)});
+  }
+  const double t0 = now_seconds();
+  sim.run_to_completion();
+  const double t1 = now_seconds();
+  return BenchResult{"far_mix", sim.events_processed(), t1 - t0};
+}
+
+// --- same-time fan-out ties ------------------------------------------------
+
+BenchResult bench_same_time_ties(int rounds, std::uint64_t fanout) {
+  Simulator sim(1);
+  std::uint64_t sink = 0;
+  const double t0 = now_seconds();
+  for (int r = 0; r < rounds; ++r) {
+    const SimTime at = sim.now() + 10 * kMicrosecond;
+    for (std::uint64_t i = 0; i < fanout; ++i) {
+      sim.schedule_at(at, [&sink] { ++sink; });
+    }
+    sim.run_to_completion();
+  }
+  const double t1 = now_seconds();
+  return BenchResult{"same_time_ties", sim.events_processed(), t1 - t0};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  double scale = 1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr, "usage: %s [--json <path|->] [--scale <x>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const auto n = [scale](double base) {
+    return static_cast<std::uint64_t>(base * scale);
+  };
+
+  std::vector<BenchResult> results;
+  results.push_back(
+      bench_hold(1024, n(4e6), 32 * kMicrosecond, "hold_near"));
+  results.push_back(bench_hold(64, n(2e6), 4 * kMillisecond, "hold_wide"));
+  results.push_back(bench_burst_drain(n(1e6), 3));
+  results.push_back(bench_far_mix(512, n(2e6)));
+  results.push_back(bench_same_time_ties(static_cast<int>(n(200)), 4096));
+
+  std::uint64_t total_events = 0;
+  double total_wall = 0;
+  std::printf("%-16s %12s %10s %14s\n", "benchmark", "events", "wall_s",
+              "events/sec");
+  for (const auto& r : results) {
+    total_events += r.events;
+    total_wall += r.wall_s;
+    std::printf("%-16s %12llu %10.3f %14.0f\n", r.name.c_str(),
+                static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec());
+  }
+  const double overall =
+      total_wall > 0 ? static_cast<double>(total_events) / total_wall : 0.0;
+  std::printf("%-16s %12llu %10.3f %14.0f\n", "TOTAL",
+              static_cast<unsigned long long>(total_events), total_wall,
+              overall);
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::strcmp(json_path, "-") == 0
+                         ? stdout
+                         : std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "micro_engine: cannot open %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      std::fprintf(out,
+                   "    {\"name\": \"%s\", \"events\": %llu, "
+                   "\"wall_s\": %.6f, \"events_per_sec\": %.1f}%s\n",
+                   r.name.c_str(),
+                   static_cast<unsigned long long>(r.events), r.wall_s,
+                   r.events_per_sec(), i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out,
+                 "  ],\n  \"total_events\": %llu,\n"
+                 "  \"total_wall_s\": %.6f,\n"
+                 "  \"events_per_sec\": %.1f\n}\n",
+                 static_cast<unsigned long long>(total_events), total_wall,
+                 overall);
+    if (out != stdout) std::fclose(out);
+  }
+  return 0;
+}

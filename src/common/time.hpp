@@ -19,6 +19,16 @@ constexpr SimDuration kNanosecond = 1;
 constexpr SimDuration kMicrosecond = 1'000;
 constexpr SimDuration kMillisecond = 1'000'000;
 constexpr SimDuration kSecond = 1'000'000'000;
+constexpr SimDuration kMinute = 60 * kSecond;
+
+/// Latest representable simulated instant ("run forever" horizon).
+constexpr SimTime kSimTimeMax = INT64_MAX;
+
+/// `t + d` clamped to kSimTimeMax (both non-negative). Keeps
+/// `run_for(huge)` horizons from wrapping into the past.
+constexpr SimTime time_add_sat(SimTime t, SimDuration d) {
+  return d > kSimTimeMax - t ? kSimTimeMax : t + d;
+}
 
 constexpr double to_seconds(SimDuration d) {
   return static_cast<double>(d) / static_cast<double>(kSecond);

@@ -118,15 +118,26 @@ void Broadcaster::on_receive(EndpointId from, const Payload& wire,
 void Broadcaster::forward(ScopeId scope, const Payload& wire) {
   const View* view = scopes_.at(scope.key());
   if (!view->contains(self_)) return;  // joined scope but not yet placed
-  for (const EndpointId succ : view->rings().successor_set(self_)) {
+  // succ_buf_ is reused across forwards: after the first broadcast in a
+  // scope its capacity covers R successors, so the per-message fan-out
+  // does no allocation.
+  view->rings().successor_set_into(self_, succ_buf_);
+  for (const EndpointId succ : succ_buf_) {
     send_(succ, wire);
     ++forwarded_;
   }
 }
 
 void Broadcaster::purge_receipts_before(SimTime t) {
-  std::erase_if(receipts_,
-                [t](const auto& kv) { return kv.second.first_seen < t; });
+  // Single pass, erase-during-iteration: amortized O(tracked receipts)
+  // with no intermediate key collection.
+  for (auto it = receipts_.begin(); it != receipts_.end();) {
+    if (it->second.first_seen < t) {
+      it = receipts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 const Broadcaster::Receipt* Broadcaster::receipt(

@@ -114,6 +114,7 @@ class Broadcaster {
   DeliverFn deliver_;
   std::unordered_map<std::uint64_t, const View*> scopes_;  // by ScopeId::key
   std::unordered_map<std::uint64_t, Receipt> receipts_;    // by bcast_id
+  std::vector<EndpointId> succ_buf_;  // reused per-forward successor set
   std::uint64_t forwarded_ = 0;
 };
 

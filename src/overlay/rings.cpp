@@ -103,6 +103,17 @@ std::vector<EndpointId> RingSet::successor_set(EndpointId node) const {
   return distinct_excluding(successors(node), node);
 }
 
+void RingSet::successor_set_into(EndpointId node,
+                                 std::vector<EndpointId>& out) const {
+  out.clear();
+  for (unsigned r = 0; r < num_rings_; ++r) {
+    out.push_back(successor_on_ring(node, r));
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  std::erase(out, node);
+}
+
 std::vector<EndpointId> RingSet::predecessor_set(EndpointId node) const {
   return distinct_excluding(predecessors(node), node);
 }

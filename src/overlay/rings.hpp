@@ -52,6 +52,11 @@ class RingSet {
   std::vector<EndpointId> successor_set(EndpointId node) const;
   std::vector<EndpointId> predecessor_set(EndpointId node) const;
 
+  /// Allocation-free variant for the forwarding hot path: fills `out`
+  /// (cleared first, capacity retained) with the distinct successor set.
+  void successor_set_into(EndpointId node, std::vector<EndpointId>& out)
+      const;
+
  private:
   struct Ring {
     // Sorted by (position, node) — node id breaks hash ties.

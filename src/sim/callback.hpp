@@ -1,0 +1,154 @@
+// InplaceCallback: a small-buffer-optimized, move-only `void()` callable.
+//
+// The DES kernel fires tens of millions of events per simulated second, and
+// `std::function` pays a heap allocation per scheduled closure plus a copy
+// whenever an event object is copied. InplaceCallback stores the callable
+// inline when it fits the fixed budget (`kInlineSize`) and is move-only, so
+// a scheduled closure can never be copied, only relocated between pooled
+// event slots. The budget is deliberately tight: every closure on the
+// simulation hot path (Network transfers, node slot timers, sweep timers)
+// captures at most a few pointers/ids, and a small budget keeps the pooled
+// event slots dense in cache.
+//
+// Callables larger than the budget (rare: driver-level lambdas capturing
+// strings, etc.) are boxed on the heap transparently; the hot protocol path
+// never takes that branch. `InplaceCallback::fits_inline<F>` lets hot call
+// sites static_assert that their closures stay inline (see
+// sim/network.cpp).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rac::sim {
+
+class InplaceCallback {
+ public:
+  /// Inline storage budget. 24 bytes holds a this-pointer + a pooled-record
+  /// index with room to spare for an extra id — the largest closures on
+  /// the simulation hot path (Network transfers capture {Network*, index};
+  /// node timers capture {Node*, token, epoch}) — and makes the whole
+  /// object exactly 32 bytes: two pooled event slots per cache line,
+  /// shift-indexable. Larger callables (driver-level lambdas capturing
+  /// strings, etc.) are boxed on the heap transparently.
+  static constexpr std::size_t kInlineSize = 24;
+  static constexpr std::size_t kInlineAlign = 8;
+
+  /// True when `F` is stored inline (no allocation on schedule).
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineSize &&
+      alignof(std::decay_t<F>) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
+  InplaceCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InplaceCallback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  InplaceCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(f));
+  }
+
+  InplaceCallback(InplaceCallback&& other) noexcept : vt_(other.vt_) {
+    if (vt_ != nullptr) {
+      vt_->relocate(other.buf_, buf_);
+      other.vt_ = nullptr;
+    }
+  }
+
+  InplaceCallback& operator=(InplaceCallback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      vt_ = other.vt_;
+      if (vt_ != nullptr) {
+        vt_->relocate(other.buf_, buf_);
+        other.vt_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  InplaceCallback(const InplaceCallback&) = delete;
+  InplaceCallback& operator=(const InplaceCallback&) = delete;
+
+  ~InplaceCallback() { reset(); }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  /// Destroy the current callable (if any) and construct `f` in place —
+  /// one construction, no intermediate relocation. Used by the scheduler
+  /// to build closures directly inside pooled event slots.
+  template <typename F>
+  void emplace(F&& f) {
+    reset();
+    if constexpr (std::is_same_v<std::decay_t<F>, InplaceCallback>) {
+      *this = std::forward<F>(f);
+    } else {
+      construct(std::forward<F>(f));
+    }
+  }
+
+  void operator()() { vt_->invoke(buf_); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    // Move-construct into `dst` from `src`, then destroy `src`.
+    void (*relocate)(void* src, void* dst);
+    void (*destroy)(void*);
+  };
+
+  template <typename F>
+  void construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      static constexpr VTable vt = {
+          [](void* p) { (*std::launder(static_cast<D*>(p)))(); },
+          [](void* src, void* dst) {
+            D* s = std::launder(static_cast<D*>(src));
+            ::new (dst) D(std::move(*s));
+            s->~D();
+          },
+          [](void* p) { std::launder(static_cast<D*>(p))->~D(); },
+      };
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      vt_ = &vt;
+    } else {
+      // Oversized callable: box it. The inline slot holds only the
+      // pointer, so relocation stays a trivial pointer move.
+      using Box = D*;
+      static constexpr VTable vt = {
+          [](void* p) { (**std::launder(static_cast<Box*>(p)))(); },
+          [](void* src, void* dst) {
+            Box* s = std::launder(static_cast<Box*>(src));
+            ::new (dst) Box(*s);
+            s->~Box();
+          },
+          [](void* p) {
+            Box* b = std::launder(static_cast<Box*>(p));
+            delete *b;
+            b->~Box();
+          },
+      };
+      ::new (static_cast<void*>(buf_)) Box(new D(std::forward<F>(f)));
+      vt_ = &vt;
+    }
+  }
+
+  const VTable* vt_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace rac::sim

@@ -1,37 +1,288 @@
 #include "sim/engine.hpp"
 
+#include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace rac::sim {
 
-Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
-
-void Simulator::schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < 0) throw std::invalid_argument("Simulator: negative delay");
-  schedule_at(now_ + delay, std::move(fn));
+bool Simulator::handle_before(const Handle& a, const Handle& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
 }
 
-void Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  if (t < now_) throw std::invalid_argument("Simulator: schedule in the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  bucket_head_.fill(kNilNode);
+}
+
+void Simulator::throw_negative_delay() {
+  throw std::invalid_argument("Simulator: negative delay");
+}
+
+void Simulator::throw_past_schedule() {
+  throw std::invalid_argument("Simulator: schedule in the past");
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t idx = free_slots_.back();
+    free_slots_.pop_back();
+    return idx;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::release_slot(std::uint32_t idx) {
+  free_slots_.push_back(idx);
+}
+
+void Simulator::park_in_bucket(const Handle& h) {
+  const auto b =
+      static_cast<std::size_t>(h.time >> kBucketShift) & kWheelMask;
+  std::uint32_t idx;
+  if (!free_nodes_.empty()) {
+    idx = free_nodes_.back();
+    free_nodes_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(park_arena_.size());
+    park_arena_.emplace_back();
+  }
+  const auto head = b * kChainsPerBucket + chain_of(h.time);
+  park_arena_[idx].h = h;
+  park_arena_[idx].next = bucket_head_[head];
+  bucket_head_[head] = idx;
+  occupancy_[b >> 6] |= std::uint64_t{1} << (b & 63);
+  ++wheel_count_;
+}
+
+void Simulator::insert_handle(const Handle& h) {
+  if (h.time < wheel_end_) {
+    const std::int64_t page = h.time >> kBucketShift;
+    if (page <= cursor_page_) {
+      // Lands in the bucket being drained (e.g. an event scheduling a
+      // follow-up at the same timestamp), or behind the cursor: peek() may
+      // park the cursor on the *next* pending event's page — possibly far
+      // ahead — while now_ lags behind, and driver code can then schedule
+      // into that gap. Those events may have to fire before entries already
+      // on the run list, so they go into the overflow min-heap that peek()
+      // consults alongside cur_run_. (A sorted insert into cur_run_ would
+      // be O(run length) per event — ruinous for dense buckets.)
+      overflow_.push_back(h);
+      std::push_heap(overflow_.begin(), overflow_.end(), HandleAfter{});
+      ++wheel_count_;
+    } else {
+      park_in_bucket(h);
+    }
+  } else {
+    heap_.push_back(h);
+    std::push_heap(heap_.begin(), heap_.end(), HandleAfter{});
+  }
+}
+
+void Simulator::migrate_from_heap() {
+  while (!heap_.empty() && heap_.front().time < wheel_end_) {
+    const Handle h = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+    heap_.pop_back();
+    park_in_bucket(h);
+  }
+}
+
+std::size_t Simulator::next_occupied_distance() const {
+  // Circular scan for the first set bit strictly after the cursor bucket.
+  const auto start =
+      (static_cast<std::size_t>(cursor_page_) + 1) & kWheelMask;
+  std::size_t w = start >> 6;
+  std::uint64_t word = occupancy_[w] & (~std::uint64_t{0} << (start & 63));
+  for (std::size_t probed = 0;; ++probed) {
+    if (word != 0) {
+      const std::size_t b =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(word));
+      return ((b - static_cast<std::size_t>(cursor_page_)) & kWheelMask) ==
+                     0
+                 ? kNumBuckets
+                 : (b - static_cast<std::size_t>(cursor_page_)) & kWheelMask;
+    }
+    if (probed > occupancy_.size()) return kNumBuckets;  // unreachable
+    w = (w + 1) & (occupancy_.size() - 1);
+    word = occupancy_[w];
+  }
+}
+
+const Simulator::Handle* Simulator::peek() {
+  if (size_ == 0) return nullptr;
+  for (;;) {
+    if (run_pos_ < cur_run_.size()) {
+      if (!overflow_.empty() &&
+          handle_before(overflow_.front(), cur_run_[run_pos_])) {
+        next_from_overflow_ = true;
+        return &overflow_.front();
+      }
+      next_from_overflow_ = false;
+      return &cur_run_[run_pos_];
+    }
+    if (!overflow_.empty()) {
+      // Run list drained but late arrivals for this page remain.
+      next_from_overflow_ = true;
+      return &overflow_.front();
+    }
+    if (wheel_count_ == 0) {
+      // Everything pending is beyond the wheel window: jump the cursor
+      // straight to the earliest far timer instead of stepping through an
+      // empty wheel.
+      cursor_page_ = heap_.front().time >> kBucketShift;
+    } else {
+      // Hop directly to the next occupied bucket via the occupancy bitmap.
+      cursor_page_ += static_cast<std::int64_t>(next_occupied_distance());
+    }
+    wheel_end_ = (cursor_page_ + static_cast<std::int64_t>(kNumBuckets))
+                 << kBucketShift;
+    migrate_from_heap();
+    // Load the cursor bucket: every handle parked there belongs to this
+    // page (events more than a wheel-span ahead go to the far heap, so
+    // bucket indices never alias).
+    const auto b = static_cast<std::size_t>(cursor_page_) & kWheelMask;
+    occupancy_[b >> 6] &= ~(std::uint64_t{1} << (b & 63));
+    run_pos_ = 0;
+    load_bucket_into_run(b);
+  }
+}
+
+void Simulator::load_bucket_into_run(std::size_t b) {
+  // Walk the bucket's chains interleaved: each chain is an independent
+  // dependent-load chase, so stepping all of them per iteration keeps
+  // several cache misses in flight instead of serializing them. Nodes are
+  // recycled as they are visited.
+  std::uint32_t heads[kChainsPerBucket];
+  for (unsigned c = 0; c < kChainsPerBucket; ++c) {
+    heads[c] = bucket_head_[b * kChainsPerBucket + c];
+    bucket_head_[b * kChainsPerBucket + c] = kNilNode;
+    if (heads[c] != kNilNode) __builtin_prefetch(&park_arena_[heads[c]]);
+    chain_buf_[c].clear();
+  }
+  for (bool any = true; any;) {
+    any = false;
+    for (unsigned c = 0; c < kChainsPerBucket; ++c) {
+      const std::uint32_t idx = heads[c];
+      if (idx == kNilNode) continue;
+      const ParkedNode& nd = park_arena_[idx];
+      chain_buf_[c].push_back(nd.h);
+      free_nodes_.push_back(idx);
+      heads[c] = nd.next;
+      if (nd.next != kNilNode) __builtin_prefetch(&park_arena_[nd.next]);
+      any = true;
+    }
+  }
+  // Concatenate the chains reversed: each chain is LIFO, so reversing
+  // restores scheduling (seq) order within it — and equal timestamps
+  // always hash to the same chain, so tie order is globally correct going
+  // into the stable sort below.
+  scratch_.clear();
+  for (unsigned c = 0; c < kChainsPerBucket; ++c) {
+    for (std::size_t i = chain_buf_[c].size(); i-- > 0;) {
+      scratch_.push_back(chain_buf_[c][i]);
+    }
+  }
+  const std::size_t n = scratch_.size();
+  if (n <= 24) {
+    // Small runs: (time, seq) is a total order, so a comparison sort needs
+    // no stability and beats the radix counter overhead.
+    cur_run_.assign(scratch_.begin(), scratch_.end());
+    std::sort(cur_run_.begin(), cur_run_.end(), handle_before);
+    return;
+  }
+  // Every handle in a bucket shares the page bits, so ordering by time is
+  // ordering by the kBucketShift-bit in-page offset. Two stable counting
+  // passes (low 7 bits, then high 6) sort by time; stability preserves the
+  // per-chain seq order of equal timestamps. A cheap is_sorted check plus
+  // per-tie-run repair guards the rare case where a heap migration
+  // interleaved with direct parks out of seq order.
+  static_assert(kBucketShift == 13, "radix passes assume a 13-bit offset");
+  cur_run_.resize(n);
+  {
+    std::uint32_t counts[128] = {};
+    for (const Handle& h : scratch_) ++counts[h.time & 127];
+    std::uint32_t pos = 0;
+    for (std::uint32_t& c : counts) {
+      const std::uint32_t k = c;
+      c = pos;
+      pos += k;
+    }
+    for (const Handle& h : scratch_) cur_run_[counts[h.time & 127]++] = h;
+  }
+  {
+    std::uint32_t counts[64] = {};
+    for (const Handle& h : cur_run_) ++counts[(h.time >> 7) & 63];
+    std::uint32_t pos = 0;
+    for (std::uint32_t& c : counts) {
+      const std::uint32_t k = c;
+      c = pos;
+      pos += k;
+    }
+    for (const Handle& h : cur_run_) {
+      scratch_[counts[(h.time >> 7) & 63]++] = h;
+    }
+  }
+  cur_run_.swap(scratch_);
+  if (!std::is_sorted(cur_run_.begin(), cur_run_.end(), handle_before)) {
+    // Rare: equal-time entries parked out of seq order. Times are already
+    // grouped, so sorting each equal-time run restores the total order.
+    std::size_t i = 0;
+    while (i < n) {
+      std::size_t j = i + 1;
+      while (j < n && cur_run_[j].time == cur_run_[i].time) ++j;
+      if (j - i > 1) {
+        std::sort(cur_run_.begin() + static_cast<std::ptrdiff_t>(i),
+                  cur_run_.begin() + static_cast<std::ptrdiff_t>(j),
+                  handle_before);
+      }
+      i = j;
+    }
+  }
+}
+
+void Simulator::execute_next() {
+  Handle h;
+  if (next_from_overflow_) {
+    h = overflow_.front();
+    std::pop_heap(overflow_.begin(), overflow_.end(), HandleAfter{});
+    overflow_.pop_back();
+  } else {
+    h = cur_run_[run_pos_];
+    ++run_pos_;
+  }
+  --wheel_count_;
+  --size_;
+  // Steal the closure before releasing the slot: the callback may schedule
+  // (growing/reusing the pool) while it runs.
+  InplaceCallback fn = std::move(slots_[h.slot]);
+  release_slot(h.slot);
+  // Hide the next slot's cache miss behind this event's execution. With a
+  // large warm pool the slots are scattered, and the lookup below is the
+  // drain loop's dominant stall without this.
+  if (run_pos_ < cur_run_.size()) {
+    __builtin_prefetch(&slots_[cur_run_[run_pos_].slot]);
+  }
+  now_ = h.time;
+  ++events_processed_;
+  fn();
 }
 
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the handle must be moved out before
-  // pop, so copy the small parts and steal the closure via const_cast-free
-  // re-wrap: copy is acceptable for the function object here because we
-  // std::move from a mutable copy of the top element.
-  Event ev = queue_.top();
-  queue_.pop();
-  now_ = ev.time;
-  ++events_processed_;
-  ev.fn();
+  if (peek() == nullptr) return false;
+  execute_next();
   return true;
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!queue_.empty() && queue_.top().time <= t) step();
+  // Re-peek after every event so boundary events that schedule more work
+  // at exactly `t` still run before now_ advances to `t`.
+  for (;;) {
+    const Handle* h = peek();
+    if (h == nullptr || h->time > t) break;
+    execute_next();
+  }
   if (now_ < t) now_ = t;
 }
 

@@ -4,15 +4,28 @@
 // scheduling order (a monotonically increasing sequence number breaks
 // ties), and all randomness flows from the simulator-owned RNG. Two runs
 // with the same seed produce identical traces.
+//
+// Hot-path design (see DESIGN.md, "Simulation kernel"):
+//  - closures are `InplaceCallback`s — move-only, small-buffer-optimized,
+//    no heap allocation for typical protocol captures;
+//  - event slots live in a pooled free-list so steady-state scheduling
+//    performs zero allocations once the pool has warmed up;
+//  - the pending set is a hybrid of a calendar-queue timing wheel for the
+//    near future (where serialization/propagation delays cluster) and a
+//    binary min-heap of POD handles for far-future timers. Ordering is by
+//    (time, seq) everywhere, so the hybrid is trace-identical to a single
+//    totally-ordered queue.
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 
 namespace rac::sim {
 
@@ -24,39 +37,159 @@ class Simulator {
   Rng& rng() { return rng_; }
 
   /// Schedule `fn` to run `delay` nanoseconds from now (delay >= 0).
-  void schedule(SimDuration delay, std::function<void()> fn);
+  /// Templated so the callable is constructed directly inside its pooled
+  /// event slot — no intermediate InplaceCallback relocations on the hot
+  /// path.
+  template <typename F>
+  void schedule(SimDuration delay, F&& fn) {
+    if (delay < 0) throw_negative_delay();
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
   /// Schedule `fn` at absolute time `t` (t >= now()).
-  void schedule_at(SimTime t, std::function<void()> fn);
+  template <typename F>
+  void schedule_at(SimTime t, F&& fn) {
+    static_assert(std::is_invocable_r_v<void, std::decay_t<F>&>,
+                  "Simulator::schedule: callable must be invocable as "
+                  "void()");
+    if (t < now_) throw_past_schedule();
+    const std::uint32_t idx = acquire_slot();
+    slots_[idx].emplace(std::forward<F>(fn));
+    insert_handle(Handle{t, next_seq_++, idx});
+    ++size_;
+  }
 
   /// Run the earliest pending event. Returns false when the queue is empty.
   bool step();
 
   /// Run events until simulated time passes `t` or the queue drains.
+  /// Events at exactly `t` run, including ones scheduled at `t` *by* a
+  /// boundary event; afterwards now() == t (or later if an event fired at
+  /// a later time — impossible here since events beyond `t` stay queued).
   void run_until(SimTime t);
-  void run_for(SimDuration d) { run_until(now_ + d); }
+  void run_for(SimDuration d) { run_until(time_add_sat(now_, d)); }
   /// Drain the queue completely (use in tests with finite workloads).
   void run_to_completion();
 
   std::uint64_t events_processed() const { return events_processed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return size_; }
+
+  /// Pooled event slots currently allocated (high-water mark of concurrent
+  /// pending events; exposed for the no-allocation steady-state tests).
+  std::size_t slot_pool_size() const { return slots_.size(); }
 
  private:
-  struct Event {
+  // Calendar-queue geometry: 16384 buckets of 2^13 ns (8.192 us) cover a
+  // ~134 ms near-future window — wide enough that uplink/downlink
+  // serialization, propagation and burst fan-out events (the DES bulk)
+  // stay on the wheel, while sweep timers and join settle timers overflow
+  // to the far heap. Chosen by sweeping bench/micro_engine over
+  // (shift, bits) ∈ {11..13} x {12..15}.
+  static constexpr unsigned kBucketShift = 13;
+  static constexpr unsigned kWheelBits = 14;
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << kWheelBits;
+  static constexpr std::size_t kWheelMask = kNumBuckets - 1;
+
+  /// POD ordering handle; the closure stays put in its pooled slot.
+  struct Handle {
     SimTime time;
     std::uint64_t seq;
-    std::function<void()> fn;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
+  struct HandleAfter {  // min-heap comparator for the far-future heap
+    bool operator()(const Handle& a, const Handle& b) const {
       if (a.time != b.time) return a.time > b.time;
       return a.seq > b.seq;
     }
   };
+  static bool handle_before(const Handle& a, const Handle& b);
+
+  [[noreturn]] static void throw_negative_delay();
+  [[noreturn]] static void throw_past_schedule();
+
+  /// Pop a free slot (or grow the pool); the slot's callback is empty and
+  /// ready for emplace().
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx);
+  void insert_handle(const Handle& h);
+  void park_in_bucket(const Handle& h);
+  /// Circular distance (>= 1) from the cursor to the next occupied bucket.
+  /// Precondition: at least one bucket bit is set.
+  std::size_t next_occupied_distance() const;
+  /// Drain bucket `b`'s parked chain into cur_run_ in (time, seq) order
+  /// and recycle its nodes. Dense buckets use a stable LSD radix sort on
+  /// the in-page time offset (all entries share the page bits).
+  void load_bucket_into_run(std::size_t b);
+  /// Advance the wheel cursor until the next pending handle is exposed at
+  /// cur_run_[run_pos_] or overflow_.front() (next_from_overflow_ records
+  /// which); returns nullptr when nothing is pending. Mutates cursor state
+  /// but never executes or drops events.
+  const Handle* peek();
+  /// Pop the handle exposed by the last peek() and run it.
+  void execute_next();
+  /// Move far-heap entries that now fall inside the wheel window onto it.
+  void migrate_from_heap();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::size_t size_ = 0;
+
+  // Pooled event slots. A slot is just the closure (exactly 32 bytes: two
+  // per cache line, shift-indexable). Free slots are recycled LIFO via an
+  // index stack rather than an intrusive list: popping an index never
+  // touches slot memory, so back-to-back schedules don't serialize on
+  // dependent cache misses walking the free chain — the slot line is only
+  // touched by the (non-blocking) closure store.
+  static_assert(sizeof(InplaceCallback) == 32);
+  std::vector<InplaceCallback> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
+  // Timing wheel. cursor_page_ is the absolute bucket number (time >>
+  // kBucketShift) the cursor sits on; wheel_end_ is the first timestamp
+  // beyond the wheel window. cur_run_ holds the cursor bucket's handles
+  // sorted by (time, seq) with run_pos_ the next unfired entry; overflow_
+  // is a small min-heap for events scheduled at or behind the cursor while
+  // the run drains (same-timestamp follow-ups), avoiding O(n) sorted
+  // inserts into cur_run_.
+  //
+  // Parked handles live as intrusive chains through one shared node arena
+  // rather than a vector per bucket: a single arena's high-water mark
+  // converges globally, so steady-state parking never allocates (16384
+  // individual vectors would keep regrowing as the active window moves).
+  // Each bucket fans out over kChainsPerBucket chains keyed by low time
+  // bits — equal timestamps always share a chain (tie order survives), and
+  // the loader walks the chains interleaved so the dependent-pointer-chase
+  // cache misses overlap instead of serializing.
+  static constexpr std::uint32_t kNilNode = 0xFFFF'FFFFu;
+  static constexpr unsigned kChainsPerBucket = 4;
+  struct ParkedNode {
+    Handle h;
+    std::uint32_t next;
+  };
+  static unsigned chain_of(SimTime t) {
+    // Mix a few low bits so times quantized to hardware granularities
+    // (e.g. whole multiples of 8 ns at 1 Gb/s) still spread over chains.
+    return static_cast<unsigned>(t ^ (t >> 3)) & (kChainsPerBucket - 1);
+  }
+  std::vector<ParkedNode> park_arena_;
+  std::vector<std::uint32_t> free_nodes_;
+  std::array<std::uint32_t, kNumBuckets * kChainsPerBucket> bucket_head_;
+  std::array<std::vector<Handle>, kChainsPerBucket> chain_buf_;
+  /// One bit per bucket (set = non-empty); lets the cursor hop straight to
+  /// the next occupied bucket instead of probing empties one by one.
+  std::array<std::uint64_t, kNumBuckets / 64> occupancy_{};
+  std::int64_t cursor_page_ = 0;
+  SimTime wheel_end_ = static_cast<SimTime>(kNumBuckets) << kBucketShift;
+  std::vector<Handle> cur_run_;
+  std::vector<Handle> scratch_;  // radix-sort ping buffer, capacity reused
+  std::size_t run_pos_ = 0;
+  std::vector<Handle> overflow_;  // min-heap via HandleAfter
+  bool next_from_overflow_ = false;  // set by peek() for execute_next()
+  std::size_t wheel_count_ = 0;  // handles on the wheel incl. cur_run_ tail
+
+  // Far-future min-heap (std::push_heap/pop_heap over PODs).
+  std::vector<Handle> heap_;
+
   Rng rng_;
 };
 

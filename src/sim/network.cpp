@@ -20,6 +20,24 @@ EndpointId Network::add_endpoint(Handler handler) {
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
+std::uint32_t Network::acquire_transfer() {
+  if (transfer_free_ != kNilTransfer) {
+    const std::uint32_t idx = transfer_free_;
+    transfer_free_ = transfers_[idx].next_free;
+    return idx;
+  }
+  transfers_.emplace_back();
+  return static_cast<std::uint32_t>(transfers_.size() - 1);
+}
+
+void Network::release_transfer(std::uint32_t idx) {
+  Transfer& t = transfers_[idx];
+  t.payload.reset();
+  t.arrived = false;
+  t.next_free = transfer_free_;
+  transfer_free_ = idx;
+}
+
 void Network::send(EndpointId from, EndpointId to, Payload payload,
                    std::size_t wire_bytes) {
   if (from >= endpoints_.size() || to >= endpoints_.size()) {
@@ -49,22 +67,50 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
     return;
   }
 
-  // Arrival at the destination downlink after propagation; FIFO there too.
-  // Downlink occupancy is computed lazily at arrival time via a scheduled
-  // closure so FIFO order across senders follows arrival order.
-  sim_.schedule_at(up_end + config_.propagation, [this, from, to, payload,
-                                                  bytes, tx]() {
-    Endpoint& d = endpoints_[to];
+  // Fast path: all per-message state goes into one pooled Transfer record;
+  // the scheduled closure captures just {this, index}. Downlink occupancy
+  // is still computed lazily at arrival time (inside on_transfer_event) so
+  // FIFO order across senders follows arrival order, exactly as before.
+  const std::uint32_t idx = acquire_transfer();
+  Transfer& t = transfers_[idx];
+  t.payload = std::move(payload);
+  t.tx = tx;
+  t.bytes = bytes;
+  t.from = from;
+  t.to = to;
+
+  const auto fire = [this, idx] { on_transfer_event(idx); };
+  static_assert(InplaceCallback::fits_inline<decltype(fire)>,
+                "Network transfer closure must not allocate");
+  sim_.schedule_at(up_end + config_.propagation, fire);
+}
+
+void Network::on_transfer_event(std::uint32_t idx) {
+  Transfer& t = transfers_[idx];
+  if (!t.arrived) {
+    // Arrival at the destination downlink after propagation; FIFO there.
+    // The same pooled record re-arms for the delivery event — one transfer
+    // object, two kernel firings, zero allocations.
+    t.arrived = true;
+    Endpoint& d = endpoints_[t.to];
     const SimTime down_start = std::max(sim_.now(), d.downlink_free);
-    const SimTime down_end = down_start + tx;
+    const SimTime down_end = down_start + t.tx;
     d.downlink_free = down_end;
-    sim_.schedule_at(down_end, [this, from, to, payload, bytes]() {
-      Endpoint& dd = endpoints_[to];
-      dd.stats.messages_received++;
-      dd.stats.bytes_received += bytes;
-      dd.handler(from, payload);
-    });
-  });
+    sim_.schedule_at(down_end, [this, idx] { on_transfer_event(idx); });
+    return;
+  }
+  // Delivery. Free the slot before invoking the handler: the handler may
+  // send (reusing this very slot), and `transfers_` may grow meanwhile, so
+  // copy out what we need first.
+  const EndpointId from = t.from;
+  const EndpointId to = t.to;
+  const std::size_t bytes = t.bytes;
+  const Payload payload = std::move(t.payload);
+  release_transfer(idx);
+  Endpoint& dd = endpoints_[to];
+  dd.stats.messages_received++;
+  dd.stats.bytes_received += bytes;
+  dd.handler(from, payload);
 }
 
 SimTime Network::uplink_busy_until(EndpointId node) const {

@@ -86,9 +86,34 @@ class Network {
     LinkStats stats;
   };
 
+  /// One in-flight message. Both kernel events of a transfer (arrival at
+  /// the destination downlink, then delivery after downlink serialization)
+  /// share this pooled record, so the scheduled closures capture only
+  /// {Network*, index} and the payload handle is copied exactly once per
+  /// send. Slots recycle through a free list: steady-state traffic does
+  /// zero allocations here.
+  struct Transfer {
+    Payload payload;
+    SimDuration tx = 0;
+    std::size_t bytes = 0;
+    EndpointId from = 0;
+    EndpointId to = 0;
+    std::uint32_t next_free = kNilTransfer;
+    bool arrived = false;  // false: next event is arrival; true: delivery
+  };
+  static constexpr std::uint32_t kNilTransfer = 0xFFFF'FFFFu;
+
+  std::uint32_t acquire_transfer();
+  void release_transfer(std::uint32_t idx);
+  /// Fires twice per message: once at arrival (downlink FIFO bookkeeping,
+  /// re-arms itself at serialization end) and once at delivery.
+  void on_transfer_event(std::uint32_t idx);
+
   Simulator& sim_;
   NetworkConfig config_;
   std::vector<Endpoint> endpoints_;
+  std::vector<Transfer> transfers_;
+  std::uint32_t transfer_free_ = kNilTransfer;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t messages_lost_ = 0;
   Tap tap_;

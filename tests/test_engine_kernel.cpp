@@ -1,0 +1,309 @@
+// Kernel-level tests for the pooled calendar-queue DES engine
+// (src/sim/engine.*, src/sim/callback.hpp):
+//  - total (time, seq) order against a stable-sort reference model,
+//    including same-timestamp ties, behind-the-cursor scheduling and
+//    far-future heap migration;
+//  - run_until boundary semantics (events at exactly `t` scheduled by
+//    boundary events still run);
+//  - closure lifecycle: scheduled closures are moved, never copied, and
+//    move-only callables work;
+//  - zero-allocation steady state: once warm, scheduling reuses pooled
+//    slots and performs no heap allocation (checked with a global
+//    operator-new counter);
+//  - whole-simulation determinism: two same-seed RAC simulations produce
+//    byte-identical wire-tap traces and identical goodput.
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rac/simulation.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using rac::SimDuration;
+using rac::SimTime;
+using rac::sim::InplaceCallback;
+using rac::sim::Simulator;
+using rac::kMicrosecond;
+using rac::kMillisecond;
+using rac::kSecond;
+
+// ---------------------------------------------------------------------------
+// Global allocation counter (single test binary, single-threaded tests).
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ordering: randomized workload vs a stable-sort reference model.
+//
+// Every schedule appends (absolute time, id) to a log in program order —
+// which is exactly the kernel's sequence order — so the expected fire
+// order is the schedule log stable-sorted by time.
+
+struct FuzzCtx {
+  Simulator sim{123};
+  std::vector<std::pair<SimTime, std::int64_t>> scheduled;
+  std::vector<std::pair<SimTime, std::int64_t>> fired;
+  std::uint64_t state = 0x9E3779B97F4A7C15ull;
+  std::int64_t next_id = 0;
+  int spawn_budget = 30000;
+
+  std::uint64_t next_rand() {
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+};
+
+struct FuzzEvent {
+  FuzzCtx* c;
+  std::int64_t id;
+  void operator()();
+};
+static_assert(InplaceCallback::fits_inline<FuzzEvent>);
+
+void fuzz_schedule(FuzzCtx& c, SimDuration delay) {
+  const std::int64_t id = c.next_id++;
+  c.scheduled.emplace_back(c.sim.now() + delay, id);
+  c.sim.schedule(delay, FuzzEvent{&c, id});
+}
+
+void FuzzEvent::operator()() {
+  c->fired.emplace_back(c->sim.now(), id);
+  if (c->spawn_budget <= 0) return;
+  const int spawn = static_cast<int>(c->next_rand() % 3);  // 0..2 follow-ups
+  for (int i = 0; i < spawn && c->spawn_budget > 0; ++i) {
+    --c->spawn_budget;
+    const std::uint64_t r = c->next_rand();
+    SimDuration d = 0;
+    switch (r & 3) {
+      case 0:  d = 0; break;                                  // same time
+      case 1:  d = static_cast<SimDuration>((r >> 2) % (32 * kMicrosecond));
+               break;                                         // same/near page
+      case 2:  d = static_cast<SimDuration>((r >> 2) % (4 * kMillisecond));
+               break;                                         // across buckets
+      default: d = kSecond + static_cast<SimDuration>(
+                                 (r >> 2) % (4 * kSecond));   // far heap
+    }
+    fuzz_schedule(*c, d);
+  }
+}
+
+TEST(EngineKernel, MatchesStableSortReference) {
+  FuzzCtx c;
+  // Seed burst, including exact duplicates of the same timestamp.
+  for (int i = 0; i < 200; ++i) {
+    fuzz_schedule(c, static_cast<SimDuration>(c.next_rand() %
+                                              (200 * kMillisecond)));
+  }
+  for (int i = 0; i < 10; ++i) fuzz_schedule(c, 7 * kMillisecond);
+  // Interleave run_until phases with outside scheduling so the cursor gets
+  // parked ahead of now() and then scheduled behind.
+  for (int phase = 0; phase < 6; ++phase) {
+    c.sim.run_until(c.sim.now() + 300 * kMillisecond);
+    fuzz_schedule(c, kMicrosecond);
+    fuzz_schedule(c, 0);
+    fuzz_schedule(c, 2 * kSecond);
+  }
+  c.sim.run_to_completion();
+
+  auto expected = c.scheduled;
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  ASSERT_EQ(c.fired.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(c.fired[i], expected[i]) << "divergence at event " << i;
+  }
+}
+
+TEST(EngineKernel, ScheduleBehindParkedCursorStillFires) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3 * kSecond, [&order] { order.push_back(2); });
+  // run_until peeks, which parks the wheel cursor on the 3 s event's page
+  // while now() stays at 10 ms.
+  sim.run_until(10 * kMillisecond);
+  ASSERT_EQ(sim.now(), 10 * kMillisecond);
+  sim.schedule(kMicrosecond, [&order] { order.push_back(1); });
+  sim.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EngineKernel, RunUntilBoundaryChains) {
+  Simulator sim;
+  std::vector<int> seen;
+  const SimTime t = kMillisecond;
+  sim.schedule_at(t, [&sim, &seen, t] {
+    seen.push_back(1);
+    sim.schedule_at(t, [&sim, &seen, t] {
+      seen.push_back(2);
+      sim.schedule_at(t, [&seen] { seen.push_back(3); });
+    });
+  });
+  sim.schedule_at(t + 1, [&seen] { seen.push_back(99); });
+
+  // The whole same-time chain runs, even though links 2 and 3 are
+  // scheduled *by* boundary events; the t+1 event stays queued.
+  sim.run_until(t);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), t);
+
+  sim.run_until(t);  // idempotent
+  EXPECT_EQ(seen.size(), 3u);
+
+  sim.run_until(t + 1);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3, 99}));
+}
+
+// ---------------------------------------------------------------------------
+// Closure lifecycle.
+
+struct CopyCounter {
+  int* copies;
+  int* fires;
+  CopyCounter(int* c, int* f) : copies(c), fires(f) {}
+  CopyCounter(const CopyCounter& o) noexcept
+      : copies(o.copies), fires(o.fires) {
+    ++*copies;
+  }
+  CopyCounter(CopyCounter&& o) noexcept = default;
+  void operator()() { ++*fires; }
+};
+static_assert(InplaceCallback::fits_inline<CopyCounter>);
+
+TEST(EngineKernel, ScheduledClosuresAreNeverCopied) {
+  Simulator sim;
+  int copies = 0;
+  int fires = 0;
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule(i * kMicrosecond, CopyCounter{&copies, &fires});
+  }
+  sim.run_to_completion();
+  EXPECT_EQ(fires, 500);
+  EXPECT_EQ(copies, 0);
+}
+
+TEST(EngineKernel, MoveOnlyClosuresWork) {
+  Simulator sim;
+  int fired = 0;
+  auto boxed = std::make_unique<int>(7);
+  sim.schedule(5 * kMicrosecond,
+               [q = std::move(boxed), &fired] { fired = *q; });
+  sim.run_to_completion();
+  EXPECT_EQ(fired, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation steady state.
+
+struct Tick {
+  Simulator* s;
+  std::uint64_t state;
+  void operator()() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    SimDuration d = static_cast<SimDuration>(state >> 40) % kMillisecond;
+    if ((state & 0xFF) == 0) d = kSecond;  // occasional far-heap timer
+    s->schedule(d, Tick{s, state});
+  }
+};
+static_assert(InplaceCallback::fits_inline<Tick>);
+
+TEST(EngineKernel, SteadyStateSchedulingDoesNotAllocate) {
+  Simulator sim;
+  for (std::uint64_t i = 0; i < 64; ++i) {
+    sim.schedule(0, Tick{&sim, i * 0x9E3779B97F4A7C15ull + 1});
+  }
+  // Warm up: pool, wheel arena, far heap and scratch buffers all reach
+  // their steady-state (high-water) capacity.
+  sim.run_until(30 * kSecond);
+  const std::size_t pool = sim.slot_pool_size();
+  const std::uint64_t allocs_before =
+      g_allocs.load(std::memory_order_relaxed);
+  sim.run_until(90 * kSecond);
+  const std::uint64_t allocs_after =
+      g_allocs.load(std::memory_order_relaxed);
+  EXPECT_EQ(allocs_after - allocs_before, 0u)
+      << "steady-state event scheduling must not touch the heap";
+  EXPECT_EQ(sim.slot_pool_size(), pool)
+      << "slot pool must be recycled, not grown";
+  EXPECT_GT(sim.events_processed(), 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-simulation trace determinism (same seed => identical event order).
+
+struct TapRecord {
+  SimTime when;
+  rac::sim::EndpointId from;
+  rac::sim::EndpointId to;
+  std::size_t bytes;
+  bool operator==(const TapRecord&) const = default;
+};
+
+std::vector<TapRecord> run_traced(std::uint64_t seed, double* goodput) {
+  rac::SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.group_target = 0;
+  cfg.seed = seed;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = 256;
+  cfg.node.send_period = 0;
+  cfg.node.saturation_window = 16;
+  cfg.node.check_sweep_period = 0;
+  rac::Simulation sim(cfg);
+  std::vector<TapRecord> trace;
+  sim.network().set_tap([&trace](rac::sim::EndpointId from,
+                                 rac::sim::EndpointId to, std::size_t bytes,
+                                 SimTime when) {
+    trace.push_back(TapRecord{when, from, to, bytes});
+  });
+  sim.start_uniform_traffic();
+  sim.run_for(60 * kMillisecond);
+  *goodput =
+      sim.avg_node_goodput_bps(30 * kMillisecond, sim.simulator().now());
+  return trace;
+}
+
+TEST(Determinism, SameSeedIdenticalTraceAndGoodput) {
+  double goodput_a = 0.0;
+  double goodput_b = 0.0;
+  const std::vector<TapRecord> a = run_traced(7, &goodput_a);
+  const std::vector<TapRecord> b = run_traced(7, &goodput_b);
+  ASSERT_GT(a.size(), 1000u) << "trace too small to be meaningful";
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "trace divergence at message " << i;
+  }
+  EXPECT_EQ(goodput_a, goodput_b);  // bit-identical, not just close
+  EXPECT_GT(goodput_a, 0.0);
+}
+
+}  // namespace

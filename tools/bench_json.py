@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Bench-JSON harness for the DES kernel hot path.
+
+Runs the engine microbenchmark (bench/micro_engine) and a small end-to-end
+RAC throughput smoke (bench/fig3_rac_throughput --smoke), merges the results
+with peak-RSS figures into a single BENCH_engine.json, and — when a
+checked-in baseline exists — fails if events/sec regressed by more than the
+threshold (default 20%). Without a baseline the comparison is skipped, so
+fresh checkouts and foreign machines stay green.
+
+Noise management: the microbenchmark is run --repeat times (default 3) and
+the best events/sec per benchmark (and overall) is kept; machine load only
+ever slows a run down, so best-of-N converges on the machine's true rate.
+
+See EXPERIMENTS.md ("Engine bench JSON") for the output schema.
+"""
+
+import argparse
+import json
+import os
+import resource
+import subprocess
+import sys
+import tempfile
+
+
+def run_child(cmd):
+    """Run cmd, return (stdout, peak_rss_bytes). Raises on failure."""
+    proc = subprocess.Popen(cmd, stdout=subprocess.PIPE,
+                            stderr=subprocess.DEVNULL)
+    out = proc.stdout.read()
+    _, status, ru = os.wait4(proc.pid, 0)
+    proc.returncode = os.waitstatus_to_exitcode(status)
+    proc.stdout.close()
+    if proc.returncode != 0:
+        raise RuntimeError(f"{cmd[0]} exited with {proc.returncode}")
+    # ru_maxrss is KiB on Linux.
+    return out.decode(), ru.ru_maxrss * 1024
+
+
+def run_micro(binary, repeat):
+    """Best-of-N micro_engine --json runs."""
+    best = None
+    peak_rss = 0
+    for _ in range(repeat):
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+            _, rss = run_child([binary, "--json", tmp.name])
+            result = json.load(open(tmp.name))
+        peak_rss = max(peak_rss, rss)
+        if best is None:
+            best = result
+        else:
+            for cur, new in zip(best["benchmarks"], result["benchmarks"]):
+                if new["events_per_sec"] > cur["events_per_sec"]:
+                    cur.update(new)
+            if result["events_per_sec"] > best["events_per_sec"]:
+                for key in ("total_events", "total_wall_s", "events_per_sec"):
+                    best[key] = result[key]
+    best["best_of"] = repeat
+    best["peak_rss_bytes"] = peak_rss
+    return best
+
+
+def run_fig3(binary, nodes, sim_ms, payload):
+    out, rss = run_child(
+        [binary, "--smoke", str(nodes), str(sim_ms), str(payload)])
+    result = json.loads(out)
+    result["peak_rss_bytes"] = rss
+    return result
+
+
+def check_regression(report, baseline_path, threshold_pct):
+    """Returns a list of failure strings (empty = pass)."""
+    if not os.path.exists(baseline_path):
+        print(f"bench_json: no baseline at {baseline_path}; "
+              "skipping regression check", file=sys.stderr)
+        return []
+    with open(baseline_path) as f:
+        base = json.load(f)
+    failures = []
+    floor = 1.0 - threshold_pct / 100.0
+
+    def check(label, new, old):
+        if old > 0 and new < old * floor:
+            failures.append(
+                f"{label}: {new:,.0f} events/s < {floor:.0%} of baseline "
+                f"{old:,.0f}")
+
+    base_micro = {b["name"]: b for b in
+                  base.get("micro_engine", {}).get("benchmarks", [])}
+    for b in report["micro_engine"]["benchmarks"]:
+        if b["name"] in base_micro:
+            check(f"micro_engine/{b['name']}", b["events_per_sec"],
+                  base_micro[b["name"]]["events_per_sec"])
+    if "events_per_sec" in base.get("micro_engine", {}):
+        check("micro_engine/total",
+              report["micro_engine"]["events_per_sec"],
+              base["micro_engine"]["events_per_sec"])
+    bf = base.get("fig3_smoke", {})
+    nf = report["fig3_smoke"]
+    if "events_per_sec" in bf:
+        check("fig3_smoke", nf["events_per_sec"], bf["events_per_sec"])
+    # Determinism guard: same workload must yield identical simulation
+    # results, bit for bit — a mismatch means the kernel reordered events.
+    if all(bf.get(k) == nf.get(k) for k in ("nodes", "sim_seconds",
+                                            "payload_bytes")):
+        for k in ("delivered_payloads", "delivered_bytes", "events"):
+            if k in bf and bf[k] != nf[k]:
+                failures.append(
+                    f"fig3_smoke/{k}: {nf[k]} != baseline {bf[k]} "
+                    "(simulation no longer deterministic vs baseline)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--micro", required=True,
+                    help="path to the micro_engine binary")
+    ap.add_argument("--fig3", required=True,
+                    help="path to the fig3_rac_throughput binary")
+    ap.add_argument("--out", default="BENCH_engine.json")
+    ap.add_argument("--baseline", default=None,
+                    help="baseline JSON to compare against (skipped if "
+                         "absent)")
+    ap.add_argument("--repeat", type=int, default=3,
+                    help="micro_engine repetitions (best-of-N)")
+    ap.add_argument("--smoke-nodes", type=int, default=100)
+    ap.add_argument("--smoke-ms", type=int, default=400)
+    ap.add_argument("--smoke-payload", type=int, default=2000)
+    ap.add_argument("--regression-pct", type=float, default=20.0)
+    args = ap.parse_args()
+
+    micro = run_micro(args.micro, args.repeat)
+    fig3 = run_fig3(args.fig3, args.smoke_nodes, args.smoke_ms,
+                    args.smoke_payload)
+    report = {
+        "schema": "rac-bench-engine-v1",
+        "micro_engine": micro,
+        "fig3_smoke": fig3,
+    }
+    with open(args.out, "w") as f:
+        json.dump(report, f, indent=2)
+        f.write("\n")
+    print(f"bench_json: wrote {args.out}")
+    print(f"  micro_engine total: "
+          f"{micro['events_per_sec'] / 1e6:.2f}M events/s "
+          f"(best of {args.repeat})")
+    print(f"  fig3 smoke ({fig3['nodes']} nodes, "
+          f"{fig3['sim_seconds']:.1f}s sim): "
+          f"{fig3['events_per_sec'] / 1e6:.2f}M events/s, "
+          f"{fig3['delivered_payloads']} payloads delivered")
+
+    if args.baseline:
+        failures = check_regression(report, args.baseline,
+                                    args.regression_pct)
+        if failures:
+            for f_ in failures:
+                print(f"bench_json: REGRESSION {f_}", file=sys.stderr)
+            return 1
+        print("bench_json: regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
