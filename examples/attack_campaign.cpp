@@ -1,0 +1,99 @@
+// Attack campaign mini-study: three adversary strategies, one table.
+//
+// Runs the same 20-node deployment (full misbehaviour machinery on)
+// against three scripted attacks and prints detection precision / recall
+// and latency per strategy:
+//
+//   freeriders  — drop-all: caught by check #2 follower quorums
+//   dropper-50  — probabilistic: drops half its forwards, still caught
+//   shortener   — path shortener: deviates only on its OWN onions, which
+//                 none of the three checks observes; detection is 0% by
+//                 design (the paper's rational-deviation discussion — the
+//                 shortener pays with its own anonymity, not the system's)
+//
+// Everything runs through the src/faults scenario machinery; this is the
+// example-sized version of tools/scenario_runner campaigns.
+#include <cstdio>
+
+#include "faults/campaign.hpp"
+
+namespace {
+
+using namespace rac;
+using namespace rac::faults;
+
+constexpr const char* kBase =
+    "nodes = 20\n"
+    "seeds = 3\n"
+    "base_seed = 7\n"
+    "duration_ms = 3000\n"
+    "relays = 3\n"
+    "rings = 5\n"
+    "payload_bytes = 500\n"
+    "send_period_ms = 20\n"
+    "check_timeout_ms = 150\n"
+    "sweep_ms = 80\n"
+    "follower_t = 2\n"
+    "smax = 20\n"
+    "traffic = noise\n"
+    "blacklist_round_ms = 500\n";
+
+struct Row {
+  const char* label;
+  const char* event;
+};
+
+}  // namespace
+
+int main() {
+  const Row rows[] = {
+      {"freeriders", "on 200 strategy a kind=freerider members=6,13\n"},
+      {"dropper-50", "on 200 strategy a kind=dropper members=6,13 p=0.5\n"},
+      {"shortener", "on 200 strategy a kind=shortener members=6,13 relays=1\n"},
+  };
+
+  std::printf("Attack campaign: 20 nodes, 3 seeds each, checks on\n\n");
+  std::printf("%-12s %8s %8s %6s %6s %12s\n", "strategy", "precision",
+              "recall", "fp", "tp", "latency_s");
+  for (const Row& row : rows) {
+    const Scenario scenario =
+        parse_scenario(std::string(kBase) + row.event);
+    const CampaignResult result = run_campaign(scenario);
+
+    double precision = 0.0, recall = 0.0, latency = 0.0;
+    std::uint64_t tp = 0, fp = 0;
+    std::size_t latency_n = 0;
+    for (const RunMetrics& m : result.runs) {
+      precision += m.precision;
+      recall += m.recall;
+      tp += m.true_evictions;
+      fp += m.false_evictions;
+      for (const StrategyMetrics& s : m.strategies) {
+        for (const double l : s.detection_latency_s) {
+          latency += l;
+          ++latency_n;
+        }
+      }
+    }
+    const double n = static_cast<double>(result.runs.size());
+    char latency_buf[32];
+    if (latency_n > 0) {
+      std::snprintf(latency_buf, sizeof(latency_buf), "%.2f",
+                    latency / static_cast<double>(latency_n));
+    } else {
+      std::snprintf(latency_buf, sizeof(latency_buf), "-");
+    }
+    std::printf("%-12s %8.2f %8.2f %6llu %6llu %12s\n", row.label,
+                precision / n, recall / n,
+                static_cast<unsigned long long>(fp),
+                static_cast<unsigned long long>(tp), latency_buf);
+  }
+
+  std::printf(
+      "\nThe shortener row is the interesting zero: shortening your own\n"
+      "onion path is invisible to checks #1-#3 because every observable\n"
+      "obligation (relay duty, ring copies, rate) is still met. The cost\n"
+      "falls on the deviator's own anonymity set - RAC tolerates it as a\n"
+      "rational but self-harming strategy (Sec. V).\n");
+  return 0;
+}

@@ -14,6 +14,26 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream_id) {
+  // Two SplitMix64 rounds over (seed, id): the first decorrelates the
+  // master seed, the second mixes the stream id through the full state, so
+  // neighbouring ids (0, 1, 2, ...) land on unrelated seeds.
+  std::uint64_t s = seed;
+  std::uint64_t mixed = splitmix64(s) ^ (stream_id * 0x9E3779B97F4A7C15ULL);
+  return splitmix64(mixed);
+}
+
+std::uint64_t substream_seed(std::uint64_t seed, std::string_view name) {
+  // FNV-1a 64-bit over the name; collisions between the handful of stream
+  // names a simulation uses are not a realistic concern.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return substream_seed(seed, h);
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : state_) s = splitmix64(sm);

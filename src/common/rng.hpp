@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -20,6 +21,16 @@ namespace rac {
 
 /// SplitMix64 step. Exposed for tests and for deriving stream seeds.
 std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Named substream derivation: a pure function of (seed, stream id) so that
+/// consumers of different streams cannot perturb each other's draw
+/// sequences. The fault-injection layer keys every fault source off its own
+/// substream; protocol and topology randomness stays on the master stream,
+/// which is what makes a no-fault scenario trace-identical to a run without
+/// any injector attached.
+std::uint64_t substream_seed(std::uint64_t seed, std::uint64_t stream_id);
+/// Same, with a human-readable stream name (FNV-1a hashed to a stream id).
+std::uint64_t substream_seed(std::uint64_t seed, std::string_view name);
 
 /// xoshiro256** pseudo random generator with convenience sampling helpers.
 /// Satisfies UniformRandomBitGenerator so it can drive std::shuffle etc.
@@ -64,6 +75,13 @@ class Rng {
   /// Derive an independent child generator; the child's stream does not
   /// overlap usefully with the parent's for simulation purposes.
   Rng fork();
+
+  /// Generator for the named substream of `seed` (see substream_seed).
+  /// Unlike fork(), this consumes no parent state: it is a pure function of
+  /// its arguments.
+  static Rng substream(std::uint64_t seed, std::string_view name) {
+    return Rng(substream_seed(seed, name));
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

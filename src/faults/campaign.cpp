@@ -1,0 +1,494 @@
+#include "faults/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+
+namespace rac::faults {
+
+namespace {
+
+double num_param(const ScenarioEvent& ev, const std::string& key,
+                 std::optional<double> fallback = std::nullopt) {
+  const auto it = ev.params.find(key);
+  if (it == ev.params.end()) {
+    if (fallback) return *fallback;
+    throw std::runtime_error("scenario event '" + ev.verb +
+                             "' missing parameter '" + key + "'");
+  }
+  char* end = nullptr;
+  const double d = std::strtod(it->second.c_str(), &end);
+  if (end != it->second.c_str() + it->second.size() || it->second.empty()) {
+    throw std::runtime_error("scenario event '" + ev.verb + "': parameter '" +
+                             key + "' is not a number");
+  }
+  return d;
+}
+
+const std::string& positional(const ScenarioEvent& ev, std::size_t i) {
+  if (i >= ev.args.size()) {
+    throw std::runtime_error("scenario event '" + ev.verb +
+                             "' missing positional argument");
+  }
+  return ev.args[i];
+}
+
+std::vector<std::vector<EndpointId>> parse_cells(const std::string& text) {
+  std::vector<std::vector<EndpointId>> cells;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t bar = std::min(text.find('|', start), text.size());
+    const auto indices = parse_index_list(
+        std::string_view(text).substr(start, bar - start));
+    std::vector<EndpointId> cell;
+    cell.reserve(indices.size());
+    for (const std::size_t i : indices) {
+      cell.push_back(static_cast<EndpointId>(i));
+    }
+    cells.push_back(std::move(cell));
+    if (bar == text.size()) break;
+    start = bar + 1;
+  }
+  return cells;
+}
+
+}  // namespace
+
+void materialize_events(const Scenario& scenario, Injector& injector) {
+  Simulation& sim = injector.simulation();
+  // Shared single-instance impairments, created (disabled) on first use so
+  // their substreams are fixed before the run starts.
+  UniformLoss* loss = nullptr;
+  LatencyJitter* jitter = nullptr;
+  BandwidthThrottle* throttle = nullptr;
+  Partition* partition = nullptr;
+  const auto ensure_loss = [&]() -> UniformLoss* {
+    if (loss == nullptr) {
+      loss = &injector.plane().add_loss(0.0, injector.stream("loss"));
+      loss->set_enabled(false);
+    }
+    return loss;
+  };
+  const auto ensure_jitter = [&]() -> LatencyJitter* {
+    if (jitter == nullptr) {
+      jitter = &injector.plane().add_jitter(0, injector.stream("jitter"));
+      jitter->set_enabled(false);
+    }
+    return jitter;
+  };
+  const auto ensure_throttle = [&]() -> BandwidthThrottle* {
+    if (throttle == nullptr) {
+      throttle = &injector.plane().add_throttle(1.0);
+      throttle->set_enabled(false);
+    }
+    return throttle;
+  };
+  const auto ensure_partition = [&]() -> Partition* {
+    if (partition == nullptr) {
+      partition = &injector.plane().add_partition();
+      partition->set_enabled(false);
+    }
+    return partition;
+  };
+
+  for (const ScenarioEvent& ev : scenario.events) {
+    if (ev.verb == "strategy") {
+      const std::string& name = positional(ev, 0);
+      if (injector.find_strategy(name) == nullptr) {
+        const auto kind_it = ev.params.find("kind");
+        const auto members_it = ev.params.find("members");
+        if (kind_it == ev.params.end() || members_it == ev.params.end()) {
+          throw std::runtime_error("strategy '" + name +
+                                   "' needs kind= and members=");
+        }
+        std::map<std::string, double> numeric;
+        for (const auto& [k, v] : ev.params) {
+          if (k == "kind" || k == "members") continue;
+          numeric[k] = num_param(ev, k);
+        }
+        injector.add_strategy(make_strategy(
+            kind_it->second, name, parse_index_list(members_it->second), sim,
+            numeric));
+      }
+      injector.activate_at(name, ev.at);
+    } else if (ev.verb == "strategy_off") {
+      injector.deactivate_at(positional(ev, 0), ev.at);
+    } else if (ev.verb == "loss") {
+      UniformLoss* l = ensure_loss();
+      const double rate = num_param(ev, "rate");
+      if (ev.params.contains("from") || ev.params.contains("to")) {
+        const auto from = static_cast<EndpointId>(num_param(ev, "from"));
+        const auto to = static_cast<EndpointId>(num_param(ev, "to"));
+        injector.at(ev.at, [l, from, to, rate] {
+          l->set_link_rate(from, to, rate);
+          l->set_enabled(true);
+        });
+      } else {
+        injector.at(ev.at, [l, rate] {
+          l->set_rate(rate);
+          l->set_enabled(true);
+        });
+      }
+    } else if (ev.verb == "loss_off") {
+      UniformLoss* l = ensure_loss();
+      injector.at(ev.at, [l] { l->set_enabled(false); });
+    } else if (ev.verb == "jitter") {
+      LatencyJitter* j = ensure_jitter();
+      const auto max_jitter = static_cast<SimDuration>(
+          num_param(ev, "max_ms") * static_cast<double>(kMillisecond));
+      injector.at(ev.at, [j, max_jitter] {
+        j->set_max_jitter(max_jitter);
+        j->set_enabled(true);
+      });
+    } else if (ev.verb == "jitter_off") {
+      LatencyJitter* j = ensure_jitter();
+      injector.at(ev.at, [j] { j->set_enabled(false); });
+    } else if (ev.verb == "throttle") {
+      BandwidthThrottle* t = ensure_throttle();
+      const double factor = num_param(ev, "factor");
+      std::optional<std::set<EndpointId>> endpoints;
+      if (const auto it = ev.params.find("members"); it != ev.params.end()) {
+        std::set<EndpointId> eps;
+        for (const std::size_t i : parse_index_list(it->second)) {
+          eps.insert(static_cast<EndpointId>(i));
+        }
+        endpoints = std::move(eps);
+      }
+      injector.at(ev.at, [t, factor, endpoints] {
+        t->set_factor(factor);
+        if (endpoints) {
+          t->set_endpoints(*endpoints);
+        } else {
+          t->clear_endpoints();
+        }
+        t->set_enabled(true);
+      });
+    } else if (ev.verb == "throttle_off") {
+      BandwidthThrottle* t = ensure_throttle();
+      injector.at(ev.at, [t] { t->set_enabled(false); });
+    } else if (ev.verb == "partition") {
+      Partition* p = ensure_partition();
+      const auto cells = parse_cells(positional(ev, 0));
+      injector.at(ev.at, [p, cells] {
+        p->assign(cells);
+        p->set_enabled(true);
+      });
+    } else if (ev.verb == "partition_off") {
+      Partition* p = ensure_partition();
+      injector.at(ev.at, [p] {
+        p->clear();
+        p->set_enabled(false);
+      });
+    } else if (ev.verb == "churn") {
+      ChurnConfig cfg;
+      cfg.join_rate = num_param(ev, "join", 0.0);
+      cfg.leave_rate = num_param(ev, "leave", 0.0);
+      cfg.crash_rate = num_param(ev, "crash", 0.0);
+      if (ev.params.contains("until_ms")) {
+        cfg.until = static_cast<SimTime>(num_param(ev, "until_ms") *
+                                         static_cast<double>(kMillisecond));
+      }
+      cfg.min_population = static_cast<std::size_t>(
+          num_param(ev, "min_pop", static_cast<double>(cfg.min_population)));
+      injector.at(ev.at, [&injector, cfg] { injector.start_churn(cfg); });
+    } else if (ev.verb == "flashcrowd") {
+      injector.flash_crowd_at(
+          ev.at, static_cast<std::size_t>(num_param(ev, "count")));
+    } else {
+      throw std::runtime_error("unhandled scenario verb '" + ev.verb + "'");
+    }
+  }
+}
+
+RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
+  const ScenarioSpec& spec = scenario.spec;
+  Simulation sim(spec.to_simulation_config(seed));
+  Injector injector(sim, seed);
+  materialize_events(scenario, injector);
+  if (spec.blacklist_round_period > 0) {
+    injector.every(spec.blacklist_round_period, [&sim] {
+      for (const std::uint32_t g : sim.active_groups()) {
+        sim.run_blacklist_round(g);
+      }
+    });
+  }
+  if (spec.traffic == "uniform") {
+    sim.start_uniform_traffic();
+  } else if (spec.traffic == "noise") {
+    sim.start_all();
+  }
+  sim.run_for(spec.duration);
+
+  RunMetrics m;
+  m.seed = seed;
+  m.delivered_payloads = sim.delivery_meter().total_messages();
+  m.delivered_bytes = sim.delivery_meter().total_bytes();
+  m.goodput_bps =
+      sim.avg_node_goodput_bps(spec.duration / 2, sim.simulator().now());
+  m.events = sim.simulator().events_processed();
+  m.messages_lost = sim.network().messages_lost();
+  if (const ChurnProcess* churn = injector.churn()) {
+    m.joins = churn->joins();
+    m.leaves = churn->leaves();
+    m.crashes = churn->crashes();
+  }
+
+  // Ground truth: endpoints of every strategy that was ever active.
+  std::set<EndpointId> adversaries;
+  for (const auto& s : injector.strategies()) {
+    if (!s->activated_at()) continue;
+    for (const std::size_t member : s->members()) {
+      adversaries.insert(sim.node(member).endpoint());
+    }
+  }
+  const std::set<EndpointId>* departed = nullptr;
+  if (const ChurnProcess* churn = injector.churn()) {
+    departed = &churn->departed();
+  }
+
+  // Classify group-scope evictions by unique endpoint (a node evicted from
+  // its group and later from channels counts once).
+  std::set<EndpointId> group_evicted;
+  std::map<EndpointId, SimTime> first_group_eviction;
+  for (const auto& rec : sim.evictions()) {
+    EvictionOutcome out;
+    out.endpoint = rec.evicted;
+    out.when = rec.when;
+    out.group_scope = rec.scope.type == overlay::ScopeType::kGroup;
+    if (adversaries.contains(rec.evicted)) {
+      out.cls = "adversary";
+    } else if (departed != nullptr && departed->contains(rec.evicted)) {
+      out.cls = "departed";
+    } else {
+      out.cls = "honest";
+    }
+    if (out.group_scope && group_evicted.insert(rec.evicted).second) {
+      first_group_eviction.emplace(rec.evicted, rec.when);
+      if (out.cls == "adversary") {
+        ++m.true_evictions;
+      } else if (out.cls == "departed") {
+        ++m.departed_evictions;
+      } else {
+        ++m.false_evictions;
+      }
+    }
+    m.evictions.push_back(std::move(out));
+  }
+  const std::uint64_t positives = m.true_evictions + m.false_evictions;
+  m.precision = positives == 0
+                    ? 1.0
+                    : static_cast<double>(m.true_evictions) /
+                          static_cast<double>(positives);
+  m.recall = adversaries.empty()
+                 ? 1.0
+                 : static_cast<double>(m.true_evictions) /
+                       static_cast<double>(adversaries.size());
+
+  for (const auto& s : injector.strategies()) {
+    StrategyMetrics sm;
+    sm.name = s->name();
+    sm.kind = s->kind();
+    sm.members = s->members().size();
+    sm.activated_at = s->activated_at();
+    if (s->activated_at()) {
+      for (const std::size_t member : s->members()) {
+        const auto it =
+            first_group_eviction.find(sim.node(member).endpoint());
+        if (it == first_group_eviction.end()) continue;
+        ++sm.detected;
+        sm.detection_latency_s.push_back(
+            to_seconds(it->second - *s->activated_at()));
+      }
+    }
+    m.strategies.push_back(std::move(sm));
+  }
+  return m;
+}
+
+CampaignResult run_campaign(const Scenario& scenario) {
+  CampaignResult result;
+  result.scenario = scenario;
+  const std::uint32_t seeds = std::max<std::uint32_t>(1, scenario.spec.seeds);
+  result.runs.reserve(seeds);
+  for (std::uint32_t i = 0; i < seeds; ++i) {
+    result.runs.push_back(
+        run_scenario(scenario, scenario.spec.base_seed + i));
+  }
+  return result;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+LatencySummary summarize(const std::vector<double>& xs) {
+  LatencySummary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = xs.front();
+  s.max = xs.front();
+  double sum = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(xs.size());
+  return s;
+}
+
+}  // namespace
+
+std::string metrics_json(const CampaignResult& result) {
+  const ScenarioSpec& spec = result.scenario.spec;
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"rac.faults.campaign/1\",\n";
+  out += "  \"scenario\": {\n";
+  out += "    \"name\": \"" + json_escape(spec.name) + "\",\n";
+  out += "    \"nodes\": " + std::to_string(spec.nodes) + ",\n";
+  out += "    \"group_target\": " + std::to_string(spec.group_target) + ",\n";
+  out += "    \"seeds\": " + std::to_string(spec.seeds) + ",\n";
+  out += "    \"base_seed\": " + std::to_string(spec.base_seed) + ",\n";
+  out += "    \"duration_ms\": " +
+         std::to_string(spec.duration / kMillisecond) + ",\n";
+  out += "    \"traffic\": \"" + json_escape(spec.traffic) + "\",\n";
+  out += "    \"events\": " + std::to_string(result.scenario.events.size()) +
+         "\n";
+  out += "  },\n";
+  out += "  \"runs\": [\n";
+  for (std::size_t r = 0; r < result.runs.size(); ++r) {
+    const RunMetrics& m = result.runs[r];
+    out += "    {\n";
+    out += "      \"seed\": " + std::to_string(m.seed) + ",\n";
+    out += "      \"delivered_payloads\": " +
+           std::to_string(m.delivered_payloads) + ",\n";
+    out += "      \"delivered_bytes\": " + std::to_string(m.delivered_bytes) +
+           ",\n";
+    out += "      \"goodput_bps\": " + num(m.goodput_bps) + ",\n";
+    out += "      \"events\": " + std::to_string(m.events) + ",\n";
+    out += "      \"messages_lost\": " + std::to_string(m.messages_lost) +
+           ",\n";
+    out += "      \"joins\": " + std::to_string(m.joins) + ",\n";
+    out += "      \"leaves\": " + std::to_string(m.leaves) + ",\n";
+    out += "      \"crashes\": " + std::to_string(m.crashes) + ",\n";
+    out += "      \"evictions\": [\n";
+    for (std::size_t e = 0; e < m.evictions.size(); ++e) {
+      const EvictionOutcome& ev = m.evictions[e];
+      out += "        {\"endpoint\": " + std::to_string(ev.endpoint) +
+             ", \"when_ms\": " + num(to_seconds(ev.when) * 1e3) +
+             ", \"scope\": \"" + (ev.group_scope ? "group" : "channel") +
+             "\", \"class\": \"" + ev.cls + "\"}";
+      out += e + 1 < m.evictions.size() ? ",\n" : "\n";
+    }
+    out += "      ],\n";
+    out += "      \"true_evictions\": " + std::to_string(m.true_evictions) +
+           ",\n";
+    out += "      \"false_evictions\": " + std::to_string(m.false_evictions) +
+           ",\n";
+    out += "      \"departed_evictions\": " +
+           std::to_string(m.departed_evictions) + ",\n";
+    out += "      \"precision\": " + num(m.precision) + ",\n";
+    out += "      \"recall\": " + num(m.recall) + ",\n";
+    out += "      \"strategies\": [\n";
+    for (std::size_t s = 0; s < m.strategies.size(); ++s) {
+      const StrategyMetrics& sm = m.strategies[s];
+      const LatencySummary lat = summarize(sm.detection_latency_s);
+      out += "        {\"name\": \"" + json_escape(sm.name) +
+             "\", \"kind\": \"" + json_escape(sm.kind) +
+             "\", \"members\": " + std::to_string(sm.members) +
+             ", \"activated_at_ms\": " +
+             (sm.activated_at ? num(to_seconds(*sm.activated_at) * 1e3)
+                              : std::string("null")) +
+             ", \"detected\": " + std::to_string(sm.detected) +
+             ", \"detection_latency_s\": {\"count\": " +
+             std::to_string(lat.count) + ", \"mean\": " + num(lat.mean) +
+             ", \"min\": " + num(lat.min) + ", \"max\": " + num(lat.max) +
+             "}}";
+      out += s + 1 < m.strategies.size() ? ",\n" : "\n";
+    }
+    out += "      ]\n";
+    out += "    }";
+    out += r + 1 < result.runs.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  // Aggregate over runs.
+  double mean_delivered = 0.0;
+  double mean_goodput = 0.0;
+  double mean_precision = 0.0;
+  double mean_recall = 0.0;
+  std::uint64_t true_ev = 0;
+  std::uint64_t false_ev = 0;
+  std::uint64_t departed_ev = 0;
+  for (const RunMetrics& m : result.runs) {
+    mean_delivered += static_cast<double>(m.delivered_payloads);
+    mean_goodput += m.goodput_bps;
+    mean_precision += m.precision;
+    mean_recall += m.recall;
+    true_ev += m.true_evictions;
+    false_ev += m.false_evictions;
+    departed_ev += m.departed_evictions;
+  }
+  const double n = result.runs.empty()
+                       ? 1.0
+                       : static_cast<double>(result.runs.size());
+  out += "  \"aggregate\": {\n";
+  out += "    \"runs\": " + std::to_string(result.runs.size()) + ",\n";
+  out += "    \"mean_delivered_payloads\": " + num(mean_delivered / n) + ",\n";
+  out += "    \"mean_goodput_bps\": " + num(mean_goodput / n) + ",\n";
+  out += "    \"true_evictions\": " + std::to_string(true_ev) + ",\n";
+  out += "    \"false_evictions\": " + std::to_string(false_ev) + ",\n";
+  out += "    \"departed_evictions\": " + std::to_string(departed_ev) + ",\n";
+  out += "    \"mean_precision\": " + num(mean_precision / n) + ",\n";
+  out += "    \"mean_recall\": " + num(mean_recall / n) + "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rac::faults

@@ -1,0 +1,84 @@
+// Campaign driver: run a scenario over N seeds and aggregate metrics.
+//
+// One run = one Simulation + one Injector, with every `on` event of the
+// scenario materialized into injector state before traffic starts. The
+// strict ordering (Simulation ctor -> Injector ctor -> materialize ->
+// start traffic -> run) plus the injector's no-draw guarantee means a
+// scenario with no events reproduces the plain-Simulation trace of the
+// same seed bit for bit — the acceptance anchor against the fig3 smoke.
+//
+// Ground truth for detection metrics: adversaries are the endpoints of
+// every strategy that was ever activated; a run's evictions (group scope)
+// are classified as adversary (true positive), departed (churn casualty —
+// correct protocol behaviour, tracked separately) or honest (false
+// positive). See EXPERIMENTS.md "Campaign metrics JSON" for the schema.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "faults/injector.hpp"
+#include "faults/scenario.hpp"
+
+namespace rac::faults {
+
+struct EvictionOutcome {
+  EndpointId endpoint = 0;
+  SimTime when = 0;
+  bool group_scope = true;
+  /// "adversary", "departed" or "honest".
+  std::string cls;
+};
+
+struct StrategyMetrics {
+  std::string name;
+  std::string kind;
+  std::size_t members = 0;
+  std::optional<SimTime> activated_at;
+  /// Members of this strategy evicted from their group.
+  std::size_t detected = 0;
+  /// Eviction time minus activation time, seconds, per detected member.
+  std::vector<double> detection_latency_s;
+};
+
+struct RunMetrics {
+  std::uint64_t seed = 0;
+  std::uint64_t delivered_payloads = 0;
+  std::uint64_t delivered_bytes = 0;
+  double goodput_bps = 0.0;  // avg per-node goodput, second half of the run
+  std::uint64_t events = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t joins = 0;
+  std::uint64_t leaves = 0;
+  std::uint64_t crashes = 0;
+  std::vector<EvictionOutcome> evictions;
+  std::uint64_t true_evictions = 0;      // adversary members evicted
+  std::uint64_t false_evictions = 0;     // honest members evicted
+  std::uint64_t departed_evictions = 0;  // churn casualties evicted
+  double precision = 1.0;
+  double recall = 1.0;
+  std::vector<StrategyMetrics> strategies;
+};
+
+struct CampaignResult {
+  Scenario scenario;
+  std::vector<RunMetrics> runs;
+};
+
+/// Install every scenario event into the injector. Exposed for tests;
+/// run_scenario calls it between construction and traffic start.
+void materialize_events(const Scenario& scenario, Injector& injector);
+
+/// One full run of `scenario` with the given seed.
+RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed);
+
+/// All `spec.seeds` runs (seeds base_seed, base_seed + 1, ...).
+CampaignResult run_campaign(const Scenario& scenario);
+
+/// Serialize a campaign to the documented JSON schema
+/// ("rac.faults.campaign/1"); `pretty` controls indentation only.
+std::string metrics_json(const CampaignResult& result);
+
+}  // namespace rac::faults

@@ -1,0 +1,104 @@
+#include "faults/churn.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace rac::faults {
+
+void ChurnProcess::start() {
+  if (started_) return;
+  started_ = true;
+  if (config_.join_rate > 0.0) schedule_next(Kind::kJoin);
+  if (config_.leave_rate > 0.0) schedule_next(Kind::kLeave);
+  if (config_.crash_rate > 0.0) schedule_next(Kind::kCrash);
+}
+
+double ChurnProcess::rate_of(Kind kind) const {
+  switch (kind) {
+    case Kind::kJoin:
+      return config_.join_rate;
+    case Kind::kLeave:
+      return config_.leave_rate;
+    case Kind::kCrash:
+      return config_.crash_rate;
+  }
+  return 0.0;
+}
+
+void ChurnProcess::schedule_next(Kind kind) {
+  const double rate = rate_of(kind);
+  if (rate <= 0.0) return;
+  const SimDuration gap =
+      std::max<SimDuration>(1, from_seconds(rng_.next_exponential(1.0 / rate)));
+  const SimTime at = time_add_sat(sim_.simulator().now(), gap);
+  if (config_.until > 0 && at >= config_.until) return;
+  sim_.simulator().schedule(gap, [this, kind] { fire(kind); });
+}
+
+void ChurnProcess::fire(Kind kind) {
+  if (stopped_) return;
+  // Keep the arrival process independent of the action outcome: the next
+  // arrival is scheduled before the action draws any victim/contact.
+  schedule_next(kind);
+  switch (kind) {
+    case Kind::kJoin: {
+      const std::ptrdiff_t contact = pick_contact();
+      if (contact < 0) return;
+      sim_.join_node(static_cast<std::size_t>(contact));
+      ++joins_;
+      return;
+    }
+    case Kind::kLeave:
+    case Kind::kCrash: {
+      const std::ptrdiff_t victim = pick_victim();
+      if (victim < 0) return;
+      const auto index = static_cast<std::size_t>(victim);
+      departed_.insert(sim_.node(index).endpoint());
+      sim_.leave_node(index, /*graceful=*/kind == Kind::kLeave);
+      if (kind == Kind::kLeave) {
+        ++leaves_;
+      } else {
+        ++crashes_;
+      }
+      return;
+    }
+  }
+}
+
+std::ptrdiff_t ChurnProcess::pick_victim() {
+  std::vector<std::size_t> running;
+  std::size_t population = 0;
+  for (std::size_t i = 0; i < sim_.size(); ++i) {
+    if (!sim_.node(i).running()) continue;
+    ++population;
+    if (!protected_.contains(i)) running.push_back(i);
+  }
+  // One draw per arrival regardless of eligibility, so the floor check
+  // cannot shift later draws.
+  const std::uint64_t pick =
+      rng_.next_below(running.empty() ? 1 : running.size());
+  if (running.empty() || population <= config_.min_population) return -1;
+  return static_cast<std::ptrdiff_t>(running[pick]);
+}
+
+std::ptrdiff_t ChurnProcess::pick_contact() {
+  std::vector<std::size_t> running;
+  for (std::size_t i = 0; i < sim_.size(); ++i) {
+    if (sim_.node(i).running()) running.push_back(i);
+  }
+  const std::uint64_t pick =
+      rng_.next_below(running.empty() ? 1 : running.size());
+  if (running.empty()) return -1;
+  return static_cast<std::ptrdiff_t>(running[pick]);
+}
+
+void ChurnProcess::flash_crowd(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::ptrdiff_t contact = pick_contact();
+    if (contact < 0) return;
+    sim_.join_node(static_cast<std::size_t>(contact));
+    ++joins_;
+  }
+}
+
+}  // namespace rac::faults

@@ -1,0 +1,87 @@
+// Poisson churn: independent join / graceful-leave / crash processes plus
+// flash-crowd bursts, all drawn from one injector substream.
+//
+// Each enabled process is a Poisson arrival stream (exponential
+// inter-arrival times at the configured events-per-sim-second rate).
+// Leaves and crashes pick a uniformly random *running, unprotected* node;
+// adversary members are protected so churn does not silently deactivate
+// a strategy mid-campaign, and the population never sinks below
+// `min_population`. Departed endpoints are recorded so the campaign layer
+// can classify their evictions separately from false positives (a crashed
+// node that gets evicted as a freerider is correct protocol behaviour,
+// not a detection error).
+#pragma once
+
+#include <cstddef>
+#include <set>
+
+#include "common/rng.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac::faults {
+
+struct ChurnConfig {
+  /// Poisson rates in events per simulated second; 0 disables a process.
+  double join_rate = 0.0;
+  double leave_rate = 0.0;
+  double crash_rate = 0.0;
+  /// No new churn events are scheduled at or after this time (0 = forever).
+  SimTime until = 0;
+  /// Leave/crash events that would shrink the running population below
+  /// this floor are skipped (the arrival is consumed, not deferred).
+  std::size_t min_population = 4;
+};
+
+class ChurnProcess {
+ public:
+  ChurnProcess(Simulation& sim, ChurnConfig config, Rng rng)
+      : sim_(sim), config_(config), rng_(rng) {}
+
+  /// Schedule the first arrival of each enabled process. Idempotent.
+  void start();
+  bool started() const { return started_; }
+  /// Replace the config. Only effective before start().
+  void set_config(const ChurnConfig& config) {
+    if (!started_) config_ = config;
+  }
+  /// Stop generating events (already-scheduled arrivals fire as no-ops).
+  void stop() { stopped_ = true; }
+
+  /// Exclude node `index` from leave/crash selection (adversary members).
+  void protect(std::size_t index) { protected_.insert(index); }
+
+  /// Immediate burst of `count` simultaneous joins through random running
+  /// contacts (the "flash crowd" of Sec. VI). Counts toward joins().
+  void flash_crowd(std::size_t count);
+
+  std::uint64_t joins() const { return joins_; }
+  std::uint64_t leaves() const { return leaves_; }
+  std::uint64_t crashes() const { return crashes_; }
+  /// Endpoints that left or crashed (never cleared; a departed endpoint
+  /// getting evicted later is expected, not a false positive).
+  const std::set<EndpointId>& departed() const { return departed_; }
+
+ private:
+  enum class Kind { kJoin, kLeave, kCrash };
+
+  double rate_of(Kind kind) const;
+  void schedule_next(Kind kind);
+  void fire(Kind kind);
+  /// Uniform running, unprotected node index; -1 if none / floor reached.
+  std::ptrdiff_t pick_victim();
+  /// Uniform running node index to act as a join contact; -1 if none.
+  std::ptrdiff_t pick_contact();
+
+  Simulation& sim_;
+  ChurnConfig config_;
+  Rng rng_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::set<std::size_t> protected_;
+  std::set<EndpointId> departed_;
+  std::uint64_t joins_ = 0;
+  std::uint64_t leaves_ = 0;
+  std::uint64_t crashes_ = 0;
+};
+
+}  // namespace rac::faults

@@ -1,0 +1,87 @@
+#include "faults/impairments.hpp"
+
+namespace rac::faults {
+
+void UniformLoss::apply(EndpointId from, EndpointId to, std::size_t bytes,
+                        LinkVerdict& verdict) {
+  (void)bytes;
+  double rate = rate_;
+  if (!per_link_.empty()) {
+    const auto it = per_link_.find({from, to});
+    if (it != per_link_.end()) rate = it->second;
+  }
+  // Draw unconditionally (even when the message is already doomed or the
+  // rate is 0 while links override it): one draw per message keeps this
+  // impairment's stream consumption independent of the others' decisions.
+  if (rng_.next_bool(rate)) verdict.drop = true;
+}
+
+void LatencyJitter::apply(EndpointId from, EndpointId to, std::size_t bytes,
+                          LinkVerdict& verdict) {
+  (void)from;
+  (void)to;
+  (void)bytes;
+  if (max_jitter_ <= 0) return;
+  verdict.extra_delay += static_cast<SimDuration>(
+      rng_.next_below(static_cast<std::uint64_t>(max_jitter_) + 1));
+}
+
+void BandwidthThrottle::apply(EndpointId from, EndpointId to,
+                              std::size_t bytes, LinkVerdict& verdict) {
+  (void)bytes;
+  if (factor_ <= 0.0 || factor_ >= 1.0) return;
+  if (endpoints_ &&
+      !endpoints_->contains(from) && !endpoints_->contains(to)) {
+    return;
+  }
+  verdict.tx_scale *= 1.0 / factor_;
+}
+
+void Partition::assign(const std::vector<std::vector<EndpointId>>& cells) {
+  cell_of_.clear();
+  for (unsigned c = 0; c < cells.size(); ++c) {
+    for (const EndpointId ep : cells[c]) cell_of_[ep] = c;
+  }
+}
+
+bool Partition::severed(EndpointId a, EndpointId b) const {
+  const auto ia = cell_of_.find(a);
+  const auto ib = cell_of_.find(b);
+  if (ia == cell_of_.end() || ib == cell_of_.end()) return false;
+  return ia->second != ib->second;
+}
+
+void Partition::apply(EndpointId from, EndpointId to, std::size_t bytes,
+                      LinkVerdict& verdict) {
+  (void)bytes;
+  if (severed(from, to)) verdict.drop = true;
+}
+
+UniformLoss& ImpairmentPlane::add_loss(double rate, Rng rng) {
+  chain_.push_back(std::make_unique<UniformLoss>(rate, rng));
+  return static_cast<UniformLoss&>(*chain_.back());
+}
+
+LatencyJitter& ImpairmentPlane::add_jitter(SimDuration max_jitter, Rng rng) {
+  chain_.push_back(std::make_unique<LatencyJitter>(max_jitter, rng));
+  return static_cast<LatencyJitter&>(*chain_.back());
+}
+
+BandwidthThrottle& ImpairmentPlane::add_throttle(double factor) {
+  chain_.push_back(std::make_unique<BandwidthThrottle>(factor));
+  return static_cast<BandwidthThrottle&>(*chain_.back());
+}
+
+Partition& ImpairmentPlane::add_partition() {
+  chain_.push_back(std::make_unique<Partition>());
+  return static_cast<Partition&>(*chain_.back());
+}
+
+void ImpairmentPlane::apply(EndpointId from, EndpointId to, std::size_t bytes,
+                            LinkVerdict& verdict) {
+  for (const auto& imp : chain_) {
+    if (imp->enabled()) imp->apply(from, to, bytes, verdict);
+  }
+}
+
+}  // namespace rac::faults

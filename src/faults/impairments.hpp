@@ -1,0 +1,140 @@
+// Composable network impairments for the fault-injection subsystem.
+//
+// Each impairment is one fault model (loss, jitter, throttle, partition)
+// with its own RNG substream; the ImpairmentPlane chains them and plugs
+// into sim::Network as its LinkImpairment hook. Determinism contract: an
+// impairment draws randomness ONLY from the Rng it was constructed with
+// (an injector substream), never from the simulator RNG — so a plane with
+// no enabled impairments leaves a run bit-identical to one with no plane
+// installed at all.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/network.hpp"
+
+namespace rac::faults {
+
+using sim::EndpointId;
+using sim::LinkVerdict;
+
+/// One composable fault model. `enabled` lets the injector schedule
+/// activation windows without mutating the chain structure mid-run.
+class Impairment {
+ public:
+  virtual ~Impairment() = default;
+  virtual void apply(EndpointId from, EndpointId to, std::size_t bytes,
+                     LinkVerdict& verdict) = 0;
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = true;
+};
+
+/// Bernoulli per-message loss: a default drop probability plus optional
+/// per-directed-link overrides.
+class UniformLoss : public Impairment {
+ public:
+  UniformLoss(double rate, Rng rng) : rate_(rate), rng_(rng) {}
+
+  void set_rate(double rate) { rate_ = rate; }
+  double rate() const { return rate_; }
+  /// Override the drop probability of the directed link from -> to.
+  void set_link_rate(EndpointId from, EndpointId to, double rate) {
+    per_link_[{from, to}] = rate;
+  }
+
+  void apply(EndpointId from, EndpointId to, std::size_t bytes,
+             LinkVerdict& verdict) override;
+
+ private:
+  double rate_;
+  Rng rng_;
+  std::map<std::pair<EndpointId, EndpointId>, double> per_link_;
+};
+
+/// Adds a uniform random extra one-way delay in [0, max_jitter] to every
+/// message.
+class LatencyJitter : public Impairment {
+ public:
+  LatencyJitter(SimDuration max_jitter, Rng rng)
+      : max_jitter_(max_jitter), rng_(rng) {}
+
+  void set_max_jitter(SimDuration max_jitter) { max_jitter_ = max_jitter; }
+
+  void apply(EndpointId from, EndpointId to, std::size_t bytes,
+             LinkVerdict& verdict) override;
+
+ private:
+  SimDuration max_jitter_;
+  Rng rng_;
+};
+
+/// Scales link serialization time: a message touching a throttled endpoint
+/// transmits at `factor` times the configured link rate (factor in (0, 1]),
+/// i.e. its tx time is multiplied by 1/factor. With no endpoint set, every
+/// link is throttled.
+class BandwidthThrottle : public Impairment {
+ public:
+  explicit BandwidthThrottle(double factor) : factor_(factor) {}
+
+  void set_factor(double factor) { factor_ = factor; }
+  /// Throttle only links whose sender or receiver is in `endpoints`.
+  void set_endpoints(std::set<EndpointId> endpoints) {
+    endpoints_ = std::move(endpoints);
+  }
+  void clear_endpoints() { endpoints_.reset(); }
+
+  void apply(EndpointId from, EndpointId to, std::size_t bytes,
+             LinkVerdict& verdict) override;
+
+ private:
+  double factor_;
+  std::optional<std::set<EndpointId>> endpoints_;
+};
+
+/// Node-set partition: endpoints assigned to different cells cannot
+/// exchange messages; endpoints in no cell reach everyone (they model the
+/// unaffected core of the network).
+class Partition : public Impairment {
+ public:
+  Partition() = default;
+
+  /// Assign cells; cell i gets id i. Clears any previous assignment.
+  void assign(const std::vector<std::vector<EndpointId>>& cells);
+  void clear() { cell_of_.clear(); }
+  bool severed(EndpointId a, EndpointId b) const;
+
+  void apply(EndpointId from, EndpointId to, std::size_t bytes,
+             LinkVerdict& verdict) override;
+
+ private:
+  std::map<EndpointId, unsigned> cell_of_;
+};
+
+/// Ordered, owning chain of impairments; the object installed into the
+/// network. Disabled impairments are skipped (and draw no randomness).
+class ImpairmentPlane : public sim::LinkImpairment {
+ public:
+  UniformLoss& add_loss(double rate, Rng rng);
+  LatencyJitter& add_jitter(SimDuration max_jitter, Rng rng);
+  BandwidthThrottle& add_throttle(double factor);
+  Partition& add_partition();
+
+  std::size_t size() const { return chain_.size(); }
+
+  void apply(EndpointId from, EndpointId to, std::size_t bytes,
+             LinkVerdict& verdict) override;
+
+ private:
+  std::vector<std::unique_ptr<Impairment>> chain_;
+};
+
+}  // namespace rac::faults

@@ -1,0 +1,98 @@
+#include "faults/injector.hpp"
+
+#include <stdexcept>
+
+namespace rac::faults {
+
+Injector::Injector(Simulation& sim, std::uint64_t seed)
+    : sim_(sim), fault_seed_(substream_seed(seed, "faults")) {}
+
+Rng& Injector::stream(std::string_view name) {
+  const auto it = streams_.find(name);
+  if (it != streams_.end()) return it->second;
+  return streams_
+      .emplace(std::string(name), Rng(substream_seed(fault_seed_, name)))
+      .first->second;
+}
+
+ImpairmentPlane& Injector::plane() {
+  if (!plane_) {
+    plane_ = std::make_unique<ImpairmentPlane>();
+    sim_.network().set_impairment(plane_.get());
+  }
+  return *plane_;
+}
+
+void Injector::at(SimTime t, std::function<void()> fn) {
+  actions_.push_back(std::move(fn));
+  std::function<void()>* slot = &actions_.back();
+  sim_.simulator().schedule_at(t, [slot] { (*slot)(); });
+}
+
+void Injector::every(SimDuration period, std::function<void()> fn) {
+  if (period <= 0) throw std::invalid_argument("Injector::every: period");
+  recurring_.push_back(Recurring{period, std::move(fn)});
+  Recurring* r = &recurring_.back();
+  sim_.simulator().schedule(period, [this, r] { fire_recurring(r); });
+}
+
+void Injector::fire_recurring(Recurring* r) {
+  sim_.simulator().schedule(r->period, [this, r] { fire_recurring(r); });
+  r->fn();
+}
+
+AdversaryStrategy& Injector::add_strategy(
+    std::unique_ptr<AdversaryStrategy> s) {
+  if (find_strategy(s->name()) != nullptr) {
+    throw std::invalid_argument("duplicate strategy name: " + s->name());
+  }
+  strategies_.push_back(std::move(s));
+  AdversaryStrategy& added = *strategies_.back();
+  if (churn_) {
+    for (const std::size_t m : added.members()) churn_->protect(m);
+  }
+  return added;
+}
+
+AdversaryStrategy* Injector::find_strategy(const std::string& name) {
+  for (const auto& s : strategies_) {
+    if (s->name() == name) return s.get();
+  }
+  return nullptr;
+}
+
+void Injector::activate_at(const std::string& name, SimTime t) {
+  AdversaryStrategy* s = find_strategy(name);
+  if (s == nullptr) throw std::invalid_argument("unknown strategy: " + name);
+  at(t, [this, s] { s->activate(sim_); });
+}
+
+void Injector::deactivate_at(const std::string& name, SimTime t) {
+  AdversaryStrategy* s = find_strategy(name);
+  if (s == nullptr) throw std::invalid_argument("unknown strategy: " + name);
+  at(t, [this, s] { s->deactivate(sim_); });
+}
+
+ChurnProcess& Injector::ensure_churn(const ChurnConfig& config) {
+  if (!churn_) {
+    churn_ = std::make_unique<ChurnProcess>(sim_, config, stream("churn"));
+    for (const auto& s : strategies_) {
+      for (const std::size_t m : s->members()) churn_->protect(m);
+    }
+  }
+  return *churn_;
+}
+
+ChurnProcess& Injector::start_churn(const ChurnConfig& config) {
+  ChurnProcess& c = ensure_churn(config);
+  c.set_config(config);  // a flash-crowd may have created it rates-free
+  c.start();
+  return c;
+}
+
+void Injector::flash_crowd_at(SimTime t, std::size_t count) {
+  ChurnProcess& c = ensure_churn(ChurnConfig{});
+  at(t, [&c, count] { c.flash_crowd(count); });
+}
+
+}  // namespace rac::faults

@@ -1,0 +1,95 @@
+// The fault injector: owns every fault source of one simulation run.
+//
+// One Injector is attached to a Simulation and becomes the single owner of
+//  - named RNG substreams (derived from the scenario seed, never from the
+//    simulator master stream — attaching an idle injector is trace-neutral);
+//  - the network ImpairmentPlane (installed lazily on first use);
+//  - the adversary-strategy registry and their scheduled activation windows;
+//  - the churn process and flash-crowd bursts;
+//  - arbitrary timed actions (`at`) and recurring actions (`every`), which
+//    scenarios use for things like periodic blacklist shuffle rounds.
+//
+// Determinism contract: constructing an Injector draws nothing from the
+// simulator RNG and schedules nothing; a run with an injector that never
+// installs a fault is bit-identical to a run without one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/churn.hpp"
+#include "faults/impairments.hpp"
+#include "faults/strategies.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac::faults {
+
+class Injector {
+ public:
+  /// `seed` is the scenario seed (normally SimulationConfig::seed); all
+  /// fault randomness derives from substream_seed(seed, "faults").
+  Injector(Simulation& sim, std::uint64_t seed);
+
+  Simulation& simulation() { return sim_; }
+
+  /// Stateful named substream (created on first use, persists across
+  /// calls). Distinct names never share a draw sequence.
+  Rng& stream(std::string_view name);
+
+  /// The network impairment plane; installed into sim.network() on first
+  /// access. An empty plane is a guaranteed no-op.
+  ImpairmentPlane& plane();
+  bool has_plane() const { return plane_ != nullptr; }
+
+  // --- Timed actions. ---
+  /// Run `fn` at absolute sim time `t` (>= now).
+  void at(SimTime t, std::function<void()> fn);
+  /// Run `fn` every `period`, first firing one period from now.
+  void every(SimDuration period, std::function<void()> fn);
+
+  // --- Adversary strategies. ---
+  AdversaryStrategy& add_strategy(std::unique_ptr<AdversaryStrategy> s);
+  AdversaryStrategy* find_strategy(const std::string& name);
+  const std::vector<std::unique_ptr<AdversaryStrategy>>& strategies() const {
+    return strategies_;
+  }
+  /// Schedule (de)activation of a registered strategy by name.
+  void activate_at(const std::string& name, SimTime t);
+  void deactivate_at(const std::string& name, SimTime t);
+
+  // --- Churn. ---
+  /// Create (once) and start the churn process on its own substream.
+  /// Members of every registered strategy are protected from departure.
+  ChurnProcess& start_churn(const ChurnConfig& config);
+  ChurnProcess* churn() { return churn_ ? churn_.get() : nullptr; }
+  /// Schedule a flash-crowd burst of `count` joins at time `t`. Creates a
+  /// churn process (with all rates zero) if none is running.
+  void flash_crowd_at(SimTime t, std::size_t count);
+
+ private:
+  struct Recurring {
+    SimDuration period;
+    std::function<void()> fn;
+  };
+  void fire_recurring(Recurring* r);
+  ChurnProcess& ensure_churn(const ChurnConfig& config);
+
+  Simulation& sim_;
+  std::uint64_t fault_seed_;
+  std::map<std::string, Rng, std::less<>> streams_;
+  std::unique_ptr<ImpairmentPlane> plane_;
+  std::vector<std::unique_ptr<AdversaryStrategy>> strategies_;
+  std::unique_ptr<ChurnProcess> churn_;
+  // Deques: stable addresses for the {this, pointer} closures below.
+  std::deque<std::function<void()>> actions_;
+  std::deque<Recurring> recurring_;
+};
+
+}  // namespace rac::faults

@@ -1,0 +1,240 @@
+#include "faults/scenario.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace rac::faults {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t' ||
+                        s.back() == '\r')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw std::runtime_error("scenario line " + std::to_string(line) + ": " +
+                           what);
+}
+
+double to_double(std::string_view v, std::size_t line) {
+  // std::from_chars<double> support varies; strtod on a bounded copy.
+  const std::string buf(v);
+  char* end = nullptr;
+  const double d = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) {
+    fail(line, "expected a number, got '" + buf + "'");
+  }
+  return d;
+}
+
+std::uint64_t to_u64(std::string_view v, std::size_t line) {
+  std::uint64_t out = 0;
+  const auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), out);
+  if (ec != std::errc{} || p != v.data() + v.size()) {
+    fail(line, "expected an integer, got '" + std::string(v) + "'");
+  }
+  return out;
+}
+
+/// Split on whitespace, keeping `a|b` and `k=v` tokens whole.
+std::vector<std::string_view> tokenize(std::string_view s) {
+  std::vector<std::string_view> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    if (j > i) out.push_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+void apply_config(ScenarioSpec& spec, std::string_view key,
+                  std::string_view value, std::size_t line) {
+  if (key == "name") {
+    spec.name = std::string(value);
+  } else if (key == "nodes") {
+    spec.nodes = static_cast<std::uint32_t>(to_u64(value, line));
+  } else if (key == "group_target") {
+    spec.group_target = static_cast<std::uint32_t>(to_u64(value, line));
+  } else if (key == "seeds") {
+    spec.seeds = static_cast<std::uint32_t>(to_u64(value, line));
+  } else if (key == "base_seed") {
+    spec.base_seed = to_u64(value, line);
+  } else if (key == "duration_ms") {
+    spec.duration = static_cast<SimDuration>(to_u64(value, line)) *
+                    kMillisecond;
+  } else if (key == "relays") {
+    spec.relays = static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "rings") {
+    spec.rings = static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "payload_bytes") {
+    spec.payload_bytes = static_cast<std::size_t>(to_u64(value, line));
+  } else if (key == "send_period_ms") {
+    spec.send_period = static_cast<SimDuration>(to_u64(value, line)) *
+                       kMillisecond;
+  } else if (key == "saturation_window") {
+    spec.saturation_window = static_cast<std::size_t>(to_u64(value, line));
+  } else if (key == "check_timeout_ms") {
+    spec.check_timeout = static_cast<SimDuration>(to_u64(value, line)) *
+                         kMillisecond;
+  } else if (key == "sweep_ms") {
+    spec.check_sweep_period = static_cast<SimDuration>(to_u64(value, line)) *
+                              kMillisecond;
+  } else if (key == "follower_t") {
+    spec.follower_t = static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "opponent_fraction") {
+    spec.opponent_fraction = to_double(value, line);
+  } else if (key == "smin") {
+    spec.smin = static_cast<std::uint32_t>(to_u64(value, line));
+  } else if (key == "smax") {
+    spec.smax = static_cast<std::uint32_t>(to_u64(value, line));
+  } else if (key == "link_bps") {
+    spec.link_bps = to_double(value, line);
+  } else if (key == "propagation_us") {
+    spec.propagation = static_cast<SimDuration>(to_u64(value, line)) *
+                       kMicrosecond;
+  } else if (key == "traffic") {
+    if (value != "uniform" && value != "noise" && value != "none") {
+      fail(line, "traffic must be 'uniform', 'noise' or 'none'");
+    }
+    spec.traffic = std::string(value);
+  } else if (key == "blacklist_round_ms") {
+    spec.blacklist_round_period =
+        static_cast<SimDuration>(to_u64(value, line)) * kMillisecond;
+  } else {
+    fail(line, "unknown config key '" + std::string(key) + "'");
+  }
+}
+
+constexpr std::string_view kVerbs[] = {
+    "strategy",  "strategy_off", "loss",   "loss_off",
+    "jitter",    "jitter_off",   "throttle", "throttle_off",
+    "partition", "partition_off", "churn", "flashcrowd",
+};
+
+}  // namespace
+
+std::vector<std::size_t> parse_index_list(std::string_view text) {
+  std::vector<std::size_t> out;
+  std::size_t i = 0;
+  const auto read_number = [&]() {
+    std::size_t j = i;
+    while (j < text.size() && text[j] >= '0' && text[j] <= '9') ++j;
+    if (j == i) {
+      throw std::runtime_error("bad index list '" + std::string(text) + "'");
+    }
+    std::size_t value = 0;
+    std::from_chars(text.data() + i, text.data() + j, value);
+    i = j;
+    return value;
+  };
+  while (i < text.size()) {
+    const std::size_t lo = read_number();
+    std::size_t hi = lo;
+    if (i < text.size() && text[i] == '-') {
+      ++i;
+      hi = read_number();
+    }
+    if (hi < lo) {
+      throw std::runtime_error("bad index range in '" + std::string(text) +
+                               "'");
+    }
+    for (std::size_t v = lo; v <= hi; ++v) out.push_back(v);
+    if (i < text.size()) {
+      if (text[i] != ',') {
+        throw std::runtime_error("bad index list '" + std::string(text) +
+                                 "'");
+      }
+      ++i;
+    }
+  }
+  return out;
+}
+
+Scenario parse_scenario(std::string_view text) {
+  Scenario scenario;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (const std::size_t hash = line.find('#');
+        hash != std::string_view::npos) {
+      line = line.substr(0, hash);
+    }
+    line = trim(line);
+    if (line.empty()) continue;
+
+    if (line.starts_with("on ") || line.starts_with("on\t")) {
+      const auto tokens = tokenize(line.substr(3));
+      if (tokens.size() < 2) fail(line_no, "expected: on <ms> <verb> ...");
+      ScenarioEvent ev;
+      ev.at = static_cast<SimTime>(to_u64(tokens[0], line_no)) * kMillisecond;
+      ev.verb = std::string(tokens[1]);
+      if (std::find(std::begin(kVerbs), std::end(kVerbs), ev.verb) ==
+          std::end(kVerbs)) {
+        fail(line_no, "unknown event verb '" + ev.verb + "'");
+      }
+      for (std::size_t t = 2; t < tokens.size(); ++t) {
+        const std::string_view tok = tokens[t];
+        const std::size_t eq = tok.find('=');
+        if (eq == std::string_view::npos) {
+          ev.args.emplace_back(tok);
+        } else {
+          ev.params[std::string(tok.substr(0, eq))] =
+              std::string(tok.substr(eq + 1));
+        }
+      }
+      scenario.events.push_back(std::move(ev));
+      continue;
+    }
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string_view::npos) {
+      fail(line_no, "expected 'key = value' or 'on <ms> <verb> ...'");
+    }
+    apply_config(scenario.spec, trim(line.substr(0, eq)),
+                 trim(line.substr(eq + 1)), line_no);
+  }
+  std::stable_sort(
+      scenario.events.begin(), scenario.events.end(),
+      [](const ScenarioEvent& a, const ScenarioEvent& b) { return a.at < b.at; });
+  return scenario;
+}
+
+SimulationConfig ScenarioSpec::to_simulation_config(std::uint64_t seed) const {
+  SimulationConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.group_target = group_target;
+  cfg.seed = seed;
+  cfg.node.num_relays = relays;
+  cfg.node.num_rings = rings;
+  cfg.node.payload_size = payload_bytes;
+  cfg.node.send_period = send_period;
+  cfg.node.saturation_window = saturation_window;
+  cfg.node.check_timeout = check_timeout;
+  cfg.node.check_sweep_period = check_sweep_period;
+  cfg.node.follower_quorum_t = follower_t;
+  cfg.node.assumed_opponent_fraction = opponent_fraction;
+  cfg.node.smin = smin;
+  cfg.node.smax = smax;
+  cfg.node.link_bps = link_bps;
+  cfg.network.link_bps = link_bps;
+  cfg.network.propagation = propagation;
+  return cfg;
+}
+
+}  // namespace rac::faults

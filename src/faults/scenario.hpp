@@ -1,0 +1,101 @@
+// Scenario files: a small key-value format describing one fault campaign.
+//
+// Grammar (line oriented; `#` starts a comment, blank lines ignored):
+//
+//   key = value            — configuration (see ScenarioSpec fields)
+//   on <ms> <verb> [args]  — timed fault event at <ms> sim milliseconds
+//
+// Event verbs and their arguments (k=v pairs unless noted):
+//
+//   strategy <name> kind=<freerider|dropper|selective|shortener|clique>
+//            members=<list> [p=<drop rate>] [relays=<n>]
+//   strategy_off <name>
+//   loss rate=<p> [from=<node> to=<node>]     — network-wide or one link
+//   loss_off
+//   jitter max_ms=<ms>
+//   jitter_off
+//   throttle factor=<0..1> [members=<list>]
+//   throttle_off
+//   partition <list>|<list>[|<list>...]       — cells of node indices
+//   partition_off
+//   churn [join=<rate>] [leave=<rate>] [crash=<rate>] [until_ms=<ms>]
+//         [min_pop=<n>]                       — rates in events/sim-second
+//   flashcrowd count=<n>
+//
+// <list> is comma-separated node indices and inclusive ranges: `0,3,7-9`.
+//
+// See EXPERIMENTS.md "Scenario files" for the full reference and examples.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rac/simulation.hpp"
+
+namespace rac::faults {
+
+/// Parsed `key = value` configuration of a scenario file.
+struct ScenarioSpec {
+  std::string name = "scenario";
+  std::uint32_t nodes = 100;
+  std::uint32_t group_target = 0;  // 0 = RAC-NoGroup
+  /// Campaign: `seeds` runs with seeds base_seed, base_seed+1, ...
+  std::uint32_t seeds = 1;
+  std::uint64_t base_seed = 42;
+  SimDuration duration = 400 * kMillisecond;
+
+  unsigned relays = 5;
+  unsigned rings = 7;
+  std::size_t payload_bytes = 2'000;
+  SimDuration send_period = 0;  // 0 = saturation pacing
+  std::size_t saturation_window = 16;
+  SimDuration check_timeout = 400 * kMillisecond;
+  SimDuration check_sweep_period = 0;  // 0 = checks off
+  unsigned follower_t = 3;
+  double opponent_fraction = 0.1;
+  std::uint32_t smin = 500;
+  std::uint32_t smax = 2'000;
+
+  double link_bps = 1e9;
+  SimDuration propagation = 50 * kMicrosecond;
+
+  /// "uniform" (start_uniform_traffic: every node streams payloads),
+  /// "noise" (start_all: nodes run the constant-rate protocol but
+  /// originate no application payloads) or "none" (nodes idle).
+  std::string traffic = "uniform";
+  /// Period of automatic anonymous blacklist shuffle rounds over every
+  /// group (0 = no rounds — relay accusations then never reach a quorum).
+  SimDuration blacklist_round_period = 0;
+
+  /// Build the SimulationConfig for one run of this scenario.
+  SimulationConfig to_simulation_config(std::uint64_t seed) const;
+};
+
+/// One timed `on` line, uninterpreted: the campaign layer materializes it
+/// against a live Injector.
+struct ScenarioEvent {
+  SimTime at = 0;
+  std::string verb;
+  /// Positional arguments (everything that is not k=v).
+  std::vector<std::string> args;
+  /// k=v arguments, verbatim values.
+  std::map<std::string, std::string> params;
+};
+
+struct Scenario {
+  ScenarioSpec spec;
+  std::vector<ScenarioEvent> events;  // sorted by `at`, stable
+};
+
+/// Parse scenario text. Throws std::runtime_error with a line number on
+/// malformed input or unknown keys/verbs.
+Scenario parse_scenario(std::string_view text);
+
+/// Parse a node-index list: comma-separated indices and inclusive ranges
+/// (`0,3,7-9`). Throws std::runtime_error on malformed input.
+std::vector<std::size_t> parse_index_list(std::string_view text);
+
+}  // namespace rac::faults

@@ -1,0 +1,110 @@
+#include "faults/strategies.hpp"
+
+#include <stdexcept>
+
+namespace rac::faults {
+
+void AdversaryStrategy::activate(Simulation& sim) {
+  if (active_) return;
+  for (const std::size_t m : members_) {
+    sim.node(m).set_behavior(member_behavior(sim, m));
+  }
+  active_ = true;
+  activated_at_ = sim.simulator().now();
+  deactivated_at_.reset();
+}
+
+void AdversaryStrategy::deactivate(Simulation& sim) {
+  if (!active_) return;
+  for (const std::size_t m : members_) {
+    sim.node(m).set_behavior(Node::Behavior{});
+  }
+  active_ = false;
+  deactivated_at_ = sim.simulator().now();
+}
+
+Node::Behavior StaticFreerider::member_behavior(const Simulation&,
+                                                std::size_t) const {
+  Node::Behavior b;
+  b.drop_relay_duty = true;
+  b.forward_drop_rate = 1.0;
+  return b;
+}
+
+Node::Behavior ProbabilisticDropper::member_behavior(const Simulation&,
+                                                     std::size_t) const {
+  Node::Behavior b;
+  b.forward_drop_rate = drop_rate_;
+  return b;
+}
+
+Node::Behavior SelectiveDropper::member_behavior(const Simulation&,
+                                                 std::size_t) const {
+  Node::Behavior b;
+  b.drop_relay_duty = true;
+  return b;
+}
+
+Node::Behavior PathShortener::member_behavior(const Simulation&,
+                                              std::size_t) const {
+  Node::Behavior b;
+  b.relay_override = relays_ == 0 ? 1 : relays_;
+  return b;
+}
+
+ColludingClique::ColludingClique(std::string name,
+                                 std::vector<std::size_t> members,
+                                 const Simulation& sim,
+                                 double forward_drop_rate)
+    : AdversaryStrategy(std::move(name), std::move(members)),
+      forward_drop_rate_(forward_drop_rate) {
+  auto allies = std::make_shared<std::set<sim::EndpointId>>();
+  for (const std::size_t m : this->members()) {
+    allies->insert(sim.node(m).endpoint());
+  }
+  allies_ = std::move(allies);
+}
+
+Node::Behavior ColludingClique::member_behavior(const Simulation&,
+                                                std::size_t) const {
+  Node::Behavior b;
+  b.drop_relay_duty = true;
+  b.forward_drop_rate = forward_drop_rate_;
+  b.allies = allies_;
+  return b;
+}
+
+std::unique_ptr<AdversaryStrategy> make_strategy(
+    const std::string& kind, std::string name,
+    std::vector<std::size_t> members, const Simulation& sim,
+    const std::map<std::string, double>& params) {
+  const auto param = [&params](const std::string& key, double fallback) {
+    const auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  };
+  if (kind == "freerider") {
+    return std::make_unique<StaticFreerider>(std::move(name),
+                                             std::move(members));
+  }
+  if (kind == "dropper") {
+    return std::make_unique<ProbabilisticDropper>(
+        std::move(name), std::move(members), param("p", 0.5));
+  }
+  if (kind == "selective") {
+    return std::make_unique<SelectiveDropper>(std::move(name),
+                                              std::move(members));
+  }
+  if (kind == "shortener") {
+    return std::make_unique<PathShortener>(
+        std::move(name), std::move(members),
+        static_cast<unsigned>(param("relays", 1.0)));
+  }
+  if (kind == "clique") {
+    return std::make_unique<ColludingClique>(std::move(name),
+                                             std::move(members), sim,
+                                             param("p", 0.0));
+  }
+  throw std::invalid_argument("unknown adversary strategy kind: " + kind);
+}
+
+}  // namespace rac::faults

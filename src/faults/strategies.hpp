@@ -1,0 +1,149 @@
+// Adversary strategies: scripted misbehaviour layered over Node::Behavior.
+//
+// A strategy owns a member set (node indices) and a behaviour recipe;
+// activating it applies the recipe to every member, deactivating restores
+// correct-node behaviour. The Injector schedules (de)activations at sim
+// times, and the campaign layer reads the recorded activation windows as
+// detection-latency ground truth.
+//
+// Catalogue (kinds accepted by make_strategy and the scenario grammar):
+//   freerider  — drop-all: refuses relay duty AND drops every ring forward
+//   dropper    — probabilistic forwarder: drops fraction `p` of forwards
+//   selective  — drops only relay duties (still forwards ring traffic)
+//   shortener  — path shortener: builds own onions over `relays` (< L)
+//                relays, trading its own anonymity for latency; invisible
+//                to the three checks by design
+//   clique     — colluding clique: members freeride on relay duty but
+//                never suspect or accuse each other
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rac/simulation.hpp"
+
+namespace rac::faults {
+
+class AdversaryStrategy {
+ public:
+  AdversaryStrategy(std::string name, std::vector<std::size_t> members)
+      : name_(std::move(name)), members_(std::move(members)) {}
+  virtual ~AdversaryStrategy() = default;
+
+  const std::string& name() const { return name_; }
+  virtual std::string kind() const = 0;
+  const std::vector<std::size_t>& members() const { return members_; }
+
+  /// Apply the deviation to every member. Records the activation time.
+  void activate(Simulation& sim);
+  /// Restore correct behaviour on every member.
+  void deactivate(Simulation& sim);
+
+  bool active() const { return active_; }
+  std::optional<SimTime> activated_at() const { return activated_at_; }
+  std::optional<SimTime> deactivated_at() const { return deactivated_at_; }
+
+ protected:
+  /// The deviation applied to `member` (a node index) on activation.
+  virtual Node::Behavior member_behavior(const Simulation& sim,
+                                         std::size_t member) const = 0;
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> members_;
+  bool active_ = false;
+  std::optional<SimTime> activated_at_;
+  std::optional<SimTime> deactivated_at_;
+};
+
+/// Drop-all freerider: refuses relay duty and drops every ring forward.
+class StaticFreerider : public AdversaryStrategy {
+ public:
+  using AdversaryStrategy::AdversaryStrategy;
+  std::string kind() const override { return "freerider"; }
+
+ protected:
+  Node::Behavior member_behavior(const Simulation&,
+                                 std::size_t) const override;
+};
+
+/// Probabilistic dropper: forwards ring traffic with probability 1 - p.
+class ProbabilisticDropper : public AdversaryStrategy {
+ public:
+  ProbabilisticDropper(std::string name, std::vector<std::size_t> members,
+                       double drop_rate)
+      : AdversaryStrategy(std::move(name), std::move(members)),
+        drop_rate_(drop_rate) {}
+  std::string kind() const override { return "dropper"; }
+  double drop_rate() const { return drop_rate_; }
+
+ protected:
+  Node::Behavior member_behavior(const Simulation&,
+                                 std::size_t) const override;
+
+ private:
+  double drop_rate_;
+};
+
+/// Selective dropper: serves ring forwards but silently drops the expensive
+/// relay re-broadcasts (the deviation check #1 exists for).
+class SelectiveDropper : public AdversaryStrategy {
+ public:
+  using AdversaryStrategy::AdversaryStrategy;
+  std::string kind() const override { return "selective"; }
+
+ protected:
+  Node::Behavior member_behavior(const Simulation&,
+                                 std::size_t) const override;
+};
+
+/// Path shortener: builds its own onions over `relays` relays instead of L.
+class PathShortener : public AdversaryStrategy {
+ public:
+  PathShortener(std::string name, std::vector<std::size_t> members,
+                unsigned relays)
+      : AdversaryStrategy(std::move(name), std::move(members)),
+        relays_(relays) {}
+  std::string kind() const override { return "shortener"; }
+  unsigned relays() const { return relays_; }
+
+ protected:
+  Node::Behavior member_behavior(const Simulation&,
+                                 std::size_t) const override;
+
+ private:
+  unsigned relays_;
+};
+
+/// Colluding clique: members drop relay duty but never suspect or accuse
+/// one another (one shared allies set). Forward-dropping rate is optional
+/// — a fully silent clique is caught by check #2 immediately, a duty-only
+/// clique exercises the anonymous relay-blacklist path.
+class ColludingClique : public AdversaryStrategy {
+ public:
+  ColludingClique(std::string name, std::vector<std::size_t> members,
+                  const Simulation& sim, double forward_drop_rate = 0.0);
+  std::string kind() const override { return "clique"; }
+
+ protected:
+  Node::Behavior member_behavior(const Simulation&,
+                                 std::size_t) const override;
+
+ private:
+  std::shared_ptr<const std::set<sim::EndpointId>> allies_;
+  double forward_drop_rate_;
+};
+
+/// Factory for the scenario grammar: builds a strategy of `kind` with the
+/// given members and numeric parameters (p, relays, ...). Throws
+/// std::invalid_argument on unknown kinds.
+std::unique_ptr<AdversaryStrategy> make_strategy(
+    const std::string& kind, std::string name,
+    std::vector<std::size_t> members, const Simulation& sim,
+    const std::map<std::string, double>& params);
+
+}  // namespace rac::faults

@@ -45,7 +45,7 @@ bool Blacklists::record_pred_accusation(ScopeId scope, EndpointId accused,
                                         EndpointId accuser,
                                         bool accuser_is_follower) {
   ++accusations_recorded_;
-  if (!accuser_is_follower) return false;
+  if (!accuser_is_follower || evicted_.contains(accused)) return false;
   auto& accusers = pred_ledger_[std::pair{scope.key(), accused}];
   const std::size_t before = accusers.size();
   accusers.insert(accuser);
@@ -55,6 +55,7 @@ bool Blacklists::record_pred_accusation(ScopeId scope, EndpointId accused,
 
 bool Blacklists::record_relay_accusation(EndpointId accused) {
   ++accusations_recorded_;
+  if (evicted_.contains(accused)) return false;
   const std::uint32_t count = ++relay_round_counts_[accused];
   return count == relay_quorum_;
 }
@@ -64,12 +65,15 @@ void Blacklists::begin_relay_round() { relay_round_counts_.clear(); }
 bool Blacklists::record_evict_notice(std::uint32_t channel,
                                      EndpointId evicted,
                                      EndpointId notifier) {
+  if (evicted_.contains(evicted)) return false;
   auto& notifiers = evict_notice_ledger_[std::pair{channel, evicted}];
   const std::size_t before = notifiers.size();
   notifiers.insert(notifier);
   return before < evict_notice_quorum_ &&
          notifiers.size() >= evict_notice_quorum_;
 }
+
+void Blacklists::note_evicted(EndpointId node) { evicted_.insert(node); }
 
 void Blacklists::forget(EndpointId node) {
   suspected_relays_.erase(node);

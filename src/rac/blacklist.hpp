@@ -74,6 +74,14 @@ class Blacklists {
   /// Forget all state about an evicted node.
   void forget(EndpointId node);
 
+  /// Tombstone an evicted node: accusations and eviction notices about it
+  /// that arrive after the eviction are ignored (they can no longer form a
+  /// quorum, so a late or replayed accusation cannot re-trigger eviction
+  /// side effects). Eviction is permanent — evicted identities never
+  /// rejoin — so tombstones are never cleared.
+  void note_evicted(EndpointId node);
+  bool is_evicted(EndpointId node) const { return evicted_.contains(node); }
+
   std::uint64_t accusations_recorded() const { return accusations_recorded_; }
 
  private:
@@ -93,6 +101,7 @@ class Blacklists {
   std::map<EndpointId, std::uint32_t> relay_round_counts_;
   std::map<std::pair<std::uint32_t, EndpointId>, std::set<EndpointId>>
       evict_notice_ledger_;
+  std::set<EndpointId> evicted_;
   std::uint64_t accusations_recorded_ = 0;
 };
 

@@ -260,6 +260,9 @@ void Node::originate_cell(Bytes cell) {
 }
 
 std::vector<EndpointId> Node::pick_relays() {
+  const unsigned want = behavior_.relay_override != 0
+                            ? behavior_.relay_override
+                            : config_.num_relays;
   std::vector<EndpointId> candidates;
   candidates.reserve(group_view_->size());
   for (const auto& [node, ident] : group_view_->members()) {
@@ -267,11 +270,10 @@ std::vector<EndpointId> Node::pick_relays() {
       candidates.push_back(node);
     }
   }
-  if (candidates.size() < config_.num_relays) return {};
+  if (candidates.size() < want) return {};
   std::vector<EndpointId> relays;
-  relays.reserve(config_.num_relays);
-  for (const std::size_t idx :
-       rng_.sample_indices(candidates.size(), config_.num_relays)) {
+  relays.reserve(want);
+  for (const std::size_t idx : rng_.sample_indices(candidates.size(), want)) {
     relays.push_back(candidates[idx]);
   }
   return relays;
@@ -489,6 +491,10 @@ bool Node::is_follower_of(ScopeId scope, EndpointId accused,
 
 void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
                               SuspicionReason reason) {
+  if (behavior_.allies && behavior_.allies->contains(pred)) {
+    counters_.bump("accusations_suppressed");  // clique shields its own
+    return;
+  }
   if (!blacklists_.suspect_predecessor(scope, pred, reason)) return;
   counters_.bump("pred_accusations_sent");
   PredAccusation acc;
@@ -517,7 +523,9 @@ void Node::run_check_sweep() {
       continue;
     }
     const EndpointId culprit = po.relays.at(po.confirmed);
-    if (blacklists_.suspect_relay(culprit)) {
+    if (behavior_.allies && behavior_.allies->contains(culprit)) {
+      counters_.bump("accusations_suppressed");
+    } else if (blacklists_.suspect_relay(culprit)) {
       counters_.bump("relays_suspected");
     }
     for (std::size_t i = po.confirmed; i < po.expected.size(); ++i) {
@@ -627,6 +635,9 @@ void Node::on_evicted(ScopeId scope, EndpointId evicted) {
   }
   note_scope_change(scope, env_.simulator->now());
   blacklists_.forget(evicted);
+  // Evicted identities never return: tombstone so accusations that arrive
+  // after the eviction can no longer form a fresh quorum.
+  blacklists_.note_evicted(evicted);
   // Sec. IV-C: after a group eviction, group members broadcast the eviction
   // to every channel the node belonged to.
   if (scope.type == ScopeType::kGroup && scope.id == group_) {

@@ -21,7 +21,9 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
+#include <set>
 #include <unordered_map>
 
 #include "crypto/onion.hpp"
@@ -60,6 +62,15 @@ class Node {
     /// models a protocol *without* cover traffic, used by the empirical
     /// anonymity experiments to show why Sec. IV-C mandates noise.
     bool no_noise = false;
+    /// Path shortener: build own onions over this many relays instead of
+    /// Config::num_relays (0 = honest L). A rational deviation trading the
+    /// node's own anonymity for latency (Sec. V discussion) — invisible to
+    /// the three checks, which is exactly what the fault campaigns measure.
+    unsigned relay_override = 0;
+    /// Colluding clique: endpoints this node never suspects or accuses,
+    /// whatever it observes. Shared (one set per clique) so activating the
+    /// strategy on k nodes costs one allocation, not k.
+    std::shared_ptr<const std::set<EndpointId>> allies;
   };
 
   /// `id_keys`, when provided, is the pre-generated ID key pair whose

@@ -205,6 +205,31 @@ std::size_t Simulation::join_node(std::size_t contact) {
   return index;
 }
 
+void Simulation::leave_node(std::size_t index, bool graceful) {
+  Node& n = *nodes_.at(index);
+  const EndpointId ep = n.endpoint();
+  n.stop();
+  if (!graceful) return;  // crash: views unchanged, checks handle the rest
+
+  // Graceful departure: the driver applies the announced leave to every
+  // shared view the node belonged to, with the usual check-#2 grace window
+  // for the survivors whose rings just changed.
+  overlay::View& gv = *group_views_.at(n.group());
+  if (gv.remove(ep)) {
+    const ScopeId scope{ScopeType::kGroup, n.group()};
+    for (const auto& [member, ident] : gv.members()) {
+      nodes_.at(member)->note_scope_change(scope, sim_.now());
+    }
+  }
+  for (const auto& [ch, view] : channel_views_) {
+    if (!view->remove(ep)) continue;
+    const ScopeId scope{ScopeType::kChannel, ch};
+    for (const auto& [member, ident] : view->members()) {
+      nodes_.at(member)->note_scope_change(scope, sim_.now());
+    }
+  }
+}
+
 void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
   overlay::View* view = nullptr;
   if (scope.type == ScopeType::kGroup) {
@@ -214,6 +239,7 @@ void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
   }
   if (view == nullptr || !view->contains(evicted)) return;  // idempotent
   view->remove(evicted);
+  evictions_.push_back(EvictionRecord{scope, evicted, sim_.now()});
 
   // Fan out to every member of the scope (and to the evicted node itself).
   std::vector<EndpointId> members;

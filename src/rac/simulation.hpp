@@ -80,9 +80,24 @@ class Simulation {
   /// Returns the new node's index. The node starts after READY.
   std::size_t join_node(std::size_t contact);
 
+  /// Stop node `index`. A graceful leave also removes it from the shared
+  /// group/channel views (the departure is announced); a crash leaves the
+  /// views untouched — the node simply falls silent and the misbehaviour
+  /// checks evict it like any other freerider.
+  void leave_node(std::size_t index, bool graceful);
+
   /// Apply an eviction decision to the shared views (idempotent) and fan
   /// out Node::on_evicted to every member of the scope.
   void apply_eviction(ScopeId scope, EndpointId evicted);
+
+  /// Every applied (non-idempotent-duplicate) eviction, in order. Fault
+  /// campaigns use this as the detection ground truth.
+  struct EvictionRecord {
+    ScopeId scope;
+    EndpointId evicted;
+    SimTime when;
+  };
+  const std::vector<EvictionRecord>& evictions() const { return evictions_; }
 
   /// Run one anonymous relay-blacklist shuffle round in `group`
   /// (Sec. IV-C "Evicting nodes"). Returns the number of non-empty
@@ -121,6 +136,7 @@ class Simulation {
   std::unordered_map<std::uint32_t, std::unique_ptr<overlay::View>>
       channel_views_;
   sim::ThroughputMeter meter_;
+  std::vector<EvictionRecord> evictions_;
 };
 
 /// Convenience: make the provider named by the config.

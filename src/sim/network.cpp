@@ -1,5 +1,6 @@
 #include "sim/network.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace rac::sim {
@@ -47,7 +48,17 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
     throw std::invalid_argument("Network::send: self-send not modelled");
   }
   const std::size_t bytes = wire_bytes != 0 ? wire_bytes : payload->size();
-  const SimDuration tx = transmission_delay(bytes, config_.link_bps);
+
+  // Impairment plane: one verdict per message, drawn from the plane's own
+  // RNG substreams (so an idle plane leaves the trace untouched).
+  LinkVerdict verdict;
+  if (impairment_ != nullptr) impairment_->apply(from, to, bytes, verdict);
+  SimDuration tx = transmission_delay(bytes, config_.link_bps);
+  if (verdict.tx_scale != 1.0) {
+    tx = std::max<SimDuration>(
+        1, static_cast<SimDuration>(static_cast<double>(tx) *
+                                    verdict.tx_scale));
+  }
 
   Endpoint& src = endpoints_[from];
 
@@ -60,9 +71,13 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   total_bytes_ += bytes;
   if (tap_) tap_(from, to, bytes, sim_.now());
 
-  // Lossy-network mode: the transmission occupies the uplink but never
-  // arrives (tail drop after the bottleneck).
-  if (config_.loss_rate > 0.0 && sim_.rng().next_bool(config_.loss_rate)) {
+  // Dropped messages occupy the uplink but never arrive (tail drop after
+  // the bottleneck). The legacy loss_rate shim draws from the simulator
+  // RNG at exactly the point the pre-impairment code did, keeping
+  // loss_rate-only runs bit-identical; it is skipped for messages the
+  // impairment plane already dropped.
+  if (verdict.drop ||
+      (config_.loss_rate > 0.0 && sim_.rng().next_bool(config_.loss_rate))) {
     ++messages_lost_;
     return;
   }
@@ -82,7 +97,7 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   const auto fire = [this, idx] { on_transfer_event(idx); };
   static_assert(InplaceCallback::fits_inline<decltype(fire)>,
                 "Network transfer closure must not allocate");
-  sim_.schedule_at(up_end + config_.propagation, fire);
+  sim_.schedule_at(up_end + config_.propagation + verdict.extra_delay, fire);
 }
 
 void Network::on_transfer_event(std::uint32_t idx) {

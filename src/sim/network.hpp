@@ -33,10 +33,34 @@ Payload make_payload(Bytes bytes);
 struct NetworkConfig {
   double link_bps = 1e9;                   // access link capacity
   SimDuration propagation = 50 * kMicrosecond;  // one-way latency
-  /// Probability that any given message is lost in transit (the paper's
-  /// network is ideal; loss exists to exercise the R-ring redundancy and
-  /// TCP-retransmission assumptions under degraded conditions).
+  /// DEPRECATED: probability that any given message is lost in transit.
+  /// Kept as a compatibility shim — internally it installs a built-in
+  /// uniform-loss impairment drawing from the simulator RNG, exactly as the
+  /// old bolted-on check did. New code should install a LinkImpairment
+  /// (src/faults/impairments.hpp) via Network::set_impairment instead,
+  /// which keeps fault draws on their own RNG substream.
   double loss_rate = 0.0;
+};
+
+/// Per-message verdict of the impairment plane. Defaults describe an
+/// unimpaired link.
+struct LinkVerdict {
+  bool drop = false;             // message occupies the uplink but is lost
+  SimDuration extra_delay = 0;   // added one-way latency (jitter)
+  double tx_scale = 1.0;         // serialization-time multiplier (throttle)
+};
+
+/// Hook consulted once per Network::send with the link metadata. Fault
+/// models (loss, jitter, throttles, partitions — see src/faults/) mutate
+/// the verdict; the network applies it. Implementations must draw any
+/// randomness from their own RNG substream, never from the simulator RNG,
+/// so that an installed-but-inactive impairment leaves traces bit-identical
+/// to an unimpaired run.
+class LinkImpairment {
+ public:
+  virtual ~LinkImpairment() = default;
+  virtual void apply(EndpointId from, EndpointId to, std::size_t bytes,
+                     LinkVerdict& verdict) = 0;
 };
 
 struct LinkStats {
@@ -72,10 +96,19 @@ class Network {
                                  std::size_t bytes, SimTime when)>;
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
+  /// Install (or clear, with nullptr) the impairment plane. Non-owning;
+  /// the impairment must outlive the network or be cleared first. The
+  /// legacy NetworkConfig::loss_rate shim, when active, is consulted after
+  /// the installed plane and only for messages the plane did not drop.
+  void set_impairment(LinkImpairment* impairment) {
+    impairment_ = impairment;
+  }
+  LinkImpairment* impairment() const { return impairment_; }
+
   const LinkStats& stats(EndpointId node) const;
   /// Total bytes offered to the network so far.
   std::uint64_t total_bytes() const { return total_bytes_; }
-  /// Messages dropped by the lossy-network mode.
+  /// Messages dropped by impairments (including the legacy loss_rate shim).
   std::uint64_t messages_lost() const { return messages_lost_; }
 
  private:
@@ -117,6 +150,7 @@ class Network {
   std::uint64_t total_bytes_ = 0;
   std::uint64_t messages_lost_ = 0;
   Tap tap_;
+  LinkImpairment* impairment_ = nullptr;
 };
 
 }  // namespace rac::sim

@@ -164,6 +164,34 @@ TEST(Rng, ForkIndependence) {
   EXPECT_NE(parent.next(), child.next());
 }
 
+TEST(Rng, SubstreamSeedIsPureAndDistinct) {
+  // Pure function of (seed, stream): same inputs, same output, every time.
+  EXPECT_EQ(substream_seed(42, "faults"), substream_seed(42, "faults"));
+  EXPECT_EQ(substream_seed(42, 7u), substream_seed(42, 7u));
+  // Distinct streams and distinct seeds decorrelate.
+  EXPECT_NE(substream_seed(42, "faults"), substream_seed(42, "churn"));
+  EXPECT_NE(substream_seed(42, "faults"), substream_seed(43, "faults"));
+  EXPECT_NE(substream_seed(42, 1u), substream_seed(42, 2u));
+}
+
+TEST(Rng, SubstreamConsumesNoParentState) {
+  // The trace-identity cornerstone: deriving a substream must not perturb
+  // any other generator, so Rng::substream is static and draws nothing.
+  Rng a(99);
+  Rng b(99);
+  (void)Rng::substream(99, "faults");
+  (void)Rng::substream(99, "churn").next();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SubstreamsDecorrelated) {
+  Rng a = Rng::substream(7, "loss");
+  Rng b = Rng::substream(7, "jitter");
+  std::size_t equal = 0;
+  for (int i = 0; i < 256; ++i) equal += a.next() == b.next();
+  EXPECT_EQ(equal, 0u);
+}
+
 // --- serialize ---
 
 TEST(Serialize, RoundTripAllTypes) {

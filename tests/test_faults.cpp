@@ -1,0 +1,484 @@
+// Fault-injection subsystem: trace neutrality, impairments, adversary
+// strategies, churn, scenario parsing and campaign metrics.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "faults/campaign.hpp"
+#include "faults/churn.hpp"
+#include "faults/impairments.hpp"
+#include "faults/injector.hpp"
+#include "faults/scenario.hpp"
+#include "faults/strategies.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac::faults {
+namespace {
+
+SimulationConfig small_config(std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = seed;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 500;
+  cfg.node.send_period = 20 * kMillisecond;
+  cfg.node.check_sweep_period = 0;
+  return cfg;
+}
+
+struct RunTrace {
+  std::uint64_t delivered;
+  std::uint64_t events;
+  std::uint64_t rng_probe;
+};
+
+RunTrace run_plain(std::uint64_t seed, SimDuration horizon) {
+  Simulation sim(small_config(seed));
+  sim.start_uniform_traffic();
+  sim.run_for(horizon);
+  return {sim.delivery_meter().total_messages(),
+          sim.simulator().events_processed(), sim.simulator().rng().next()};
+}
+
+// --- The determinism contract (the subsystem's reason to exist) ---
+
+TEST(Injector, IdleInjectorIsTraceNeutral) {
+  const SimDuration horizon = 200 * kMillisecond;
+  const RunTrace plain = run_plain(5, horizon);
+
+  // Same run with an injector attached, substreams drawn from, the plane
+  // installed (empty), and a scheduled no-op action: bit-identical trace,
+  // including the master RNG position afterwards.
+  Simulation sim(small_config(5));
+  Injector inj(sim, 5);
+  (void)inj.stream("loss").next();
+  (void)inj.plane();
+  inj.at(50 * kMillisecond, [] {});
+  sim.start_uniform_traffic();
+  sim.run_for(horizon);
+
+  EXPECT_EQ(sim.delivery_meter().total_messages(), plain.delivered);
+  // The injector's own no-op event adds exactly one kernel event.
+  EXPECT_EQ(sim.simulator().events_processed(), plain.events + 1);
+  EXPECT_EQ(sim.simulator().rng().next(), plain.rng_probe);
+}
+
+TEST(Injector, NoFaultScenarioMatchesPlainSimulation) {
+  Scenario scenario;
+  scenario.spec.nodes = 20;
+  scenario.spec.base_seed = 5;
+  scenario.spec.duration = 200 * kMillisecond;
+  scenario.spec.relays = 3;
+  scenario.spec.rings = 5;
+  scenario.spec.payload_bytes = 500;
+  scenario.spec.send_period = 20 * kMillisecond;
+
+  const RunTrace plain = run_plain(5, scenario.spec.duration);
+  const RunMetrics m = run_scenario(scenario, 5);
+  EXPECT_EQ(m.delivered_payloads, plain.delivered);
+  EXPECT_EQ(m.events, plain.events);
+  EXPECT_EQ(m.precision, 1.0);
+  EXPECT_EQ(m.recall, 1.0);
+  EXPECT_TRUE(m.evictions.empty());
+}
+
+TEST(Injector, NamedStreamsAreStableAndDistinct) {
+  Simulation sim(small_config(1));
+  Injector inj(sim, 1);
+  Rng& a = inj.stream("alpha");
+  Rng& a2 = inj.stream("alpha");
+  EXPECT_EQ(&a, &a2);  // same stateful stream, not a fresh copy
+  const std::uint64_t from_a = inj.stream("alpha").next();
+  const std::uint64_t from_b = inj.stream("beta").next();
+  EXPECT_NE(from_a, from_b);
+}
+
+// --- Impairments ---
+
+TEST(Impairments, JitterDelaysWithinBound) {
+  // One isolated network per draw: each message's latency is exactly
+  // base + jitter, with jitter uniform in [0, max_jitter].
+  sim::NetworkConfig nc;
+  nc.propagation = 1 * kMillisecond;
+  const auto delivery_time = [&nc](ImpairmentPlane* plane) {
+    sim::Simulator s(1);
+    sim::Network net(s, nc);
+    if (plane != nullptr) net.set_impairment(plane);
+    net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+    SimTime at = -1;
+    net.add_endpoint(
+        [&](sim::EndpointId, const sim::Payload&) { at = s.now(); });
+    net.send(0, 1, sim::make_payload(Bytes(100, 0)));
+    s.run_to_completion();
+    return at;
+  };
+  const SimTime base = delivery_time(nullptr);
+  const SimDuration max_jitter = 2 * kMillisecond;
+  std::size_t jittered = 0;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    ImpairmentPlane plane;
+    plane.add_jitter(max_jitter, Rng(substream_seed(i, "jitter")));
+    const SimTime at = delivery_time(&plane);
+    ASSERT_GE(at, base);
+    ASSERT_LE(at, base + max_jitter);
+    if (at > base) ++jittered;
+  }
+  EXPECT_GT(jittered, 0u);
+}
+
+TEST(Impairments, ThrottleScalesTransmissionTime) {
+  const auto delivery_time = [](ImpairmentPlane* plane) {
+    sim::Simulator s(1);
+    sim::NetworkConfig nc;
+    nc.link_bps = 8e6;  // 1 byte / microsecond
+    nc.propagation = 0;
+    sim::Network net(s, nc);
+    if (plane != nullptr) net.set_impairment(plane);
+    net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+    SimTime at = -1;
+    net.add_endpoint(
+        [&](sim::EndpointId, const sim::Payload&) { at = s.now(); });
+    net.send(0, 1, sim::make_payload(Bytes(1'000, 0)));
+    s.run_to_completion();
+    return at;
+  };
+  const SimTime unimpaired = delivery_time(nullptr);
+  ImpairmentPlane plane;
+  plane.add_throttle(0.5);  // half the link rate -> double tx time
+  const SimTime throttled = delivery_time(&plane);
+  EXPECT_EQ(throttled, 2 * unimpaired);
+
+  // Endpoint-scoped throttle leaves unrelated links alone.
+  ImpairmentPlane scoped;
+  scoped.add_throttle(0.5).set_endpoints({7});
+  EXPECT_EQ(delivery_time(&scoped), unimpaired);
+}
+
+TEST(Impairments, PartitionSeversAndHeals) {
+  sim::Simulator s(1);
+  sim::NetworkConfig nc;
+  nc.propagation = 0;
+  sim::Network net(s, nc);
+  ImpairmentPlane plane;
+  Partition& part = plane.add_partition();
+  net.set_impairment(&plane);
+  std::size_t received = 0;
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+
+  part.assign({{0, 1}, {2}});
+  EXPECT_TRUE(part.severed(0, 2));
+  EXPECT_FALSE(part.severed(0, 1));
+  net.send(0, 1, sim::make_payload(Bytes(10, 0)));  // same cell: arrives
+  net.send(0, 2, sim::make_payload(Bytes(10, 0)));  // severed: dropped
+  s.run_to_completion();
+  EXPECT_EQ(received, 1u);
+  EXPECT_EQ(net.messages_lost(), 1u);
+
+  part.clear();  // heal
+  net.send(0, 2, sim::make_payload(Bytes(10, 0)));
+  s.run_to_completion();
+  EXPECT_EQ(received, 2u);
+}
+
+TEST(Impairments, PerLinkLossOverride) {
+  sim::Simulator s(1);
+  sim::NetworkConfig nc;
+  nc.propagation = 0;
+  sim::Network net(s, nc);
+  ImpairmentPlane plane;
+  UniformLoss& loss = plane.add_loss(0.0, Rng::substream(3, "loss"));
+  loss.set_link_rate(0, 1, 1.0);  // directed 0->1 always drops
+  net.set_impairment(&plane);
+  std::size_t received = 0;
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+  for (int i = 0; i < 20; ++i) {
+    net.send(0, 1, sim::make_payload(Bytes(10, 0)));
+    net.send(1, 0, sim::make_payload(Bytes(10, 0)));
+  }
+  s.run_to_completion();
+  EXPECT_EQ(net.messages_lost(), 20u);  // only the overridden direction
+  EXPECT_EQ(received, 20u);
+}
+
+TEST(Impairments, DisabledImpairmentDrawsNothing) {
+  // Disabling an impairment must freeze its RNG: re-enabling after N
+  // messages yields the same draws as if those messages never happened.
+  Rng reference = Rng::substream(9, "loss");
+  sim::Simulator s(1);
+  sim::NetworkConfig nc;
+  nc.propagation = 0;
+  sim::Network net(s, nc);
+  ImpairmentPlane plane;
+  UniformLoss& loss = plane.add_loss(0.5, Rng::substream(9, "loss"));
+  net.set_impairment(&plane);
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+
+  loss.set_enabled(false);
+  for (int i = 0; i < 10; ++i) {
+    net.send(0, 1, sim::make_payload(Bytes(10, 0)));
+  }
+  s.run_to_completion();
+  EXPECT_EQ(net.messages_lost(), 0u);
+
+  loss.set_enabled(true);
+  std::uint64_t drops = 0;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t before = net.messages_lost();
+    net.send(0, 1, sim::make_payload(Bytes(10, 0)));
+    drops |= (net.messages_lost() - before) << i;
+  }
+  std::uint64_t expected = 0;
+  for (int i = 0; i < 64; ++i) {
+    expected |= static_cast<std::uint64_t>(reference.next_bool(0.5)) << i;
+  }
+  EXPECT_EQ(drops, expected);
+}
+
+// --- Adversary strategies ---
+
+TEST(Strategies, ActivationAppliesAndRestoresBehavior) {
+  Simulation sim(small_config(2));
+  Injector inj(sim, 2);
+  auto& s = inj.add_strategy(
+      std::make_unique<StaticFreerider>("f", std::vector<std::size_t>{3, 7}));
+  inj.activate_at("f", 10 * kMillisecond);
+  inj.deactivate_at("f", 30 * kMillisecond);
+  sim.start_all();
+  sim.run_for(20 * kMillisecond);
+  EXPECT_TRUE(s.active());
+  EXPECT_TRUE(sim.node(3).behavior().drop_relay_duty);
+  EXPECT_EQ(sim.node(7).behavior().forward_drop_rate, 1.0);
+  EXPECT_FALSE(sim.node(4).behavior().drop_relay_duty);
+  sim.run_for(20 * kMillisecond);
+  EXPECT_FALSE(s.active());
+  EXPECT_FALSE(sim.node(3).behavior().drop_relay_duty);
+  EXPECT_EQ(sim.node(7).behavior().forward_drop_rate, 0.0);
+  ASSERT_TRUE(s.activated_at().has_value());
+  ASSERT_TRUE(s.deactivated_at().has_value());
+  EXPECT_EQ(*s.activated_at(), 10 * kMillisecond);
+  EXPECT_EQ(*s.deactivated_at(), 30 * kMillisecond);
+}
+
+TEST(Strategies, FactoryBuildsEveryKind) {
+  Simulation sim(small_config(3));
+  const std::vector<std::size_t> members{1, 2};
+  EXPECT_EQ(make_strategy("freerider", "a", members, sim, {})->kind(),
+            "freerider");
+  EXPECT_EQ(make_strategy("dropper", "b", members, sim, {{"p", 0.25}})->kind(),
+            "dropper");
+  EXPECT_EQ(make_strategy("selective", "c", members, sim, {})->kind(),
+            "selective");
+  EXPECT_EQ(
+      make_strategy("shortener", "d", members, sim, {{"relays", 2.0}})->kind(),
+      "shortener");
+  EXPECT_EQ(make_strategy("clique", "e", members, sim, {})->kind(), "clique");
+  EXPECT_THROW(make_strategy("nonsense", "x", members, sim, {}),
+               std::invalid_argument);
+}
+
+TEST(Strategies, ShortenerOverridesOwnPathLength) {
+  Simulation sim(small_config(4));
+  Injector inj(sim, 4);
+  inj.add_strategy(std::make_unique<PathShortener>(
+      "s", std::vector<std::size_t>{5}, 1));
+  inj.activate_at("s", 0);
+  sim.run_for(1 * kMillisecond);
+  EXPECT_EQ(sim.node(5).behavior().relay_override, 1u);
+}
+
+TEST(Strategies, CliqueSharesAlliesAndSuppressesAccusations) {
+  Simulation sim(small_config(6));
+  ColludingClique clique("c", {2, 4, 8}, sim);
+  clique.activate(sim);
+  const auto& allies = sim.node(2).behavior().allies;
+  ASSERT_NE(allies, nullptr);
+  EXPECT_EQ(allies, sim.node(4).behavior().allies);  // one shared set
+  EXPECT_TRUE(allies->contains(sim.node(8).endpoint()));
+  EXPECT_FALSE(allies->contains(sim.node(3).endpoint()));
+}
+
+// --- Churn ---
+
+TEST(Churn, LeavesAndCrashesRespectFloorAndProtection) {
+  Simulation sim(small_config(7));
+  ChurnConfig cfg;
+  cfg.leave_rate = 40.0;
+  cfg.crash_rate = 40.0;
+  cfg.min_population = 15;
+  ChurnProcess churn(sim, cfg, Rng::substream(7, "churn"));
+  for (std::size_t i = 0; i < 5; ++i) churn.protect(i);
+  sim.start_all();
+  churn.start();
+  sim.run_for(2 * kSecond);
+
+  std::size_t running = 0;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    running += sim.node(i).running();
+  }
+  EXPECT_GE(running, 15u);  // floor held
+  EXPECT_GT(churn.leaves() + churn.crashes(), 0u);
+  EXPECT_EQ(churn.leaves() + churn.crashes(), churn.departed().size());
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_TRUE(sim.node(i).running()) << "protected node " << i << " left";
+  }
+  // Graceful leavers are out of the shared view; crashers linger.
+  for (const EndpointId ep : churn.departed()) {
+    EXPECT_FALSE(sim.node(ep).running());
+  }
+}
+
+TEST(Churn, JoinsGrowTheSystem) {
+  Simulation sim(small_config(8));
+  const std::size_t before = sim.size();
+  ChurnConfig cfg;
+  cfg.join_rate = 20.0;
+  ChurnProcess churn(sim, cfg, Rng::substream(8, "churn"));
+  sim.start_all();
+  churn.start();
+  sim.run_for(1 * kSecond);
+  EXPECT_GT(churn.joins(), 0u);
+  EXPECT_EQ(sim.size(), before + churn.joins());
+}
+
+TEST(Churn, FlashCrowdJoinsImmediately) {
+  Simulation sim(small_config(9));
+  Injector inj(sim, 9);
+  const std::size_t before = sim.size();
+  inj.flash_crowd_at(100 * kMillisecond, 5);
+  sim.start_all();
+  sim.run_for(500 * kMillisecond);
+  EXPECT_EQ(sim.size(), before + 5);
+  EXPECT_EQ(inj.churn()->joins(), 5u);
+}
+
+// --- Scenario parsing ---
+
+TEST(Scenario, ParsesConfigAndEvents) {
+  const Scenario s = parse_scenario(
+      "# comment\n"
+      "name = demo\n"
+      "nodes = 24\n"
+      "seeds = 3\n"
+      "base_seed = 9\n"
+      "duration_ms = 1500\n"
+      "traffic = noise\n"
+      "blacklist_round_ms = 500\n"
+      "\n"
+      "on 100 strategy wave kind=freerider members=1,3-5\n"
+      "on 900 strategy_off wave\n"
+      "on 50 loss rate=0.05\n"
+      "on 200 partition 0-3|4-23\n"
+      "on 400 churn join=0.5 crash=1.0 until_ms=1000\n");
+  EXPECT_EQ(s.spec.name, "demo");
+  EXPECT_EQ(s.spec.nodes, 24u);
+  EXPECT_EQ(s.spec.seeds, 3u);
+  EXPECT_EQ(s.spec.base_seed, 9u);
+  EXPECT_EQ(s.spec.duration, 1500 * kMillisecond);
+  EXPECT_EQ(s.spec.traffic, "noise");
+  EXPECT_EQ(s.spec.blacklist_round_period, 500 * kMillisecond);
+  ASSERT_EQ(s.events.size(), 5u);
+  // Sorted by time.
+  EXPECT_EQ(s.events[0].verb, "loss");
+  EXPECT_EQ(s.events[1].verb, "strategy");
+  EXPECT_EQ(s.events[1].at, 100 * kMillisecond);
+  EXPECT_EQ(s.events[1].args.at(0), "wave");
+  EXPECT_EQ(s.events[1].params.at("kind"), "freerider");
+  EXPECT_EQ(s.events[2].verb, "partition");
+  EXPECT_EQ(s.events[3].verb, "churn");
+  EXPECT_EQ(s.events[4].verb, "strategy_off");
+}
+
+TEST(Scenario, RejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario("bogus_key = 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("nodes = twelve\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("on 100 explode\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("on 100\n"), std::runtime_error);
+  EXPECT_THROW(parse_scenario("traffic = sometimes\n"), std::runtime_error);
+}
+
+TEST(Scenario, IndexListsAndRanges) {
+  EXPECT_EQ(parse_index_list("0,3,7-9"),
+            (std::vector<std::size_t>{0, 3, 7, 8, 9}));
+  EXPECT_EQ(parse_index_list("5"), (std::vector<std::size_t>{5}));
+  EXPECT_THROW(parse_index_list("5-3"), std::runtime_error);
+  EXPECT_THROW(parse_index_list("a,b"), std::runtime_error);
+}
+
+// --- Campaigns ---
+
+Scenario freerider_scenario() {
+  return parse_scenario(
+      "name = unit_wave\n"
+      "nodes = 20\n"
+      "seeds = 1\n"
+      "base_seed = 7\n"
+      "duration_ms = 3000\n"
+      "relays = 3\n"
+      "rings = 5\n"
+      "payload_bytes = 500\n"
+      "send_period_ms = 20\n"
+      "check_timeout_ms = 150\n"
+      "sweep_ms = 80\n"
+      "follower_t = 2\n"
+      "smax = 20\n"
+      "traffic = noise\n"
+      "blacklist_round_ms = 500\n"
+      "on 200 strategy wave kind=freerider members=6,13\n");
+}
+
+TEST(Campaign, DropAllFreeridersFullyDetected) {
+  const RunMetrics m = run_scenario(freerider_scenario(), 7);
+  EXPECT_EQ(m.recall, 1.0);
+  EXPECT_EQ(m.true_evictions, 2u);
+  EXPECT_EQ(m.false_evictions, 0u);
+  EXPECT_EQ(m.precision, 1.0);
+  ASSERT_EQ(m.strategies.size(), 1u);
+  EXPECT_EQ(m.strategies[0].detected, 2u);
+  ASSERT_EQ(m.strategies[0].detection_latency_s.size(), 2u);
+  for (const double lat : m.strategies[0].detection_latency_s) {
+    EXPECT_GT(lat, 0.0);
+    EXPECT_LE(lat, 2.8);  // within the run, after activation
+  }
+}
+
+TEST(Campaign, MetricsJsonIsWellFormed) {
+  Scenario s = freerider_scenario();
+  const CampaignResult result = run_campaign(s);
+  const std::string json = metrics_json(result);
+  EXPECT_NE(json.find("\"schema\": \"rac.faults.campaign/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"recall\": 1.000000"), std::string::npos);
+  EXPECT_NE(json.find("\"class\": \"adversary\""), std::string::npos);
+  // Balanced braces/brackets — cheap structural sanity without a parser
+  // (tools/validate_metrics.py does the full schema check in CTest).
+  std::ptrdiff_t braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    braces += (c == '{') - (c == '}');
+    brackets += (c == '[') - (c == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(Campaign, CampaignRunsAllSeeds) {
+  Scenario s = freerider_scenario();
+  s.spec.seeds = 2;
+  s.spec.duration = 500 * kMillisecond;  // short: only seed coverage here
+  const CampaignResult result = run_campaign(s);
+  ASSERT_EQ(result.runs.size(), 2u);
+  EXPECT_EQ(result.runs[0].seed, 7u);
+  EXPECT_EQ(result.runs[1].seed, 8u);
+  EXPECT_NE(result.runs[0].events, result.runs[1].events);
+}
+
+}  // namespace
+}  // namespace rac::faults

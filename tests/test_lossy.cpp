@@ -6,8 +6,13 @@
 // 5-10% random loss; with R=1 it visibly does not. Misbehaviour checks are
 // disabled here — under genuine loss "predecessor omitted a copy" is no
 // longer evidence of freeriding, which is exactly why the paper keeps TCP.
+//
+// Loss is injected through the first-class impairment hook
+// (faults::UniformLoss on its own RNG substream); the deprecated
+// NetworkConfig::loss_rate shim keeps its own coverage below.
 #include <gtest/gtest.h>
 
+#include "faults/impairments.hpp"
 #include "rac/simulation.hpp"
 
 namespace rac {
@@ -29,8 +34,10 @@ std::size_t deliveries_under_loss(unsigned rings, double loss,
   cfg.num_nodes = 25;
   cfg.seed = seed;
   cfg.node = lossy_config(rings);
-  cfg.network.loss_rate = loss;
+  faults::ImpairmentPlane plane;  // outlives the Simulation below
   Simulation sim(cfg);
+  plane.add_loss(loss, Rng::substream(seed, "loss"));
+  sim.network().set_impairment(&plane);
   std::size_t delivered = 0;
   sim.node(9).set_deliver_callback([&](Bytes) { ++delivered; });
   sim.start_all();
@@ -41,6 +48,44 @@ std::size_t deliveries_under_loss(unsigned rings, double loss,
   sim.run_for(4 * kSecond);
   return delivered;
 }
+
+// --- Impairment-hook loss on a raw network ---
+
+TEST(LossyNetwork, HookDropRateIsRespected) {
+  sim::Simulator s(1);
+  sim::NetworkConfig nc;
+  nc.propagation = 0;
+  sim::Network net(s, nc);
+  faults::ImpairmentPlane plane;
+  plane.add_loss(0.3, Rng::substream(1, "loss"));
+  net.set_impairment(&plane);
+  std::size_t received = 0;
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+  const sim::Payload p = sim::make_payload(Bytes(100, 0));
+  for (int i = 0; i < 2'000; ++i) net.send(0, 1, p);
+  s.run_to_completion();
+  EXPECT_EQ(received + net.messages_lost(), 2'000u);
+  EXPECT_NEAR(static_cast<double>(net.messages_lost()) / 2'000.0, 0.3, 0.05);
+}
+
+TEST(LossyNetwork, EmptyPlaneIsLossless) {
+  sim::Simulator s(1);
+  sim::Network net(s, sim::NetworkConfig{});
+  faults::ImpairmentPlane plane;
+  net.set_impairment(&plane);
+  std::size_t received = 0;
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
+  for (int i = 0; i < 100; ++i) {
+    net.send(0, 1, sim::make_payload(Bytes(10, 0)));
+  }
+  s.run_to_completion();
+  EXPECT_EQ(received, 100u);
+  EXPECT_EQ(net.messages_lost(), 0u);
+}
+
+// --- Deprecated loss_rate shim: still honoured, draws from the sim RNG ---
 
 TEST(LossyNetwork, DropRateIsRespected) {
   sim::Simulator s(1);

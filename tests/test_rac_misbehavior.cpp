@@ -102,6 +102,111 @@ TEST(Blacklists, ForgetErasesAllState) {
   EXPECT_FALSE(b.is_suspected_predecessor(g, 9));
 }
 
+TEST(Blacklists, RelayQuorumFiresExactlyAtFGPlusOne) {
+  // Edge discipline: with quorum fG + 1 = 4, accusation 3 must not fire,
+  // accusation 4 fires, accusation 5 is silent (eviction happens once).
+  Blacklists b(2, /*relay_quorum=*/4, 4);
+  EXPECT_FALSE(b.record_relay_accusation(50));
+  EXPECT_FALSE(b.record_relay_accusation(50));
+  EXPECT_FALSE(b.record_relay_accusation(50));
+  EXPECT_TRUE(b.record_relay_accusation(50));
+  EXPECT_FALSE(b.record_relay_accusation(50));
+}
+
+TEST(Blacklists, TombstoneBlocksPostEvictionQuorums) {
+  // Once a node is evicted, late or replayed accusations about it must not
+  // re-form any quorum: predecessor, relay-round, or channel notice.
+  Blacklists b(/*t=*/1, /*relay_quorum=*/2, /*evict_quorum=*/2);
+  const ScopeId g{overlay::ScopeType::kGroup, 0};
+  b.note_evicted(99);
+  EXPECT_TRUE(b.is_evicted(99));
+  for (EndpointId a = 1; a <= 5; ++a) {
+    EXPECT_FALSE(b.record_pred_accusation(g, 99, a, true));
+  }
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(b.record_relay_accusation(99));
+  for (EndpointId n = 1; n <= 5; ++n) {
+    EXPECT_FALSE(b.record_evict_notice(3, 99, n));
+  }
+  // Other nodes are unaffected by the tombstone.
+  EXPECT_FALSE(b.record_pred_accusation(g, 98, 1, true));
+  EXPECT_TRUE(b.record_pred_accusation(g, 98, 2, true));
+}
+
+// --- Relay eviction quorum edges through the shuffle ingest path ---
+
+namespace quorum_edge {
+
+SimulationConfig edge_config(std::uint64_t seed) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = seed;
+  cfg.node = fast_config();
+  cfg.node.smax = 20;  // relay-eviction quorum = 0.1*20 + 1 = 3 accusers
+  return cfg;
+}
+
+std::vector<RelayBlacklistEntry> entries_naming(EndpointId target,
+                                                std::size_t count) {
+  std::vector<RelayBlacklistEntry> entries(count);
+  for (auto& e : entries) e.accused[0] = target;
+  return entries;
+}
+
+}  // namespace quorum_edge
+
+TEST(Misbehavior, RelayEvictionNeedsExactlyQuorumEntries) {
+  Simulation sim(quorum_edge::edge_config(61));
+  const EndpointId target = sim.node(17).endpoint();
+
+  // One entry short of the fG + 1 = 3 quorum: nothing happens.
+  sim.node(0).ingest_shuffle_output(quorum_edge::entries_naming(target, 2));
+  EXPECT_TRUE(sim.group_view(0).contains(target));
+  EXPECT_TRUE(sim.evictions().empty());
+
+  // Exactly at quorum (ingest starts a fresh round): evicted, once.
+  sim.node(0).ingest_shuffle_output(quorum_edge::entries_naming(target, 3));
+  EXPECT_FALSE(sim.group_view(0).contains(target));
+  ASSERT_EQ(sim.evictions().size(), 1u);
+  EXPECT_EQ(sim.evictions()[0].evicted, target);
+  EXPECT_EQ(sim.evictions()[0].scope.type, overlay::ScopeType::kGroup);
+}
+
+TEST(Misbehavior, DuplicateAccusationsFromOneAccuserCountOnce) {
+  Simulation sim(quorum_edge::edge_config(62));
+  const EndpointId target = sim.node(5).endpoint();
+
+  // A single shuffle slot (= one anonymous accuser) naming the target in
+  // all four positions is one accusation, not four: no quorum.
+  RelayBlacklistEntry stuffed;
+  for (std::size_t i = 0; i < RelayBlacklistEntry::kMaxAccused; ++i) {
+    stuffed.accused[i] = target;
+  }
+  sim.node(0).ingest_shuffle_output({stuffed, stuffed});
+  EXPECT_TRUE(sim.group_view(0).contains(target));
+  EXPECT_TRUE(sim.evictions().empty());
+
+  // Three distinct slots naming it once each do form the quorum.
+  sim.node(0).ingest_shuffle_output(quorum_edge::entries_naming(target, 3));
+  EXPECT_FALSE(sim.group_view(0).contains(target));
+}
+
+TEST(Misbehavior, PostEvictionAccusationsAreIgnored) {
+  Simulation sim(quorum_edge::edge_config(63));
+  const EndpointId target = sim.node(9).endpoint();
+
+  sim.node(0).ingest_shuffle_output(quorum_edge::entries_naming(target, 3));
+  ASSERT_FALSE(sim.group_view(0).contains(target));
+  ASSERT_EQ(sim.evictions().size(), 1u);
+  const std::uint64_t quorums_before =
+      sim.total_counter("relay_eviction_quorums");
+
+  // A replayed round of accusations against the tombstoned node must not
+  // fire the eviction callback again anywhere.
+  sim.node(0).ingest_shuffle_output(quorum_edge::entries_naming(target, 5));
+  EXPECT_EQ(sim.total_counter("relay_eviction_quorums"), quorums_before);
+  EXPECT_EQ(sim.evictions().size(), 1u);
+}
+
 // --- Check #1: relay dropper detection ---
 
 TEST(Misbehavior, RelayDropperIsBlacklistedBySenders) {

@@ -1,0 +1,79 @@
+// scenario_runner — run a fault-campaign scenario file and emit metrics.
+//
+//   scenario_runner <scenario.scn> [--out <file>] [--seed N] [--seeds N]
+//
+// Parses the scenario (see EXPERIMENTS.md "Scenario files"), runs it over
+// its configured seeds (overridable from the command line) and prints the
+// campaign metrics JSON ("rac.faults.campaign/1") to stdout or --out.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "faults/campaign.hpp"
+
+int main(int argc, char** argv) {
+  const char* scenario_path = nullptr;
+  const char* out_path = nullptr;
+  long long seed_override = -1;
+  long long seeds_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      seed_override = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
+      seeds_override = std::atoll(argv[++i]);
+    } else if (scenario_path == nullptr) {
+      scenario_path = argv[i];
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+      return 2;
+    }
+  }
+  if (scenario_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: scenario_runner <scenario.scn> [--out <file>] "
+                 "[--seed N] [--seeds N]\n");
+    return 2;
+  }
+
+  std::ifstream in(scenario_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", scenario_path);
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+
+  try {
+    rac::faults::Scenario scenario =
+        rac::faults::parse_scenario(buf.str());
+    if (seed_override >= 0) {
+      scenario.spec.base_seed = static_cast<std::uint64_t>(seed_override);
+    }
+    if (seeds_override > 0) {
+      scenario.spec.seeds = static_cast<std::uint32_t>(seeds_override);
+    }
+    const rac::faults::CampaignResult result =
+        rac::faults::run_campaign(scenario);
+    const std::string json = rac::faults::metrics_json(result);
+    if (out_path != nullptr) {
+      std::ofstream out(out_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", out_path);
+        return 1;
+      }
+      out << json;
+    } else {
+      std::fputs(json.c_str(), stdout);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenario_runner: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

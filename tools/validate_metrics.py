@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Validate scenario_runner campaign metrics JSON.
+
+Checks the document against the "rac.faults.campaign/1" schema documented
+in EXPERIMENTS.md (structural validation, hand-rolled: the container has no
+jsonschema package), plus optional semantic assertions used by CTest:
+
+  --expect-recall X          every run's recall must be >= X
+  --expect-false-evictions N every run's false_evictions must be <= N
+  --parity FIG3_JSON         delivered_payloads and events of run 0 must
+                             equal the fig3 --smoke record (bit-for-bit
+                             trace reproduction through the injector path)
+
+Exit status 0 on success; prints the first violation and exits 1 otherwise.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+
+SCHEMA_ID = "rac.faults.campaign/1"
+
+
+def fail(msg: str) -> None:
+    print(f"validate_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(doc, key, typ, ctx):
+    if key not in doc:
+        fail(f"{ctx}: missing key '{key}'")
+    val = doc[key]
+    if typ is float:
+        if not isinstance(val, (int, float)) or isinstance(val, bool):
+            fail(f"{ctx}.{key}: expected number, got {type(val).__name__}")
+    elif not isinstance(val, typ) or isinstance(val, bool) and typ is int:
+        fail(f"{ctx}.{key}: expected {typ.__name__}, got {type(val).__name__}")
+    return val
+
+
+def validate_strategy(s, ctx):
+    require(s, "name", str, ctx)
+    require(s, "kind", str, ctx)
+    require(s, "members", int, ctx)
+    require(s, "detected", int, ctx)
+    if "activated_at_ms" in s and s["activated_at_ms"] is not None:
+        require(s, "activated_at_ms", float, ctx)
+    lat = require(s, "detection_latency_s", dict, ctx)
+    for key in ("count", "mean", "min", "max"):
+        require(lat, key, float, f"{ctx}.detection_latency_s")
+
+
+def validate_run(run, ctx):
+    require(run, "seed", int, ctx)
+    require(run, "delivered_payloads", int, ctx)
+    require(run, "delivered_bytes", int, ctx)
+    require(run, "goodput_bps", float, ctx)
+    require(run, "events", int, ctx)
+    require(run, "messages_lost", int, ctx)
+    for key in ("joins", "leaves", "crashes"):
+        require(run, key, int, ctx)
+    for ev in require(run, "evictions", list, ctx):
+        require(ev, "endpoint", int, f"{ctx}.evictions[]")
+        require(ev, "when_ms", float, f"{ctx}.evictions[]")
+        if require(ev, "scope", str, f"{ctx}.evictions[]") not in (
+            "group",
+            "channel",
+        ):
+            fail(f"{ctx}.evictions[].scope: bad value {ev['scope']!r}")
+        if require(ev, "class", str, f"{ctx}.evictions[]") not in (
+            "adversary",
+            "departed",
+            "honest",
+        ):
+            fail(f"{ctx}.evictions[].class: bad value {ev['class']!r}")
+    for key in ("true_evictions", "false_evictions", "departed_evictions"):
+        require(run, key, int, ctx)
+    for key in ("precision", "recall"):
+        v = require(run, key, float, ctx)
+        if not 0.0 <= v <= 1.0:
+            fail(f"{ctx}.{key}: {v} outside [0, 1]")
+    for i, s in enumerate(require(run, "strategies", list, ctx)):
+        validate_strategy(s, f"{ctx}.strategies[{i}]")
+
+
+def validate(doc):
+    if require(doc, "schema", str, "$") != SCHEMA_ID:
+        fail(f"$.schema: expected {SCHEMA_ID!r}, got {doc['schema']!r}")
+    scn = require(doc, "scenario", dict, "$")
+    require(scn, "name", str, "$.scenario")
+    for key in ("nodes", "group_target", "seeds", "base_seed", "duration_ms",
+                "events"):
+        require(scn, key, int, "$.scenario")
+    require(scn, "traffic", str, "$.scenario")
+    runs = require(doc, "runs", list, "$")
+    if not runs:
+        fail("$.runs: empty")
+    for i, run in enumerate(runs):
+        validate_run(run, f"$.runs[{i}]")
+    agg = require(doc, "aggregate", dict, "$")
+    if require(agg, "runs", int, "$.aggregate") != len(runs):
+        fail("$.aggregate.runs does not match len($.runs)")
+    for key in ("mean_delivered_payloads", "mean_goodput_bps",
+                "mean_precision", "mean_recall"):
+        require(agg, key, float, "$.aggregate")
+    for key in ("true_evictions", "false_evictions", "departed_evictions"):
+        require(agg, key, int, "$.aggregate")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("metrics", nargs="?", default=None,
+                    help="campaign metrics JSON file (or use --runner)")
+    ap.add_argument("--runner", default=None,
+                    help="scenario_runner binary: run --scenario first and"
+                         " validate its output")
+    ap.add_argument("--scenario", default=None, help="scenario file for --runner")
+    ap.add_argument("--expect-recall", type=float, default=None)
+    ap.add_argument("--expect-false-evictions", type=int, default=None)
+    ap.add_argument("--parity", default=None,
+                    help="fig3 --smoke JSON file to compare run 0 against")
+    ap.add_argument("--parity-bench", default=None,
+                    help="fig3 binary: run '--smoke <nodes> <ms>' and compare"
+                         " run 0 against its record")
+    args = ap.parse_args()
+
+    if args.runner is not None:
+        if args.scenario is None:
+            fail("--runner requires --scenario")
+        out = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        out.close()
+        subprocess.run([args.runner, args.scenario, "--out", out.name],
+                       check=True)
+        args.metrics = out.name
+    if args.metrics is None:
+        fail("no metrics file (positional argument or --runner)")
+
+    with open(args.metrics) as f:
+        doc = json.load(f)
+    validate(doc)
+
+    if args.parity_bench is not None:
+        scn = doc["scenario"]
+        proc = subprocess.run(
+            [args.parity_bench, "--smoke", str(scn["nodes"]),
+             str(scn["duration_ms"])],
+            check=True, capture_output=True, text=True)
+        out = tempfile.NamedTemporaryFile(
+            mode="w", suffix=".json", delete=False)
+        out.write(proc.stdout)
+        out.close()
+        args.parity = out.name
+
+    for i, run in enumerate(doc["runs"]):
+        if args.expect_recall is not None and run["recall"] < args.expect_recall:
+            fail(f"run {i} (seed {run['seed']}): recall {run['recall']}"
+                 f" < {args.expect_recall}")
+        if (args.expect_false_evictions is not None
+                and run["false_evictions"] > args.expect_false_evictions):
+            fail(f"run {i} (seed {run['seed']}): false_evictions"
+                 f" {run['false_evictions']} > {args.expect_false_evictions}")
+
+    if args.parity is not None:
+        with open(args.parity) as f:
+            fig3 = json.load(f)
+        run0 = doc["runs"][0]
+        for ours, theirs in (("delivered_payloads", "delivered_payloads"),
+                             ("events", "events")):
+            if run0[ours] != fig3[theirs]:
+                fail(f"parity: run 0 {ours}={run0[ours]} but fig3 smoke has"
+                     f" {theirs}={fig3[theirs]} — injector path is not"
+                     " trace-neutral")
+
+    print(f"validate_metrics: OK ({len(doc['runs'])} runs,"
+          f" mean recall {doc['aggregate']['mean_recall']:.3f},"
+          f" mean precision {doc['aggregate']['mean_precision']:.3f})")
+
+
+if __name__ == "__main__":
+    main()
