@@ -1,10 +1,14 @@
 #include "faults/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <set>
 #include <stdexcept>
+#include <thread>
 
 namespace rac::faults {
 
@@ -202,8 +206,12 @@ void materialize_events(const Scenario& scenario, Injector& injector) {
   }
 }
 
-RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
+RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
+                        const CampaignOptions& opts) {
   const ScenarioSpec& spec = scenario.spec;
+  auto collector = std::make_shared<telemetry::Collector>();
+  collector->tracer().set_enabled(opts.collect_trace);
+  const telemetry::Install install(collector.get());
   Simulation sim(spec.to_simulation_config(seed));
   Injector injector(sim, seed);
   materialize_events(scenario, injector);
@@ -214,6 +222,42 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
       }
     });
   }
+  if (opts.series_period > 0) {
+    // Probe wiring. Probes are read-only and RNG-free; the recurring
+    // sample event below is the sole perturbation --series introduces.
+    telemetry::Sampler& sampler = collector->sampler();
+    telemetry::Registry& reg = collector->registry();
+    Simulation* simp = &sim;
+    sampler.add_rate("goodput_bps", [&reg] {
+      return 8.0 * static_cast<double>(
+          reg.counter(telemetry::Stat::kRacBytesDelivered).value());
+    });
+    sampler.add_rate("delivered_per_s", [&reg] {
+      return static_cast<double>(
+          reg.counter(telemetry::Stat::kRacPayloadsDelivered).value());
+    });
+    sampler.add_rate("evictions_per_s", [&reg] {
+      return static_cast<double>(
+          reg.counter(telemetry::Stat::kRacEvictions).value());
+    });
+    sampler.add_gauge("relay_queue_depth", [simp] {
+      return static_cast<double>(simp->total_relay_queue_depth());
+    });
+    sampler.add_gauge("uplink_backlog_ms", [simp] {
+      return to_seconds(simp->network().total_uplink_backlog()) * 1e3;
+    });
+    sampler.add_gauge("kernel_pending_events", [simp] {
+      return static_cast<double>(
+          simp->simulator().kernel_telemetry().pending);
+    });
+    sampler.add_gauge("active_groups", [simp] {
+      return static_cast<double>(simp->active_groups().size());
+    });
+    injector.every(opts.series_period,
+                   [c = collector.get(), simp] {
+                     c->sampler().sample(simp->simulator().now());
+                   });
+  }
   if (spec.traffic == "uniform") {
     sim.start_uniform_traffic();
   } else if (spec.traffic == "noise") {
@@ -223,8 +267,17 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
 
   RunMetrics m;
   m.seed = seed;
-  m.delivered_payloads = sim.delivery_meter().total_messages();
-  m.delivered_bytes = sim.delivery_meter().total_bytes();
+  m.telemetry = collector;
+  // Goodput accounting reads the shared registry (fed by the deliver
+  // callback through direct, non-macro record calls, so OFF builds count
+  // too); the legacy delivery meter remains the windowed-rate source.
+  m.delivered_payloads =
+      collector->registry()
+          .counter(telemetry::Stat::kRacPayloadsDelivered)
+          .value();
+  m.delivered_bytes = collector->registry()
+                          .counter(telemetry::Stat::kRacBytesDelivered)
+                          .value();
   m.goodput_bps =
       sim.avg_node_goodput_bps(spec.duration / 2, sim.simulator().now());
   m.events = sim.simulator().events_processed();
@@ -298,8 +351,14 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
             first_group_eviction.find(sim.node(member).endpoint());
         if (it == first_group_eviction.end()) continue;
         ++sm.detected;
-        sm.detection_latency_s.push_back(
-            to_seconds(it->second - *s->activated_at()));
+        const double latency_s = to_seconds(it->second - *s->activated_at());
+        sm.detection_latency_s.push_back(latency_s);
+        // Mirror into a named registry histogram (microseconds) so
+        // campaign aggregation can merge detection latency across seeds;
+        // the raw vector stays — tests and the JSON summary read it.
+        collector->registry()
+            .histogram("faults.detect_us." + sm.name)
+            .record(static_cast<std::uint64_t>(latency_s * 1e6));
       }
     }
     m.strategies.push_back(std::move(sm));
@@ -307,15 +366,49 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed) {
   return m;
 }
 
-CampaignResult run_campaign(const Scenario& scenario) {
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& opts) {
   CampaignResult result;
   result.scenario = scenario;
   const std::uint32_t seeds = std::max<std::uint32_t>(1, scenario.spec.seeds);
-  result.runs.reserve(seeds);
-  for (std::uint32_t i = 0; i < seeds; ++i) {
-    result.runs.push_back(
-        run_scenario(scenario, scenario.spec.base_seed + i));
+  result.runs.resize(seeds);
+  const unsigned jobs =
+      std::min<unsigned>(std::max(1u, opts.jobs), seeds);
+  if (jobs == 1) {
+    for (std::uint32_t i = 0; i < seeds; ++i) {
+      result.runs[i] =
+          run_scenario(scenario, scenario.spec.base_seed + i, opts);
+    }
+    return result;
   }
+
+  // One engine per worker thread; the thread-local collector gate keeps
+  // the runs' sinks disjoint. Each run lands at its seed's slot, so the
+  // result (and everything derived from it, including merged telemetry)
+  // is identical to the sequential order whatever the interleaving.
+  std::atomic<std::uint32_t> next{0};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (unsigned w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::uint32_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= seeds) return;
+        try {
+          result.runs[i] =
+              run_scenario(scenario, scenario.spec.base_seed + i, opts);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(err_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  if (first_error) std::rethrow_exception(first_error);
   return result;
 }
 
@@ -362,23 +455,68 @@ struct LatencySummary {
   std::size_t count = 0;
   double mean = 0.0;
   double min = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
   double max = 0.0;
 };
 
-LatencySummary summarize(const std::vector<double>& xs) {
+LatencySummary summarize(std::vector<double> xs) {
   LatencySummary s;
   s.count = xs.size();
   if (xs.empty()) return s;
+  std::sort(xs.begin(), xs.end());
+  // Same quantile convention as telemetry::Histogram::percentile — the
+  // ceil(q * count)-th smallest value.
+  const auto pct = [&xs](double q) {
+    const auto rank = static_cast<std::size_t>(
+        std::max(1.0, std::ceil(q * static_cast<double>(xs.size()))));
+    return xs[std::min(rank, xs.size()) - 1];
+  };
   s.min = xs.front();
-  s.max = xs.front();
+  s.max = xs.back();
+  s.p50 = pct(0.50);
+  s.p95 = pct(0.95);
+  s.p99 = pct(0.99);
   double sum = 0.0;
-  for (const double x : xs) {
-    sum += x;
-    s.min = std::min(s.min, x);
-    s.max = std::max(s.max, x);
-  }
+  for (const double x : xs) sum += x;
   s.mean = sum / static_cast<double>(xs.size());
   return s;
+}
+
+/// The "telemetry" object shared by per-run and aggregate blocks:
+/// counters by name, then histogram summaries. `indent` is the prefix of
+/// the object's own lines.
+std::string telemetry_json(const telemetry::Registry& reg,
+                           const std::string& indent) {
+  const std::string inner = indent + "  ";
+  std::string out;
+  out += "{\n";
+  out += inner + "\"counters\": {";
+  const auto counters = reg.counters_snapshot();
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += inner + "  \"" + json_escape(counters[i].name) +
+           "\": " + std::to_string(counters[i].value);
+  }
+  out += counters.empty() ? "},\n" : "\n" + inner + "},\n";
+  out += inner + "\"histograms\": [";
+  const auto hists = reg.histograms_snapshot();
+  for (std::size_t i = 0; i < hists.size(); ++i) {
+    const auto& h = hists[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += inner + "  {\"name\": \"" + json_escape(h.name) +
+           "\", \"count\": " + std::to_string(h.count) +
+           ", \"mean\": " + num(h.mean) +
+           ", \"min\": " + std::to_string(h.min) +
+           ", \"p50\": " + std::to_string(h.p50) +
+           ", \"p95\": " + std::to_string(h.p95) +
+           ", \"p99\": " + std::to_string(h.p99) +
+           ", \"max\": " + std::to_string(h.max) + "}";
+  }
+  out += hists.empty() ? "]\n" : "\n" + inner + "]\n";
+  out += indent + "}";
+  return out;
 }
 
 }  // namespace
@@ -447,11 +585,19 @@ std::string metrics_json(const CampaignResult& result) {
              ", \"detected\": " + std::to_string(sm.detected) +
              ", \"detection_latency_s\": {\"count\": " +
              std::to_string(lat.count) + ", \"mean\": " + num(lat.mean) +
-             ", \"min\": " + num(lat.min) + ", \"max\": " + num(lat.max) +
-             "}}";
+             ", \"min\": " + num(lat.min) + ", \"p50\": " + num(lat.p50) +
+             ", \"p95\": " + num(lat.p95) + ", \"p99\": " + num(lat.p99) +
+             ", \"max\": " + num(lat.max) + "}}";
       out += s + 1 < m.strategies.size() ? ",\n" : "\n";
     }
-    out += "      ]\n";
+    out += "      ],\n";
+    out += "      \"telemetry\": ";
+    if (m.telemetry) {
+      out += telemetry_json(m.telemetry->registry(), "      ");
+    } else {
+      out += "null";
+    }
+    out += "\n";
     out += "    }";
     out += r + 1 < result.runs.size() ? ",\n" : "\n";
   }
@@ -485,7 +631,21 @@ std::string metrics_json(const CampaignResult& result) {
   out += "    \"false_evictions\": " + std::to_string(false_ev) + ",\n";
   out += "    \"departed_evictions\": " + std::to_string(departed_ev) + ",\n";
   out += "    \"mean_precision\": " + num(mean_precision / n) + ",\n";
-  out += "    \"mean_recall\": " + num(mean_recall / n) + "\n";
+  out += "    \"mean_recall\": " + num(mean_recall / n) + ",\n";
+  // Campaign-wide telemetry: per-run registries folded in seed order
+  // (runs[] is already seed-ordered whatever --jobs was; the merges
+  // commute anyway, so this block is byte-stable across worker counts).
+  telemetry::Registry merged;
+  bool any_telemetry = false;
+  for (const RunMetrics& m : result.runs) {
+    if (m.telemetry) {
+      merged.merge(m.telemetry->registry());
+      any_telemetry = true;
+    }
+  }
+  out += "    \"telemetry\": ";
+  out += any_telemetry ? telemetry_json(merged, "    ") : "null";
+  out += "\n";
   out += "  }\n";
   out += "}\n";
   return out;

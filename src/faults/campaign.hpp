@@ -15,14 +15,34 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "faults/injector.hpp"
 #include "faults/scenario.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rac::faults {
+
+/// Cross-cutting knobs shared by every run of a campaign. The defaults
+/// (sequential, tracer off, sampler off) keep `run_scenario(s, seed)` and
+/// `run_campaign(s)` call sites compiling unchanged and their DES traces
+/// bit-identical to the pre-telemetry driver.
+struct CampaignOptions {
+  /// Worker threads for run_campaign, one engine per thread. Runs land in
+  /// seed order and registry merges commute, so every artifact is
+  /// byte-stable regardless of this value.
+  unsigned jobs = 1;
+  /// Record span-tracer events (Chrome trace_event export). Tracing never
+  /// draws sim RNG nor schedules events, so this is trace-neutral.
+  bool collect_trace = false;
+  /// Arm the time-series sampler with this period (0 = off). The recurring
+  /// sample event perturbs the kernel event *count* (never the protocol
+  /// trace), so parity anchors must leave this at 0.
+  SimDuration series_period = 0;
+};
 
 struct EvictionOutcome {
   EndpointId endpoint = 0;
@@ -60,6 +80,10 @@ struct RunMetrics {
   double precision = 1.0;
   double recall = 1.0;
   std::vector<StrategyMetrics> strategies;
+  /// The run's telemetry sinks (always populated): registry counters and
+  /// histograms feed the per-run "telemetry" JSON block; the tracer and
+  /// sampler hold data only when the matching CampaignOptions asked for it.
+  std::shared_ptr<telemetry::Collector> telemetry;
 };
 
 struct CampaignResult {
@@ -71,11 +95,16 @@ struct CampaignResult {
 /// run_scenario calls it between construction and traffic start.
 void materialize_events(const Scenario& scenario, Injector& injector);
 
-/// One full run of `scenario` with the given seed.
-RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed);
+/// One full run of `scenario` with the given seed. Installs a fresh
+/// Collector on the calling thread for the duration of the run.
+RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
+                        const CampaignOptions& opts = {});
 
-/// All `spec.seeds` runs (seeds base_seed, base_seed + 1, ...).
-CampaignResult run_campaign(const Scenario& scenario);
+/// All `spec.seeds` runs (seeds base_seed, base_seed + 1, ...), across
+/// `opts.jobs` worker threads. The first worker exception is rethrown
+/// after all threads join.
+CampaignResult run_campaign(const Scenario& scenario,
+                            const CampaignOptions& opts = {});
 
 /// Serialize a campaign to the documented JSON schema
 /// ("rac.faults.campaign/1"); `pretty` controls indentation only.

@@ -1,6 +1,7 @@
 #include "overlay/broadcast.hpp"
 
 #include "common/serialize.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rac::overlay {
 
@@ -122,6 +123,8 @@ void Broadcaster::forward(ScopeId scope, const Payload& wire) {
   // scope its capacity covers R successors, so the per-message fan-out
   // does no allocation.
   view->rings().successor_set_into(self_, succ_buf_);
+  RAC_TELEM_COUNT(kOverlayForwards, succ_buf_.size());
+  RAC_TELEM_HIST(kOverlayFanout, succ_buf_.size());
   for (const EndpointId succ : succ_buf_) {
     send_(succ, wire);
     ++forwarded_;

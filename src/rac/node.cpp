@@ -4,10 +4,17 @@
 
 #include "common/serialize.hpp"
 #include "crypto/puzzle.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rac {
 
 namespace {
+
+/// Globally unique async-span id: node-local sequence numbers (onion ids,
+/// relay duty ids) collide across nodes, so tag them with the endpoint.
+constexpr std::uint64_t span_id(sim::EndpointId ep, std::uint64_t seq) {
+  return (static_cast<std::uint64_t>(ep) << 40) | (seq & 0xFF'FFFF'FFFFULL);
+}
 
 /// Frame an application payload into the fixed payload_size plaintext that
 /// gets sealed to the destination pseudonym key.
@@ -219,13 +226,18 @@ void Node::send_slot() {
       // Forwarding obligations take the slot before own traffic (and are
       // served even by `silent` nodes — silence suppresses origination,
       // not relaying; refusing duties is Behavior::drop_relay_duty).
-      auto [scope, content] = std::move(relay_duties_.front());
+      auto [scope, content, queued_at, duty_id] =
+          std::move(relay_duties_.front());
       relay_duties_.pop_front();
+      RAC_TELEM_HIST(kNodeRelayQueueNs, env_.simulator->now() - queued_at);
+      RAC_TELEM_ASYNC_END("relay", span_id(endpoint_, duty_id), endpoint_,
+                          "relay.duty", env_.simulator->now());
       const Bytes cell = pad_cell(content, cell_size_, rng_);
       bcaster_.originate(rng_, scope,
                          static_cast<std::uint8_t>(MsgKind::kDataCell), cell,
                          env_.simulator->now());
       counters_.bump("relay_rebroadcasts");
+      RAC_TELEM_COUNT(kNodeRelayRebroadcasts, 1);
       // The overlay never delivers a node's own broadcast back to it, yet
       // this relay may itself be the destination of the content it just
       // rebroadcast: inspect it locally too.
@@ -241,6 +253,7 @@ void Node::send_slot() {
       originate_cell(std::move(*cell));
       ++payloads_sent_;
       counters_.bump("data_cells_sent");
+      RAC_TELEM_COUNT(kNodeDataCellsSent, 1);
     } else if (!saturation && !behavior_.no_noise) {
       // Constant-rate protocol: pad idle slots with noise (Sec. IV-C). In
       // saturation mode demand is infinite by definition, so an empty
@@ -248,6 +261,7 @@ void Node::send_slot() {
       // unclocked noise.
       originate_cell(make_noise_cell(cell_size_, rng_));
       counters_.bump("noise_cells_sent");
+      RAC_TELEM_COUNT(kNodeNoiseCellsSent, 1);
     }
   }
   schedule_next_send();
@@ -301,6 +315,7 @@ std::optional<Bytes> Node::build_next_onion() {
 
   OutgoingMessage msg = std::move(outbox_.front());
   outbox_.pop_front();
+  RAC_TELEM_SPAN_BEGIN(endpoint_, "onion.build", env_.simulator->now());
 
   // The driver shares a directory of ID public keys through the crypto
   // provider being deterministic per (ident, endpoint); here we need the
@@ -332,6 +347,12 @@ std::optional<Bytes> Node::build_next_onion() {
     expectation_index_[digest_prefix(pending.expected[i])] = {onion_id, i};
   }
   pending_onions_.emplace(onion_id, std::move(pending));
+  RAC_TELEM_SPAN_END(endpoint_, "onion.build", env_.simulator->now());
+  // Async span over the onion's whole dissemination: closed when the last
+  // relay's rebroadcast is observed (note_observed_content) or when the
+  // check sweep expires it.
+  RAC_TELEM_ASYNC_BEGIN("onion", span_id(endpoint_, onion_id), endpoint_,
+                        "onion.flight", env_.simulator->now());
 
   return pad_cell(onion.first_content, cell_size_, rng_);
 }
@@ -362,6 +383,10 @@ void Node::note_observed_content(ByteView content) {
   po.confirmed = std::max(po.confirmed, index + 1);
   if (po.confirmed == po.expected.size()) {
     onion_latency_.add(to_seconds(env_.simulator->now() - po.created));
+    RAC_TELEM_HIST(kNodeOnionLatencyUs,
+                   (env_.simulator->now() - po.created) / 1000);
+    RAC_TELEM_ASYNC_END("onion", span_id(endpoint_, onion_id), endpoint_,
+                        "onion.flight", env_.simulator->now());
     pending_onions_.erase(onion_it);
     counters_.bump("onions_fully_relayed");
     if (config_.send_period == 0 && running_ &&
@@ -394,6 +419,7 @@ void Node::process_content(ByteView content) {
       break;
     case PeelResult::Kind::kRelay: {
       counters_.bump("relay_duties");
+      RAC_TELEM_COUNT(kNodeRelayDuties, 1);
       if (behavior_.drop_relay_duty) {
         counters_.bump("relay_duties_dropped");
         break;
@@ -406,7 +432,12 @@ void Node::process_content(ByteView content) {
         }
         scope = ScopeId{ScopeType::kChannel, *peeled.channel};
       }
-      relay_duties_.emplace_back(scope, std::move(peeled.next_content));
+      const std::uint64_t duty_id = next_duty_id_++;
+      RAC_TELEM_ASYNC_BEGIN("relay", span_id(endpoint_, duty_id), endpoint_,
+                            "relay.duty", env_.simulator->now());
+      relay_duties_.push_back(RelayDuty{scope,
+                                        std::move(peeled.next_content),
+                                        env_.simulator->now(), duty_id});
       if (config_.send_period == 0 && running_) {
         // Saturation pacing: make sure a slot is armed soon — the pending
         // one may be the long window-full fallback.
@@ -418,6 +449,7 @@ void Node::process_content(ByteView content) {
       if (auto payload = unframe_payload(peeled.payload)) {
         ++payloads_delivered_;
         counters_.bump("payloads_delivered");
+        RAC_TELEM_COUNT(kNodePayloadsDelivered, 1);
         if (deliver_app_) deliver_app_(std::move(*payload));
       } else {
         counters_.bump("malformed_payloads");
@@ -435,11 +467,19 @@ void Node::handle_control(const overlay::EnvelopeHeader& header,
         const PredAccusation acc = PredAccusation::decode(body);
         const bool is_follower =
             is_follower_of(header.scope, acc.accused, acc.accuser);
+        // The per-node blacklist-quorum phase: tallying a received
+        // accusation, possibly tripping the eviction quorum.
+        RAC_TELEM_SPAN_BEGIN(endpoint_, "blacklist.quorum",
+                             env_.simulator->now());
         if (blacklists_.record_pred_accusation(header.scope, acc.accused,
                                                acc.accuser, is_follower)) {
           counters_.bump("pred_eviction_quorums");
+          RAC_TELEM_INSTANT(endpoint_, "eviction.quorum",
+                            env_.simulator->now());
           if (evict_) evict_(header.scope, acc.accused);
         }
+        RAC_TELEM_SPAN_END(endpoint_, "blacklist.quorum",
+                           env_.simulator->now());
         break;
       }
       case MsgKind::kEvictNotice: {
@@ -497,6 +537,7 @@ void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
   }
   if (!blacklists_.suspect_predecessor(scope, pred, reason)) return;
   counters_.bump("pred_accusations_sent");
+  RAC_TELEM_COUNT(kNodeAccusationsSent, 1);
   PredAccusation acc;
   acc.accuser = endpoint_;
   acc.accused = pred;
@@ -514,6 +555,7 @@ void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
 
 void Node::run_check_sweep() {
   const SimTime now = env_.simulator->now();
+  RAC_TELEM_SPAN_BEGIN(endpoint_, "check_sweep", now);
 
   // Check #1: relays that failed to rebroadcast one of our onions.
   for (auto it = pending_onions_.begin(); it != pending_onions_.end();) {
@@ -531,11 +573,14 @@ void Node::run_check_sweep() {
     for (std::size_t i = po.confirmed; i < po.expected.size(); ++i) {
       expectation_index_.erase(digest_prefix(po.expected[i]));
     }
+    RAC_TELEM_ASYNC_END("onion", span_id(endpoint_, it->first), endpoint_,
+                        "onion.flight", now);
     it = pending_onions_.erase(it);
   }
 
   check_receipts(now);
   check_rates(now);
+  RAC_TELEM_SPAN_END(endpoint_, "check_sweep", env_.simulator->now());
 
   if (running_) {
     const std::uint64_t token = run_token_;

@@ -166,6 +166,8 @@ class Node {
   std::uint64_t payloads_delivered() const { return payloads_delivered_; }
   std::uint64_t payloads_sent() const { return payloads_sent_; }
   std::size_t cell_size() const { return cell_size_; }
+  /// Relay obligations queued but not yet rebroadcast (telemetry probe).
+  std::size_t relay_queue_depth() const { return relay_duties_.size(); }
   ScopeId group_scope() const {
     return ScopeId{ScopeType::kGroup, group_};
   }
@@ -233,8 +235,16 @@ class Node {
   std::deque<OutgoingMessage> outbox_;
   /// Peeled onions this node owes the network as a relay; served before
   /// own messages at each send slot (relaying replaces a noise slot, so
-  /// the constant rate is preserved).
-  std::deque<std::pair<ScopeId, Bytes>> relay_duties_;
+  /// the constant rate is preserved). queued_at/duty_id feed the telemetry
+  /// queue-wait histogram and the per-duty async trace span.
+  struct RelayDuty {
+    ScopeId scope;
+    Bytes content;
+    SimTime queued_at = 0;
+    std::uint64_t duty_id = 0;
+  };
+  std::deque<RelayDuty> relay_duties_;
+  std::uint64_t next_duty_id_ = 1;
   SimDuration cell_tx_ = 0;     // serialization time of one cell
   bool in_forwarding_ = false;  // true while bcaster_ forwards others' data
   std::unordered_map<std::uint64_t, PendingOnion> pending_onions_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "crypto/puzzle.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace rac {
 
@@ -128,6 +129,16 @@ void Simulation::start_uniform_traffic() {
     nodes_[i]->set_traffic_generator([d] { return d; });
     nodes_[dest]->set_deliver_callback([this](Bytes payload) {
       meter_.record(sim_.now(), payload.size());
+      // Direct (non-macro) recording: the campaign's goodput accounting
+      // reads these registry counters, so they must exist even in a
+      // -DRAC_TELEMETRY=OFF build. One branch when no collector is
+      // installed.
+      if (auto* c = telemetry::current()) {
+        c->registry().counter(telemetry::Stat::kRacPayloadsDelivered).add(1);
+        c->registry()
+            .counter(telemetry::Stat::kRacBytesDelivered)
+            .add(payload.size());
+      }
     });
   }
   start_all();
@@ -240,6 +251,10 @@ void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
   if (view == nullptr || !view->contains(evicted)) return;  // idempotent
   view->remove(evicted);
   evictions_.push_back(EvictionRecord{scope, evicted, sim_.now()});
+  if (auto* c = telemetry::current()) {
+    c->registry().counter(telemetry::Stat::kRacEvictions).add(1);
+    c->tracer().instant(evicted, "evicted", sim_.now());
+  }
 
   // Fan out to every member of the scope (and to the evicted node itself).
   std::vector<EndpointId> members;
@@ -252,6 +267,9 @@ void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
 }
 
 std::size_t Simulation::run_blacklist_round(std::uint32_t group) {
+  // Driver-level phase: one lane per group, above the endpoint tracks.
+  RAC_TELEM_SPAN_BEGIN(telemetry::SpanTracer::kDriverTrackBase + group,
+                       "shuffle.round", sim_.now());
   overlay::View& view = *group_views_.at(group);
   std::vector<EndpointId> members;
   members.reserve(view.size());
@@ -284,6 +302,8 @@ std::size_t Simulation::run_blacklist_round(std::uint32_t group) {
   for (const EndpointId ep : members) {
     nodes_.at(ep)->ingest_shuffle_output(entries);
   }
+  RAC_TELEM_SPAN_END(telemetry::SpanTracer::kDriverTrackBase + group,
+                     "shuffle.round", sim_.now());
   return non_empty;
 }
 
@@ -449,6 +469,12 @@ std::size_t Simulation::enforce_group_bounds() {
 std::uint64_t Simulation::total_counter(const std::string& name) const {
   std::uint64_t total = 0;
   for (const auto& n : nodes_) total += n->counters().get(name);
+  return total;
+}
+
+std::size_t Simulation::total_relay_queue_depth() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) total += n->relay_queue_depth();
   return total;
 }
 

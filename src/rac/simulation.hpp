@@ -121,6 +121,9 @@ class Simulation {
   /// Aggregate a named counter over all nodes.
   std::uint64_t total_counter(const std::string& name) const;
 
+  /// Relay duties queued across all nodes (telemetry sampler probe).
+  std::size_t total_relay_queue_depth() const;
+
  private:
   void wire_node(Node& n);
   /// Reconcile channel views and per-node channel registrations with the

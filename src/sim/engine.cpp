@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace rac::sim {
 
 bool Simulator::handle_before(const Handle& a, const Handle& b) {
@@ -185,6 +187,9 @@ void Simulator::load_bucket_into_run(std::size_t b) {
     }
   }
   const std::size_t n = scratch_.size();
+  // One histogram record per bucket *drain* (thousands of events apart),
+  // not per event: kernel telemetry must stay off the dispatch hot loop.
+  RAC_TELEM_HIST(kEngineBucketDrain, n);
   if (n <= 24) {
     // Small runs: (time, seq) is a total order, so a comparison sort needs
     // no stability and beats the radix counter overhead.

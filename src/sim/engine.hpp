@@ -77,6 +77,23 @@ class Simulator {
   /// pending events; exposed for the no-allocation steady-state tests).
   std::size_t slot_pool_size() const { return slots_.size(); }
 
+  /// Pull-based kernel introspection for the telemetry sampler: a snapshot
+  /// of where the pending set lives (wheel vs far heap vs behind-cursor
+  /// overflow). Reading it costs a few loads — the dispatch loop itself
+  /// carries no per-event record site (the <2% bench_smoke budget).
+  struct KernelTelemetry {
+    std::uint64_t events_processed = 0;
+    std::size_t pending = 0;        // total queued events
+    std::size_t wheel = 0;          // on the calendar wheel (incl. cur run)
+    std::size_t overflow = 0;       // behind-cursor min-heap
+    std::size_t far_heap = 0;       // beyond the wheel window
+    std::size_t slot_pool = 0;      // pooled slots ever allocated
+  };
+  KernelTelemetry kernel_telemetry() const {
+    return KernelTelemetry{events_processed_, size_,        wheel_count_,
+                           overflow_.size(), heap_.size(), slots_.size()};
+  }
+
  private:
   // Calendar-queue geometry: 16384 buckets of 2^13 ns (8.192 us) cover a
   // ~134 ms near-future window — wide enough that uplink/downlink

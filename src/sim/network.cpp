@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/telemetry.hpp"
+
 namespace rac::sim {
 
 Payload make_payload(Bytes bytes) {
@@ -69,6 +71,9 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   src.stats.messages_sent++;
   src.stats.bytes_sent += bytes;
   total_bytes_ += bytes;
+  RAC_TELEM_COUNT(kNetMessagesSent, 1);
+  RAC_TELEM_COUNT(kNetBytesSent, bytes);
+  RAC_TELEM_HIST(kNetUplinkWaitNs, up_start - sim_.now());
   if (tap_) tap_(from, to, bytes, sim_.now());
 
   // Dropped messages occupy the uplink but never arrive (tail drop after
@@ -76,9 +81,15 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   // RNG at exactly the point the pre-impairment code did, keeping
   // loss_rate-only runs bit-identical; it is skipped for messages the
   // impairment plane already dropped.
-  if (verdict.drop ||
-      (config_.loss_rate > 0.0 && sim_.rng().next_bool(config_.loss_rate))) {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  const bool shim_drop =
+      !verdict.drop && config_.loss_rate > 0.0 &&
+      sim_.rng().next_bool(config_.loss_rate);
+#pragma GCC diagnostic pop
+  if (verdict.drop || shim_drop) {
     ++messages_lost_;
+    RAC_TELEM_COUNT(kNetMessagesDropped, 1);
     return;
   }
 
@@ -111,6 +122,7 @@ void Network::on_transfer_event(std::uint32_t idx) {
     const SimTime down_start = std::max(sim_.now(), d.downlink_free);
     const SimTime down_end = down_start + t.tx;
     d.downlink_free = down_end;
+    RAC_TELEM_HIST(kNetDownlinkWaitNs, down_start - sim_.now());
     sim_.schedule_at(down_end, [this, idx] { on_transfer_event(idx); });
     return;
   }
@@ -130,6 +142,15 @@ void Network::on_transfer_event(std::uint32_t idx) {
 
 SimTime Network::uplink_busy_until(EndpointId node) const {
   return std::max(sim_.now(), endpoints_.at(node).uplink_free);
+}
+
+SimDuration Network::total_uplink_backlog() const {
+  SimDuration total = 0;
+  const SimTime now = sim_.now();
+  for (const Endpoint& e : endpoints_) {
+    if (e.uplink_free > now) total += e.uplink_free - now;
+  }
+  return total;
 }
 
 const LinkStats& Network::stats(EndpointId node) const {

@@ -30,6 +30,11 @@ using Payload = std::shared_ptr<const Bytes>;
 /// Make a shared payload from a byte buffer.
 Payload make_payload(Bytes bytes);
 
+// The pragma region keeps the deprecation warning out of NetworkConfig's
+// own compiler-generated members (default/copy ctors touch the member's
+// initializer in every TU); genuine reads and writes elsewhere still warn.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 struct NetworkConfig {
   double link_bps = 1e9;                   // access link capacity
   SimDuration propagation = 50 * kMicrosecond;  // one-way latency
@@ -39,8 +44,12 @@ struct NetworkConfig {
   /// old bolted-on check did. New code should install a LinkImpairment
   /// (src/faults/impairments.hpp) via Network::set_impairment instead,
   /// which keeps fault draws on their own RNG substream.
+  [[deprecated(
+      "install a faults::ImpairmentPlane via Network::set_impairment "
+      "instead")]]
   double loss_rate = 0.0;
 };
+#pragma GCC diagnostic pop
 
 /// Per-message verdict of the impairment plane. Defaults describe an
 /// unimpaired link.
@@ -88,6 +97,10 @@ class Network {
   /// Absolute time at which `node`'s uplink finishes its current backlog
   /// (== now when idle). Protocol nodes use this for saturation pacing.
   SimTime uplink_busy_until(EndpointId node) const;
+
+  /// Outstanding uplink serialization backlog summed over all endpoints,
+  /// in nanoseconds (a queue-depth proxy probed by the telemetry sampler).
+  SimDuration total_uplink_backlog() const;
 
   /// Wire tap: invoked for every message at send time with the link
   /// metadata a global passive opponent can see (endpoints, size, time —

@@ -1,0 +1,200 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace rac::telemetry {
+
+namespace {
+
+void atomic_min(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+  std::uint64_t cur = slot.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::size_t Histogram::bucket_of(std::uint64_t value) {
+  if (value < kSub) return static_cast<std::size_t>(value);
+  const unsigned exp = 63u - static_cast<unsigned>(std::countl_zero(value));
+  const unsigned shift = exp - kSubBits;
+  return (static_cast<std::size_t>(shift) + 1) * kSub +
+         static_cast<std::size_t>((value >> shift) - kSub);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t bucket) {
+  if (bucket < kSub) return bucket;
+  const unsigned shift = static_cast<unsigned>(bucket >> kSubBits) - 1;
+  const std::uint64_t mantissa = kSub + (bucket & (kSub - 1));
+  return (mantissa << shift) + ((std::uint64_t{1} << shift) - 1);
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  buckets_[bucket_of(value)].fetch_add(n, std::memory_order_relaxed);
+  count_.fetch_add(n, std::memory_order_relaxed);
+  sum_.fetch_add(value * n, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::uint64_t Histogram::min() const {
+  return count() == 0 ? 0 : min_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::max() const {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t c = count();
+  return c == 0 ? 0.0
+                : static_cast<double>(sum()) / static_cast<double>(c);
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cum = 0;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    cum += buckets_[b].load(std::memory_order_relaxed);
+    if (cum >= target) return std::min(bucket_upper(b), max());
+  }
+  return max();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count() == 0) return;
+  for (std::size_t b = 0; b < kNumBuckets; ++b) {
+    const std::uint64_t n =
+        other.buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[b].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum(), std::memory_order_relaxed);
+  atomic_min(min_, other.min_.load(std::memory_order_relaxed));
+  atomic_max(max_, other.max_.load(std::memory_order_relaxed));
+}
+
+const char* stat_name(Stat s) {
+  switch (s) {
+    case Stat::kNetMessagesSent: return "net.messages_sent";
+    case Stat::kNetBytesSent: return "net.bytes_sent";
+    case Stat::kNetMessagesDropped: return "net.messages_dropped";
+    case Stat::kNodeDataCellsSent: return "node.data_cells_sent";
+    case Stat::kNodeNoiseCellsSent: return "node.noise_cells_sent";
+    case Stat::kNodeRelayDuties: return "node.relay_duties";
+    case Stat::kNodeRelayRebroadcasts: return "node.relay_rebroadcasts";
+    case Stat::kNodePayloadsDelivered: return "node.payloads_delivered";
+    case Stat::kNodeAccusationsSent: return "node.accusations_sent";
+    case Stat::kOverlayForwards: return "overlay.forwards";
+    case Stat::kRacPayloadsDelivered: return "rac.payloads_delivered";
+    case Stat::kRacBytesDelivered: return "rac.bytes_delivered";
+    case Stat::kRacEvictions: return "rac.evictions";
+    case Stat::kCount: break;
+  }
+  return "?";
+}
+
+const char* hist_name(Hist h) {
+  switch (h) {
+    case Hist::kEngineBucketDrain: return "engine.bucket_drain";
+    case Hist::kNetUplinkWaitNs: return "net.uplink_wait_ns";
+    case Hist::kNetDownlinkWaitNs: return "net.downlink_wait_ns";
+    case Hist::kNodeOnionLatencyUs: return "node.onion_latency_us";
+    case Hist::kNodeRelayQueueNs: return "node.relay_queue_ns";
+    case Hist::kOverlayFanout: return "overlay.fanout";
+    case Hist::kCount: break;
+  }
+  return "?";
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  const auto it = named_counters_.find(name);
+  if (it != named_counters_.end()) return it->second;
+  return named_counters_.try_emplace(std::string(name)).first->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  const auto it = named_gauges_.find(name);
+  if (it != named_gauges_.end()) return it->second;
+  return named_gauges_.try_emplace(std::string(name)).first->second;
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  const auto it = named_hists_.find(name);
+  if (it != named_hists_.end()) return it->second;
+  return named_hists_.try_emplace(std::string(name)).first->second;
+}
+
+void Registry::merge(const Registry& other) {
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    stats_[i].merge(other.stats_[i]);
+  }
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    hists_[i].merge(other.hists_[i]);
+  }
+  // Lock only `other`: callers never merge a registry into itself, and the
+  // destination's named sinks are created through the locking accessors.
+  const std::lock_guard<std::mutex> lock(other.named_mu_);
+  for (const auto& [name, c] : other.named_counters_) counter(name).merge(c);
+  for (const auto& [name, g] : other.named_gauges_) gauge(name).merge(g);
+  for (const auto& [name, h] : other.named_hists_) histogram(name).merge(h);
+}
+
+std::vector<Registry::CounterValue> Registry::counters_snapshot() const {
+  std::vector<CounterValue> out;
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    const std::uint64_t v = stats_[i].value();
+    if (v != 0) out.push_back({stat_name(static_cast<Stat>(i)), v});
+  }
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  for (const auto& [name, c] : named_counters_) {
+    if (c.value() != 0) out.push_back({name, c.value()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeValue> Registry::gauges_snapshot() const {
+  std::vector<GaugeValue> out;
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  for (const auto& [name, g] : named_gauges_) {
+    out.push_back({name, g.value()});
+  }
+  return out;
+}
+
+std::vector<Registry::HistSummary> Registry::histograms_snapshot() const {
+  std::vector<HistSummary> out;
+  const auto summarize = [&out](const std::string& name,
+                                const Histogram& h) {
+    if (h.count() == 0) return;
+    out.push_back({name, h.count(), h.mean(), h.min(), h.percentile(0.50),
+                   h.percentile(0.95), h.percentile(0.99), h.max()});
+  };
+  for (std::size_t i = 0; i < hists_.size(); ++i) {
+    summarize(hist_name(static_cast<Hist>(i)), hists_[i]);
+  }
+  const std::lock_guard<std::mutex> lock(named_mu_);
+  for (const auto& [name, h] : named_hists_) summarize(name, h);
+  return out;
+}
+
+}  // namespace rac::telemetry

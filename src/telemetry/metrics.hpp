@@ -1,0 +1,202 @@
+// Metric sinks: counters, gauges and log-bucketed histograms.
+//
+// Design contract (DESIGN.md §8):
+//  - recording is RNG-free and schedules nothing, so an attached-but-idle
+//    registry leaves DES traces bit-identical to an unattached run;
+//  - every sink is thread-safe via relaxed atomics (one engine per thread
+//    under `scenario_runner --jobs N` shares nothing, but the TSan lane
+//    hammers shared sinks anyway) and mergeable, so per-run registries can
+//    be folded into a campaign aggregate in deterministic seed order;
+//  - hot-path metrics are enum-indexed (array lookup, no hashing); dynamic
+//    names (cold paths like per-strategy detection latency) go through a
+//    mutex-guarded map.
+//
+// The histogram is HDR-style: values bucket by octave with kSub sub-buckets
+// per octave, giving a relative quantile error <= 1/kSub (~3%) over the
+// full uint64 range in ~15 KiB. count/sum/min/max are tracked exactly, so
+// means derived from a histogram match a sorted-vector reference to within
+// floating-point rounding.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rac::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void merge(const Counter& other) { add(other.value()); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level (queue depth, occupancy). Merging keeps the maximum:
+/// per-run gauges are snapshots, and the high-water mark is the only
+/// aggregate of a level that is order-independent.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void merge(const Gauge& other) {
+    std::int64_t cur = value_.load(std::memory_order_relaxed);
+    const std::int64_t theirs = other.value();
+    while (theirs > cur && !value_.compare_exchange_weak(
+                               cur, theirs, std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits linear buckets per octave.
+  static constexpr unsigned kSubBits = 5;
+  static constexpr std::uint64_t kSub = std::uint64_t{1} << kSubBits;
+  // Values < kSub land in exact unit buckets [0, kSub); each of the
+  // remaining 64 - kSubBits octaves contributes kSub sub-buckets.
+  static constexpr std::size_t kNumBuckets =
+      static_cast<std::size_t>(64 - kSubBits + 1) * kSub;
+
+  void record(std::uint64_t value, std::uint64_t n = 1);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t min() const;  // 0 when empty
+  std::uint64_t max() const;  // 0 when empty
+  double mean() const;        // 0.0 when empty
+
+  /// Value at quantile q in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(q * count)-th smallest recording, clamped to max(). Relative
+  /// error <= 1/kSub. Returns 0 when empty.
+  std::uint64_t percentile(double q) const;
+
+  void merge(const Histogram& other);
+
+  static std::size_t bucket_of(std::uint64_t value);
+  static std::uint64_t bucket_upper(std::size_t bucket);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Well-known hot-path metrics, recorded through enum-indexed arrays so a
+/// record site costs one atomic add and no lookup. Names follow the
+/// `layer.noun[_unit]` convention documented in DESIGN.md §8.
+enum class Stat : std::size_t {
+  kNetMessagesSent,
+  kNetBytesSent,
+  kNetMessagesDropped,
+  kNodeDataCellsSent,
+  kNodeNoiseCellsSent,
+  kNodeRelayDuties,
+  kNodeRelayRebroadcasts,
+  kNodePayloadsDelivered,
+  kNodeAccusationsSent,
+  kOverlayForwards,
+  kRacPayloadsDelivered,
+  kRacBytesDelivered,
+  kRacEvictions,
+  kCount,
+};
+
+enum class Hist : std::size_t {
+  kEngineBucketDrain,   // handles per calendar-queue bucket drain
+  kNetUplinkWaitNs,     // serialization stall behind the sender's uplink
+  kNetDownlinkWaitNs,   // serialization stall behind the receiver's downlink
+  kNodeOnionLatencyUs,  // onion send -> final relay broadcast observed
+  kNodeRelayQueueNs,    // relay duty enqueue -> rebroadcast slot
+  kOverlayFanout,       // successors per first-seen forward
+  kCount,
+};
+
+const char* stat_name(Stat s);
+const char* hist_name(Hist h);
+
+/// One run's worth of metric sinks. Enum metrics are storage-inline;
+/// dynamic names allocate on first touch and live for the registry's
+/// lifetime (references stay valid — std::map nodes are stable).
+class Registry {
+ public:
+  Counter& counter(Stat s) {
+    return stats_[static_cast<std::size_t>(s)];
+  }
+  const Counter& counter(Stat s) const {
+    return stats_[static_cast<std::size_t>(s)];
+  }
+  Histogram& histogram(Hist h) {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+  const Histogram& histogram(Hist h) const {
+    return hists_[static_cast<std::size_t>(h)];
+  }
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Fold `other` into this registry (sums / maxima / bucket-wise adds).
+  /// Campaign aggregation calls this in seed order; all merges commute, so
+  /// the result is byte-stable regardless of worker count.
+  void merge(const Registry& other);
+
+  struct CounterValue {
+    std::string name;
+    std::uint64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::int64_t value = 0;
+  };
+  struct HistSummary {
+    std::string name;
+    std::uint64_t count = 0;
+    double mean = 0.0;
+    std::uint64_t min = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p95 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t max = 0;
+  };
+
+  /// Deterministic export order: enum metrics first (declaration order),
+  /// then dynamic metrics sorted by name. Zero-count sinks are skipped so
+  /// the JSON only carries metrics the run actually touched.
+  std::vector<CounterValue> counters_snapshot() const;
+  std::vector<GaugeValue> gauges_snapshot() const;
+  std::vector<HistSummary> histograms_snapshot() const;
+
+ private:
+  std::array<Counter, static_cast<std::size_t>(Stat::kCount)> stats_{};
+  std::array<Histogram, static_cast<std::size_t>(Hist::kCount)> hists_{};
+
+  mutable std::mutex named_mu_;
+  std::map<std::string, Counter, std::less<>> named_counters_;
+  std::map<std::string, Gauge, std::less<>> named_gauges_;
+  std::map<std::string, Histogram, std::less<>> named_hists_;
+};
+
+}  // namespace rac::telemetry

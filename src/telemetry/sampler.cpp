@@ -1,0 +1,96 @@
+#include "telemetry/sampler.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace rac::telemetry {
+
+void Series::set_columns(std::vector<std::string> names) {
+  columns_.assign(1, "t_ms");
+  for (std::string& n : names) columns_.push_back(std::move(n));
+}
+
+void Series::append(SimTime t, const std::vector<double>& values) {
+  if (values.size() + 1 != columns_.size()) {
+    throw std::logic_error("Series::append: row width != columns");
+  }
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  row.push_back(to_seconds(t) * 1e3);
+  row.insert(row.end(), values.begin(), values.end());
+  rows_.push_back(std::move(row));
+}
+
+std::string Series::json(const std::string& name, std::uint64_t seed,
+                         SimDuration sample_period) const {
+  std::string out;
+  out.reserve(256 + rows_.size() * columns_.size() * 16);
+  out += "{\n";
+  out += "  \"schema\": \"rac.telemetry.series/1\",\n";
+  out += "  \"name\": \"" + name + "\",\n";
+  out += "  \"seed\": " + std::to_string(seed) + ",\n";
+  out += "  \"sample_period_ms\": " +
+         std::to_string(sample_period / kMillisecond) + ",\n";
+  out += "  \"columns\": [";
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    out += "\"" + columns_[i] + "\"";
+    if (i + 1 < columns_.size()) out += ", ";
+  }
+  out += "],\n";
+  out += "  \"samples\": [\n";
+  char buf[32];
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += "    [";
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      std::snprintf(buf, sizeof(buf), "%.6f", rows_[r][c]);
+      out += buf;
+      if (c + 1 < rows_[r].size()) out += ", ";
+    }
+    out += "]";
+    out += r + 1 < rows_.size() ? ",\n" : "\n";
+  }
+  out += "  ]\n";
+  out += "}\n";
+  return out;
+}
+
+void Sampler::add_gauge(std::string column, Probe probe) {
+  if (columns_set_) {
+    throw std::logic_error("Sampler: add probes before the first sample");
+  }
+  probes_.push_back(Entry{std::move(column), std::move(probe), false, 0.0});
+}
+
+void Sampler::add_rate(std::string column, Probe probe) {
+  if (columns_set_) {
+    throw std::logic_error("Sampler: add probes before the first sample");
+  }
+  probes_.push_back(Entry{std::move(column), std::move(probe), true, 0.0});
+}
+
+void Sampler::sample(SimTime now) {
+  if (!columns_set_) {
+    std::vector<std::string> names;
+    names.reserve(probes_.size());
+    for (const Entry& e : probes_) names.push_back(e.column);
+    series_.set_columns(std::move(names));
+    columns_set_ = true;
+  }
+  const double dt_s = have_prev_ ? to_seconds(now - last_t_) : 0.0;
+  row_.clear();
+  for (Entry& e : probes_) {
+    const double v = e.probe();
+    if (e.rate) {
+      row_.push_back(have_prev_ && dt_s > 0.0 ? (v - e.prev) / dt_s : 0.0);
+      e.prev = v;
+    } else {
+      row_.push_back(v);
+    }
+  }
+  series_.append(now, row_);
+  last_t_ = now;
+  have_prev_ = true;
+}
+
+}  // namespace rac::telemetry

@@ -1,0 +1,80 @@
+// Periodic time-series sampler emitting "rac.telemetry.series/1" JSON.
+//
+// The sampler itself owns no clock and schedules nothing: the attaching
+// driver (faults::run_scenario, when --series is requested) registers the
+// probes and arms a recurring kernel event that calls sample(now). That
+// keeps this library free of any dependency on sim::Simulator — and makes
+// the perturbation explicit: a recurring sample event changes the kernel's
+// event count (never the protocol trace — probes are read-only and
+// RNG-free), so the bit-for-bit parity anchors run without --series.
+//
+// Probe kinds:
+//  - gauge: emitted as-is each sample (queue depth, occupancy);
+//  - rate: emitted as (value - previous) / dt_seconds (goodput, drops/s).
+//
+// tools/plot_figures.py consumes the emitted JSON; the schema is
+// documented in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rac::telemetry {
+
+/// Columnar samples: columns[0] is always "t_ms".
+class Series {
+ public:
+  void set_columns(std::vector<std::string> names);  // without "t_ms"
+  void append(SimTime t, const std::vector<double>& values);
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::size_t num_samples() const { return rows_.size(); }
+
+  /// Serialize to the versioned schema. `sample_period` is informational.
+  std::string json(const std::string& name, std::uint64_t seed,
+                   SimDuration sample_period) const;
+
+ private:
+  std::vector<std::string> columns_{"t_ms"};
+  std::vector<std::vector<double>> rows_;
+};
+
+class Sampler {
+ public:
+  using Probe = std::function<double()>;
+
+  /// Register a level probe (sampled value emitted directly).
+  void add_gauge(std::string column, Probe probe);
+  /// Register a cumulative-counter probe; the column reports its
+  /// per-second rate of change between consecutive samples.
+  void add_rate(std::string column, Probe probe);
+
+  bool armed() const { return !probes_.empty(); }
+
+  /// Read every probe and append one row at sim time `now`. The caller
+  /// (driver glue) invokes this from a recurring kernel event.
+  void sample(SimTime now);
+
+  const Series& series() const { return series_; }
+
+ private:
+  struct Entry {
+    std::string column;
+    Probe probe;
+    bool rate = false;
+    double prev = 0.0;
+  };
+
+  std::vector<Entry> probes_;
+  Series series_;
+  SimTime last_t_ = 0;
+  bool columns_set_ = false;
+  bool have_prev_ = false;
+  std::vector<double> row_;  // reused per sample
+};
+
+}  // namespace rac::telemetry

@@ -1,0 +1,15 @@
+#include "telemetry/telemetry.hpp"
+
+namespace rac::telemetry {
+
+namespace {
+thread_local Collector* g_current = nullptr;
+}  // namespace
+
+Collector* current() { return g_current; }
+
+Install::Install(Collector* c) : prev_(g_current) { g_current = c; }
+
+Install::~Install() { g_current = prev_; }
+
+}  // namespace rac::telemetry

@@ -1,0 +1,126 @@
+// Telemetry front door: the per-run Collector, the thread-local gate, and
+// the macro-guarded record sites.
+//
+// Two gates, two costs (the "overhead contract", DESIGN.md §8):
+//  1. Compile time: sites written with the RAC_TELEM_* macros vanish
+//     entirely when RAC_TELEMETRY_ENABLED is 0 (cmake -DRAC_TELEMETRY=OFF)
+//     — no load, no branch, no code. The default build compiles them in.
+//  2. Run time: a compiled-in site is one thread_local load and a branch
+//     until a Collector is installed; recording never draws from the sim
+//     RNG and never schedules events, so an installed collector leaves DES
+//     traces bit-identical (the trace-neutrality test pins this).
+//
+// The gate is thread-local on purpose: `scenario_runner --jobs N` runs one
+// engine per worker thread, each with its own collector, and the hot sites
+// stay lookup-free.
+#pragma once
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/trace.hpp"
+
+#ifndef RAC_TELEMETRY_ENABLED
+#define RAC_TELEMETRY_ENABLED 0
+#endif
+
+namespace rac::telemetry {
+
+/// One run's sinks: metric registry + span tracer + series sampler.
+class Collector {
+ public:
+  Collector() = default;
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+  SpanTracer& tracer() { return tracer_; }
+  const SpanTracer& tracer() const { return tracer_; }
+  Sampler& sampler() { return sampler_; }
+  const Sampler& sampler() const { return sampler_; }
+
+ private:
+  Registry registry_;
+  SpanTracer tracer_;
+  Sampler sampler_;
+};
+
+/// The calling thread's active collector (nullptr = telemetry off).
+Collector* current();
+
+/// RAII installer: scopes a collector onto this thread, restoring the
+/// previous one on destruction (nesting-safe for tests).
+class Install {
+ public:
+  explicit Install(Collector* c);
+  ~Install();
+  Install(const Install&) = delete;
+  Install& operator=(const Install&) = delete;
+
+ private:
+  Collector* prev_;
+};
+
+}  // namespace rac::telemetry
+
+// --- Record-site macros -----------------------------------------------
+// Usage (from .cpp files of instrumented layers):
+//   RAC_TELEM_COUNT(kNetMessagesSent, 1);
+//   RAC_TELEM_HIST(kNetUplinkWaitNs, wait_ns);
+//   RAC_TELEM_SPAN_BEGIN(endpoint_, "onion.build", now);
+//   RAC_TELEM_ASYNC_END("relay", duty_id, endpoint_, "relay.duty", now);
+// Span macros additionally gate on the tracer's runtime enable flag, so a
+// collector installed only for counters records no events.
+
+#if RAC_TELEMETRY_ENABLED
+
+#define RAC_TELEM_COUNT(stat, n)                                        \
+  do {                                                                  \
+    if (::rac::telemetry::Collector* rac_tc_ =                          \
+            ::rac::telemetry::current()) {                              \
+      rac_tc_->registry()                                               \
+          .counter(::rac::telemetry::Stat::stat)                        \
+          .add(static_cast<std::uint64_t>(n));                          \
+    }                                                                   \
+  } while (0)
+
+#define RAC_TELEM_HIST(hist, v)                                         \
+  do {                                                                  \
+    if (::rac::telemetry::Collector* rac_tc_ =                          \
+            ::rac::telemetry::current()) {                              \
+      rac_tc_->registry()                                               \
+          .histogram(::rac::telemetry::Hist::hist)                      \
+          .record(static_cast<std::uint64_t>(v));                       \
+    }                                                                   \
+  } while (0)
+
+#define RAC_TELEM_TRACER_CALL(call)                                     \
+  do {                                                                  \
+    if (::rac::telemetry::Collector* rac_tc_ =                          \
+            ::rac::telemetry::current()) {                              \
+      rac_tc_->tracer().call;                                           \
+    }                                                                   \
+  } while (0)
+
+#define RAC_TELEM_SPAN_BEGIN(tid, name, t) \
+  RAC_TELEM_TRACER_CALL(begin((tid), (name), (t)))
+#define RAC_TELEM_SPAN_END(tid, name, t) \
+  RAC_TELEM_TRACER_CALL(end((tid), (name), (t)))
+#define RAC_TELEM_ASYNC_BEGIN(cat, id, tid, name, t) \
+  RAC_TELEM_TRACER_CALL(async_begin((cat), (id), (tid), (name), (t)))
+#define RAC_TELEM_ASYNC_END(cat, id, tid, name, t) \
+  RAC_TELEM_TRACER_CALL(async_end((cat), (id), (tid), (name), (t)))
+#define RAC_TELEM_INSTANT(tid, name, t) \
+  RAC_TELEM_TRACER_CALL(instant((tid), (name), (t)))
+
+#else  // RAC_TELEMETRY_ENABLED
+
+#define RAC_TELEM_COUNT(stat, n) ((void)0)
+#define RAC_TELEM_HIST(hist, v) ((void)0)
+#define RAC_TELEM_SPAN_BEGIN(tid, name, t) ((void)0)
+#define RAC_TELEM_SPAN_END(tid, name, t) ((void)0)
+#define RAC_TELEM_ASYNC_BEGIN(cat, id, tid, name, t) ((void)0)
+#define RAC_TELEM_ASYNC_END(cat, id, tid, name, t) ((void)0)
+#define RAC_TELEM_INSTANT(tid, name, t) ((void)0)
+
+#endif  // RAC_TELEMETRY_ENABLED

@@ -1,0 +1,98 @@
+#include "telemetry/trace.hpp"
+
+#include <cstdio>
+
+namespace rac::telemetry {
+
+void SpanTracer::push(const Event& e) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(e);
+}
+
+void SpanTracer::begin(std::uint32_t tid, const char* name, SimTime t) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, t, 0, 0.0, tid, 'B'});
+}
+
+void SpanTracer::end(std::uint32_t tid, const char* name, SimTime t) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, t, 0, 0.0, tid, 'E'});
+}
+
+void SpanTracer::async_begin(const char* cat, std::uint64_t id,
+                             std::uint32_t tid, const char* name, SimTime t) {
+  if (!enabled()) return;
+  push(Event{name, cat, t, id, 0.0, tid, 'b'});
+}
+
+void SpanTracer::async_end(const char* cat, std::uint64_t id,
+                           std::uint32_t tid, const char* name, SimTime t) {
+  if (!enabled()) return;
+  push(Event{name, cat, t, id, 0.0, tid, 'e'});
+}
+
+void SpanTracer::instant(std::uint32_t tid, const char* name, SimTime t) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, t, 0, 0.0, tid, 'i'});
+}
+
+void SpanTracer::counter(const char* name, SimTime t, double value) {
+  if (!enabled()) return;
+  push(Event{name, nullptr, t, 0, value, 0, 'C'});
+}
+
+std::size_t SpanTracer::num_events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string SpanTracer::chrome_json(std::uint32_t pid) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(64 + events_.size() * 96);
+  out += "{\"traceEvents\":[\n";
+  char buf[256];
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    const double ts_us = static_cast<double>(e.ts) / 1e3;
+    int n = 0;
+    switch (e.ph) {
+      case 'b':
+      case 'e':
+        n = std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+            "\"id\":\"0x%llx\",\"ts\":%.3f,\"pid\":%u,\"tid\":%u}",
+            e.name, e.cat, e.ph,
+            static_cast<unsigned long long>(e.id), ts_us, pid, e.tid);
+        break;
+      case 'C':
+        n = std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%.3f,\"pid\":%u,"
+            "\"tid\":%u,\"args\":{\"value\":%.6f}}",
+            e.name, ts_us, pid, e.tid, e.value);
+        break;
+      case 'i':
+        n = std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f,"
+            "\"pid\":%u,\"tid\":%u}",
+            e.name, ts_us, pid, e.tid);
+        break;
+      default:  // 'B' / 'E'
+        n = std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%u,"
+            "\"tid\":%u}",
+            e.name, e.ph, ts_us, pid, e.tid);
+        break;
+    }
+    out.append(buf, static_cast<std::size_t>(n));
+    out += i + 1 < events_.size() ? ",\n" : "\n";
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace rac::telemetry

@@ -1,0 +1,76 @@
+// Sim-time span tracer with Chrome trace_event JSON export.
+//
+// Records protocol phases against the *simulated* clock: synchronous
+// begin/end pairs ("B"/"E", stack-nested per track), nestable async spans
+// ("b"/"e", matched by (category, id) — onion lifetimes and relay duties
+// overlap freely), instants ("i") and counter tracks ("C"). One track
+// (tid) per protocol endpoint; driver-level phases (shuffle rounds) use
+// tid >= kDriverTrackBase so they render as their own lanes.
+//
+// The exported JSON loads directly in chrome://tracing and Perfetto:
+// timestamps are microseconds (fractional — sim time is nanoseconds), pid
+// is the run's seed so multi-seed campaigns can be merged side by side.
+//
+// Recording is RNG-free, schedules nothing, and is disabled by default;
+// when disabled every record call is one relaxed load and a branch. All
+// mutation is mutex-guarded — worker threads of `--jobs N` own distinct
+// tracers, but the TSan lane shares one on purpose.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rac::telemetry {
+
+class SpanTracer {
+ public:
+  /// First tid of the driver lanes (per-group shuffle tracks etc.), far
+  /// above any plausible endpoint id.
+  static constexpr std::uint32_t kDriverTrackBase = 1'000'000;
+
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// `name` and `cat` must be string literals (stored by pointer).
+  void begin(std::uint32_t tid, const char* name, SimTime t);
+  void end(std::uint32_t tid, const char* name, SimTime t);
+  void async_begin(const char* cat, std::uint64_t id, std::uint32_t tid,
+                   const char* name, SimTime t);
+  void async_end(const char* cat, std::uint64_t id, std::uint32_t tid,
+                 const char* name, SimTime t);
+  void instant(std::uint32_t tid, const char* name, SimTime t);
+  void counter(const char* name, SimTime t, double value);
+
+  std::size_t num_events() const;
+
+  /// Serialize to the Chrome trace_event "JSON Object Format". Events are
+  /// emitted in record order (sim time is monotone, so this is also
+  /// timestamp order, and B-before-E ties survive).
+  std::string chrome_json(std::uint32_t pid) const;
+
+ private:
+  struct Event {
+    const char* name = nullptr;
+    const char* cat = nullptr;  // async events only
+    SimTime ts = 0;
+    std::uint64_t id = 0;  // async events only
+    double value = 0.0;    // counter events only
+    std::uint32_t tid = 0;
+    char ph = 'i';
+  };
+
+  void push(const Event& e);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+}  // namespace rac::telemetry

@@ -1,0 +1,446 @@
+// Telemetry subsystem: histogram accuracy vs a sorted-vector reference,
+// merge algebra, Chrome trace_event export, sampler semantics, the
+// thread-local collector gate, trace neutrality of an installed collector,
+// and byte-stability of the --jobs campaign pool. The concurrency cases
+// (SharedSink* / CampaignJobs*) are the TSan lane's reason to exist.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "faults/campaign.hpp"
+#include "rac/simulation.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rac::telemetry {
+namespace {
+
+// --- Histogram: accuracy against a sorted-vector reference ---
+
+/// Reference quantile with the histogram's own convention: the
+/// ceil(q * n)-th smallest recorded value.
+std::uint64_t ref_percentile(std::vector<std::uint64_t> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(q * static_cast<double>(xs.size()))));
+  return xs[std::min(rank, xs.size()) - 1];
+}
+
+void check_against_reference(const std::vector<std::uint64_t>& values) {
+  Histogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  ASSERT_EQ(h.count(), values.size());
+
+  std::uint64_t sum = 0, mn = values[0], mx = values[0];
+  for (const std::uint64_t v : values) {
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_EQ(h.sum(), sum);
+  EXPECT_EQ(h.min(), mn);
+  EXPECT_EQ(h.max(), mx);
+
+  for (const double q : {0.01, 0.25, 0.50, 0.90, 0.95, 0.99, 1.0}) {
+    const std::uint64_t ref = ref_percentile(values, q);
+    const std::uint64_t got = h.percentile(q);
+    // The estimate is the upper bound of the reference's bucket, clamped
+    // to the exact max: never below the truth, and at most one sub-bucket
+    // (relative width 1/kSub) above it.
+    EXPECT_GE(got, ref) << "q=" << q;
+    EXPECT_LE(got, ref + ref / Histogram::kSub + 1) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentilesMatchSortedReferenceUniform) {
+  Rng rng(7);
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 5'000; ++i) xs.push_back(rng.next() % 100'000);
+  check_against_reference(xs);
+}
+
+TEST(Histogram, PercentilesMatchSortedReferenceWideRange) {
+  // Fuzz octaves: values spanning 1 .. 2^60, heavy-tailed.
+  Rng rng(11);
+  std::vector<std::uint64_t> xs;
+  for (int i = 0; i < 5'000; ++i) {
+    const unsigned shift = static_cast<unsigned>(rng.next() % 60);
+    xs.push_back((rng.next() >> (63 - shift)) | 1);
+  }
+  check_against_reference(xs);
+}
+
+TEST(Histogram, PercentilesExactBelowSubBucketRange) {
+  // Values < kSub land in exact unit buckets: estimates are exact.
+  std::vector<std::uint64_t> xs;
+  Rng rng(3);
+  for (int i = 0; i < 2'000; ++i) xs.push_back(rng.next() % Histogram::kSub);
+  Histogram h;
+  for (const std::uint64_t v : xs) h.record(v);
+  for (const double q : {0.1, 0.5, 0.9, 1.0}) {
+    EXPECT_EQ(h.percentile(q), ref_percentile(xs, q)) << "q=" << q;
+  }
+}
+
+TEST(Histogram, BucketBoundsRoundTrip) {
+  Rng rng(13);
+  for (int i = 0; i < 10'000; ++i) {
+    const std::uint64_t v = rng.next() >> (rng.next() % 64);
+    const std::size_t b = Histogram::bucket_of(v);
+    ASSERT_LT(b, Histogram::kNumBuckets);
+    EXPECT_GE(Histogram::bucket_upper(b), v);
+    if (b > 0) {
+      EXPECT_LT(Histogram::bucket_upper(b - 1), v);
+    }
+  }
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  const Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.percentile(0.99), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// --- Merge algebra ---
+
+TEST(Histogram, MergeEqualsCombinedRecording) {
+  Rng rng(17);
+  Histogram a, b, combined;
+  for (int i = 0; i < 3'000; ++i) {
+    const std::uint64_t v = rng.next() % 1'000'000;
+    (i % 2 == 0 ? a : b).record(v);
+    combined.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_EQ(a.percentile(q), combined.percentile(q));
+  }
+}
+
+TEST(Histogram, MergeIsAssociative) {
+  Rng rng(19);
+  std::vector<std::uint64_t> xs[3];
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 500; ++i) xs[s].push_back(rng.next() % 65'536);
+  }
+  const auto fill = [&xs](Histogram& h, int s) {
+    for (const std::uint64_t v : xs[s]) h.record(v);
+  };
+  // (a + b) + c
+  Histogram ab, c;
+  fill(ab, 0);
+  {
+    Histogram b;
+    fill(b, 1);
+    ab.merge(b);
+  }
+  fill(c, 2);
+  ab.merge(c);
+  // a + (b + c)
+  Histogram a2, bc;
+  fill(a2, 0);
+  fill(bc, 1);
+  {
+    Histogram c2;
+    fill(c2, 2);
+    bc.merge(c2);
+  }
+  a2.merge(bc);
+  EXPECT_EQ(ab.count(), a2.count());
+  EXPECT_EQ(ab.sum(), a2.sum());
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_EQ(ab.percentile(q), a2.percentile(q));
+  }
+}
+
+TEST(Metrics, CounterAndGaugeMergeSemantics) {
+  Counter a, b;
+  a.add(3);
+  b.add(39);
+  a.merge(b);
+  EXPECT_EQ(a.value(), 42u);
+
+  Gauge g, h;
+  g.set(10);
+  h.set(4);
+  g.merge(h);  // merge keeps the maximum
+  EXPECT_EQ(g.value(), 10);
+  h.merge(g);
+  EXPECT_EQ(h.value(), 10);
+}
+
+TEST(Metrics, RegistrySnapshotOrderIsDeterministic) {
+  Registry r;
+  r.counter(Stat::kNetMessagesSent).add(5);
+  r.counter("zeta").add(1);
+  r.counter("alpha").add(2);
+  r.histogram(Hist::kOverlayFanout).record(7);
+  r.histogram("zz.custom").record(9);
+
+  const auto counters = r.counters_snapshot();
+  ASSERT_EQ(counters.size(), 3u);
+  // Enum metrics first (declaration order), then named sorted by name;
+  // untouched sinks are skipped.
+  EXPECT_EQ(counters[0].name, "net.messages_sent");
+  EXPECT_EQ(counters[1].name, "alpha");
+  EXPECT_EQ(counters[2].name, "zeta");
+
+  const auto hists = r.histograms_snapshot();
+  ASSERT_EQ(hists.size(), 2u);
+  EXPECT_EQ(hists[0].name, "overlay.fanout");
+  EXPECT_EQ(hists[1].name, "zz.custom");
+  EXPECT_EQ(hists[0].count, 1u);
+}
+
+// --- Chrome trace export ---
+
+std::size_t count_occurrences(const std::string& hay, const std::string& n) {
+  std::size_t count = 0;
+  for (std::size_t pos = hay.find(n); pos != std::string::npos;
+       pos = hay.find(n, pos + n.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(SpanTracer, NestedSpansExportBalancedAndInOrder) {
+  SpanTracer tr;
+  tr.set_enabled(true);
+  tr.begin(1, "outer", 1'000);
+  tr.begin(1, "inner", 2'000);
+  tr.end(1, "inner", 3'000);
+  tr.end(1, "outer", 4'000);
+  tr.async_begin("onion", 0xabc, 2, "flight", 1'500);
+  tr.instant(3, "evicted", 2'500);
+  tr.counter("queue", 3'500, 4.5);
+  tr.async_end("onion", 0xabc, 2, "flight", 5'000);
+  EXPECT_EQ(tr.num_events(), 8u);
+
+  const std::string json = tr.chrome_json(42);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"e\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"pid\":42"), 8u);
+  // Async events carry the (cat, id) pair that matches begin to end.
+  EXPECT_EQ(count_occurrences(json, "\"cat\":\"onion\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"id\":\"0xabc\""), 2u);
+  // Instants carry scope, counters carry args.value.
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":4.500000}"), std::string::npos);
+  // Record order is preserved: inner's B comes after outer's B and before
+  // inner's E, which precedes outer's E (stack nesting survives export).
+  const std::size_t outer_b = json.find("\"outer\",\"ph\":\"B\"");
+  const std::size_t inner_b = json.find("\"inner\",\"ph\":\"B\"");
+  const std::size_t inner_e = json.find("\"inner\",\"ph\":\"E\"");
+  const std::size_t outer_e = json.find("\"outer\",\"ph\":\"E\"");
+  ASSERT_NE(outer_b, std::string::npos);
+  EXPECT_LT(outer_b, inner_b);
+  EXPECT_LT(inner_b, inner_e);
+  EXPECT_LT(inner_e, outer_e);
+  // Timestamps are microseconds: 1000 ns -> 1.000.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+}
+
+TEST(SpanTracer, DisabledRecordsNothing) {
+  SpanTracer tr;
+  tr.begin(1, "ignored", 10);
+  tr.async_begin("c", 1, 1, "ignored", 20);
+  tr.instant(1, "ignored", 30);
+  EXPECT_EQ(tr.num_events(), 0u);
+  EXPECT_NE(tr.chrome_json(1).find("\"traceEvents\":["), std::string::npos);
+}
+
+// --- Sampler ---
+
+TEST(Sampler, GaugeAndRateColumns) {
+  Sampler s;
+  double level = 5.0;
+  double cumulative = 0.0;
+  s.add_gauge("depth", [&level] { return level; });
+  s.add_rate("rate", [&cumulative] { return cumulative; });
+  ASSERT_TRUE(s.armed());
+
+  s.sample(0);  // first sample: rate has no previous -> 0
+  level = 7.0;
+  cumulative = 100.0;
+  s.sample(1 * kSecond);
+  cumulative = 250.0;
+  s.sample(3 * kSecond);  // 150 over 2 s -> 75/s
+
+  const Series& series = s.series();
+  ASSERT_EQ(series.num_samples(), 3u);
+  ASSERT_EQ(series.columns().size(), 3u);
+  EXPECT_EQ(series.columns()[0], "t_ms");
+  EXPECT_EQ(series.columns()[1], "depth");
+  EXPECT_EQ(series.columns()[2], "rate");
+
+  const std::string json = series.json("test", 9, 1 * kSecond);
+  EXPECT_NE(json.find("\"schema\": \"rac.telemetry.series/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"sample_period_ms\": 1000"), std::string::npos);
+  // Row 2: t=1000 ms, depth 7, rate (100-0)/1s = 100.
+  EXPECT_NE(json.find("[1000.000000, 7.000000, 100.000000]"),
+            std::string::npos);
+  // Row 3: t=3000 ms, rate (250-100)/2s = 75.
+  EXPECT_NE(json.find("[3000.000000, 7.000000, 75.000000]"),
+            std::string::npos);
+}
+
+TEST(Sampler, ProbesLockAfterFirstSample) {
+  Sampler s;
+  s.add_gauge("g", [] { return 1.0; });
+  s.sample(0);
+  EXPECT_THROW(s.add_gauge("late", [] { return 0.0; }), std::logic_error);
+}
+
+// --- The collector gate ---
+
+TEST(Collector, InstallIsThreadLocalAndNests) {
+  EXPECT_EQ(current(), nullptr);
+  Collector outer_c, inner_c;
+  {
+    const Install outer(&outer_c);
+    EXPECT_EQ(current(), &outer_c);
+    {
+      const Install inner(&inner_c);
+      EXPECT_EQ(current(), &inner_c);
+      std::thread([] { EXPECT_EQ(current(), nullptr); }).join();
+    }
+    EXPECT_EQ(current(), &outer_c);
+  }
+  EXPECT_EQ(current(), nullptr);
+}
+
+#if RAC_TELEMETRY_ENABLED
+TEST(Collector, MacrosRecordOnlyWhenInstalled) {
+  RAC_TELEM_COUNT(kNetMessagesSent, 3);  // no collector: no-op, no crash
+  Collector c;
+  {
+    const Install install(&c);
+    RAC_TELEM_COUNT(kNetMessagesSent, 3);
+    RAC_TELEM_HIST(kOverlayFanout, 7);
+    // Tracer macros additionally gate on the tracer enable flag.
+    RAC_TELEM_SPAN_BEGIN(1, "phase", 100);
+    EXPECT_EQ(c.tracer().num_events(), 0u);
+    c.tracer().set_enabled(true);
+    RAC_TELEM_SPAN_BEGIN(1, "phase", 200);
+    RAC_TELEM_SPAN_END(1, "phase", 300);
+  }
+  EXPECT_EQ(c.registry().counter(Stat::kNetMessagesSent).value(), 3u);
+  EXPECT_EQ(c.registry().histogram(Hist::kOverlayFanout).count(), 1u);
+  EXPECT_EQ(c.tracer().num_events(), 2u);
+}
+#endif
+
+// --- Trace neutrality: an installed collector (tracer on) must leave the
+// --- DES trace bit-identical, including the master RNG position.
+
+TEST(Collector, InstalledCollectorIsTraceNeutral) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = 5;
+  cfg.node.num_relays = 3;
+  cfg.node.num_rings = 5;
+  cfg.node.payload_size = 500;
+  cfg.node.send_period = 20 * kMillisecond;
+  const SimDuration horizon = 200 * kMillisecond;
+
+  const auto run = [&cfg, horizon](Collector* c) {
+    const Install install(c);
+    Simulation sim(cfg);
+    sim.start_uniform_traffic();
+    sim.run_for(horizon);
+    return std::tuple{sim.delivery_meter().total_messages(),
+                      sim.simulator().events_processed(),
+                      sim.simulator().rng().next()};
+  };
+
+  const auto plain = run(nullptr);
+  Collector c;
+  c.tracer().set_enabled(true);
+  const auto traced = run(&c);
+  EXPECT_EQ(traced, plain);
+#if RAC_TELEMETRY_ENABLED
+  // Macro record sites compile out under -DRAC_TELEMETRY=OFF, so the
+  // counter and tracer only accumulate in instrumented builds.
+  EXPECT_GT(c.registry().counter(Stat::kNetMessagesSent).value(), 0u);
+  EXPECT_GT(c.tracer().num_events(), 0u);
+#endif
+}
+
+// --- Campaign pool: --jobs N must be byte-stable ---
+
+faults::Scenario jobs_scenario() {
+  faults::Scenario s;
+  s.spec.name = "jobs_stability";
+  s.spec.nodes = 15;
+  s.spec.seeds = 4;
+  s.spec.base_seed = 30;
+  s.spec.duration = 120 * kMillisecond;
+  s.spec.relays = 3;
+  s.spec.rings = 5;
+  s.spec.payload_bytes = 500;
+  s.spec.send_period = 20 * kMillisecond;
+  return s;
+}
+
+TEST(CampaignJobs, MetricsJsonIsByteStableAcrossWorkerCounts) {
+  const faults::Scenario scenario = jobs_scenario();
+  faults::CampaignOptions sequential;
+  faults::CampaignOptions pooled;
+  pooled.jobs = 4;
+  const std::string a =
+      faults::metrics_json(faults::run_campaign(scenario, sequential));
+  const std::string b =
+      faults::metrics_json(faults::run_campaign(scenario, pooled));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"telemetry\""), std::string::npos);
+}
+
+// --- Shared-sink hammer (the TSan lane's main course) ---
+
+TEST(SharedSinks, ConcurrentRecordingIsExact) {
+  constexpr int kThreads = 4;
+  constexpr int kOps = 20'000;
+  Registry reg;
+  SpanTracer tracer;
+  tracer.set_enabled(true);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, &tracer, t] {
+      Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kOps; ++i) {
+        reg.counter(Stat::kNetMessagesSent).add(1);
+        reg.histogram(Hist::kOverlayFanout).record(rng.next() % 4'096);
+        reg.counter("named.shared").add(1);
+        if (i % 1'000 == 0) {
+          tracer.instant(static_cast<std::uint32_t>(t), "tick", i);
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(reg.counter(Stat::kNetMessagesSent).value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(reg.counter("named.shared").value(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(reg.histogram(Hist::kOverlayFanout).count(),
+            static_cast<std::uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(tracer.num_events(),
+            static_cast<std::size_t>(kThreads) * (kOps / 1'000));
+}
+
+}  // namespace
+}  // namespace rac::telemetry

@@ -1,15 +1,22 @@
 #!/usr/bin/env python3
-"""Plot Figures 1 and 3 from the bench binaries' output.
+"""Plot Figures 1 and 3 from the bench binaries' output, and telemetry
+time series from scenario_runner --series.
 
 Usage:
     build/bench/fig1_dissent_throughput > fig1.txt
     build/bench/fig3_rac_throughput   > fig3.txt
     tools/plot_figures.py fig1.txt fig3.txt      # writes fig1.png, fig3.png
 
-Requires matplotlib. The bench output format is one header line starting
-with column names (N first) followed by rows; '#' lines and '-' cells are
-ignored, axes are log-log like the paper's.
+    build/tools/scenario_runner s.scn --series s.series.json
+    tools/plot_figures.py s.series.json          # writes s.series.png
+
+Inputs ending in .json are treated as "rac.telemetry.series/1" documents
+(one subplot per column against sim time); anything else is parsed as a
+bench table. Requires matplotlib. The bench output format is one header
+line starting with column names (N first) followed by rows; '#' lines and
+'-' cells are ignored, axes are log-log like the paper's.
 """
+import json
 import sys
 
 
@@ -68,11 +75,49 @@ def plot(path, out):
     print(f"wrote {out}")
 
 
+def plot_series(path, out):
+    """One subplot per telemetry column against sim time (ms)."""
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "rac.telemetry.series/1":
+        raise SystemExit(f"{path}: not a rac.telemetry.series/1 document")
+    columns = doc["columns"]
+    samples = doc["samples"]
+    if not samples:
+        raise SystemExit(f"{path}: no samples")
+    ts = [row[0] for row in samples]
+    ncols = len(columns) - 1
+    fig, axes = plt.subplots(
+        ncols, 1, figsize=(7, 1.8 * ncols), sharex=True, squeeze=False)
+    for c in range(1, len(columns)):
+        ax = axes[c - 1][0]
+        ax.plot(ts, [row[c] for row in samples], lw=1.2)
+        ax.set_ylabel(columns[c], fontsize=7)
+        ax.grid(True, alpha=0.3)
+    axes[-1][0].set_xlabel("sim time (ms)")
+    fig.suptitle(f"{doc.get('name', path)} (seed {doc.get('seed', '?')})",
+                 fontsize=9)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
 def main():
     if len(sys.argv) < 2:
         raise SystemExit(__doc__)
-    for i, path in enumerate(sys.argv[1:], start=1):
-        plot(path, f"fig{i}.png")
+    fig_index = 0
+    for path in sys.argv[1:]:
+        if path.endswith(".json"):
+            stem = path[: -len(".json")]
+            plot_series(path, f"{stem}.png")
+        else:
+            fig_index += 1
+            plot(path, f"fig{fig_index}.png")
 
 
 if __name__ == "__main__":

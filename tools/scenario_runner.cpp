@@ -1,10 +1,24 @@
 // scenario_runner — run a fault-campaign scenario file and emit metrics.
 //
 //   scenario_runner <scenario.scn> [--out <file>] [--seed N] [--seeds N]
+//                   [--jobs N] [--trace <file>] [--series <file>]
+//                   [--series-dt <ms>]
 //
 // Parses the scenario (see EXPERIMENTS.md "Scenario files"), runs it over
 // its configured seeds (overridable from the command line) and prints the
 // campaign metrics JSON ("rac.faults.campaign/1") to stdout or --out.
+//
+// Telemetry artifacts:
+//   --trace f    Chrome trace_event JSON per run (open in chrome://tracing
+//                or Perfetto). Trace-neutral: does not change the DES trace.
+//   --series f   "rac.telemetry.series/1" time-series JSON per run, sampled
+//                every --series-dt ms (default 1000). The recurring sample
+//                event perturbs the kernel event count, so parity checks
+//                must not pass --series.
+//   --jobs N     run seeds on N worker threads (one engine per thread).
+//                All outputs are byte-identical to --jobs 1.
+// With more than one seed, per-run artifact paths gain a ".seed<seed>"
+// infix before the extension (trace.json -> trace.seed42.json).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -15,11 +29,44 @@
 
 #include "faults/campaign.hpp"
 
+namespace {
+
+/// "out/trace.json", 42 -> "out/trace.seed42.json" (only when the
+/// campaign has several runs; single-run artifacts keep the given path).
+std::string per_seed_path(const std::string& path, std::uint64_t seed,
+                          bool multi_run) {
+  if (!multi_run) return path;
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  const std::string infix = ".seed" + std::to_string(seed);
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + infix;
+  }
+  return path.substr(0, dot) + infix + path.substr(dot);
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << contents;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   const char* scenario_path = nullptr;
   const char* out_path = nullptr;
+  const char* trace_path = nullptr;
+  const char* series_path = nullptr;
   long long seed_override = -1;
   long long seeds_override = -1;
+  long long jobs = 1;
+  double series_dt_ms = 1000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_path = argv[++i];
@@ -27,6 +74,14 @@ int main(int argc, char** argv) {
       seed_override = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--seeds") == 0 && i + 1 < argc) {
       seeds_override = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      jobs = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
+      series_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--series-dt") == 0 && i + 1 < argc) {
+      series_dt_ms = std::atof(argv[++i]);
     } else if (scenario_path == nullptr) {
       scenario_path = argv[i];
     } else {
@@ -34,10 +89,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (scenario_path == nullptr) {
+  if (scenario_path == nullptr || jobs < 1 || series_dt_ms <= 0.0) {
     std::fprintf(stderr,
                  "usage: scenario_runner <scenario.scn> [--out <file>] "
-                 "[--seed N] [--seeds N]\n");
+                 "[--seed N] [--seeds N] [--jobs N] [--trace <file>] "
+                 "[--series <file>] [--series-dt <ms>]\n");
     return 2;
   }
 
@@ -58,16 +114,42 @@ int main(int argc, char** argv) {
     if (seeds_override > 0) {
       scenario.spec.seeds = static_cast<std::uint32_t>(seeds_override);
     }
+
+    rac::faults::CampaignOptions opts;
+    opts.jobs = static_cast<unsigned>(jobs);
+    opts.collect_trace = trace_path != nullptr;
+    opts.series_period =
+        series_path != nullptr
+            ? static_cast<rac::SimDuration>(
+                  series_dt_ms * static_cast<double>(rac::kMillisecond))
+            : 0;
+
     const rac::faults::CampaignResult result =
-        rac::faults::run_campaign(scenario);
+        rac::faults::run_campaign(scenario, opts);
+
+    const bool multi_run = result.runs.size() > 1;
+    for (const rac::faults::RunMetrics& m : result.runs) {
+      if (!m.telemetry) continue;
+      if (trace_path != nullptr) {
+        // pid = run seed: concurrent seeds load side by side in Perfetto.
+        if (!write_file(per_seed_path(trace_path, m.seed, multi_run),
+                        m.telemetry->tracer().chrome_json(m.seed))) {
+          return 1;
+        }
+      }
+      if (series_path != nullptr) {
+        if (!write_file(per_seed_path(series_path, m.seed, multi_run),
+                        m.telemetry->sampler().series().json(
+                            scenario.spec.name, m.seed,
+                            opts.series_period))) {
+          return 1;
+        }
+      }
+    }
+
     const std::string json = rac::faults::metrics_json(result);
     if (out_path != nullptr) {
-      std::ofstream out(out_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", out_path);
-        return 1;
-      }
-      out << json;
+      if (!write_file(out_path, json)) return 1;
     } else {
       std::fputs(json.c_str(), stdout);
     }

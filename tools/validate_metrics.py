@@ -11,6 +11,22 @@ jsonschema package), plus optional semantic assertions used by CTest:
                              equal the fig3 --smoke record (bit-for-bit
                              trace reproduction through the injector path)
 
+Telemetry artifacts (PR 3) are validated too:
+
+  --trace FILE               Chrome trace_event JSON: known ph values,
+                             ts/pid/tid presence, monotone timestamps,
+                             B/E stack balance per (pid, tid) track, and
+                             no async 'e' without a matching open 'b'
+  --series FILE              "rac.telemetry.series/1" JSON: columns[0] is
+                             t_ms, rectangular numeric rows, monotone time
+  --runner-seeds N           forward --seeds N to the runner
+  --runner-jobs N            forward --jobs N to the runner
+  --jobs-stable N            run the scenario twice (--jobs 1 / --jobs N)
+                             and require byte-identical metrics JSON
+
+With --runner, --trace/--series name the artifact paths passed through to
+the runner and are validated after it exits.
+
 Exit status 0 on success; prints the first violation and exits 1 otherwise.
 """
 
@@ -21,6 +37,8 @@ import sys
 import tempfile
 
 SCHEMA_ID = "rac.faults.campaign/1"
+SERIES_SCHEMA_ID = "rac.telemetry.series/1"
+TRACE_PHASES = {"B", "E", "b", "e", "i", "C", "X", "M"}
 
 
 def fail(msg: str) -> None:
@@ -50,6 +68,23 @@ def validate_strategy(s, ctx):
     lat = require(s, "detection_latency_s", dict, ctx)
     for key in ("count", "mean", "min", "max"):
         require(lat, key, float, f"{ctx}.detection_latency_s")
+
+
+def validate_telemetry(tel, ctx):
+    """The per-run / aggregate "telemetry" object (null when absent)."""
+    counters = require(tel, "counters", dict, ctx)
+    for name, value in counters.items():
+        if not isinstance(value, int) or isinstance(value, bool):
+            fail(f"{ctx}.counters[{name!r}]: expected int,"
+                 f" got {type(value).__name__}")
+    for i, h in enumerate(require(tel, "histograms", list, ctx)):
+        hctx = f"{ctx}.histograms[{i}]"
+        require(h, "name", str, hctx)
+        require(h, "mean", float, hctx)
+        for key in ("count", "min", "p50", "p95", "p99", "max"):
+            require(h, key, int, hctx)
+        if not h["min"] <= h["p50"] <= h["p95"] <= h["p99"] <= h["max"]:
+            fail(f"{hctx}: percentiles not monotone")
 
 
 def validate_run(run, ctx):
@@ -83,6 +118,8 @@ def validate_run(run, ctx):
             fail(f"{ctx}.{key}: {v} outside [0, 1]")
     for i, s in enumerate(require(run, "strategies", list, ctx)):
         validate_strategy(s, f"{ctx}.strategies[{i}]")
+    if run.get("telemetry") is not None:
+        validate_telemetry(run["telemetry"], f"{ctx}.telemetry")
 
 
 def validate(doc):
@@ -107,6 +144,86 @@ def validate(doc):
         require(agg, key, float, "$.aggregate")
     for key in ("true_evictions", "false_evictions", "departed_evictions"):
         require(agg, key, int, "$.aggregate")
+    if agg.get("telemetry") is not None:
+        validate_telemetry(agg["telemetry"], "$.aggregate.telemetry")
+
+
+def validate_trace(path):
+    """Chrome trace_event JSON Object Format well-formedness."""
+    with open(path) as f:
+        doc = json.load(f)
+    events = require(doc, "traceEvents", list, "$(trace)")
+    stacks = {}       # (pid, tid) -> [open sync span names]
+    async_open = {}   # (cat, id) -> open nestable-async count
+    last_ts = None
+    for i, e in enumerate(events):
+        ctx = f"$.traceEvents[{i}]"
+        ph = require(e, "ph", str, ctx)
+        if ph not in TRACE_PHASES:
+            fail(f"{ctx}.ph: unknown phase {ph!r}")
+        require(e, "name", str, ctx)
+        ts = require(e, "ts", float, ctx)
+        require(e, "pid", int, ctx)
+        require(e, "tid", int, ctx)
+        if last_ts is not None and ts < last_ts:
+            fail(f"{ctx}: ts {ts} decreases (sim time is monotone)")
+        last_ts = ts
+        track = (e["pid"], e["tid"])
+        if ph == "B":
+            stacks.setdefault(track, []).append(e["name"])
+        elif ph == "E":
+            stack = stacks.get(track)
+            if not stack:
+                fail(f"{ctx}: 'E' for {e['name']!r} with no open span on"
+                     f" track {track}")
+            top = stack.pop()
+            if top != e["name"]:
+                fail(f"{ctx}: 'E' for {e['name']!r} but innermost open span"
+                     f" is {top!r} (nesting violated)")
+        elif ph in ("b", "e"):
+            key = (require(e, "cat", str, ctx), require(e, "id", str, ctx))
+            if ph == "b":
+                async_open[key] = async_open.get(key, 0) + 1
+            elif async_open.get(key, 0) <= 0:
+                fail(f"{ctx}: async 'e' for {key} without an open 'b'")
+            else:
+                async_open[key] -= 1
+        elif ph == "i" and e.get("s") not in ("t", "p", "g"):
+            fail(f"{ctx}: instant scope {e.get('s')!r} invalid")
+    for track, stack in stacks.items():
+        if stack:
+            fail(f"trace: track {track} ends with open spans {stack}"
+                 " (unbalanced B/E)")
+    in_flight = sum(async_open.values())
+    print(f"validate_metrics: trace OK ({len(events)} events,"
+          f" {in_flight} async spans in flight at end)")
+
+
+def validate_series(path):
+    """Versioned time-series JSON for tools/plot_figures.py."""
+    with open(path) as f:
+        doc = json.load(f)
+    if require(doc, "schema", str, "$(series)") != SERIES_SCHEMA_ID:
+        fail(f"$(series).schema: expected {SERIES_SCHEMA_ID!r},"
+             f" got {doc['schema']!r}")
+    require(doc, "name", str, "$(series)")
+    require(doc, "seed", int, "$(series)")
+    require(doc, "sample_period_ms", int, "$(series)")
+    columns = require(doc, "columns", list, "$(series)")
+    if not columns or columns[0] != "t_ms":
+        fail("$(series).columns[0]: must be 't_ms'")
+    last_t = None
+    for i, row in enumerate(require(doc, "samples", list, "$(series)")):
+        if not isinstance(row, list) or len(row) != len(columns):
+            fail(f"$(series).samples[{i}]: row width != len(columns)")
+        for v in row:
+            if not isinstance(v, (int, float)) or isinstance(v, bool):
+                fail(f"$(series).samples[{i}]: non-numeric cell {v!r}")
+        if last_t is not None and row[0] <= last_t:
+            fail(f"$(series).samples[{i}]: t_ms {row[0]} not increasing")
+        last_t = row[0]
+    print(f"validate_metrics: series OK ({len(doc['samples'])} samples,"
+          f" {len(columns) - 1} columns)")
 
 
 def main():
@@ -124,6 +241,19 @@ def main():
     ap.add_argument("--parity-bench", default=None,
                     help="fig3 binary: run '--smoke <nodes> <ms>' and compare"
                          " run 0 against its record")
+    ap.add_argument("--trace", default=None,
+                    help="Chrome trace JSON to validate (forwarded to"
+                         " --runner when given)")
+    ap.add_argument("--series", default=None,
+                    help="telemetry series JSON to validate (forwarded to"
+                         " --runner when given)")
+    ap.add_argument("--runner-seeds", type=int, default=None,
+                    help="forward --seeds N to the runner")
+    ap.add_argument("--runner-jobs", type=int, default=None,
+                    help="forward --jobs N to the runner")
+    ap.add_argument("--jobs-stable", type=int, default=None,
+                    help="with --runner: also run with --jobs N and require"
+                         " byte-identical metrics JSON")
     args = ap.parse_args()
 
     if args.runner is not None:
@@ -131,8 +261,30 @@ def main():
             fail("--runner requires --scenario")
         out = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
         out.close()
-        subprocess.run([args.runner, args.scenario, "--out", out.name],
-                       check=True)
+        cmd = [args.runner, args.scenario, "--out", out.name]
+        if args.runner_seeds is not None:
+            cmd += ["--seeds", str(args.runner_seeds)]
+        if args.runner_jobs is not None:
+            cmd += ["--jobs", str(args.runner_jobs)]
+        if args.trace is not None:
+            cmd += ["--trace", args.trace]
+        if args.series is not None:
+            cmd += ["--series", args.series]
+        subprocess.run(cmd, check=True)
+        if args.jobs_stable is not None:
+            out2 = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+            out2.close()
+            cmd2 = [args.runner, args.scenario, "--out", out2.name,
+                    "--jobs", str(args.jobs_stable)]
+            if args.runner_seeds is not None:
+                cmd2 += ["--seeds", str(args.runner_seeds)]
+            subprocess.run(cmd2, check=True)
+            with open(out.name, "rb") as a, open(out2.name, "rb") as b:
+                if a.read() != b.read():
+                    fail(f"metrics JSON differs between --jobs 1 and"
+                         f" --jobs {args.jobs_stable}")
+            print(f"validate_metrics: --jobs {args.jobs_stable} output"
+                  " byte-identical")
         args.metrics = out.name
     if args.metrics is None:
         fail("no metrics file (positional argument or --runner)")
@@ -140,6 +292,11 @@ def main():
     with open(args.metrics) as f:
         doc = json.load(f)
     validate(doc)
+
+    if args.trace is not None:
+        validate_trace(args.trace)
+    if args.series is not None:
+        validate_series(args.series)
 
     if args.parity_bench is not None:
         scn = doc["scenario"]
