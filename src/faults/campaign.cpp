@@ -479,6 +479,8 @@ LatencySummary summarize(std::vector<double> xs) {
   s.p95 = pct(0.95);
   s.p99 = pct(0.99);
   double sum = 0.0;
+  // merge-order: xs was sorted ascending above, so this FP sum always
+  // adds in the same value order regardless of how runs were collected.
   for (const double x : xs) sum += x;
   s.mean = sum / static_cast<double>(xs.size());
   return s;

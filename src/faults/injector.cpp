@@ -31,7 +31,7 @@ void Injector::at(SimTime t, std::function<void()> fn) {
 
 void Injector::every(SimDuration period, std::function<void()> fn) {
   if (period <= 0) throw std::invalid_argument("Injector::every: period");
-  recurring_.push_back(Recurring{period, std::move(fn)});
+  recurring_.emplace_back(period, std::move(fn));
   Recurring* r = &recurring_.back();
   sim_.simulator().schedule(period, [this, r] { fire_recurring(r); });
 }

@@ -22,7 +22,7 @@ const RingSet& View::rings() const {
     std::vector<RingMember> m;
     m.reserve(members_.size());
     for (const auto& [node, ident] : members_) {
-      m.push_back(RingMember{node, ident});
+      m.emplace_back(node, ident);
     }
     rings_ = std::make_shared<const RingSet>(std::move(m), num_rings_);
     rings_epoch_ = epoch_;

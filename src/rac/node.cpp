@@ -148,7 +148,7 @@ overlay::View* Node::view_for(ScopeId scope) const {
 }
 
 void Node::send_anonymous(const Destination& dest, Bytes payload) {
-  outbox_.push_back(OutgoingMessage{dest, std::move(payload)});
+  outbox_.emplace_back(dest, std::move(payload));
 }
 
 void Node::start() {
@@ -304,7 +304,7 @@ std::optional<Bytes> Node::build_next_onion() {
   if (outbox_.empty() && traffic_gen_) {
     // Infinite-demand workload: synthesize the next message.
     Bytes payload = rng_.bytes(config_.payload_size - 4);
-    outbox_.push_back(OutgoingMessage{traffic_gen_(), std::move(payload)});
+    outbox_.emplace_back(traffic_gen_(), std::move(payload));
   }
   if (outbox_.empty() || group_view_ == nullptr) return std::nullopt;
   const std::vector<EndpointId> relay_eps = pick_relays();
@@ -435,9 +435,8 @@ void Node::process_content(ByteView content) {
       const std::uint64_t duty_id = next_duty_id_++;
       RAC_TELEM_ASYNC_BEGIN("relay", span_id(endpoint_, duty_id), endpoint_,
                             "relay.duty", env_.simulator->now());
-      relay_duties_.push_back(RelayDuty{scope,
-                                        std::move(peeled.next_content),
-                                        env_.simulator->now(), duty_id});
+      relay_duties_.emplace_back(scope, std::move(peeled.next_content),
+                                 env_.simulator->now(), duty_id);
       if (config_.send_period == 0 && running_) {
         // Saturation pacing: make sure a slot is armed soon — the pending
         // one may be the long window-full fallback.
@@ -558,12 +557,18 @@ void Node::run_check_sweep() {
   RAC_TELEM_SPAN_BEGIN(endpoint_, "check_sweep", now);
 
   // Check #1: relays that failed to rebroadcast one of our onions.
-  for (auto it = pending_onions_.begin(); it != pending_onions_.end();) {
+  // pending_onions_ is unordered; the expired entries are processed in
+  // sorted onion-id order so the suspicion bookkeeping and the trace-span
+  // records never inherit the hash map's implementation-defined walk
+  // (rac_lint D1).
+  std::vector<std::uint64_t> expired;
+  for (const auto& [onion_id, po] : pending_onions_) {
+    if (po.deadline <= now) expired.push_back(onion_id);
+  }
+  std::sort(expired.begin(), expired.end());
+  for (const std::uint64_t onion_id : expired) {
+    const auto it = pending_onions_.find(onion_id);
     PendingOnion& po = it->second;
-    if (po.deadline > now) {
-      ++it;
-      continue;
-    }
     const EndpointId culprit = po.relays.at(po.confirmed);
     if (behavior_.allies && behavior_.allies->contains(culprit)) {
       counters_.bump("accusations_suppressed");
@@ -573,9 +578,9 @@ void Node::run_check_sweep() {
     for (std::size_t i = po.confirmed; i < po.expected.size(); ++i) {
       expectation_index_.erase(digest_prefix(po.expected[i]));
     }
-    RAC_TELEM_ASYNC_END("onion", span_id(endpoint_, it->first), endpoint_,
+    RAC_TELEM_ASYNC_END("onion", span_id(endpoint_, onion_id), endpoint_,
                         "onion.flight", now);
-    it = pending_onions_.erase(it);
+    pending_onions_.erase(it);
   }
 
   check_receipts(now);
@@ -599,8 +604,19 @@ void Node::check_receipts(SimTime now) {
   // Check #2: every broadcast must arrive exactly once from each ring
   // predecessor within the timeout.
   const SimTime cutoff = now - config_.check_timeout;
+  // The receipt table is unordered and accusations draw from rng_, so the
+  // due receipts are enforced in sorted bcast-id order: the RNG draw
+  // sequence must be a function of the seed, not of the hash map's walk
+  // (rac_lint D1). Only expired receipts pay the sort, once per sweep.
+  std::vector<std::pair<std::uint64_t, const overlay::Broadcaster::Receipt*>>
+      due;
   for (const auto& [bcast_id, receipt] : bcaster_.receipts()) {
-    if (receipt.first_seen > cutoff) continue;
+    if (receipt.first_seen <= cutoff) due.emplace_back(bcast_id, &receipt);
+  }
+  std::sort(due.begin(), due.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [bcast_id, receipt_ptr] : due) {
+    const overlay::Broadcaster::Receipt& receipt = *receipt_ptr;
     const overlay::View* view = view_for(receipt.scope);
     if (view == nullptr || !view->contains(endpoint_)) continue;
     // Grace window around membership changes: ring relationships for

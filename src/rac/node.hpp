@@ -21,6 +21,7 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -219,7 +220,10 @@ class Node {
   Rng rng_;
 
   overlay::View* group_view_ = nullptr;
-  std::unordered_map<std::uint32_t, overlay::View*> channel_views_;
+  // Ordered on purpose (rac_lint D1): eviction notices iterate this map
+  // and draw from rng_ per channel, so iteration order must be defined.
+  // A node belongs to a handful of channels; the tree walk is not hot.
+  std::map<std::uint32_t, overlay::View*> channel_views_;
   overlay::Broadcaster bcaster_;
   Blacklists blacklists_;
   EvictFn evict_;

@@ -250,7 +250,7 @@ void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
   }
   if (view == nullptr || !view->contains(evicted)) return;  // idempotent
   view->remove(evicted);
-  evictions_.push_back(EvictionRecord{scope, evicted, sim_.now()});
+  evictions_.emplace_back(scope, evicted, sim_.now());
   if (auto* c = telemetry::current()) {
     c->registry().counter(telemetry::Stat::kRacEvictions).add(1);
     c->tracer().instant(evicted, "evicted", sim_.now());

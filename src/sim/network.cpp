@@ -19,7 +19,7 @@ Network::Network(Simulator& sim, NetworkConfig config)
 }
 
 EndpointId Network::add_endpoint(Handler handler) {
-  endpoints_.push_back(Endpoint{std::move(handler), 0, 0, {}});
+  endpoints_.emplace_back(std::move(handler));
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
@@ -77,17 +77,8 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   if (tap_) tap_(from, to, bytes, sim_.now());
 
   // Dropped messages occupy the uplink but never arrive (tail drop after
-  // the bottleneck). The legacy loss_rate shim draws from the simulator
-  // RNG at exactly the point the pre-impairment code did, keeping
-  // loss_rate-only runs bit-identical; it is skipped for messages the
-  // impairment plane already dropped.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  const bool shim_drop =
-      !verdict.drop && config_.loss_rate > 0.0 &&
-      sim_.rng().next_bool(config_.loss_rate);
-#pragma GCC diagnostic pop
-  if (verdict.drop || shim_drop) {
+  // the bottleneck).
+  if (verdict.drop) {
     ++messages_lost_;
     RAC_TELEM_COUNT(kNetMessagesDropped, 1);
     return;

@@ -30,26 +30,15 @@ using Payload = std::shared_ptr<const Bytes>;
 /// Make a shared payload from a byte buffer.
 Payload make_payload(Bytes bytes);
 
-// The pragma region keeps the deprecation warning out of NetworkConfig's
-// own compiler-generated members (default/copy ctors touch the member's
-// initializer in every TU); genuine reads and writes elsewhere still warn.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+// Message loss is not modelled here: install a LinkImpairment
+// (src/faults/impairments.hpp) via Network::set_impairment, which keeps
+// fault draws on their own RNG substream. (A deprecated loss_rate shim
+// drawing from the simulator RNG lived here through PR 3; the migration
+// to the impairment plane is complete and the shim is gone.)
 struct NetworkConfig {
   double link_bps = 1e9;                   // access link capacity
   SimDuration propagation = 50 * kMicrosecond;  // one-way latency
-  /// DEPRECATED: probability that any given message is lost in transit.
-  /// Kept as a compatibility shim — internally it installs a built-in
-  /// uniform-loss impairment drawing from the simulator RNG, exactly as the
-  /// old bolted-on check did. New code should install a LinkImpairment
-  /// (src/faults/impairments.hpp) via Network::set_impairment instead,
-  /// which keeps fault draws on their own RNG substream.
-  [[deprecated(
-      "install a faults::ImpairmentPlane via Network::set_impairment "
-      "instead")]]
-  double loss_rate = 0.0;
 };
-#pragma GCC diagnostic pop
 
 /// Per-message verdict of the impairment plane. Defaults describe an
 /// unimpaired link.
@@ -110,9 +99,7 @@ class Network {
   void set_tap(Tap tap) { tap_ = std::move(tap); }
 
   /// Install (or clear, with nullptr) the impairment plane. Non-owning;
-  /// the impairment must outlive the network or be cleared first. The
-  /// legacy NetworkConfig::loss_rate shim, when active, is consulted after
-  /// the installed plane and only for messages the plane did not drop.
+  /// the impairment must outlive the network or be cleared first.
   void set_impairment(LinkImpairment* impairment) {
     impairment_ = impairment;
   }
@@ -121,7 +108,7 @@ class Network {
   const LinkStats& stats(EndpointId node) const;
   /// Total bytes offered to the network so far.
   std::uint64_t total_bytes() const { return total_bytes_; }
-  /// Messages dropped by impairments (including the legacy loss_rate shim).
+  /// Messages dropped by the impairment plane.
   std::uint64_t messages_lost() const { return messages_lost_; }
 
  private:

@@ -6,7 +6,7 @@
 namespace rac::sim {
 
 void ThroughputMeter::record(SimTime when, std::uint64_t bytes) {
-  samples_.push_back(Sample{when, bytes});
+  samples_.emplace_back(when, bytes);
   total_bytes_ += bytes;
   total_messages_++;
 }

@@ -59,14 +59,14 @@ void Sampler::add_gauge(std::string column, Probe probe) {
   if (columns_set_) {
     throw std::logic_error("Sampler: add probes before the first sample");
   }
-  probes_.push_back(Entry{std::move(column), std::move(probe), false, 0.0});
+  probes_.emplace_back(std::move(column), std::move(probe), false, 0.0);
 }
 
 void Sampler::add_rate(std::string column, Probe probe) {
   if (columns_set_) {
     throw std::logic_error("Sampler: add probes before the first sample");
   }
-  probes_.push_back(Entry{std::move(column), std::move(probe), true, 0.0});
+  probes_.emplace_back(std::move(column), std::move(probe), true, 0.0);
 }
 
 void Sampler::sample(SimTime now) {

@@ -8,8 +8,7 @@
 // longer evidence of freeriding, which is exactly why the paper keeps TCP.
 //
 // Loss is injected through the first-class impairment hook
-// (faults::UniformLoss on its own RNG substream); the deprecated
-// NetworkConfig::loss_rate shim keeps its own coverage below.
+// (faults::UniformLoss on its own RNG substream).
 #include <gtest/gtest.h>
 
 #include "faults/impairments.hpp"
@@ -83,30 +82,6 @@ TEST(LossyNetwork, EmptyPlaneIsLossless) {
   s.run_to_completion();
   EXPECT_EQ(received, 100u);
   EXPECT_EQ(net.messages_lost(), 0u);
-}
-
-// --- Deprecated loss_rate shim: still honoured, draws from the sim RNG ---
-// This is the shim's one deliberate remaining user (compatibility
-// coverage); everything else runs on the impairment plane above. The
-// pragma acknowledges the [[deprecated]] tag on the member.
-
-TEST(LossyNetwork, DropRateIsRespected) {
-  sim::Simulator s(1);
-  sim::NetworkConfig nc;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  nc.loss_rate = 0.3;
-#pragma GCC diagnostic pop
-  nc.propagation = 0;
-  sim::Network net(s, nc);
-  std::size_t received = 0;
-  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
-  net.add_endpoint([&](sim::EndpointId, const sim::Payload&) { ++received; });
-  const sim::Payload p = sim::make_payload(Bytes(100, 0));
-  for (int i = 0; i < 2'000; ++i) net.send(0, 1, p);
-  s.run_to_completion();
-  EXPECT_EQ(received + net.messages_lost(), 2'000u);
-  EXPECT_NEAR(static_cast<double>(net.messages_lost()) / 2'000.0, 0.3, 0.05);
 }
 
 TEST(LossyNetwork, ZeroLossIsLossless) {

@@ -1,0 +1,14 @@
+// Path exemption: common/rng is the one place allowed to touch
+// std::random_device (non-sim seeding helpers) and raw engine machinery.
+// This fixture must produce zero findings.
+#include <cstdint>
+#include <random>
+
+namespace rac {
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;  // permitted here and only here
+  return (static_cast<std::uint64_t>(rd()) << 32) | rd();
+}
+
+}  // namespace rac

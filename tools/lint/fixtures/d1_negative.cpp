@@ -1,0 +1,45 @@
+// D1 negative: unordered iteration with commutative bodies (pure
+// bookkeeping, predicate erase) and ordered-container iteration reaching
+// effects — none of which is an iteration-order hazard.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+
+struct Engine {
+  void schedule(int delay_us);
+};
+
+class Driver {
+ public:
+  // Commutative: integer sum does not depend on visit order.
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto& [id, weight] : table_) {
+      sum += static_cast<std::uint64_t>(weight);
+    }
+    return sum;
+  }
+
+  // Predicate purge: which entries survive is order-independent.
+  void purge(int cutoff) {
+    for (auto it = table_.begin(); it != table_.end();) {
+      if (it->second < cutoff) {
+        it = table_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  // Ordered container: iteration order is defined, scheduling is fine.
+  void fanout_sorted() {
+    for (const auto& [id, weight] : agenda_) {
+      engine_.schedule(weight);
+    }
+  }
+
+ private:
+  Engine engine_;
+  std::unordered_map<std::uint64_t, int> table_;
+  std::map<std::uint64_t, int> agenda_;
+};

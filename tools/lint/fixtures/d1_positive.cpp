@@ -1,0 +1,56 @@
+// D1 positive: unordered iteration whose body reaches order-sensitive
+// effects (scheduling, RNG, serialization — directly or through a callee).
+#include <cstdint>
+#include <unordered_map>
+
+struct Engine {
+  void schedule(int delay_us);
+};
+
+struct Rng {
+  std::uint64_t next_below(std::uint64_t bound);
+};
+
+struct Msg {
+  void encode(int out);
+};
+
+class Driver {
+ public:
+  // Indirect hazard: notify() schedules, so loops calling it inherit the
+  // hazard through the call-graph fixpoint.
+  void notify(int id) { engine_.schedule(id); }
+
+  const std::unordered_map<std::uint64_t, int>& items() const {
+    return table_;
+  }
+
+  void fanout() {
+    for (const auto& [id, weight] : table_) {  // expect: D1
+      engine_.schedule(weight);
+    }
+  }
+
+  void reroll() {
+    for (auto it = table_.begin(); it != table_.end(); ++it) {  // expect: D1
+      it->second = static_cast<int>(rng_.next_below(7));
+    }
+  }
+
+  void broadcast(Msg& m) {
+    for (const auto& [id, weight] : items()) {  // expect: D1
+      m.encode(weight);
+    }
+  }
+
+  void cascade() {
+    for (const auto& [id, weight] : table_) {  // expect: D1
+      notify(weight);
+    }
+  }
+
+ private:
+  Engine engine_;
+  Rng rng_;
+  std::unordered_map<std::uint64_t, int> table_;
+};

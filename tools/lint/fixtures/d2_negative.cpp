@@ -1,0 +1,26 @@
+// D2 negative: simulated time and named substreams — the sanctioned
+// sources — plus identifiers that merely resemble banned tokens.
+#include <cstdint>
+
+namespace rac {
+struct Rng {
+  static Rng substream(std::uint64_t seed, const char* name);
+  double next_double();
+};
+struct Simulator {
+  std::uint64_t now() const;  // sim-time now(): not a wall clock
+};
+}  // namespace rac
+
+double jitter(std::uint64_t seed) {
+  rac::Rng rng = rac::Rng::substream(seed, "jitter");
+  return rng.next_double();
+}
+
+std::uint64_t stamp(const rac::Simulator& sim) {
+  // Member now() on the simulator is sim-time, not *_clock::now().
+  return sim.now();
+}
+
+// Words containing banned substrings must not trip the token rules.
+int operand_count(int grand_total) { return grand_total; }

@@ -1,0 +1,23 @@
+// D2 positive: every banned entropy/wall-clock source class.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned naive_seed() {
+  std::random_device rd;                                   // expect: D2
+  return rd();
+}
+
+int naive_jitter() {
+  return std::rand() % 100;                                // expect: D2
+}
+
+long long naive_stamp() {
+  auto t = std::chrono::steady_clock::now();               // expect: D2
+  return t.time_since_epoch().count();
+}
+
+long long naive_epoch() {
+  return static_cast<long long>(time(nullptr));            // expect: D2
+}

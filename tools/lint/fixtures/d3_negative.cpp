@@ -1,0 +1,20 @@
+// D3 negative: randomness drawn through the project Rng facade only.
+#include <cstdint>
+#include <vector>
+
+namespace rac {
+struct Rng {
+  explicit Rng(std::uint64_t seed);
+  static Rng substream(std::uint64_t seed, const char* name);
+  std::uint64_t next_below(std::uint64_t bound);
+  double next_exponential(double mean);
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+};
+}  // namespace rac
+
+std::uint64_t pick(std::uint64_t seed) {
+  rac::Rng rng = rac::Rng::substream(seed, "pick");
+  return rng.next_below(100);
+}
+
+double churn_gap(rac::Rng& rng) { return rng.next_exponential(2.5); }

@@ -1,0 +1,21 @@
+// D3 positive: raw std:: engines and distributions outside common/rng.
+#include <cstdint>
+#include <random>
+
+std::uint64_t local_engine(std::uint64_t seed) {
+  std::mt19937_64 gen(seed);                               // expect: D3
+  return gen();
+}
+
+int local_distribution(std::uint64_t seed) {
+  std::mt19937 gen(static_cast<unsigned>(seed));           // expect: D3
+  std::uniform_int_distribution<int> dist(0, 9);           // expect: D3
+  return dist(gen);
+}
+
+double local_normal(std::uint64_t seed) {
+  std::default_random_engine gen(                          // expect: D3
+      static_cast<unsigned>(seed));
+  std::normal_distribution<double> dist(0.0, 1.0);         // expect: D3
+  return dist(gen);
+}

@@ -1,0 +1,25 @@
+// D4 negative: stable-id keys, and pointer-parameter comparators that
+// order by a dereferenced field rather than the address.
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+struct Node {
+  std::uint32_t id = 0;
+};
+
+class Tracker {
+ public:
+  void worst_first(std::vector<Node*>& nodes) {
+    std::sort(nodes.begin(), nodes.end(),
+              [](const Node* a, const Node* b) { return a->id < b->id; });
+  }
+
+ private:
+  std::map<std::uint32_t, int> rank_;      // stable-id key
+  std::set<std::uint64_t> seen_;
+  std::unordered_map<const Node*, int> scratch_;  // unordered: no order dep
+};

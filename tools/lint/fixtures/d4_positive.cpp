@@ -1,0 +1,23 @@
+// D4 positive: pointer-keyed ordered containers and address-order sorts.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+class Tracker {
+ public:
+  void observe(const Node* n) { rank_[n] += 1; }
+
+  void worst_first(std::vector<Node*>& nodes) {
+    std::sort(nodes.begin(), nodes.end(),  // expect: D4
+              [](const Node* a, const Node* b) { return a < b; });
+  }
+
+ private:
+  std::map<const Node*, int> rank_;     // expect: D4
+  std::set<Node*> seen_;                // expect: D4
+};

@@ -1,0 +1,23 @@
+// D6 negative: wire structs over sequence/ordered containers, and an
+// unordered container in a struct with no serialization surface.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct RosterMsg {
+  std::vector<std::uint32_t> members;  // defined order
+  Bytes encode() const;
+  static RosterMsg decode(const Bytes& in);
+};
+
+struct TallyFrame {
+  std::map<std::uint32_t, std::uint64_t> votes;  // ordered key walk
+  void serialize(Bytes& out) const;
+};
+
+struct ScratchIndex {  // runtime-only: never serialized
+  std::unordered_map<std::uint32_t, std::size_t> by_id;
+};

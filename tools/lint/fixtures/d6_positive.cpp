@@ -1,0 +1,21 @@
+// D6 positive: wire-serializable structs holding unordered containers.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using Bytes = std::vector<std::uint8_t>;
+
+struct RosterMsg {
+  std::unordered_set<std::uint32_t> members;               // expect: D6
+  Bytes encode() const;
+  static RosterMsg decode(const Bytes& in);
+};
+
+class TallyFrame {
+ public:
+  void serialize(Bytes& out) const;
+
+ private:
+  std::unordered_map<std::uint32_t, std::uint64_t> votes_;  // expect: D6
+};

@@ -1,0 +1,40 @@
+// Suppression semantics: allow(...) with a reason silences a finding on
+// the same line or the next line; a pragma without a reason is itself a
+// finding (S1); allow-file(...) silences a rule for the whole file.
+// rac-lint: allow-file(D4) fixture exercises file-wide suppression
+// expect-suppressed-count: 3
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <random>
+#include <unordered_map>
+
+struct Engine {
+  void schedule(int delay_us);
+};
+
+class Driver {
+ public:
+  int shim() {
+    return std::rand();  // rac-lint: allow(D2) fixture: same-line allow
+  }
+
+  void fanout() {
+    // rac-lint: allow(D1) fixture: next-line allow
+    for (const auto& [id, weight] : table_) {
+      engine_.schedule(weight);
+    }
+  }
+
+  unsigned bad_pragma_below(std::uint64_t seed) {
+    std::mt19937 gen(static_cast<unsigned>(seed));  // expect: D3
+    // expect-next-line: S1
+    // rac-lint: allow(D3)
+    return gen();
+  }
+
+ private:
+  Engine engine_;
+  std::unordered_map<std::uint64_t, int> table_;
+  std::map<const Engine*, int> by_ptr_;  // silenced by allow-file(D4)
+};

@@ -1,0 +1,35 @@
+// D5 negative: the same merge shapes with the order documented, plus
+// integer accumulation (always exact, order-free).
+#include <cstdint>
+#include <vector>
+
+struct Series {
+  std::vector<double> points;
+  double total = 0.0;
+  std::uint64_t count = 0;
+};
+
+class Collector {
+ public:
+  void merge(const Series& other) {
+    // merge-order: shards are merged in ascending seed order by the
+    // single-threaded campaign driver; within a shard, points are summed
+    // in their recorded (sim-time) order.
+    for (const double x : other.points) {
+      total_ += x;
+    }
+    count_ += other.count;
+  }
+
+  std::uint64_t combine_counts(const std::vector<Series>& shards) {
+    std::uint64_t n = 0;
+    for (const Series& s : shards) {
+      n += s.count;  // integer accumulation commutes exactly
+    }
+    return n;
+  }
+
+ private:
+  double total_ = 0.0;
+  std::uint64_t count_ = 0;
+};

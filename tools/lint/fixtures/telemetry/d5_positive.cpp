@@ -1,0 +1,31 @@
+// D5 positive: float accumulation inside a merge path with no documented
+// merge order (fixture lives under a telemetry/ path on purpose).
+#include <cstddef>
+#include <vector>
+
+struct Series {
+  std::vector<double> points;
+  double total = 0.0;
+};
+
+class Collector {
+ public:
+  void merge(const Series& other) {
+    for (const double x : other.points) {
+      total_ += x;                                         // expect: D5
+    }
+  }
+
+  double aggregate_mean(const std::vector<Series>& shards) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (const Series& s : shards) {
+      sum += s.total;                                      // expect: D5
+      n += s.points.size();
+    }
+    return n == 0 ? 0.0 : sum / static_cast<double>(n);
+  }
+
+ private:
+  double total_ = 0.0;
+};

@@ -1,0 +1,936 @@
+#!/usr/bin/env python3
+"""rac_lint: determinism & safety static analysis for the RAC codebase.
+
+Guards the repo's core invariant — same seed => bit-identical event trace —
+by mechanically rejecting the code patterns that historically break DES
+reproductions (see DESIGN.md §9 for the contract and the rule catalogue):
+
+  D1  range-for / iterator loop over std::unordered_{map,set} whose body
+      reaches an order-sensitive effect (scheduling, RNG draw, wire
+      serialization, trace-span emission, stream I/O) — iteration order is
+      implementation-defined, so the effect order would be too.
+  D2  banned entropy/time sources in src/ (std::rand, srand, random_device
+      outside common/rng, *_clock::now, time(), gettimeofday, clock()) —
+      simulation code must use sim::Engine time and common/rng streams.
+  D3  raw std::mt19937 / std:: distribution construction outside common/rng
+      — bypasses substream_seed decorrelation, and std:: distributions are
+      not bit-reproducible across standard libraries.
+  D4  pointer-valued keys in ordered containers / pointer comparators in
+      sorts — address order varies run to run (ASLR, allocator).
+  D5  float/double accumulation inside merge/aggregate functions in
+      telemetry/ and faults/ without a documented fixed merge order
+      ("merge-order:" comment) — FP addition does not commute.
+  D6  unordered containers as members of wire/serializable structs (a type
+      with encode/decode/serialize members) — emission order would be
+      implementation-defined.
+
+Engines:
+  textual  — always available; a comment/string-blanking tokenizer plus a
+             lightweight structural pass (container decls, function extents,
+             range-for loops) and a project-wide hazard call-graph fixpoint.
+  clang    — optional refinement; if the libclang Python bindings are
+             importable, range-for container types are resolved through the
+             real AST instead of the declaration heuristic. The container
+             ships no bindings, so `--engine auto` (default) degrades to
+             textual with a note in the JSON report.
+
+Suppressions (reason is mandatory):
+  // rac-lint: allow(D1) <reason>         same line or the line above
+  // rac-lint: allow-file(D4) <reason>    whole file, first 40 lines
+  // merge-order: <description>           documents a D5 merge order
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+
+SCHEMA_NAME = "rac.lint.report/1"
+
+RULES = {
+    "D1": "unordered iteration reaches an order-sensitive effect",
+    "D2": "banned entropy or wall-clock time source",
+    "D3": "raw std RNG engine/distribution outside common/rng",
+    "D4": "pointer-keyed ordered container or pointer comparator",
+    "D5": "float accumulation in merge path without documented order",
+    "D6": "unordered container inside a wire/serializable struct",
+    "S1": "suppression pragma without a reason",
+}
+
+# ---------------------------------------------------------------------------
+# Lexing: blank comments and string/char literals so rule regexes never match
+# inside them, while preserving byte offsets and line numbers.
+# ---------------------------------------------------------------------------
+
+
+def blank_comments_and_strings(text: str) -> str:
+    out = list(text)
+    i, n = 0, len(text)
+
+    def blank(a: int, b: int) -> None:
+        for k in range(a, b):
+            if out[k] != "\n":
+                out[k] = " "
+
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            blank(i, j)
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            blank(i, j)
+            i = j
+        elif c == '"':
+            if text[max(0, i - 1):i + 1] == 'R"':
+                # Raw string literal R"delim( ... )delim"
+                m = re.match(r'R"([^(\s]*)\(', text[i - 1:])
+                if m:
+                    end = text.find(")" + m.group(1) + '"', i)
+                    j = n if end < 0 else end + len(m.group(1)) + 2
+                    blank(i + 1, j - 1 if end >= 0 else j)
+                    i = j
+                    continue
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            # Digit separators (1'000'000) are not char literals: only blank
+            # when the quote does not sit between alphanumerics.
+            prev_an = i > 0 and (text[i - 1].isalnum() or text[i - 1] == "_")
+            next_an = i + 1 < n and (text[i + 1].isalnum())
+            if prev_an and next_an and j - i <= 2:
+                i += 1
+                continue
+            blank(i + 1, min(j, n))
+            i = min(j, n) + 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def match_paren(code: str, open_idx: int, open_ch: str = "(",
+                close_ch: str = ")") -> int:
+    """Index of the matching close for code[open_idx] (== open_ch), or -1."""
+    depth = 0
+    for i in range(open_idx, len(code)):
+        if code[i] == open_ch:
+            depth += 1
+        elif code[i] == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def line_of(text: str, idx: int) -> int:
+    return text.count("\n", 0, idx) + 1
+
+
+def split_top_level(s: str, sep: str) -> list[str]:
+    """Split on sep at angle/paren/bracket nesting depth 0."""
+    parts, depth, last = [], 0, 0
+    for i, c in enumerate(s):
+        if c in "<([{":
+            depth += 1
+        elif c in ">)]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            parts.append(s[last:i])
+            last = i + 1
+    parts.append(s[last:])
+    return parts
+
+
+# ---------------------------------------------------------------------------
+# Per-file structural model
+# ---------------------------------------------------------------------------
+
+UNORDERED_KINDS = ("unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset", "flat_hash_map", "flat_hash_set")
+ORDERED_KINDS = ("map", "set", "multimap", "multiset")
+
+RX_CONTAINER_DECL = re.compile(
+    r"\b(?:std\s*::\s*)?(unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset|map|set|multimap|multiset|flat_hash_map|"
+    r"flat_hash_set)\s*<")
+
+# Matched against the text right after a candidate definition's closing
+# paren: trailing qualifiers, an optional trailing-return/ctor-init, then
+# the body's opening brace. Call sites end in ';' or ')' and fail this.
+RX_FUNC_TAIL = re.compile(
+    r"\s*(?:const|noexcept|override|final|mutable|&&?|\s)*"
+    r"(?:->\s*[\w:<>,&*\s]+?)?(?::[^{;]*?)?\{")
+
+CONTROL_KEYWORDS = {"if", "for", "while", "switch", "catch", "return",
+                    "sizeof", "alignof", "decltype", "static_assert",
+                    "assert", "defined", "new", "delete", "co_await",
+                    "co_return", "throw"}
+
+# Order-sensitive effect categories for D1. Commutative telemetry sites
+# (RAC_TELEM_COUNT / HIST / GAUGE are atomic adds, bucket increments) are
+# deliberately NOT hazards; span/async/instant records land in the trace
+# artifact in call order and are.
+HAZARDS = {
+    "schedule": re.compile(r"\bschedule(?:_at|_in)?\s*\(|\bcall_(?:at|in)\s*\("),
+    "rng": re.compile(
+        r"\brng_?\b|\bnext_(?:below|double|bool|in|exponential)\s*\(|"
+        r"\bsample_indices\s*\(|\bnext\s*\(\s*\)"),
+    "serialize": re.compile(
+        r"\bencode\s*\(|\bdecode\s*\(|\bserializ\w*\s*[(<]|\bto_bytes\s*\(|"
+        r"\bwrite_(?:u8|u16|u32|u64|bytes|var)\s*\("),
+    "trace": re.compile(
+        r"\bRAC_TELEM_(?:SPAN|ASYNC|INSTANT)\w*\s*\("),
+    "io": re.compile(
+        r"std\s*::\s*c(?:out|err)\b|\bp?f?printf\s*\(|\bofstream\b|"
+        r"\bfwrite\s*\(|\bfputs\s*\("),
+}
+
+RX_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+# Calls that never carry an order-sensitive effect; pruning them keeps the
+# name-based call-graph fixpoint from exploding on common vocabulary.
+CALL_STOPLIST = {
+    "size", "empty", "begin", "end", "cbegin", "cend", "find", "count",
+    "contains", "at", "get", "front", "back", "push_back", "emplace",
+    "emplace_back", "insert", "erase", "clear", "reserve", "resize", "bump",
+    "max", "min", "move", "swap", "static_cast", "dynamic_cast",
+    "reinterpret_cast", "const_cast", "make_pair", "make_unique",
+    "make_shared", "to_string", "data", "c_str", "str", "first", "second",
+    "lock", "unlock", "load", "store", "fetch_add", "value", "has_value",
+    "reset", "release", "emplace_hint", "try_emplace", "key", "now",
+} | CONTROL_KEYWORDS
+
+
+@dataclass
+class Loop:
+    line: int
+    container_expr: str
+    body_span: tuple[int, int]  # [start, end) offsets into code
+    kind: str                   # "range-for" | "iterator"
+
+
+@dataclass
+class Func:
+    name: str
+    line: int
+    body_span: tuple[int, int]
+    direct_hazards: set = field(default_factory=set)
+    calls: set = field(default_factory=set)
+
+
+@dataclass
+class FileModel:
+    path: str
+    rel: str
+    raw: str
+    code: str
+    container_decls: dict = field(default_factory=dict)  # name -> (kind, key)
+    unordered_methods: set = field(default_factory=set)
+    funcs: list = field(default_factory=list)
+    loops: list = field(default_factory=list)
+    float_idents: set = field(default_factory=set)
+    suppress_line: dict = field(default_factory=dict)  # line -> (rules, reason)
+    suppress_file: dict = field(default_factory=dict)  # rule -> reason
+    bad_pragmas: list = field(default_factory=list)    # lines missing reasons
+    merge_order_lines: list = field(default_factory=list)
+
+
+RX_ALLOW = re.compile(r"rac-lint:\s*allow(-file)?\(([^)]*)\)\s*(.*)")
+RX_MERGE_ORDER = re.compile(r"merge-order:\s*\S")
+
+
+def parse_suppressions(model: FileModel) -> None:
+    lines = model.raw.split("\n")
+    for ln, text in enumerate(lines, start=1):
+        comment = None
+        pos = text.find("//")
+        if pos >= 0:
+            comment = text[pos + 2:]
+        else:
+            m = re.search(r"/\*(.*?)\*/", text)
+            if m:
+                comment = m.group(1)
+        if comment is None:
+            continue
+        if RX_MERGE_ORDER.search(comment):
+            model.merge_order_lines.append(ln)
+        m = RX_ALLOW.search(comment)
+        if not m:
+            continue
+        file_wide = bool(m.group(1))
+        rules = {r.strip().upper() for r in m.group(2).split(",") if r.strip()}
+        reason = m.group(3).strip()
+        if not reason or not rules:
+            model.bad_pragmas.append(ln)
+            continue
+        if file_wide:
+            if ln <= 40:
+                for r in rules:
+                    model.suppress_file[r] = reason
+            else:
+                model.bad_pragmas.append(ln)
+        else:
+            # Applies to this line; if the comment stands alone, also to the
+            # next non-blank line.
+            model.suppress_line.setdefault(ln, (set(), reason))[0].update(rules)
+            if text.strip().startswith(("//", "/*")):
+                nxt = ln + 1
+                while nxt <= len(lines) and not lines[nxt - 1].strip():
+                    nxt += 1
+                model.suppress_line.setdefault(
+                    nxt, (set(), reason))[0].update(rules)
+
+
+def scan_container_decls(model: FileModel) -> None:
+    code = model.code
+    for m in RX_CONTAINER_DECL.finditer(code):
+        kind = m.group(1)
+        lt = m.end() - 1
+        gt = match_paren(code, lt, "<", ">")
+        if gt < 0:
+            continue
+        args = split_top_level(code[lt + 1:gt], ",")
+        key_type = args[0].strip() if args else ""
+        tail = code[gt + 1:gt + 160]
+        vm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:=|;|\{|,|\))", tail)
+        name = vm.group(1) if vm else None
+        if name:
+            model.container_decls[name] = (kind, key_type, line_of(code, m.start()))
+        # Method returning a reference to an unordered container:
+        #   const std::unordered_map<...>& receipts() const { ... }
+        rm = re.match(r"\s*&\s*([A-Za-z_]\w*)\s*\(", tail)
+        if rm and kind in UNORDERED_KINDS:
+            model.unordered_methods.add(rm.group(1))
+
+
+def scan_functions(model: FileModel) -> None:
+    """Finds function definitions by checking every `name(`: a definition's
+    close paren is followed by qualifiers/init-list and a `{`, while call
+    sites end in `;`/`)`/`,` and fail the tail match. Linear in file size
+    (each candidate does one bounded tail match)."""
+    code = model.code
+    for m in RX_CALL.finditer(code):
+        name = m.group(1)
+        if name in CONTROL_KEYWORDS:
+            continue
+        j = m.start(1) - 1
+        while j >= 0 and code[j] in " \t":
+            j -= 1
+        if j >= 0 and (code[j] == "." or
+                       (code[j] == ">" and j > 0 and code[j - 1] == "-")):
+            continue  # member-call site, never a definition
+        open_paren = m.end() - 1
+        close_paren = match_paren(code, open_paren)
+        if close_paren < 0:
+            continue
+        tm = RX_FUNC_TAIL.match(code, close_paren + 1,
+                                close_paren + 300)
+        if not tm:
+            continue
+        body_open = tm.end() - 1
+        body_close = match_paren(code, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        f = Func(name=name, line=line_of(code, m.start(1)),
+                 body_span=(body_open, body_close + 1))
+        body = code[body_open:body_close + 1]
+        for cat, rx in HAZARDS.items():
+            if rx.search(body):
+                f.direct_hazards.add(cat)
+        for cm in RX_CALL.finditer(body):
+            if cm.group(1) not in CALL_STOPLIST:
+                f.calls.add(cm.group(1))
+        model.funcs.append(f)
+
+
+def scan_loops(model: FileModel) -> None:
+    code = model.code
+    for m in re.finditer(r"\bfor\s*\(", code):
+        open_paren = m.end() - 1
+        close_paren = match_paren(code, open_paren)
+        if close_paren < 0:
+            continue
+        head = code[open_paren + 1:close_paren]
+        body_start = close_paren + 1
+        while body_start < len(code) and code[body_start] in " \t\n":
+            body_start += 1
+        if body_start >= len(code):
+            continue
+        if code[body_start] == "{":
+            body_end = match_paren(code, body_start, "{", "}")
+            if body_end < 0:
+                continue
+            span = (body_start, body_end + 1)
+        else:
+            semi = code.find(";", body_start)
+            span = (body_start, semi + 1 if semi > 0 else body_start)
+        parts = split_top_level(head, ":")
+        if len(parts) == 2 and ";" not in head:
+            container = parts[1].strip()
+            model.loops.append(Loop(line=line_of(code, m.start()),
+                                    container_expr=container,
+                                    body_span=span, kind="range-for"))
+        else:
+            # Iterator loop: for (auto it = x.begin(); it != x.end(); ...)
+            im = re.search(r"=\s*([\w.\->:()\[\]]+?)\s*\.\s*c?begin\s*\(",
+                           head)
+            if im:
+                model.loops.append(Loop(line=line_of(code, m.start()),
+                                        container_expr=im.group(1),
+                                        body_span=span, kind="iterator"))
+
+
+RX_FLOAT_DECL = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
+
+
+def build_model(path: str, root: str) -> FileModel:
+    with open(path, "r", encoding="utf-8", errors="replace") as fh:
+        raw = fh.read()
+    model = FileModel(path=path, rel=os.path.relpath(path, root), raw=raw,
+                      code=blank_comments_and_strings(raw))
+    parse_suppressions(model)
+    scan_container_decls(model)
+    scan_functions(model)
+    scan_loops(model)
+    model.float_idents = set(RX_FLOAT_DECL.findall(model.code))
+    return model
+
+
+# ---------------------------------------------------------------------------
+# Project model: all files + companion pairing + hazard fixpoint
+# ---------------------------------------------------------------------------
+
+
+class Project:
+    def __init__(self, models: list[FileModel]):
+        self.models = models
+        self.by_path = {m.path: m for m in models}
+        self.unordered_methods: set[str] = set()
+        for m in models:
+            self.unordered_methods |= m.unordered_methods
+        # Hazardous-function fixpoint over bare names.
+        self.fn_hazards: dict[str, set] = {}
+        fn_calls: dict[str, set] = {}
+        for m in models:
+            for f in m.funcs:
+                self.fn_hazards.setdefault(f.name, set()).update(
+                    f.direct_hazards)
+                fn_calls.setdefault(f.name, set()).update(f.calls)
+        changed = True
+        while changed:
+            changed = False
+            for name, calls in fn_calls.items():
+                for callee in calls:
+                    extra = self.fn_hazards.get(callee)
+                    if extra and not extra <= self.fn_hazards[name]:
+                        self.fn_hazards[name] |= extra
+                        changed = True
+
+    def companion(self, model: FileModel) -> FileModel | None:
+        base, ext = os.path.splitext(model.path)
+        other = {".cpp": ".hpp", ".cc": ".hpp", ".hpp": ".cpp",
+                 ".h": ".cpp"}.get(ext)
+        return self.by_path.get(base + other) if other else None
+
+    def container_kind(self, model: FileModel, expr: str):
+        """Resolve a loop's container expression to a container kind."""
+        expr = expr.strip()
+        call = re.search(r"([A-Za-z_]\w*)\s*\(\s*\)\s*$", expr)
+        if call:
+            name = call.group(1)
+            if name in self.unordered_methods:
+                return ("unordered(via method %s())" % name, None)
+            return (None, None)
+        base = re.split(r"[.\->]+", expr.replace("->", "."))[-1].strip()
+        base = base.strip("()& ")
+        for m in (model, self.companion(model)):
+            if m and base in m.container_decls:
+                kind, key, _ = m.container_decls[base]
+                if kind in UNORDERED_KINDS:
+                    return ("unordered(%s %s)" % (kind, base), key)
+                return (None, None)
+        return (None, None)
+
+
+# ---------------------------------------------------------------------------
+# Rules
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+    suppressed: bool = False
+    suppression_reason: str = ""
+
+
+def body_hazards(project: Project, model: FileModel,
+                 span: tuple[int, int]) -> set:
+    body = model.code[span[0]:span[1]]
+    cats = set()
+    for cat, rx in HAZARDS.items():
+        if rx.search(body):
+            cats.add(cat)
+    for cm in RX_CALL.finditer(body):
+        name = cm.group(1)
+        if name in CALL_STOPLIST:
+            continue
+        cats |= project.fn_hazards.get(name, set())
+    return cats
+
+
+def rule_d1(project: Project, model: FileModel) -> list[Finding]:
+    out = []
+    for loop in model.loops:
+        kind, _ = project.container_kind(model, loop.container_expr)
+        if not kind:
+            continue
+        cats = body_hazards(project, model, loop.body_span)
+        if not cats:
+            continue
+        out.append(Finding(
+            "D1", model.rel, loop.line,
+            "%s loop over %s reaches order-sensitive effect(s): %s — "
+            "iteration order is implementation-defined; iterate a sorted "
+            "copy of the keys (or an ordered container) instead" % (
+                loop.kind, kind, ", ".join(sorted(cats)))))
+    return out
+
+
+RX_D2 = [
+    (re.compile(r"\bstd\s*::\s*rand\s*\(|(?<![\w.])\bs?rand\s*\("),
+     "std::rand/srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\b\w*_clock\s*::\s*now\s*\("), "wall-clock ::now()"),
+    (re.compile(r"(?<![\w.>])\btime\s*\(\s*(?:NULL|nullptr|0|&\w+)?\s*\)"),
+     "time()"),
+    (re.compile(r"\bgettimeofday\s*\(|\bclock_gettime\s*\("),
+     "gettimeofday/clock_gettime"),
+]
+
+
+def rule_d2(project: Project, model: FileModel) -> list[Finding]:
+    out = []
+    in_rng = re.search(r"(^|/)common/rng\.(cpp|hpp)$", model.rel)
+    for ln, line in enumerate(model.code.split("\n"), start=1):
+        for rx, what in RX_D2:
+            if rx.search(line):
+                if what == "std::random_device" and in_rng:
+                    continue
+                out.append(Finding(
+                    "D2", model.rel, ln,
+                    "banned entropy/time source %s — use sim::Engine time "
+                    "and common/rng named substreams" % what))
+    return out
+
+
+RX_D3 = re.compile(
+    r"\bstd\s*::\s*(mt19937(?:_64)?|minstd_rand0?|default_random_engine|"
+    r"ranlux\w+|knuth_b|subtract_with_carry_engine|linear_congruential_engine|"
+    r"mersenne_twister_engine|(?:uniform_int|uniform_real|normal|bernoulli|"
+    r"poisson|exponential|geometric|binomial|discrete)_distribution)\b")
+
+
+def rule_d3(project: Project, model: FileModel) -> list[Finding]:
+    if re.search(r"(^|/)common/rng\.(cpp|hpp)$", model.rel):
+        return []
+    out = []
+    for ln, line in enumerate(model.code.split("\n"), start=1):
+        m = RX_D3.search(line)
+        if m:
+            out.append(Finding(
+                "D3", model.rel, ln,
+                "raw std::%s outside common/rng — engines bypass "
+                "substream_seed decorrelation and std:: distributions are "
+                "not bit-reproducible across standard libraries; use "
+                "rac::Rng samplers" % m.group(1)))
+    return out
+
+
+def rule_d4(project: Project, model: FileModel) -> list[Finding]:
+    out = []
+    code = model.code
+    for name, (kind, key, line) in model.container_decls.items():
+        if kind in ORDERED_KINDS and key.rstrip().endswith("*"):
+            out.append(Finding(
+                "D4", model.rel, line,
+                "ordered container '%s' keyed by pointer type '%s' — "
+                "address order varies across runs (ASLR/allocator); key by "
+                "a stable id instead" % (name, key.strip())))
+    # Sorts whose lambda comparator compares raw pointer parameters.
+    for m in re.finditer(r"\b(?:std\s*::\s*)?(?:stable_)?sort\s*\(", code):
+        close = match_paren(code, m.end() - 1)
+        if close < 0:
+            continue
+        call = code[m.start():close]
+        lm = re.search(
+            r"\[[^\]]*\]\s*\(\s*(?:const\s+)?\w+\s*\*\s*(\w+)\s*,\s*"
+            r"(?:const\s+)?\w+\s*\*\s*(\w+)\s*\)", call)
+        if not lm:
+            continue
+        a, b = lm.group(1), lm.group(2)
+        lam_body = call[lm.end():]
+        if re.search(r"\b%s\s*[<>]=?\s*%s\b" % (re.escape(a), re.escape(b)),
+                     lam_body) or re.search(
+                         r"\b%s\s*[<>]=?\s*%s\b" % (re.escape(b),
+                                                    re.escape(a)), lam_body):
+            out.append(Finding(
+                "D4", model.rel, line_of(code, m.start()),
+                "sort comparator orders raw pointers %s/%s by address — "
+                "compare a stable field instead" % (a, b)))
+    return out
+
+
+RX_MERGE_FN = re.compile(r"merge|aggregate|combine|accumulate|summar",
+                         re.IGNORECASE)
+RX_ACCUM = re.compile(r"([A-Za-z_]\w*)\s*\+=")
+
+
+def rule_d5(project: Project, model: FileModel) -> list[Finding]:
+    if not re.search(r"(^|/)(telemetry|faults)/", model.rel):
+        return []
+    out = []
+    comp = project.companion(model)
+    floats = model.float_idents | (comp.float_idents if comp else set())
+    for f in model.funcs:
+        if not RX_MERGE_FN.search(f.name):
+            continue
+        start_line = line_of(model.code, f.body_span[0])
+        end_line = line_of(model.code, f.body_span[1] - 1)
+        documented = any(start_line - 6 <= ln <= end_line
+                         for ln in model.merge_order_lines)
+        if documented:
+            continue
+        body = model.code[f.body_span[0]:f.body_span[1]]
+        for am in RX_ACCUM.finditer(body):
+            ident = am.group(1)
+            if ident in floats:
+                out.append(Finding(
+                    "D5", model.rel,
+                    line_of(model.code, f.body_span[0] + am.start()),
+                    "float accumulation '%s +=' inside merge path '%s' "
+                    "without a documented fixed order — FP addition does "
+                    "not commute; add a '// merge-order: ...' comment "
+                    "stating the deterministic order (or fix the order)" % (
+                        ident, f.name)))
+    return out
+
+
+RX_STRUCT = re.compile(r"\b(struct|class)\s+([A-Za-z_]\w*)\s*"
+                       r"(?:final\s*)?(?::[^;{]*)?\{")
+# Declaration position only: `obj.encode(`, `ptr->encode(` and
+# `Type::decode(` are call sites, not evidence the enclosing struct is a
+# wire type.
+RX_WIRE_METHOD = re.compile(
+    r"(?<![\w.>:])(encode|decode|serialize|deserialize|to_bytes|from_bytes|"
+    r"write_to|read_from)\s*\(")
+
+
+def rule_d6(project: Project, model: FileModel) -> list[Finding]:
+    out = []
+    code = model.code
+    for m in RX_STRUCT.finditer(code):
+        body_open = m.end() - 1
+        body_close = match_paren(code, body_open, "{", "}")
+        if body_close < 0:
+            continue
+        body = code[body_open:body_close]
+        if not RX_WIRE_METHOD.search(body):
+            continue
+        um = re.search(r"\b(?:std\s*::\s*)?(unordered_\w+)\s*<", body)
+        if um:
+            out.append(Finding(
+                "D6", model.rel, line_of(code, body_open + um.start()),
+                "wire/serializable %s '%s' holds a std::%s member — "
+                "emission order would be implementation-defined; use an "
+                "ordered container or serialize a sorted view" % (
+                    m.group(1), m.group(2), um.group(1))))
+    return out
+
+
+RULE_FNS = {"D1": rule_d1, "D2": rule_d2, "D3": rule_d3, "D4": rule_d4,
+            "D5": rule_d5, "D6": rule_d6}
+
+
+def apply_suppressions(model: FileModel,
+                       findings: list[Finding]) -> list[Finding]:
+    for f in findings:
+        if f.rule in model.suppress_file:
+            f.suppressed = True
+            f.suppression_reason = model.suppress_file[f.rule]
+            continue
+        entry = model.suppress_line.get(f.line)
+        if entry and (f.rule in entry[0] or "ALL" in entry[0]):
+            f.suppressed = True
+            f.suppression_reason = entry[1]
+    for ln in model.bad_pragmas:
+        findings.append(Finding(
+            "S1", model.rel, ln,
+            "rac-lint suppression pragma without a rule list or reason — "
+            "write '// rac-lint: allow(Dx) <why this is safe>'"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Optional clang engine (refines D1 container resolution through the AST).
+# ---------------------------------------------------------------------------
+
+
+def try_clang_engine(args):
+    """Returns a set of (abs_path, line) of AST-verified unordered range-fors,
+    or None when the libclang Python bindings are unavailable."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return None
+    if args.compile_commands is None:
+        return None
+    try:
+        cdb_dir = os.path.dirname(os.path.abspath(args.compile_commands))
+        db = cindex.CompilationDatabase.fromDirectory(cdb_dir)
+    except Exception:
+        return None
+    index = cindex.Index.create()
+    hits = set()
+    for path in args.tu_files:
+        cmds = db.getCompileCommands(path)
+        if not cmds:
+            continue
+        argv = [a for a in list(cmds[0].arguments)[1:]
+                if a not in (path, "-c", "-o")]
+        try:
+            tu = index.parse(path, args=argv)
+        except Exception:
+            continue
+        stack = [tu.cursor]
+        while stack:
+            cur = stack.pop()
+            stack.extend(cur.get_children())
+            if cur.kind == cindex.CursorKind.CXX_FOR_RANGE_STMT:
+                children = list(cur.get_children())
+                if len(children) >= 2:
+                    rng = children[-2]
+                    spelled = rng.type.get_canonical().spelling
+                    if "unordered_" in spelled:
+                        loc = cur.location
+                        if loc.file:
+                            hits.add((os.path.abspath(loc.file.name),
+                                      loc.line))
+    return hits
+
+
+# ---------------------------------------------------------------------------
+# Built-in JSON-schema subset validator (no third-party deps).
+# ---------------------------------------------------------------------------
+
+
+def validate_schema(instance, schema, path="$"):
+    errs = []
+    t = schema.get("type")
+    type_map = {"object": dict, "array": list, "string": str,
+                "integer": int, "number": (int, float), "boolean": bool}
+    if t:
+        py = type_map.get(t)
+        if py and not isinstance(instance, py) or (
+                t == "integer" and isinstance(instance, bool)):
+            errs.append("%s: expected %s, got %s" % (
+                path, t, type(instance).__name__))
+            return errs
+    if "enum" in schema and instance not in schema["enum"]:
+        errs.append("%s: %r not in enum %r" % (path, instance, schema["enum"]))
+    if "pattern" in schema and isinstance(instance, str):
+        if not re.search(schema["pattern"], instance):
+            errs.append("%s: %r fails pattern %s" % (path, instance,
+                                                     schema["pattern"]))
+    if isinstance(instance, dict):
+        for req in schema.get("required", []):
+            if req not in instance:
+                errs.append("%s: missing required key '%s'" % (path, req))
+        props = schema.get("properties", {})
+        addl = schema.get("additionalProperties", True)
+        for k, v in instance.items():
+            if k in props:
+                errs += validate_schema(v, props[k], "%s.%s" % (path, k))
+            elif addl is False:
+                errs.append("%s: unexpected key '%s'" % (path, k))
+            elif isinstance(addl, dict):
+                errs += validate_schema(v, addl, "%s.%s" % (path, k))
+    if isinstance(instance, list) and "items" in schema:
+        for i, v in enumerate(instance):
+            errs += validate_schema(v, schema["items"], "%s[%d]" % (path, i))
+    return errs
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+
+def collect_files(args) -> tuple[list[str], list[str]]:
+    """Returns (all files to lint, translation units for the clang engine)."""
+    files, tus = [], []
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+        tus = [f for f in files if f.endswith((".cpp", ".cc"))]
+        return files, tus
+    if not args.compile_commands:
+        raise SystemExit("error: pass --compile-commands or --files")
+    with open(args.compile_commands, "r", encoding="utf-8") as fh:
+        entries = json.load(fh)
+    src_root = os.path.abspath(os.path.join(args.src_root, "src"))
+    seen = set()
+    for e in entries:
+        f = os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
+        if f.startswith(src_root + os.sep) and f not in seen:
+            seen.add(f)
+            tus.append(f)
+    for dirpath, _dirs, names in os.walk(src_root):
+        for n in sorted(names):
+            if n.endswith((".hpp", ".h")):
+                f = os.path.join(dirpath, n)
+                if f not in seen:
+                    seen.add(f)
+    files = sorted(seen)
+    return files, sorted(tus)
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--compile-commands",
+                    help="compile_commands.json (file discovery + clang TUs)")
+    ap.add_argument("--files", nargs="*",
+                    help="explicit file list (fixtures/self-test mode)")
+    ap.add_argument("--src-root", default=".",
+                    help="repo root; lint scope is <src-root>/src")
+    ap.add_argument("--engine", choices=["auto", "textual", "clang"],
+                    default="auto")
+    ap.add_argument("--rules", default="D1,D2,D3,D4,D5,D6",
+                    help="comma-separated rule subset")
+    ap.add_argument("--json", dest="json_out", help="write JSON report here")
+    ap.add_argument("--schema",
+                    default=os.path.join(os.path.dirname(
+                        os.path.abspath(__file__)), "lint_report.schema.json"),
+                    help="report schema (for --validate-schema)")
+    ap.add_argument("--validate-schema", action="store_true",
+                    help="validate the JSON report against --schema")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rid, title in RULES.items():
+            print("%s  %s" % (rid, title))
+        return 0
+
+    try:
+        files, args.tu_files = collect_files(args)
+    except (OSError, json.JSONDecodeError) as e:
+        print("rac_lint: %s" % e, file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.src_root)
+    models = [build_model(f, root) for f in files]
+    project = Project(models)
+
+    engine = "textual"
+    clang_hits = None
+    if args.engine in ("auto", "clang"):
+        clang_hits = try_clang_engine(args)
+        if clang_hits is not None:
+            engine = "clang+textual"
+        elif args.engine == "clang":
+            print("rac_lint: --engine clang requested but the libclang "
+                  "Python bindings are not importable", file=sys.stderr)
+            return 2
+
+    wanted = {r.strip().upper() for r in args.rules.split(",") if r.strip()}
+    findings: list[Finding] = []
+    for model in models:
+        per_file: list[Finding] = []
+        for rid in sorted(wanted):
+            fn = RULE_FNS.get(rid)
+            if fn:
+                per_file += fn(project, model)
+        if clang_hits is not None and "D1" in wanted:
+            textual_d1 = {(f.file, f.line) for f in per_file
+                          if f.rule == "D1"}
+            for (path, line) in clang_hits:
+                rel = os.path.relpath(path, root)
+                if rel == model.rel and (rel, line) not in textual_d1:
+                    loop = next((l for l in model.loops
+                                 if abs(l.line - line) <= 1), None)
+                    if loop and body_hazards(project, model, loop.body_span):
+                        per_file.append(Finding(
+                            "D1", rel, line,
+                            "(AST) range-for over unordered container "
+                            "reaches an order-sensitive effect"))
+        findings += apply_suppressions(model, per_file)
+
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    active = [f for f in findings if not f.suppressed]
+    suppressed = [f for f in findings if f.suppressed]
+
+    report = {
+        "schema": SCHEMA_NAME,
+        "engine": engine,
+        "src_root": root,
+        "files_scanned": len(files),
+        "rules": {rid: RULES[rid] for rid in sorted(RULES)},
+        "findings": [{
+            "rule": f.rule, "file": f.file, "line": f.line,
+            "message": f.message, "suppressed": f.suppressed,
+            **({"suppression_reason": f.suppression_reason}
+               if f.suppressed else {}),
+        } for f in findings],
+        "summary": {
+            "unsuppressed": len(active),
+            "suppressed": len(suppressed),
+            "by_rule": {rid: sum(1 for f in active if f.rule == rid)
+                        for rid in sorted(RULES)
+                        if any(f.rule == rid for f in active)},
+        },
+    }
+
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=False)
+            fh.write("\n")
+
+    if args.validate_schema:
+        with open(args.schema, "r", encoding="utf-8") as fh:
+            schema = json.load(fh)
+        errs = validate_schema(report, schema)
+        if errs:
+            for e in errs:
+                print("schema: %s" % e, file=sys.stderr)
+            return 2
+
+    if not args.quiet:
+        for f in active:
+            print("%s:%d: [%s] %s" % (f.file, f.line, f.rule, f.message))
+        print("rac_lint (%s): %d file(s), %d finding(s) "
+              "(%d suppressed)" % (engine, len(files), len(active),
+                                   len(suppressed)))
+    return 1 if active else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

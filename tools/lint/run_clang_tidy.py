@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""clang-tidy lane with a checked-in baseline (bench/-style ratchet).
+
+Runs clang-tidy (config: the repo's .clang-tidy) over every src/
+translation unit in compile_commands.json, normalizes the findings to
+(file, check, message) triples — line numbers are deliberately dropped so
+unrelated edits don't shift the baseline — and diffs them against
+tools/lint/clang_tidy_baseline.json:
+
+  * findings in the baseline but not the run: reported as retired (good),
+    refresh with --update-baseline;
+  * findings in the run but not the baseline: NEW — exit 1; fix them or,
+    when intentional, --update-baseline after review.
+
+Legacy findings therefore never block, new ones always do.
+
+The container this repo builds in may not ship clang-tidy at all; in that
+case the lane reports SKIPPED and exits 77 (ctest SKIP_RETURN_CODE), so
+`ctest -L lintlane` stays meaningful with and without the toolchain.
+Point $CLANG_TIDY at a binary to override discovery.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+SKIP_RC = 77
+BASELINE_SCHEMA = "rac.lint.tidy-baseline/1"
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+
+def find_clang_tidy() -> str | None:
+    env = os.environ.get("CLANG_TIDY")
+    if env and shutil.which(env):
+        return shutil.which(env)
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    for base in ("/usr/lib/llvm-18/bin", "/usr/lib/llvm-17/bin",
+                 "/usr/lib/llvm-16/bin", "/usr/lib/llvm-15/bin",
+                 "/usr/lib/llvm-14/bin"):
+        cand = os.path.join(base, "clang-tidy")
+        if os.access(cand, os.X_OK):
+            return cand
+    return None
+
+
+RX_DIAG = re.compile(
+    r"^(?P<file>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<sev>warning|error): (?P<msg>.*?) \[(?P<check>[\w.,-]+)\]$")
+
+
+def normalize(msg: str) -> str:
+    # Strip quoted identifiers' context-sensitive noise conservatively:
+    # the triple stays stable across unrelated renames of line numbers
+    # only; identifier names are kept (they are part of the finding).
+    return re.sub(r"\s+", " ", msg.strip())
+
+
+def run_tidy(tidy: str, files: list[str], build_dir: str, src_root: str,
+             jobs: int) -> set[tuple[str, str, str]]:
+    findings = set()
+    procs: list[tuple[str, subprocess.Popen]] = []
+
+    def drain(item):
+        path, proc = item
+        out, _err = proc.communicate()
+        for line in out.splitlines():
+            m = RX_DIAG.match(line)
+            if not m:
+                continue
+            f = os.path.relpath(os.path.abspath(m.group("file")), src_root)
+            if f.startswith(".."):
+                continue  # system/third-party header
+            for check in m.group("check").split(","):
+                findings.add((f, check, normalize(m.group("msg"))))
+
+    for path in files:
+        procs.append((path, subprocess.Popen(
+            [tidy, "-p", build_dir, "--quiet", path],
+            stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True)))
+        if len(procs) >= jobs:
+            drain(procs.pop(0))
+    for item in procs:
+        drain(item)
+    return findings
+
+
+def load_baseline(path: str) -> set[tuple[str, str, str]]:
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if data.get("schema") != BASELINE_SCHEMA:
+        raise SystemExit("baseline %s: unknown schema %r"
+                         % (path, data.get("schema")))
+    return {(f["file"], f["check"], f["message"])
+            for f in data.get("findings", [])}
+
+
+def save_baseline(path: str, tidy: str,
+                  findings: set[tuple[str, str, str]]) -> None:
+    data = {
+        "schema": BASELINE_SCHEMA,
+        "clang_tidy": os.path.basename(tidy),
+        "findings": [{"file": f, "check": c, "message": m}
+                     for (f, c, m) in sorted(findings)],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2)
+        fh.write("\n")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--build-dir", required=True,
+                    help="build dir containing compile_commands.json")
+    ap.add_argument("--src-root", default=".")
+    ap.add_argument("--baseline",
+                    default=os.path.join(HERE, "clang_tidy_baseline.json"))
+    ap.add_argument("--update-baseline", action="store_true")
+    ap.add_argument("--jobs", type=int,
+                    default=max(1, multiprocessing.cpu_count() // 2))
+    args = ap.parse_args()
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("run_clang_tidy: SKIPPED — no clang-tidy binary on this "
+              "machine (set $CLANG_TIDY to override); the rac_lint and "
+              "format lanes still gate determinism/safety")
+        return SKIP_RC
+
+    cc_path = os.path.join(args.build_dir, "compile_commands.json")
+    if not os.path.exists(cc_path):
+        print("run_clang_tidy: %s not found — configure with "
+              "CMAKE_EXPORT_COMPILE_COMMANDS=ON" % cc_path, file=sys.stderr)
+        return 2
+    src_root = os.path.abspath(args.src_root)
+    with open(cc_path, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    src_prefix = os.path.join(src_root, "src") + os.sep
+    files = sorted({
+        os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
+        for e in entries})
+    files = [f for f in files if f.startswith(src_prefix)]
+    if not files:
+        print("run_clang_tidy: no src/ translation units in %s" % cc_path,
+              file=sys.stderr)
+        return 2
+
+    print("run_clang_tidy: %s over %d TUs (%d jobs)"
+          % (tidy, len(files), args.jobs))
+    current = run_tidy(tidy, files, args.build_dir, src_root, args.jobs)
+
+    if args.update_baseline or not os.path.exists(args.baseline):
+        save_baseline(args.baseline, tidy, current)
+        print("run_clang_tidy: baseline written to %s (%d findings)"
+              % (args.baseline, len(current)))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    new = sorted(current - baseline)
+    retired = sorted(baseline - current)
+    for f, c, m in retired:
+        print("retired (in baseline, not in run): %s [%s] %s" % (f, c, m))
+    for f, c, m in new:
+        print("NEW: %s [%s] %s" % (f, c, m))
+    print("run_clang_tidy: %d finding(s), %d new, %d retired (baseline %d)"
+          % (len(current), len(new), len(retired), len(baseline)))
+    if retired and not new:
+        print("run_clang_tidy: refresh the ratchet with --update-baseline")
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

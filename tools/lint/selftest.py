@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Golden-fixture self-test for rac_lint.py.
+
+Every fixture under fixtures/ is linted in its own driver invocation (so
+bare-name call graphs cannot leak across fixtures). Expected findings are
+declared inline:
+
+    ... offending code ...   // expect: D3
+    // expect-next-line: S1
+    // expect-suppressed-count: 3   (file-level, suppression fixtures)
+
+A fixture passes when the set of unsuppressed findings reported by the
+driver (rule, line) equals the set of expect markers exactly — positives
+must fire on their marked lines, negatives (no markers) must stay silent.
+The emitted JSON is schema-validated on every invocation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "rac_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+RX_EXPECT = re.compile(r"//\s*expect:\s*([DS]\d)")
+RX_EXPECT_NEXT = re.compile(r"//\s*expect-next-line:\s*([DS]\d)")
+RX_EXPECT_SUPP = re.compile(r"//\s*expect-suppressed-count:\s*(\d+)")
+
+
+def parse_expectations(path):
+    expected, suppressed_count = set(), None
+    with open(path, encoding="utf-8") as fh:
+        for ln, line in enumerate(fh, start=1):
+            for m in RX_EXPECT.finditer(line):
+                expected.add((m.group(1), ln))
+            for m in RX_EXPECT_NEXT.finditer(line):
+                expected.add((m.group(1), ln + 1))
+            m = RX_EXPECT_SUPP.search(line)
+            if m:
+                suppressed_count = int(m.group(1))
+    return expected, suppressed_count
+
+
+def run_fixture(path):
+    rel = os.path.relpath(path, FIXTURES)
+    expected, supp_count = parse_expectations(path)
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        out_json = tmp.name
+    try:
+        proc = subprocess.run(
+            [sys.executable, LINT, "--files", path, "--src-root", FIXTURES,
+             "--engine", "textual", "--json", out_json, "--validate-schema",
+             "-q"],
+            capture_output=True, text=True)
+        if proc.returncode == 2:
+            return ["%s: driver error:\n%s" % (rel, proc.stderr)]
+        with open(out_json, encoding="utf-8") as fh:
+            report = json.load(fh)
+    finally:
+        os.unlink(out_json)
+
+    errors = []
+    actual = {(f["rule"], f["line"]) for f in report["findings"]
+              if not f["suppressed"]}
+    for miss in sorted(expected - actual):
+        errors.append("%s: expected %s at line %d — did not fire"
+                      % (rel, miss[0], miss[1]))
+    for extra in sorted(actual - expected):
+        msg = next(f["message"] for f in report["findings"]
+                   if (f["rule"], f["line"]) == extra and not f["suppressed"])
+        errors.append("%s: unexpected %s at line %d: %s"
+                      % (rel, extra[0], extra[1], msg))
+    if supp_count is not None:
+        got = report["summary"]["suppressed"]
+        if got != supp_count:
+            errors.append("%s: expected %d suppressed findings, got %d"
+                          % (rel, supp_count, got))
+        for f in report["findings"]:
+            if f["suppressed"] and not f.get("suppression_reason"):
+                errors.append("%s: suppressed finding at line %d lost its "
+                              "reason" % (rel, f["line"]))
+    want_rc = 1 if expected else 0
+    if proc.returncode != want_rc:
+        errors.append("%s: exit code %d, expected %d"
+                      % (rel, proc.returncode, want_rc))
+    return errors
+
+
+def main() -> int:
+    fixtures = []
+    for dirpath, _dirs, names in os.walk(FIXTURES):
+        for n in sorted(names):
+            if n.endswith((".cpp", ".hpp")):
+                fixtures.append(os.path.join(dirpath, n))
+    if not fixtures:
+        print("selftest: no fixtures found under %s" % FIXTURES)
+        return 1
+
+    # Every rule must have at least one positive and one negative fixture.
+    rules = ("D1", "D2", "D3", "D4", "D5", "D6")
+    by_rule = {r: {"pos": 0, "neg": 0} for r in rules}
+    for f in fixtures:
+        expected, _ = parse_expectations(f)
+        base = os.path.basename(f)
+        for r in rules:
+            if base.startswith(r.lower() + "_positive"):
+                by_rule[r]["pos"] += 1
+            if base.startswith(r.lower() + "_negative"):
+                by_rule[r]["neg"] += 1
+                if expected:
+                    print("selftest: negative fixture %s carries expect "
+                          "markers" % base)
+                    return 1
+    missing = [r for r, c in by_rule.items()
+               if c["pos"] == 0 or c["neg"] == 0]
+    if missing:
+        print("selftest: rules missing positive/negative fixtures: %s"
+              % ", ".join(missing))
+        return 1
+
+    failures = []
+    for f in fixtures:
+        failures += run_fixture(f)
+    n = len(fixtures)
+    if failures:
+        for e in failures:
+            print("FAIL %s" % e)
+        print("selftest: %d fixture(s), %d failure(s)" % (n, len(failures)))
+        return 1
+    print("selftest: %d fixture(s) OK (all rules fire on positives, stay "
+          "quiet on negatives, suppressions honoured)" % n)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
