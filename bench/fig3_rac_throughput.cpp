@@ -56,7 +56,8 @@ double des_rac_kbps(std::uint32_t n, std::uint32_t group_target,
          (cell / cell_10k) / 1e3;
 }
 
-int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
+int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload,
+              unsigned shards) {
   SimulationConfig cfg;
   cfg.num_nodes = n;
   cfg.group_target = 0;
@@ -67,6 +68,7 @@ int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
   cfg.node.send_period = 0;
   cfg.node.saturation_window = 16;
   cfg.node.check_sweep_period = 0;
+  cfg.shards = shards;
   Simulation sim(cfg);
   sim.start_uniform_traffic();
 
@@ -75,7 +77,7 @@ int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
   const auto t1 = std::chrono::steady_clock::now();
   const double wall_s = std::chrono::duration<double>(t1 - t0).count();
 
-  const std::uint64_t events = sim.simulator().events_processed();
+  const std::uint64_t events = sim.events_processed();
   const double goodput_kbps =
       sim.avg_node_goodput_bps(horizon / 2, sim.simulator().now()) / 1e3;
   std::printf(
@@ -83,6 +85,7 @@ int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
       "  \"nodes\": %u,\n"
       "  \"sim_seconds\": %.6f,\n"
       "  \"payload_bytes\": %zu,\n"
+      "  \"shards\": %u,\n"
       "  \"delivered_payloads\": %llu,\n"
       "  \"delivered_bytes\": %llu,\n"
       "  \"avg_node_goodput_kbps\": %.3f,\n"
@@ -91,7 +94,7 @@ int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
       "  \"events_per_sec\": %.1f,\n"
       "  \"wall_per_sim_second\": %.6f\n"
       "}\n",
-      n, to_seconds(horizon), payload,
+      n, to_seconds(horizon), payload, shards,
       static_cast<unsigned long long>(sim.delivery_meter().total_messages()),
       static_cast<unsigned long long>(sim.delivery_meter().total_bytes()),
       goodput_kbps, static_cast<unsigned long long>(events), wall_s,
@@ -103,6 +106,17 @@ int run_smoke(std::uint32_t n, SimDuration horizon, std::size_t payload) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // `--shards K` (anywhere on the command line): run the smoke point on
+  // the K-shard windowed kernel; 0 keeps the classic single-engine path.
+  unsigned shards = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = static_cast<unsigned>(std::atoi(argv[i + 1]));
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   if (argc >= 2 && std::strcmp(argv[1], "--smoke") == 0) {
     const std::uint32_t n =
         argc > 2 ? static_cast<std::uint32_t>(std::atoi(argv[2])) : 100;
@@ -110,7 +124,7 @@ int main(int argc, char** argv) {
         (argc > 3 ? std::atoll(argv[3]) : 400) * kMillisecond;
     const std::size_t payload =
         argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : 2'000;
-    return run_smoke(n, horizon, payload);
+    return run_smoke(n, horizon, payload, shards);
   }
   std::printf(
       "# Figure 3: throughput (kb/s per node) vs N\n"

@@ -1,0 +1,195 @@
+// Microbenchmark for the sharded windowed DES kernel (DESIGN.md §11).
+//
+// Runs the same end-to-end RAC workload (uniform traffic, fig3 smoke
+// configuration) on the windowed kernel at each shard count in
+// --shards-list and reports events/sec per K plus speedup relative to
+// K = 1. Because the windowed kernel's trace is bit-identical for every
+// K >= 1, the runs double as a determinism self-check: any divergence in
+// (delivered payloads, delivered bytes, kernel events) across K is a
+// kernel bug and fails the benchmark with exit code 1.
+//
+// Usage: micro_engine_sharded [--json <path|->] [--nodes N] [--ms M]
+//                             [--payload B] [--shards-list 1,2,4,8]
+//
+// Reported speedups are only meaningful when hw_threads (also reported)
+// exceeds the shard count; on a single-core host every K > 1 point mostly
+// measures barrier overhead.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "rac/simulation.hpp"
+
+namespace {
+
+using namespace rac;
+
+struct ShardRun {
+  unsigned shards = 0;
+  std::uint64_t delivered_payloads = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec() const {
+    return wall_s > 0 ? static_cast<double>(events) / wall_s : 0.0;
+  }
+};
+
+ShardRun run_one(std::uint32_t nodes, SimDuration horizon,
+                 std::size_t payload, unsigned shards) {
+  SimulationConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.group_target = 0;
+  cfg.seed = 42;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = payload;
+  cfg.node.send_period = 0;
+  cfg.node.saturation_window = 16;
+  cfg.node.check_sweep_period = 0;
+  cfg.shards = shards;
+  Simulation sim(cfg);
+  sim.start_uniform_traffic();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_for(horizon);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  ShardRun r;
+  r.shards = shards;
+  r.delivered_payloads = sim.delivery_meter().total_messages();
+  r.delivered_bytes = sim.delivery_meter().total_bytes();
+  r.events = sim.events_processed();
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = nullptr;
+  std::uint32_t nodes = 100;
+  long long sim_ms = 400;
+  std::size_t payload = 2'000;
+  std::vector<unsigned> shard_list = {1, 2, 4, 8};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--nodes") == 0 && i + 1 < argc) {
+      nodes = static_cast<std::uint32_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+      sim_ms = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--payload") == 0 && i + 1 < argc) {
+      payload = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--shards-list") == 0 && i + 1 < argc) {
+      shard_list.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        char* end = nullptr;
+        const unsigned k = static_cast<unsigned>(std::strtoul(p, &end, 10));
+        if (end == p || k == 0) {
+          std::fprintf(stderr, "bad --shards-list entry: %s\n", p);
+          return 2;
+        }
+        shard_list.push_back(k);
+        p = (*end == ',') ? end + 1 : end;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: micro_engine_sharded [--json <path|->] "
+                   "[--nodes N] [--ms M] [--payload B] "
+                   "[--shards-list 1,2,4,8]\n");
+      return 2;
+    }
+  }
+  if (nodes == 0 || sim_ms <= 0 || shard_list.empty()) {
+    std::fprintf(stderr, "micro_engine_sharded: empty workload\n");
+    return 2;
+  }
+
+  const SimDuration horizon = sim_ms * kMillisecond;
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+
+  std::printf("# sharded windowed kernel: %u nodes, %lld ms sim, %zu B "
+              "payload, %u hw threads\n",
+              nodes, sim_ms, payload, hw_threads);
+  std::printf("%8s %14s %10s %14s %12s\n", "shards", "events", "wall_s",
+              "events/sec", "speedup_v1");
+
+  std::vector<ShardRun> runs;
+  runs.reserve(shard_list.size());
+  double base_eps = 0;
+  bool deterministic = true;
+  for (const unsigned k : shard_list) {
+    runs.push_back(run_one(nodes, horizon, payload, k));
+    const ShardRun& r = runs.back();
+    if (runs.size() == 1) base_eps = r.events_per_sec();
+    std::printf("%8u %14llu %10.3f %14.1f %12.2f\n", r.shards,
+                static_cast<unsigned long long>(r.events), r.wall_s,
+                r.events_per_sec(),
+                base_eps > 0 ? r.events_per_sec() / base_eps : 0.0);
+    if (r.delivered_payloads != runs.front().delivered_payloads ||
+        r.delivered_bytes != runs.front().delivered_bytes ||
+        r.events != runs.front().events) {
+      deterministic = false;
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at shards=%u: "
+                   "(%llu payloads, %llu bytes, %llu events) != shards=%u "
+                   "(%llu, %llu, %llu)\n",
+                   r.shards,
+                   static_cast<unsigned long long>(r.delivered_payloads),
+                   static_cast<unsigned long long>(r.delivered_bytes),
+                   static_cast<unsigned long long>(r.events),
+                   runs.front().shards,
+                   static_cast<unsigned long long>(
+                       runs.front().delivered_payloads),
+                   static_cast<unsigned long long>(
+                       runs.front().delivered_bytes),
+                   static_cast<unsigned long long>(runs.front().events));
+    }
+  }
+
+  if (json_path != nullptr) {
+    std::FILE* out = std::strcmp(json_path, "-") == 0
+                         ? stdout
+                         : std::fopen(json_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path);
+      return 1;
+    }
+    std::fprintf(out,
+                 "{\n"
+                 "  \"schema\": \"rac-bench-shard-v1\",\n"
+                 "  \"nodes\": %u,\n"
+                 "  \"sim_seconds\": %.6f,\n"
+                 "  \"payload_bytes\": %zu,\n"
+                 "  \"hw_threads\": %u,\n"
+                 "  \"cross_k_deterministic\": %s,\n"
+                 "  \"runs\": [\n",
+                 nodes, to_seconds(horizon), payload, hw_threads,
+                 deterministic ? "true" : "false");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const ShardRun& r = runs[i];
+      std::fprintf(
+          out,
+          "    {\"shards\": %u, \"delivered_payloads\": %llu, "
+          "\"delivered_bytes\": %llu, \"events\": %llu, "
+          "\"wall_s\": %.6f, \"events_per_sec\": %.1f, "
+          "\"speedup_vs_1\": %.4f}%s\n",
+          r.shards, static_cast<unsigned long long>(r.delivered_payloads),
+          static_cast<unsigned long long>(r.delivered_bytes),
+          static_cast<unsigned long long>(r.events), r.wall_s,
+          r.events_per_sec(),
+          base_eps > 0 ? r.events_per_sec() / base_eps : 0.0,
+          i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    if (out != stdout) std::fclose(out);
+  }
+
+  return deterministic ? 0 : 1;
+}

@@ -209,10 +209,17 @@ void materialize_events(const Scenario& scenario, Injector& injector) {
 RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
                         const CampaignOptions& opts) {
   const ScenarioSpec& spec = scenario.spec;
+  if (opts.collect_trace && opts.shards > 0) {
+    throw std::invalid_argument(
+        "run_scenario: --trace is incompatible with --shards (the span "
+        "tracer is not thread-safe when enabled)");
+  }
   auto collector = std::make_shared<telemetry::Collector>();
   collector->tracer().set_enabled(opts.collect_trace);
   const telemetry::Install install(collector.get());
-  Simulation sim(spec.to_simulation_config(seed));
+  SimulationConfig cfg = spec.to_simulation_config(seed);
+  cfg.shards = opts.shards;
+  Simulation sim(cfg);
   Injector injector(sim, seed);
   materialize_events(scenario, injector);
   if (spec.blacklist_round_period > 0) {
@@ -247,8 +254,7 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
       return to_seconds(simp->network().total_uplink_backlog()) * 1e3;
     });
     sampler.add_gauge("kernel_pending_events", [simp] {
-      return static_cast<double>(
-          simp->simulator().kernel_telemetry().pending);
+      return static_cast<double>(simp->pending_events());
     });
     sampler.add_gauge("active_groups", [simp] {
       return static_cast<double>(simp->active_groups().size());
@@ -280,7 +286,7 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
                           .value();
   m.goodput_bps =
       sim.avg_node_goodput_bps(spec.duration / 2, sim.simulator().now());
-  m.events = sim.simulator().events_processed();
+  m.events = sim.events_processed();
   m.messages_lost = sim.network().messages_lost();
   if (const ChurnProcess* churn = injector.churn()) {
     m.joins = churn->joins();

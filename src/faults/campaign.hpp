@@ -42,6 +42,14 @@ struct CampaignOptions {
   /// sample event perturbs the kernel event *count* (never the protocol
   /// trace), so parity anchors must leave this at 0.
   SimDuration series_period = 0;
+  /// Shard each run across this many windowed-kernel engines (0 = classic
+  /// single-engine path; see DESIGN.md §11). Composes with `jobs`: jobs
+  /// parallelizes across seeds, shards parallelizes within one run. The
+  /// windowed kernel's trace is bit-identical for every shards >= 1 but is
+  /// a different (equally valid) trace than shards = 0, so parity anchors
+  /// pin the two kernels separately. Incompatible with collect_trace: the
+  /// span tracer is not thread-safe when enabled.
+  unsigned shards = 0;
 };
 
 struct EvictionOutcome {

@@ -1,6 +1,25 @@
 #include "faults/impairments.hpp"
 
+#include <algorithm>
+
 namespace rac::faults {
+
+namespace {
+
+// Lazily materialize the sending endpoint's substream. Slots are pre-sized
+// via reserve_endpoints() when installed through a Network, so under the
+// sharded kernel concurrent apply() calls only ever touch the slot of an
+// endpoint owned by the calling shard; the resize fallback exists for
+// standalone (single-threaded) use of an impairment.
+Rng& endpoint_stream(std::vector<std::optional<Rng>>& streams,
+                     std::uint64_t base_seed, EndpointId from) {
+  if (from >= streams.size()) streams.resize(from + 1);
+  auto& slot = streams[from];
+  if (!slot) slot.emplace(substream_seed(base_seed, std::uint64_t{from}));
+  return *slot;
+}
+
+}  // namespace
 
 void UniformLoss::apply(EndpointId from, EndpointId to, std::size_t bytes,
                         LinkVerdict& verdict) {
@@ -13,17 +32,30 @@ void UniformLoss::apply(EndpointId from, EndpointId to, std::size_t bytes,
   // Draw unconditionally (even when the message is already doomed or the
   // rate is 0 while links override it): one draw per message keeps this
   // impairment's stream consumption independent of the others' decisions.
-  if (rng_.next_bool(rate)) verdict.drop = true;
+  // The draw comes from the sender's substream, so it is a pure function of
+  // (seed, from, per-sender message index) — independent of how senders'
+  // messages interleave globally.
+  if (endpoint_stream(streams_, base_seed_, from).next_bool(rate)) {
+    verdict.drop = true;
+  }
+}
+
+void UniformLoss::reserve_endpoints(std::size_t n) {
+  if (n > streams_.size()) streams_.resize(n);
 }
 
 void LatencyJitter::apply(EndpointId from, EndpointId to, std::size_t bytes,
                           LinkVerdict& verdict) {
-  (void)from;
   (void)to;
   (void)bytes;
   if (max_jitter_ <= 0) return;
   verdict.extra_delay += static_cast<SimDuration>(
-      rng_.next_below(static_cast<std::uint64_t>(max_jitter_) + 1));
+      endpoint_stream(streams_, base_seed_, from)
+          .next_below(static_cast<std::uint64_t>(max_jitter_) + 1));
+}
+
+void LatencyJitter::reserve_endpoints(std::size_t n) {
+  if (n > streams_.size()) streams_.resize(n);
 }
 
 void BandwidthThrottle::apply(EndpointId from, EndpointId to,
@@ -59,21 +91,25 @@ void Partition::apply(EndpointId from, EndpointId to, std::size_t bytes,
 
 UniformLoss& ImpairmentPlane::add_loss(double rate, Rng rng) {
   chain_.push_back(std::make_unique<UniformLoss>(rate, rng));
+  chain_.back()->reserve_endpoints(reserved_endpoints_);
   return static_cast<UniformLoss&>(*chain_.back());
 }
 
 LatencyJitter& ImpairmentPlane::add_jitter(SimDuration max_jitter, Rng rng) {
   chain_.push_back(std::make_unique<LatencyJitter>(max_jitter, rng));
+  chain_.back()->reserve_endpoints(reserved_endpoints_);
   return static_cast<LatencyJitter&>(*chain_.back());
 }
 
 BandwidthThrottle& ImpairmentPlane::add_throttle(double factor) {
   chain_.push_back(std::make_unique<BandwidthThrottle>(factor));
+  chain_.back()->reserve_endpoints(reserved_endpoints_);
   return static_cast<BandwidthThrottle&>(*chain_.back());
 }
 
 Partition& ImpairmentPlane::add_partition() {
   chain_.push_back(std::make_unique<Partition>());
+  chain_.back()->reserve_endpoints(reserved_endpoints_);
   return static_cast<Partition&>(*chain_.back());
 }
 
@@ -82,6 +118,19 @@ void ImpairmentPlane::apply(EndpointId from, EndpointId to, std::size_t bytes,
   for (const auto& imp : chain_) {
     if (imp->enabled()) imp->apply(from, to, bytes, verdict);
   }
+}
+
+SimDuration ImpairmentPlane::min_extra_delay() const {
+  SimDuration bound = 0;
+  for (const auto& imp : chain_) {
+    bound += std::min<SimDuration>(0, imp->min_extra_delay());
+  }
+  return bound;
+}
+
+void ImpairmentPlane::reserve_endpoints(std::size_t n) {
+  reserved_endpoints_ = std::max(reserved_endpoints_, n);
+  for (const auto& imp : chain_) imp->reserve_endpoints(reserved_endpoints_);
 }
 
 }  // namespace rac::faults

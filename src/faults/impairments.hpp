@@ -3,10 +3,15 @@
 // Each impairment is one fault model (loss, jitter, throttle, partition)
 // with its own RNG substream; the ImpairmentPlane chains them and plugs
 // into sim::Network as its LinkImpairment hook. Determinism contract: an
-// impairment draws randomness ONLY from the Rng it was constructed with
-// (an injector substream), never from the simulator RNG — so a plane with
-// no enabled impairments leaves a run bit-identical to one with no plane
-// installed at all.
+// impairment draws randomness ONLY from substreams derived from the Rng it
+// was constructed with (an injector substream), never from the simulator
+// RNG — so a plane with no enabled impairments leaves a run bit-identical
+// to one with no plane installed at all. Stochastic impairments key their
+// substream by the *sending endpoint*, not by global message order: the
+// draw an endpoint's k-th message sees is a pure function of (impairment
+// seed, endpoint, k), so neither shard partitioning nor cross-endpoint
+// interleaving can perturb any draw (and concurrent shard threads touch
+// disjoint per-endpoint streams).
 #pragma once
 
 #include <map>
@@ -31,6 +36,11 @@ class Impairment {
   virtual ~Impairment() = default;
   virtual void apply(EndpointId from, EndpointId to, std::size_t bytes,
                      LinkVerdict& verdict) = 0;
+  /// Mirrors sim::LinkImpairment::min_extra_delay for one chain element.
+  virtual SimDuration min_extra_delay() const { return 0; }
+  /// Mirrors sim::LinkImpairment::reserve_endpoints; stochastic
+  /// impairments pre-size their per-endpoint substream tables here.
+  virtual void reserve_endpoints(std::size_t /*n*/) {}
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
@@ -42,7 +52,7 @@ class Impairment {
 /// per-directed-link overrides.
 class UniformLoss : public Impairment {
  public:
-  UniformLoss(double rate, Rng rng) : rate_(rate), rng_(rng) {}
+  UniformLoss(double rate, Rng rng) : rate_(rate), base_seed_(rng.next()) {}
 
   void set_rate(double rate) { rate_ = rate; }
   double rate() const { return rate_; }
@@ -53,10 +63,12 @@ class UniformLoss : public Impairment {
 
   void apply(EndpointId from, EndpointId to, std::size_t bytes,
              LinkVerdict& verdict) override;
+  void reserve_endpoints(std::size_t n) override;
 
  private:
   double rate_;
-  Rng rng_;
+  std::uint64_t base_seed_;
+  std::vector<std::optional<Rng>> streams_;
   std::map<std::pair<EndpointId, EndpointId>, double> per_link_;
 };
 
@@ -65,16 +77,18 @@ class UniformLoss : public Impairment {
 class LatencyJitter : public Impairment {
  public:
   LatencyJitter(SimDuration max_jitter, Rng rng)
-      : max_jitter_(max_jitter), rng_(rng) {}
+      : max_jitter_(max_jitter), base_seed_(rng.next()) {}
 
   void set_max_jitter(SimDuration max_jitter) { max_jitter_ = max_jitter; }
 
   void apply(EndpointId from, EndpointId to, std::size_t bytes,
              LinkVerdict& verdict) override;
+  void reserve_endpoints(std::size_t n) override;
 
  private:
   SimDuration max_jitter_;
-  Rng rng_;
+  std::uint64_t base_seed_;
+  std::vector<std::optional<Rng>> streams_;
 };
 
 /// Scales link serialization time: a message touching a throttled endpoint
@@ -132,9 +146,15 @@ class ImpairmentPlane : public sim::LinkImpairment {
 
   void apply(EndpointId from, EndpointId to, std::size_t bytes,
              LinkVerdict& verdict) override;
+  /// Conservative lower bound across the whole chain, counting disabled
+  /// impairments too: the injector may enable one mid-run, and the sharded
+  /// kernel's lookahead must already account for it.
+  SimDuration min_extra_delay() const override;
+  void reserve_endpoints(std::size_t n) override;
 
  private:
   std::vector<std::unique_ptr<Impairment>> chain_;
+  std::size_t reserved_endpoints_ = 0;
 };
 
 }  // namespace rac::faults

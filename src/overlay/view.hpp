@@ -35,6 +35,13 @@ class View {
   /// Requires a non-empty view.
   const RingSet& rings() const;
 
+  /// Force the lazy ring rebuild now (no-op when empty or already fresh).
+  /// The sharded kernel primes every view at each window barrier so that
+  /// concurrent rings() calls from shard workers are pure reads.
+  void prime() const {
+    if (!members_.empty()) (void)rings();
+  }
+
   /// Monotonic counter bumped on every membership change; lets cached
   /// consumers detect staleness.
   std::uint64_t epoch() const { return epoch_; }

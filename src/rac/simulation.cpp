@@ -23,6 +23,26 @@ Simulation::Simulation(SimulationConfig config)
   config_.node.link_bps = config_.network.link_bps;
   net_ = std::make_unique<sim::Network>(sim_, config_.network);
 
+  if (config_.shards > 0) {
+    // Shard engines get substream seeds so nothing perturbs the driver
+    // RNG; no code may draw from them (node and impairment randomness is
+    // endpoint-keyed), they exist purely as per-shard event queues.
+    std::vector<sim::Simulator*> raw;
+    raw.reserve(config_.shards);
+    for (unsigned k = 0; k < config_.shards; ++k) {
+      shard_engines_.push_back(std::make_unique<sim::Simulator>(
+          substream_seed(config_.seed, std::uint64_t{k} + 1)));
+      // Per-shard drain shapes depend on K; keep campaign artifacts
+      // K-invariant by only recording kernel internals on the driver.
+      shard_engines_.back()->set_internal_telemetry(false);
+      raw.push_back(shard_engines_.back().get());
+    }
+    net_->enable_sharding(raw);
+    shard_meters_.resize(config_.shards);
+    evict_queues_.resize(config_.shards);
+    shard_group_ = std::make_unique<sim::ShardGroup>(std::move(raw));
+  }
+
   const std::uint32_t n = config_.num_nodes;
   if (n == 0) throw std::invalid_argument("Simulation: num_nodes == 0");
   const std::uint32_t num_groups =
@@ -46,9 +66,10 @@ Simulation::Simulation(SimulationConfig config)
         std::make_unique<overlay::View>(config_.node.num_rings));
   }
 
-  // Nodes: idents either random (warm start) or puzzle-derived.
+  // Nodes: idents either random (warm start) or puzzle-derived. Each node
+  // schedules its timers and paces its uplink against the engine that owns
+  // its endpoint (the driver engine when unsharded).
   Rng boot(sim_.rng().next());
-  const Node::Env env{&sim_, net_.get(), crypto_.get()};
   for (std::uint32_t i = 0; i < n; ++i) {
     std::uint64_t ident;
     std::optional<KeyPair> keys;
@@ -60,6 +81,7 @@ Simulation::Simulation(SimulationConfig config)
       ident = boot.next();
     }
     const std::uint32_t group = group_of_ident(ident, num_groups);
+    const Node::Env env{engine_of(i), net_.get(), crypto_.get()};
     nodes_.push_back(std::make_unique<Node>(env, config_.node, i, ident,
                                             group, std::move(keys)));
     group_views_[group]->add(i, ident);
@@ -94,9 +116,27 @@ void Simulation::wire_node(Node& n) {
   n.set_id_pub_resolver([this](EndpointId ep) {
     return nodes_.at(ep)->id_keys().pub;
   });
-  n.set_evict_callback([this](ScopeId scope, EndpointId evicted) {
-    apply_eviction(scope, evicted);
-  });
+  if (shard_group_ != nullptr) {
+    // Evictions mutate shared views, so decisions made inside a window are
+    // parked (stamped with the deciding shard's clock) and applied at the
+    // barrier; decisions made at driver time apply immediately.
+    const auto shard =
+        static_cast<unsigned>(n.endpoint() % shard_engines_.size());
+    sim::Simulator* eng = shard_engines_[shard].get();
+    n.set_evict_callback([this, shard, eng](ScopeId scope,
+                                            EndpointId evicted) {
+      if (in_window_) {
+        evict_queues_[shard].push_back(
+            DeferredEviction{eng->now(), scope, evicted});
+      } else {
+        apply_eviction(scope, evicted);
+      }
+    });
+  } else {
+    n.set_evict_callback([this](ScopeId scope, EndpointId evicted) {
+      apply_eviction(scope, evicted);
+    });
+  }
 }
 
 overlay::View* Simulation::channel_view(std::uint32_t channel) {
@@ -127,8 +167,12 @@ void Simulation::start_uniform_traffic() {
     } while (dest == i);
     const Node::Destination d = destination_of(dest);
     nodes_[i]->set_traffic_generator([d] { return d; });
-    nodes_[dest]->set_deliver_callback([this](Bytes payload) {
-      meter_.record(sim_.now(), payload.size());
+    // Deliveries fire on the destination's engine; record into that
+    // shard's meter (the shared meter when unsharded) with that clock.
+    sim::Simulator* eng = engine_of(static_cast<EndpointId>(dest));
+    sim::ThroughputMeter* meter = meter_of(static_cast<EndpointId>(dest));
+    nodes_[dest]->set_deliver_callback([eng, meter](Bytes payload) {
+      meter->record(eng->now(), payload.size());
       // Direct (non-macro) recording: the campaign's goodput accounting
       // reads these registry counters, so they must exist even in a
       // -DRAC_TELEMETRY=OFF build. One branch when no collector is
@@ -142,6 +186,99 @@ void Simulation::start_uniform_traffic() {
     });
   }
   start_all();
+}
+
+sim::Simulator* Simulation::engine_of(EndpointId ep) {
+  if (shard_engines_.empty()) return &sim_;
+  return shard_engines_[ep % shard_engines_.size()].get();
+}
+
+sim::ThroughputMeter* Simulation::meter_of(EndpointId ep) {
+  if (shard_meters_.empty()) return &meter_;
+  return &shard_meters_[ep % shard_meters_.size()];
+}
+
+void Simulation::run_for(SimDuration d) {
+  if (shard_group_ == nullptr) {
+    sim_.run_for(d);
+    return;
+  }
+  // Windowed advance: boundaries sit at global multiples of the lookahead
+  // L, independent of the shard count and of where now() happens to be, so
+  // every K produces the same barrier schedule. The final partial window
+  // runs inclusively to land every engine on exactly `end` (events at the
+  // horizon fire, matching Simulator::run_for).
+  const SimTime end = time_add_sat(sim_.now(), d);
+  net_->refresh_lookahead();
+  const SimDuration window = net_->lookahead();
+  for (;;) {
+    const SimTime next = (sim_.now() / window + 1) * window;
+    if (next > end) break;
+    run_window(next, /*inclusive=*/false);
+  }
+  run_window(end, /*inclusive=*/true);
+}
+
+void Simulation::run_window(SimTime t, bool inclusive) {
+  // Membership only changes at barriers, so priming each view's lazy ring
+  // cache here makes every rings() call inside the window a pure read
+  // (shard workers would otherwise race on the first post-change rebuild).
+  for (const auto& v : group_views_) v->prime();
+  for (const auto& [channel, v] : channel_views_) v->prime();
+  in_window_ = true;
+  try {
+    shard_group_->run_all_until(t, inclusive);
+  } catch (...) {
+    in_window_ = false;
+    throw;
+  }
+  in_window_ = false;
+  // Barrier (coordinator only), in a fixed order so every shard count
+  // replays the same driver-side mutations: deferred evictions first (the
+  // decisions predate the boundary), then driver events, then the meter
+  // and mailbox drains that seed the next window.
+  apply_deferred_evictions();
+  sim_.run_until(t);
+  // merge-order: per-shard meters drain in shard-index order; the meter
+  // only answers order-insensitive range sums, so the merged meter reports
+  // identical values for every shard count.
+  for (sim::ThroughputMeter& m : shard_meters_) m.drain_into(meter_);
+  net_->drain_mailboxes();
+}
+
+void Simulation::apply_deferred_evictions() {
+  std::vector<DeferredEviction> all;
+  for (std::vector<DeferredEviction>& q : evict_queues_) {
+    all.insert(all.end(), q.begin(), q.end());
+    q.clear();
+  }
+  if (all.empty()) return;
+  // merge-order: (when, scope.type, scope.id, evicted) — every component
+  // is shard-placement independent, so eviction application order (which
+  // feeds the shared views and the evictions_ ground truth) is identical
+  // for every shard count.
+  std::sort(all.begin(), all.end(),
+            [](const DeferredEviction& a, const DeferredEviction& b) {
+              if (a.when != b.when) return a.when < b.when;
+              if (a.scope.type != b.scope.type) return a.scope.type < b.scope.type;
+              if (a.scope.id != b.scope.id) return a.scope.id < b.scope.id;
+              return a.evicted < b.evicted;
+            });
+  for (const DeferredEviction& e : all) {
+    apply_eviction_at(e.scope, e.evicted, e.when);
+  }
+}
+
+std::uint64_t Simulation::events_processed() const {
+  std::uint64_t total = sim_.events_processed();
+  for (const auto& e : shard_engines_) total += e->events_processed();
+  return total;
+}
+
+std::size_t Simulation::pending_events() const {
+  std::size_t total = sim_.pending_events();
+  for (const auto& e : shard_engines_) total += e->pending_events();
+  return total;
 }
 
 double Simulation::avg_node_goodput_bps(SimTime from, SimTime to) const {
@@ -166,7 +303,7 @@ std::size_t Simulation::join_node(std::size_t contact) {
         nodes_[index]->on_network_receive(from, msg);
       });
 
-  const Node::Env env{&sim_, net_.get(), crypto_.get()};
+  const Node::Env env{engine_of(ep), net_.get(), crypto_.get()};
   nodes_.push_back(std::make_unique<Node>(env, config_.node, ep,
                                           sol.node_ident, group,
                                           std::move(keys)));
@@ -242,6 +379,11 @@ void Simulation::leave_node(std::size_t index, bool graceful) {
 }
 
 void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
+  apply_eviction_at(scope, evicted, sim_.now());
+}
+
+void Simulation::apply_eviction_at(ScopeId scope, EndpointId evicted,
+                                   SimTime when) {
   overlay::View* view = nullptr;
   if (scope.type == ScopeType::kGroup) {
     view = group_views_.at(scope.id).get();
@@ -250,10 +392,10 @@ void Simulation::apply_eviction(ScopeId scope, EndpointId evicted) {
   }
   if (view == nullptr || !view->contains(evicted)) return;  // idempotent
   view->remove(evicted);
-  evictions_.emplace_back(scope, evicted, sim_.now());
+  evictions_.emplace_back(scope, evicted, when);
   if (auto* c = telemetry::current()) {
     c->registry().counter(telemetry::Stat::kRacEvictions).add(1);
-    c->tracer().instant(evicted, "evicted", sim_.now());
+    c->tracer().instant(evicted, "evicted", when);
   }
 
   // Fan out to every member of the scope (and to the evicted node itself).

@@ -19,6 +19,7 @@
 #include "rac/groups.hpp"
 #include "rac/node.hpp"
 #include "rac/shuffle.hpp"
+#include "sim/shard.hpp"
 
 namespace rac {
 
@@ -38,6 +39,12 @@ struct SimulationConfig {
   /// (Sec. IV-C "Managing groups"). Off by default so throughput
   /// experiments keep a fixed topology.
   bool auto_group_management = false;
+  /// 0 = classic single-engine kernel (the historical code path, byte-for-
+  /// byte unchanged). K >= 1 = sharded windowed kernel: endpoints partition
+  /// across K engines (endpoint e on engine e % K) synchronized at
+  /// conservative window barriers; traces are bit-identical for every
+  /// K >= 1 (see DESIGN.md §11).
+  unsigned shards = 0;
 };
 
 class Simulation {
@@ -68,7 +75,16 @@ class Simulation {
   void stop_all();
   /// Every node streams synthetic payloads to one random destination.
   void start_uniform_traffic();
-  void run_for(SimDuration d) { sim_.run_for(d); }
+  /// Advance simulated time by `d`. Classic mode runs the driver engine
+  /// directly; sharded mode advances in conservative windows (see
+  /// run_window) and lands every engine on exactly now() + d.
+  void run_for(SimDuration d);
+
+  /// Kernel events executed so far, summed over the driver engine and any
+  /// shard engines (== simulator().events_processed() when unsharded).
+  std::uint64_t events_processed() const;
+  /// Events still queued, summed the same way.
+  std::size_t pending_events() const;
 
   /// System-wide delivered-payload meter.
   const sim::ThroughputMeter& delivery_meter() const { return meter_; }
@@ -130,6 +146,22 @@ class Simulation {
   /// current set of active groups (after splits/dissolves/joins).
   void sync_channels();
 
+  // --- Sharded windowed kernel (DESIGN.md §11). ---
+  /// The engine that owns endpoint `ep`'s events (the driver engine when
+  /// unsharded).
+  sim::Simulator* engine_of(EndpointId ep);
+  /// The delivery meter endpoint `ep`'s shard records into mid-window.
+  sim::ThroughputMeter* meter_of(EndpointId ep);
+  /// One conservative window: run every shard engine to `t` in parallel,
+  /// then (single-threaded, in deterministic order) apply deferred
+  /// evictions, run driver events, drain per-shard meters, and schedule
+  /// the mailboxed cross-window arrivals.
+  void run_window(SimTime t, bool inclusive);
+  void apply_deferred_evictions();
+  /// apply_eviction with an explicit timestamp (deferred evictions record
+  /// the shard-local decision time, not the barrier time).
+  void apply_eviction_at(ScopeId scope, EndpointId evicted, SimTime when);
+
   SimulationConfig config_;
   sim::Simulator sim_;
   std::unique_ptr<CryptoProvider> crypto_;
@@ -140,6 +172,25 @@ class Simulation {
       channel_views_;
   sim::ThroughputMeter meter_;
   std::vector<EvictionRecord> evictions_;
+
+  // Sharded-mode state (empty when config_.shards == 0).
+  std::vector<std::unique_ptr<sim::Simulator>> shard_engines_;
+  std::unique_ptr<sim::ShardGroup> shard_group_;
+  /// Per-shard delivery meters, drained into meter_ at every barrier so
+  /// shard threads never touch the shared meter mid-window.
+  std::vector<sim::ThroughputMeter> shard_meters_;
+  struct DeferredEviction {
+    SimTime when;
+    ScopeId scope;
+    EndpointId evicted;
+  };
+  /// Eviction decisions made inside a window, parked per deciding shard
+  /// until the barrier (eviction application mutates shared views).
+  std::vector<std::vector<DeferredEviction>> evict_queues_;
+  /// True while shard threads are running a window (set/cleared by the
+  /// coordinator around the barrier, so reads inside node callbacks are
+  /// race-free).
+  bool in_window_ = false;
 };
 
 /// Convenience: make the provider named by the config.

@@ -189,7 +189,9 @@ void Simulator::load_bucket_into_run(std::size_t b) {
   const std::size_t n = scratch_.size();
   // One histogram record per bucket *drain* (thousands of events apart),
   // not per event: kernel telemetry must stay off the dispatch hot loop.
-  RAC_TELEM_HIST(kEngineBucketDrain, n);
+  if (internal_telemetry_) {
+    RAC_TELEM_HIST(kEngineBucketDrain, n);
+  }
   if (n <= 24) {
     // Small runs: (time, seq) is a total order, so a comparison sort needs
     // no stability and beats the radix counter overhead.
@@ -286,6 +288,15 @@ void Simulator::run_until(SimTime t) {
   for (;;) {
     const Handle* h = peek();
     if (h == nullptr || h->time > t) break;
+    execute_next();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::run_until_exclusive(SimTime t) {
+  for (;;) {
+    const Handle* h = peek();
+    if (h == nullptr || h->time >= t) break;
     execute_next();
   }
   if (now_ < t) now_ = t;

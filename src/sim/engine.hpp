@@ -66,6 +66,12 @@ class Simulator {
   /// boundary event; afterwards now() == t (or later if an event fired at
   /// a later time — impossible here since events beyond `t` stay queued).
   void run_until(SimTime t);
+  /// Run events strictly before `t`, then advance now() to `t`. Events at
+  /// exactly `t` stay queued — this is the conservative-window primitive of
+  /// the sharded kernel (src/sim/shard.hpp): a window [b, b+L) executes
+  /// with run_until_exclusive(b+L), leaving boundary events for the next
+  /// window so every shard agrees on which window owns a timestamp.
+  void run_until_exclusive(SimTime t);
   void run_for(SimDuration d) { run_until(time_add_sat(now_, d)); }
   /// Drain the queue completely (use in tests with finite workloads).
   void run_to_completion();
@@ -93,6 +99,13 @@ class Simulator {
     return KernelTelemetry{events_processed_, size_,        wheel_count_,
                            overflow_.size(), heap_.size(), slots_.size()};
   }
+
+  /// Gate push-based kernel-internals telemetry (the bucket-drain
+  /// histogram). The sharded kernel turns this off on per-shard engines:
+  /// drain shapes depend on the shard count, and recording them would make
+  /// otherwise bit-identical campaign artifacts K-variant. Protocol-level
+  /// telemetry is unaffected.
+  void set_internal_telemetry(bool enabled) { internal_telemetry_ = enabled; }
 
  private:
   // Calendar-queue geometry: 16384 buckets of 2^13 ns (8.192 us) cover a
@@ -150,6 +163,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
   std::size_t size_ = 0;
+  bool internal_telemetry_ = true;
 
   // Pooled event slots. A slot is just the closure (exactly 32 bytes: two
   // per cache line, shift-indexable). Free slots are recycled LIFO via an

@@ -20,7 +20,65 @@ Network::Network(Simulator& sim, NetworkConfig config)
 
 EndpointId Network::add_endpoint(Handler handler) {
   endpoints_.emplace_back(std::move(handler));
+  if (impairment_ != nullptr) {
+    impairment_->reserve_endpoints(endpoints_.size());
+  }
   return static_cast<EndpointId>(endpoints_.size() - 1);
+}
+
+void Network::set_tap(Tap tap) {
+  if (!shards_.empty() && tap) {
+    throw std::logic_error(
+        "Network::set_tap: wire tap and sharding are mutually exclusive");
+  }
+  tap_ = std::move(tap);
+}
+
+void Network::enable_sharding(std::vector<Simulator*> engines) {
+  if (engines.empty()) {
+    throw std::invalid_argument("Network::enable_sharding: no engines");
+  }
+  if (!shards_.empty()) {
+    throw std::logic_error("Network::enable_sharding: already sharded");
+  }
+  if (tap_) {
+    throw std::logic_error(
+        "Network::enable_sharding: wire tap and sharding are mutually "
+        "exclusive");
+  }
+  shards_.resize(engines.size());
+  for (std::size_t k = 0; k < engines.size(); ++k) {
+    shards_[k].engine = engines[k];
+    shards_[k].outbox.resize(engines.size());
+  }
+  refresh_lookahead();
+  if (impairment_ != nullptr) {
+    impairment_->reserve_endpoints(endpoints_.size());
+  }
+}
+
+void Network::refresh_lookahead() {
+  if (shards_.empty()) return;
+  // Cheapest possible one-way trip: 1 ns of uplink serialization (the
+  // serialization floor send() enforces even under throttle scaling) plus
+  // propagation, plus whatever latency reduction the impairment plane
+  // declares it may apply.
+  SimDuration extra_min = 0;
+  if (impairment_ != nullptr) {
+    extra_min = std::min<SimDuration>(0, impairment_->min_extra_delay());
+  }
+  const SimDuration lookahead = 1 + config_.propagation + extra_min;
+  if (lookahead <= 0) {
+    throw std::invalid_argument(
+        "Network: impairment min_extra_delay leaves a non-positive "
+        "lookahead; sharding needs a positive minimum link latency");
+  }
+  window_len_ = lookahead;
+}
+
+SimTime Network::context_now(EndpointId ep) const {
+  if (shards_.empty()) return sim_.now();
+  return shards_[shard_of(ep)].engine->now();
 }
 
 std::uint32_t Network::acquire_transfer() {
@@ -39,6 +97,24 @@ void Network::release_transfer(std::uint32_t idx) {
   t.arrived = false;
   t.next_free = transfer_free_;
   transfer_free_ = idx;
+}
+
+std::uint32_t Network::acquire_transfer_in(ShardState& s) {
+  if (s.transfer_free != kNilTransfer) {
+    const std::uint32_t idx = s.transfer_free;
+    s.transfer_free = s.transfers[idx].next_free;
+    return idx;
+  }
+  s.transfers.emplace_back();
+  return static_cast<std::uint32_t>(s.transfers.size() - 1);
+}
+
+void Network::release_transfer_in(ShardState& s, std::uint32_t idx) {
+  Transfer& t = s.transfers[idx];
+  t.payload.reset();
+  t.arrived = false;
+  t.next_free = s.transfer_free;
+  s.transfer_free = idx;
 }
 
 void Network::send(EndpointId from, EndpointId to, Payload payload,
@@ -63,43 +139,148 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   }
 
   Endpoint& src = endpoints_[from];
+  const SimTime now = context_now(from);
 
   // Uplink serialization (FIFO behind any queued transmissions).
-  const SimTime up_start = std::max(sim_.now(), src.uplink_free);
+  const SimTime up_start = std::max(now, src.uplink_free);
   const SimTime up_end = up_start + tx;
   src.uplink_free = up_end;
   src.stats.messages_sent++;
   src.stats.bytes_sent += bytes;
-  total_bytes_ += bytes;
   RAC_TELEM_COUNT(kNetMessagesSent, 1);
   RAC_TELEM_COUNT(kNetBytesSent, bytes);
-  RAC_TELEM_HIST(kNetUplinkWaitNs, up_start - sim_.now());
-  if (tap_) tap_(from, to, bytes, sim_.now());
+  RAC_TELEM_HIST(kNetUplinkWaitNs, up_start - now);
 
-  // Dropped messages occupy the uplink but never arrive (tail drop after
-  // the bottleneck).
+  if (shards_.empty()) {
+    total_bytes_ += bytes;
+    if (tap_) tap_(from, to, bytes, now);
+
+    // Dropped messages occupy the uplink but never arrive (tail drop after
+    // the bottleneck).
+    if (verdict.drop) {
+      ++messages_lost_;
+      RAC_TELEM_COUNT(kNetMessagesDropped, 1);
+      return;
+    }
+
+    // Fast path: all per-message state goes into one pooled Transfer
+    // record; the scheduled closure captures just {this, index}. Downlink
+    // occupancy is still computed lazily at arrival time (inside
+    // on_transfer_event) so FIFO order across senders follows arrival
+    // order, exactly as before.
+    const std::uint32_t idx = acquire_transfer();
+    Transfer& t = transfers_[idx];
+    t.payload = std::move(payload);
+    t.tx = tx;
+    t.bytes = bytes;
+    t.from = from;
+    t.to = to;
+
+    const auto fire = [this, idx] { on_transfer_event(idx); };
+    static_assert(InplaceCallback::fits_inline<decltype(fire)>,
+                  "Network transfer closure must not allocate");
+    sim_.schedule_at(up_end + config_.propagation + verdict.extra_delay,
+                     fire);
+    return;
+  }
+
+  // Sharded path: everything above touched only sender-owned state; the
+  // arrival side happens at the next barrier. Accounting goes to the
+  // sender's shard slice so no shared counter is written mid-window.
+  ShardState& s = shards_[shard_of(from)];
+  s.total_bytes += bytes;
   if (verdict.drop) {
-    ++messages_lost_;
+    ++s.messages_lost;
     RAC_TELEM_COUNT(kNetMessagesDropped, 1);
     return;
   }
 
-  // Fast path: all per-message state goes into one pooled Transfer record;
-  // the scheduled closure captures just {this, index}. Downlink occupancy
-  // is still computed lazily at arrival time (inside on_transfer_event) so
-  // FIFO order across senders follows arrival order, exactly as before.
-  const std::uint32_t idx = acquire_transfer();
-  Transfer& t = transfers_[idx];
-  t.payload = std::move(payload);
-  t.tx = tx;
-  t.bytes = bytes;
-  t.from = from;
-  t.to = to;
+  const SimTime arrival = up_end + config_.propagation + verdict.extra_delay;
+  // Conservative-schedule guard: the lookahead promises every message at
+  // least one full window of latency. An impairment whose verdict lands
+  // the arrival before the sender's next window boundary lied in
+  // min_extra_delay() and would let a shard see the past.
+  const SimTime bound = (now / window_len_ + 1) * window_len_;
+  if (arrival < bound) {
+    throw std::logic_error(
+        "Network::send: lookahead violation — impairment returned a "
+        "verdict below its declared min_extra_delay");
+  }
+  s.outbox[shard_of(to)].push_back(MailEntry{std::move(payload), arrival,
+                                             now, tx, bytes, from, to,
+                                             src.send_seq++});
+}
 
-  const auto fire = [this, idx] { on_transfer_event(idx); };
-  static_assert(InplaceCallback::fits_inline<decltype(fire)>,
-                "Network transfer closure must not allocate");
-  sim_.schedule_at(up_end + config_.propagation + verdict.extra_delay, fire);
+void Network::drain_mailboxes() {
+  merge_buf_.clear();
+  for (ShardState& s : shards_) {
+    for (std::vector<MailEntry>& box : s.outbox) {
+      merge_buf_.insert(merge_buf_.end(),
+                        std::make_move_iterator(box.begin()),
+                        std::make_move_iterator(box.end()));
+      box.clear();
+    }
+  }
+  // merge-order: canonical key (arrival, sent, from, from_seq). Every
+  // component is shard-count-independent and (from, from_seq) is unique
+  // per message, so the merged schedule order — and therefore each
+  // destination engine's same-timestamp tie-break — is identical for any
+  // K, which is what makes traces bit-identical across shard counts.
+  std::sort(merge_buf_.begin(), merge_buf_.end(),
+            [](const MailEntry& a, const MailEntry& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              if (a.sent != b.sent) return a.sent < b.sent;
+              if (a.from != b.from) return a.from < b.from;
+              return a.from_seq < b.from_seq;
+            });
+  for (MailEntry& m : merge_buf_) {
+    const unsigned shard = shard_of(m.to);
+    ShardState& d = shards_[shard];
+    const std::uint32_t idx = acquire_transfer_in(d);
+    Transfer& t = d.transfers[idx];
+    t.payload = std::move(m.payload);
+    t.tx = m.tx;
+    t.bytes = m.bytes;
+    t.from = m.from;
+    t.to = m.to;
+    const auto fire = [this, shard, idx] {
+      on_shard_transfer_event(shard, idx);
+    };
+    static_assert(InplaceCallback::fits_inline<decltype(fire)>,
+                  "Network shard transfer closure must not allocate");
+    d.engine->schedule_at(m.arrival, fire);
+  }
+  merge_buf_.clear();
+}
+
+void Network::on_shard_transfer_event(unsigned shard, std::uint32_t idx) {
+  ShardState& s = shards_[shard];
+  Transfer& t = s.transfers[idx];
+  Simulator& eng = *s.engine;
+  if (!t.arrived) {
+    // Arrival at the destination downlink after propagation; FIFO there —
+    // both the downlink bookkeeping and the delivery event are local to
+    // the destination's shard.
+    t.arrived = true;
+    Endpoint& d = endpoints_[t.to];
+    const SimTime down_start = std::max(eng.now(), d.downlink_free);
+    const SimTime down_end = down_start + t.tx;
+    d.downlink_free = down_end;
+    RAC_TELEM_HIST(kNetDownlinkWaitNs, down_start - eng.now());
+    eng.schedule_at(down_end,
+                    [this, shard, idx] { on_shard_transfer_event(shard, idx); });
+    return;
+  }
+  // Delivery. Same slot-before-handler discipline as the classic path.
+  const EndpointId from = t.from;
+  const EndpointId to = t.to;
+  const std::size_t bytes = t.bytes;
+  const Payload payload = std::move(t.payload);
+  release_transfer_in(s, idx);
+  Endpoint& dd = endpoints_[to];
+  dd.stats.messages_received++;
+  dd.stats.bytes_received += bytes;
+  dd.handler(from, payload);
 }
 
 void Network::on_transfer_event(std::uint32_t idx) {
@@ -132,7 +313,19 @@ void Network::on_transfer_event(std::uint32_t idx) {
 }
 
 SimTime Network::uplink_busy_until(EndpointId node) const {
-  return std::max(sim_.now(), endpoints_.at(node).uplink_free);
+  return std::max(context_now(node), endpoints_.at(node).uplink_free);
+}
+
+std::uint64_t Network::total_bytes() const {
+  std::uint64_t total = total_bytes_;
+  for (const ShardState& s : shards_) total += s.total_bytes;
+  return total;
+}
+
+std::uint64_t Network::messages_lost() const {
+  std::uint64_t total = messages_lost_;
+  for (const ShardState& s : shards_) total += s.messages_lost;
+  return total;
 }
 
 SimDuration Network::total_uplink_backlog() const {

@@ -59,6 +59,20 @@ class LinkImpairment {
   virtual ~LinkImpairment() = default;
   virtual void apply(EndpointId from, EndpointId to, std::size_t bytes,
                      LinkVerdict& verdict) = 0;
+
+  /// Lower bound on LinkVerdict::extra_delay over every future apply()
+  /// (<= 0; jitter-only impairments return 0). The sharded kernel's
+  /// lookahead is min-tx + propagation + min(0, min_extra_delay()), so an
+  /// impairment that can *shorten* latency must declare it here — a
+  /// verdict below the declared bound trips the lookahead-violation guard
+  /// in Network::send.
+  virtual SimDuration min_extra_delay() const { return 0; }
+
+  /// Hint that endpoints [0, n) exist. Impairments that keep per-endpoint
+  /// RNG substreams pre-size their tables here, so apply() never grows a
+  /// container — required for data-race freedom when shard threads call
+  /// apply() concurrently for endpoints they own.
+  virtual void reserve_endpoints(std::size_t /*n*/) {}
 };
 
 struct LinkStats {
@@ -93,23 +107,58 @@ class Network {
 
   /// Wire tap: invoked for every message at send time with the link
   /// metadata a global passive opponent can see (endpoints, size, time —
-  /// never the plaintext). Used by analysis::GlobalObserver.
+  /// never the plaintext). Used by analysis::GlobalObserver. Mutually
+  /// exclusive with sharding (the tap would observe shard-local order).
   using Tap = std::function<void(EndpointId from, EndpointId to,
                                  std::size_t bytes, SimTime when)>;
-  void set_tap(Tap tap) { tap_ = std::move(tap); }
+  void set_tap(Tap tap);
 
   /// Install (or clear, with nullptr) the impairment plane. Non-owning;
   /// the impairment must outlive the network or be cleared first.
   void set_impairment(LinkImpairment* impairment) {
     impairment_ = impairment;
+    if (impairment_ != nullptr) {
+      impairment_->reserve_endpoints(endpoints_.size());
+    }
   }
   LinkImpairment* impairment() const { return impairment_; }
 
+  // --- Sharded mode (conservative windowed kernel, src/sim/shard.hpp). ---
+  //
+  // enable_sharding(engines) partitions endpoints across K = engines.size()
+  // shard engines (endpoint e belongs to engine e % K) and reroutes every
+  // send through a per-(src,dst)-shard mailbox: the sender's shard does the
+  // uplink FIFO bookkeeping locally, and the arrival event is scheduled on
+  // the destination's engine only at the next window barrier, by
+  // drain_mailboxes(), after a canonical sort. Endpoint state stays in the
+  // one shared `endpoints_` vector, but during a window each field is
+  // touched only by its owner shard (uplink side by `e % K`'s thread,
+  // downlink side likewise), so windows run data-race free without locks.
+
+  /// Switch to the sharded send path. Call once, before any traffic; the
+  /// engines must outlive the network. Throws if a wire tap is installed.
+  void enable_sharding(std::vector<Simulator*> engines);
+  bool sharded() const { return !shards_.empty(); }
+  unsigned num_shards() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  /// Current conservative window length L: any message sent at time t
+  /// arrives at or after the next multiple of L, because the cheapest
+  /// possible trip is min-tx (1 ns) + propagation + the impairment plane's
+  /// declared extra-delay lower bound.
+  SimDuration lookahead() const { return window_len_; }
+  /// Recompute lookahead() from the config and the installed impairment
+  /// plane (call after set_impairment, before running windows).
+  void refresh_lookahead();
+  /// Move every mailbox entry onto its destination engine. Coordinator
+  /// only, at a window barrier (all engines quiescent at the same time).
+  void drain_mailboxes();
+
   const LinkStats& stats(EndpointId node) const;
   /// Total bytes offered to the network so far.
-  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t total_bytes() const;
   /// Messages dropped by the impairment plane.
-  std::uint64_t messages_lost() const { return messages_lost_; }
+  std::uint64_t messages_lost() const;
 
  private:
   struct Endpoint {
@@ -117,6 +166,9 @@ class Network {
     SimTime uplink_free = 0;
     SimTime downlink_free = 0;
     LinkStats stats;
+    /// Messages sent so far (sharded mode): the per-sender sequence number
+    /// in the canonical mailbox merge key.
+    std::uint64_t send_seq = 0;
   };
 
   /// One in-flight message. Both kernel events of a transfer (arrival at
@@ -142,6 +194,46 @@ class Network {
   /// re-arms itself at serialization end) and once at delivery.
   void on_transfer_event(std::uint32_t idx);
 
+  /// One message parked in a shard mailbox between send time and the next
+  /// window barrier. Carries everything needed to (a) sort canonically and
+  /// (b) build the destination-side Transfer at the barrier.
+  struct MailEntry {
+    Payload payload;
+    SimTime arrival;        // scheduled arrival at the destination downlink
+    SimTime sent;           // sender-side send() time
+    SimDuration tx;
+    std::size_t bytes;
+    EndpointId from;
+    EndpointId to;
+    std::uint64_t from_seq;  // sender's send_seq at send time
+  };
+
+  /// Per-shard slice of the network. `transfers`/`transfer_free` mirror the
+  /// global pool but are touched only by the owning shard's thread (and by
+  /// the coordinator at barriers); `outbox[d]` is the SPSC mailbox toward
+  /// shard d — written by this shard's thread during a window, drained by
+  /// the coordinator at the barrier, never both at once.
+  struct ShardState {
+    Simulator* engine = nullptr;
+    std::vector<Transfer> transfers;
+    std::uint32_t transfer_free = kNilTransfer;
+    std::uint64_t total_bytes = 0;
+    std::uint64_t messages_lost = 0;
+    std::vector<std::vector<MailEntry>> outbox;
+  };
+
+  unsigned shard_of(EndpointId ep) const {
+    return static_cast<unsigned>(ep % shards_.size());
+  }
+  /// The simulated clock governing `ep`: its shard engine when sharded,
+  /// else the driver engine. At a barrier all of these agree.
+  SimTime context_now(EndpointId ep) const;
+  std::uint32_t acquire_transfer_in(ShardState& s);
+  void release_transfer_in(ShardState& s, std::uint32_t idx);
+  /// Sharded twin of on_transfer_event, running on shard `shard`'s engine
+  /// against its pool.
+  void on_shard_transfer_event(unsigned shard, std::uint32_t idx);
+
   Simulator& sim_;
   NetworkConfig config_;
   std::vector<Endpoint> endpoints_;
@@ -151,6 +243,11 @@ class Network {
   std::uint64_t messages_lost_ = 0;
   Tap tap_;
   LinkImpairment* impairment_ = nullptr;
+
+  // Sharded-mode state (empty/0 in the classic single-engine mode).
+  std::vector<ShardState> shards_;
+  SimDuration window_len_ = 0;
+  std::vector<MailEntry> merge_buf_;  // barrier scratch, capacity reused
 };
 
 }  // namespace rac::sim

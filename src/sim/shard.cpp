@@ -1,0 +1,82 @@
+#include "sim/shard.hpp"
+
+#include <stdexcept>
+
+#include "sim/engine.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace rac::sim {
+
+ShardGroup::ShardGroup(std::vector<Simulator*> engines)
+    : engines_(std::move(engines)) {
+  if (engines_.empty()) {
+    throw std::invalid_argument("ShardGroup: no engines");
+  }
+  errors_.resize(engines_.size());
+  threads_.reserve(engines_.size());
+  for (unsigned i = 0; i < engines_.size(); ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ShardGroup::~ShardGroup() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardGroup::run_all_until(SimTime t, bool inclusive) {
+  std::unique_lock<std::mutex> lock(mu_);
+  target_ = t;
+  inclusive_ = inclusive;
+  collector_ = telemetry::current();
+  busy_ = size();
+  ++generation_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [this] { return busy_ == 0; });
+  for (std::exception_ptr& e : errors_) {
+    if (e) {
+      const std::exception_ptr err = e;
+      e = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ShardGroup::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const SimTime t = target_;
+    const bool inclusive = inclusive_;
+    telemetry::Collector* collector = collector_;
+    lock.unlock();
+    try {
+      // Counters/histograms record through relaxed atomics and merge
+      // commutatively, so sharing the run's collector across shard
+      // threads is deterministic; span tracing is not thread-safe and is
+      // rejected up front for sharded runs (see faults::run_scenario).
+      const telemetry::Install install(collector);
+      if (inclusive) {
+        engines_[index]->run_until(t);
+      } else {
+        engines_[index]->run_until_exclusive(t);
+      }
+    } catch (...) {
+      lock.lock();
+      errors_[index] = std::current_exception();
+      if (--busy_ == 0) cv_done_.notify_all();
+      continue;
+    }
+    lock.lock();
+    if (--busy_ == 0) cv_done_.notify_all();
+  }
+}
+
+}  // namespace rac::sim

@@ -1,0 +1,79 @@
+// Conservative time-window barrier for the sharded DES kernel.
+//
+// A sharded run partitions endpoints across K independent `Simulator`
+// instances (shard engines). Simulated time advances in fixed windows of
+// one lookahead L, aligned to global multiples of L: during a window every
+// shard executes its own events concurrently (each touching only state
+// owned by its endpoints), and at the window boundary the single-threaded
+// coordinator drains cross-shard mailboxes, applies deferred driver work
+// and opens the next window. Because every message needs at least L of
+// simulated latency (uplink serialization + propagation + the impairment
+// plane's declared lower bound), a message sent inside window k can only
+// arrive at or after boundary k+1 — so shards never need to look at each
+// other mid-window and the schedule is conservative in the classic
+// Chandy-Misra sense.
+//
+// ShardGroup owns the K worker threads. Workers park on a condition
+// variable between windows; run_all_until() publishes a target time,
+// wakes everyone, and blocks until all engines reach it. The coordinator's
+// thread-local telemetry collector is re-installed on every worker for the
+// duration of each window so counter/histogram record sites (relaxed
+// atomics, commutative) keep working from shard threads. Worker exceptions
+// (e.g. the lookahead-violation guard in sim::Network) are captured and
+// rethrown on the coordinator in shard-index order.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace rac::telemetry {
+class Collector;
+}
+
+namespace rac::sim {
+
+class Simulator;
+
+class ShardGroup {
+ public:
+  /// Non-owning: the engines must outlive the group.
+  explicit ShardGroup(std::vector<Simulator*> engines);
+  ~ShardGroup();
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(engines_.size()); }
+
+  /// Run every shard engine to `t` in parallel and block until all are
+  /// done. `inclusive` selects Simulator::run_until (events at exactly `t`
+  /// run — the tail segment of Simulation::run_for) vs run_until_exclusive
+  /// (the normal window body). The calling thread's telemetry collector is
+  /// installed on each worker for the duration. Rethrows the first worker
+  /// exception in shard-index order.
+  void run_all_until(SimTime t, bool inclusive);
+
+ private:
+  void worker_loop(unsigned index);
+
+  std::vector<Simulator*> engines_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per window; workers latch it
+  unsigned busy_ = 0;
+  bool stop_ = false;
+  SimTime target_ = 0;
+  bool inclusive_ = false;
+  telemetry::Collector* collector_ = nullptr;
+  std::vector<std::exception_ptr> errors_;
+};
+
+}  // namespace rac::sim

@@ -11,6 +11,16 @@ void ThroughputMeter::record(SimTime when, std::uint64_t bytes) {
   total_messages_++;
 }
 
+void ThroughputMeter::drain_into(ThroughputMeter& dst) {
+  if (samples_.empty()) return;
+  dst.samples_.insert(dst.samples_.end(), samples_.begin(), samples_.end());
+  dst.total_bytes_ += total_bytes_;
+  dst.total_messages_ += total_messages_;
+  samples_.clear();
+  total_bytes_ = 0;
+  total_messages_ = 0;
+}
+
 double ThroughputMeter::bits_per_second(SimTime from, SimTime to) const {
   if (to <= from) throw std::invalid_argument("ThroughputMeter: empty window");
   std::uint64_t bytes = 0;

@@ -17,6 +17,12 @@ class ThroughputMeter {
  public:
   void record(SimTime when, std::uint64_t bytes);
 
+  /// Move this meter's samples into `dst` and reset. The sharded kernel
+  /// keeps one meter per shard and drains them into the shared meter at
+  /// window barriers; every query below is an order-insensitive sum over a
+  /// time range, so the drain order does not affect any reported value.
+  void drain_into(ThroughputMeter& dst);
+
   /// Average bits/second between `from` and `to` (simulated time).
   double bits_per_second(SimTime from, SimTime to) const;
   std::uint64_t total_bytes() const { return total_bytes_; }

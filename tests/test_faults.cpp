@@ -2,6 +2,7 @@
 // strategies, churn, scenario parsing and campaign metrics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <sstream>
 
 #include "faults/campaign.hpp"
@@ -207,7 +208,11 @@ TEST(Impairments, PerLinkLossOverride) {
 TEST(Impairments, DisabledImpairmentDrawsNothing) {
   // Disabling an impairment must freeze its RNG: re-enabling after N
   // messages yields the same draws as if those messages never happened.
-  Rng reference = Rng::substream(9, "loss");
+  // The draws come from the *sender's* substream of the impairment seed:
+  // stream(from) = substream_seed(ctor_rng.next(), from).
+  Rng ctor_rng = Rng::substream(9, "loss");
+  const std::uint64_t base_seed = ctor_rng.next();
+  Rng reference(substream_seed(base_seed, std::uint64_t{0}));
   sim::Simulator s(1);
   sim::NetworkConfig nc;
   nc.propagation = 0;
@@ -237,6 +242,53 @@ TEST(Impairments, DisabledImpairmentDrawsNothing) {
     expected |= static_cast<std::uint64_t>(reference.next_bool(0.5)) << i;
   }
   EXPECT_EQ(drops, expected);
+}
+
+TEST(Impairments, LossSubstreamsKeyedByEndpointNotArrivalOrder) {
+  // Two senders sharing one UniformLoss: the drop pattern each sender sees
+  // must be a pure function of (impairment seed, sender id, per-sender
+  // message index) — reordering how the senders' messages interleave must
+  // not move a single draw. This is what makes the impairment safe to call
+  // concurrently from shards, and it is the contract the sharded kernel's
+  // bit-identity relies on.
+  const auto run = [](bool interleave) {
+    sim::Simulator s(1);
+    sim::NetworkConfig nc;
+    nc.propagation = 0;
+    sim::Network net(s, nc);
+    ImpairmentPlane plane;
+    plane.add_loss(0.5, Rng::substream(9, "loss"));
+    net.set_impairment(&plane);
+    for (int e = 0; e < 3; ++e) {
+      net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+    }
+    // Sender 0 and sender 1 each send 64 messages to endpoint 2, either
+    // strictly interleaved or in two contiguous bursts.
+    std::array<std::uint64_t, 2> drops{};
+    std::array<int, 2> sent{};
+    const auto send_one = [&](sim::EndpointId from) {
+      const std::uint64_t before = net.messages_lost();
+      net.send(from, 2, sim::make_payload(Bytes(10, 0)));
+      drops[from] |= (net.messages_lost() - before) << sent[from]++;
+    };
+    if (interleave) {
+      for (int i = 0; i < 64; ++i) {
+        send_one(0);
+        send_one(1);
+      }
+    } else {
+      for (int i = 0; i < 64; ++i) send_one(1);
+      for (int i = 0; i < 64; ++i) send_one(0);
+    }
+    s.run_to_completion();
+    return drops;
+  };
+  const auto interleaved = run(true);
+  const auto bursts = run(false);
+  EXPECT_EQ(interleaved[0], bursts[0]);
+  EXPECT_EQ(interleaved[1], bursts[1]);
+  // And the two senders' streams differ (they are distinct substreams).
+  EXPECT_NE(interleaved[0], interleaved[1]);
 }
 
 // --- Adversary strategies ---

@@ -1,0 +1,280 @@
+// Determinism contract of the sharded windowed DES kernel (DESIGN.md §11).
+//
+// The repo ships two kernels behind SimulationConfig::shards:
+//   shards = 0  — the classic single-engine path, byte-for-byte the seed
+//                 trace (ties broken by global schedule order);
+//   shards = K  — the windowed kernel: K per-shard engines, conservative
+//                 time windows, cross-shard messages merged in the
+//                 canonical (arrival, sent, from, from_seq) order.
+// The windowed kernel's trace is bit-identical for EVERY K >= 1 but is a
+// different (equally valid) trace than the classic kernel: same-nanosecond
+// arrival ties at one destination are ordered canonically instead of by
+// emergent global schedule order, which no shard can compute locally.
+// These tests pin both kernels' anchors separately and fuzz the cross-K
+// bit-identity that is the sharded kernel's flagship property.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "faults/campaign.hpp"
+#include "faults/scenario.hpp"
+#include "rac/simulation.hpp"
+#include "sim/network.hpp"
+
+// Sanitizer builds run the same deterministic traces, just slower; shrink
+// the workloads so the sanlane/tsanlane presets stay fast.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define RAC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define RAC_SANITIZED 1
+#endif
+#endif
+#ifndef RAC_SANITIZED
+#define RAC_SANITIZED 0
+#endif
+
+namespace {
+
+using namespace rac;
+
+struct SmokeResult {
+  std::uint64_t delivered_payloads = 0;
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t events = 0;
+  std::uint64_t net_bytes = 0;
+  std::uint64_t messages_lost = 0;
+
+  bool operator==(const SmokeResult&) const = default;
+};
+
+/// The fig3 smoke workload (bench/fig3_rac_throughput --smoke) at a
+/// configurable size: uniform traffic, saturation-window senders.
+SmokeResult run_smoke(std::uint32_t nodes, SimDuration horizon,
+                      unsigned shards, std::uint64_t seed = 42) {
+  SimulationConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.group_target = 0;
+  cfg.seed = seed;
+  cfg.node.num_relays = 5;
+  cfg.node.num_rings = 7;
+  cfg.node.payload_size = 2'000;
+  cfg.node.send_period = 0;
+  cfg.node.saturation_window = 16;
+  cfg.node.check_sweep_period = 0;
+  cfg.shards = shards;
+  Simulation sim(cfg);
+  sim.start_uniform_traffic();
+  sim.run_for(horizon);
+  SmokeResult r;
+  r.delivered_payloads = sim.delivery_meter().total_messages();
+  r.delivered_bytes = sim.delivery_meter().total_bytes();
+  r.events = sim.events_processed();
+  r.net_bytes = sim.network().total_bytes();
+  r.messages_lost = sim.network().messages_lost();
+  return r;
+}
+
+TEST(ShardKernel, ClassicAnchorUnchanged) {
+  // The shards = 0 path must stay byte-for-byte the seed kernel. Pinned
+  // from the seed revision; see also bench/BENCH_engine.baseline.json
+  // (100 nodes, 400 ms -> 130 delivered, 4,113,520 events).
+  const SmokeResult small = run_smoke(30, 200 * kMillisecond, 0);
+  EXPECT_EQ(small.delivered_payloads, 101u);
+  EXPECT_EQ(small.events, 592'431u);
+#if !RAC_SANITIZED
+  const SmokeResult full = run_smoke(100, 400 * kMillisecond, 0);
+  EXPECT_EQ(full.delivered_payloads, 130u);
+  EXPECT_EQ(full.events, 4'113'520u);
+#endif
+}
+
+TEST(ShardKernel, WindowedAnchorBitIdenticalAcrossK) {
+  // The windowed kernel's own anchors, identical for every K >= 1.
+  const SmokeResult k1 = run_smoke(30, 200 * kMillisecond, 1);
+  EXPECT_EQ(k1.delivered_payloads, 98u);
+  EXPECT_EQ(k1.events, 592'657u);
+  for (const unsigned k : {2u, 3u, 4u, 8u}) {
+    EXPECT_EQ(run_smoke(30, 200 * kMillisecond, k), k1) << "K=" << k;
+  }
+#if !RAC_SANITIZED
+  const SmokeResult full1 = run_smoke(100, 400 * kMillisecond, 1);
+  EXPECT_EQ(full1.delivered_payloads, 123u);
+  EXPECT_EQ(full1.events, 4'114'042u);
+  for (const unsigned k : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_smoke(100, 400 * kMillisecond, k), full1) << "K=" << k;
+  }
+#endif
+}
+
+TEST(ShardKernel, FuzzedShardCountsMatchK1) {
+  // Odd node counts, odd shard counts, shards exceeding nodes: every
+  // K in 1..8 must reproduce the K = 1 trace on every workload.
+  struct Cfg {
+    std::uint32_t nodes;
+    SimDuration horizon;
+    std::uint64_t seed;
+  };
+#if RAC_SANITIZED
+  const std::vector<Cfg> cfgs = {{10, 80 * kMillisecond, 1},
+                                 {17, 60 * kMillisecond, 7}};
+  const std::vector<unsigned> shard_counts = {2, 3};
+#else
+  const std::vector<Cfg> cfgs = {{10, 80 * kMillisecond, 1},
+                                 {17, 120 * kMillisecond, 7},
+                                 {23, 100 * kMillisecond, 1234}};
+  const std::vector<unsigned> shard_counts = {2, 3, 4, 5, 6, 7, 8};
+#endif
+  for (const Cfg& c : cfgs) {
+    const SmokeResult k1 = run_smoke(c.nodes, c.horizon, 1, c.seed);
+    EXPECT_GT(k1.events, 0u);
+    for (const unsigned k : shard_counts) {
+      EXPECT_EQ(run_smoke(c.nodes, c.horizon, k, c.seed), k1)
+          << "nodes=" << c.nodes << " seed=" << c.seed << " K=" << k;
+    }
+  }
+}
+
+TEST(ShardKernel, ChurnFreeriderCampaignByteIdenticalAcrossK) {
+  // The full fault machinery on the windowed kernel: loss + jitter
+  // impairments, a freerider wave, crash churn and blacklist rounds. The
+  // complete campaign JSON artifact (metrics, evictions, telemetry
+  // histograms) must be byte-identical for every K >= 1.
+  faults::Scenario scenario = faults::parse_scenario(R"(
+name = shard_chaos
+nodes = 16
+group_target = 0
+seeds = 2
+base_seed = 5
+duration_ms = 1000
+relays = 3
+rings = 5
+payload_bytes = 500
+send_period_ms = 20
+check_timeout_ms = 150
+sweep_ms = 80
+follower_t = 2
+smax = 16
+traffic = noise
+blacklist_round_ms = 400
+
+on 0   loss rate=0.01
+on 100 strategy wave kind=freerider members=3,9
+on 150 jitter max_ms=1
+on 300 churn crash=2.0 until_ms=800 min_pop=12
+)");
+#if RAC_SANITIZED
+  scenario.spec.seeds = 1;
+  const std::vector<unsigned> shard_counts = {2};
+#else
+  const std::vector<unsigned> shard_counts = {2, 4};
+#endif
+  faults::CampaignOptions opts;
+  opts.shards = 1;
+  const std::string k1_json =
+      faults::metrics_json(faults::run_campaign(scenario, opts));
+  for (const unsigned k : shard_counts) {
+    opts.shards = k;
+    EXPECT_EQ(faults::metrics_json(faults::run_campaign(scenario, opts)),
+              k1_json)
+        << "K=" << k;
+  }
+}
+
+TEST(ShardKernel, CrossShardMergeOrderIsCanonical) {
+  // Property: delivery order of cross-shard messages is the canonical
+  // (arrival, sent, from, from_seq) order — in particular, same-nanosecond
+  // arrival ties at one destination resolve by (from, from_seq) no matter
+  // in which order the senders issued their send() calls.
+  const auto run = [](bool reversed) {
+    sim::Simulator driver(1);
+    sim::Simulator shard0(2);
+    sim::Simulator shard1(3);
+    sim::NetworkConfig nc;
+    sim::Network net(driver, nc);
+    std::vector<sim::EndpointId> delivery_order;
+    for (int e = 0; e < 3; ++e) {
+      net.add_endpoint([&delivery_order](sim::EndpointId from,
+                                         const sim::Payload&) {
+        delivery_order.push_back(from);
+      });
+    }
+    net.enable_sharding({&shard0, &shard1});
+    // Endpoints 0 (shard 0) and 1 (shard 1) each send two equal-size
+    // messages to endpoint 2 (shard 0) at t = 0: per-sender uplink FIFO
+    // gives both senders identical arrival timestamps, so all four
+    // deliveries are decided purely by the merge comparator.
+    const auto burst = [&net](sim::EndpointId from) {
+      net.send(from, 2, sim::make_payload(Bytes(64, 0)));
+      net.send(from, 2, sim::make_payload(Bytes(64, 0)));
+    };
+    if (reversed) {
+      burst(1);
+      burst(0);
+    } else {
+      burst(0);
+      burst(1);
+    }
+    net.drain_mailboxes();
+    shard0.run_to_completion();
+    shard1.run_to_completion();
+    return delivery_order;
+  };
+  const std::vector<sim::EndpointId> expected = {0, 1, 0, 1};
+  EXPECT_EQ(run(false), expected);
+  EXPECT_EQ(run(true), expected);
+}
+
+TEST(ShardKernel, LookaheadViolationThrows) {
+  // An impairment whose verdict undercuts its declared min_extra_delay()
+  // would let a message arrive inside the current window — silently
+  // breaking conservative synchronization. The network must detect and
+  // reject it at send time.
+  struct LyingImpairment : sim::LinkImpairment {
+    SimDuration lie = 0;
+    void apply(sim::EndpointId, sim::EndpointId, std::size_t,
+               sim::LinkVerdict& verdict) override {
+      verdict.extra_delay -= lie;  // claims 0 via min_extra_delay()
+    }
+  };
+  sim::Simulator driver(1);
+  sim::Simulator shard0(2);
+  sim::NetworkConfig nc;
+  LyingImpairment liar;
+  liar.lie = nc.propagation;
+  sim::Network net(driver, nc);
+  net.set_impairment(&liar);
+  for (int e = 0; e < 2; ++e) {
+    net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  }
+  net.enable_sharding({&shard0});
+  EXPECT_THROW(net.send(0, 1, sim::make_payload(Bytes(64, 0))),
+               std::logic_error);
+}
+
+TEST(ShardKernel, ShardingRejectsUnsupportedObservers) {
+  // The span tracer and the network tap are not thread-safe; both
+  // combinations must fail loudly instead of racing.
+  faults::Scenario scenario = faults::parse_scenario(
+      "name = t\nnodes = 4\nduration_ms = 10\n");
+  faults::CampaignOptions opts;
+  opts.shards = 2;
+  opts.collect_trace = true;
+  EXPECT_THROW(faults::run_scenario(scenario, 1, opts),
+               std::invalid_argument);
+
+  sim::Simulator driver(1);
+  sim::Simulator shard0(2);
+  sim::NetworkConfig nc;
+  sim::Network net(driver, nc);
+  net.add_endpoint([](sim::EndpointId, const sim::Payload&) {});
+  net.enable_sharding({&shard0});
+  EXPECT_THROW(net.set_tap([](sim::EndpointId, sim::EndpointId, std::size_t,
+                              SimTime) {}),
+               std::logic_error);
+}
+
+}  // namespace

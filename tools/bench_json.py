@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Bench-JSON harness for the DES kernel hot path.
 
-Runs the engine microbenchmark (bench/micro_engine) and a small end-to-end
-RAC throughput smoke (bench/fig3_rac_throughput --smoke), merges the results
-with peak-RSS figures into a single BENCH_engine.json, and — when a
-checked-in baseline exists — fails if events/sec regressed by more than the
-threshold (default 20%). Without a baseline the comparison is skipped, so
-fresh checkouts and foreign machines stay green.
+Two modes sharing the regression/determinism gating machinery:
+
+--micro: runs the engine microbenchmark (bench/micro_engine) and a small
+end-to-end RAC throughput smoke (bench/fig3_rac_throughput --smoke) and
+merges the results with peak-RSS figures into BENCH_engine.json.
+
+--sharded: runs the windowed parallel kernel sweep
+(bench/micro_engine_sharded, events/sec vs shard count with a cross-K
+determinism self-check) plus a 10^4-node sharded fig3 point for the
+peak-RSS-per-node figure, into BENCH_shard.json (see DESIGN.md section 11
+and EXPERIMENTS.md "Sharded-kernel bench JSON").
+
+When a checked-in baseline exists the script fails if events/sec regressed
+by more than the threshold (default 20%) or if any delivered/event count
+drifted at all (determinism guard). Without a baseline the comparison is
+skipped, so fresh checkouts and foreign machines stay green.
 
 Noise management: the microbenchmark is run --repeat times (default 3) and
 the best events/sec per benchmark (and overall) is kept; machine load only
@@ -61,10 +71,22 @@ def run_micro(binary, repeat):
     return best
 
 
-def run_fig3(binary, nodes, sim_ms, payload):
-    out, rss = run_child(
-        [binary, "--smoke", str(nodes), str(sim_ms), str(payload)])
+def run_fig3(binary, nodes, sim_ms, payload, shards=0):
+    cmd = [binary, "--smoke", str(nodes), str(sim_ms), str(payload)]
+    if shards > 0:
+        cmd += ["--shards", str(shards)]
+    out, rss = run_child(cmd)
     result = json.loads(out)
+    result["peak_rss_bytes"] = rss
+    result["peak_rss_per_node_bytes"] = rss // max(1, nodes)
+    return result
+
+
+def run_sharded(binary):
+    """One micro_engine_sharded --json sweep (K = 1,2,4,8)."""
+    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+        _, rss = run_child([binary, "--json", tmp.name])
+        result = json.load(open(tmp.name))
     result["peak_rss_bytes"] = rss
     return result
 
@@ -85,6 +107,40 @@ def check_regression(report, baseline_path, threshold_pct):
             failures.append(
                 f"{label}: {new:,.0f} events/s < {floor:.0%} of baseline "
                 f"{old:,.0f}")
+
+    if "sharded" in report:
+        base_runs = {r["shards"]: r for r in
+                     base.get("sharded", {}).get("runs", [])}
+        for r in report["sharded"]["runs"]:
+            b = base_runs.get(r["shards"])
+            if b is None:
+                continue
+            check(f"sharded/K={r['shards']}", r["events_per_sec"],
+                  b["events_per_sec"])
+            # Determinism guard, windowed-kernel flavor: the baseline and
+            # this run must agree bit-for-bit on the simulation outcome
+            # whenever the workload matches (and the in-run cross-K check
+            # already covers K vs K).
+            if all(base["sharded"].get(k) == report["sharded"].get(k)
+                   for k in ("nodes", "sim_seconds", "payload_bytes")):
+                for k in ("delivered_payloads", "delivered_bytes", "events"):
+                    if b[k] != r[k]:
+                        failures.append(
+                            f"sharded/K={r['shards']}/{k}: {r[k]} != "
+                            f"baseline {b[k]} (windowed kernel no longer "
+                            "deterministic vs baseline)")
+        b10 = base.get("fig3_10k_sharded", {})
+        n10 = report.get("fig3_10k_sharded", {})
+        if all(b10.get(k) == n10.get(k) for k in ("nodes", "sim_seconds",
+                                                  "payload_bytes",
+                                                  "shards")):
+            for k in ("delivered_payloads", "delivered_bytes", "events"):
+                if k in b10 and b10[k] != n10[k]:
+                    failures.append(
+                        f"fig3_10k_sharded/{k}: {n10[k]} != baseline "
+                        f"{b10[k]} (windowed kernel no longer deterministic "
+                        "vs baseline)")
+        return failures
 
     base_micro = {b["name"]: b for b in
                   base.get("micro_engine", {}).get("benchmarks", [])}
@@ -114,8 +170,11 @@ def check_regression(report, baseline_path, threshold_pct):
 
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("--micro", required=True,
-                    help="path to the micro_engine binary")
+    ap.add_argument("--micro", default=None,
+                    help="path to the micro_engine binary (engine mode)")
+    ap.add_argument("--sharded", default=None,
+                    help="path to the micro_engine_sharded binary; selects "
+                         "the sharded-kernel report (needs --fig3 too)")
     ap.add_argument("--fig3", required=True,
                     help="path to the fig3_rac_throughput binary")
     ap.add_argument("--out", default="BENCH_engine.json")
@@ -127,28 +186,61 @@ def main():
     ap.add_argument("--smoke-nodes", type=int, default=100)
     ap.add_argument("--smoke-ms", type=int, default=400)
     ap.add_argument("--smoke-payload", type=int, default=2000)
+    ap.add_argument("--tenk-ms", type=int, default=2,
+                    help="sim ms for the 10^4-node sharded RSS point")
     ap.add_argument("--regression-pct", type=float, default=20.0)
     args = ap.parse_args()
+    if (args.micro is None) == (args.sharded is None):
+        ap.error("exactly one of --micro or --sharded is required")
 
-    micro = run_micro(args.micro, args.repeat)
-    fig3 = run_fig3(args.fig3, args.smoke_nodes, args.smoke_ms,
-                    args.smoke_payload)
-    report = {
-        "schema": "rac-bench-engine-v1",
-        "micro_engine": micro,
-        "fig3_smoke": fig3,
-    }
-    with open(args.out, "w") as f:
-        json.dump(report, f, indent=2)
-        f.write("\n")
-    print(f"bench_json: wrote {args.out}")
-    print(f"  micro_engine total: "
-          f"{micro['events_per_sec'] / 1e6:.2f}M events/s "
-          f"(best of {args.repeat})")
-    print(f"  fig3 smoke ({fig3['nodes']} nodes, "
-          f"{fig3['sim_seconds']:.1f}s sim): "
-          f"{fig3['events_per_sec'] / 1e6:.2f}M events/s, "
-          f"{fig3['delivered_payloads']} payloads delivered")
+    if args.sharded:
+        sharded = run_sharded(args.sharded)
+        # The 10^4-node sharded point exists for the memory figure
+        # (peak-RSS-per-node) and a big-N determinism pin, not a rate
+        # measurement, so a very short horizon keeps it affordable.
+        fig3_10k = run_fig3(args.fig3, 10_000, args.tenk_ms,
+                            args.smoke_payload, shards=8)
+        report = {
+            "schema": "rac-bench-shard-v1",
+            "sharded": sharded,
+            "fig3_10k_sharded": fig3_10k,
+        }
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"bench_json: wrote {args.out}")
+        for r in sharded["runs"]:
+            print(f"  K={r['shards']}: "
+                  f"{r['events_per_sec'] / 1e6:.2f}M events/s "
+                  f"(speedup vs K=1: {r['speedup_vs_1']:.2f}x, "
+                  f"{sharded['hw_threads']} hw threads)")
+        print(f"  fig3 10k sharded: "
+              f"{fig3_10k['peak_rss_per_node_bytes'] / 1024:.1f} KiB "
+              f"peak RSS per node")
+        if not sharded.get("cross_k_deterministic", False):
+            print("bench_json: REGRESSION sharded kernel is not "
+                  "bit-identical across K", file=sys.stderr)
+            return 1
+    else:
+        micro = run_micro(args.micro, args.repeat)
+        fig3 = run_fig3(args.fig3, args.smoke_nodes, args.smoke_ms,
+                        args.smoke_payload)
+        report = {
+            "schema": "rac-bench-engine-v1",
+            "micro_engine": micro,
+            "fig3_smoke": fig3,
+        }
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"bench_json: wrote {args.out}")
+        print(f"  micro_engine total: "
+              f"{micro['events_per_sec'] / 1e6:.2f}M events/s "
+              f"(best of {args.repeat})")
+        print(f"  fig3 smoke ({fig3['nodes']} nodes, "
+              f"{fig3['sim_seconds']:.1f}s sim): "
+              f"{fig3['events_per_sec'] / 1e6:.2f}M events/s, "
+              f"{fig3['delivered_payloads']} payloads delivered")
 
     if args.baseline:
         failures = check_regression(report, args.baseline,

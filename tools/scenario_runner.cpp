@@ -1,8 +1,8 @@
 // scenario_runner — run a fault-campaign scenario file and emit metrics.
 //
 //   scenario_runner <scenario.scn> [--out <file>] [--seed N] [--seeds N]
-//                   [--jobs N] [--trace <file>] [--series <file>]
-//                   [--series-dt <ms>]
+//                   [--jobs N] [--shards K] [--trace <file>]
+//                   [--series <file>] [--series-dt <ms>]
 //
 // Parses the scenario (see EXPERIMENTS.md "Scenario files"), runs it over
 // its configured seeds (overridable from the command line) and prints the
@@ -17,6 +17,11 @@
 //                must not pass --series.
 //   --jobs N     run seeds on N worker threads (one engine per thread).
 //                All outputs are byte-identical to --jobs 1.
+//   --shards K   shard each run across K windowed-kernel engines
+//                (DESIGN.md §11). Composes with --jobs (jobs = across
+//                seeds, shards = within a run). Outputs are byte-identical
+//                for every K >= 1, but the windowed kernel's trace differs
+//                from the classic K = 0 default. Incompatible with --trace.
 // With more than one seed, per-run artifact paths gain a ".seed<seed>"
 // infix before the extension (trace.json -> trace.seed42.json).
 #include <cstdio>
@@ -66,6 +71,7 @@ int main(int argc, char** argv) {
   long long seed_override = -1;
   long long seeds_override = -1;
   long long jobs = 1;
+  long long shards = 0;
   double series_dt_ms = 1000.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
       seeds_override = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
       jobs = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      shards = std::atoll(argv[++i]);
     } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--series") == 0 && i + 1 < argc) {
@@ -89,11 +97,16 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (scenario_path == nullptr || jobs < 1 || series_dt_ms <= 0.0) {
+  if (scenario_path == nullptr || jobs < 1 || shards < 0 ||
+      series_dt_ms <= 0.0) {
     std::fprintf(stderr,
                  "usage: scenario_runner <scenario.scn> [--out <file>] "
-                 "[--seed N] [--seeds N] [--jobs N] [--trace <file>] "
-                 "[--series <file>] [--series-dt <ms>]\n");
+                 "[--seed N] [--seeds N] [--jobs N] [--shards K] "
+                 "[--trace <file>] [--series <file>] [--series-dt <ms>]\n");
+    return 2;
+  }
+  if (shards > 0 && trace_path != nullptr) {
+    std::fprintf(stderr, "--shards is incompatible with --trace\n");
     return 2;
   }
 
@@ -117,6 +130,7 @@ int main(int argc, char** argv) {
 
     rac::faults::CampaignOptions opts;
     opts.jobs = static_cast<unsigned>(jobs);
+    opts.shards = static_cast<unsigned>(shards);
     opts.collect_trace = trace_path != nullptr;
     opts.series_period =
         series_path != nullptr
