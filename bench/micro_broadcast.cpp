@@ -52,7 +52,7 @@ void BM_EnvelopeCodec_10kB(benchmark::State& state) {
   h.bcast_id = 99;
   const Bytes body = rng.bytes(10'000);
   for (auto _ : state) {
-    const sim::Payload wire = encode_envelope(h, body);
+    const overlay::Payload wire = encode_envelope(h, body);
     benchmark::DoNotOptimize(decode_envelope(*wire));
   }
   state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *

@@ -1,0 +1,9 @@
+#include "common/msg.hpp"
+
+namespace rac {
+
+Payload make_payload(Bytes bytes) {
+  return std::make_shared<const Bytes>(std::move(bytes));
+}
+
+}  // namespace rac

@@ -1,0 +1,24 @@
+// Protocol-wide message currency types.
+//
+// EndpointId and Payload used to live in sim/network.hpp, which welded the
+// protocol core to the simulator. They are transport-neutral: an endpoint
+// id names a peer in whatever fabric carries the traffic (the DES star
+// network or a TCP mesh), and a payload is an immutable shared byte buffer
+// (a broadcast to R successors costs pointer copies, not buffer copies).
+// sim/network.hpp re-exports both under rac::sim for source compatibility.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bytes.hpp"
+
+namespace rac {
+
+using EndpointId = std::uint32_t;
+using Payload = std::shared_ptr<const Bytes>;
+
+/// Make a shared payload from a byte buffer.
+Payload make_payload(Bytes bytes);
+
+}  // namespace rac

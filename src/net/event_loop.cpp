@@ -1,0 +1,105 @@
+#include "net/event_loop.hpp"
+
+#include <sys/epoll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace rac::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epfd_ < 0) throw_errno("epoll_create1");
+  t0_ = raw_now();
+  now_ = 0;
+}
+
+EventLoop::~EventLoop() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+SimTime EventLoop::raw_now() const {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<SimTime>(ts.tv_sec) * kSecond +
+         static_cast<SimTime>(ts.tv_nsec);
+}
+
+SimTime EventLoop::refresh_now() {
+  now_ = raw_now() - t0_;
+  return now_;
+}
+
+void EventLoop::add(int fd, std::uint32_t events, FdHandler handler) {
+  auto boxed = std::make_shared<FdHandler>(std::move(handler));
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+  handlers_[fd] = std::move(boxed);
+}
+
+void EventLoop::modify(int fd, std::uint32_t events) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void EventLoop::remove(int fd) {
+  if (handlers_.erase(fd) == 0) return;
+  // The fd may already be closed by the caller's error path; a failed DEL
+  // for a vanished fd is not fatal.
+  ::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+int EventLoop::poll(SimDuration timeout) {
+  std::array<struct epoll_event, 64> events;
+  int timeout_ms;
+  if (timeout < 0) {
+    timeout_ms = -1;
+  } else {
+    // Round up so a 100 us timer request never busy-spins at 0 ms.
+    timeout_ms = static_cast<int>((timeout + kMillisecond - 1) /
+                                  kMillisecond);
+  }
+  const int n = ::epoll_wait(epfd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) {
+      refresh_now();
+      return 0;
+    }
+    throw_errno("epoll_wait");
+  }
+  refresh_now();
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[static_cast<std::size_t>(i)].data.fd;
+    const auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    // Keep the closure alive even if the handler removes itself.
+    const std::shared_ptr<FdHandler> handler = it->second;
+    (*handler)(events[static_cast<std::size_t>(i)].events);
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+}  // namespace rac::net

@@ -1,0 +1,66 @@
+// Single-threaded epoll event loop for one live RAC node.
+//
+// One loop per process; every socket is non-blocking and registered with
+// a callback that receives the ready-event mask. Timers are not fds: the
+// caller computes the epoll_wait timeout from its TimerQueue, so a node
+// costs one epoll instance and one fd per connection, nothing more.
+//
+// The loop clock is CLOCK_MONOTONIC re-based to 0 at construction and
+// exposed in the protocol's SimTime nanoseconds — the live counterpart of
+// the DES clock. It is sampled once per dispatch cycle (now() is stable
+// across the callbacks of one cycle), which mirrors how the DES presents
+// one instant to all events at a timestamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/time.hpp"
+
+namespace rac::net {
+
+class EventLoop {
+ public:
+  using FdHandler = std::function<void(std::uint32_t events)>;
+
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Register `fd` for `events` (EPOLLIN/EPOLLOUT/...). The loop does not
+  /// own the fd; unregister with remove() before closing it.
+  void add(int fd, std::uint32_t events, FdHandler handler);
+  /// Change the event mask of a registered fd.
+  void modify(int fd, std::uint32_t events);
+  /// Unregister a fd. Safe to call from inside a handler (pending events
+  /// for the fd in the current cycle are dropped).
+  void remove(int fd);
+
+  /// Monotonic nanoseconds since loop construction, frozen per dispatch
+  /// cycle. refresh_now() re-samples (used before timer processing).
+  SimTime now() const { return now_; }
+  SimTime refresh_now();
+
+  /// Wait up to `timeout` for events (0 = just poll, negative = block
+  /// indefinitely), then dispatch every ready handler once. Returns the
+  /// number of fd events dispatched.
+  int poll(SimDuration timeout);
+
+  std::size_t watched_fds() const { return handlers_.size(); }
+
+ private:
+  SimTime raw_now() const;
+
+  int epfd_ = -1;
+  SimTime t0_ = 0;
+  SimTime now_ = 0;
+  /// Handlers boxed so the map can rehash while a handler runs; epoll
+  /// events carry the fd, and dispatch re-looks-up (and skips fds removed
+  /// mid-cycle).
+  std::unordered_map<int, std::shared_ptr<FdHandler>> handlers_;
+};
+
+}  // namespace rac::net

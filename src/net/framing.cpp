@@ -1,0 +1,64 @@
+#include "net/framing.hpp"
+
+#include <cstring>
+
+namespace rac::net {
+
+namespace {
+
+std::uint32_t read_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+void append_frame(Bytes& out, ByteView payload) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.push_back(static_cast<std::uint8_t>(len & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((len >> 24) & 0xFF));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+Bytes encode_frame(ByteView payload) {
+  Bytes out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  append_frame(out, payload);
+  return out;
+}
+
+void FrameReader::feed(const std::uint8_t* data, std::size_t n) {
+  if (n == 0) return;
+  // Compact before growing once the dead prefix dominates the buffer.
+  if (pos_ > 0 && pos_ >= buf_.size() - pos_) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + n);
+}
+
+std::optional<Bytes> FrameReader::next() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderSize) return std::nullopt;
+  const std::uint32_t len = read_le32(buf_.data() + pos_);
+  if (len > max_frame_) {
+    throw FramingError("frame length " + std::to_string(len) +
+                       " exceeds limit " + std::to_string(max_frame_));
+  }
+  if (avail < kFrameHeaderSize + len) return std::nullopt;
+  const std::uint8_t* body = buf_.data() + pos_ + kFrameHeaderSize;
+  Bytes frame(body, body + len);
+  pos_ += kFrameHeaderSize + len;
+  if (pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace rac::net

@@ -1,0 +1,70 @@
+// Length-prefixed framing for the TCP transport.
+//
+// A TCP stream has no message boundaries; every protocol payload (an
+// overlay envelope or a transport HELLO) travels as one frame:
+//
+//   u32 little-endian payload length | payload bytes
+//
+// FrameReader reassembles frames from arbitrary byte chunks — the core
+// sans-io invariant is that the reassembled frame sequence (and therefore
+// everything downstream) is independent of how the kernel chunks the
+// stream; tests/test_net_framing.cpp proves it by property.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace rac::net {
+
+/// Thrown on an unrecoverable stream error (oversized length header); the
+/// owner must drop the connection — the stream cannot be resynchronized.
+class FramingError : public std::runtime_error {
+ public:
+  explicit FramingError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+constexpr std::size_t kFrameHeaderSize = 4;
+
+/// Append `payload` to `out` as one frame (header + bytes).
+void append_frame(Bytes& out, ByteView payload);
+
+/// Convenience: one frame as a fresh buffer.
+Bytes encode_frame(ByteView payload);
+
+class FrameReader {
+ public:
+  /// Frames longer than `max_frame` are a protocol violation: next()
+  /// throws FramingError as soon as the header announces one, before any
+  /// buffering of the body (a 4 GiB length header must not allocate).
+  explicit FrameReader(std::size_t max_frame) : max_frame_(max_frame) {}
+
+  /// Buffer `n` incoming stream bytes. Any chunking is fine, including
+  /// n == 0.
+  void feed(const std::uint8_t* data, std::size_t n);
+  void feed(ByteView data) { feed(data.data(), data.size()); }
+
+  /// Extract the next complete frame payload, or nullopt if more bytes
+  /// are needed. Call in a loop: one feed() may complete many frames.
+  std::optional<Bytes> next();
+
+  /// Bytes buffered but not yet returned (a partial header or body).
+  /// Nonzero at EOF means the peer died mid-frame.
+  std::size_t bytes_buffered() const { return buf_.size() - pos_; }
+
+  std::size_t max_frame() const { return max_frame_; }
+
+ private:
+  std::size_t max_frame_;
+  Bytes buf_;
+  /// Consumed prefix of buf_; compacted once the parsed-out prefix
+  /// dominates, so a long-lived connection doesn't grow its buffer and
+  /// extraction stays amortized O(bytes).
+  std::size_t pos_ = 0;
+};
+
+}  // namespace rac::net

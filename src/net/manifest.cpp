@@ -1,0 +1,107 @@
+#include "net/manifest.hpp"
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace rac::net {
+
+std::string Manifest::encode() const {
+  std::ostringstream out;
+  out << "rac-manifest-v1\n";
+  out << "seed " << seed << "\n";
+  out << "groups " << num_groups << "\n";
+  out << "provider " << provider << "\n";
+  out << "payload " << node.payload_size << "\n";
+  out << "send_period_ns " << node.send_period << "\n";
+  out << "check_timeout_ns " << node.check_timeout << "\n";
+  out << "sweep_ns " << node.check_sweep_period << "\n";
+  out << "relays " << node.num_relays << "\n";
+  out << "rings " << node.num_rings << "\n";
+  out << "link_bps " << node.link_bps << "\n";
+  out << "duration_ns " << duration << "\n";
+  for (const PeerEntry& p : peers) {
+    out << "peer " << p.endpoint << " " << p.host << " " << p.port << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+Manifest Manifest::decode(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != "rac-manifest-v1") {
+    throw std::runtime_error("manifest: missing rac-manifest-v1 header");
+  }
+  Manifest m;
+  bool closed = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line == "end") {
+      closed = true;
+      break;
+    }
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "seed") {
+      fields >> m.seed;
+    } else if (key == "groups") {
+      fields >> m.num_groups;
+    } else if (key == "provider") {
+      fields >> m.provider;
+    } else if (key == "payload") {
+      fields >> m.node.payload_size;
+    } else if (key == "send_period_ns") {
+      fields >> m.node.send_period;
+    } else if (key == "check_timeout_ns") {
+      fields >> m.node.check_timeout;
+    } else if (key == "sweep_ns") {
+      fields >> m.node.check_sweep_period;
+    } else if (key == "relays") {
+      fields >> m.node.num_relays;
+    } else if (key == "rings") {
+      fields >> m.node.num_rings;
+    } else if (key == "link_bps") {
+      fields >> m.node.link_bps;
+    } else if (key == "duration_ns") {
+      fields >> m.duration;
+    } else if (key == "peer") {
+      PeerEntry p;
+      fields >> p.endpoint >> p.host >> p.port;
+      m.peers.push_back(std::move(p));
+    } else {
+      throw std::runtime_error("manifest: unknown key '" + key + "'");
+    }
+    if (fields.fail()) {
+      throw std::runtime_error("manifest: malformed line '" + line + "'");
+    }
+  }
+  if (!closed) throw std::runtime_error("manifest: missing end line");
+  if (m.peers.empty()) throw std::runtime_error("manifest: no peers");
+  for (std::size_t i = 0; i < m.peers.size(); ++i) {
+    if (m.peers[i].endpoint != i) {
+      throw std::runtime_error("manifest: peers must be 0..n-1 in order");
+    }
+  }
+  if (m.node.send_period <= 0) {
+    throw std::runtime_error("manifest: send_period must be positive "
+                             "(live nodes run constant-rate)");
+  }
+  return m;
+}
+
+std::vector<std::uint64_t> Manifest::derive_idents() const {
+  // Mirrors the DES warm start: one boot-RNG draw per endpoint, in
+  // endpoint order, so a node's ident is a pure function of (seed, n).
+  Rng boot(Rng(seed).next());
+  std::vector<std::uint64_t> idents;
+  idents.reserve(peers.size());
+  for (std::size_t i = 0; i < peers.size(); ++i) {
+    idents.push_back(boot.next());
+  }
+  return idents;
+}
+
+}  // namespace rac::net

@@ -1,0 +1,71 @@
+// Static deployment manifest for a live RAC mesh.
+//
+// The launcher (tools/live_demo) spawns one rac_noded process per node,
+// collects each child's ephemeral listen port, then hands every child the
+// same manifest on stdin: the full peer table plus the protocol knobs.
+// Everything derived from it is deterministic per (seed, endpoint) —
+// idents, group assignment, membership views — so each process
+// materializes identical views without any membership exchange, exactly
+// like the DES driver does (group assignment "via a static manifest";
+// the join-puzzle flow remains a DES-only choreography for now).
+//
+// Line-oriented text format (one `key value...` per line, `end` closes):
+//
+//   rac-manifest-v1
+//   seed 42
+//   groups 1
+//   provider openssl
+//   payload 256
+//   send_period_ns 100000000
+//   check_timeout_ns 2000000000
+//   sweep_ns 500000000
+//   relays 2
+//   rings 3
+//   link_bps 1000000000
+//   duration_ns 3000000000
+//   peer 0 127.0.0.1 34001
+//   peer 1 127.0.0.1 34002
+//   end
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/msg.hpp"
+#include "rac/config.hpp"
+
+namespace rac::net {
+
+struct PeerEntry {
+  EndpointId endpoint = 0;
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+struct Manifest {
+  std::uint64_t seed = 42;
+  std::uint32_t num_groups = 1;
+  /// Crypto provider: "sim", "native", or "openssl".
+  std::string provider = "openssl";
+  /// Protocol knobs carried to every node (fields not in the wire format
+  /// keep rac::Config defaults). send_period must be > 0: live nodes run
+  /// constant-rate; saturation pacing is a DES workload.
+  Config node;
+  /// Traffic horizon: nodes stop originating after this long.
+  SimDuration duration = 3 * kSecond;
+  /// All nodes, sorted by endpoint; endpoints must be 0..n-1.
+  std::vector<PeerEntry> peers;
+
+  std::string encode() const;
+  /// Parse from a stream (reads up to and including the `end` line).
+  /// Throws std::runtime_error on malformed input.
+  static Manifest decode(std::istream& in);
+
+  /// Deterministic ident of every endpoint (same derivation for every
+  /// process: one warm-start RNG draw per endpoint, in endpoint order).
+  std::vector<std::uint64_t> derive_idents() const;
+};
+
+}  // namespace rac::net

@@ -1,0 +1,425 @@
+#include "net/node_driver.hpp"
+
+#include <sys/epoll.h>
+#include <unistd.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "common/serialize.hpp"
+#include "crypto/puzzle.hpp"
+#include "rac/wire.hpp"
+
+namespace rac::net {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x52414348;  // "RACH"
+constexpr std::uint16_t kHelloVersion = 1;
+
+std::unique_ptr<CryptoProvider> provider_by_name(const std::string& name) {
+  if (name == "sim") return make_sim_provider();
+  if (name == "native") return make_native_provider();
+  if (name == "openssl") return make_openssl_provider();
+  throw std::runtime_error("unknown crypto provider '" + name + "'");
+}
+
+}  // namespace
+
+std::string Report::to_json() const {
+  std::ostringstream out;
+  out << "{\"ok\": " << (ok ? "true" : "false")
+      << ", \"error\": \"" << error << "\""
+      << ", \"payloads_sent\": " << payloads_sent
+      << ", \"payloads_delivered\": " << payloads_delivered
+      << ", \"delivered_bytes\": " << delivered_bytes
+      << ", \"duration_s\": " << duration_s
+      << ", \"goodput_bps\": " << goodput_bps
+      << ", \"latency_count\": " << latency_count
+      << ", \"latency_mean_ms\": " << latency_mean_ms
+      << ", \"latency_max_ms\": " << latency_max_ms
+      << ", \"relay_rebroadcasts\": " << relay_rebroadcasts
+      << ", \"noise_cells\": " << noise_cells
+      << ", \"accusations\": " << accusations
+      << ", \"evictions\": " << evictions
+      << ", \"frames_dropped\": " << frames_dropped
+      << ", \"connections\": " << connections << "}";
+  return out.str();
+}
+
+NodeDriver::NodeDriver(Manifest manifest, EndpointId self, int listen_fd)
+    : manifest_(std::move(manifest)),
+      self_(self),
+      listen_fd_(listen_fd),
+      rng_(substream_seed(manifest_.seed,
+                          0x6E65742EULL /* "net." */ + self)) {
+  const std::size_t n = manifest_.peers.size();
+  if (self_ >= n) throw std::runtime_error("self endpoint out of range");
+  crypto_ = provider_by_name(manifest_.provider);
+  // Envelope header + padded cell, with headroom for control messages.
+  max_frame_ = manifest_.node.effective_cell_size(*crypto_) + 512;
+
+  idents_ = manifest_.derive_idents();
+  groups_.reserve(n);
+  const std::uint32_t num_groups = std::max<std::uint32_t>(
+      1, manifest_.num_groups);
+  for (std::size_t i = 0; i < n; ++i) {
+    groups_.push_back(group_of_ident(idents_[i], num_groups));
+  }
+  fd_of_peer_.assign(n, -1);
+  peers_.resize(n);
+
+  setup_core();
+}
+
+NodeDriver::~NodeDriver() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void NodeDriver::setup_core() {
+  const Core::Env env{this, crypto_.get()};
+  core_ = std::make_unique<Core>(env, manifest_.node, self_, idents_[self_],
+                                 groups_[self_]);
+  // Our own HELLO-equivalent entry: peers learn these keys from the wire;
+  // we know them locally.
+  peers_[self_] = PeerInfo{true, idents_[self_], groups_[self_],
+                           core_->id_keys().pub,
+                           core_->pseudonym_keys().pub};
+
+  build_views();
+
+  core_->set_id_pub_resolver([this](EndpointId ep) {
+    if (ep >= peers_.size() || !peers_[ep].known) {
+      throw std::runtime_error("id key for unknown peer " +
+                               std::to_string(ep));
+    }
+    return peers_[ep].id_pub;
+  });
+  core_->set_evict_callback([this](ScopeId scope, EndpointId evicted) {
+    // Same responsibility split as the DES host: apply the removal to the
+    // shared (here: locally materialized) views and fan the decision into
+    // the core. Other processes reach the same quorum from the same
+    // broadcasts and update their own views.
+    ++evictions_;
+    if (scope.type == ScopeType::kGroup) {
+      if (scope.id < group_views_.size()) {
+        group_views_[scope.id]->remove(evicted);
+      }
+    } else {
+      const auto it = channel_views_.find(scope.id);
+      if (it != channel_views_.end()) it->second->remove(evicted);
+    }
+    core_->on_evicted(scope, evicted);
+  });
+  core_->set_deliver_callback([this](Bytes payload) {
+    delivered_bytes_ += payload.size();
+  });
+  core_->set_traffic_generator([this] {
+    // Uniform random destination among the other nodes (Sec. VI-C shape,
+    // at the manifest's constant rate).
+    const auto n = static_cast<std::uint64_t>(peers_.size());
+    EndpointId dest = self_;
+    while (dest == self_) {
+      dest = static_cast<EndpointId>(rng_.next_below(n));
+    }
+    return Core::Destination{peers_[dest].pseudonym_pub, groups_[dest]};
+  });
+}
+
+void NodeDriver::build_views() {
+  const std::uint32_t num_groups =
+      std::max<std::uint32_t>(1, manifest_.num_groups);
+  for (std::uint32_t g = 0; g < num_groups; ++g) {
+    group_views_.push_back(
+        std::make_unique<overlay::View>(manifest_.node.num_rings));
+  }
+  for (std::size_t ep = 0; ep < idents_.size(); ++ep) {
+    group_views_[groups_[ep]]->add(static_cast<EndpointId>(ep), idents_[ep]);
+  }
+  for (std::uint32_t a = 0; a < num_groups; ++a) {
+    for (std::uint32_t b = a + 1; b < num_groups; ++b) {
+      const std::uint32_t ch = channel_id(a, b);
+      auto view = std::make_unique<overlay::View>(manifest_.node.num_rings);
+      for (const auto& [ep, ident] : group_views_[a]->members()) {
+        view->add(ep, ident);
+      }
+      for (const auto& [ep, ident] : group_views_[b]->members()) {
+        view->add(ep, ident);
+      }
+      channel_views_.emplace(ch, std::move(view));
+    }
+  }
+  core_->attach_group_view(group_views_[groups_[self_]].get());
+  for (const auto& [ch, view] : channel_views_) {
+    const auto [a, b] = channel_groups(ch);
+    if (groups_[self_] == a || groups_[self_] == b) {
+      core_->attach_channel_view(ch, view.get());
+    }
+  }
+}
+
+void NodeDriver::send_hello(Link& link) {
+  BinaryWriter w;
+  w.u32(kHelloMagic);
+  w.u16(kHelloVersion);
+  w.u32(self_);
+  w.u64(idents_[self_]);
+  w.u32(groups_[self_]);
+  w.blob(core_->id_keys().pub.data);
+  w.blob(core_->pseudonym_keys().pub.data);
+  const Bytes hello = w.take();
+  if (!link.conn->send_frame(hello)) {
+    drop_link(link.conn->fd(), "hello write failed");
+    return;
+  }
+  update_mask(link);
+}
+
+void NodeDriver::handle_hello(Link& link, ByteView frame) {
+  BinaryReader r(frame);
+  if (r.u32() != kHelloMagic || r.u16() != kHelloVersion) {
+    throw std::runtime_error("bad hello magic/version");
+  }
+  const EndpointId ep = r.u32();
+  const std::uint64_t ident = r.u64();
+  const std::uint32_t group = r.u32();
+  PeerInfo info;
+  info.known = true;
+  info.ident = ident;
+  info.group = group;
+  info.id_pub = PublicKey{r.blob()};
+  info.pseudonym_pub = PublicKey{r.blob()};
+  if (ep >= peers_.size() || ep == self_) {
+    throw std::runtime_error("hello from invalid endpoint " +
+                             std::to_string(ep));
+  }
+  // The manifest is the root of trust for membership: a peer whose
+  // claimed ident does not match the deterministic derivation is
+  // misconfigured (different seed or peer table).
+  if (ident != idents_[ep] || group != groups_[ep]) {
+    throw std::runtime_error("hello ident/group mismatch for endpoint " +
+                             std::to_string(ep));
+  }
+  peers_[ep] = std::move(info);
+  link.peer = ep;
+  fd_of_peer_[ep] = link.conn->fd();
+}
+
+std::size_t NodeDriver::hellos() const {
+  std::size_t got = 0;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (i != self_ && peers_[i].known) ++got;
+  }
+  return got;
+}
+
+void NodeDriver::register_link(int fd, bool connecting) {
+  Link link;
+  link.connecting = connecting;
+  if (!connecting) link.conn = std::make_unique<Connection>(fd, max_frame_);
+  link.mask = connecting ? EPOLLOUT : EPOLLIN;
+  auto [it, inserted] = links_.emplace(fd, std::move(link));
+  loop_.add(fd, it->second.mask,
+            [this, fd](std::uint32_t events) { on_link_event(fd, events); });
+  if (!connecting) send_hello(it->second);
+}
+
+void NodeDriver::start_dials() {
+  for (const PeerEntry& p : manifest_.peers) {
+    if (p.endpoint <= self_) continue;  // lower endpoint dials higher
+    const int fd = connect_tcp(p.host, p.port);
+    register_link(fd, /*connecting=*/true);
+  }
+}
+
+void NodeDriver::on_listen_ready() {
+  for (;;) {
+    const int fd = accept_connection(listen_fd_);
+    if (fd < 0) return;
+    register_link(fd, /*connecting=*/false);
+  }
+}
+
+void NodeDriver::on_link_event(int fd, std::uint32_t events) {
+  const auto it = links_.find(fd);
+  if (it == links_.end()) return;
+  Link& link = it->second;
+
+  if (link.connecting) {
+    if ((events & (EPOLLERR | EPOLLHUP)) != 0 || !connect_finished(fd)) {
+      // Dials only happen after every listener is up (the launcher
+      // publishes ports first), so a failed dial is a dead peer.
+      fatal_ = "connect to peer failed";
+      loop_.remove(fd);
+      ::close(fd);
+      links_.erase(it);
+      return;
+    }
+    link.conn = std::make_unique<Connection>(fd, max_frame_);
+    link.connecting = false;
+    send_hello(link);
+    return;
+  }
+
+  if ((events & (EPOLLERR | EPOLLHUP)) != 0) {
+    drop_link(fd, "socket error");
+    return;
+  }
+  if ((events & EPOLLIN) != 0) {
+    bool framing_ok = true;
+    bool alive = true;
+    try {
+      alive = link.conn->handle_readable(
+          [this, fd, &link](Bytes frame) { on_frame(fd, link, frame); });
+    } catch (const std::exception&) {
+      // FramingError / malformed hello: the stream cannot be trusted.
+      framing_ok = false;
+    }
+    if (!framing_ok || !alive) {
+      drop_link(fd, framing_ok ? "peer closed" : "protocol violation");
+      return;
+    }
+  }
+  if ((events & EPOLLOUT) != 0) {
+    if (!link.conn->flush()) {
+      drop_link(fd, "write failed");
+      return;
+    }
+  }
+  update_mask(link);
+}
+
+void NodeDriver::on_frame(int fd, Link& link, Bytes frame) {
+  (void)fd;
+  if (link.peer == kNoPeer) {
+    handle_hello(link, frame);  // throws on violation; caller drops
+    return;
+  }
+  core_->on_message(link.peer, make_payload(std::move(frame)));
+}
+
+void NodeDriver::drop_link(int fd, const std::string& why) {
+  (void)why;
+  const auto it = links_.find(fd);
+  if (it == links_.end()) return;
+  if (it->second.peer != kNoPeer) fd_of_peer_[it->second.peer] = -1;
+  loop_.remove(fd);
+  links_.erase(it);  // Connection dtor closes the fd
+}
+
+void NodeDriver::update_mask(Link& link) {
+  if (!link.conn) return;
+  const std::uint32_t mask =
+      EPOLLIN | (link.conn->want_write() ? EPOLLOUT : 0u);
+  if (mask != link.mask) {
+    loop_.modify(link.conn->fd(), mask);
+    link.mask = mask;
+  }
+}
+
+void NodeDriver::transmit(EndpointId to, const Payload& wire) {
+  if (to >= fd_of_peer_.size() || to == self_) return;
+  const int fd = fd_of_peer_[to];
+  if (fd < 0) {
+    ++frames_dropped_;
+    return;
+  }
+  Link& link = links_.at(fd);
+  if (!link.conn->send_frame(*wire)) {
+    drop_link(fd, "write failed");
+    return;
+  }
+  update_mask(link);
+}
+
+void NodeDriver::arm_timer(SimDuration delay, Timer t) {
+  timers_.arm(time_add_sat(loop_.now(), delay), t);
+}
+
+SimTime NodeDriver::uplink_busy_until() const {
+  std::uint64_t backlog = 0;
+  for (const auto& [fd, link] : links_) {
+    if (link.conn) backlog += link.conn->outbox_bytes();
+  }
+  return loop_.now() + transmission_delay(backlog, manifest_.node.link_bps);
+}
+
+void NodeDriver::spin_once(SimDuration max_wait) {
+  SimDuration timeout = max_wait;
+  if (const auto deadline = timers_.next_deadline()) {
+    const SimDuration until = *deadline - loop_.now();
+    if (until < timeout) timeout = until;
+  }
+  if (timeout < 0) timeout = 0;
+  loop_.poll(timeout);
+  if (sink_ != nullptr) timers_.advance(loop_.refresh_now(), *sink_);
+}
+
+Report NodeDriver::run() {
+  Report report;
+  try {
+    loop_.add(listen_fd_, EPOLLIN,
+              [this](std::uint32_t) { on_listen_ready(); });
+    start_dials();
+
+    // Phase 2: the mesh barrier.
+    const std::size_t want = manifest_.peers.size() - 1;
+    const SimTime barrier_deadline = loop_.refresh_now() + start_timeout_;
+    while (hellos() < want && fatal_.empty()) {
+      if (loop_.now() >= barrier_deadline) {
+        fatal_ = "mesh barrier timeout (" + std::to_string(hellos()) + "/" +
+                 std::to_string(want) + " hellos)";
+        break;
+      }
+      spin_once(100 * kMillisecond);
+    }
+    if (!fatal_.empty()) {
+      report.error = fatal_;
+      return report;
+    }
+
+    // Phase 3: the protocol run.
+    const SimTime t_start = loop_.refresh_now();
+    const SimTime t_end = time_add_sat(t_start, manifest_.duration);
+    core_->start();
+    while (loop_.now() < t_end && fatal_.empty()) {
+      spin_once(t_end - loop_.now());
+    }
+    core_->stop();
+
+    // Phase 4: drain, so in-flight frames settle before everyone exits.
+    const SimTime drain_end =
+        time_add_sat(loop_.refresh_now(), 300 * kMillisecond);
+    while (loop_.now() < drain_end) {
+      spin_once(drain_end - loop_.now());
+    }
+
+    const double elapsed_s = to_seconds(loop_.now() - t_start);
+    report.ok = fatal_.empty();
+    report.error = fatal_;
+    report.payloads_sent = core_->payloads_sent();
+    report.payloads_delivered = core_->payloads_delivered();
+    report.delivered_bytes = delivered_bytes_;
+    report.duration_s = elapsed_s;
+    report.goodput_bps =
+        elapsed_s > 0
+            ? static_cast<double>(delivered_bytes_) * 8.0 / elapsed_s
+            : 0.0;
+    const sim::Aggregate& lat = core_->onion_latency();
+    report.latency_count = lat.count();
+    report.latency_mean_ms = lat.count() > 0 ? lat.mean() * 1e3 : 0.0;
+    report.latency_max_ms = lat.count() > 0 ? lat.max() * 1e3 : 0.0;
+    report.relay_rebroadcasts = core_->counters().get("relay_rebroadcasts");
+    report.noise_cells = core_->counters().get("noise_cells_sent");
+    report.accusations = core_->counters().get("pred_accusations_sent");
+    report.evictions = evictions_;
+    report.frames_dropped = frames_dropped_;
+    report.connections = links_.size();
+  } catch (const std::exception& e) {
+    report.ok = false;
+    report.error = e.what();
+  }
+  return report;
+}
+
+}  // namespace rac::net

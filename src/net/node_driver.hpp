@@ -1,0 +1,151 @@
+// Live-transport implementation of rac::Driver: one OS process runs one
+// rac::Core over TCP, single-threaded, epoll-driven.
+//
+// Lifecycle (run()):
+//   1. Mesh build-out. Every node listens (the launcher already collected
+//      the ports into the manifest); node a dials every peer b > a, so
+//      each pair gets exactly one connection. The first frame on every
+//      connection is a HELLO carrying the sender's endpoint, ident, group
+//      and public keys; both sides send it as soon as the socket is up.
+//   2. Barrier: wait until a HELLO has arrived from all n-1 peers (bounded
+//      by a wall-clock deadline). Membership views are then materialized
+//      locally from the manifest — identical across processes, the same
+//      shared-view argument the DES driver uses.
+//   3. Protocol: core.start(), constant-rate slots firing off the timer
+//      queue, every slot carrying a real onion to a random peer (the
+//      Sec. VI-C workload at a live-safe rate) until `duration` elapses.
+//   4. Teardown: core.stop() (which invalidates all armed timers via the
+//      run-token, exactly as in the DES), a short drain so buffered
+//      frames reach peers, then the goodput/latency report.
+//
+// Stop/teardown parity with the DES driver: timers are never cancelled in
+// either driver — stale firings are filtered by the core's token/epoch
+// guards; the only difference is that this driver's pending timers die
+// with the process instead of firing as no-ops, which the contract
+// explicitly allows (rac/driver.hpp "or drop them only by destroying the
+// whole driver").
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "crypto/provider.hpp"
+#include "net/event_loop.hpp"
+#include "net/manifest.hpp"
+#include "net/socket.hpp"
+#include "net/timer_queue.hpp"
+#include "overlay/view.hpp"
+#include "rac/core.hpp"
+
+namespace rac::net {
+
+struct Report {
+  bool ok = false;
+  std::string error;
+  std::uint64_t payloads_sent = 0;
+  std::uint64_t payloads_delivered = 0;
+  std::uint64_t delivered_bytes = 0;
+  double duration_s = 0;
+  double goodput_bps = 0;  // this node's delivered application bits/s
+  std::uint64_t latency_count = 0;
+  double latency_mean_ms = 0;
+  double latency_max_ms = 0;
+  std::uint64_t relay_rebroadcasts = 0;
+  std::uint64_t noise_cells = 0;
+  std::uint64_t accusations = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t frames_dropped = 0;
+  std::uint64_t connections = 0;
+
+  std::string to_json() const;
+};
+
+class NodeDriver final : public Driver {
+ public:
+  /// `listen_fd` is the already-bound listener whose port is published in
+  /// the manifest for `self` (bind-then-report avoids port races).
+  NodeDriver(Manifest manifest, EndpointId self, int listen_fd);
+  ~NodeDriver() override;
+
+  /// Build the mesh, run the protocol for the manifest duration, tear
+  /// down. Never throws for runtime failures — they come back in
+  /// Report::ok/error (the launcher turns them into exit codes).
+  Report run();
+
+  /// Wall-clock budget for the mesh build-out barrier.
+  void set_start_timeout(SimDuration t) { start_timeout_ = t; }
+
+  // --- rac::Driver ---
+  SimTime now() const override { return loop_.now(); }
+  void transmit(EndpointId to, const Payload& wire) override;
+  void arm_timer(SimDuration delay, Timer t) override;
+  SimTime uplink_busy_until() const override;
+  void bind(TimerSink* sink) override { sink_ = sink; }
+
+  Core& core() { return *core_; }
+
+ private:
+  struct Link {
+    std::unique_ptr<Connection> conn;
+    EndpointId peer = kNoPeer;     // set by HELLO
+    bool connecting = false;       // dial still in flight
+    std::uint32_t mask = 0;        // current epoll interest
+  };
+  static constexpr EndpointId kNoPeer = ~EndpointId{0};
+
+  /// What a HELLO teaches us about a peer.
+  struct PeerInfo {
+    bool known = false;
+    std::uint64_t ident = 0;
+    std::uint32_t group = 0;
+    PublicKey id_pub;
+    PublicKey pseudonym_pub;
+  };
+
+  void setup_core();
+  void build_views();
+  void start_dials();
+  void on_listen_ready();
+  void register_link(int fd, bool connecting);
+  void on_link_event(int fd, std::uint32_t events);
+  void on_frame(int fd, Link& link, Bytes frame);
+  void handle_hello(Link& link, ByteView frame);
+  void send_hello(Link& link);
+  void drop_link(int fd, const std::string& why);
+  void update_mask(Link& link);
+  /// Poll once, bounded by the next timer deadline, then fire due timers.
+  void spin_once(SimDuration max_wait);
+  std::size_t hellos() const;
+
+  Manifest manifest_;
+  EndpointId self_;
+  int listen_fd_;
+  SimDuration start_timeout_ = 60 * kSecond;
+
+  EventLoop loop_;
+  TimerQueue timers_;
+  TimerSink* sink_ = nullptr;
+
+  std::unique_ptr<CryptoProvider> crypto_;
+  std::unique_ptr<Core> core_;
+  Rng rng_;  // transport-side randomness (traffic destinations)
+
+  std::vector<std::uint64_t> idents_;
+  std::vector<std::uint32_t> groups_;
+  std::vector<std::unique_ptr<overlay::View>> group_views_;
+  std::map<std::uint32_t, std::unique_ptr<overlay::View>> channel_views_;
+
+  std::map<int, Link> links_;             // by fd
+  std::vector<int> fd_of_peer_;           // peer endpoint -> fd (-1 = none)
+  std::vector<PeerInfo> peers_;           // indexed by endpoint
+  std::size_t max_frame_ = 0;
+
+  std::uint64_t delivered_bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t frames_dropped_ = 0;
+  std::string fatal_;
+};
+
+}  // namespace rac::net

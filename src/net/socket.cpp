@@ -1,0 +1,157 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace rac::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    throw_errno("inet_pton");
+  }
+  return addr;
+}
+
+}  // namespace
+
+int listen_tcp(const std::string& host, std::uint16_t& port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("bind");
+  }
+  if (::listen(fd, SOMAXCONN) != 0) {
+    ::close(fd);
+    throw_errno("listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    ::close(fd);
+    throw_errno("getsockname");
+  }
+  port = ntohs(bound.sin_port);
+  set_nonblocking(fd);
+  return fd;
+}
+
+int connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  set_nonblocking(fd);
+  const sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0 &&
+      errno != EINPROGRESS) {
+    ::close(fd);
+    throw_errno("connect");
+  }
+  return fd;
+}
+
+bool connect_finished(int fd) {
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0) return false;
+  return err == 0;
+}
+
+int accept_connection(int listen_fd) {
+  const int fd =
+      ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+  return fd;  // -1 with EAGAIN when the backlog is empty
+}
+
+Connection::Connection(int fd, std::size_t max_frame)
+    : fd_(fd), reader_(max_frame) {
+  // Protocol cells are latency-sensitive and self-paced; never batch them
+  // behind Nagle.
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Connection::~Connection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Connection::send_frame(ByteView payload) {
+  // Compact the drained prefix before appending (amortized O(bytes)).
+  if (out_pos_ > 0 && out_pos_ >= out_.size() - out_pos_) {
+    out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(
+                                                out_pos_));
+    out_pos_ = 0;
+  }
+  append_frame(out_, payload);
+  return flush();
+}
+
+bool Connection::flush() {
+  while (out_pos_ < out_.size()) {
+    const ssize_t n = ::send(fd_, out_.data() + out_pos_,
+                             out_.size() - out_pos_, MSG_NOSIGNAL);
+    if (n > 0) {
+      out_pos_ += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone or fatal error
+  }
+  if (out_pos_ == out_.size() && out_pos_ > 0) {
+    out_.clear();
+    out_pos_ = 0;
+  }
+  return true;
+}
+
+bool Connection::handle_readable(
+    const std::function<void(Bytes frame)>& on_frame) {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      reader_.feed(chunk, static_cast<std::size_t>(n));
+      while (auto frame = reader_.next()) on_frame(std::move(*frame));
+      continue;
+    }
+    if (n == 0) {  // orderly EOF
+      eof_mid_frame_ = reader_.bytes_buffered() > 0;
+      return false;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+}  // namespace rac::net

@@ -1,0 +1,75 @@
+// Non-blocking TCP plumbing for the live transport: loopback/LAN
+// listeners, async connects, and the per-peer Connection with a framed
+// read path and a buffered, backpressured write path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "net/framing.hpp"
+
+namespace rac::net {
+
+/// Create a non-blocking listening socket bound to `host:port`
+/// (port 0 = ephemeral). Returns the fd; `port` is updated to the bound
+/// port. Throws std::system_error on failure.
+int listen_tcp(const std::string& host, std::uint16_t& port);
+
+/// Begin a non-blocking connect to `host:port`. Returns the fd; the
+/// connection completes asynchronously (EPOLLOUT, then check
+/// connect_finished). Throws std::system_error on immediate failure.
+int connect_tcp(const std::string& host, std::uint16_t port);
+
+/// After EPOLLOUT on a connecting socket: true if the connect succeeded,
+/// false if it failed (fd must be closed).
+bool connect_finished(int fd);
+
+/// Accept one pending connection (non-blocking); returns -1 when none.
+int accept_connection(int listen_fd);
+
+/// One established peer link: framed reads in, buffered framed writes out.
+/// The owner registers fd() with the event loop and calls handle_readable/
+/// flush from its callback; `want_write()` says whether EPOLLOUT should be
+/// in the event mask (write interest only while the outbox is non-empty —
+/// the standard level-triggered backpressure pattern).
+class Connection {
+ public:
+  Connection(int fd, std::size_t max_frame);
+  ~Connection();
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Frame `payload` and append it to the outbox, then try to write
+  /// immediately (short-circuits the loop for the common uncongested
+  /// case). Returns false on a fatal socket error.
+  bool send_frame(ByteView payload);
+
+  /// Drain as much of the outbox as the socket accepts. Returns false on
+  /// a fatal socket error.
+  bool flush();
+
+  bool want_write() const { return out_pos_ < out_.size(); }
+  /// Bytes queued but not yet accepted by the kernel (the transport's
+  /// contribution to Driver::uplink_busy_until).
+  std::size_t outbox_bytes() const { return out_.size() - out_pos_; }
+
+  /// Read until EAGAIN or EOF, invoking `on_frame` for every completed
+  /// frame. Returns false when the connection is finished (EOF or error);
+  /// eof_mid_frame() then says whether the peer died inside a frame.
+  bool handle_readable(const std::function<void(Bytes frame)>& on_frame);
+
+  bool eof_mid_frame() const { return eof_mid_frame_; }
+
+ private:
+  int fd_;
+  FrameReader reader_;
+  Bytes out_;
+  std::size_t out_pos_ = 0;
+  bool eof_mid_frame_ = false;
+};
+
+}  // namespace rac::net

@@ -1,0 +1,22 @@
+#include "net/timer_queue.hpp"
+
+namespace rac::net {
+
+void TimerQueue::arm(SimTime deadline, Timer t) {
+  heap_.push(Entry{deadline, next_seq_++, t});
+}
+
+std::optional<SimTime> TimerQueue::next_deadline() const {
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().deadline;
+}
+
+void TimerQueue::advance(SimTime now, TimerSink& sink) {
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    const Timer t = heap_.top().timer;
+    heap_.pop();
+    sink.on_timer(t);
+  }
+}
+
+}  // namespace rac::net

@@ -1,0 +1,60 @@
+// Timer queue for the live transport — the epoll-side half of the
+// rac::Driver timer contract.
+//
+// Ordering matches the DES engine: timers fire in (deadline, arming seq)
+// order, so two timers armed for the same instant fire in the order they
+// were armed. That FIFO-among-equals property is part of the driver
+// contract (rac/driver.hpp) — the core's slot-epoch bookkeeping assumes a
+// superseded slot's stale firing is observed before the superseding one
+// when both are due.
+//
+// There are O(1) armed timers per node (one send slot, one check sweep,
+// plus transiently superseded slots), so a binary heap is the whole
+// story; no timerfd per timer — the event loop sleeps until
+// next_deadline() via its epoll_wait timeout.
+#pragma once
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "common/time.hpp"
+#include "rac/driver.hpp"
+
+namespace rac::net {
+
+class TimerQueue {
+ public:
+  /// Arm `t` for `deadline` (absolute, loop clock).
+  void arm(SimTime deadline, Timer t);
+
+  /// Earliest pending deadline; nullopt when idle. The event loop turns
+  /// this into its epoll_wait timeout.
+  std::optional<SimTime> next_deadline() const;
+
+  /// Fire every timer due at or before `now` into `sink`, in
+  /// (deadline, seq) order. Timers the sink arms while firing are
+  /// honored immediately if already due (the DES behaves the same way:
+  /// a zero-delay reschedule runs within the same instant).
+  void advance(SimTime now, TimerSink& sink);
+
+  std::size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    SimTime deadline;
+    std::uint64_t seq;
+    Timer timer;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rac::net

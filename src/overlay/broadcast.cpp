@@ -17,7 +17,7 @@ Payload encode_envelope(const EnvelopeHeader& header, ByteView body) {
   w.u32(header.scope.id);
   w.u64(header.bcast_id);
   w.blob(body);
-  return sim::make_payload(w.take());
+  return make_payload(w.take());
 }
 
 DecodedEnvelope decode_envelope(const Bytes& wire) {

@@ -18,13 +18,14 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/msg.hpp"
 #include "common/rng.hpp"
+#include "common/time.hpp"
 #include "overlay/view.hpp"
-#include "sim/network.hpp"
 
 namespace rac::overlay {
 
-using sim::Payload;
+using rac::Payload;
 
 enum class ScopeType : std::uint8_t { kGroup = 0, kChannel = 1 };
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/rng.hpp"
+
 namespace rac::overlay {
 
 std::uint64_t ring_position(std::uint64_t ident, unsigned ring) {

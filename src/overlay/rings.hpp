@@ -13,11 +13,11 @@
 #include <unordered_map>
 #include <vector>
 
-#include "sim/network.hpp"
+#include "common/msg.hpp"
 
 namespace rac::overlay {
 
-using sim::EndpointId;
+using rac::EndpointId;
 
 struct RingMember {
   EndpointId node;

@@ -1,4 +1,4 @@
-#include "rac/node.hpp"
+#include "rac/core.hpp"
 
 #include <algorithm>
 
@@ -12,7 +12,7 @@ namespace {
 
 /// Globally unique async-span id: node-local sequence numbers (onion ids,
 /// relay duty ids) collide across nodes, so tag them with the endpoint.
-constexpr std::uint64_t span_id(sim::EndpointId ep, std::uint64_t seq) {
+constexpr std::uint64_t span_id(EndpointId ep, std::uint64_t seq) {
   return (static_cast<std::uint64_t>(ep) << 40) | (seq & 0xFF'FFFF'FFFFULL);
 }
 
@@ -51,7 +51,7 @@ std::uint64_t digest_prefix(const Sha256::Digest& d) {
 
 }  // namespace
 
-Node::Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
+Core::Core(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
            std::uint32_t group, std::optional<KeyPair> id_keys)
     : env_(env),
       config_(config),
@@ -62,7 +62,7 @@ Node::Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
       bcaster_(
           endpoint,
           /*send=*/
-          [this](EndpointId to, const sim::Payload& wire) {
+          [this](EndpointId to, const Payload& wire) {
             if (in_forwarding_) {
               if (behavior_.forward_drop_rate > 0.0 &&
                   rng_.next_bool(behavior_.forward_drop_rate)) {
@@ -70,11 +70,11 @@ Node::Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
                 return;
               }
               if (behavior_.replay_forward) {
-                env_.network->send(endpoint_, to, wire);
+                env_.driver->transmit(to, wire);
                 counters_.bump("forwards_replayed");
               }
             }
-            env_.network->send(endpoint_, to, wire);
+            env_.driver->transmit(to, wire);
           },
           /*deliver=*/
           [this](const overlay::EnvelopeHeader& header, ByteView body,
@@ -95,51 +95,52 @@ Node::Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
           static_cast<std::uint32_t>(config.assumed_opponent_fraction *
                                      static_cast<double>(config.smax)) +
               1) {
+  env_.driver->bind(this);
   id_keys_ = id_keys ? std::move(*id_keys)
                      : env_.crypto->generate_keypair(rng_);
   pseudonym_keys_ = env_.crypto->generate_keypair(rng_);
   cell_size_ = config_.effective_cell_size(*env_.crypto);
 }
 
-void Node::attach_group_view(overlay::View* view) {
+void Core::attach_group_view(overlay::View* view) {
   group_view_ = view;
   bcaster_.register_scope(group_scope(), view);
 }
 
-void Node::attach_channel_view(std::uint32_t channel, overlay::View* view) {
+void Core::attach_channel_view(std::uint32_t channel, overlay::View* view) {
   channel_views_[channel] = view;
   bcaster_.register_scope(ScopeId{ScopeType::kChannel, channel}, view);
 }
 
-void Node::detach_channel_view(std::uint32_t channel) {
+void Core::detach_channel_view(std::uint32_t channel) {
   channel_views_.erase(channel);
   bcaster_.unregister_scope(ScopeId{ScopeType::kChannel, channel});
 }
 
-void Node::rebind_group(std::uint32_t new_group, overlay::View* view) {
+void Core::rebind_group(std::uint32_t new_group, overlay::View* view) {
   bcaster_.unregister_scope(group_scope());
   group_ = new_group;
   attach_group_view(view);
-  note_scope_change(group_scope(), env_.simulator->now());
+  note_scope_change(group_scope(), env_.driver->now());
   // Relay paths built in the old group may not complete; drop the
   // expectations rather than blacklist relays split away from us.
   pending_onions_.clear();
   expectation_index_.clear();
   rate_counts_.clear();
-  rate_window_start_ = env_.simulator->now();
+  rate_window_start_ = env_.driver->now();
 }
 
-void Node::announce_group_control(GroupControl::Op op) {
+void Core::announce_group_control(GroupControl::Op op) {
   GroupControl control;
   control.op = op;
   control.group = group_;
   bcaster_.originate(rng_, group_scope(),
                      static_cast<std::uint8_t>(MsgKind::kGroupControl),
-                     control.encode(), env_.simulator->now());
+                     control.encode(), env_.driver->now());
   counters_.bump("group_control_sent");
 }
 
-overlay::View* Node::view_for(ScopeId scope) const {
+overlay::View* Core::view_for(ScopeId scope) const {
   if (scope.type == ScopeType::kGroup) {
     return scope.id == group_ ? group_view_ : nullptr;
   }
@@ -147,22 +148,22 @@ overlay::View* Node::view_for(ScopeId scope) const {
   return it == channel_views_.end() ? nullptr : it->second;
 }
 
-void Node::send_anonymous(const Destination& dest, Bytes payload) {
+void Core::send_anonymous(const Destination& dest, Bytes payload) {
   outbox_.emplace_back(dest, std::move(payload));
 }
 
-void Node::start() {
+void Core::start() {
   if (running_) return;
   running_ = true;
   ++run_token_;
   cell_tx_ = transmission_delay(cell_size_, config_.link_bps);
-  rate_window_start_ = env_.simulator->now();
+  rate_window_start_ = env_.driver->now();
   // A node that starts mid-simulation (a joiner) observed none of the
   // in-flight traffic: exempt the settling period from check #2.
-  note_scope_change(group_scope(), env_.simulator->now());
+  note_scope_change(group_scope(), env_.driver->now());
   for (const auto& [ch, view] : channel_views_) {
     note_scope_change(ScopeId{ScopeType::kChannel, ch},
-                      env_.simulator->now());
+                      env_.driver->now());
   }
   if (config_.send_period > 0) {
     // Random initial phase: real nodes do not share a slot clock, and
@@ -173,27 +174,36 @@ void Node::start() {
     schedule_next_send();
   }
   if (config_.check_sweep_period > 0) {
-    const std::uint64_t token = run_token_;
-    env_.simulator->schedule(config_.check_sweep_period, [this, token] {
-      if (running_ && token == run_token_) run_check_sweep();
-    });
+    env_.driver->arm_timer(config_.check_sweep_period,
+                           Timer{TimerKind::kCheckSweep, run_token_, 0});
   }
 }
 
-void Node::stop() {
+void Core::stop() {
   running_ = false;
   ++run_token_;
 }
 
-void Node::schedule_slot_in(SimDuration delay) {
-  const std::uint64_t token = run_token_;
-  const std::uint64_t epoch = ++slot_epoch_;
-  env_.simulator->schedule(delay, [this, token, epoch] {
-    if (running_ && token == run_token_ && epoch == slot_epoch_) send_slot();
-  });
+void Core::on_timer(Timer t) {
+  switch (t.kind) {
+    case TimerKind::kSendSlot:
+      if (running_ && t.token == run_token_ && t.epoch == slot_epoch_) {
+        send_slot();
+      }
+      break;
+    case TimerKind::kCheckSweep:
+      if (running_ && t.token == run_token_) run_check_sweep();
+      break;
+  }
 }
 
-void Node::schedule_next_send() {
+void Core::schedule_slot_in(SimDuration delay) {
+  const std::uint64_t epoch = ++slot_epoch_;
+  env_.driver->arm_timer(delay,
+                         Timer{TimerKind::kSendSlot, run_token_, epoch});
+}
+
+void Core::schedule_next_send() {
   if (!running_) return;
   SimDuration delay;
   if (config_.send_period > 0) {
@@ -201,8 +211,8 @@ void Node::schedule_next_send() {
   } else if (!relay_duties_.empty() ||
              pending_onions_.size() < config_.saturation_window) {
     // Saturation pacing: come back once the uplink has ~drained.
-    const SimTime busy = env_.network->uplink_busy_until(endpoint_);
-    const SimDuration backlog = busy - env_.simulator->now();
+    const SimTime busy = env_.driver->uplink_busy_until();
+    const SimDuration backlog = busy - env_.driver->now();
     delay = backlog > 2 * cell_tx_ ? backlog - 2 * cell_tx_ : cell_tx_;
     if (delay <= 0) delay = cell_tx_;
   } else {
@@ -213,13 +223,13 @@ void Node::schedule_next_send() {
   schedule_slot_in(delay);
 }
 
-void Node::send_slot() {
+void Core::send_slot() {
   const bool saturation = config_.send_period == 0;
   bool uplink_ready = true;
   if (saturation) {
     // In saturation mode only add to the uplink once it has drained.
-    const SimTime busy = env_.network->uplink_busy_until(endpoint_);
-    uplink_ready = (busy - env_.simulator->now()) <= 2 * cell_tx_;
+    const SimTime busy = env_.driver->uplink_busy_until();
+    uplink_ready = (busy - env_.driver->now()) <= 2 * cell_tx_;
   }
   if (uplink_ready) {
     if (!relay_duties_.empty()) {
@@ -229,13 +239,13 @@ void Node::send_slot() {
       auto [scope, content, queued_at, duty_id] =
           std::move(relay_duties_.front());
       relay_duties_.pop_front();
-      RAC_TELEM_HIST(kNodeRelayQueueNs, env_.simulator->now() - queued_at);
+      RAC_TELEM_HIST(kNodeRelayQueueNs, env_.driver->now() - queued_at);
       RAC_TELEM_ASYNC_END("relay", span_id(endpoint_, duty_id), endpoint_,
-                          "relay.duty", env_.simulator->now());
+                          "relay.duty", env_.driver->now());
       const Bytes cell = pad_cell(content, cell_size_, rng_);
       bcaster_.originate(rng_, scope,
                          static_cast<std::uint8_t>(MsgKind::kDataCell), cell,
-                         env_.simulator->now());
+                         env_.driver->now());
       counters_.bump("relay_rebroadcasts");
       RAC_TELEM_COUNT(kNodeRelayRebroadcasts, 1);
       // The overlay never delivers a node's own broadcast back to it, yet
@@ -267,13 +277,13 @@ void Node::send_slot() {
   schedule_next_send();
 }
 
-void Node::originate_cell(Bytes cell) {
+void Core::originate_cell(Bytes cell) {
   bcaster_.originate(rng_, group_scope(),
                      static_cast<std::uint8_t>(MsgKind::kDataCell), cell,
-                     env_.simulator->now());
+                     env_.driver->now());
 }
 
-std::vector<EndpointId> Node::pick_relays() {
+std::vector<EndpointId> Core::pick_relays() {
   const unsigned want = behavior_.relay_override != 0
                             ? behavior_.relay_override
                             : config_.num_relays;
@@ -293,14 +303,14 @@ std::vector<EndpointId> Node::pick_relays() {
   return relays;
 }
 
-void Node::announce_join(const JoinAnnounce& announce) {
+void Core::announce_join(const JoinAnnounce& announce) {
   bcaster_.originate(rng_, group_scope(),
                      static_cast<std::uint8_t>(MsgKind::kJoinAnnounce),
-                     announce.encode(), env_.simulator->now());
+                     announce.encode(), env_.driver->now());
   counters_.bump("joins_announced");
 }
 
-std::optional<Bytes> Node::build_next_onion() {
+std::optional<Bytes> Core::build_next_onion() {
   if (outbox_.empty() && traffic_gen_) {
     // Infinite-demand workload: synthesize the next message.
     Bytes payload = rng_.bytes(config_.payload_size - 4);
@@ -315,11 +325,11 @@ std::optional<Bytes> Node::build_next_onion() {
 
   OutgoingMessage msg = std::move(outbox_.front());
   outbox_.pop_front();
-  RAC_TELEM_SPAN_BEGIN(endpoint_, "onion.build", env_.simulator->now());
+  RAC_TELEM_SPAN_BEGIN(endpoint_, "onion.build", env_.driver->now());
 
-  // The driver shares a directory of ID public keys through the crypto
+  // The host shares a directory of ID public keys through the crypto
   // provider being deterministic per (ident, endpoint); here we need the
-  // relays' ID public keys, which the driver exposes via the id_key
+  // relays' ID public keys, which the host exposes via the id_key
   // resolver installed at wiring time.
   std::vector<PublicKey> relay_pubs;
   relay_pubs.reserve(relay_eps.size());
@@ -341,23 +351,23 @@ std::optional<Bytes> Node::build_next_onion() {
   PendingOnion pending;
   pending.expected = onion.expected_broadcasts;
   pending.relays = relay_eps;
-  pending.created = env_.simulator->now();
-  pending.deadline = env_.simulator->now() + config_.check_timeout;
+  pending.created = env_.driver->now();
+  pending.deadline = env_.driver->now() + config_.check_timeout;
   for (std::size_t i = 0; i < pending.expected.size(); ++i) {
     expectation_index_[digest_prefix(pending.expected[i])] = {onion_id, i};
   }
   pending_onions_.emplace(onion_id, std::move(pending));
-  RAC_TELEM_SPAN_END(endpoint_, "onion.build", env_.simulator->now());
+  RAC_TELEM_SPAN_END(endpoint_, "onion.build", env_.driver->now());
   // Async span over the onion's whole dissemination: closed when the last
   // relay's rebroadcast is observed (note_observed_content) or when the
   // check sweep expires it.
   RAC_TELEM_ASYNC_BEGIN("onion", span_id(endpoint_, onion_id), endpoint_,
-                        "onion.flight", env_.simulator->now());
+                        "onion.flight", env_.driver->now());
 
   return pad_cell(onion.first_content, cell_size_, rng_);
 }
 
-void Node::on_network_receive(EndpointId from, const sim::Payload& msg) {
+void Core::on_message(EndpointId from, const Payload& msg) {
   try {
     // Cheap header peek for the per-predecessor rate accounting (#3).
     const overlay::DecodedEnvelope env = overlay::decode_envelope(*msg);
@@ -367,11 +377,11 @@ void Node::on_network_receive(EndpointId from, const sim::Payload& msg) {
     return;
   }
   in_forwarding_ = true;
-  bcaster_.on_receive(from, msg, env_.simulator->now());
+  bcaster_.on_receive(from, msg, env_.driver->now());
   in_forwarding_ = false;
 }
 
-void Node::note_observed_content(ByteView content) {
+void Core::note_observed_content(ByteView content) {
   const auto it = expectation_index_.find(
       digest_prefix(content_fingerprint(content)));
   if (it == expectation_index_.end()) return;
@@ -382,11 +392,11 @@ void Node::note_observed_content(ByteView content) {
   PendingOnion& po = onion_it->second;
   po.confirmed = std::max(po.confirmed, index + 1);
   if (po.confirmed == po.expected.size()) {
-    onion_latency_.add(to_seconds(env_.simulator->now() - po.created));
+    onion_latency_.add(to_seconds(env_.driver->now() - po.created));
     RAC_TELEM_HIST(kNodeOnionLatencyUs,
-                   (env_.simulator->now() - po.created) / 1000);
+                   (env_.driver->now() - po.created) / 1000);
     RAC_TELEM_ASYNC_END("onion", span_id(endpoint_, onion_id), endpoint_,
-                        "onion.flight", env_.simulator->now());
+                        "onion.flight", env_.driver->now());
     pending_onions_.erase(onion_it);
     counters_.bump("onions_fully_relayed");
     if (config_.send_period == 0 && running_ &&
@@ -397,7 +407,7 @@ void Node::note_observed_content(ByteView content) {
   }
 }
 
-void Node::handle_data_cell(const overlay::EnvelopeHeader& header,
+void Core::handle_data_cell(const overlay::EnvelopeHeader& header,
                             ByteView body) {
   Bytes content;
   try {
@@ -411,7 +421,7 @@ void Node::handle_data_cell(const overlay::EnvelopeHeader& header,
   (void)header;
 }
 
-void Node::process_content(ByteView content) {
+void Core::process_content(ByteView content) {
   PeelResult peeled =
       peel_content(*env_.crypto, id_keys_, pseudonym_keys_, content);
   switch (peeled.kind) {
@@ -434,9 +444,9 @@ void Node::process_content(ByteView content) {
       }
       const std::uint64_t duty_id = next_duty_id_++;
       RAC_TELEM_ASYNC_BEGIN("relay", span_id(endpoint_, duty_id), endpoint_,
-                            "relay.duty", env_.simulator->now());
+                            "relay.duty", env_.driver->now());
       relay_duties_.emplace_back(scope, std::move(peeled.next_content),
-                                 env_.simulator->now(), duty_id);
+                                 env_.driver->now(), duty_id);
       if (config_.send_period == 0 && running_) {
         // Saturation pacing: make sure a slot is armed soon — the pending
         // one may be the long window-full fallback.
@@ -458,7 +468,7 @@ void Node::process_content(ByteView content) {
   }
 }
 
-void Node::handle_control(const overlay::EnvelopeHeader& header,
+void Core::handle_control(const overlay::EnvelopeHeader& header,
                           ByteView body, EndpointId /*from*/) {
   try {
     switch (static_cast<MsgKind>(header.kind)) {
@@ -469,16 +479,16 @@ void Node::handle_control(const overlay::EnvelopeHeader& header,
         // The per-node blacklist-quorum phase: tallying a received
         // accusation, possibly tripping the eviction quorum.
         RAC_TELEM_SPAN_BEGIN(endpoint_, "blacklist.quorum",
-                             env_.simulator->now());
+                             env_.driver->now());
         if (blacklists_.record_pred_accusation(header.scope, acc.accused,
                                                acc.accuser, is_follower)) {
           counters_.bump("pred_eviction_quorums");
           RAC_TELEM_INSTANT(endpoint_, "eviction.quorum",
-                            env_.simulator->now());
+                            env_.driver->now());
           if (evict_) evict_(header.scope, acc.accused);
         }
         RAC_TELEM_SPAN_END(endpoint_, "blacklist.quorum",
-                           env_.simulator->now());
+                           env_.driver->now());
         break;
       }
       case MsgKind::kEvictNotice: {
@@ -501,7 +511,7 @@ void Node::handle_control(const overlay::EnvelopeHeader& header,
         counters_.bump("join_verified");
         overlay::View* view = view_for(header.scope);
         if (view) view->add(join.endpoint, join.ident);  // idempotent
-        note_scope_change(header.scope, env_.simulator->now());
+        note_scope_change(header.scope, env_.driver->now());
         break;
       }
       case MsgKind::kGroupControl:
@@ -516,7 +526,7 @@ void Node::handle_control(const overlay::EnvelopeHeader& header,
   }
 }
 
-bool Node::is_follower_of(ScopeId scope, EndpointId accused,
+bool Core::is_follower_of(ScopeId scope, EndpointId accused,
                           EndpointId accuser) const {
   const overlay::View* view = view_for(scope);
   if (view == nullptr || !view->contains(accused) ||
@@ -528,7 +538,7 @@ bool Node::is_follower_of(ScopeId scope, EndpointId accused,
          followers.end();
 }
 
-void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
+void Core::accuse_predecessor(ScopeId scope, EndpointId pred,
                               SuspicionReason reason) {
   if (behavior_.allies && behavior_.allies->contains(pred)) {
     counters_.bump("accusations_suppressed");  // clique shields its own
@@ -543,7 +553,7 @@ void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
   acc.reason = reason;
   bcaster_.originate(rng_, scope,
                      static_cast<std::uint8_t>(MsgKind::kPredAccusation),
-                     acc.encode(), env_.simulator->now());
+                     acc.encode(), env_.driver->now());
   // Count our own accusation toward the quorum as well.
   if (blacklists_.record_pred_accusation(
           scope, pred, endpoint_, is_follower_of(scope, pred, endpoint_))) {
@@ -552,8 +562,8 @@ void Node::accuse_predecessor(ScopeId scope, EndpointId pred,
   }
 }
 
-void Node::run_check_sweep() {
-  const SimTime now = env_.simulator->now();
+void Core::run_check_sweep() {
+  const SimTime now = env_.driver->now();
   RAC_TELEM_SPAN_BEGIN(endpoint_, "check_sweep", now);
 
   // Check #1: relays that failed to rebroadcast one of our onions.
@@ -585,22 +595,20 @@ void Node::run_check_sweep() {
 
   check_receipts(now);
   check_rates(now);
-  RAC_TELEM_SPAN_END(endpoint_, "check_sweep", env_.simulator->now());
+  RAC_TELEM_SPAN_END(endpoint_, "check_sweep", env_.driver->now());
 
   if (running_) {
-    const std::uint64_t token = run_token_;
-    env_.simulator->schedule(config_.check_sweep_period, [this, token] {
-      if (running_ && token == run_token_) run_check_sweep();
-    });
+    env_.driver->arm_timer(config_.check_sweep_period,
+                           Timer{TimerKind::kCheckSweep, run_token_, 0});
   }
 }
 
-void Node::note_scope_change(ScopeId scope, SimTime when) {
+void Core::note_scope_change(ScopeId scope, SimTime when) {
   SimTime& at = scope_changed_at_[scope.key()];
   at = std::max(at, when);
 }
 
-void Node::check_receipts(SimTime now) {
+void Core::check_receipts(SimTime now) {
   // Check #2: every broadcast must arrive exactly once from each ring
   // predecessor within the timeout.
   const SimTime cutoff = now - config_.check_timeout;
@@ -643,7 +651,7 @@ void Node::check_receipts(SimTime now) {
   bcaster_.purge_receipts_before(cutoff);
 }
 
-void Node::check_rates(SimTime now) {
+void Core::check_rates(SimTime now) {
   // Check #3 (constant-rate mode only): the reception rate from each group
   // ring predecessor must match the scope broadcast rate G / send_period.
   if (config_.send_period <= 0 || group_view_ == nullptr ||
@@ -689,12 +697,12 @@ void Node::check_rates(SimTime now) {
   rate_window_start_ = now;
 }
 
-void Node::on_evicted(ScopeId scope, EndpointId evicted) {
+void Core::on_evicted(ScopeId scope, EndpointId evicted) {
   if (evicted == endpoint_) {
     if (scope.type == ScopeType::kGroup && scope.id == group_) stop();
     return;
   }
-  note_scope_change(scope, env_.simulator->now());
+  note_scope_change(scope, env_.driver->now());
   blacklists_.forget(evicted);
   // Evicted identities never return: tombstone so accusations that arrive
   // after the eviction can no longer form a fresh quorum.
@@ -711,17 +719,17 @@ void Node::on_evicted(ScopeId scope, EndpointId evicted) {
       notice.scope_id = scope.id;
       bcaster_.originate(rng_, ScopeId{ScopeType::kChannel, channel},
                          static_cast<std::uint8_t>(MsgKind::kEvictNotice),
-                         notice.encode(), env_.simulator->now());
+                         notice.encode(), env_.driver->now());
       counters_.bump("evict_notices_sent");
     }
   }
 }
 
-RelayBlacklistEntry Node::shuffle_contribution() {
+RelayBlacklistEntry Core::shuffle_contribution() {
   return blacklists_.take_relay_entry();
 }
 
-void Node::ingest_shuffle_output(
+void Core::ingest_shuffle_output(
     const std::vector<RelayBlacklistEntry>& entries) {
   blacklists_.begin_relay_round();
   for (const RelayBlacklistEntry& entry : entries) {

@@ -1,0 +1,72 @@
+// DES implementation of rac::Driver: binds one protocol core to the
+// simulator engine that owns its endpoint and to the star network.
+//
+// Byte-stability: this adapter must reproduce the pre-extraction event
+// trace exactly. Each arm_timer() maps 1:1 onto one engine event scheduled
+// at the same call site and delay as the historical Node lambdas, and the
+// scheduled closure stays within the 24-byte inline budget of
+// sim::InplaceCallback ({pointer, u64, u64} — see sim/callback.hpp) by
+// folding TimerKind into the token's top byte. Stale timers (token/epoch
+// mismatch after stop() or slot re-arm) still fire as no-op events and
+// count toward events_processed, exactly as before.
+#pragma once
+
+#include "rac/driver.hpp"
+#include "sim/engine.hpp"
+#include "sim/network.hpp"
+
+namespace rac {
+
+class DesDriver final : public Driver {
+ public:
+  DesDriver(sim::Simulator& engine, sim::Network& network, EndpointId self)
+      : engine_(engine), net_(network), self_(self) {}
+
+  SimTime now() const override { return engine_.now(); }
+
+  void transmit(EndpointId to, const Payload& wire) override {
+    net_.send(self_, to, wire);
+  }
+
+  void arm_timer(SimDuration delay, Timer t) override {
+    // Token values are small run counters (two bumps per start/stop
+    // cycle), so the top byte is free to carry the kind.
+    const std::uint64_t packed =
+        (static_cast<std::uint64_t>(t.kind) << kKindShift) |
+        (t.token & kTokenMask);
+    engine_.schedule(delay, Thunk{sink_, packed, t.epoch});
+  }
+
+  SimTime uplink_busy_until() const override {
+    return net_.uplink_busy_until(self_);
+  }
+
+  void bind(TimerSink* sink) override { sink_ = sink; }
+
+ private:
+  static constexpr unsigned kKindShift = 56;
+  static constexpr std::uint64_t kTokenMask = (1ULL << kKindShift) - 1;
+
+  /// Scheduled closure: exactly {pointer, u64, u64}, nothrow-movable, so
+  /// the engine stores it inline (no allocation on the timer hot path).
+  struct Thunk {
+    TimerSink* sink;
+    std::uint64_t packed;
+    std::uint64_t epoch;
+
+    void operator()() const {
+      Timer t;
+      t.kind = static_cast<TimerKind>(packed >> kKindShift);
+      t.token = packed & kTokenMask;
+      t.epoch = epoch;
+      sink->on_timer(t);
+    }
+  };
+
+  sim::Simulator& engine_;
+  sim::Network& net_;
+  EndpointId self_;
+  TimerSink* sink_ = nullptr;
+};
+
+}  // namespace rac

@@ -1,0 +1,87 @@
+// The sans-io boundary between the RAC protocol core and its host.
+//
+// rac::Core (core.hpp) is a pure state machine: it consumes wire payloads,
+// timer expiries, and a monotonic "now", and emits wire payloads and timer
+// requests. Everything environmental — clocks, message transmission, timer
+// scheduling, uplink occupancy — goes through this interface. Two
+// implementations exist:
+//
+//  - rac::DesDriver (des_driver.hpp): the discrete-event simulator. One
+//    driver per node, bound to the engine that owns the node's endpoint.
+//    Its event trace is bit-identical to the pre-extraction code.
+//  - net::NodeDriver (src/net/node_driver.hpp): the epoll TCP transport.
+//    "now" is CLOCK_MONOTONIC, timers live on a timer wheel, transmit
+//    frames onto non-blocking sockets.
+//
+// Timer contract (the part that keeps the DES byte-stable):
+//  - arm_timer() is fire-and-forget: drivers MUST deliver every armed timer
+//    exactly once (or drop it only by destroying the whole driver). There
+//    is no cancel. The core invalidates stale timers itself by comparing
+//    Timer::token/epoch against its run/slot counters — in the DES those
+//    stale firings still cost an engine event, which is exactly what the
+//    historical code did, so event counts stay identical.
+//  - Timers armed with the same delay fire in arming order (FIFO among
+//    equals). The DES engine's (time, seq) ordering gives this for free;
+//    the timer wheel orders by (deadline, seq) to match.
+//  - A driver must never invoke its sink after the sink is destroyed;
+//    hosts destroy the core and its driver together.
+#pragma once
+
+#include <cstdint>
+
+#include "common/msg.hpp"
+#include "common/time.hpp"
+
+namespace rac {
+
+/// What a timer firing means to the core. Packed into one byte so the DES
+/// adapter can fold it into a 24-byte scheduled closure (sim/callback.hpp).
+enum class TimerKind : std::uint8_t {
+  kSendSlot = 1,    // one send-loop slot (token + epoch guarded)
+  kCheckSweep = 2,  // periodic misbehaviour sweep (token guarded)
+};
+
+/// An armed timer, returned verbatim to the sink when it fires. token and
+/// epoch are opaque to the driver; the core uses them to recognize firings
+/// armed before a stop() or a superseded send slot.
+struct Timer {
+  TimerKind kind = TimerKind::kSendSlot;
+  std::uint64_t token = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Receiver of timer expiries (implemented by rac::Core).
+class TimerSink {
+ public:
+  virtual ~TimerSink() = default;
+  virtual void on_timer(Timer t) = 0;
+};
+
+/// Host environment of one protocol core. All calls are made from the
+/// host's single event-dispatch thread (the engine or the event loop);
+/// implementations need no locking.
+class Driver {
+ public:
+  virtual ~Driver() = default;
+
+  /// Monotonic protocol clock in nanoseconds. The DES returns simulated
+  /// time; the live transport returns CLOCK_MONOTONIC re-based to 0.
+  virtual SimTime now() const = 0;
+
+  /// Queue one wire payload toward `to`. Never blocks; the transport owns
+  /// buffering and backpressure.
+  virtual void transmit(EndpointId to, const Payload& wire) = 0;
+
+  /// Deliver `t` to the bound sink `delay` from now (see the timer
+  /// contract above).
+  virtual void arm_timer(SimDuration delay, Timer t) = 0;
+
+  /// Absolute time at which this node's uplink finishes its current
+  /// backlog (== now() when idle). Saturation pacing consults this.
+  virtual SimTime uplink_busy_until() const = 0;
+
+  /// Register the timer sink. Called once, from the core's constructor.
+  virtual void bind(TimerSink* sink) = 0;
+};
+
+}  // namespace rac

@@ -1,276 +1,14 @@
-// The RAC protocol node (Sec. IV).
-//
-// A node participates in one group and any number of channels (unions of
-// two groups). It:
-//  - sends application payloads as L-layer onions broadcast over the
-//    group's rings, marking the channel in the innermost layer for
-//    cross-group destinations (key ideas #1 and #2);
-//  - acts as relay when its ID key opens a layer, re-padding and
-//    re-broadcasting the inner onion in the group or channel;
-//  - delivers payloads its pseudonym key opens;
-//  - forwards every first-seen broadcast to all ring successors;
-//  - sends at a constant rate, emitting noise cells when idle;
-//  - runs the three misbehaviour checks and maintains blacklists;
-//  - participates in evictions (t+1 follower quorum for predecessors,
-//    fG+1 for relays, f+1 notices for channel-side evictions).
-//
-// Views are shared, consistent snapshots owned by the simulation driver
-// (reliable broadcast keeps correct nodes' views identical; the simulator
-// materializes each view once — see DESIGN.md).
+// Historical name of the RAC protocol state machine. The implementation
+// moved to rac::Core (core.hpp) when it became sans-io; `Node` remains the
+// name used by the simulator-facing code and tests. Nested types
+// (Node::Env, Node::Behavior, Node::Destination) resolve through the
+// alias unchanged.
 #pragma once
 
-#include <deque>
-#include <functional>
-#include <map>
-#include <memory>
-#include <optional>
-#include <set>
-#include <unordered_map>
-
-#include "crypto/onion.hpp"
-#include "crypto/provider.hpp"
-#include "overlay/broadcast.hpp"
-#include "rac/blacklist.hpp"
-#include "rac/config.hpp"
-#include "rac/wire.hpp"
-#include "sim/engine.hpp"
-#include "sim/network.hpp"
-#include "sim/stats.hpp"
+#include "rac/core.hpp"
 
 namespace rac {
 
-using overlay::ScopeId;
-using overlay::ScopeType;
-using sim::EndpointId;
-
-class Node {
- public:
-  /// Simulation bindings; all outlive the node.
-  struct Env {
-    sim::Simulator* simulator = nullptr;
-    sim::Network* network = nullptr;
-    const CryptoProvider* crypto = nullptr;
-  };
-
-  /// Deviation knobs for freerider/opponent experiments. All false = a
-  /// correct node.
-  struct Behavior {
-    bool drop_relay_duty = false;   // don't rebroadcast as relay (check #1)
-    double forward_drop_rate = 0.0; // drop fraction of forwards (check #2)
-    bool replay_forward = false;    // forward everything twice (check #2)
-    bool silent = false;            // originate nothing, not even noise
-    /// Skip noise cells but still send real data at the protocol rate —
-    /// models a protocol *without* cover traffic, used by the empirical
-    /// anonymity experiments to show why Sec. IV-C mandates noise.
-    bool no_noise = false;
-    /// Path shortener: build own onions over this many relays instead of
-    /// Config::num_relays (0 = honest L). A rational deviation trading the
-    /// node's own anonymity for latency (Sec. V discussion) — invisible to
-    /// the three checks, which is exactly what the fault campaigns measure.
-    unsigned relay_override = 0;
-    /// Colluding clique: endpoints this node never suspects or accuses,
-    /// whatever it observes. Shared (one set per clique) so activating the
-    /// strategy on k nodes costs one allocation, not k.
-    std::shared_ptr<const std::set<EndpointId>> allies;
-  };
-
-  /// `id_keys`, when provided, is the pre-generated ID key pair whose
-  /// public half solved the join puzzle that produced `ident` (the join
-  /// flow needs the key before the node exists); otherwise keys are
-  /// generated internally.
-  Node(Env env, Config config, EndpointId endpoint, std::uint64_t ident,
-       std::uint32_t group, std::optional<KeyPair> id_keys = std::nullopt);
-
-  // --- Wiring (driver responsibilities, before start()). ---
-  void attach_group_view(overlay::View* view);
-  void attach_channel_view(std::uint32_t channel, overlay::View* view);
-  void detach_channel_view(std::uint32_t channel);
-  /// Move this node to another group (split/dissolve outcome): swaps the
-  /// registered group scope and marks both scopes changed for the check-#2
-  /// grace window. The caller owns channel re-wiring.
-  void rebind_group(std::uint32_t new_group, overlay::View* view);
-  /// Broadcast a split/dissolve notice in the current group (any member
-  /// may announce; the outcome is a deterministic function of the view).
-  void announce_group_control(GroupControl::Op op);
-  /// Fires when an eviction quorum is reached locally; the driver applies
-  /// the removal to the shared view (idempotently) and fans out
-  /// Node::on_evicted to all members.
-  using EvictFn = std::function<void(ScopeId scope, EndpointId evicted)>;
-  void set_evict_callback(EvictFn fn) { evict_ = std::move(fn); }
-  /// Directory of ID public keys (nodes learn them from JOIN announces; the
-  /// driver materializes the lookup). Required before sending.
-  using IdPubResolver = std::function<PublicKey(EndpointId)>;
-  void set_id_pub_resolver(IdPubResolver fn) {
-    resolve_id_pub_ = std::move(fn);
-  }
-
-  // --- Identity. ---
-  EndpointId endpoint() const { return endpoint_; }
-  std::uint64_t ident() const { return ident_; }
-  std::uint32_t group() const { return group_; }
-  const KeyPair& id_keys() const { return id_keys_; }
-  const KeyPair& pseudonym_keys() const { return pseudonym_keys_; }
-
-  // --- Application API. ---
-  struct Destination {
-    PublicKey pseudonym_pub;
-    std::uint32_t group = 0;
-  };
-  /// Queue a payload for anonymous delivery. Sent at the next send slot.
-  void send_anonymous(const Destination& dest, Bytes payload);
-  /// Infinite-demand workload: when the outbox is empty, draw the next
-  /// destination from `gen` instead of sending noise (Sec. VI-C: "sends
-  /// anonymous messages ... at the maximum throughput it can sustain").
-  using TrafficGenerator = std::function<Destination()>;
-  void set_traffic_generator(TrafficGenerator gen) {
-    traffic_gen_ = std::move(gen);
-  }
-  /// Broadcast a verified JOIN announce into this node's group (the role
-  /// of contact node x in Sec. IV-C "Joining the system").
-  void announce_join(const JoinAnnounce& announce);
-  /// Fires on every payload delivered to this node.
-  using DeliverFn = std::function<void(Bytes payload)>;
-  void set_deliver_callback(DeliverFn fn) { deliver_app_ = std::move(fn); }
-
-  // --- Protocol driving. ---
-  /// Begin the send loop (constant rate, or saturation pacing when
-  /// Config::send_period == 0) and the periodic check sweep.
-  void start();
-  void stop();
-  bool running() const { return running_; }
-  /// Network ingress; the driver points the endpoint handler here.
-  void on_network_receive(EndpointId from, const sim::Payload& msg);
-  /// Driver fan-out after an eviction reached quorum somewhere.
-  void on_evicted(ScopeId scope, EndpointId evicted);
-  /// Note a membership change in a scope (join/eviction observed at `when`).
-  /// Misbehaviour check #2 exempts broadcasts that started less than
-  /// check_timeout after the change: ring relationships in flight at the
-  /// change are ambiguous and must not produce false accusations (the
-  /// paper's 2T join grace serves the same purpose).
-  void note_scope_change(ScopeId scope, SimTime when);
-
-  /// One shuffle slot for the periodic anonymous relay-blacklist round.
-  RelayBlacklistEntry shuffle_contribution();
-  /// Ingest the (anonymous) output entries of a shuffle round.
-  void ingest_shuffle_output(const std::vector<RelayBlacklistEntry>& entries);
-
-  void set_behavior(Behavior b) { behavior_ = b; }
-  const Behavior& behavior() const { return behavior_; }
-
-  // --- Introspection. ---
-  const Blacklists& blacklists() const { return blacklists_; }
-  const sim::Counters& counters() const { return counters_; }
-  /// Latency (seconds) from sending an onion to observing its final relay
-  /// broadcast — the sender-visible end-to-end dissemination time (check
-  /// #1 completes exactly when the payload box has been broadcast).
-  const sim::Aggregate& onion_latency() const { return onion_latency_; }
-  std::uint64_t payloads_delivered() const { return payloads_delivered_; }
-  std::uint64_t payloads_sent() const { return payloads_sent_; }
-  std::size_t cell_size() const { return cell_size_; }
-  /// Relay obligations queued but not yet rebroadcast (telemetry probe).
-  std::size_t relay_queue_depth() const { return relay_duties_.size(); }
-  ScopeId group_scope() const {
-    return ScopeId{ScopeType::kGroup, group_};
-  }
-
- private:
-  struct PendingOnion {
-    std::vector<Sha256::Digest> expected;  // per-relay broadcast digests
-    std::vector<EndpointId> relays;
-    std::size_t confirmed = 0;  // prefix of `expected` already observed
-    SimTime created = 0;
-    SimTime deadline = 0;
-  };
-
-  void send_slot();
-  void schedule_next_send();
-  /// (Re)arm the single pending send slot `delay` from now; any previously
-  /// armed slot is invalidated (epoch guard), so exactly one slot chain
-  /// exists per node.
-  void schedule_slot_in(SimDuration delay);
-  void originate_cell(Bytes content);
-  std::optional<Bytes> build_next_onion();
-  void handle_data_cell(const overlay::EnvelopeHeader& header, ByteView body);
-  /// Peel-and-dispatch on an (unpadded) cell content: relay duty,
-  /// delivery, or nothing. Shared by incoming cells and by contents this
-  /// node rebroadcasts itself (a relay can be the destination of the inner
-  /// box — its own broadcast is not re-delivered to it by the overlay).
-  void process_content(ByteView content);
-  void handle_control(const overlay::EnvelopeHeader& header, ByteView body,
-                      EndpointId from);
-  void note_observed_content(ByteView content);
-  void run_check_sweep();
-  void check_receipts(SimTime now);
-  void check_rates(SimTime now);
-  void accuse_predecessor(ScopeId scope, EndpointId pred,
-                          SuspicionReason reason);
-  bool is_follower_of(ScopeId scope, EndpointId accused,
-                      EndpointId accuser) const;
-  overlay::View* view_for(ScopeId scope) const;
-  std::vector<EndpointId> pick_relays();
-
-  Env env_;
-  Config config_;
-  EndpointId endpoint_;
-  std::uint64_t ident_;
-  std::uint32_t group_;
-  KeyPair id_keys_;
-  KeyPair pseudonym_keys_;
-  std::size_t cell_size_;
-  Rng rng_;
-
-  overlay::View* group_view_ = nullptr;
-  // Ordered on purpose (rac_lint D1): eviction notices iterate this map
-  // and draw from rng_ per channel, so iteration order must be defined.
-  // A node belongs to a handful of channels; the tree walk is not hot.
-  std::map<std::uint32_t, overlay::View*> channel_views_;
-  overlay::Broadcaster bcaster_;
-  Blacklists blacklists_;
-  EvictFn evict_;
-  IdPubResolver resolve_id_pub_;
-  DeliverFn deliver_app_;
-  TrafficGenerator traffic_gen_;
-  Behavior behavior_;
-
-  struct OutgoingMessage {
-    Destination dest;
-    Bytes payload;
-  };
-  std::deque<OutgoingMessage> outbox_;
-  /// Peeled onions this node owes the network as a relay; served before
-  /// own messages at each send slot (relaying replaces a noise slot, so
-  /// the constant rate is preserved). queued_at/duty_id feed the telemetry
-  /// queue-wait histogram and the per-duty async trace span.
-  struct RelayDuty {
-    ScopeId scope;
-    Bytes content;
-    SimTime queued_at = 0;
-    std::uint64_t duty_id = 0;
-  };
-  std::deque<RelayDuty> relay_duties_;
-  std::uint64_t next_duty_id_ = 1;
-  SimDuration cell_tx_ = 0;     // serialization time of one cell
-  bool in_forwarding_ = false;  // true while bcaster_ forwards others' data
-  std::unordered_map<std::uint64_t, PendingOnion> pending_onions_;
-  // digest prefix (u64) -> (onion id, index into expected)
-  std::unordered_map<std::uint64_t, std::pair<std::uint64_t, std::size_t>>
-      expectation_index_;
-  std::uint64_t next_onion_id_ = 1;
-
-  // Per-(scope,pred) reception counts for the rate check (#3), reset each
-  // sweep window.
-  std::map<std::pair<std::uint64_t, EndpointId>, std::uint64_t> rate_counts_;
-  SimTime rate_window_start_ = 0;
-  // Last membership change per scope key (grace window for check #2).
-  std::unordered_map<std::uint64_t, SimTime> scope_changed_at_;
-
-  bool running_ = false;
-  std::uint64_t run_token_ = 0;  // invalidates scheduled closures on stop()
-  std::uint64_t slot_epoch_ = 0; // invalidates superseded send slots
-  std::uint64_t payloads_delivered_ = 0;
-  std::uint64_t payloads_sent_ = 0;
-  sim::Counters counters_;
-  sim::Aggregate onion_latency_;
-};
+using Node = Core;
 
 }  // namespace rac

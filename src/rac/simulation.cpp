@@ -55,7 +55,7 @@ Simulation::Simulation(SimulationConfig config)
   for (std::uint32_t i = 0; i < n; ++i) {
     const sim::EndpointId ep = net_->add_endpoint(
         [this, i](sim::EndpointId from, const sim::Payload& msg) {
-          nodes_[i]->on_network_receive(from, msg);
+          nodes_[i]->on_message(from, msg);
         });
     if (ep != i) throw std::logic_error("Simulation: endpoint id mismatch");
   }
@@ -81,7 +81,9 @@ Simulation::Simulation(SimulationConfig config)
       ident = boot.next();
     }
     const std::uint32_t group = group_of_ident(ident, num_groups);
-    const Node::Env env{engine_of(i), net_.get(), crypto_.get()};
+    drivers_.push_back(
+        std::make_unique<DesDriver>(*engine_of(i), *net_, i));
+    const Node::Env env{drivers_.back().get(), crypto_.get()};
     nodes_.push_back(std::make_unique<Node>(env, config_.node, i, ident,
                                             group, std::move(keys)));
     group_views_[group]->add(i, ident);
@@ -300,10 +302,11 @@ std::size_t Simulation::join_node(std::size_t contact) {
   const std::size_t index = nodes_.size();
   const sim::EndpointId ep = net_->add_endpoint(
       [this, index](sim::EndpointId from, const sim::Payload& msg) {
-        nodes_[index]->on_network_receive(from, msg);
+        nodes_[index]->on_message(from, msg);
       });
 
-  const Node::Env env{engine_of(ep), net_.get(), crypto_.get()};
+  drivers_.push_back(std::make_unique<DesDriver>(*engine_of(ep), *net_, ep));
+  const Node::Env env{drivers_.back().get(), crypto_.get()};
   nodes_.push_back(std::make_unique<Node>(env, config_.node, ep,
                                           sol.node_ident, group,
                                           std::move(keys)));

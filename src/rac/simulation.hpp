@@ -16,6 +16,7 @@
 #include <memory>
 #include <vector>
 
+#include "rac/des_driver.hpp"
 #include "rac/groups.hpp"
 #include "rac/node.hpp"
 #include "rac/shuffle.hpp"
@@ -166,6 +167,9 @@ class Simulation {
   sim::Simulator sim_;
   std::unique_ptr<CryptoProvider> crypto_;
   std::unique_ptr<sim::Network> net_;
+  /// One DES driver per node, indexed like nodes_ (each node's sans-io
+  /// core schedules and transmits through its driver; see rac/driver.hpp).
+  std::vector<std::unique_ptr<DesDriver>> drivers_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<overlay::View>> group_views_;
   std::unordered_map<std::uint32_t, std::unique_ptr<overlay::View>>

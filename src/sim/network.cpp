@@ -7,10 +7,6 @@
 
 namespace rac::sim {
 
-Payload make_payload(Bytes bytes) {
-  return std::make_shared<const Bytes>(std::move(bytes));
-}
-
 Network::Network(Simulator& sim, NetworkConfig config)
     : sim_(sim), config_(config) {
   if (config_.link_bps <= 0) {

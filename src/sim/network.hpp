@@ -20,15 +20,17 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/msg.hpp"
 #include "sim/engine.hpp"
 
 namespace rac::sim {
 
-using EndpointId = std::uint32_t;
-using Payload = std::shared_ptr<const Bytes>;
-
-/// Make a shared payload from a byte buffer.
-Payload make_payload(Bytes bytes);
+// Historical home of the message currency types; they now live in
+// common/msg.hpp so the protocol core and the socket transport share them
+// without touching the simulator. Re-exported for source compatibility.
+using rac::EndpointId;
+using rac::Payload;
+using rac::make_payload;
 
 // Message loss is not modelled here: install a LinkImpairment
 // (src/faults/impairments.hpp) via Network::set_impairment, which keeps

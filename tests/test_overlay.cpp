@@ -166,7 +166,7 @@ TEST(Envelope, RoundTrip) {
   h.kind = 7;
   h.bcast_id = 0xdeadbeefcafef00dULL;
   const Bytes body = {1, 2, 3, 4, 5};
-  const sim::Payload wire = encode_envelope(h, body);
+  const Payload wire = encode_envelope(h, body);
   const DecodedEnvelope d = decode_envelope(*wire);
   EXPECT_EQ(d.header.scope, h.scope);
   EXPECT_EQ(d.header.kind, 7);
@@ -201,7 +201,7 @@ class InstantMesh {
       const auto self = static_cast<EndpointId>(i);
       nodes_.push_back(std::make_unique<Broadcaster>(
           self,
-          [this, self](EndpointId to, const sim::Payload& wire) {
+          [this, self](EndpointId to, const Payload& wire) {
             queue_.emplace_back(self, to, wire);
           },
           [this, self](const EnvelopeHeader& h, ByteView body,
@@ -245,7 +245,7 @@ class InstantMesh {
   View view_;
   Rng rng_;
   std::vector<std::unique_ptr<Broadcaster>> nodes_;
-  std::deque<std::tuple<EndpointId, EndpointId, sim::Payload>> queue_;
+  std::deque<std::tuple<EndpointId, EndpointId, Payload>> queue_;
   SimTime fake_time_ = 0;
 };
 

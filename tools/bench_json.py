@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
-"""Bench-JSON harness for the DES kernel hot path.
+"""Bench-JSON harness for the DES kernel hot path and the crypto substrate.
 
-Two modes sharing the regression/determinism gating machinery:
+Three modes sharing the regression/determinism gating machinery:
 
 --micro: runs the engine microbenchmark (bench/micro_engine) and a small
 end-to-end RAC throughput smoke (bench/fig3_rac_throughput --smoke) and
@@ -12,6 +12,12 @@ merges the results with peak-RSS figures into BENCH_engine.json.
 determinism self-check) plus a 10^4-node sharded fig3 point for the
 peak-RSS-per-node figure, into BENCH_shard.json (see DESIGN.md section 11
 and EXPERIMENTS.md "Sharded-kernel bench JSON").
+
+--crypto: runs the google-benchmark crypto microbenchmarks
+(bench/micro_crypto: hash/AEAD, X25519, sealed boxes per provider, onion
+build/peel) best-of-N and distills per-benchmark ops/sec into
+BENCH_crypto.json — the ratchet that tracks OpenSSL-provider throughput
+before (and while) it gets optimized.
 
 When a checked-in baseline exists the script fails if events/sec regressed
 by more than the threshold (default 20%) or if any delivered/event count
@@ -91,6 +97,46 @@ def run_sharded(binary):
     return result
 
 
+def run_crypto(binary, repeat, min_time_s):
+    """Best-of-N micro_crypto runs via google-benchmark's JSON reporter."""
+    best = {}   # name -> benchmark record with the best ops_per_sec
+    order = []  # stable output order (first run's order)
+    peak_rss = 0
+    for _ in range(repeat):
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+            _, rss = run_child([
+                binary, f"--benchmark_out={tmp.name}",
+                "--benchmark_out_format=json",
+                f"--benchmark_min_time={min_time_s}"])
+            result = json.load(open(tmp.name))
+        peak_rss = max(peak_rss, rss)
+        for b in result.get("benchmarks", []):
+            if b.get("run_type") == "aggregate":
+                continue
+            name = b["name"]
+            unit_ns = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+            time_ns = b["real_time"] * unit_ns.get(b.get("time_unit", "ns"),
+                                                   1.0)
+            rec = {
+                "name": name,
+                "time_per_op_ns": time_ns,
+                "ops_per_sec": 1e9 / time_ns if time_ns > 0 else 0.0,
+            }
+            if "bytes_per_second" in b:
+                rec["bytes_per_second"] = b["bytes_per_second"]
+            if name not in best:
+                best[name] = rec
+                order.append(name)
+            elif rec["ops_per_sec"] > best[name]["ops_per_sec"]:
+                best[name] = rec
+    return {
+        "benchmarks": [best[n] for n in order],
+        "best_of": repeat,
+        "min_time_s": min_time_s,
+        "peak_rss_bytes": peak_rss,
+    }
+
+
 def check_regression(report, baseline_path, threshold_pct):
     """Returns a list of failure strings (empty = pass)."""
     if not os.path.exists(baseline_path):
@@ -105,8 +151,19 @@ def check_regression(report, baseline_path, threshold_pct):
     def check(label, new, old):
         if old > 0 and new < old * floor:
             failures.append(
-                f"{label}: {new:,.0f} events/s < {floor:.0%} of baseline "
+                f"{label}: {new:,.0f}/s < {floor:.0%} of baseline "
                 f"{old:,.0f}")
+
+    if "crypto" in report:
+        base_bench = {b["name"]: b for b in
+                      base.get("crypto", {}).get("benchmarks", [])}
+        for b in report["crypto"]["benchmarks"]:
+            old = base_bench.get(b["name"])
+            if old is None:
+                continue
+            check(f"crypto/{b['name']}", b["ops_per_sec"],
+                  old["ops_per_sec"])
+        return failures
 
     if "sharded" in report:
         base_runs = {r["shards"]: r for r in
@@ -175,8 +232,15 @@ def main():
     ap.add_argument("--sharded", default=None,
                     help="path to the micro_engine_sharded binary; selects "
                          "the sharded-kernel report (needs --fig3 too)")
-    ap.add_argument("--fig3", required=True,
-                    help="path to the fig3_rac_throughput binary")
+    ap.add_argument("--crypto", default=None,
+                    help="path to the micro_crypto binary; selects the "
+                         "crypto-substrate report (no --fig3 needed)")
+    ap.add_argument("--fig3", default=None,
+                    help="path to the fig3_rac_throughput binary "
+                         "(required for --micro/--sharded)")
+    ap.add_argument("--min-time", type=float, default=0.05,
+                    help="google-benchmark min time per benchmark, seconds "
+                         "(crypto mode)")
     ap.add_argument("--out", default="BENCH_engine.json")
     ap.add_argument("--baseline", default=None,
                     help="baseline JSON to compare against (skipped if "
@@ -190,10 +254,30 @@ def main():
                     help="sim ms for the 10^4-node sharded RSS point")
     ap.add_argument("--regression-pct", type=float, default=20.0)
     args = ap.parse_args()
-    if (args.micro is None) == (args.sharded is None):
-        ap.error("exactly one of --micro or --sharded is required")
+    modes = [m for m in (args.micro, args.sharded, args.crypto)
+             if m is not None]
+    if len(modes) != 1:
+        ap.error("exactly one of --micro, --sharded or --crypto is required")
+    if args.crypto is None and args.fig3 is None:
+        ap.error("--fig3 is required with --micro/--sharded")
 
-    if args.sharded:
+    if args.crypto:
+        crypto = run_crypto(args.crypto, args.repeat, args.min_time)
+        report = {
+            "schema": "rac-bench-crypto-v1",
+            "crypto": crypto,
+        }
+        with open(args.out, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"bench_json: wrote {args.out}")
+        for b in crypto["benchmarks"]:
+            line = (f"  {b['name']}: {b['time_per_op_ns'] / 1e3:.2f} us/op "
+                    f"({b['ops_per_sec']:,.0f} ops/s")
+            if "bytes_per_second" in b:
+                line += f", {b['bytes_per_second'] / 1e6:.0f} MB/s"
+            print(line + ")")
+    elif args.sharded:
         sharded = run_sharded(args.sharded)
         # The 10^4-node sharded point exists for the memory figure
         # (peak-RSS-per-node) and a big-N determinism pin, not a rate

@@ -1,0 +1,20 @@
+// D2 negative, net/ scope: the live transport legitimately reads the
+// monotonic clock — every pattern below is allowed *because this fixture
+// lives under a net/ path* (the same lines under any other path fire D2;
+// see net/d2_positive.cpp for what stays banned even here).
+#include <ctime>
+
+#include <chrono>
+
+long long monotonic_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<long long>(ts.tv_sec) * 1000000000LL + ts.tv_nsec;
+}
+
+long long steady_ns() {
+  const auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             t.time_since_epoch())
+      .count();
+}

@@ -1,0 +1,22 @@
+// D2/D3 positive, net/ scope: the net/ exemption covers time sources
+// ONLY. Entropy and raw std engines are as banned in the transport as
+// anywhere else — transport randomness must come from common/rng
+// substreams so live runs stay reproducible from the manifest seed.
+#include <cstdlib>
+
+#include <random>
+
+int jitter_bad() {
+  return std::rand() % 10;                                 // expect: D2
+}
+
+unsigned seed_bad() {
+  std::random_device rd;                                   // expect: D2
+  return rd();
+}
+
+int backoff_bad() {
+  std::mt19937 gen(1234);                                  // expect: D3
+  std::uniform_int_distribution<int> d(0, 9);              // expect: D3
+  return d(gen);
+}

@@ -12,6 +12,8 @@ reproductions (see DESIGN.md §9 for the contract and the rule catalogue):
   D2  banned entropy/time sources in src/ (std::rand, srand, random_device
       outside common/rng, *_clock::now, time(), gettimeofday, clock()) —
       simulation code must use sim::Engine time and common/rng streams.
+      Scoped exemption: net/ may use the time patterns (the live transport
+      runs on CLOCK_MONOTONIC by design); entropy stays banned there too.
   D3  raw std::mt19937 / std:: distribution construction outside common/rng
       — bypasses substream_seed decorrelation, and std:: distributions are
       not bit-reproducible across standard libraries.
@@ -527,13 +529,27 @@ RX_D2 = [
 ]
 
 
+# The live transport (src/net/) is the one subsystem whose whole point is
+# real wall-clock time: its EventLoop reads CLOCK_MONOTONIC to drive epoll
+# timeouts and the timer queue. Time sources are therefore allowed there —
+# scoped to net/, time patterns only. Entropy (std::rand, random_device)
+# and raw std engines (D3) stay banned in net/ like everywhere else:
+# transport randomness must still come from common/rng substreams.
+RX_NET_SCOPE = re.compile(r"(^|/)net/")
+D2_TIME_PATTERNS = frozenset(
+    {"wall-clock ::now()", "time()", "gettimeofday/clock_gettime"})
+
+
 def rule_d2(project: Project, model: FileModel) -> list[Finding]:
     out = []
     in_rng = re.search(r"(^|/)common/rng\.(cpp|hpp)$", model.rel)
+    in_net = RX_NET_SCOPE.search(model.rel)
     for ln, line in enumerate(model.code.split("\n"), start=1):
         for rx, what in RX_D2:
             if rx.search(line):
                 if what == "std::random_device" and in_rng:
+                    continue
+                if in_net and what in D2_TIME_PATTERNS:
                     continue
                 out.append(Finding(
                     "D2", model.rel, ln,

@@ -1,0 +1,264 @@
+// Launch an N-node RAC mesh as real OS processes on loopback TCP and
+// report end-to-end goodput/latency.
+//
+// This is the second driver of the sans-io core (the first is the DES):
+// each child is one rac_noded process running one rac::Core over epoll
+// with real OpenSSL sealed boxes. The launcher's only jobs are process
+// supervision and the port-collection handshake described in
+// tools/rac_noded.cpp; the protocol itself runs entirely in the children.
+//
+//   live_demo --nodes 8 --relays 2 --duration-s 3
+//
+// Exits 0 iff every child reported a clean run AND at least one onion was
+// delivered end to end.
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/manifest.hpp"
+
+namespace {
+
+struct Child {
+  pid_t pid = -1;
+  int stdin_fd = -1;   // launcher writes the manifest here
+  FILE* stdout_f = nullptr;  // launcher reads PORT / REPORT lines here
+  std::uint16_t port = 0;
+  std::string report;
+  int exit_code = -1;
+};
+
+std::vector<Child> g_children;
+
+void kill_children() {
+  for (const Child& c : g_children) {
+    if (c.pid > 0) ::kill(c.pid, SIGKILL);
+  }
+}
+
+void on_alarm(int) {
+  // Watchdog: something wedged (a child that never reports). Reap hard.
+  kill_children();
+  _exit(1);
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--nodes N] [--relays L] [--rings R] [--payload B]"
+               " [--period-ms MS] [--duration-s S] [--provider P]"
+               " [--seed S] [--noded PATH]\n";
+  return 2;
+}
+
+/// Pull `"key": <number>` out of a report line. The report format is ours
+/// (net/node_driver.cpp), flat and unescaped, so a scan is sufficient.
+double json_num(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\": ";
+  const auto at = json.find(needle);
+  if (at == std::string::npos) return 0;
+  return std::strtod(json.c_str() + at + needle.size(), nullptr);
+}
+
+bool json_ok(const std::string& json) {
+  return json.find("\"ok\": true") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned nodes = 8;
+  unsigned relays = 2;
+  unsigned rings = 3;
+  std::size_t payload = 256;
+  long period_ms = 100;
+  long duration_s = 3;
+  std::string provider = "openssl";
+  std::uint64_t seed = 42;
+  std::string noded;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--nodes" && i + 1 < argc) nodes = std::stoul(argv[++i]);
+    else if (arg == "--relays" && i + 1 < argc) relays = std::stoul(argv[++i]);
+    else if (arg == "--rings" && i + 1 < argc) rings = std::stoul(argv[++i]);
+    else if (arg == "--payload" && i + 1 < argc) payload = std::stoul(argv[++i]);
+    else if (arg == "--period-ms" && i + 1 < argc) period_ms = std::stol(argv[++i]);
+    else if (arg == "--duration-s" && i + 1 < argc) duration_s = std::stol(argv[++i]);
+    else if (arg == "--provider" && i + 1 < argc) provider = argv[++i];
+    else if (arg == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
+    else if (arg == "--noded" && i + 1 < argc) noded = argv[++i];
+    else return usage(argv[0]);
+  }
+  if (nodes < 2 || relays + 1 >= nodes) {
+    std::cerr << "live_demo: need nodes >= 2 and relays + 1 < nodes\n";
+    return 2;
+  }
+  if (noded.empty()) {
+    // Default: rac_noded sits next to this binary.
+    std::string self = argv[0];
+    const auto slash = self.rfind('/');
+    noded = (slash == std::string::npos ? std::string("./")
+                                        : self.substr(0, slash + 1)) +
+            "rac_noded";
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);
+  std::signal(SIGALRM, on_alarm);
+  // Watchdog: barrier (<=20s in practice) + run + drain + slack.
+  ::alarm(static_cast<unsigned>(duration_s + 60));
+
+  // Spawn: stdin pipe for the manifest, stdout pipe for PORT/REPORT.
+  g_children.resize(nodes);
+  for (unsigned i = 0; i < nodes; ++i) {
+    int to_child[2];
+    int from_child[2];
+    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+      std::perror("pipe");
+      kill_children();
+      return 1;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      kill_children();
+      return 1;
+    }
+    if (pid == 0) {
+      // Child: die with the launcher, wire the pipes, exec the node.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+      ::dup2(to_child[0], STDIN_FILENO);
+      ::dup2(from_child[1], STDOUT_FILENO);
+      ::close(to_child[0]);
+      ::close(to_child[1]);
+      ::close(from_child[0]);
+      ::close(from_child[1]);
+      const std::string ep = std::to_string(i);
+      ::execl(noded.c_str(), noded.c_str(), "--endpoint", ep.c_str(),
+              static_cast<char*>(nullptr));
+      std::perror("execl rac_noded");
+      _exit(127);
+    }
+    ::close(to_child[0]);
+    ::close(from_child[1]);
+    g_children[i].pid = pid;
+    g_children[i].stdin_fd = to_child[1];
+    g_children[i].stdout_f = ::fdopen(from_child[0], "r");
+  }
+
+  // Collect ports (each child prints PORT before reading stdin).
+  char line[4096];
+  for (unsigned i = 0; i < nodes; ++i) {
+    if (std::fgets(line, sizeof(line), g_children[i].stdout_f) == nullptr ||
+        std::sscanf(line, "PORT %hu", &g_children[i].port) != 1) {
+      std::cerr << "live_demo: node " << i << " failed to report a port\n";
+      kill_children();
+      return 1;
+    }
+  }
+
+  // One manifest for everyone.
+  rac::net::Manifest manifest;
+  manifest.seed = seed;
+  manifest.num_groups = 1;
+  manifest.provider = provider;
+  manifest.node.num_relays = relays;
+  manifest.node.num_rings = rings;
+  manifest.node.payload_size = payload;
+  manifest.node.send_period = period_ms * rac::kMillisecond;
+  // Rate-check window (2 * check_timeout) longer than the run: the
+  // freerider sweeps stay armed but can never fire a false accusation
+  // against a node that is simply shutting down.
+  manifest.node.check_timeout = 2 * duration_s * rac::kSecond;
+  manifest.node.check_sweep_period = 500 * rac::kMillisecond;
+  manifest.duration = duration_s * rac::kSecond;
+  for (unsigned i = 0; i < nodes; ++i) {
+    manifest.peers.push_back(
+        {static_cast<rac::EndpointId>(i), "127.0.0.1", g_children[i].port});
+  }
+  const std::string wire = manifest.encode();
+  for (Child& c : g_children) {
+    const char* p = wire.data();
+    std::size_t left = wire.size();
+    while (left > 0) {
+      const ssize_t n = ::write(c.stdin_fd, p, left);
+      if (n <= 0) break;  // dead child; surfaces at report time
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    ::close(c.stdin_fd);
+    c.stdin_fd = -1;
+  }
+
+  // Collect reports and exits.
+  bool all_ok = true;
+  for (unsigned i = 0; i < nodes; ++i) {
+    Child& c = g_children[i];
+    while (std::fgets(line, sizeof(line), c.stdout_f) != nullptr) {
+      if (std::strncmp(line, "REPORT ", 7) == 0) {
+        c.report.assign(line + 7);
+        break;
+      }
+    }
+    std::fclose(c.stdout_f);
+    c.stdout_f = nullptr;
+    int status = 0;
+    ::waitpid(c.pid, &status, 0);
+    c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    c.pid = -1;
+    if (c.report.empty() || !json_ok(c.report) || c.exit_code != 0) {
+      all_ok = false;
+      std::cerr << "live_demo: node " << i << " failed (exit "
+                << c.exit_code << "): "
+                << (c.report.empty() ? "no report" : c.report);
+    }
+  }
+
+  // Aggregate.
+  double sent = 0, delivered = 0, bytes = 0, goodput = 0;
+  double lat_n = 0, lat_sum = 0, lat_max = 0;
+  double rebroadcasts = 0, noise = 0, dropped = 0;
+  for (const Child& c : g_children) {
+    sent += json_num(c.report, "payloads_sent");
+    delivered += json_num(c.report, "payloads_delivered");
+    bytes += json_num(c.report, "delivered_bytes");
+    goodput += json_num(c.report, "goodput_bps");
+    const double n = json_num(c.report, "latency_count");
+    lat_n += n;
+    lat_sum += n * json_num(c.report, "latency_mean_ms");
+    lat_max = std::max(lat_max, json_num(c.report, "latency_max_ms"));
+    rebroadcasts += json_num(c.report, "relay_rebroadcasts");
+    noise += json_num(c.report, "noise_cells");
+    dropped += json_num(c.report, "frames_dropped");
+  }
+
+  std::ostringstream out;
+  out << "live mesh: " << nodes << " nodes, L=" << relays
+      << ", rings=" << rings << ", payload=" << payload << "B, period="
+      << period_ms << "ms, " << duration_s << "s, provider=" << provider
+      << "\n"
+      << "  onions sent:      " << sent << "\n"
+      << "  onions delivered: " << delivered << "\n"
+      << "  goodput:          " << goodput / 1e3 << " kbit/s aggregate ("
+      << bytes << " app bytes)\n"
+      << "  latency:          "
+      << (lat_n > 0 ? lat_sum / lat_n : 0) << " ms mean, " << lat_max
+      << " ms max (" << lat_n << " samples)\n"
+      << "  relay rebroadcasts: " << rebroadcasts
+      << ", noise cells: " << noise << ", frames dropped: " << dropped
+      << "\n";
+  std::cout << out.str();
+
+  if (!all_ok) return 1;
+  if (delivered <= 0) {
+    std::cerr << "live_demo: mesh ran but delivered nothing\n";
+    return 1;
+  }
+  return 0;
+}

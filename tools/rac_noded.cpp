@@ -1,0 +1,70 @@
+// One live RAC node. Protocol flow with the launcher (tools/live_demo):
+//
+//   1. rac_noded binds an ephemeral listener and prints "PORT <n>" on
+//      stdout (bind first, then report — no port races).
+//   2. The launcher collects every node's port, assembles the manifest,
+//      and writes it to each child's stdin.
+//   3. rac_noded runs the mesh (see net/node_driver.hpp) and prints one
+//      "REPORT <json>" line when done. Exit 0 iff the run was clean.
+//
+// Everything else (endpoint identity, keys, views) derives from the
+// manifest; the only command-line input is which endpoint this process is.
+#include <unistd.h>
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "net/node_driver.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " --endpoint N [--host 127.0.0.1] [--start-timeout-s S]\n"
+            << "Reads a rac-manifest-v1 on stdin after printing PORT.\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  long endpoint = -1;
+  long start_timeout_s = 60;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--endpoint" && i + 1 < argc) {
+      endpoint = std::stol(argv[++i]);
+    } else if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--start-timeout-s" && i + 1 < argc) {
+      start_timeout_s = std::stol(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (endpoint < 0) return usage(argv[0]);
+
+  try {
+    std::uint16_t port = 0;
+    const int listen_fd = rac::net::listen_tcp(host, port);
+    std::cout << "PORT " << port << "\n" << std::flush;
+
+    const rac::net::Manifest manifest = rac::net::Manifest::decode(std::cin);
+    rac::net::NodeDriver driver(manifest,
+                                static_cast<rac::EndpointId>(endpoint),
+                                listen_fd);
+    driver.set_start_timeout(start_timeout_s * rac::kSecond);
+    const rac::net::Report report = driver.run();
+    std::cout << "REPORT " << report.to_json() << "\n" << std::flush;
+    if (!report.ok) {
+      std::cerr << "rac_noded[" << endpoint << "]: " << report.error << "\n";
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "rac_noded[" << endpoint << "]: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
