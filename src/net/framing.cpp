@@ -16,6 +16,11 @@ std::uint32_t read_le32(const std::uint8_t* p) {
 }  // namespace
 
 void append_frame(Bytes& out, ByteView payload) {
+  if (payload.size() > 0xFFFFFFFFull) {
+    // Silently truncating the length would desynchronize the stream.
+    throw FramingError("frame payload " + std::to_string(payload.size()) +
+                       " exceeds the u32 length header");
+  }
   const auto len = static_cast<std::uint32_t>(payload.size());
   out.push_back(static_cast<std::uint8_t>(len & 0xFF));
   out.push_back(static_cast<std::uint8_t>((len >> 8) & 0xFF));

@@ -30,7 +30,8 @@ class FramingError : public std::runtime_error {
 
 constexpr std::size_t kFrameHeaderSize = 4;
 
-/// Append `payload` to `out` as one frame (header + bytes).
+/// Append `payload` to `out` as one frame (header + bytes). Throws
+/// FramingError if the payload cannot be represented in the u32 header.
 void append_frame(Bytes& out, ByteView payload);
 
 /// Convenience: one frame as a fresh buffer.

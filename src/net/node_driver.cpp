@@ -3,6 +3,7 @@
 #include <sys/epoll.h>
 #include <unistd.h>
 
+#include <cstdio>
 #include <sstream>
 #include <stdexcept>
 
@@ -24,12 +25,48 @@ std::unique_ptr<CryptoProvider> provider_by_name(const std::string& name) {
   throw std::runtime_error("unknown crypto provider '" + name + "'");
 }
 
+// Error strings come from exception messages that can echo manifest input
+// or strerror text; escape them so the report stays valid JSON.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 std::string Report::to_json() const {
   std::ostringstream out;
   out << "{\"ok\": " << (ok ? "true" : "false")
-      << ", \"error\": \"" << error << "\""
+      << ", \"error\": \"" << json_escape(error) << "\""
       << ", \"payloads_sent\": " << payloads_sent
       << ", \"payloads_delivered\": " << payloads_delivered
       << ", \"delivered_bytes\": " << delivered_bytes
@@ -242,7 +279,7 @@ void NodeDriver::on_listen_ready() {
 
 void NodeDriver::on_link_event(int fd, std::uint32_t events) {
   const auto it = links_.find(fd);
-  if (it == links_.end()) return;
+  if (it == links_.end() || it->second.dead) return;
   Link& link = it->second;
 
   if (link.connecting) {
@@ -279,6 +316,9 @@ void NodeDriver::on_link_event(int fd, std::uint32_t events) {
       drop_link(fd, framing_ok ? "peer closed" : "protocol violation");
       return;
     }
+    // A frame handled above may have dropped this link from within
+    // transmit(); stop before touching its (now write-dead) socket.
+    if (link.dead) return;
   }
   if ((events & EPOLLOUT) != 0) {
     if (!link.conn->flush()) {
@@ -291,6 +331,9 @@ void NodeDriver::on_link_event(int fd, std::uint32_t events) {
 
 void NodeDriver::on_frame(int fd, Link& link, Bytes frame) {
   (void)fd;
+  // A previous frame in the same read batch may have killed the link;
+  // the rest of the batch is from an untrusted half-dropped stream.
+  if (link.dead) return;
   if (link.peer == kNoPeer) {
     handle_hello(link, frame);  // throws on violation; caller drops
     return;
@@ -301,14 +344,30 @@ void NodeDriver::on_frame(int fd, Link& link, Bytes frame) {
 void NodeDriver::drop_link(int fd, const std::string& why) {
   (void)why;
   const auto it = links_.find(fd);
-  if (it == links_.end()) return;
-  if (it->second.peer != kNoPeer) fd_of_peer_[it->second.peer] = -1;
+  if (it == links_.end() || it->second.dead) return;
+  Link& link = it->second;
+  // Destruction is deferred: transmit() (reached synchronously from
+  // core_->on_message inside Connection::handle_readable) can drop the
+  // very link whose read callback is still on the stack. Marking it dead
+  // keeps the Connection and the Link references alive; reap_links()
+  // erases it from spin_once, when no link callback is executing.
+  link.dead = true;
+  if (link.peer != kNoPeer) fd_of_peer_[link.peer] = -1;
   loop_.remove(fd);
-  links_.erase(it);  // Connection dtor closes the fd
+}
+
+void NodeDriver::reap_links() {
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->second.dead) {
+      it = links_.erase(it);  // Connection dtor closes the fd
+    } else {
+      ++it;
+    }
+  }
 }
 
 void NodeDriver::update_mask(Link& link) {
-  if (!link.conn) return;
+  if (!link.conn || link.dead) return;
   const std::uint32_t mask =
       EPOLLIN | (link.conn->want_write() ? EPOLLOUT : 0u);
   if (mask != link.mask) {
@@ -339,7 +398,7 @@ void NodeDriver::arm_timer(SimDuration delay, Timer t) {
 SimTime NodeDriver::uplink_busy_until() const {
   std::uint64_t backlog = 0;
   for (const auto& [fd, link] : links_) {
-    if (link.conn) backlog += link.conn->outbox_bytes();
+    if (link.conn && !link.dead) backlog += link.conn->outbox_bytes();
   }
   return loop_.now() + transmission_delay(backlog, manifest_.node.link_bps);
 }
@@ -353,6 +412,7 @@ void NodeDriver::spin_once(SimDuration max_wait) {
   if (timeout < 0) timeout = 0;
   loop_.poll(timeout);
   if (sink_ != nullptr) timers_.advance(loop_.refresh_now(), *sink_);
+  reap_links();  // no link callback is on the stack here
 }
 
 Report NodeDriver::run() {
@@ -414,7 +474,9 @@ Report NodeDriver::run() {
     report.accusations = core_->counters().get("pred_accusations_sent");
     report.evictions = evictions_;
     report.frames_dropped = frames_dropped_;
-    report.connections = links_.size();
+    for (const auto& [fd, link] : links_) {
+      if (!link.dead) ++report.connections;
+    }
   } catch (const std::exception& e) {
     report.ok = false;
     report.error = e.what();

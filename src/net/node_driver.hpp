@@ -91,6 +91,7 @@ class NodeDriver final : public Driver {
     std::unique_ptr<Connection> conn;
     EndpointId peer = kNoPeer;     // set by HELLO
     bool connecting = false;       // dial still in flight
+    bool dead = false;             // dropped; reaped once off-stack
     std::uint32_t mask = 0;        // current epoll interest
   };
   static constexpr EndpointId kNoPeer = ~EndpointId{0};
@@ -114,6 +115,7 @@ class NodeDriver final : public Driver {
   void handle_hello(Link& link, ByteView frame);
   void send_hello(Link& link);
   void drop_link(int fd, const std::string& why);
+  void reap_links();
   void update_mask(Link& link);
   /// Poll once, bounded by the next timer deadline, then fire due timers.
   void spin_once(SimDuration max_wait);

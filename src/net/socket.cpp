@@ -105,6 +105,14 @@ Connection::~Connection() {
 }
 
 bool Connection::send_frame(ByteView payload) {
+  if (payload.size() > reader_.max_frame()) {
+    // Fail at the sender: every node derives the same limit from the
+    // manifest, so an oversized send here would only be detected remotely
+    // as a FramingError that kills the connection.
+    throw FramingError("send_frame payload " + std::to_string(payload.size()) +
+                       " exceeds frame limit " +
+                       std::to_string(reader_.max_frame()));
+  }
   // Compact the drained prefix before appending (amortized O(bytes)).
   if (out_pos_ > 0 && out_pos_ >= out_.size() - out_pos_) {
     out_.erase(out_.begin(), out_.begin() + static_cast<std::ptrdiff_t>(

@@ -45,7 +45,10 @@ class Connection {
 
   /// Frame `payload` and append it to the outbox, then try to write
   /// immediately (short-circuits the loop for the common uncongested
-  /// case). Returns false on a fatal socket error.
+  /// case). Returns false on a fatal socket error. Throws FramingError if
+  /// `payload` exceeds `max_frame` — the peer would reject it anyway, so
+  /// oversized sends fail locally instead of killing the connection
+  /// remotely.
   bool send_frame(ByteView payload);
 
   /// Drain as much of the outbox as the socket accepts. Returns false on

@@ -37,13 +37,15 @@ void ShardGroup::run_all_until(SimTime t, bool inclusive) {
   ++generation_;
   cv_work_.notify_all();
   cv_done_.wait(lock, [this] { return busy_ == 0; });
+  // Rethrow the first (lowest-shard) error, but clear every slot first:
+  // errors from other shards in the same window must not leak into (and
+  // spuriously fail) a later, successful window.
+  std::exception_ptr first;
   for (std::exception_ptr& e : errors_) {
-    if (e) {
-      const std::exception_ptr err = e;
-      e = nullptr;
-      std::rethrow_exception(err);
-    }
+    if (e && !first) first = e;
+    e = nullptr;
   }
+  if (first) std::rethrow_exception(first);
 }
 
 void ShardGroup::worker_loop(unsigned index) {

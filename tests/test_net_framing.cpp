@@ -7,6 +7,8 @@
 // ANY chunking of the same input stream — TCP segmentation can never
 // change protocol behavior.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <sstream>
@@ -16,6 +18,8 @@
 #include "common/rng.hpp"
 #include "crypto/provider.hpp"
 #include "net/framing.hpp"
+#include "net/node_driver.hpp"
+#include "net/socket.hpp"
 #include "overlay/view.hpp"
 #include "rac/core.hpp"
 
@@ -120,6 +124,31 @@ TEST(FrameReader, BoundaryFrameSizes) {
   append_frame(over, Bytes(65, 0xCD));  // one past: violation
   reader.feed(over);
   EXPECT_THROW(reader.next(), FramingError);
+}
+
+TEST(Connection, OversizedSendFailsLocally) {
+  // An oversized payload must be rejected at the sender; shipping it
+  // would only surface remotely as a FramingError that kills the
+  // connection (or, past 4 GiB, a silently corrupted stream).
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  {
+    Connection conn(fds[0], /*max_frame=*/64);
+    EXPECT_TRUE(conn.send_frame(Bytes(64, 0xAB)));  // at the limit: legal
+    EXPECT_THROW(conn.send_frame(Bytes(65, 0xCD)), FramingError);
+  }
+  ::close(fds[1]);
+}
+
+TEST(Report, ErrorStringIsJsonEscaped) {
+  // Exception messages can echo manifest input or strerror text; quotes,
+  // backslashes and control characters must not break the report JSON.
+  Report r;
+  r.error = "bad \"path\\x\"\nline2\ttab";
+  const std::string j = r.to_json();
+  EXPECT_NE(j.find("bad \\\"path\\\\x\\\""), std::string::npos) << j;
+  EXPECT_NE(j.find("\\nline2\\ttab"), std::string::npos) << j;
+  EXPECT_EQ(j.find('\n'), std::string::npos) << j;
 }
 
 TEST(FrameReader, MidFrameEofIsVisible) {

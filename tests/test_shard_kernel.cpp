@@ -22,7 +22,9 @@
 #include "faults/campaign.hpp"
 #include "faults/scenario.hpp"
 #include "rac/simulation.hpp"
+#include "sim/engine.hpp"
 #include "sim/network.hpp"
+#include "sim/shard.hpp"
 
 // Sanitizer builds run the same deterministic traces, just slower; shrink
 // the workloads so the sanlane/tsanlane presets stay fast.
@@ -253,6 +255,20 @@ TEST(ShardKernel, LookaheadViolationThrows) {
   net.enable_sharding({&shard0});
   EXPECT_THROW(net.send(0, 1, sim::make_payload(Bytes(64, 0))),
                std::logic_error);
+}
+
+TEST(ShardKernel, WorkerErrorsDoNotLeakIntoLaterWindows) {
+  // Two shards both fail in the same window; run_all_until rethrows the
+  // first (shard-index order) but must clear the other slot too, or the
+  // stale exception is spuriously rethrown by the next, clean window.
+  sim::Simulator a(1);
+  sim::Simulator b(2);
+  a.schedule_at(10, [] { throw std::runtime_error("shard a dies"); });
+  b.schedule_at(10, [] { throw std::runtime_error("shard b dies"); });
+  sim::ShardGroup group({&a, &b});
+  EXPECT_THROW(group.run_all_until(20, /*inclusive=*/true),
+               std::runtime_error);
+  EXPECT_NO_THROW(group.run_all_until(40, /*inclusive=*/true));
 }
 
 TEST(ShardKernel, ShardingRejectsUnsupportedObservers) {
