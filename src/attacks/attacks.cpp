@@ -1,0 +1,338 @@
+#include "attacks/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "analysis/intersection.hpp"
+
+namespace rac::attacks {
+
+namespace {
+
+/// First log entry with sent >= t (entries are sorted by sent first).
+std::size_t lower_bound_sent(const std::vector<Observation>& entries,
+                             SimTime t) {
+  const auto it = std::lower_bound(
+      entries.begin(), entries.end(), t,
+      [](const Observation& o, SimTime v) { return o.sent < v; });
+  return static_cast<std::size_t>(it - entries.begin());
+}
+
+/// Wave time as the opponent's clock resolves it: floored to the
+/// spec.clock grid (0 = simulation-exact; see ObserverSpec::clock).
+SimTime clock_floor(SimTime t, SimDuration clock) {
+  if (clock <= 0) return t;
+  return (t / clock) * clock;
+}
+
+/// The target's linked observation times: every spec.stride-th wave,
+/// capped at spec.max_observations.
+std::vector<SimTime> linked_observations(const GroundTruth& truth,
+                                         EndpointId target,
+                                         const ObserverSpec& spec) {
+  std::vector<SimTime> times;
+  const unsigned stride = std::max(1u, spec.stride);
+  unsigned index = 0;
+  for (const Wave& w : truth.waves) {
+    if (w.origin != target) continue;
+    if (index++ % stride != 0) continue;
+    times.push_back(clock_floor(w.at, spec.clock));
+    if (times.size() >= spec.max_observations) break;
+  }
+  return times;
+}
+
+/// Sorted distinct transmitters with a cell-sized message in
+/// [t - half_window, t + half_window].
+std::vector<EndpointId> candidates_around(
+    const std::vector<Observation>& entries, SimTime t,
+    SimDuration half_window, std::size_t floor) {
+  std::vector<EndpointId> out;
+  const SimTime lo = t >= half_window ? t - half_window : 0;
+  for (std::size_t i = lower_bound_sent(entries, lo);
+       i < entries.size() && entries[i].sent <= t + half_window; ++i) {
+    if (entries[i].bytes < floor) continue;
+    out.push_back(entries[i].from);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double entropy_of_uniform(double set_size) {
+  return std::log2(std::max(1.0, set_size));
+}
+
+}  // namespace
+
+std::vector<EndpointId> pick_targets(const GroundTruth& truth,
+                                     unsigned targets) {
+  std::map<EndpointId, std::uint64_t> waves_per_origin;
+  for (const Wave& w : truth.waves) ++waves_per_origin[w.origin];
+  std::vector<std::pair<EndpointId, std::uint64_t>> ranked(
+      waves_per_origin.begin(), waves_per_origin.end());
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  std::vector<EndpointId> out;
+  for (const auto& kv : ranked) {
+    if (out.size() >= targets) break;
+    out.push_back(kv.first);
+  }
+  return out;
+}
+
+IntersectionResult run_intersection(const ObservationLog& log,
+                                    const GroundTruth& truth) {
+  const ObserverSpec& spec = log.spec();
+  IntersectionResult res;
+  res.targets = pick_targets(truth, spec.targets);
+
+  // Per-target candidate-set decay |S_1|, |S_2|, ... where S_k is the
+  // intersection of the transmitter sets observed around the target's
+  // first k linked waves.
+  std::vector<std::vector<double>> curves;
+  for (const EndpointId target : res.targets) {
+    const std::vector<SimTime> times =
+        linked_observations(truth, target, spec);
+    if (times.empty()) continue;
+    std::vector<double> curve;
+    std::vector<EndpointId> s;  // running intersection, sorted
+    for (std::size_t k = 0; k < times.size(); ++k) {
+      const std::vector<EndpointId> c = candidates_around(
+          log.entries(), times[k], spec.window, spec.data_floor);
+      if (k == 0) {
+        s = c;
+      } else {
+        std::vector<EndpointId> next;
+        std::set_intersection(s.begin(), s.end(), c.begin(), c.end(),
+                              std::back_inserter(next));
+        s = std::move(next);
+      }
+      curve.push_back(static_cast<double>(s.size()));
+    }
+    curves.push_back(std::move(curve));
+  }
+  if (curves.empty()) {
+    res.calibrated = true;
+    return res;
+  }
+
+  std::size_t len = curves.front().size();
+  for (const auto& c : curves) len = std::min(len, c.size());
+  // merge-order: curves are iterated in pick_targets order (wave count
+  // desc, endpoint asc) — a deterministic function of the ground truth —
+  // so this FP mean adds per-target values in one canonical order.
+  for (std::size_t k = 0; k < len; ++k) {
+    double sum = 0.0;
+    for (const auto& c : curves) sum += c[k];
+    res.set_size.push_back(sum / static_cast<double>(curves.size()));
+    res.entropy_bits.push_back(entropy_of_uniform(res.set_size.back()));
+  }
+
+  // Fit the per-interval retention from consecutive curve points:
+  // E[|S_k|] - 1 = (E[|S_1|] - 1) * r^(k-1)  =>  r_k = (m_k-1)/(m_{k-1}-1).
+  double ratio_sum = 0.0;
+  std::size_t ratio_count = 0;
+  for (std::size_t k = 1; k < res.set_size.size(); ++k) {
+    const double prev = res.set_size[k - 1] - 1.0;
+    const double cur = res.set_size[k] - 1.0;
+    if (prev <= 1e-9) continue;
+    ratio_sum += std::clamp(cur / prev, 0.0, 1.0);
+    ++ratio_count;
+  }
+  res.retention_hat =
+      ratio_count == 0 ? 1.0 : ratio_sum / static_cast<double>(ratio_count);
+
+  // Calibration: the empirical curve must track the closed form seeded
+  // with G = |S_1| and the fitted retention, within spec.tolerance.
+  const auto g = static_cast<std::uint64_t>(
+      std::max<long long>(1, std::llround(res.set_size.front())));
+  res.max_rel_deviation = 0.0;
+  for (std::size_t k = 0; k < res.set_size.size(); ++k) {
+    const double expected = analysis::expected_intersection_size(
+        g, res.retention_hat, static_cast<unsigned>(k + 1));
+    res.expected.push_back(expected);
+    if (expected > 0.0) {
+      const double dev = std::abs(res.set_size[k] - expected) / expected;
+      res.max_rel_deviation = std::max(res.max_rel_deviation, dev);
+    }
+  }
+  res.calibrated = res.max_rel_deviation <= spec.tolerance;
+  return res;
+}
+
+PredecessorResult run_predecessor(const ObservationLog& log,
+                                  const GroundTruth& truth) {
+  const ObserverSpec& spec = log.spec();
+  PredecessorResult res;
+  res.targets = pick_targets(truth, spec.targets);
+
+  struct TargetRounds {
+    // Posterior stats after each round.
+    std::vector<double> shannon;
+    std::vector<double> min_entropy;
+    std::vector<double> support;
+    bool top1 = false;
+    bool top3 = false;
+  };
+  std::vector<TargetRounds> per_target;
+
+  for (const EndpointId target : res.targets) {
+    const std::vector<SimTime> times =
+        linked_observations(truth, target, spec);
+    if (times.empty()) continue;
+    TargetRounds tr;
+    std::map<EndpointId, std::uint64_t> counts;  // ordered: deterministic
+    for (const SimTime t : times) {
+      // The compromised vantage for this attack is a *receiver*: the
+      // first visible delivery-bound transmission at or after the wave
+      // names a predecessor candidate. Global observers see every link.
+      for (std::size_t i = lower_bound_sent(log.entries(), t);
+           i < log.entries().size() &&
+           log.entries()[i].sent <= t + spec.window;
+           ++i) {
+        const Observation& o = log.entries()[i];
+        if (o.bytes < spec.data_floor) continue;
+        if (spec.mode == ObserverMode::kFraction && !log.observes(o.to)) {
+          continue;
+        }
+        ++counts[o.from];
+        break;
+      }
+      double total = 0.0;
+      for (const auto& kv : counts) total += static_cast<double>(kv.second);
+      double shannon = 0.0;
+      double max_p = 0.0;
+      for (const auto& kv : counts) {
+        const double p = static_cast<double>(kv.second) / std::max(1.0, total);
+        if (p > 0.0) shannon -= p * std::log2(p);
+        max_p = std::max(max_p, p);
+      }
+      tr.shannon.push_back(shannon);
+      tr.min_entropy.push_back(max_p > 0.0 ? -std::log2(max_p) : 0.0);
+      tr.support.push_back(static_cast<double>(counts.size()));
+    }
+    // Rank candidates by (count desc, endpoint asc) and score the target.
+    std::vector<std::pair<EndpointId, std::uint64_t>> ranked(counts.begin(),
+                                                             counts.end());
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second != b.second) return a.second > b.second;
+                return a.first < b.first;
+              });
+    for (std::size_t r = 0; r < ranked.size() && r < 3; ++r) {
+      if (ranked[r].first == target) {
+        tr.top3 = true;
+        if (r == 0) tr.top1 = true;
+      }
+    }
+    per_target.push_back(std::move(tr));
+  }
+  if (per_target.empty()) return res;
+
+  std::size_t rounds = per_target.front().shannon.size();
+  for (const TargetRounds& tr : per_target) {
+    rounds = std::min(rounds, tr.shannon.size());
+  }
+  res.rounds = static_cast<unsigned>(rounds);
+  // merge-order: per_target follows pick_targets order; every FP mean
+  // below adds in that one canonical order.
+  for (std::size_t r = 0; r < rounds; ++r) {
+    double sh = 0.0;
+    double mh = 0.0;
+    double sup = 0.0;
+    for (const TargetRounds& tr : per_target) {
+      sh += tr.shannon[r];
+      mh += tr.min_entropy[r];
+      sup += tr.support[r];
+    }
+    const double n = static_cast<double>(per_target.size());
+    res.shannon_bits.push_back(sh / n);
+    res.min_entropy_bits.push_back(mh / n);
+    res.support.push_back(sup / n);
+  }
+  std::size_t top1 = 0;
+  std::size_t top3 = 0;
+  for (const TargetRounds& tr : per_target) {
+    top1 += tr.top1 ? 1 : 0;
+    top3 += tr.top3 ? 1 : 0;
+  }
+  res.precision_at_1 =
+      static_cast<double>(top1) / static_cast<double>(per_target.size());
+  res.precision_at_3 =
+      static_cast<double>(top3) / static_cast<double>(per_target.size());
+  return res;
+}
+
+FirstSpyResult run_first_spy(const ObservationLog& log,
+                             const GroundTruth& truth) {
+  const ObserverSpec& spec = log.spec();
+  FirstSpyResult res;
+  res.waves_total = truth.waves.size();
+
+  std::vector<EndpointId> transmitters;
+  for (const Observation& o : log.entries()) {
+    if (o.bytes < spec.data_floor) continue;
+    transmitters.push_back(o.from);
+  }
+  std::sort(transmitters.begin(), transmitters.end());
+  transmitters.erase(std::unique(transmitters.begin(), transmitters.end()),
+                     transmitters.end());
+  res.chance = transmitters.empty()
+                   ? 0.0
+                   : 1.0 / static_cast<double>(transmitters.size());
+
+  for (const Wave& w : truth.waves) {
+    // First visible transmission at or after the origination as the
+    // opponent's clock resolves it, within the look-ahead window;
+    // canonical log order resolves same-instant ties.
+    const SimTime t0 = clock_floor(w.at, spec.clock);
+    const Observation* attributed = nullptr;
+    for (std::size_t i = lower_bound_sent(log.entries(), t0);
+         i < log.entries().size() && log.entries()[i].sent <= t0 + spec.window;
+         ++i) {
+      if (log.entries()[i].bytes < spec.data_floor) continue;
+      attributed = &log.entries()[i];
+      break;
+    }
+    if (attributed == nullptr) continue;
+    ++res.waves_attributed;
+    if (attributed->from == w.origin) ++res.waves_correct;
+    res.cumulative_precision.push_back(
+        static_cast<double>(res.waves_correct) /
+        static_cast<double>(res.waves_attributed));
+  }
+  res.precision = res.waves_attributed == 0
+                      ? 1.0
+                      : static_cast<double>(res.waves_correct) /
+                            static_cast<double>(res.waves_attributed);
+  return res;
+}
+
+AttackReport run_attacks(const ObservationLog& log, const GroundTruth& truth,
+                         std::uint64_t seed, std::size_t nodes) {
+  const ObserverSpec& spec = log.spec();
+  AttackReport report;
+  report.seed = seed;
+  report.nodes = nodes;
+  report.compromised = log.compromised().size();
+  report.observations = log.entries().size();
+  report.tapped = log.tapped();
+  if (spec.mode == ObserverMode::kNone) return report;
+  if (spec.run_intersection) {
+    report.intersection = run_intersection(log, truth);
+  }
+  if (spec.run_predecessor) {
+    report.predecessor = run_predecessor(log, truth);
+  }
+  if (spec.run_first_spy) {
+    report.first_spy = run_first_spy(log, truth);
+  }
+  return report;
+}
+
+}  // namespace rac::attacks

@@ -1,0 +1,122 @@
+// Passive traffic-analysis adversary plane, part 2: attack analyzers.
+//
+// Three classic deanonymization attacks over the observation log, each
+// scored against simulation ground truth (the data-onion origination
+// times Core records under Config::record_origin_times):
+//
+//  - Intersection (Raymond, Sec. V-A2): link several messages of one
+//    sender, intersect the candidate sets observed around each; report
+//    the candidate-set-size decay curve and check it against the
+//    closed-form E[|S_k|] = 1 + (G-1) r^(k-1) from
+//    analysis::expected_intersection_size (the calibration lane).
+//  - Predecessor: compromised receivers tally who transmitted right
+//    after each target wave; report the sender posterior's Shannon and
+//    min-entropy per round plus attribution precision@k.
+//  - First-spy: attribute each wave to the first transmitter observed at
+//    or after its origination (as the opponent's clock resolves it —
+//    ObserverSpec::clock); with a realistic clock, constant-rate cover
+//    traffic collapses this to chance while the noise-free variant stays
+//    exact — the measured twin of the test_observer.cpp contrast.
+//
+// Everything here is pure post-processing: no RNG, no scheduling, no
+// floating-point accumulation order that depends on container hashing —
+// the same finalized log and ground truth always produce the same report.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attacks/observation.hpp"
+
+namespace rac::attacks {
+
+/// One data-onion origination: the deanonymization ground truth.
+struct Wave {
+  SimTime at = 0;
+  EndpointId origin = 0;
+};
+
+struct GroundTruth {
+  /// Sorted by (at, origin).
+  std::vector<Wave> waves;
+};
+
+struct IntersectionResult {
+  /// Attributed targets, busiest first (ties: lower endpoint).
+  std::vector<EndpointId> targets;
+  /// Mean candidate-set size after k linked observations (index k-1),
+  /// averaged over targets.
+  std::vector<double> set_size;
+  /// Closed-form curve with the fitted retention (same indexing).
+  std::vector<double> expected;
+  /// Per-interval retention fitted from the empirical curve.
+  double retention_hat = 1.0;
+  /// max_k |set_size[k] - expected[k]| / expected[k].
+  double max_rel_deviation = 0.0;
+  /// max_rel_deviation <= spec.tolerance.
+  bool calibrated = true;
+  /// log2(set_size[k]): anonymity-set entropy under a uniform posterior.
+  std::vector<double> entropy_bits;
+};
+
+struct PredecessorResult {
+  std::vector<EndpointId> targets;
+  unsigned rounds = 0;
+  /// Posterior entropy over predecessor candidates after each round,
+  /// averaged over targets (index = round - 1).
+  std::vector<double> shannon_bits;
+  std::vector<double> min_entropy_bits;
+  /// Mean number of distinct predecessor candidates after each round.
+  std::vector<double> support;
+  /// Fraction of targets whose top-tallied predecessor is the target
+  /// itself (the true first transmitter of its own onions).
+  double precision_at_1 = 0.0;
+  /// ... whose true sender ranks in the top 3.
+  double precision_at_3 = 0.0;
+};
+
+struct FirstSpyResult {
+  std::uint64_t waves_total = 0;
+  /// Waves with at least one visible transmission in the look-ahead
+  /// window (the attributable ones).
+  std::uint64_t waves_attributed = 0;
+  std::uint64_t waves_correct = 0;
+  /// waves_correct / waves_attributed (1.0 when nothing attributable).
+  double precision = 0.0;
+  /// Chance baseline: 1 / (distinct visible transmitters).
+  double chance = 0.0;
+  /// Cumulative precision after each attributable wave, in time order.
+  std::vector<double> cumulative_precision;
+};
+
+/// One run's full attack report.
+struct AttackReport {
+  std::uint64_t seed = 0;
+  std::size_t nodes = 0;
+  std::size_t compromised = 0;
+  std::uint64_t observations = 0;  // visible entries in the log
+  std::uint64_t tapped = 0;        // total tapped link events
+  std::optional<IntersectionResult> intersection;
+  std::optional<PredecessorResult> predecessor;
+  std::optional<FirstSpyResult> first_spy;
+};
+
+/// Targets for the linked-sender attacks: the `spec.targets` busiest
+/// origins in the ground truth (ties: lower endpoint id). Exposed for
+/// tests.
+std::vector<EndpointId> pick_targets(const GroundTruth& truth,
+                                     unsigned targets);
+
+IntersectionResult run_intersection(const ObservationLog& log,
+                                    const GroundTruth& truth);
+PredecessorResult run_predecessor(const ObservationLog& log,
+                                  const GroundTruth& truth);
+FirstSpyResult run_first_spy(const ObservationLog& log,
+                             const GroundTruth& truth);
+
+/// Run every analyzer the spec enables. `log` must be finalized.
+AttackReport run_attacks(const ObservationLog& log, const GroundTruth& truth,
+                         std::uint64_t seed, std::size_t nodes);
+
+}  // namespace rac::attacks

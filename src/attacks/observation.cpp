@@ -1,0 +1,77 @@
+#include "attacks/observation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace rac::attacks {
+
+ObservationLog::ObservationLog(const ObserverSpec& spec, std::uint64_t seed,
+                               std::size_t initial_endpoints)
+    : spec_(spec) {
+  if (spec_.mode == ObserverMode::kFraction) {
+    if (spec_.fraction <= 0.0 || spec_.fraction > 1.0) {
+      throw std::invalid_argument(
+          "ObservationLog: observer fraction must be in (0, 1]");
+    }
+    if (initial_endpoints == 0) {
+      throw std::invalid_argument(
+          "ObservationLog: fraction observer needs a non-empty population");
+    }
+    const auto want = static_cast<std::size_t>(std::llround(
+        spec_.fraction * static_cast<double>(initial_endpoints)));
+    const std::size_t count =
+        std::min(initial_endpoints, std::max<std::size_t>(1, want));
+    // Dedicated substream: the draw never touches the simulator RNG, so
+    // arming an observer is trace-neutral (same contract as the
+    // impairment plane).
+    Rng rng = Rng::substream(seed, "attacks.observer");
+    std::vector<std::size_t> picks =
+        rng.sample_indices(initial_endpoints, count);
+    std::sort(picks.begin(), picks.end());
+    compromised_.reserve(picks.size());
+    is_compromised_.assign(initial_endpoints, false);
+    for (const std::size_t p : picks) {
+      compromised_.push_back(static_cast<EndpointId>(p));
+      is_compromised_[p] = true;
+    }
+  }
+}
+
+bool ObservationLog::observes(EndpointId e) const {
+  if (spec_.mode == ObserverMode::kGlobal) return true;
+  if (spec_.mode == ObserverMode::kNone) return false;
+  return e < is_compromised_.size() && is_compromised_[e];
+}
+
+void ObservationLog::record(EndpointId from, EndpointId to,
+                            std::size_t bytes, SimTime when) {
+  ++tapped_;
+  if (spec_.mode == ObserverMode::kNone) return;
+  if (spec_.mode == ObserverMode::kFraction && !observes(from) &&
+      !observes(to)) {
+    return;
+  }
+  entries_.push_back(Observation{when, from, to,
+                                 static_cast<std::uint64_t>(bytes),
+                                 next_seq_++});
+}
+
+void ObservationLog::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  // merge-order: canonical key (sent, from, seq). The tap fires in a
+  // K-independent order per kernel (classic: global schedule order;
+  // sharded: barrier merge order), so `seq` is K-independent and this
+  // sort yields one canonical analyzer-visible sequence per kernel.
+  std::sort(entries_.begin(), entries_.end(),
+            [](const Observation& a, const Observation& b) {
+              if (a.sent != b.sent) return a.sent < b.sent;
+              if (a.from != b.from) return a.from < b.from;
+              return a.seq < b.seq;
+            });
+}
+
+}  // namespace rac::attacks

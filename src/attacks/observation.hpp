@@ -1,0 +1,121 @@
+// Passive traffic-analysis adversary plane, part 1: the observation log.
+//
+// A passive network-level opponent (Sec. V threat model) sees link
+// metadata only — (from, to, size, send time), never plaintext. This
+// module reconstructs that view from the simulator's wire tap
+// (sim::Network::set_tap) for either a *global* observer or an opponent
+// controlling a fraction f of the nodes (it sees exactly the links that
+// touch a compromised endpoint).
+//
+// Determinism contract (the property tests/test_attacks.cpp pins): the
+// finalized log is byte-for-byte identical for the same seed regardless
+// of --jobs or --shards. Ingredients:
+//  - the compromised set is drawn from a named RNG substream of the run
+//    seed ("attacks.observer"), never from the simulator RNG, so an
+//    installed observer leaves the DES trace untouched;
+//  - the sharded tap already fires in canonical (arrival, sent, from,
+//    from_seq) order at window barriers (sim/network.cpp); finalize()
+//    re-sorts by the kernel-independent key (sent, from, record seq), so
+//    analyzers see one canonical sequence per kernel for every K >= 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/msg.hpp"
+#include "common/time.hpp"
+
+namespace rac::attacks {
+
+enum class ObserverMode { kNone, kGlobal, kFraction };
+
+/// Scenario-level description of the opponent and its analyzers. Parsed
+/// from the `observer_*` / `attacks` scenario keys (faults/scenario.cpp).
+struct ObserverSpec {
+  ObserverMode mode = ObserverMode::kNone;
+  /// kFraction: fraction of the *initial* population the opponent
+  /// controls (later joiners are never compromised; documented in
+  /// DESIGN.md §13).
+  double fraction = 0.2;
+  /// Half-width of the candidate window: a node is a candidate for an
+  /// observation at time t if it transmitted within [t - window,
+  /// t + window] (intersection) or [t, t + window] (predecessor /
+  /// first-spy look-ahead).
+  SimDuration window = 50 * kMillisecond;
+  /// The opponent's clock granularity: analyzers floor every ground-truth
+  /// wave time to this grid before searching the log (0 = exact). The
+  /// simulator hands out infinitely precise origination times; a real
+  /// opponent only knows "a message appeared around t", and with exact
+  /// timestamps a global first-spy attributes perfectly even under cover
+  /// traffic — pure artifact. Set this >= the slot period to model an
+  /// honest timing adversary (see the test_attacks.cpp contrast).
+  SimDuration clock = 0;
+  /// Use every stride-th target wave as a linked observation, so the
+  /// inter-observation gap is stride * send_period.
+  unsigned stride = 1;
+  /// Cap on linked observations per target.
+  unsigned max_observations = 12;
+  /// Number of attributed targets (the busiest senders by ground truth).
+  unsigned targets = 2;
+  /// Minimum wire bytes for a transmission to count as a protocol cell
+  /// (0 = every tapped message counts). RAC pads cells to one size, so
+  /// this only filters control chatter, not data-vs-noise.
+  std::size_t data_floor = 0;
+  /// Calibration band: maximum relative deviation of the empirical
+  /// intersection curve from analysis::expected_intersection_size.
+  double tolerance = 0.35;
+  bool run_intersection = true;
+  bool run_predecessor = true;
+  bool run_first_spy = true;
+};
+
+/// One tapped link event as the opponent records it.
+struct Observation {
+  SimTime sent = 0;
+  EndpointId from = 0;
+  EndpointId to = 0;
+  std::uint64_t bytes = 0;
+  /// Global record index at tap time; the canonical-sort tiebreaker.
+  std::uint64_t seq = 0;
+};
+
+/// The opponent's reconstructed per-link observation log. Feed record()
+/// from the wire tap during the run, then finalize() once before reading
+/// entries().
+class ObservationLog {
+ public:
+  /// `initial_endpoints` is the population the compromised set is drawn
+  /// from (endpoints [0, initial_endpoints)). The draw happens here, in
+  /// the constructor, from substream "attacks.observer" of `seed`.
+  ObservationLog(const ObserverSpec& spec, std::uint64_t seed,
+                 std::size_t initial_endpoints);
+
+  /// Tap hook: filters by visibility and appends. Hot path — O(1).
+  void record(EndpointId from, EndpointId to, std::size_t bytes,
+              SimTime when);
+
+  /// Canonical sort by (sent, from, seq). Idempotent.
+  void finalize();
+
+  const std::vector<Observation>& entries() const { return entries_; }
+  /// Does the opponent see links touching `e`? (True for everyone under
+  /// a global observer.)
+  bool observes(EndpointId e) const;
+  /// Sorted compromised endpoints (empty under kGlobal / kNone).
+  const std::vector<EndpointId>& compromised() const { return compromised_; }
+  const ObserverSpec& spec() const { return spec_; }
+  /// Tapped messages total vs. recorded (visible) — the coverage ratio
+  /// reported per run.
+  std::uint64_t tapped() const { return tapped_; }
+
+ private:
+  ObserverSpec spec_;
+  std::vector<EndpointId> compromised_;  // sorted
+  std::vector<bool> is_compromised_;     // O(1) membership, grows on use
+  std::vector<Observation> entries_;
+  std::uint64_t tapped_ = 0;
+  std::uint64_t next_seq_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rac::attacks

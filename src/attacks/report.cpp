@@ -1,0 +1,303 @@
+#include "attacks/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace rac::attacks {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string num_array(const std::vector<double>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += num(xs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string endpoint_array(const std::vector<EndpointId>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(xs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+const char* mode_name(ObserverMode m) {
+  switch (m) {
+    case ObserverMode::kGlobal:
+      return "global";
+    case ObserverMode::kFraction:
+      return "fraction";
+    case ObserverMode::kNone:
+      break;
+  }
+  return "none";
+}
+
+/// Element-wise mean of per-run curves, truncated to the shortest run.
+/// merge-order: `curves` is iterated in the callers' seed order, so the
+/// FP sums always add runs in one canonical order — the aggregate block
+/// is byte-stable across --jobs.
+std::vector<double> aggregate_mean_curve(
+    const std::vector<const std::vector<double>*>& curves) {
+  std::vector<double> out;
+  if (curves.empty()) return out;
+  std::size_t len = curves.front()->size();
+  for (const auto* c : curves) len = std::min(len, c->size());
+  for (std::size_t k = 0; k < len; ++k) {
+    double sum = 0.0;
+    for (const auto* c : curves) sum += (*c)[k];
+    out.push_back(sum / static_cast<double>(curves.size()));
+  }
+  return out;
+}
+
+std::string intersection_json(const IntersectionResult& r,
+                              const std::string& indent) {
+  std::string out = "{\n";
+  out += indent + "  \"targets\": " + endpoint_array(r.targets) + ",\n";
+  out += indent + "  \"set_size\": " + num_array(r.set_size) + ",\n";
+  out += indent + "  \"expected\": " + num_array(r.expected) + ",\n";
+  out += indent + "  \"entropy_bits\": " + num_array(r.entropy_bits) + ",\n";
+  out += indent + "  \"retention_hat\": " + num(r.retention_hat) + ",\n";
+  out += indent + "  \"max_rel_deviation\": " + num(r.max_rel_deviation) +
+         ",\n";
+  out += indent + "  \"calibrated\": " +
+         std::string(r.calibrated ? "true" : "false") + "\n";
+  out += indent + "}";
+  return out;
+}
+
+std::string predecessor_json(const PredecessorResult& r,
+                             const std::string& indent) {
+  std::string out = "{\n";
+  out += indent + "  \"targets\": " + endpoint_array(r.targets) + ",\n";
+  out += indent + "  \"rounds\": " + std::to_string(r.rounds) + ",\n";
+  out += indent + "  \"shannon_bits\": " + num_array(r.shannon_bits) + ",\n";
+  out += indent + "  \"min_entropy_bits\": " + num_array(r.min_entropy_bits) +
+         ",\n";
+  out += indent + "  \"support\": " + num_array(r.support) + ",\n";
+  out += indent + "  \"precision_at_1\": " + num(r.precision_at_1) + ",\n";
+  out += indent + "  \"precision_at_3\": " + num(r.precision_at_3) + "\n";
+  out += indent + "}";
+  return out;
+}
+
+std::string first_spy_json(const FirstSpyResult& r,
+                           const std::string& indent) {
+  std::string out = "{\n";
+  out += indent + "  \"waves_total\": " + std::to_string(r.waves_total) +
+         ",\n";
+  out += indent + "  \"waves_attributed\": " +
+         std::to_string(r.waves_attributed) + ",\n";
+  out += indent + "  \"waves_correct\": " + std::to_string(r.waves_correct) +
+         ",\n";
+  out += indent + "  \"precision\": " + num(r.precision) + ",\n";
+  out += indent + "  \"chance\": " + num(r.chance) + ",\n";
+  out += indent + "  \"cumulative_precision\": " +
+         num_array(r.cumulative_precision) + "\n";
+  out += indent + "}";
+  return out;
+}
+
+}  // namespace
+
+std::string report_json(const ReportMeta& meta,
+                        const std::vector<AttackReport>& runs) {
+  const ObserverSpec& spec = meta.spec;
+  std::string out;
+  out += "{\n";
+  out += "  \"schema\": \"rac.attacks.report/1\",\n";
+  out += "  \"scenario\": {\n";
+  out += "    \"name\": \"" + json_escape(meta.scenario) + "\",\n";
+  out += "    \"nodes\": " + std::to_string(meta.nodes) + ",\n";
+  out += "    \"seeds\": " + std::to_string(meta.seeds) + ",\n";
+  out += "    \"base_seed\": " + std::to_string(meta.base_seed) + ",\n";
+  out += "    \"duration_ms\": " + std::to_string(meta.duration_ms) + ",\n";
+  out += "    \"traffic\": \"" + json_escape(meta.traffic) + "\",\n";
+  out += "    \"kernel\": \"" + json_escape(meta.kernel) + "\"\n";
+  out += "  },\n";
+  out += "  \"observer\": {\n";
+  out += "    \"mode\": \"" + std::string(mode_name(spec.mode)) + "\",\n";
+  out += "    \"fraction\": " + num(spec.fraction) + ",\n";
+  out += "    \"window_ms\": " + num(to_seconds(spec.window) * 1e3) + ",\n";
+  out += "    \"clock_ms\": " + num(to_seconds(spec.clock) * 1e3) + ",\n";
+  out += "    \"stride\": " + std::to_string(spec.stride) + ",\n";
+  out += "    \"max_observations\": " +
+         std::to_string(spec.max_observations) + ",\n";
+  out += "    \"targets\": " + std::to_string(spec.targets) + ",\n";
+  out += "    \"data_floor\": " + std::to_string(spec.data_floor) + ",\n";
+  out += "    \"tolerance\": " + num(spec.tolerance) + ",\n";
+  out += "    \"attacks\": [";
+  {
+    std::vector<std::string> names;
+    if (spec.run_intersection) names.emplace_back("intersection");
+    if (spec.run_predecessor) names.emplace_back("predecessor");
+    if (spec.run_first_spy) names.emplace_back("first_spy");
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + names[i] + "\"";
+    }
+  }
+  out += "]\n";
+  out += "  },\n";
+  out += "  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const AttackReport& run = runs[r];
+    out += "    {\n";
+    out += "      \"seed\": " + std::to_string(run.seed) + ",\n";
+    out += "      \"nodes\": " + std::to_string(run.nodes) + ",\n";
+    out += "      \"compromised\": " + std::to_string(run.compromised) +
+           ",\n";
+    out += "      \"observations\": " + std::to_string(run.observations) +
+           ",\n";
+    out += "      \"tapped\": " + std::to_string(run.tapped) + ",\n";
+    out += "      \"intersection\": ";
+    out += run.intersection ? intersection_json(*run.intersection, "      ")
+                            : std::string("null");
+    out += ",\n";
+    out += "      \"predecessor\": ";
+    out += run.predecessor ? predecessor_json(*run.predecessor, "      ")
+                           : std::string("null");
+    out += ",\n";
+    out += "      \"first_spy\": ";
+    out += run.first_spy ? first_spy_json(*run.first_spy, "      ")
+                         : std::string("null");
+    out += "\n";
+    out += "    }";
+    out += r + 1 < runs.size() ? ",\n" : "\n";
+  }
+  out += "  ],\n";
+
+  // Aggregate over runs (seed order — see aggregate_mean_curve).
+  std::vector<const std::vector<double>*> set_curves;
+  std::vector<const std::vector<double>*> expected_curves;
+  double retention_sum = 0.0;
+  double worst_deviation = 0.0;
+  bool all_calibrated = true;
+  std::size_t intersection_runs = 0;
+  double p1_sum = 0.0;
+  double p3_sum = 0.0;
+  double final_shannon_sum = 0.0;
+  std::size_t predecessor_runs = 0;
+  double fs_precision_sum = 0.0;
+  double fs_chance_sum = 0.0;
+  std::size_t first_spy_runs = 0;
+  // merge-order: `runs` is seed-ordered by every caller (the campaign
+  // stores results at seed slots), so these FP sums always accumulate in
+  // one canonical order regardless of --jobs.
+  for (const AttackReport& run : runs) {
+    if (run.intersection) {
+      ++intersection_runs;
+      set_curves.push_back(&run.intersection->set_size);
+      expected_curves.push_back(&run.intersection->expected);
+      retention_sum += run.intersection->retention_hat;
+      worst_deviation =
+          std::max(worst_deviation, run.intersection->max_rel_deviation);
+      all_calibrated = all_calibrated && run.intersection->calibrated;
+    }
+    if (run.predecessor) {
+      ++predecessor_runs;
+      p1_sum += run.predecessor->precision_at_1;
+      p3_sum += run.predecessor->precision_at_3;
+      if (!run.predecessor->shannon_bits.empty()) {
+        final_shannon_sum += run.predecessor->shannon_bits.back();
+      }
+    }
+    if (run.first_spy) {
+      ++first_spy_runs;
+      fs_precision_sum += run.first_spy->precision;
+      fs_chance_sum += run.first_spy->chance;
+    }
+  }
+  out += "  \"aggregate\": {\n";
+  out += "    \"runs\": " + std::to_string(runs.size()) + ",\n";
+  out += "    \"intersection\": ";
+  if (intersection_runs > 0) {
+    const double n = static_cast<double>(intersection_runs);
+    out += "{\n";
+    out += "      \"mean_set_size\": " +
+           num_array(aggregate_mean_curve(set_curves)) + ",\n";
+    out += "      \"mean_expected\": " +
+           num_array(aggregate_mean_curve(expected_curves)) + ",\n";
+    out += "      \"mean_retention_hat\": " + num(retention_sum / n) + ",\n";
+    out += "      \"max_rel_deviation\": " + num(worst_deviation) + ",\n";
+    out += "      \"all_calibrated\": " +
+           std::string(all_calibrated ? "true" : "false") + "\n";
+    out += "    }";
+  } else {
+    out += "null";
+  }
+  out += ",\n";
+  out += "    \"predecessor\": ";
+  if (predecessor_runs > 0) {
+    const double n = static_cast<double>(predecessor_runs);
+    out += "{\n";
+    out += "      \"mean_precision_at_1\": " + num(p1_sum / n) + ",\n";
+    out += "      \"mean_precision_at_3\": " + num(p3_sum / n) + ",\n";
+    out += "      \"mean_final_shannon_bits\": " +
+           num(final_shannon_sum / n) + "\n";
+    out += "    }";
+  } else {
+    out += "null";
+  }
+  out += ",\n";
+  out += "    \"first_spy\": ";
+  if (first_spy_runs > 0) {
+    const double n = static_cast<double>(first_spy_runs);
+    out += "{\n";
+    out += "      \"mean_precision\": " + num(fs_precision_sum / n) + ",\n";
+    out += "      \"mean_chance\": " + num(fs_chance_sum / n) + "\n";
+    out += "    }";
+  } else {
+    out += "null";
+  }
+  out += "\n";
+  out += "  }\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rac::attacks

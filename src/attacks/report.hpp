@@ -1,0 +1,38 @@
+// Passive traffic-analysis adversary plane, part 3: the versioned
+// "rac.attacks.report/1" JSON block. One document per campaign: a
+// scenario/observer echo, one entry per run (seed order), and an
+// aggregate with mean anonymity curves. Byte-stable: runs arrive in seed
+// order whatever --jobs was, every float prints through one fixed-format
+// helper, and no map iteration order leaks in (see DESIGN.md §13 and
+// EXPERIMENTS.md for the schema reference; tools/validate_metrics.py
+// --attacks checks it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "attacks/attacks.hpp"
+
+namespace rac::attacks {
+
+/// Campaign-level context echoed into the report header.
+struct ReportMeta {
+  std::string scenario = "scenario";
+  std::uint32_t nodes = 0;
+  std::uint32_t seeds = 1;
+  std::uint64_t base_seed = 0;
+  std::int64_t duration_ms = 0;
+  std::string traffic;
+  /// Which kernel produced the trace: "classic" (shards = 0) or
+  /// "windowed" (shards >= 1). Deliberately NOT the shard count — the
+  /// windowed kernel's report is byte-identical for every K >= 1, and
+  /// echoing K would be the one field breaking that contract.
+  std::string kernel = "classic";
+  ObserverSpec spec;
+};
+
+/// Serialize per-run reports (seed order) to rac.attacks.report/1.
+std::string report_json(const ReportMeta& meta,
+                        const std::vector<AttackReport>& runs);
+
+}  // namespace rac::attacks

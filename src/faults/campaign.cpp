@@ -1,6 +1,8 @@
 #include "faults/campaign.hpp"
 
 #include <algorithm>
+
+#include "attacks/report.hpp"
 #include <atomic>
 #include <cmath>
 #include <cstdio>
@@ -217,9 +219,28 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
   auto collector = std::make_shared<telemetry::Collector>();
   collector->tracer().set_enabled(opts.collect_trace);
   const telemetry::Install install(collector.get());
+  const bool attacks_on =
+      opts.attacks && spec.observer.mode != attacks::ObserverMode::kNone;
   SimulationConfig cfg = spec.to_simulation_config(seed);
   cfg.shards = opts.shards;
+  // Ground truth for the attack plane: per-node data-onion origination
+  // times. Pure bookkeeping (no RNG, no scheduling), so arming it keeps
+  // the DES trace bit-identical.
+  if (attacks_on) cfg.node.record_origin_times = true;
   Simulation sim(cfg);
+  std::unique_ptr<attacks::ObservationLog> observation;
+  if (attacks_on) {
+    // The compromised set draws from its own substream of `seed`
+    // (never the simulator RNG), and the tap callback only appends to
+    // the log — the observer is trace-neutral like the impairments.
+    observation = std::make_unique<attacks::ObservationLog>(
+        spec.observer, seed, spec.nodes);
+    sim.network().set_tap([log = observation.get()](
+                              EndpointId from, EndpointId to,
+                              std::size_t bytes, SimTime when) {
+      log->record(from, to, bytes, when);
+    });
+  }
   Injector injector(sim, seed);
   materialize_events(scenario, injector);
   if (spec.blacklist_round_period > 0) {
@@ -264,8 +285,18 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
                      c->sampler().sample(simp->simulator().now());
                    });
   }
-  if (spec.traffic == "uniform") {
-    sim.start_uniform_traffic();
+  if (spec.traffic == "uniform" || spec.traffic == "uniform_no_noise") {
+    if (spec.traffic == "uniform_no_noise") {
+      // Suppress the constant-rate noise padding everywhere: the
+      // deanonymization worst case (Sec. V-A1) the first-spy contrast
+      // measures against.
+      for (std::size_t i = 0; i < sim.size(); ++i) {
+        Node::Behavior b = sim.node(i).behavior();
+        b.no_noise = true;
+        sim.node(i).set_behavior(b);
+      }
+    }
+    sim.start_uniform_traffic(spec.traffic_senders);
   } else if (spec.traffic == "noise") {
     sim.start_all();
   }
@@ -368,6 +399,24 @@ RunMetrics run_scenario(const Scenario& scenario, std::uint64_t seed,
       }
     }
     m.strategies.push_back(std::move(sm));
+  }
+
+  if (attacks_on) {
+    observation->finalize();
+    attacks::GroundTruth truth;
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      const Node& node = sim.node(i);
+      for (const SimTime at : node.origin_times()) {
+        truth.waves.push_back(attacks::Wave{at, node.endpoint()});
+      }
+    }
+    std::sort(truth.waves.begin(), truth.waves.end(),
+              [](const attacks::Wave& a, const attacks::Wave& b) {
+                if (a.at != b.at) return a.at < b.at;
+                return a.origin < b.origin;
+              });
+    m.attack = std::make_shared<attacks::AttackReport>(
+        attacks::run_attacks(*observation, truth, seed, sim.size()));
   }
   return m;
 }
@@ -657,6 +706,27 @@ std::string metrics_json(const CampaignResult& result) {
   out += "  }\n";
   out += "}\n";
   return out;
+}
+
+std::string attacks_json(const CampaignResult& result,
+                         const CampaignOptions& opts) {
+  const ScenarioSpec& spec = result.scenario.spec;
+  attacks::ReportMeta meta;
+  meta.scenario = spec.name;
+  meta.nodes = spec.nodes;
+  meta.seeds = spec.seeds;
+  meta.base_seed = spec.base_seed;
+  meta.duration_ms = spec.duration / kMillisecond;
+  meta.traffic = spec.traffic;
+  meta.kernel = opts.shards > 0 ? "windowed" : "classic";
+  meta.spec = spec.observer;
+  std::vector<attacks::AttackReport> runs;
+  runs.reserve(result.runs.size());
+  // Seed order: result.runs is slot-indexed by seed whatever --jobs was.
+  for (const RunMetrics& m : result.runs) {
+    if (m.attack) runs.push_back(*m.attack);
+  }
+  return attacks::report_json(meta, runs);
 }
 
 }  // namespace rac::faults

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "attacks/attacks.hpp"
 #include "faults/injector.hpp"
 #include "faults/scenario.hpp"
 #include "telemetry/telemetry.hpp"
@@ -50,6 +51,14 @@ struct CampaignOptions {
   /// pin the two kernels separately. Incompatible with collect_trace: the
   /// span tracer is not thread-safe when enabled.
   unsigned shards = 0;
+  /// Arm the passive traffic-analysis adversary plane (src/attacks/):
+  /// install a wire tap feeding the scenario's ObserverSpec, record
+  /// origin-time ground truth, and run the configured analyzers after the
+  /// run into RunMetrics::attack. Trace-neutral (the tap and the ground
+  /// truth neither draw sim RNG nor schedule events) and shard-compatible
+  /// (the tap merges per-shard buffers at window barriers). No-op when
+  /// the scenario sets `observer = none`.
+  bool attacks = false;
 };
 
 struct EvictionOutcome {
@@ -92,6 +101,9 @@ struct RunMetrics {
   /// histograms feed the per-run "telemetry" JSON block; the tracer and
   /// sampler hold data only when the matching CampaignOptions asked for it.
   std::shared_ptr<telemetry::Collector> telemetry;
+  /// Attack-plane report (CampaignOptions::attacks with a non-none
+  /// observer only; null otherwise). Feeds attacks_json.
+  std::shared_ptr<attacks::AttackReport> attack;
 };
 
 struct CampaignResult {
@@ -117,5 +129,12 @@ CampaignResult run_campaign(const Scenario& scenario,
 /// Serialize a campaign to the documented JSON schema
 /// ("rac.faults.campaign/1"); `pretty` controls indentation only.
 std::string metrics_json(const CampaignResult& result);
+
+/// Serialize the campaign's attack reports to "rac.attacks.report/1"
+/// (see src/attacks/report.hpp). Runs without a report (attacks off for
+/// that run) are skipped; `opts` supplies the shard count echoed into
+/// the header.
+std::string attacks_json(const CampaignResult& result,
+                         const CampaignOptions& opts);
 
 }  // namespace rac::faults

@@ -105,10 +105,69 @@ void apply_config(ScenarioSpec& spec, std::string_view key,
     spec.propagation = static_cast<SimDuration>(to_u64(value, line)) *
                        kMicrosecond;
   } else if (key == "traffic") {
-    if (value != "uniform" && value != "noise" && value != "none") {
-      fail(line, "traffic must be 'uniform', 'noise' or 'none'");
+    if (value != "uniform" && value != "uniform_no_noise" &&
+        value != "noise" && value != "none") {
+      fail(line, "traffic must be 'uniform', 'uniform_no_noise', 'noise' "
+                 "or 'none'");
     }
     spec.traffic = std::string(value);
+  } else if (key == "traffic_senders") {
+    try {
+      spec.traffic_senders = parse_index_list(value);
+    } catch (const std::runtime_error& e) {
+      fail(line, e.what());
+    }
+  } else if (key == "observer") {
+    if (value == "none") {
+      spec.observer.mode = attacks::ObserverMode::kNone;
+    } else if (value == "global") {
+      spec.observer.mode = attacks::ObserverMode::kGlobal;
+    } else if (value == "fraction") {
+      spec.observer.mode = attacks::ObserverMode::kFraction;
+    } else {
+      fail(line, "observer must be 'none', 'global' or 'fraction'");
+    }
+  } else if (key == "observer_fraction") {
+    spec.observer.fraction = to_double(value, line);
+  } else if (key == "observer_window_ms") {
+    spec.observer.window = static_cast<SimDuration>(to_u64(value, line)) *
+                           kMillisecond;
+  } else if (key == "observer_clock_ms") {
+    spec.observer.clock = static_cast<SimDuration>(to_u64(value, line)) *
+                          kMillisecond;
+  } else if (key == "observer_stride") {
+    spec.observer.stride = static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "observer_max_obs") {
+    spec.observer.max_observations =
+        static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "observer_targets") {
+    spec.observer.targets = static_cast<unsigned>(to_u64(value, line));
+  } else if (key == "observer_data_floor") {
+    spec.observer.data_floor = static_cast<std::size_t>(to_u64(value, line));
+  } else if (key == "observer_tolerance") {
+    spec.observer.tolerance = to_double(value, line);
+  } else if (key == "attacks") {
+    spec.observer.run_intersection = false;
+    spec.observer.run_predecessor = false;
+    spec.observer.run_first_spy = false;
+    std::size_t start = 0;
+    while (start <= value.size()) {
+      const std::size_t comma = std::min(value.find(',', start),
+                                         value.size());
+      const std::string_view name = trim(value.substr(start, comma - start));
+      if (name == "intersection") {
+        spec.observer.run_intersection = true;
+      } else if (name == "predecessor") {
+        spec.observer.run_predecessor = true;
+      } else if (name == "first_spy") {
+        spec.observer.run_first_spy = true;
+      } else {
+        fail(line, "unknown attack '" + std::string(name) +
+                       "' (intersection, predecessor, first_spy)");
+      }
+      if (comma == value.size()) break;
+      start = comma + 1;
+    }
   } else if (key == "blacklist_round_ms") {
     spec.blacklist_round_period =
         static_cast<SimDuration>(to_u64(value, line)) * kMillisecond;

@@ -33,6 +33,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attacks/observation.hpp"
 #include "rac/simulation.hpp"
 
 namespace rac::faults {
@@ -63,9 +64,21 @@ struct ScenarioSpec {
   SimDuration propagation = 50 * kMicrosecond;
 
   /// "uniform" (start_uniform_traffic: every node streams payloads),
-  /// "noise" (start_all: nodes run the constant-rate protocol but
-  /// originate no application payloads) or "none" (nodes idle).
+  /// "uniform_no_noise" (same, but noise padding suppressed on every
+  /// node — the deanonymization worst case of Sec. V-A1), "noise"
+  /// (start_all: nodes run the constant-rate protocol but originate no
+  /// application payloads) or "none" (nodes idle).
   std::string traffic = "uniform";
+  /// Restrict the uniform workloads to these node indices (empty = every
+  /// node originates). Key: `traffic_senders = 0,3,7-9`.
+  std::vector<std::size_t> traffic_senders;
+
+  /// Passive traffic-analysis opponent (src/attacks/): `observer =
+  /// none|global|fraction` plus the `observer_*` tuning keys and the
+  /// `attacks = intersection,predecessor,first_spy` analyzer list. Only
+  /// consumed when the campaign runs with CampaignOptions::attacks (the
+  /// scenario_runner --attacks flag); otherwise fully inert.
+  attacks::ObserverSpec observer;
   /// Period of automatic anonymous blacklist shuffle rounds over every
   /// group (0 = no rounds — relay accusations then never reach a quorum).
   SimDuration blacklist_round_period = 0;

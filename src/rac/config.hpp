@@ -60,6 +60,12 @@ struct Config {
   /// match the Network the node runs on. Paper: 1 Gb/s.
   double link_bps = 1e9;
 
+  /// Ground-truth hook for the attack plane (src/attacks/): when set, the
+  /// core appends the origination time of every *data* onion (never noise)
+  /// to Core::origin_times(). Pure bookkeeping — no RNG draws, no
+  /// scheduling — so enabling it leaves traces bit-identical.
+  bool record_origin_times = false;
+
   /// Join puzzle difficulty (expected 2^mk_bits hash evaluations).
   unsigned mk_bits = 6;
   /// T of the join protocol: maximum dissemination time in a group.

@@ -262,6 +262,9 @@ void Core::send_slot() {
     } else if (auto cell = build_next_onion()) {
       originate_cell(std::move(*cell));
       ++payloads_sent_;
+      if (config_.record_origin_times) {
+        origin_times_.push_back(env_.driver->now());
+      }
       counters_.bump("data_cells_sent");
       RAC_TELEM_COUNT(kNodeDataCellsSent, 1);
     } else if (!saturation && !behavior_.no_noise) {

@@ -172,6 +172,10 @@ class Core : public TimerSink {
   const sim::Aggregate& onion_latency() const { return onion_latency_; }
   std::uint64_t payloads_delivered() const { return payloads_delivered_; }
   std::uint64_t payloads_sent() const { return payloads_sent_; }
+  /// Origination times of this node's data onions, in send order. Empty
+  /// unless Config::record_origin_times is set. The attack plane reads
+  /// this as deanonymization ground truth.
+  const std::vector<SimTime>& origin_times() const { return origin_times_; }
   std::size_t cell_size() const { return cell_size_; }
   /// Relay obligations queued but not yet rebroadcast (telemetry probe).
   std::size_t relay_queue_depth() const { return relay_duties_.size(); }
@@ -275,6 +279,7 @@ class Core : public TimerSink {
   std::uint64_t slot_epoch_ = 0; // invalidates superseded send slots
   std::uint64_t payloads_delivered_ = 0;
   std::uint64_t payloads_sent_ = 0;
+  std::vector<SimTime> origin_times_;  // Config::record_origin_times only
   sim::Counters counters_;
   sim::Aggregate onion_latency_;
 };

@@ -159,33 +159,53 @@ void Simulation::stop_all() {
   for (auto& n : nodes_) n->stop();
 }
 
+void Simulation::wire_uniform_sender(std::size_t i, Rng& pick) {
+  // Fixed random destination per sender, as in Sec. VI-C.
+  std::size_t dest;
+  do {
+    dest = pick.next_below(nodes_.size());
+  } while (dest == i);
+  const Node::Destination d = destination_of(dest);
+  nodes_[i]->set_traffic_generator([d] { return d; });
+  // Deliveries fire on the destination's engine; record into that
+  // shard's meter (the shared meter when unsharded) with that clock.
+  sim::Simulator* eng = engine_of(static_cast<EndpointId>(dest));
+  sim::ThroughputMeter* meter = meter_of(static_cast<EndpointId>(dest));
+  nodes_[dest]->set_deliver_callback([eng, meter](Bytes payload) {
+    meter->record(eng->now(), payload.size());
+    // Direct (non-macro) recording: the campaign's goodput accounting
+    // reads these registry counters, so they must exist even in a
+    // -DRAC_TELEMETRY=OFF build. One branch when no collector is
+    // installed.
+    if (auto* c = telemetry::current()) {
+      c->registry().counter(telemetry::Stat::kRacPayloadsDelivered).add(1);
+      c->registry()
+          .counter(telemetry::Stat::kRacBytesDelivered)
+          .add(payload.size());
+    }
+  });
+}
+
 void Simulation::start_uniform_traffic() {
   Rng pick(sim_.rng().next());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    // Fixed random destination per sender, as in Sec. VI-C.
-    std::size_t dest;
-    do {
-      dest = pick.next_below(nodes_.size());
-    } while (dest == i);
-    const Node::Destination d = destination_of(dest);
-    nodes_[i]->set_traffic_generator([d] { return d; });
-    // Deliveries fire on the destination's engine; record into that
-    // shard's meter (the shared meter when unsharded) with that clock.
-    sim::Simulator* eng = engine_of(static_cast<EndpointId>(dest));
-    sim::ThroughputMeter* meter = meter_of(static_cast<EndpointId>(dest));
-    nodes_[dest]->set_deliver_callback([eng, meter](Bytes payload) {
-      meter->record(eng->now(), payload.size());
-      // Direct (non-macro) recording: the campaign's goodput accounting
-      // reads these registry counters, so they must exist even in a
-      // -DRAC_TELEMETRY=OFF build. One branch when no collector is
-      // installed.
-      if (auto* c = telemetry::current()) {
-        c->registry().counter(telemetry::Stat::kRacPayloadsDelivered).add(1);
-        c->registry()
-            .counter(telemetry::Stat::kRacBytesDelivered)
-            .add(payload.size());
-      }
-    });
+    wire_uniform_sender(i, pick);
+  }
+  start_all();
+}
+
+void Simulation::start_uniform_traffic(const std::vector<std::size_t>& senders) {
+  if (senders.empty()) {
+    start_uniform_traffic();
+    return;
+  }
+  Rng pick(sim_.rng().next());
+  for (const std::size_t i : senders) {
+    if (i >= nodes_.size()) {
+      throw std::invalid_argument(
+          "start_uniform_traffic: sender index out of range");
+    }
+    wire_uniform_sender(i, pick);
   }
   start_all();
 }

@@ -76,6 +76,11 @@ class Simulation {
   void stop_all();
   /// Every node streams synthetic payloads to one random destination.
   void start_uniform_traffic();
+  /// Same workload restricted to `senders` (node indices): only they get
+  /// traffic generators; everyone else still runs the protocol (noise,
+  /// relaying) once started. Empty list = all nodes. The no-argument
+  /// overload keeps its historical RNG draw order bit-for-bit.
+  void start_uniform_traffic(const std::vector<std::size_t>& senders);
   /// Advance simulated time by `d`. Classic mode runs the driver engine
   /// directly; sharded mode advances in conservative windows (see
   /// run_window) and lands every engine on exactly now() + d.
@@ -143,6 +148,9 @@ class Simulation {
 
  private:
   void wire_node(Node& n);
+  /// One sender's slice of start_uniform_traffic: destination draw from
+  /// `pick`, traffic generator, and the destination's delivery meter.
+  void wire_uniform_sender(std::size_t i, Rng& pick);
   /// Reconcile channel views and per-node channel registrations with the
   /// current set of active groups (after splits/dissolves/joins).
   void sync_channels();

@@ -22,13 +22,7 @@ EndpointId Network::add_endpoint(Handler handler) {
   return static_cast<EndpointId>(endpoints_.size() - 1);
 }
 
-void Network::set_tap(Tap tap) {
-  if (!shards_.empty() && tap) {
-    throw std::logic_error(
-        "Network::set_tap: wire tap and sharding are mutually exclusive");
-  }
-  tap_ = std::move(tap);
-}
+void Network::set_tap(Tap tap) { tap_ = std::move(tap); }
 
 void Network::enable_sharding(std::vector<Simulator*> engines) {
   if (engines.empty()) {
@@ -36,11 +30,6 @@ void Network::enable_sharding(std::vector<Simulator*> engines) {
   }
   if (!shards_.empty()) {
     throw std::logic_error("Network::enable_sharding: already sharded");
-  }
-  if (tap_) {
-    throw std::logic_error(
-        "Network::enable_sharding: wire tap and sharding are mutually "
-        "exclusive");
   }
   shards_.resize(engines.size());
   for (std::size_t k = 0; k < engines.size(); ++k) {
@@ -185,13 +174,20 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
   // sender's shard slice so no shared counter is written mid-window.
   ShardState& s = shards_[shard_of(from)];
   s.total_bytes += bytes;
+  const SimTime arrival = up_end + config_.propagation + verdict.extra_delay;
+  if (tap_) {
+    // The tap sees dropped messages too (the classic path taps before the
+    // drop check), so it keeps its own per-sender sequence counter —
+    // send_seq never advances for drops. `arrival` is only the merge key.
+    s.tapbox.push_back(TapEntry{arrival, now, bytes, from, to,
+                                src.tap_seq++});
+  }
   if (verdict.drop) {
     ++s.messages_lost;
     RAC_TELEM_COUNT(kNetMessagesDropped, 1);
     return;
   }
 
-  const SimTime arrival = up_end + config_.propagation + verdict.extra_delay;
   // Conservative-schedule guard: the lookahead promises every message at
   // least one full window of latency. An impairment whose verdict lands
   // the arrival before the sender's next window boundary lied in
@@ -208,6 +204,30 @@ void Network::send(EndpointId from, EndpointId to, Payload payload,
 }
 
 void Network::drain_mailboxes() {
+  if (tap_) {
+    tap_merge_buf_.clear();
+    for (ShardState& s : shards_) {
+      tap_merge_buf_.insert(tap_merge_buf_.end(), s.tapbox.begin(),
+                            s.tapbox.end());
+      s.tapbox.clear();
+    }
+    // merge-order: canonical key (arrival, sent, from, from_seq), the same
+    // contract as the mailbox merge below. Window boundaries are multiples
+    // of the K-independent lookahead and partition tap records by `sent`,
+    // so per-barrier record sets and this sort are identical for every
+    // shard count — the tap consumer sees one canonical sequence.
+    std::sort(tap_merge_buf_.begin(), tap_merge_buf_.end(),
+              [](const TapEntry& a, const TapEntry& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.sent != b.sent) return a.sent < b.sent;
+                if (a.from != b.from) return a.from < b.from;
+                return a.from_seq < b.from_seq;
+              });
+    for (const TapEntry& e : tap_merge_buf_) {
+      tap_(e.from, e.to, e.bytes, e.sent);
+    }
+    tap_merge_buf_.clear();
+  }
   merge_buf_.clear();
   for (ShardState& s : shards_) {
     for (std::vector<MailEntry>& box : s.outbox) {

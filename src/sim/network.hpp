@@ -107,10 +107,15 @@ class Network {
   /// in nanoseconds (a queue-depth proxy probed by the telemetry sampler).
   SimDuration total_uplink_backlog() const;
 
-  /// Wire tap: invoked for every message at send time with the link
-  /// metadata a global passive opponent can see (endpoints, size, time —
-  /// never the plaintext). Used by analysis::GlobalObserver. Mutually
-  /// exclusive with sharding (the tap would observe shard-local order).
+  /// Wire tap: invoked for every message with the link metadata a global
+  /// passive opponent can see (endpoints, size, send time — never the
+  /// plaintext). Used by analysis::GlobalObserver and the attack plane
+  /// (src/attacks/). Classic mode fires the tap synchronously at send
+  /// time; sharded mode parks per-shard tap records and fires them at the
+  /// next window barrier in canonical (arrival, sent, from, from_seq)
+  /// order, so the tap sequence is identical for every shard count K >= 1
+  /// (though it differs from the classic-mode sequence, exactly like the
+  /// kernels' traces — consumers must not assume cross-kernel identity).
   using Tap = std::function<void(EndpointId from, EndpointId to,
                                  std::size_t bytes, SimTime when)>;
   void set_tap(Tap tap);
@@ -138,7 +143,7 @@ class Network {
   // downlink side likewise), so windows run data-race free without locks.
 
   /// Switch to the sharded send path. Call once, before any traffic; the
-  /// engines must outlive the network. Throws if a wire tap is installed.
+  /// engines must outlive the network.
   void enable_sharding(std::vector<Simulator*> engines);
   bool sharded() const { return !shards_.empty(); }
   unsigned num_shards() const {
@@ -171,6 +176,10 @@ class Network {
     /// Messages sent so far (sharded mode): the per-sender sequence number
     /// in the canonical mailbox merge key.
     std::uint64_t send_seq = 0;
+    /// Tap records emitted so far (sharded mode, tap installed). A
+    /// separate counter from send_seq because the tap also sees dropped
+    /// messages, which never reach a mailbox.
+    std::uint64_t tap_seq = 0;
   };
 
   /// One in-flight message. Both kernel events of a transfer (arrival at
@@ -210,6 +219,20 @@ class Network {
     std::uint64_t from_seq;  // sender's send_seq at send time
   };
 
+  /// One wire-tap record parked in a shard tap buffer between send time
+  /// and the next window barrier. `arrival` exists only as the leading
+  /// component of the canonical merge key (it is computed even for
+  /// dropped messages, which the tap must still report — the classic path
+  /// taps before the drop check).
+  struct TapEntry {
+    SimTime arrival;
+    SimTime sent;
+    std::size_t bytes;
+    EndpointId from;
+    EndpointId to;
+    std::uint64_t from_seq;  // sender's tap_seq at send time
+  };
+
   /// Per-shard slice of the network. `transfers`/`transfer_free` mirror the
   /// global pool but are touched only by the owning shard's thread (and by
   /// the coordinator at barriers); `outbox[d]` is the SPSC mailbox toward
@@ -222,6 +245,9 @@ class Network {
     std::uint64_t total_bytes = 0;
     std::uint64_t messages_lost = 0;
     std::vector<std::vector<MailEntry>> outbox;
+    /// Wire-tap records for messages this shard's endpoints sent during
+    /// the current window; merged and fired at the barrier.
+    std::vector<TapEntry> tapbox;
   };
 
   unsigned shard_of(EndpointId ep) const {
@@ -250,6 +276,7 @@ class Network {
   std::vector<ShardState> shards_;
   SimDuration window_len_ = 0;
   std::vector<MailEntry> merge_buf_;  // barrier scratch, capacity reused
+  std::vector<TapEntry> tap_merge_buf_;  // barrier scratch, capacity reused
 };
 
 }  // namespace rac::sim

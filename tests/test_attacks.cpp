@@ -1,0 +1,350 @@
+// Passive traffic-analysis adversary plane (src/attacks/): observation-log
+// determinism, analyzer calibration against the closed-form intersection
+// curve, the noise/no-noise first-spy contrast (the measured twin of
+// test_observer.cpp), and the byte-identity contract of the
+// rac.attacks.report/1 document across --jobs and --shards.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/intersection.hpp"
+#include "attacks/attacks.hpp"
+#include "attacks/observation.hpp"
+#include "attacks/report.hpp"
+#include "faults/campaign.hpp"
+#include "faults/scenario.hpp"
+#include "rac/simulation.hpp"
+
+namespace rac {
+namespace {
+
+using attacks::AttackReport;
+using attacks::GroundTruth;
+using attacks::Observation;
+using attacks::ObservationLog;
+using attacks::ObserverMode;
+using attacks::ObserverSpec;
+using attacks::Wave;
+
+ObserverSpec global_spec() {
+  ObserverSpec spec;
+  spec.mode = ObserverMode::kGlobal;
+  return spec;
+}
+
+Config fast_config() {
+  Config c;
+  c.num_relays = 3;
+  c.num_rings = 5;
+  c.payload_size = 500;
+  c.send_period = 20 * kMillisecond;
+  c.check_sweep_period = 0;  // pure data plane
+  c.record_origin_times = true;
+  return c;
+}
+
+/// Ground truth as the campaign assembles it: every node's recorded
+/// origination times, sorted by (at, origin).
+GroundTruth truth_of(Simulation& sim) {
+  GroundTruth truth;
+  for (std::size_t i = 0; i < sim.size(); ++i) {
+    for (const SimTime at : sim.node(i).origin_times()) {
+      truth.waves.push_back(Wave{at, sim.node(i).endpoint()});
+    }
+  }
+  std::sort(truth.waves.begin(), truth.waves.end(),
+            [](const Wave& a, const Wave& b) {
+              if (a.at != b.at) return a.at < b.at;
+              return a.origin < b.origin;
+            });
+  return truth;
+}
+
+TEST(Attacks, GlobalObserverRecordsEveryTappedLink) {
+  ObservationLog log(global_spec(), 1, 8);
+  log.record(3, 4, 600, 10);
+  log.record(5, 6, 600, 5);
+  log.finalize();
+  EXPECT_EQ(log.tapped(), 2u);
+  ASSERT_EQ(log.entries().size(), 2u);
+  // Canonical order: sorted by sent time, not arrival at the tap.
+  EXPECT_EQ(log.entries()[0].from, 5u);
+  EXPECT_EQ(log.entries()[1].from, 3u);
+  EXPECT_TRUE(log.observes(7));
+  EXPECT_TRUE(log.compromised().empty());
+}
+
+TEST(Attacks, FractionObserverFiltersInvisibleLinks) {
+  ObserverSpec spec;
+  spec.mode = ObserverMode::kFraction;
+  spec.fraction = 0.25;
+  ObservationLog log(spec, 42, 20);
+  ASSERT_EQ(log.compromised().size(), 5u);  // llround(0.25 * 20)
+  EXPECT_TRUE(std::is_sorted(log.compromised().begin(),
+                             log.compromised().end()));
+
+  // Same seed, same population: the compromised draw is a pure function
+  // of the run seed via the "attacks.observer" substream.
+  ObservationLog again(spec, 42, 20);
+  EXPECT_EQ(log.compromised(), again.compromised());
+
+  const EndpointId spy = log.compromised().front();
+  EndpointId honest = 0;
+  while (log.observes(honest)) ++honest;
+  EndpointId honest2 = honest + 1;
+  while (log.observes(honest2)) ++honest2;
+
+  log.record(honest, honest2, 600, 1);  // invisible: touches no spy
+  log.record(honest, spy, 600, 2);      // visible: spy receives
+  log.record(spy, honest, 600, 3);      // visible: spy sends
+  log.finalize();
+  EXPECT_EQ(log.tapped(), 3u);
+  ASSERT_EQ(log.entries().size(), 2u);
+  EXPECT_EQ(log.entries()[0].sent, 2);
+  EXPECT_EQ(log.entries()[1].sent, 3);
+}
+
+TEST(Attacks, ObservationLogValidatesTheSpec) {
+  ObserverSpec spec;
+  spec.mode = ObserverMode::kFraction;
+  spec.fraction = 0.0;
+  EXPECT_THROW(ObservationLog(spec, 1, 10), std::invalid_argument);
+  spec.fraction = 1.5;
+  EXPECT_THROW(ObservationLog(spec, 1, 10), std::invalid_argument);
+  spec.fraction = 0.5;
+  EXPECT_THROW(ObservationLog(spec, 1, 0), std::invalid_argument);
+}
+
+TEST(Attacks, FinalizeSortsCanonicallyAndIsIdempotent) {
+  ObservationLog log(global_spec(), 1, 4);
+  log.record(2, 0, 600, 7);
+  log.record(1, 0, 600, 7);  // same instant: lower endpoint first
+  log.record(3, 0, 600, 4);
+  log.finalize();
+  log.finalize();
+  ASSERT_EQ(log.entries().size(), 3u);
+  EXPECT_EQ(log.entries()[0].from, 3u);
+  EXPECT_EQ(log.entries()[1].from, 1u);
+  EXPECT_EQ(log.entries()[2].from, 2u);
+}
+
+TEST(Attacks, PickTargetsRanksBusiestOriginsFirst) {
+  GroundTruth truth;
+  truth.waves = {Wave{1, 7}, Wave{2, 3}, Wave{3, 7}, Wave{4, 9},
+                 Wave{5, 3}, Wave{6, 7}};
+  const auto targets = attacks::pick_targets(truth, 2);
+  ASSERT_EQ(targets.size(), 2u);
+  EXPECT_EQ(targets[0], 7u);  // 3 waves
+  EXPECT_EQ(targets[1], 3u);  // 2 waves (9 has 1)
+}
+
+TEST(Attacks, SyntheticGeometricDecayCalibratesExactly) {
+  // Nested candidate sets sized exactly on the closed form
+  // E[|S_k|] = 1 + (G - 1) r^(k-1) with G = 17, r = 0.5: the fitted
+  // retention and the expected curve must reproduce the input with zero
+  // deviation.
+  ObserverSpec spec = global_spec();
+  spec.window = 1 * kMillisecond;
+  spec.targets = 1;
+  ObservationLog log(spec, 1, 32);
+
+  const std::size_t sizes[] = {17, 9, 5, 3, 2};
+  GroundTruth truth;
+  for (std::size_t k = 0; k < 5; ++k) {
+    const SimTime at = static_cast<SimTime>(k + 1) * 100 * kMillisecond;
+    truth.waves.push_back(Wave{at, 0});
+    for (std::size_t e = 0; e < sizes[k]; ++e) {
+      log.record(static_cast<EndpointId>(e), 30, 600, at);
+    }
+  }
+  log.finalize();
+
+  const auto res = attacks::run_intersection(log, truth);
+  ASSERT_EQ(res.targets, std::vector<EndpointId>{0});
+  ASSERT_EQ(res.set_size.size(), 5u);
+  for (std::size_t k = 0; k < 5; ++k) {
+    EXPECT_DOUBLE_EQ(res.set_size[k], static_cast<double>(sizes[k]));
+    EXPECT_NEAR(res.expected[k],
+                analysis::expected_intersection_size(
+                    17, 0.5, static_cast<unsigned>(k + 1)),
+                1e-12);
+  }
+  EXPECT_NEAR(res.retention_hat, 0.5, 1e-12);
+  EXPECT_NEAR(res.max_rel_deviation, 0.0, 1e-12);
+  EXPECT_TRUE(res.calibrated);
+  EXPECT_NEAR(res.entropy_bits.front(), std::log2(17.0), 1e-12);
+}
+
+/// Shared harness for the first-spy contrast: 25 nodes, a single sender
+/// originating sparse waves, watched by a global observer whose clock
+/// only resolves 10 ms (ObserverSpec::clock — exact simulator timestamps
+/// would attribute perfectly under any traffic, an artifact no real
+/// opponent enjoys).
+attacks::FirstSpyResult first_spy_run(bool no_noise) {
+  SimulationConfig cfg;
+  cfg.num_nodes = 25;
+  cfg.seed = 63;
+  cfg.node = fast_config();
+  Simulation sim(cfg);
+
+  ObserverSpec spec = global_spec();
+  spec.clock = 10 * kMillisecond;
+  spec.window = 12 * kMillisecond;
+  ObservationLog log(spec, cfg.seed, sim.size());
+  sim.network().set_tap([&log](sim::EndpointId from, sim::EndpointId to,
+                               std::size_t bytes, SimTime when) {
+    log.record(from, to, bytes, when);
+  });
+
+  if (no_noise) {
+    for (std::size_t i = 0; i < sim.size(); ++i) {
+      Node::Behavior b = sim.node(i).behavior();
+      b.no_noise = true;
+      sim.node(i).set_behavior(b);
+    }
+  }
+  sim.start_all();
+  sim.run_for(300 * kMillisecond);  // settle: groups up, rings built
+  for (int i = 0; i < 12; ++i) {
+    sim.node(4).send_anonymous(sim.destination_of(9), to_bytes("payload"));
+    // Sparse waves: let each dissemination finish so the no-noise network
+    // is silent again before the next origination.
+    sim.run_for(150 * kMillisecond);
+  }
+  log.finalize();
+  return attacks::run_first_spy(log, truth_of(sim));
+}
+
+TEST(Attacks, FirstSpyNailsTheSenderWithoutNoise) {
+  const auto res = first_spy_run(/*no_noise=*/true);
+  EXPECT_EQ(res.waves_total, 12u);
+  EXPECT_EQ(res.waves_attributed, 12u);
+  EXPECT_DOUBLE_EQ(res.precision, 1.0);
+  ASSERT_FALSE(res.cumulative_precision.empty());
+  EXPECT_DOUBLE_EQ(res.cumulative_precision.back(), 1.0);
+}
+
+TEST(Attacks, ConstantRateCoverCollapsesFirstSpyToChance) {
+  const auto res = first_spy_run(/*no_noise=*/false);
+  EXPECT_EQ(res.waves_total, 12u);
+  EXPECT_EQ(res.waves_attributed, 12u);  // cover traffic is everywhere
+  // Every node transmits each slot, so the chance baseline is 1/25.
+  EXPECT_DOUBLE_EQ(res.chance, 1.0 / 25.0);
+  // 12 Bernoulli trials at p = 0.04: >= 4 correct has probability ~1e-4.
+  EXPECT_LE(res.precision, 0.3);
+}
+
+// --- Campaign-level contracts -------------------------------------------
+
+constexpr char kProbeScenario[] =
+    "name = attacks_probe\n"
+    "nodes = 16\n"
+    "seeds = 2\n"
+    "base_seed = 91\n"
+    "duration_ms = 900\n"
+    "relays = 3\n"
+    "rings = 5\n"
+    "payload_bytes = 400\n"
+    "send_period_ms = 10\n"
+    "traffic = uniform\n"
+    "observer = global\n"
+    "observer_window_ms = 20\n"
+    "observer_stride = 8\n"
+    "observer_max_obs = 4\n"
+    "observer_targets = 2\n"
+    "attacks = intersection,predecessor,first_spy\n";
+
+TEST(Attacks, CampaignReportIsByteIdenticalAcrossJobs) {
+  const faults::Scenario scenario = faults::parse_scenario(kProbeScenario);
+  faults::CampaignOptions opts;
+  opts.attacks = true;
+  opts.jobs = 1;
+  const std::string one =
+      faults::attacks_json(faults::run_campaign(scenario, opts), opts);
+  opts.jobs = 3;
+  const std::string three =
+      faults::attacks_json(faults::run_campaign(scenario, opts), opts);
+  EXPECT_EQ(one, three);
+  EXPECT_NE(one.find("\"schema\": \"rac.attacks.report/1\""),
+            std::string::npos);
+  EXPECT_NE(one.find("\"kernel\": \"classic\""), std::string::npos);
+}
+
+TEST(Attacks, ShardedTapMatchesAcrossShardCounts) {
+  // The per-shard tap buffers merged at window barriers must yield one
+  // canonical observation sequence for every K >= 1: the full attack
+  // report — every analyzer consuming the log — is byte-identical
+  // between K = 1 and K = 2 (referenced from test_shard_kernel.cpp).
+  const faults::Scenario scenario = faults::parse_scenario(kProbeScenario);
+  faults::CampaignOptions opts;
+  opts.attacks = true;
+  opts.shards = 1;
+  const faults::RunMetrics k1 = faults::run_scenario(scenario, 91, opts);
+  opts.shards = 2;
+  const faults::RunMetrics k2 = faults::run_scenario(scenario, 91, opts);
+  ASSERT_NE(k1.attack, nullptr);
+  ASSERT_NE(k2.attack, nullptr);
+  EXPECT_GT(k1.attack->tapped, 0u);
+  EXPECT_EQ(k1.attack->tapped, k2.attack->tapped);
+  EXPECT_EQ(k1.attack->observations, k2.attack->observations);
+
+  attacks::ReportMeta meta;
+  meta.scenario = scenario.spec.name;
+  meta.kernel = "windowed";
+  meta.spec = scenario.spec.observer;
+  EXPECT_EQ(attacks::report_json(meta, {*k1.attack}),
+            attacks::report_json(meta, {*k2.attack}));
+}
+
+TEST(Attacks, EmpiricalIntersectionTracksTheClosedForm) {
+  // Graceful churn shrinks the candidate set between linked observations;
+  // the measured |S_k| curve must stay within the calibration band of
+  // analysis::expected_intersection_size seeded with the fitted
+  // retention (the same assertion the attacklane runs against
+  // scenarios/intersection_probe.scn).
+  const faults::Scenario scenario = faults::parse_scenario(
+      "name = intersect\n"
+      "nodes = 28\n"
+      "seeds = 1\n"
+      "base_seed = 71\n"
+      "duration_ms = 2200\n"
+      "relays = 3\n"
+      "rings = 5\n"
+      "payload_bytes = 500\n"
+      "send_period_ms = 10\n"
+      "traffic = uniform\n"
+      "observer = global\n"
+      "observer_window_ms = 30\n"
+      "observer_stride = 20\n"
+      "observer_max_obs = 6\n"
+      "observer_targets = 2\n"
+      "observer_tolerance = 0.35\n"
+      "attacks = intersection\n"
+      "on 200 churn leave=6 min_pop=14\n");
+  faults::CampaignOptions opts;
+  opts.attacks = true;
+  const faults::RunMetrics m = faults::run_scenario(scenario, 71, opts);
+  ASSERT_NE(m.attack, nullptr);
+  ASSERT_TRUE(m.attack->intersection.has_value());
+  const auto& res = *m.attack->intersection;
+  ASSERT_GE(res.set_size.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(res.set_size.rbegin(), res.set_size.rend()))
+      << "candidate sets must shrink monotonically under intersection";
+  EXPECT_GT(res.retention_hat, 0.0);
+  EXPECT_LE(res.retention_hat, 1.0);
+  EXPECT_LE(res.max_rel_deviation, 0.35);
+  EXPECT_TRUE(res.calibrated);
+  EXPECT_FALSE(m.attack->predecessor.has_value());  // not requested
+  EXPECT_FALSE(m.attack->first_spy.has_value());
+}
+
+TEST(Attacks, AttacksOffLeavesTheRunUntouched) {
+  const faults::Scenario scenario = faults::parse_scenario(kProbeScenario);
+  const faults::RunMetrics m = faults::run_scenario(scenario, 91);
+  EXPECT_EQ(m.attack, nullptr);
+}
+
+}  // namespace
+}  // namespace rac

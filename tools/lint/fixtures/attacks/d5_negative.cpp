@@ -1,0 +1,34 @@
+// D5 negative: the same aggregation shapes with the merge order
+// documented (seed order, the attack-report contract), plus integer
+// tallies (always exact, order-free).
+#include <cstdint>
+#include <vector>
+
+struct RunCurve {
+  std::vector<double> set_size;
+  double retention = 1.0;
+  std::uint64_t observations = 0;
+};
+
+class ReportBuilder {
+ public:
+  void aggregate(const std::vector<RunCurve>& runs) {
+    // merge-order: `runs` is seed-ordered by the campaign driver
+    // whatever --jobs was, so this FP sum always adds runs in one
+    // canonical order.
+    for (const RunCurve& r : runs) {
+      retention_sum_ += r.retention;
+    }
+  }
+
+  std::uint64_t combine_observations(const std::vector<RunCurve>& runs) {
+    std::uint64_t n = 0;
+    for (const RunCurve& r : runs) {
+      n += r.observations;  // integer accumulation commutes exactly
+    }
+    return n;
+  }
+
+ private:
+  double retention_sum_ = 0.0;
+};

@@ -1,0 +1,33 @@
+// D5 positive: the attack plane aggregates per-run anonymity curves with
+// float accumulation; without a documented merge order the report bytes
+// would depend on worker scheduling (fixture lives under an attacks/
+// path on purpose — the rule covers the adversary plane too).
+#include <cstddef>
+#include <vector>
+
+struct RunCurve {
+  std::vector<double> set_size;
+  double retention = 1.0;
+};
+
+class ReportBuilder {
+ public:
+  void aggregate(const std::vector<RunCurve>& runs) {
+    for (const RunCurve& r : runs) {
+      retention_sum_ += r.retention;                       // expect: D5
+    }
+  }
+
+  double combine_first_points(const std::vector<RunCurve>& runs) {
+    double sum = 0.0;
+    for (const RunCurve& r : runs) {
+      if (!r.set_size.empty()) {
+        sum += r.set_size.front();                         // expect: D5
+      }
+    }
+    return sum;
+  }
+
+ private:
+  double retention_sum_ = 0.0;
+};

@@ -20,8 +20,8 @@ reproductions (see DESIGN.md §9 for the contract and the rule catalogue):
   D4  pointer-valued keys in ordered containers / pointer comparators in
       sorts — address order varies run to run (ASLR, allocator).
   D5  float/double accumulation inside merge/aggregate functions in
-      telemetry/ and faults/ without a documented fixed merge order
-      ("merge-order:" comment) — FP addition does not commute.
+      telemetry/, faults/ and attacks/ without a documented fixed merge
+      order ("merge-order:" comment) — FP addition does not commute.
   D6  unordered containers as members of wire/serializable structs (a type
       with encode/decode/serialize members) — emission order would be
       implementation-defined.
@@ -621,7 +621,7 @@ RX_ACCUM = re.compile(r"([A-Za-z_]\w*)\s*\+=")
 
 
 def rule_d5(project: Project, model: FileModel) -> list[Finding]:
-    if not re.search(r"(^|/)(telemetry|faults)/", model.rel):
+    if not re.search(r"(^|/)(telemetry|faults|attacks)/", model.rel):
         return []
     out = []
     comp = project.companion(model)

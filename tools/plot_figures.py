@@ -10,11 +10,18 @@ Usage:
     build/tools/scenario_runner s.scn --series s.series.json
     tools/plot_figures.py s.series.json          # writes s.series.png
 
-Inputs ending in .json are treated as "rac.telemetry.series/1" documents
-(one subplot per column against sim time); anything else is parsed as a
-bench table. Requires matplotlib. The bench output format is one header
-line starting with column names (N first) followed by rows; '#' lines and
-'-' cells are ignored, axes are log-log like the paper's.
+    build/tools/scenario_runner s.scn --attacks s.attacks.json
+    tools/plot_figures.py s.attacks.json         # writes s.attacks.png
+
+Inputs ending in .json are dispatched on their "schema" field:
+"rac.telemetry.series/1" documents get one subplot per column against sim
+time; "rac.attacks.report/1" documents get the anonymity-degradation
+figure (mean candidate-set size vs linked observations against the
+closed-form curve, entropy, and the attribution-precision series).
+Anything else is parsed as a bench table. Requires matplotlib. The bench
+output format is one header line starting with column names (N first)
+followed by rows; '#' lines and '-' cells are ignored, axes are log-log
+like the paper's.
 """
 import json
 import sys
@@ -107,6 +114,97 @@ def plot_series(path, out):
     print(f"wrote {out}")
 
 
+def plot_attacks(path, out):
+    """Anonymity degradation under the passive adversary plane.
+
+    Left: mean candidate-set size after k linked observations (per run +
+    aggregate) against the fitted closed-form E[|S_k|]. Middle: the
+    anonymity-set entropy per run. Right: first-spy cumulative precision
+    vs the chance baseline (skipped when the analyzer was off).
+    """
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    with open(path) as fh:
+        doc = json.load(fh)
+    if doc.get("schema") != "rac.attacks.report/1":
+        raise SystemExit(f"{path}: not a rac.attacks.report/1 document")
+    runs = doc["runs"]
+    agg = doc["aggregate"]
+    panels = []
+    if agg.get("intersection") is not None:
+        panels += ["set", "entropy"]
+    if any(r.get("first_spy") for r in runs):
+        panels += ["spy"]
+    if not panels:
+        raise SystemExit(f"{path}: no analyzer output to plot")
+    fig, axes = plt.subplots(1, len(panels), figsize=(4 * len(panels), 3.4),
+                             squeeze=False)
+    axes = axes[0]
+    for ax, panel in zip(axes, panels):
+        if panel == "set":
+            for r in runs:
+                inter = r.get("intersection")
+                if inter is None:
+                    continue
+                ks = range(1, len(inter["set_size"]) + 1)
+                ax.plot(ks, inter["set_size"], color="C0", alpha=0.35, lw=1)
+            mean = agg["intersection"]["mean_set_size"]
+            ks = range(1, len(mean) + 1)
+            ax.plot(ks, mean, color="C0", lw=2, label="measured |S_k|")
+            ax.plot(ks, agg["intersection"]["mean_expected"], "k--", lw=1.5,
+                    label="1 + (G-1) r^(k-1)")
+            ax.set_xlabel("linked observations k")
+            ax.set_ylabel("candidate-set size")
+            ax.legend(fontsize=8)
+        elif panel == "entropy":
+            for r in runs:
+                inter = r.get("intersection")
+                if inter is None:
+                    continue
+                ks = range(1, len(inter["entropy_bits"]) + 1)
+                ax.plot(ks, inter["entropy_bits"], lw=1.2,
+                        label=f"seed {r['seed']}")
+            ax.set_xlabel("linked observations k")
+            ax.set_ylabel("anonymity-set entropy (bits)")
+            ax.legend(fontsize=7)
+        else:
+            for r in runs:
+                spy = r.get("first_spy")
+                if spy is None or not spy["cumulative_precision"]:
+                    continue
+                waves = range(1, len(spy["cumulative_precision"]) + 1)
+                ax.plot(waves, spy["cumulative_precision"], lw=1.2,
+                        label=f"seed {r['seed']}")
+            spy_agg = agg.get("first_spy")
+            if spy_agg is not None:
+                ax.axhline(spy_agg["mean_chance"], color="k", ls=":",
+                           lw=1.2, label="chance")
+            ax.set_ylim(0.0, 1.05)
+            ax.set_xlabel("attributed waves")
+            ax.set_ylabel("first-spy cumulative precision")
+            ax.legend(fontsize=7)
+        ax.grid(True, alpha=0.3)
+    scn = doc["scenario"]
+    fig.suptitle(f"{scn['name']}: {doc['observer']['mode']} observer,"
+                 f" {scn['nodes']} nodes, {agg['runs']} runs"
+                 f" ({scn['kernel']} kernel)", fontsize=9)
+    fig.tight_layout()
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def plot_json(path, out):
+    with open(path) as fh:
+        schema = json.load(fh).get("schema")
+    if schema == "rac.attacks.report/1":
+        plot_attacks(path, out)
+    else:
+        plot_series(path, out)
+
+
 def main():
     if len(sys.argv) < 2:
         raise SystemExit(__doc__)
@@ -114,7 +212,7 @@ def main():
     for path in sys.argv[1:]:
         if path.endswith(".json"):
             stem = path[: -len(".json")]
-            plot_series(path, f"{stem}.png")
+            plot_json(path, f"{stem}.png")
         else:
             fig_index += 1
             plot(path, f"fig{fig_index}.png")

@@ -3,6 +3,7 @@
 //   scenario_runner <scenario.scn> [--out <file>] [--seed N] [--seeds N]
 //                   [--jobs N] [--shards K] [--trace <file>]
 //                   [--series <file>] [--series-dt <ms>]
+//                   [--attacks <file>]
 //
 // Parses the scenario (see EXPERIMENTS.md "Scenario files"), runs it over
 // its configured seeds (overridable from the command line) and prints the
@@ -22,6 +23,11 @@
 //                seeds, shards = within a run). Outputs are byte-identical
 //                for every K >= 1, but the windowed kernel's trace differs
 //                from the classic K = 0 default. Incompatible with --trace.
+//   --attacks f  arm the passive traffic-analysis adversary plane
+//                (src/attacks/; needs `observer = global|fraction` in the
+//                scenario) and write the "rac.attacks.report/1" JSON to f.
+//                Trace-neutral and shard-compatible: the report is
+//                byte-identical across --jobs N and --shards K.
 // With more than one seed, per-run artifact paths gain a ".seed<seed>"
 // infix before the extension (trace.json -> trace.seed42.json).
 #include <cstdio>
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   const char* out_path = nullptr;
   const char* trace_path = nullptr;
   const char* series_path = nullptr;
+  const char* attacks_path = nullptr;
   long long seed_override = -1;
   long long seeds_override = -1;
   long long jobs = 1;
@@ -90,6 +97,8 @@ int main(int argc, char** argv) {
       series_path = argv[++i];
     } else if (std::strcmp(argv[i], "--series-dt") == 0 && i + 1 < argc) {
       series_dt_ms = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--attacks") == 0 && i + 1 < argc) {
+      attacks_path = argv[++i];
     } else if (scenario_path == nullptr) {
       scenario_path = argv[i];
     } else {
@@ -102,7 +111,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: scenario_runner <scenario.scn> [--out <file>] "
                  "[--seed N] [--seeds N] [--jobs N] [--shards K] "
-                 "[--trace <file>] [--series <file>] [--series-dt <ms>]\n");
+                 "[--trace <file>] [--series <file>] [--series-dt <ms>] "
+                 "[--attacks <file>]\n");
     return 2;
   }
   if (shards > 0 && trace_path != nullptr) {
@@ -137,6 +147,14 @@ int main(int argc, char** argv) {
             ? static_cast<rac::SimDuration>(
                   series_dt_ms * static_cast<double>(rac::kMillisecond))
             : 0;
+    opts.attacks = attacks_path != nullptr;
+    if (opts.attacks &&
+        scenario.spec.observer.mode == rac::attacks::ObserverMode::kNone) {
+      std::fprintf(stderr,
+                   "--attacks needs `observer = global` or `observer = "
+                   "fraction` in the scenario\n");
+      return 2;
+    }
 
     const rac::faults::CampaignResult result =
         rac::faults::run_campaign(scenario, opts);
@@ -158,6 +176,13 @@ int main(int argc, char** argv) {
                             opts.series_period))) {
           return 1;
         }
+      }
+    }
+
+    if (attacks_path != nullptr) {
+      if (!write_file(attacks_path,
+                      rac::faults::attacks_json(result, opts))) {
+        return 1;
       }
     }
 

@@ -23,9 +23,24 @@ Telemetry artifacts (PR 3) are validated too:
   --runner-jobs N            forward --jobs N to the runner
   --jobs-stable N            run the scenario twice (--jobs 1 / --jobs N)
                              and require byte-identical metrics JSON
+                             (and attacks JSON, when --attacks is given)
 
-With --runner, --trace/--series name the artifact paths passed through to
-the runner and are validated after it exits.
+Attack-plane artifacts (PR 8) are validated too:
+
+  --attacks FILE             "rac.attacks.report/1" JSON: observer echo,
+                             per-run analyzer blocks, aggregate shape
+                             (standalone, or the path forwarded to the
+                             runner's --attacks flag)
+  --attacks-calibrated       the aggregate intersection block must exist
+                             and report all_calibrated == true (the
+                             closed-form E[|S_k|] tracking assertion)
+  --shards-stable K          with --runner and --attacks: run with
+                             --shards 1 and --shards K and require
+                             byte-identical attacks JSON (the windowed
+                             tap's canonical-merge contract)
+
+With --runner, --trace/--series/--attacks name the artifact paths passed
+through to the runner and are validated after it exits.
 
 Exit status 0 on success; prints the first violation and exits 1 otherwise.
 """
@@ -38,7 +53,9 @@ import tempfile
 
 SCHEMA_ID = "rac.faults.campaign/1"
 SERIES_SCHEMA_ID = "rac.telemetry.series/1"
+ATTACKS_SCHEMA_ID = "rac.attacks.report/1"
 TRACE_PHASES = {"B", "E", "b", "e", "i", "C", "X", "M"}
+ATTACK_NAMES = {"intersection", "predecessor", "first_spy"}
 
 
 def fail(msg: str) -> None:
@@ -226,6 +243,135 @@ def validate_series(path):
           f" {len(columns) - 1} columns)")
 
 
+def num_list(doc, key, ctx, length=None):
+    xs = require(doc, key, list, ctx)
+    for i, v in enumerate(xs):
+        if not isinstance(v, (int, float)) or isinstance(v, bool):
+            fail(f"{ctx}.{key}[{i}]: non-numeric {v!r}")
+    if length is not None and len(xs) != length:
+        fail(f"{ctx}.{key}: length {len(xs)} != {length}")
+    return xs
+
+
+def unit(doc, key, ctx):
+    v = require(doc, key, float, ctx)
+    if not 0.0 <= v <= 1.0:
+        fail(f"{ctx}.{key}: {v} outside [0, 1]")
+    return v
+
+
+def validate_attack_run(run, ctx):
+    for key in ("seed", "nodes", "compromised", "observations", "tapped"):
+        require(run, key, int, ctx)
+    if run["observations"] > run["tapped"]:
+        fail(f"{ctx}: observations {run['observations']} exceed tapped"
+             f" {run['tapped']} (the opponent saw more than the tap fired)")
+    inter = run.get("intersection")
+    if inter is not None:
+        ictx = f"{ctx}.intersection"
+        require(inter, "targets", list, ictx)
+        sizes = num_list(inter, "set_size", ictx)
+        num_list(inter, "expected", ictx, length=len(sizes))
+        num_list(inter, "entropy_bits", ictx, length=len(sizes))
+        if any(b > a for a, b in zip(sizes, sizes[1:])):
+            fail(f"{ictx}.set_size: not non-increasing (intersection can"
+                 " only shrink the candidate set)")
+        unit(inter, "retention_hat", ictx)
+        if require(inter, "max_rel_deviation", float, ictx) < 0.0:
+            fail(f"{ictx}.max_rel_deviation: negative")
+        require(inter, "calibrated", bool, ictx)
+    pred = run.get("predecessor")
+    if pred is not None:
+        pctx = f"{ctx}.predecessor"
+        require(pred, "targets", list, pctx)
+        rounds = require(pred, "rounds", int, pctx)
+        for key in ("shannon_bits", "min_entropy_bits", "support"):
+            num_list(pred, key, pctx, length=rounds)
+        if unit(pred, "precision_at_1", pctx) > unit(pred, "precision_at_3",
+                                                     pctx):
+            fail(f"{pctx}: precision_at_1 exceeds precision_at_3")
+    spy = run.get("first_spy")
+    if spy is not None:
+        sctx = f"{ctx}.first_spy"
+        for key in ("waves_total", "waves_attributed", "waves_correct"):
+            require(spy, key, int, sctx)
+        if not (spy["waves_correct"] <= spy["waves_attributed"]
+                <= spy["waves_total"]):
+            fail(f"{sctx}: correct <= attributed <= total violated")
+        unit(spy, "precision", sctx)
+        unit(spy, "chance", sctx)
+        num_list(spy, "cumulative_precision", sctx,
+                 length=spy["waves_attributed"])
+
+
+def validate_attacks(path, expect_calibrated):
+    """Versioned attack-plane report (src/attacks/report.hpp)."""
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = "$(attacks)"
+    if require(doc, "schema", str, ctx) != ATTACKS_SCHEMA_ID:
+        fail(f"{ctx}.schema: expected {ATTACKS_SCHEMA_ID!r},"
+             f" got {doc['schema']!r}")
+    scn = require(doc, "scenario", dict, ctx)
+    require(scn, "name", str, f"{ctx}.scenario")
+    for key in ("nodes", "seeds", "base_seed", "duration_ms"):
+        require(scn, key, int, f"{ctx}.scenario")
+    require(scn, "traffic", str, f"{ctx}.scenario")
+    if require(scn, "kernel", str, f"{ctx}.scenario") not in ("classic",
+                                                              "windowed"):
+        fail(f"{ctx}.scenario.kernel: bad value {scn['kernel']!r}")
+    obs = require(doc, "observer", dict, ctx)
+    if require(obs, "mode", str, f"{ctx}.observer") not in ("none", "global",
+                                                            "fraction"):
+        fail(f"{ctx}.observer.mode: bad value {obs['mode']!r}")
+    unit(obs, "fraction", f"{ctx}.observer")
+    for key in ("window_ms", "clock_ms", "tolerance"):
+        require(obs, key, float, f"{ctx}.observer")
+    for key in ("stride", "max_observations", "targets", "data_floor"):
+        require(obs, key, int, f"{ctx}.observer")
+    for name in require(obs, "attacks", list, f"{ctx}.observer"):
+        if name not in ATTACK_NAMES:
+            fail(f"{ctx}.observer.attacks: unknown analyzer {name!r}")
+    runs = require(doc, "runs", list, ctx)
+    if not runs:
+        fail(f"{ctx}.runs: empty")
+    for i, run in enumerate(runs):
+        validate_attack_run(run, f"{ctx}.runs[{i}]")
+    agg = require(doc, "aggregate", dict, ctx)
+    if require(agg, "runs", int, f"{ctx}.aggregate") != len(runs):
+        fail(f"{ctx}.aggregate.runs does not match len(runs)")
+    inter = agg.get("intersection")
+    if inter is not None:
+        ictx = f"{ctx}.aggregate.intersection"
+        sizes = num_list(inter, "mean_set_size", ictx)
+        num_list(inter, "mean_expected", ictx, length=len(sizes))
+        unit(inter, "mean_retention_hat", ictx)
+        require(inter, "max_rel_deviation", float, ictx)
+        require(inter, "all_calibrated", bool, ictx)
+    pred = agg.get("predecessor")
+    if pred is not None:
+        pctx = f"{ctx}.aggregate.predecessor"
+        unit(pred, "mean_precision_at_1", pctx)
+        unit(pred, "mean_precision_at_3", pctx)
+        require(pred, "mean_final_shannon_bits", float, pctx)
+    spy = agg.get("first_spy")
+    if spy is not None:
+        sctx = f"{ctx}.aggregate.first_spy"
+        unit(spy, "mean_precision", sctx)
+        unit(spy, "mean_chance", sctx)
+    if expect_calibrated:
+        if inter is None:
+            fail(f"{ctx}.aggregate.intersection: missing but"
+                 " --attacks-calibrated was requested")
+        if inter["all_calibrated"] is not True:
+            fail(f"{ctx}: intersection curve not calibrated (max relative"
+                 f" deviation {inter['max_rel_deviation']}, tolerance"
+                 f" {obs['tolerance']}) — empirical decay does not track"
+                 " analysis::expected_intersection_size")
+    print(f"validate_metrics: attacks OK ({len(runs)} runs,"
+          f" observer {obs['mode']}, analyzers {obs['attacks']})")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("metrics", nargs="?", default=None,
@@ -254,6 +400,15 @@ def main():
     ap.add_argument("--jobs-stable", type=int, default=None,
                     help="with --runner: also run with --jobs N and require"
                          " byte-identical metrics JSON")
+    ap.add_argument("--attacks", default=None,
+                    help="rac.attacks.report/1 JSON to validate (forwarded"
+                         " to --runner when given)")
+    ap.add_argument("--attacks-calibrated", action="store_true",
+                    help="require aggregate.intersection.all_calibrated")
+    ap.add_argument("--shards-stable", type=int, default=None,
+                    help="with --runner and --attacks: run with --shards 1"
+                         " and --shards K and require byte-identical"
+                         " attacks JSON")
     args = ap.parse_args()
 
     if args.runner is not None:
@@ -270,6 +425,8 @@ def main():
             cmd += ["--trace", args.trace]
         if args.series is not None:
             cmd += ["--series", args.series]
+        if args.attacks is not None:
+            cmd += ["--attacks", args.attacks]
         subprocess.run(cmd, check=True)
         if args.jobs_stable is not None:
             out2 = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
@@ -278,20 +435,63 @@ def main():
                     "--jobs", str(args.jobs_stable)]
             if args.runner_seeds is not None:
                 cmd2 += ["--seeds", str(args.runner_seeds)]
+            atk2 = None
+            if args.attacks is not None:
+                atk2 = tempfile.NamedTemporaryFile(suffix=".json",
+                                                   delete=False)
+                atk2.close()
+                cmd2 += ["--attacks", atk2.name]
             subprocess.run(cmd2, check=True)
             with open(out.name, "rb") as a, open(out2.name, "rb") as b:
                 if a.read() != b.read():
                     fail(f"metrics JSON differs between --jobs 1 and"
                          f" --jobs {args.jobs_stable}")
+            if atk2 is not None:
+                with open(args.attacks, "rb") as a, open(atk2.name,
+                                                         "rb") as b:
+                    if a.read() != b.read():
+                        fail(f"attacks JSON differs between --jobs 1 and"
+                             f" --jobs {args.jobs_stable}")
             print(f"validate_metrics: --jobs {args.jobs_stable} output"
                   " byte-identical")
+        if args.shards_stable is not None:
+            if args.attacks is None:
+                fail("--shards-stable requires --attacks")
+            shard_outs = []
+            for k in (1, args.shards_stable):
+                mtmp = tempfile.NamedTemporaryFile(suffix=".json",
+                                                   delete=False)
+                mtmp.close()
+                atmp = tempfile.NamedTemporaryFile(suffix=".json",
+                                                   delete=False)
+                atmp.close()
+                cmdk = [args.runner, args.scenario, "--out", mtmp.name,
+                        "--attacks", atmp.name, "--shards", str(k)]
+                if args.runner_seeds is not None:
+                    cmdk += ["--seeds", str(args.runner_seeds)]
+                subprocess.run(cmdk, check=True)
+                shard_outs.append(atmp.name)
+            with open(shard_outs[0], "rb") as a, open(shard_outs[1],
+                                                      "rb") as b:
+                if a.read() != b.read():
+                    fail(f"attacks JSON differs between --shards 1 and"
+                         f" --shards {args.shards_stable} — the windowed"
+                         " tap merge is not canonical")
+            print(f"validate_metrics: --shards {args.shards_stable} attacks"
+                  " output byte-identical")
         args.metrics = out.name
+    if args.metrics is None and args.attacks is not None:
+        # Standalone attacks-report validation.
+        validate_attacks(args.attacks, args.attacks_calibrated)
+        return
     if args.metrics is None:
-        fail("no metrics file (positional argument or --runner)")
+        fail("no metrics file (positional argument, --runner or --attacks)")
 
     with open(args.metrics) as f:
         doc = json.load(f)
     validate(doc)
+    if args.attacks is not None:
+        validate_attacks(args.attacks, args.attacks_calibrated)
 
     if args.trace is not None:
         validate_trace(args.trace)
