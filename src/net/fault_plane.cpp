@@ -1,0 +1,103 @@
+#include "net/fault_plane.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace rac::net {
+
+namespace {
+
+// Weyl increment of SplitMix64: op k draws from state base + k * kGamma,
+// so any op's draw is addressable without replaying the stream.
+constexpr std::uint64_t kGamma = 0x9E3779B97F4A7C15ULL;
+
+std::uint64_t draw_at(std::uint64_t base, std::uint64_t k) {
+  std::uint64_t state = base + k * kGamma;
+  return splitmix64(state);
+}
+
+double unit_at(std::uint64_t base, std::uint64_t k) {
+  // 53-bit mantissa in [0, 1), same conversion Rng::next_double uses.
+  return static_cast<double>(draw_at(base, k) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t stream_base(std::uint64_t seed, EndpointId self,
+                          EndpointId peer, const char* cls) {
+  const std::string name = std::string("net.fault.") + cls + "." +
+                           std::to_string(self) + "." + std::to_string(peer);
+  return substream_seed(seed, name);
+}
+
+}  // namespace
+
+LinkFaultSchedule::LinkFaultSchedule(std::uint64_t seed, EndpointId self,
+                                     EndpointId peer, const FaultSpec& spec)
+    : spec_(spec),
+      write_base_(stream_base(seed, self, peer, "write")),
+      write_mag_base_(stream_base(seed, self, peer, "write.mag")),
+      read_base_(stream_base(seed, self, peer, "read")),
+      read_mag_base_(stream_base(seed, self, peer, "read.mag")),
+      connect_base_(stream_base(seed, self, peer, "connect")) {}
+
+WriteVerdict LinkFaultSchedule::write_verdict_at(std::uint64_t k) const {
+  WriteVerdict v;
+  double u = unit_at(write_base_, k);
+  if (u < spec_.write_rst_rate) {
+    v.fault = WriteFault::kRst;
+    return v;
+  }
+  u -= spec_.write_rst_rate;
+  if (u < spec_.stall_rate) {
+    v.fault = WriteFault::kStall;
+    const double mag = unit_at(write_mag_base_, k);
+    v.stall = std::max<SimDuration>(
+        1, static_cast<SimDuration>(mag * static_cast<double>(
+                                              std::max<SimDuration>(
+                                                  1, spec_.stall_max))));
+    return v;
+  }
+  u -= spec_.stall_rate;
+  if (u < spec_.short_write_rate) {
+    v.fault = WriteFault::kShortWrite;
+    const std::uint64_t cap_bound =
+        std::max<std::uint64_t>(1, spec_.short_write_cap);
+    v.cap = static_cast<std::size_t>(
+        1 + draw_at(write_mag_base_, k) % cap_bound);
+    return v;
+  }
+  return v;
+}
+
+ReadVerdict LinkFaultSchedule::read_verdict_at(std::uint64_t k) const {
+  ReadVerdict v;
+  double u = unit_at(read_base_, k);
+  if (u < spec_.read_rst_rate) {
+    v.fault = ReadFault::kRst;
+    return v;
+  }
+  u -= spec_.read_rst_rate;
+  if (u < spec_.read_delay_rate) {
+    v.fault = ReadFault::kDelay;
+    const double mag = unit_at(read_mag_base_, k);
+    v.delay = std::max<SimDuration>(
+        1, static_cast<SimDuration>(mag * static_cast<double>(
+                                              std::max<SimDuration>(
+                                                  1, spec_.read_delay_max))));
+  }
+  return v;
+}
+
+bool LinkFaultSchedule::connect_refused_at(std::uint64_t k) const {
+  return unit_at(connect_base_, k) < spec_.connect_refuse_rate;
+}
+
+LinkFaultSchedule& FaultPlane::link(EndpointId peer) {
+  const auto it = links_.find(peer);
+  if (it != links_.end()) return it->second;
+  return links_.emplace(peer, LinkFaultSchedule(seed_, self_, peer, spec_))
+      .first->second;
+}
+
+}  // namespace rac::net

@@ -1,0 +1,126 @@
+// Deterministic socket-level fault injection for the live transport — the
+// real-socket mirror of faults::ImpairmentPlane (src/faults/impairments.hpp).
+//
+// The DES impairment plane perturbs simulated links from named RNG
+// substreams so a faulty run is a pure function of the seed. This plane
+// applies the same discipline one layer down, at the Connection boundary:
+// every I/O operation on a directed link (self -> peer) consumes one "op
+// index" per operation class (connect / write / read), and the verdict for
+// op k is a pure function of (seed, self, peer, class, k) — no generator
+// state is needed to know what fault op k suffers, so schedules are
+// byte-reproducible and independently replayable per link.
+//
+// Injected fault classes (NodeDriver interprets the verdicts):
+//   - connect refusal:  a dial attempt fails immediately (backoff path);
+//   - mid-stream RST:   the link is reset (SO_LINGER{1,0} close) mid-write
+//                       or mid-read;
+//   - short write:      only the first `cap` bytes of the outbox reach the
+//                       kernel now; the rest waits for EPOLLOUT;
+//   - stall:            the outbox is corked for a duration (write-side
+//                       head-of-line blocking);
+//   - byte-level delay: the read side is gated for a duration before the
+//                       pending bytes are consumed.
+//
+// Like the DES plane, an all-zero spec is trace-neutral: FaultPlane is not
+// consulted at all (NodeDriver checks enabled() once), so fault-free runs
+// cannot be perturbed by the injector's existence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/msg.hpp"
+#include "common/time.hpp"
+
+namespace rac::net {
+
+/// Per-link fault rates and magnitudes. All rates are probabilities in
+/// [0, 1] applied independently per op; magnitudes bound the drawn values.
+struct FaultSpec {
+  double connect_refuse_rate = 0.0;
+  double write_rst_rate = 0.0;
+  double short_write_rate = 0.0;
+  std::size_t short_write_cap = 64;           // max bytes a short write passes
+  double stall_rate = 0.0;
+  SimDuration stall_max = 20 * kMillisecond;  // cork duration upper bound
+  double read_delay_rate = 0.0;
+  SimDuration read_delay_max = 5 * kMillisecond;
+  double read_rst_rate = 0.0;
+
+  bool any() const {
+    return connect_refuse_rate > 0 || write_rst_rate > 0 ||
+           short_write_rate > 0 || stall_rate > 0 || read_delay_rate > 0 ||
+           read_rst_rate > 0;
+  }
+};
+
+enum class WriteFault : std::uint8_t { kPass, kShortWrite, kStall, kRst };
+enum class ReadFault : std::uint8_t { kPass, kDelay, kRst };
+
+struct WriteVerdict {
+  WriteFault fault = WriteFault::kPass;
+  std::size_t cap = 0;        // kShortWrite: bytes allowed through now
+  SimDuration stall = 0;      // kStall: cork duration
+};
+
+struct ReadVerdict {
+  ReadFault fault = ReadFault::kPass;
+  SimDuration delay = 0;      // kDelay: read gate duration
+};
+
+/// The fault schedule of one directed link (self -> peer). Three op-index
+/// counters (connect, write, read) advance independently; the verdict at
+/// any index is available without advancing (verdict_at is pure), which is
+/// what the determinism tests pin.
+class LinkFaultSchedule {
+ public:
+  LinkFaultSchedule(std::uint64_t seed, EndpointId self, EndpointId peer,
+                    const FaultSpec& spec);
+
+  // Pure random access: the verdict of op k, independent of counters.
+  WriteVerdict write_verdict_at(std::uint64_t k) const;
+  ReadVerdict read_verdict_at(std::uint64_t k) const;
+  bool connect_refused_at(std::uint64_t k) const;
+
+  // Sequential consumption (one call per I/O operation).
+  WriteVerdict next_write() { return write_verdict_at(write_ops_++); }
+  ReadVerdict next_read() { return read_verdict_at(read_ops_++); }
+  bool next_connect() { return connect_refused_at(connect_ops_++); }
+
+  std::uint64_t write_ops() const { return write_ops_; }
+  std::uint64_t read_ops() const { return read_ops_; }
+  std::uint64_t connect_ops() const { return connect_ops_; }
+
+ private:
+  FaultSpec spec_;
+  // Substream bases: verdict and magnitude draws come from separate
+  // substreams so op k's magnitude can never alias op k+1's verdict.
+  std::uint64_t write_base_ = 0;
+  std::uint64_t write_mag_base_ = 0;
+  std::uint64_t read_base_ = 0;
+  std::uint64_t read_mag_base_ = 0;
+  std::uint64_t connect_base_ = 0;
+  std::uint64_t write_ops_ = 0;
+  std::uint64_t read_ops_ = 0;
+  std::uint64_t connect_ops_ = 0;
+};
+
+/// All directed-link schedules of one node, created lazily per peer.
+class FaultPlane {
+ public:
+  FaultPlane(std::uint64_t seed, EndpointId self, const FaultSpec& spec)
+      : seed_(seed), self_(self), spec_(spec) {}
+
+  bool enabled() const { return spec_.any(); }
+  const FaultSpec& spec() const { return spec_; }
+
+  LinkFaultSchedule& link(EndpointId peer);
+
+ private:
+  std::uint64_t seed_;
+  EndpointId self_;
+  FaultSpec spec_;
+  std::map<EndpointId, LinkFaultSchedule> links_;
+};
+
+}  // namespace rac::net

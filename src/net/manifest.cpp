@@ -22,6 +22,19 @@ std::string Manifest::encode() const {
   out << "rings " << node.num_rings << "\n";
   out << "link_bps " << node.link_bps << "\n";
   out << "duration_ns " << duration << "\n";
+  out << "hb_period_ns " << hb_period << "\n";
+  out << "liveness_timeout_ns " << liveness_timeout << "\n";
+  out << "backoff_min_ns " << backoff_min << "\n";
+  out << "backoff_max_ns " << backoff_max << "\n";
+  out << "fault_connect_refuse " << faults.connect_refuse_rate << "\n";
+  out << "fault_rst " << faults.write_rst_rate << "\n";
+  out << "fault_short_write " << faults.short_write_rate << "\n";
+  out << "fault_short_write_cap " << faults.short_write_cap << "\n";
+  out << "fault_stall " << faults.stall_rate << "\n";
+  out << "fault_stall_ns " << faults.stall_max << "\n";
+  out << "fault_read_delay " << faults.read_delay_rate << "\n";
+  out << "fault_read_delay_ns " << faults.read_delay_max << "\n";
+  out << "fault_read_rst " << faults.read_rst_rate << "\n";
   for (const PeerEntry& p : peers) {
     out << "peer " << p.endpoint << " " << p.host << " " << p.port << "\n";
   }
@@ -67,6 +80,32 @@ Manifest Manifest::decode(std::istream& in) {
       fields >> m.node.link_bps;
     } else if (key == "duration_ns") {
       fields >> m.duration;
+    } else if (key == "hb_period_ns") {
+      fields >> m.hb_period;
+    } else if (key == "liveness_timeout_ns") {
+      fields >> m.liveness_timeout;
+    } else if (key == "backoff_min_ns") {
+      fields >> m.backoff_min;
+    } else if (key == "backoff_max_ns") {
+      fields >> m.backoff_max;
+    } else if (key == "fault_connect_refuse") {
+      fields >> m.faults.connect_refuse_rate;
+    } else if (key == "fault_rst") {
+      fields >> m.faults.write_rst_rate;
+    } else if (key == "fault_short_write") {
+      fields >> m.faults.short_write_rate;
+    } else if (key == "fault_short_write_cap") {
+      fields >> m.faults.short_write_cap;
+    } else if (key == "fault_stall") {
+      fields >> m.faults.stall_rate;
+    } else if (key == "fault_stall_ns") {
+      fields >> m.faults.stall_max;
+    } else if (key == "fault_read_delay") {
+      fields >> m.faults.read_delay_rate;
+    } else if (key == "fault_read_delay_ns") {
+      fields >> m.faults.read_delay_max;
+    } else if (key == "fault_read_rst") {
+      fields >> m.faults.read_rst_rate;
     } else if (key == "peer") {
       PeerEntry p;
       fields >> p.endpoint >> p.host >> p.port;
@@ -88,6 +127,12 @@ Manifest Manifest::decode(std::istream& in) {
   if (m.node.send_period <= 0) {
     throw std::runtime_error("manifest: send_period must be positive "
                              "(live nodes run constant-rate)");
+  }
+  if (m.hb_period <= 0 || m.liveness_timeout <= 0 || m.backoff_min <= 0 ||
+      m.backoff_max < m.backoff_min) {
+    throw std::runtime_error(
+        "manifest: resilience knobs must satisfy hb_period > 0, "
+        "liveness_timeout > 0, 0 < backoff_min <= backoff_max");
   }
   return m;
 }

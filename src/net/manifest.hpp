@@ -23,6 +23,19 @@
 //   rings 3
 //   link_bps 1000000000
 //   duration_ns 3000000000
+//   hb_period_ns 500000000
+//   liveness_timeout_ns 3000000000
+//   backoff_min_ns 50000000
+//   backoff_max_ns 2000000000
+//   fault_connect_refuse 0
+//   fault_rst 0
+//   fault_short_write 0
+//   fault_short_write_cap 64
+//   fault_stall 0
+//   fault_stall_ns 20000000
+//   fault_read_delay 0
+//   fault_read_delay_ns 5000000
+//   fault_read_rst 0
 //   peer 0 127.0.0.1 34001
 //   peer 1 127.0.0.1 34002
 //   end
@@ -34,6 +47,7 @@
 #include <vector>
 
 #include "common/msg.hpp"
+#include "net/fault_plane.hpp"
 #include "rac/config.hpp"
 
 namespace rac::net {
@@ -55,6 +69,16 @@ struct Manifest {
   Config node;
   /// Traffic horizon: nodes stop originating after this long.
   SimDuration duration = 3 * kSecond;
+  /// Resilience knobs (DESIGN.md section 14): heartbeat cadence on idle
+  /// links, the liveness cutoff after which a silent link is dropped, and
+  /// the jittered exponential redial backoff window.
+  SimDuration hb_period = 500 * kMillisecond;
+  SimDuration liveness_timeout = 3 * kSecond;
+  SimDuration backoff_min = 50 * kMillisecond;
+  SimDuration backoff_max = 2 * kSecond;
+  /// Socket-level fault injection (net/fault_plane.hpp); all-zero rates
+  /// (the default) disable the plane entirely.
+  FaultSpec faults;
   /// All nodes, sorted by endpoint; endpoints must be 0..n-1.
   std::vector<PeerEntry> peers;
 

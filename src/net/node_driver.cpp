@@ -1,8 +1,10 @@
 #include "net/node_driver.hpp"
 
 #include <sys/epoll.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -16,13 +18,25 @@ namespace rac::net {
 namespace {
 
 constexpr std::uint32_t kHelloMagic = 0x52414348;  // "RACH"
-constexpr std::uint16_t kHelloVersion = 1;
+// v2: HELLO carries the sender's session epoch (incarnation marker).
+constexpr std::uint16_t kHelloVersion = 2;
 
 std::unique_ptr<CryptoProvider> provider_by_name(const std::string& name) {
   if (name == "sim") return make_sim_provider();
   if (name == "native") return make_native_provider();
   if (name == "openssl") return make_openssl_provider();
   throw std::runtime_error("unknown crypto provider '" + name + "'");
+}
+
+// The session epoch: wall-clock nanoseconds at driver construction. A
+// respawned incarnation of the same endpoint is strictly newer, which is
+// all the ordering the epoch contract needs. (Wall clock, not the loop's
+// monotonic clock — the latter restarts at 0 in every incarnation.)
+std::uint64_t realtime_epoch_ns() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
 }
 
 // Error strings come from exception messages that can echo manifest input
@@ -80,7 +94,27 @@ std::string Report::to_json() const {
       << ", \"accusations\": " << accusations
       << ", \"evictions\": " << evictions
       << ", \"frames_dropped\": " << frames_dropped
-      << ", \"connections\": " << connections << "}";
+      << ", \"connections\": " << connections
+      << ", \"disconnects\": " << disconnects
+      << ", \"reconnects\": " << reconnects
+      << ", \"dial_retries\": " << dial_retries
+      << ", \"heartbeats_sent\": " << heartbeats_sent
+      << ", \"heartbeats_received\": " << heartbeats_received
+      << ", \"liveness_drops\": " << liveness_drops
+      << ", \"stale_frames_dropped\": " << stale_frames_dropped
+      << ", \"peer_reincarnations\": " << peer_reincarnations
+      << ", \"injected_connect_refusals\": " << injected_connect_refusals
+      << ", \"injected_rsts\": " << injected_rsts
+      << ", \"injected_short_writes\": " << injected_short_writes
+      << ", \"injected_stalls\": " << injected_stalls
+      << ", \"injected_read_delays\": " << injected_read_delays
+      << ", \"session_epoch\": " << session_epoch
+      << ", \"peer_downtime_ms\": [";
+  for (std::size_t i = 0; i < peer_downtime_ms.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << peer_downtime_ms[i];
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -88,13 +122,18 @@ NodeDriver::NodeDriver(Manifest manifest, EndpointId self, int listen_fd)
     : manifest_(std::move(manifest)),
       self_(self),
       listen_fd_(listen_fd),
+      epoch_(realtime_epoch_ns()),
       rng_(substream_seed(manifest_.seed,
-                          0x6E65742EULL /* "net." */ + self)) {
+                          0x6E65742EULL /* "net." */ + self)),
+      backoff_rng_(substream_seed(
+          manifest_.seed, "net.backoff." + std::to_string(self))),
+      fault_plane_(manifest_.seed, self, manifest_.faults) {
   const std::size_t n = manifest_.peers.size();
   if (self_ >= n) throw std::runtime_error("self endpoint out of range");
   crypto_ = provider_by_name(manifest_.provider);
-  // Envelope header + padded cell, with headroom for control messages.
-  max_frame_ = manifest_.node.effective_cell_size(*crypto_) + 512;
+  // Envelope header + padded cell, with headroom for control messages,
+  // plus the frame-tag byte.
+  max_frame_ = manifest_.node.effective_cell_size(*crypto_) + 512 + 1;
 
   idents_ = manifest_.derive_idents();
   groups_.reserve(n);
@@ -119,9 +158,13 @@ void NodeDriver::setup_core() {
                                  groups_[self_]);
   // Our own HELLO-equivalent entry: peers learn these keys from the wire;
   // we know them locally.
-  peers_[self_] = PeerInfo{true, idents_[self_], groups_[self_],
-                           core_->id_keys().pub,
-                           core_->pseudonym_keys().pub};
+  peers_[self_] = PeerInfo{};
+  peers_[self_].known = true;
+  peers_[self_].ident = idents_[self_];
+  peers_[self_].group = groups_[self_];
+  peers_[self_].id_pub = core_->id_keys().pub;
+  peers_[self_].pseudonym_pub = core_->pseudonym_keys().pub;
+  peers_[self_].epoch = epoch_;
 
   build_views();
 
@@ -152,12 +195,26 @@ void NodeDriver::setup_core() {
     delivered_bytes_ += payload.size();
   });
   core_->set_traffic_generator([this] {
-    // Uniform random destination among the other nodes (Sec. VI-C shape,
-    // at the manifest's constant rate).
-    const auto n = static_cast<std::uint64_t>(peers_.size());
+    // Uniform random destination (Sec. VI-C shape, at the manifest's
+    // constant rate) drawn from the live peer subset — graceful
+    // degradation: a down peer receives no doomed onions. A fully
+    // isolated node falls back to the whole table (the frames then count
+    // as dropped at transmit()).
+    std::vector<EndpointId> live;
+    live.reserve(peers_.size());
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (i != self_ && peers_[i].up) {
+        live.push_back(static_cast<EndpointId>(i));
+      }
+    }
     EndpointId dest = self_;
-    while (dest == self_) {
-      dest = static_cast<EndpointId>(rng_.next_below(n));
+    if (live.empty()) {
+      const auto n = static_cast<std::uint64_t>(peers_.size());
+      while (dest == self_) {
+        dest = static_cast<EndpointId>(rng_.next_below(n));
+      }
+    } else {
+      dest = live[static_cast<std::size_t>(rng_.next_below(live.size()))];
     }
     return Core::Destination{peers_[dest].pseudonym_pub, groups_[dest]};
   });
@@ -195,21 +252,87 @@ void NodeDriver::build_views() {
   }
 }
 
+EndpointId NodeDriver::link_identity(const Link& link) const {
+  return link.peer != kNoPeer ? link.peer : link.intended;
+}
+
+bool NodeDriver::send_tagged(Link& link, FrameTag tag, ByteView payload) {
+  if (!link.conn || link.dead) return false;
+  const int fd = link.conn->fd();
+  Bytes buf;
+  buf.reserve(payload.size() + 1);
+  buf.push_back(static_cast<std::uint8_t>(tag));
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  link.last_tx = loop_.now();
+
+  const EndpointId id = link_identity(link);
+  if (fault_plane_.enabled() && id != kNoPeer) {
+    const WriteVerdict v = fault_plane_.link(id).next_write();
+    switch (v.fault) {
+      case WriteFault::kRst: {
+        ++injected_rsts_;
+        link.conn->arm_reset();
+        drop_link(fd, "injected rst");
+        return false;
+      }
+      case WriteFault::kStall: {
+        ++injected_stalls_;
+        const bool was_corked = link.conn->corked();
+        link.conn->queue_frame(buf);
+        if (!was_corked) {
+          link.conn->set_corked(true);
+          const std::uint64_t serial = link.serial;
+          ttimers_.arm(
+              time_add_sat(loop_.now(), v.stall), [this, fd, serial] {
+                const auto it = links_.find(fd);
+                if (it == links_.end() || it->second.serial != serial ||
+                    it->second.dead || !it->second.conn) {
+                  return;
+                }
+                it->second.conn->set_corked(false);
+                if (!it->second.conn->flush()) {
+                  drop_link(fd, "write failed");
+                  return;
+                }
+                update_mask(it->second);
+              });
+        }
+        update_mask(link);
+        return true;
+      }
+      case WriteFault::kShortWrite: {
+        ++injected_short_writes_;
+        link.conn->queue_frame(buf);
+        if (!link.conn->flush(v.cap)) {
+          drop_link(fd, "write failed");
+          return false;
+        }
+        update_mask(link);
+        return true;
+      }
+      case WriteFault::kPass:
+        break;
+    }
+  }
+  if (!link.conn->send_frame(buf)) {
+    drop_link(fd, "write failed");
+    return false;
+  }
+  update_mask(link);
+  return true;
+}
+
 void NodeDriver::send_hello(Link& link) {
   BinaryWriter w;
   w.u32(kHelloMagic);
   w.u16(kHelloVersion);
   w.u32(self_);
+  w.u64(epoch_);
   w.u64(idents_[self_]);
   w.u32(groups_[self_]);
   w.blob(core_->id_keys().pub.data);
   w.blob(core_->pseudonym_keys().pub.data);
-  const Bytes hello = w.take();
-  if (!link.conn->send_frame(hello)) {
-    drop_link(link.conn->fd(), "hello write failed");
-    return;
-  }
-  update_mask(link);
+  send_tagged(link, kFrameHello, w.data());
 }
 
 void NodeDriver::handle_hello(Link& link, ByteView frame) {
@@ -218,16 +341,20 @@ void NodeDriver::handle_hello(Link& link, ByteView frame) {
     throw std::runtime_error("bad hello magic/version");
   }
   const EndpointId ep = r.u32();
+  const std::uint64_t hello_epoch = r.u64();
   const std::uint64_t ident = r.u64();
   const std::uint32_t group = r.u32();
-  PeerInfo info;
-  info.known = true;
-  info.ident = ident;
-  info.group = group;
-  info.id_pub = PublicKey{r.blob()};
-  info.pseudonym_pub = PublicKey{r.blob()};
+  PublicKey id_pub{r.blob()};
+  PublicKey pseudonym_pub{r.blob()};
+  if (link.peer != kNoPeer) {
+    throw std::runtime_error("duplicate hello");
+  }
   if (ep >= peers_.size() || ep == self_) {
     throw std::runtime_error("hello from invalid endpoint " +
+                             std::to_string(ep));
+  }
+  if (link.intended != kNoPeer && ep != link.intended) {
+    throw std::runtime_error("hello from unexpected endpoint " +
                              std::to_string(ep));
   }
   // The manifest is the root of trust for membership: a peer whose
@@ -237,9 +364,36 @@ void NodeDriver::handle_hello(Link& link, ByteView frame) {
     throw std::runtime_error("hello ident/group mismatch for endpoint " +
                              std::to_string(ep));
   }
-  peers_[ep] = std::move(info);
+  PeerInfo& pi = peers_[ep];
+  const int fd = link.conn->fd();
+  if (hello_epoch < pi.epoch) {
+    // A zombie incarnation (the peer respawned and we already spoke to
+    // the newer one). Orderly drop, not a violation.
+    drop_link(fd, "stale-incarnation hello");
+    return;
+  }
+  // Newest connection wins: a peer only dials again after losing the old
+  // link, so an existing link to the same endpoint is superseded.
+  if (fd_of_peer_[ep] >= 0 && fd_of_peer_[ep] != fd) {
+    drop_link(fd_of_peer_[ep], "superseded by newer connection");
+  }
+  const bool reincarnated = pi.epoch != 0 && hello_epoch > pi.epoch;
+  pi.known = true;
+  pi.ident = ident;
+  pi.group = group;
+  pi.id_pub = id_pub;
+  pi.pseudonym_pub = pseudonym_pub;
+  pi.epoch = hello_epoch;
   link.peer = ep;
-  fd_of_peer_[ep] = link.conn->fd();
+  link.peer_epoch = hello_epoch;
+  fd_of_peer_[ep] = fd;
+  if (reincarnated) {
+    ++peer_reincarnations_;
+    // The dead incarnation's in-flight protocol state must not accuse
+    // (or be accused by) the new one: re-grace every shared scope.
+    core_->on_peer_reset(ep);
+  }
+  peer_up(ep);
 }
 
 std::size_t NodeDriver::hellos() const {
@@ -250,11 +404,18 @@ std::size_t NodeDriver::hellos() const {
   return got;
 }
 
-void NodeDriver::register_link(int fd, bool connecting) {
+void NodeDriver::register_link(int fd, bool connecting, EndpointId intended) {
   Link link;
   link.connecting = connecting;
+  link.intended = intended;
+  link.serial = next_serial_++;
   if (!connecting) link.conn = std::make_unique<Connection>(fd, max_frame_);
   link.mask = connecting ? EPOLLOUT : EPOLLIN;
+  link.last_rx = loop_.now();
+  link.last_tx = loop_.now();
+  // No fd collision is possible here: every fd in links_ is still open
+  // (dead links close theirs only when reaped), so the kernel cannot have
+  // reused one for this accept/connect.
   auto [it, inserted] = links_.emplace(fd, std::move(link));
   loop_.add(fd, it->second.mask,
             [this, fd](std::uint32_t events) { on_link_event(fd, events); });
@@ -264,16 +425,67 @@ void NodeDriver::register_link(int fd, bool connecting) {
 void NodeDriver::start_dials() {
   for (const PeerEntry& p : manifest_.peers) {
     if (p.endpoint <= self_) continue;  // lower endpoint dials higher
-    const int fd = connect_tcp(p.host, p.port);
-    register_link(fd, /*connecting=*/true);
+    try_dial(p.endpoint);
   }
+}
+
+void NodeDriver::try_dial(EndpointId ep) {
+  if (stopping_ || ep >= peers_.size() || peers_[ep].up) return;
+  if (fd_of_peer_[ep] >= 0) return;
+  for (const auto& [fd, link] : links_) {
+    if (!link.dead && link.intended == ep) return;  // dial in flight
+  }
+  if (fault_plane_.enabled() && fault_plane_.link(ep).next_connect()) {
+    ++injected_connect_refusals_;
+    ++dial_retries_;
+    schedule_redial(ep);
+    return;
+  }
+  const PeerEntry& p = manifest_.peers[ep];
+  int fd = -1;
+  try {
+    fd = connect_tcp(p.host, p.port);
+  } catch (const std::exception&) {
+    ++dial_retries_;
+    schedule_redial(ep);
+    return;
+  }
+  register_link(fd, /*connecting=*/true, ep);
+}
+
+void NodeDriver::schedule_redial(EndpointId ep) {
+  // Only the dialer side redials (the lower endpoint of the pair); the
+  // acceptor waits for the peer to come back to it.
+  if (stopping_ || ep == kNoPeer || ep >= peers_.size() || ep <= self_) {
+    return;
+  }
+  PeerInfo& pi = peers_[ep];
+  if (pi.up || pi.redial_token != 0) return;
+  // Jittered exponential backoff: base doubles per attempt up to
+  // backoff_max, the jitter draws uniformly from [base/2, 1.5*base) so
+  // simultaneous losers don't redial in lockstep.
+  const std::uint32_t shift = std::min<std::uint32_t>(pi.dial_attempts, 12);
+  SimDuration base = manifest_.backoff_min << shift;
+  if (base <= 0 || base > manifest_.backoff_max) {
+    base = manifest_.backoff_max;
+  }
+  const SimDuration delay =
+      base / 2 + static_cast<SimDuration>(backoff_rng_.next_below(
+                     static_cast<std::uint64_t>(std::max<SimDuration>(
+                         1, base))));
+  ++pi.dial_attempts;
+  pi.redial_token =
+      ttimers_.arm(time_add_sat(loop_.now(), delay), [this, ep] {
+        peers_[ep].redial_token = 0;
+        try_dial(ep);
+      });
 }
 
 void NodeDriver::on_listen_ready() {
   for (;;) {
     const int fd = accept_connection(listen_fd_);
     if (fd < 0) return;
-    register_link(fd, /*connecting=*/false);
+    register_link(fd, /*connecting=*/false, kNoPeer);
   }
 }
 
@@ -283,18 +495,21 @@ void NodeDriver::on_link_event(int fd, std::uint32_t events) {
   Link& link = it->second;
 
   if (link.connecting) {
+    const EndpointId target = link.intended;
     if ((events & (EPOLLERR | EPOLLHUP)) != 0 || !connect_finished(fd)) {
-      // Dials only happen after every listener is up (the launcher
-      // publishes ports first), so a failed dial is a dead peer.
-      fatal_ = "connect to peer failed";
+      // A dead or refusing peer; back off and retry (it may be a
+      // respawning incarnation that is not listening yet).
       loop_.remove(fd);
       ::close(fd);
       links_.erase(it);
+      ++dial_retries_;
+      schedule_redial(target);
       return;
     }
     link.conn = std::make_unique<Connection>(fd, max_frame_);
     link.connecting = false;
-    send_hello(link);
+    link.last_rx = loop_.now();
+    send_hello(link);  // may drop the link
     return;
   }
 
@@ -302,23 +517,67 @@ void NodeDriver::on_link_event(int fd, std::uint32_t events) {
     drop_link(fd, "socket error");
     return;
   }
-  if ((events & EPOLLIN) != 0) {
-    bool framing_ok = true;
-    bool alive = true;
-    try {
-      alive = link.conn->handle_readable(
-          [this, fd, &link](Bytes frame) { on_frame(fd, link, frame); });
-    } catch (const std::exception&) {
-      // FramingError / malformed hello: the stream cannot be trusted.
-      framing_ok = false;
+  if ((events & EPOLLIN) != 0 && !link.read_gated) {
+    link.last_rx = loop_.now();
+    const EndpointId id = link_identity(link);
+    if (fault_plane_.enabled() && id != kNoPeer) {
+      const ReadVerdict v = fault_plane_.link(id).next_read();
+      if (v.fault == ReadFault::kRst) {
+        ++injected_rsts_;
+        link.conn->arm_reset();
+        drop_link(fd, "injected rst");
+        return;
+      }
+      if (v.fault == ReadFault::kDelay) {
+        // Byte-level delay: gate EPOLLIN; the pending bytes age in the
+        // kernel buffer until the timer lifts the gate (level-triggered
+        // epoll re-reports them immediately then).
+        ++injected_read_delays_;
+        link.read_gated = true;
+        update_mask(link);
+        const std::uint64_t serial = link.serial;
+        ttimers_.arm(time_add_sat(loop_.now(), v.delay),
+                     [this, fd, serial] {
+                       const auto it2 = links_.find(fd);
+                       if (it2 == links_.end() ||
+                           it2->second.serial != serial ||
+                           it2->second.dead) {
+                         return;
+                       }
+                       it2->second.read_gated = false;
+                       update_mask(it2->second);
+                     });
+      }
     }
-    if (!framing_ok || !alive) {
-      drop_link(fd, framing_ok ? "peer closed" : "protocol violation");
-      return;
+    if (!link.read_gated) {
+      bool framing_ok = true;
+      bool alive = true;
+      try {
+        alive = link.conn->handle_readable(
+            [this, fd, &link](Bytes frame) {
+              on_frame(fd, link, std::move(frame));
+            });
+      } catch (const std::exception&) {
+        // FramingError / malformed hello: the stream cannot be trusted.
+        framing_ok = false;
+      }
+      if (!framing_ok || !alive) {
+        // A clean EOF on a frame boundary — including a peer that tears
+        // down between our HELLO and its own — is an orderly link event
+        // (the peer died or shut down), not a protocol violation.
+        const char* why = "protocol violation";
+        if (framing_ok) {
+          why = link.conn->close_reason() == CloseReason::kCleanEof
+                    ? "peer closed"
+                    : "peer vanished mid-frame";
+        }
+        drop_link(fd, why);
+        return;
+      }
+      // A frame handled above may have dropped this link from within
+      // transmit(); stop before touching its (now write-dead) socket.
+      if (link.dead) return;
     }
-    // A frame handled above may have dropped this link from within
-    // transmit(); stop before touching its (now write-dead) socket.
-    if (link.dead) return;
   }
   if ((events & EPOLLOUT) != 0) {
     if (!link.conn->flush()) {
@@ -334,11 +593,84 @@ void NodeDriver::on_frame(int fd, Link& link, Bytes frame) {
   // A previous frame in the same read batch may have killed the link;
   // the rest of the batch is from an untrusted half-dropped stream.
   if (link.dead) return;
-  if (link.peer == kNoPeer) {
-    handle_hello(link, frame);  // throws on violation; caller drops
-    return;
+  if (frame.empty()) throw std::runtime_error("empty frame");
+  const std::uint8_t tag = frame[0];
+  frame.erase(frame.begin());
+  switch (tag) {
+    case kFrameHello:
+      handle_hello(link, frame);  // throws on violation; caller drops
+      return;
+    case kFrameHeartbeat:
+      if (link.peer == kNoPeer) {
+        throw std::runtime_error("heartbeat before hello");
+      }
+      ++heartbeats_received_;
+      return;
+    case kFrameData: {
+      if (link.peer == kNoPeer) {
+        throw std::runtime_error("data before hello");
+      }
+      // Epoch filter: this link spoke to an incarnation that has since
+      // been superseded — its frames must never reach the core.
+      if (link.peer_epoch != peers_[link.peer].epoch) {
+        ++stale_frames_dropped_;
+        return;
+      }
+      core_->on_message(link.peer, make_payload(std::move(frame)));
+      return;
+    }
+    default:
+      throw std::runtime_error("unknown frame tag");
   }
-  core_->on_message(link.peer, make_payload(std::move(frame)));
+}
+
+void NodeDriver::peer_up(EndpointId ep) {
+  PeerInfo& pi = peers_[ep];
+  if (pi.redial_token != 0) {
+    ttimers_.cancel(pi.redial_token);
+    pi.redial_token = 0;
+  }
+  pi.dial_attempts = 0;
+  if (pi.up) return;
+  pi.up = true;
+  if (pi.down_since >= 0) {
+    pi.total_down += loop_.now() - pi.down_since;
+    pi.down_since = -1;
+  }
+  if (pi.ever_up) {
+    ++reconnects_;
+  } else {
+    pi.ever_up = true;
+  }
+}
+
+void NodeDriver::peer_down(EndpointId ep) {
+  PeerInfo& pi = peers_[ep];
+  if (!pi.up) return;
+  pi.up = false;
+  pi.down_since = loop_.now();
+  ++disconnects_;
+}
+
+void NodeDriver::heartbeat_tick() {
+  const SimTime now = loop_.now();
+  for (auto& [fd, link] : links_) {
+    if (link.dead || link.connecting || !link.conn) continue;
+    if (now - link.last_rx > manifest_.liveness_timeout) {
+      // Covers both a silent established link (peer wedged or stalled
+      // past the cutoff) and a handshake that never completed.
+      ++liveness_drops_;
+      drop_link(fd, "liveness timeout");
+      continue;
+    }
+    if (link.peer != kNoPeer && now - link.last_tx >= manifest_.hb_period) {
+      ++heartbeats_sent_;
+      send_tagged(link, kFrameHeartbeat, ByteView{});
+    }
+  }
+  const SimDuration tick =
+      std::max<SimDuration>(manifest_.hb_period / 2, 10 * kMillisecond);
+  ttimers_.arm(time_add_sat(now, tick), [this] { heartbeat_tick(); });
 }
 
 void NodeDriver::drop_link(int fd, const std::string& why) {
@@ -352,8 +684,13 @@ void NodeDriver::drop_link(int fd, const std::string& why) {
   // keeps the Connection and the Link references alive; reap_links()
   // erases it from spin_once, when no link callback is executing.
   link.dead = true;
-  if (link.peer != kNoPeer) fd_of_peer_[link.peer] = -1;
+  const EndpointId id = link_identity(link);
+  if (link.peer != kNoPeer && fd_of_peer_[link.peer] == fd) {
+    fd_of_peer_[link.peer] = -1;
+    peer_down(link.peer);
+  }
   loop_.remove(fd);
+  if (id != kNoPeer) schedule_redial(id);
 }
 
 void NodeDriver::reap_links() {
@@ -368,8 +705,12 @@ void NodeDriver::reap_links() {
 
 void NodeDriver::update_mask(Link& link) {
   if (!link.conn || link.dead) return;
-  const std::uint32_t mask =
-      EPOLLIN | (link.conn->want_write() ? EPOLLOUT : 0u);
+  // No EPOLLOUT while corked (a writable-but-corked socket would make
+  // level-triggered epoll spin); no EPOLLIN while the read gate holds.
+  const bool write_interest =
+      link.conn->want_write() && !link.conn->corked();
+  const std::uint32_t mask = (link.read_gated ? 0u : EPOLLIN) |
+                             (write_interest ? EPOLLOUT : 0u);
   if (mask != link.mask) {
     loop_.modify(link.conn->fd(), mask);
     link.mask = mask;
@@ -379,16 +720,18 @@ void NodeDriver::update_mask(Link& link) {
 void NodeDriver::transmit(EndpointId to, const Payload& wire) {
   if (to >= fd_of_peer_.size() || to == self_) return;
   const int fd = fd_of_peer_[to];
-  if (fd < 0) {
+  if (fd < 0 || !peers_[to].up) {
+    // Graceful degradation: the peer is down; the core keeps its pacing
+    // and the frame is accounted, not wedged behind a dead socket.
     ++frames_dropped_;
     return;
   }
   Link& link = links_.at(fd);
-  if (!link.conn->send_frame(*wire)) {
-    drop_link(fd, "write failed");
+  if (link.dead || !link.conn) {
+    ++frames_dropped_;
     return;
   }
-  update_mask(link);
+  send_tagged(link, kFrameData, *wire);
 }
 
 void NodeDriver::arm_timer(SimDuration delay, Timer t) {
@@ -409,9 +752,15 @@ void NodeDriver::spin_once(SimDuration max_wait) {
     const SimDuration until = *deadline - loop_.now();
     if (until < timeout) timeout = until;
   }
+  if (const auto deadline = ttimers_.next_deadline()) {
+    const SimDuration until = *deadline - loop_.now();
+    if (until < timeout) timeout = until;
+  }
   if (timeout < 0) timeout = 0;
   loop_.poll(timeout);
-  if (sink_ != nullptr) timers_.advance(loop_.refresh_now(), *sink_);
+  const SimTime now = loop_.refresh_now();
+  ttimers_.fire_due(now);
+  if (sink_ != nullptr) timers_.advance(now, *sink_);
   reap_links();  // no link callback is on the stack here
 }
 
@@ -421,8 +770,10 @@ Report NodeDriver::run() {
     loop_.add(listen_fd_, EPOLLIN,
               [this](std::uint32_t) { on_listen_ready(); });
     start_dials();
+    heartbeat_tick();  // self-rearming liveness/heartbeat sweep
 
-    // Phase 2: the mesh barrier.
+    // Phase 2: the mesh barrier. Dial failures are no longer fatal — the
+    // redial backoff keeps trying until the deadline.
     const std::size_t want = manifest_.peers.size() - 1;
     const SimTime barrier_deadline = loop_.refresh_now() + start_timeout_;
     while (hellos() < want && fatal_.empty()) {
@@ -446,6 +797,7 @@ Report NodeDriver::run() {
       spin_once(t_end - loop_.now());
     }
     core_->stop();
+    stopping_ = true;  // teardown: no more redials
 
     // Phase 4: drain, so in-flight frames settle before everyone exits.
     const SimTime drain_end =
@@ -476,6 +828,29 @@ Report NodeDriver::run() {
     report.frames_dropped = frames_dropped_;
     for (const auto& [fd, link] : links_) {
       if (!link.dead) ++report.connections;
+    }
+    report.disconnects = disconnects_;
+    report.reconnects = reconnects_;
+    report.dial_retries = dial_retries_;
+    report.heartbeats_sent = heartbeats_sent_;
+    report.heartbeats_received = heartbeats_received_;
+    report.liveness_drops = liveness_drops_;
+    report.stale_frames_dropped = stale_frames_dropped_;
+    report.peer_reincarnations = peer_reincarnations_;
+    report.injected_connect_refusals = injected_connect_refusals_;
+    report.injected_rsts = injected_rsts_;
+    report.injected_short_writes = injected_short_writes_;
+    report.injected_stalls = injected_stalls_;
+    report.injected_read_delays = injected_read_delays_;
+    report.session_epoch = epoch_;
+    report.peer_downtime_ms.assign(peers_.size(), 0.0);
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (i == self_) continue;
+      SimDuration down = peers_[i].total_down;
+      if (peers_[i].down_since >= 0) {
+        down += loop_.now() - peers_[i].down_since;
+      }
+      report.peer_downtime_ms[i] = static_cast<double>(down) / 1e6;
     }
   } catch (const std::exception& e) {
     report.ok = false;

@@ -5,25 +5,42 @@
 //   1. Mesh build-out. Every node listens (the launcher already collected
 //      the ports into the manifest); node a dials every peer b > a, so
 //      each pair gets exactly one connection. The first frame on every
-//      connection is a HELLO carrying the sender's endpoint, ident, group
-//      and public keys; both sides send it as soon as the socket is up.
+//      connection is a HELLO carrying the sender's endpoint, session
+//      epoch, ident, group and public keys; both sides send it as soon as
+//      the socket is up.
 //   2. Barrier: wait until a HELLO has arrived from all n-1 peers (bounded
 //      by a wall-clock deadline). Membership views are then materialized
 //      locally from the manifest — identical across processes, the same
 //      shared-view argument the DES driver uses.
 //   3. Protocol: core.start(), constant-rate slots firing off the timer
-//      queue, every slot carrying a real onion to a random peer (the
+//      queue, every slot carrying a real onion to a random live peer (the
 //      Sec. VI-C workload at a live-safe rate) until `duration` elapses.
 //   4. Teardown: core.stop() (which invalidates all armed timers via the
 //      run-token, exactly as in the DES), a short drain so buffered
 //      frames reach peers, then the goodput/latency report.
 //
-// Stop/teardown parity with the DES driver: timers are never cancelled in
-// either driver — stale firings are filtered by the core's token/epoch
-// guards; the only difference is that this driver's pending timers die
-// with the process instead of firing as no-ops, which the contract
-// explicitly allows (rac/driver.hpp "or drop them only by destroying the
-// whole driver").
+// Resilience (DESIGN.md section 14): links are expected to die mid-run.
+// Every peer has a tiny connection state machine — down -> dialing ->
+// awaiting-HELLO -> up — driven by transport timers (CallbackTimers):
+// jittered exponential redial backoff on the dialer side (always the
+// lower endpoint), heartbeats on idle links, and a liveness cutoff that
+// drops silent links. HELLOs carry a session epoch (wall-clock ns at
+// driver construction, so a respawned incarnation is strictly newer);
+// data frames from a link whose epoch is no longer the peer's current one
+// are discarded before they can reach rac::Core, and an epoch increase
+// triggers Core::on_peer_reset so protocol checks re-grace the scopes the
+// peer belongs to. While a peer is down, traffic generation draws from
+// the live subset and transmit() counts the drop — graceful degradation
+// instead of a dead mesh.
+//
+// Stop/teardown parity with the DES driver: protocol timers are never
+// cancelled in either driver — stale firings are filtered by the core's
+// token/epoch guards; the only difference is that this driver's pending
+// timers die with the process instead of firing as no-ops, which the
+// contract explicitly allows (rac/driver.hpp "or drop them only by
+// destroying the whole driver"). Transport timers are NOT protocol
+// timers: they are cancelable (CallbackTimers) because a redial whose
+// link already recovered must not fire.
 #pragma once
 
 #include <map>
@@ -33,6 +50,7 @@
 
 #include "crypto/provider.hpp"
 #include "net/event_loop.hpp"
+#include "net/fault_plane.hpp"
 #include "net/manifest.hpp"
 #include "net/socket.hpp"
 #include "net/timer_queue.hpp"
@@ -58,6 +76,25 @@ struct Report {
   std::uint64_t evictions = 0;
   std::uint64_t frames_dropped = 0;
   std::uint64_t connections = 0;
+  // Resilience counters (DESIGN.md section 14).
+  std::uint64_t disconnects = 0;        // up -> down transitions observed
+  std::uint64_t reconnects = 0;         // down -> up transitions after the first
+  std::uint64_t dial_retries = 0;       // redial attempts after a failure
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t heartbeats_received = 0;
+  std::uint64_t liveness_drops = 0;     // links dropped for silence
+  std::uint64_t stale_frames_dropped = 0;  // dead-incarnation data frames
+  std::uint64_t peer_reincarnations = 0;   // higher-epoch re-HELLOs seen
+  // Injected-fault tallies (zero unless the manifest enables the plane).
+  std::uint64_t injected_connect_refusals = 0;
+  std::uint64_t injected_rsts = 0;
+  std::uint64_t injected_short_writes = 0;
+  std::uint64_t injected_stalls = 0;
+  std::uint64_t injected_read_delays = 0;
+  std::uint64_t session_epoch = 0;
+  /// Per-endpoint cumulative downtime (ms) as seen from this node; the
+  /// self entry is always 0.
+  std::vector<double> peer_downtime_ms;
 
   std::string to_json() const;
 };
@@ -77,6 +114,8 @@ class NodeDriver final : public Driver {
   /// Wall-clock budget for the mesh build-out barrier.
   void set_start_timeout(SimDuration t) { start_timeout_ = t; }
 
+  std::uint64_t session_epoch() const { return epoch_; }
+
   // --- rac::Driver ---
   SimTime now() const override { return loop_.now(); }
   void transmit(EndpointId to, const Payload& wire) override;
@@ -87,33 +126,65 @@ class NodeDriver final : public Driver {
   Core& core() { return *core_; }
 
  private:
+  /// One byte in front of every wire frame (HELLO v2 wire format).
+  enum FrameTag : std::uint8_t {
+    kFrameHello = 1,
+    kFrameHeartbeat = 2,
+    kFrameData = 3,
+  };
+
   struct Link {
     std::unique_ptr<Connection> conn;
-    EndpointId peer = kNoPeer;     // set by HELLO
-    bool connecting = false;       // dial still in flight
-    bool dead = false;             // dropped; reaped once off-stack
-    std::uint32_t mask = 0;        // current epoll interest
+    EndpointId peer = kNoPeer;      // confirmed by HELLO
+    EndpointId intended = kNoPeer;  // dial target (kNoPeer when accepted)
+    std::uint64_t serial = 0;       // guards timers against fd reuse
+    std::uint64_t peer_epoch = 0;   // the incarnation this link spoke to
+    bool connecting = false;        // dial still in flight
+    bool dead = false;              // dropped; reaped once off-stack
+    bool read_gated = false;        // injected read delay in effect
+    std::uint32_t mask = 0;         // current epoll interest
+    SimTime last_rx = 0;
+    SimTime last_tx = 0;
   };
   static constexpr EndpointId kNoPeer = ~EndpointId{0};
 
-  /// What a HELLO teaches us about a peer.
+  /// What a HELLO teaches us about a peer, plus its liveness state.
   struct PeerInfo {
     bool known = false;
     std::uint64_t ident = 0;
     std::uint32_t group = 0;
     PublicKey id_pub;
     PublicKey pseudonym_pub;
+    // Connection state machine.
+    bool up = false;
+    bool ever_up = false;
+    std::uint64_t epoch = 0;          // latest incarnation seen
+    std::uint32_t dial_attempts = 0;  // backoff exponent, reset on HELLO
+    CallbackTimers::Token redial_token = 0;
+    SimTime down_since = -1;
+    SimDuration total_down = 0;
   };
 
   void setup_core();
   void build_views();
   void start_dials();
+  void try_dial(EndpointId ep);
+  void schedule_redial(EndpointId ep);
   void on_listen_ready();
-  void register_link(int fd, bool connecting);
+  void register_link(int fd, bool connecting, EndpointId intended);
   void on_link_event(int fd, std::uint32_t events);
   void on_frame(int fd, Link& link, Bytes frame);
   void handle_hello(Link& link, ByteView frame);
   void send_hello(Link& link);
+  /// Tag + frame the payload and send it through the fault plane. Returns
+  /// false if the send dropped the link.
+  bool send_tagged(Link& link, FrameTag tag, ByteView payload);
+  /// The fault-schedule key of a link (dial target or HELLO-confirmed
+  /// peer); kNoPeer while an accepted link is still anonymous.
+  EndpointId link_identity(const Link& link) const;
+  void peer_up(EndpointId ep);
+  void peer_down(EndpointId ep);
+  void heartbeat_tick();
   void drop_link(int fd, const std::string& why);
   void reap_links();
   void update_mask(Link& link);
@@ -125,14 +196,18 @@ class NodeDriver final : public Driver {
   EndpointId self_;
   int listen_fd_;
   SimDuration start_timeout_ = 60 * kSecond;
+  std::uint64_t epoch_ = 0;  // session epoch carried in our HELLOs
 
   EventLoop loop_;
-  TimerQueue timers_;
+  TimerQueue timers_;        // protocol timers (rac::Driver contract)
+  CallbackTimers ttimers_;   // transport timers (redial/heartbeat/fault)
   TimerSink* sink_ = nullptr;
 
   std::unique_ptr<CryptoProvider> crypto_;
   std::unique_ptr<Core> core_;
-  Rng rng_;  // transport-side randomness (traffic destinations)
+  Rng rng_;          // transport-side randomness (traffic destinations)
+  Rng backoff_rng_;  // redial jitter (named substream, per endpoint)
+  FaultPlane fault_plane_;
 
   std::vector<std::uint64_t> idents_;
   std::vector<std::uint32_t> groups_;
@@ -143,10 +218,25 @@ class NodeDriver final : public Driver {
   std::vector<int> fd_of_peer_;           // peer endpoint -> fd (-1 = none)
   std::vector<PeerInfo> peers_;           // indexed by endpoint
   std::size_t max_frame_ = 0;
+  std::uint64_t next_serial_ = 1;
+  bool stopping_ = false;  // teardown: no more redials
 
   std::uint64_t delivered_bytes_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t frames_dropped_ = 0;
+  std::uint64_t disconnects_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t dial_retries_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t heartbeats_received_ = 0;
+  std::uint64_t liveness_drops_ = 0;
+  std::uint64_t stale_frames_dropped_ = 0;
+  std::uint64_t peer_reincarnations_ = 0;
+  std::uint64_t injected_connect_refusals_ = 0;
+  std::uint64_t injected_rsts_ = 0;
+  std::uint64_t injected_short_writes_ = 0;
+  std::uint64_t injected_stalls_ = 0;
+  std::uint64_t injected_read_delays_ = 0;
   std::string fatal_;
 };
 

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <system_error>
@@ -70,9 +71,11 @@ int connect_tcp(const std::string& host, std::uint16_t port) {
   if (fd < 0) throw_errno("socket");
   set_nonblocking(fd);
   const sockaddr_in addr = make_addr(host, port);
+  // EINTR on a non-blocking connect means the connect continues
+  // asynchronously (POSIX) — identical to EINPROGRESS for our purposes.
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0 &&
-      errno != EINPROGRESS) {
+      errno != EINPROGRESS && errno != EINTR) {
     ::close(fd);
     throw_errno("connect");
   }
@@ -87,9 +90,13 @@ bool connect_finished(int fd) {
 }
 
 int accept_connection(int listen_fd) {
-  const int fd =
-      ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
-  return fd;  // -1 with EAGAIN when the backlog is empty
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) return fd;
+    if (errno == EINTR) continue;  // signal landed mid-accept; retry
+    return -1;  // EAGAIN when the backlog is empty; caller ignores errors
+  }
 }
 
 Connection::Connection(int fd, std::size_t max_frame)
@@ -105,6 +112,11 @@ Connection::~Connection() {
 }
 
 bool Connection::send_frame(ByteView payload) {
+  queue_frame(payload);
+  return flush();
+}
+
+void Connection::queue_frame(ByteView payload) {
   if (payload.size() > reader_.max_frame()) {
     // Fail at the sender: every node derives the same limit from the
     // manifest, so an oversized send here would only be detected remotely
@@ -120,19 +132,24 @@ bool Connection::send_frame(ByteView payload) {
     out_pos_ = 0;
   }
   append_frame(out_, payload);
-  return flush();
 }
 
-bool Connection::flush() {
-  while (out_pos_ < out_.size()) {
-    const ssize_t n = ::send(fd_, out_.data() + out_pos_,
-                             out_.size() - out_pos_, MSG_NOSIGNAL);
+bool Connection::flush(std::size_t max_bytes) {
+  if (corked_) return true;  // injected stall: the outbox waits
+  std::size_t sent = 0;
+  while (out_pos_ < out_.size() && sent < max_bytes) {
+    const std::size_t want =
+        std::min(out_.size() - out_pos_, max_bytes - sent);
+    const ssize_t n =
+        ::send(fd_, out_.data() + out_pos_, want, MSG_NOSIGNAL);
     if (n > 0) {
       out_pos_ += static_cast<std::size_t>(n);
+      sent += static_cast<std::size_t>(n);
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && errno == EINTR) continue;  // signal mid-send; retry
+    close_reason_ = CloseReason::kSocketError;
     return false;  // peer gone or fatal error
   }
   if (out_pos_ == out_.size() && out_pos_ > 0) {
@@ -140,6 +157,13 @@ bool Connection::flush() {
     out_pos_ = 0;
   }
   return true;
+}
+
+void Connection::arm_reset() {
+  struct linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;  // close() aborts the connection with an RST
+  ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
 }
 
 bool Connection::handle_readable(
@@ -154,10 +178,13 @@ bool Connection::handle_readable(
     }
     if (n == 0) {  // orderly EOF
       eof_mid_frame_ = reader_.bytes_buffered() > 0;
+      close_reason_ = eof_mid_frame_ ? CloseReason::kMidFrameEof
+                                     : CloseReason::kCleanEof;
       return false;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-    if (errno == EINTR) continue;
+    if (errno == EINTR) continue;  // signal mid-recv; retry
+    close_reason_ = CloseReason::kSocketError;
     return false;
   }
 }

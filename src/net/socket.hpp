@@ -20,14 +20,26 @@ int listen_tcp(const std::string& host, std::uint16_t& port);
 /// Begin a non-blocking connect to `host:port`. Returns the fd; the
 /// connection completes asynchronously (EPOLLOUT, then check
 /// connect_finished). Throws std::system_error on immediate failure.
+/// EINTR is treated like EINPROGRESS (POSIX: the connect proceeds
+/// asynchronously after the interruption).
 int connect_tcp(const std::string& host, std::uint16_t port);
 
 /// After EPOLLOUT on a connecting socket: true if the connect succeeded,
 /// false if it failed (fd must be closed).
 bool connect_finished(int fd);
 
-/// Accept one pending connection (non-blocking); returns -1 when none.
+/// Accept one pending connection (non-blocking, EINTR-retried); returns -1
+/// when the backlog is empty.
 int accept_connection(int listen_fd);
+
+/// Why a Connection's read/write path finished (valid after
+/// handle_readable or flush returned false).
+enum class CloseReason : std::uint8_t {
+  kNone = 0,      // still open
+  kCleanEof,      // orderly peer shutdown on a frame boundary
+  kMidFrameEof,   // peer vanished inside a frame (truncated stream)
+  kSocketError,   // fatal errno on read or write
+};
 
 /// One established peer link: framed reads in, buffered framed writes out.
 /// The owner registers fd() with the event loop and calls handle_readable/
@@ -51,9 +63,28 @@ class Connection {
   /// remotely.
   bool send_frame(ByteView payload);
 
-  /// Drain as much of the outbox as the socket accepts. Returns false on
-  /// a fatal socket error.
-  bool flush();
+  /// Frame `payload` onto the outbox without flushing (the fault plane's
+  /// short-write/stall paths control the flush themselves).
+  void queue_frame(ByteView payload);
+
+  /// Drain as much of the outbox as the socket accepts, at most
+  /// `max_bytes` in this call (the fault plane's short-write cap; the
+  /// default drains everything). A corked connection flushes nothing and
+  /// reports success. Returns false on a fatal socket error.
+  bool flush(std::size_t max_bytes = ~std::size_t{0});
+
+  /// Cork/uncork the write path: while corked, flush() is a no-op and the
+  /// outbox accumulates (injected stall). The owner must keep EPOLLOUT out
+  /// of the interest mask while corked, or a level-triggered loop would
+  /// spin on the writable-but-corked socket.
+  void set_corked(bool corked) { corked_ = corked; }
+  bool corked() const { return corked_; }
+
+  /// Make the eventual close() send an RST instead of a FIN
+  /// (SO_LINGER{on, 0}): the fault plane's mid-stream connection reset.
+  /// The actual close still happens in the destructor, so the owner's
+  /// deferred-reap invariant (drop now, destroy off-stack) is preserved.
+  void arm_reset();
 
   bool want_write() const { return out_pos_ < out_.size(); }
   /// Bytes queued but not yet accepted by the kernel (the transport's
@@ -66,6 +97,10 @@ class Connection {
   bool handle_readable(const std::function<void(Bytes frame)>& on_frame);
 
   bool eof_mid_frame() const { return eof_mid_frame_; }
+  /// How the connection finished. kCleanEof in particular lets the owner
+  /// treat a peer that shut down between frames (e.g. mid-HELLO teardown
+  /// of a dying node) as an orderly link event, not a protocol violation.
+  CloseReason close_reason() const { return close_reason_; }
 
  private:
   int fd_;
@@ -73,6 +108,8 @@ class Connection {
   Bytes out_;
   std::size_t out_pos_ = 0;
   bool eof_mid_frame_ = false;
+  bool corked_ = false;
+  CloseReason close_reason_ = CloseReason::kNone;
 };
 
 }  // namespace rac::net

@@ -19,4 +19,42 @@ void TimerQueue::advance(SimTime now, TimerSink& sink) {
   }
 }
 
+CallbackTimers::Token CallbackTimers::arm(SimTime deadline,
+                                          std::function<void()> fn) {
+  const Token token = next_token_++;
+  heap_.push(Entry{deadline, token});
+  callbacks_.emplace(token, std::move(fn));
+  return token;
+}
+
+bool CallbackTimers::cancel(Token token) {
+  return callbacks_.erase(token) > 0;
+}
+
+std::optional<SimTime> CallbackTimers::next_deadline() {
+  while (!heap_.empty() &&
+         callbacks_.find(heap_.top().token) == callbacks_.end()) {
+    heap_.pop();  // canceled entry, lazily discarded
+  }
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().deadline;
+}
+
+std::size_t CallbackTimers::fire_due(SimTime now) {
+  std::size_t fired = 0;
+  while (!heap_.empty() && heap_.top().deadline <= now) {
+    const Token token = heap_.top().token;
+    heap_.pop();
+    const auto it = callbacks_.find(token);
+    if (it == callbacks_.end()) continue;  // canceled
+    // Move the callback out before invoking: it may arm new timers
+    // (rehashing callbacks_) or re-enter cancel() harmlessly.
+    std::function<void()> fn = std::move(it->second);
+    callbacks_.erase(it);
+    fn();
+    ++fired;
+  }
+  return fired;
+}
+
 }  // namespace rac::net

@@ -14,6 +14,9 @@
 // next_deadline() via its epoll_wait timeout.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <queue>
 #include <vector>
@@ -55,6 +58,53 @@ class TimerQueue {
 
   std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
   std::uint64_t next_seq_ = 0;
+};
+
+/// Transport-side callback timers: heartbeat ticks, liveness sweeps, redial
+/// backoff, uncork/read-ungate deadlines. These are NOT protocol timers —
+/// rac::Core's timers stay on TimerQueue under the fire-and-forget driver
+/// contract. Transport timers need the opposite: a reconnect attempt whose
+/// link came back must be droppable, so arm() returns a Token and cancel()
+/// revokes it (lazy cancellation: the heap entry stays, the callback is
+/// forgotten). Ordering matches TimerQueue: (deadline, arming order) FIFO
+/// among equal deadlines, which cancellation must not disturb.
+class CallbackTimers {
+ public:
+  using Token = std::uint64_t;
+
+  /// Arm `fn` for `deadline` (absolute, loop clock). Tokens are never 0.
+  Token arm(SimTime deadline, std::function<void()> fn);
+
+  /// Revoke a pending timer. Returns true if it had not fired yet.
+  bool cancel(Token token);
+
+  /// Earliest still-armed deadline; nullopt when idle. Prunes canceled
+  /// heap heads, hence non-const.
+  std::optional<SimTime> next_deadline();
+
+  /// Fire every armed callback due at or before `now`, in (deadline,
+  /// arming order). Callbacks may arm or cancel timers; a timer armed for
+  /// a due instant fires within the same call (TimerQueue::advance
+  /// semantics). Returns the number of callbacks fired.
+  std::size_t fire_due(SimTime now);
+
+  std::size_t pending() const { return callbacks_.size(); }
+
+ private:
+  struct Entry {
+    SimTime deadline;
+    Token token;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.deadline != b.deadline) return a.deadline > b.deadline;
+      return a.token > b.token;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::map<Token, std::function<void()>> callbacks_;
+  Token next_token_ = 1;
 };
 
 }  // namespace rac::net

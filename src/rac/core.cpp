@@ -611,6 +611,28 @@ void Core::note_scope_change(ScopeId scope, SimTime when) {
   at = std::max(at, when);
 }
 
+void Core::on_peer_reset(EndpointId ep) {
+  const SimTime now = env_.driver->now();
+  if (group_view_ != nullptr && group_view_->contains(ep)) {
+    note_scope_change(group_scope(), now);
+  }
+  for (const auto& [ch, view] : channel_views_) {
+    if (view->contains(ep)) {
+      note_scope_change(ScopeId{ScopeType::kChannel, ch}, now);
+    }
+  }
+  // Cells already counted from the dead incarnation must not feed check #3
+  // against the new one.
+  for (auto it = rate_counts_.begin(); it != rate_counts_.end();) {
+    if (it->first.second == ep) {
+      it = rate_counts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  counters_.bump("peer_resets");
+}
+
 void Core::check_receipts(SimTime now) {
   // Check #2: every broadcast must arrive exactly once from each ring
   // predecessor within the timeout.

@@ -154,6 +154,14 @@ class Core : public TimerSink {
   /// change are ambiguous and must not produce false accusations (the
   /// paper's 2T join grace serves the same purpose).
   void note_scope_change(ScopeId scope, SimTime when);
+  /// A peer's transport session was reset: the live driver saw a new
+  /// incarnation of `ep` re-HELLO at a higher session epoch. State keyed
+  /// to the dead incarnation's stream must not trigger accusations against
+  /// the new one, so every scope shared with `ep` gets a membership-grace
+  /// bump (as if a join occurred) and the peer's rate counts are dropped.
+  /// The DES never calls this — simulated links have no incarnations — so
+  /// simulation traces are untouched.
+  void on_peer_reset(EndpointId ep);
 
   /// One shuffle slot for the periodic anonymous relay-blacklist round.
   RelayBlacklistEntry shuffle_contribution();

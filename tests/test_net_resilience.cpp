@@ -1,0 +1,603 @@
+// Live-mesh resilience: the deterministic socket fault plane, the
+// transport timer queues, event-loop edge cases, Connection close
+// classification / cork / EINTR robustness, and an in-process
+// kill-and-respawn NodeDriver integration run (the unit-sized sibling of
+// tools/live_demo --chaos).
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/event_loop.hpp"
+#include "net/fault_plane.hpp"
+#include "net/framing.hpp"
+#include "net/manifest.hpp"
+#include "net/node_driver.hpp"
+#include "net/socket.hpp"
+#include "net/timer_queue.hpp"
+
+namespace rac::net {
+namespace {
+
+// --- Fault plane determinism -------------------------------------------
+
+FaultSpec mixed_spec() {
+  FaultSpec spec;
+  spec.connect_refuse_rate = 0.3;
+  spec.write_rst_rate = 0.05;
+  spec.short_write_rate = 0.2;
+  spec.short_write_cap = 48;
+  spec.stall_rate = 0.1;
+  spec.stall_max = 15 * kMillisecond;
+  spec.read_delay_rate = 0.15;
+  spec.read_delay_max = 4 * kMillisecond;
+  spec.read_rst_rate = 0.05;
+  return spec;
+}
+
+std::string write_trace(LinkFaultSchedule& s, std::size_t n) {
+  std::string out;
+  for (std::size_t k = 0; k < n; ++k) {
+    const WriteVerdict v = s.next_write();
+    out += std::to_string(static_cast<int>(v.fault)) + ":" +
+           std::to_string(v.cap) + ":" + std::to_string(v.stall) + ";";
+  }
+  return out;
+}
+
+TEST(FaultPlane, ScheduleIsByteReproducibleAcrossInstances) {
+  const FaultSpec spec = mixed_spec();
+  LinkFaultSchedule a(1234, 3, 7, spec);
+  LinkFaultSchedule b(1234, 3, 7, spec);
+  EXPECT_EQ(write_trace(a, 256), write_trace(b, 256));
+  for (std::uint64_t k = 0; k < 256; ++k) {
+    EXPECT_EQ(a.read_verdict_at(k).fault, b.read_verdict_at(k).fault);
+    EXPECT_EQ(a.read_verdict_at(k).delay, b.read_verdict_at(k).delay);
+    EXPECT_EQ(a.connect_refused_at(k), b.connect_refused_at(k));
+  }
+}
+
+TEST(FaultPlane, RandomAccessEqualsSequentialConsumption) {
+  // verdict_at(k) is pure: pre-reading the whole schedule must not change
+  // what sequential consumption sees, and vice versa.
+  const FaultSpec spec = mixed_spec();
+  LinkFaultSchedule seq(99, 0, 1, spec);
+  LinkFaultSchedule random(99, 0, 1, spec);
+  std::vector<WriteVerdict> pre;
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    pre.push_back(random.write_verdict_at(127 - k));  // reversed order
+  }
+  for (std::uint64_t k = 0; k < 128; ++k) {
+    const WriteVerdict got = seq.next_write();
+    const WriteVerdict want = pre[127 - k];
+    EXPECT_EQ(got.fault, want.fault) << "op " << k;
+    EXPECT_EQ(got.cap, want.cap) << "op " << k;
+    EXPECT_EQ(got.stall, want.stall) << "op " << k;
+  }
+  EXPECT_EQ(seq.write_ops(), 128u);
+}
+
+TEST(FaultPlane, OpClassesAreIndependentStreams) {
+  // Consuming reads and connects must not perturb the write schedule.
+  const FaultSpec spec = mixed_spec();
+  LinkFaultSchedule pure(5, 2, 4, spec);
+  LinkFaultSchedule interleaved(5, 2, 4, spec);
+  for (int i = 0; i < 64; ++i) {
+    interleaved.next_read();
+    interleaved.next_connect();
+  }
+  LinkFaultSchedule fresh(5, 2, 4, spec);
+  EXPECT_EQ(write_trace(interleaved, 64), write_trace(fresh, 64));
+  (void)pure;
+}
+
+TEST(FaultPlane, DirectedLinksGetDistinctSchedules) {
+  const FaultSpec spec = mixed_spec();
+  LinkFaultSchedule ab(42, 0, 1, spec);
+  LinkFaultSchedule ba(42, 1, 0, spec);
+  LinkFaultSchedule ac(42, 0, 2, spec);
+  EXPECT_NE(write_trace(ab, 128), write_trace(ba, 128));
+  LinkFaultSchedule ab2(42, 0, 1, spec);
+  EXPECT_NE(write_trace(ab2, 128), write_trace(ac, 128));
+}
+
+TEST(FaultPlane, RateExtremes) {
+  FaultSpec none;  // all-zero: trace-neutral
+  EXPECT_FALSE(none.any());
+  LinkFaultSchedule clean(7, 0, 1, none);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(clean.write_verdict_at(k).fault, WriteFault::kPass);
+    EXPECT_EQ(clean.read_verdict_at(k).fault, ReadFault::kPass);
+    EXPECT_FALSE(clean.connect_refused_at(k));
+  }
+
+  FaultSpec all;
+  all.connect_refuse_rate = 1.0;
+  all.write_rst_rate = 1.0;
+  all.read_rst_rate = 1.0;
+  LinkFaultSchedule hostile(7, 0, 1, all);
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_EQ(hostile.write_verdict_at(k).fault, WriteFault::kRst);
+    EXPECT_EQ(hostile.read_verdict_at(k).fault, ReadFault::kRst);
+    EXPECT_TRUE(hostile.connect_refused_at(k));
+  }
+}
+
+TEST(FaultPlane, MagnitudesRespectSpecBounds) {
+  FaultSpec spec;
+  spec.short_write_rate = 1.0;
+  spec.short_write_cap = 32;
+  LinkFaultSchedule shorts(11, 0, 1, spec);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    const WriteVerdict v = shorts.write_verdict_at(k);
+    ASSERT_EQ(v.fault, WriteFault::kShortWrite);
+    EXPECT_GE(v.cap, 1u);
+    EXPECT_LE(v.cap, 32u);
+  }
+
+  FaultSpec stalls_spec;
+  stalls_spec.stall_rate = 1.0;
+  stalls_spec.stall_max = 9 * kMillisecond;
+  LinkFaultSchedule stalls(11, 0, 1, stalls_spec);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    const WriteVerdict v = stalls.write_verdict_at(k);
+    ASSERT_EQ(v.fault, WriteFault::kStall);
+    EXPECT_GE(v.stall, 1);
+    EXPECT_LE(v.stall, 9 * kMillisecond);
+  }
+
+  FaultSpec delays_spec;
+  delays_spec.read_delay_rate = 1.0;
+  delays_spec.read_delay_max = 3 * kMillisecond;
+  LinkFaultSchedule delays(11, 0, 1, delays_spec);
+  for (std::uint64_t k = 0; k < 300; ++k) {
+    const ReadVerdict v = delays.read_verdict_at(k);
+    ASSERT_EQ(v.fault, ReadFault::kDelay);
+    EXPECT_GE(v.delay, 1);
+    EXPECT_LE(v.delay, 3 * kMillisecond);
+  }
+}
+
+TEST(FaultPlane, LazyPerPeerSchedulesAreStable) {
+  FaultPlane plane(77, 1, mixed_spec());
+  ASSERT_TRUE(plane.enabled());
+  const WriteVerdict first = plane.link(4).next_write();
+  plane.link(9).next_write();  // creating another link is invisible to 4
+  LinkFaultSchedule fresh(77, 1, 4, mixed_spec());
+  const WriteVerdict want = fresh.next_write();
+  EXPECT_EQ(first.fault, want.fault);
+  EXPECT_EQ(plane.link(4).write_ops(), 1u);  // same object on re-lookup
+}
+
+// --- CallbackTimers (transport timers) ---------------------------------
+
+TEST(CallbackTimers, FifoAmongEqualDeadlinesSurvivesCancellation) {
+  CallbackTimers timers;
+  std::string order;
+  const auto a = timers.arm(100, [&] { order += "a"; });
+  const auto b = timers.arm(100, [&] { order += "b"; });
+  const auto c = timers.arm(100, [&] { order += "c"; });
+  ASSERT_NE(a, 0u);
+  EXPECT_TRUE(timers.cancel(b));
+  EXPECT_FALSE(timers.cancel(b));  // already revoked
+  EXPECT_EQ(timers.fire_due(100), 2u);
+  EXPECT_EQ(order, "ac");
+  EXPECT_FALSE(timers.cancel(c));  // fired timers cannot be canceled
+}
+
+TEST(CallbackTimers, NextDeadlinePrunesCanceledHeads) {
+  CallbackTimers timers;
+  const auto head = timers.arm(10, [] {});
+  timers.arm(50, [] {});
+  ASSERT_EQ(timers.next_deadline(), std::optional<SimTime>(10));
+  timers.cancel(head);
+  EXPECT_EQ(timers.next_deadline(), std::optional<SimTime>(50));
+  EXPECT_EQ(timers.pending(), 1u);
+}
+
+TEST(CallbackTimers, ReArmDuringFireRunsWithinSameCallWhenDue) {
+  CallbackTimers timers;
+  std::string order;
+  timers.arm(100, [&] {
+    order += "x";
+    timers.arm(100, [&] { order += "y"; });  // due now: same fire_due
+    timers.arm(200, [&] { order += "z"; });  // future: stays pending
+  });
+  EXPECT_EQ(timers.fire_due(100), 2u);
+  EXPECT_EQ(order, "xy");
+  EXPECT_EQ(timers.pending(), 1u);
+  EXPECT_EQ(timers.fire_due(200), 1u);
+  EXPECT_EQ(order, "xyz");
+}
+
+TEST(CallbackTimers, CancelInsideCallbackRevokesPendingTimer) {
+  CallbackTimers timers;
+  std::string order;
+  CallbackTimers::Token doomed = 0;
+  timers.arm(100, [&] {
+    order += "a";
+    EXPECT_TRUE(timers.cancel(doomed));
+  });
+  doomed = timers.arm(100, [&] { order += "b"; });
+  EXPECT_EQ(timers.fire_due(100), 1u);
+  EXPECT_EQ(order, "a");
+  EXPECT_EQ(timers.pending(), 0u);
+}
+
+// --- TimerQueue (protocol timers: fire-and-forget) ---------------------
+
+struct RecordingSink final : TimerSink {
+  std::vector<Timer> fired;
+  TimerQueue* queue = nullptr;
+  bool rearm_once = false;
+  void on_timer(Timer t) override {
+    fired.push_back(t);
+    if (rearm_once && queue != nullptr) {
+      rearm_once = false;
+      queue->arm(0, Timer{TimerKind::kSendSlot, 999, 9});
+    }
+  }
+};
+
+TEST(TimerQueue, StaleFiringsDeliverExactlyOnceInArmOrder) {
+  // The epoch-bump pattern: a superseded slot's timer (old epoch) is never
+  // canceled — it must still fire, before the superseding timer armed
+  // later for the same instant. Filtering is the core's job, not ours.
+  TimerQueue queue;
+  RecordingSink sink;
+  queue.arm(100, Timer{TimerKind::kSendSlot, 1, /*epoch=*/1});  // stale
+  queue.arm(100, Timer{TimerKind::kSendSlot, 1, /*epoch=*/2});  // current
+  queue.arm(50, Timer{TimerKind::kCheckSweep, 7, 0});
+  queue.advance(49, sink);
+  EXPECT_TRUE(sink.fired.empty());
+  queue.advance(100, sink);
+  ASSERT_EQ(sink.fired.size(), 3u);
+  EXPECT_EQ(sink.fired[0].kind, TimerKind::kCheckSweep);
+  EXPECT_EQ(sink.fired[1].epoch, 1u);  // stale firing observed first
+  EXPECT_EQ(sink.fired[2].epoch, 2u);
+  queue.advance(1000, sink);
+  EXPECT_EQ(sink.fired.size(), 3u);  // exactly once, ever
+}
+
+TEST(TimerQueue, DueReArmFromSinkFiresWithinSameAdvance) {
+  TimerQueue queue;
+  RecordingSink sink;
+  sink.queue = &queue;
+  sink.rearm_once = true;
+  queue.arm(10, Timer{TimerKind::kSendSlot, 1, 1});
+  queue.advance(10, sink);
+  ASSERT_EQ(sink.fired.size(), 2u);
+  EXPECT_EQ(sink.fired[1].token, 999u);
+  EXPECT_EQ(queue.pending(), 0u);
+}
+
+// --- EventLoop edge cases ----------------------------------------------
+
+void make_ready_pair(int fds[2]) {
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+  const char byte = 'x';
+  ASSERT_EQ(::write(fds[1], &byte, 1), 1);
+}
+
+TEST(EventLoopEdge, ClockIsFrozenAcrossOneDispatchCycle) {
+  // Two ready fds in the same cycle must observe the same now() — the
+  // live mirror of the DES presenting one instant to all events at a
+  // timestamp.
+  EventLoop loop;
+  int a[2];
+  int b[2];
+  make_ready_pair(a);
+  make_ready_pair(b);
+  std::vector<SimTime> seen;
+  loop.add(a[0], EPOLLIN, [&](std::uint32_t) {
+    // Busy-wait ~1ms of real time inside the handler so a re-sampling
+    // clock would be caught red-handed.
+    const SimTime entry = loop.now();
+    volatile std::uint64_t sink = 0;
+    for (int i = 0; i < 2000000; ++i) sink += static_cast<std::uint64_t>(i);
+    seen.push_back(entry);
+    seen.push_back(loop.now());
+  });
+  loop.add(b[0], EPOLLIN, [&](std::uint32_t) { seen.push_back(loop.now()); });
+  ASSERT_EQ(loop.poll(100 * kMillisecond), 2);
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], seen[1]);
+  EXPECT_EQ(seen[0], seen[2]);
+  const SimTime before = loop.now();
+  EXPECT_GE(loop.refresh_now(), before);
+  for (int i = 0; i < 2; ++i) {
+    ::close(a[i]);
+    ::close(b[i]);
+  }
+}
+
+TEST(EventLoopEdge, RemoveInsideHandlerSuppressesPendingDispatch) {
+  // Both fds are ready in the same cycle; whichever handler runs first
+  // removes the other fd, so exactly one handler may run.
+  EventLoop loop;
+  int a[2];
+  int b[2];
+  make_ready_pair(a);
+  make_ready_pair(b);
+  int calls = 0;
+  loop.add(a[0], EPOLLIN, [&](std::uint32_t) {
+    ++calls;
+    loop.remove(b[0]);
+  });
+  loop.add(b[0], EPOLLIN, [&](std::uint32_t) {
+    ++calls;
+    loop.remove(a[0]);
+  });
+  loop.poll(100 * kMillisecond);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(loop.watched_fds(), 1u);
+  for (int i = 0; i < 2; ++i) {
+    ::close(a[i]);
+    ::close(b[i]);
+  }
+}
+
+// --- Connection: close classification, cork, EINTR ---------------------
+
+int nonblocking_pair(int fds[2]) {
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) return -1;
+  ::fcntl(fds[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(fds[1], F_SETFL, O_NONBLOCK);
+  return 0;
+}
+
+TEST(ConnectionClose, CleanEofOnFrameBoundaryIsOrderly) {
+  // A peer that closes right after a complete frame — e.g. tearing down
+  // between our HELLO and its own — is an orderly link event, not a
+  // protocol violation.
+  int fds[2];
+  ASSERT_EQ(nonblocking_pair(fds), 0);
+  Bytes stream;
+  append_frame(stream, Bytes(10, 0xAA));
+  ASSERT_EQ(::write(fds[1], stream.data(), stream.size()),
+            static_cast<ssize_t>(stream.size()));
+  ::close(fds[1]);
+  Connection conn(fds[0], 1024);
+  EXPECT_EQ(conn.close_reason(), CloseReason::kNone);
+  int frames = 0;
+  EXPECT_FALSE(conn.handle_readable([&](Bytes f) {
+    ++frames;
+    EXPECT_EQ(f.size(), 10u);
+  }));
+  EXPECT_EQ(frames, 1);
+  EXPECT_EQ(conn.close_reason(), CloseReason::kCleanEof);
+}
+
+TEST(ConnectionClose, MidFrameEofIsDistinguished) {
+  int fds[2];
+  ASSERT_EQ(nonblocking_pair(fds), 0);
+  Bytes stream;
+  append_frame(stream, Bytes(100, 0xBB));
+  ASSERT_EQ(::write(fds[1], stream.data(), 40), 40);  // header + partial
+  ::close(fds[1]);
+  Connection conn(fds[0], 1024);
+  EXPECT_FALSE(conn.handle_readable([](Bytes) { FAIL(); }));
+  EXPECT_EQ(conn.close_reason(), CloseReason::kMidFrameEof);
+}
+
+TEST(ConnectionCork, CorkHoldsBytesAndFlushCapRespectsBudget) {
+  int fds[2];
+  ASSERT_EQ(nonblocking_pair(fds), 0);
+  Connection tx(fds[0], 4096);
+  tx.set_corked(true);
+  EXPECT_TRUE(tx.send_frame(Bytes(100, 0xCC)));  // queued, not written
+  const std::size_t queued = tx.outbox_bytes();
+  EXPECT_EQ(queued, 104u);  // 4-byte length header + body
+  char probe[256];
+  EXPECT_EQ(::read(fds[1], probe, sizeof(probe)), -1);  // nothing on wire
+  EXPECT_EQ(errno, EAGAIN);
+
+  tx.set_corked(false);
+  EXPECT_TRUE(tx.flush(/*max_bytes=*/10));  // short-write injection path
+  EXPECT_EQ(tx.outbox_bytes(), queued - 10);
+  EXPECT_EQ(::read(fds[1], probe, sizeof(probe)), 10);
+
+  EXPECT_TRUE(tx.flush());
+  EXPECT_EQ(tx.outbox_bytes(), 0u);
+  std::size_t drained = 0;
+  for (;;) {
+    const ssize_t n = ::read(fds[1], probe, sizeof(probe));
+    if (n <= 0) break;
+    drained += static_cast<std::size_t>(n);
+  }
+  EXPECT_EQ(drained, queued - 10);
+  ::close(fds[1]);
+}
+
+TEST(ConnectionEintr, SignalStormDoesNotCorruptOrKillTheStream) {
+  // Pepper the process with 1ms SIGALRMs installed WITHOUT SA_RESTART, so
+  // read()/write() inside Connection really do return EINTR, and pump a
+  // few hundred frames through a socketpair. Explicit EINTR handling must
+  // make the storm invisible.
+  struct sigaction sa = {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: syscalls fail with EINTR
+  struct sigaction old_sa;
+  ASSERT_EQ(::sigaction(SIGALRM, &sa, &old_sa), 0);
+  itimerval storm = {};
+  storm.it_interval.tv_usec = 1000;
+  storm.it_value.tv_usec = 1000;
+  itimerval old_timer;
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &storm, &old_timer), 0);
+
+  int fds[2];
+  ASSERT_EQ(nonblocking_pair(fds), 0);
+  {
+    Connection tx(fds[0], 8192);
+    Connection rx(fds[1], 8192);
+    constexpr int kFrames = 400;
+    constexpr std::size_t kSize = 1500;
+    int sent = 0;
+    int received = 0;
+    std::size_t received_bytes = 0;
+    bool rx_alive = true;
+    while (received < kFrames && rx_alive) {
+      if (sent < kFrames && tx.outbox_bytes() < 64 * 1024) {
+        ASSERT_TRUE(tx.send_frame(
+            Bytes(kSize, static_cast<std::uint8_t>(sent))));
+        ++sent;
+      }
+      ASSERT_TRUE(tx.flush());
+      rx_alive = rx.handle_readable([&](Bytes f) {
+        ASSERT_EQ(f.size(), kSize);
+        ASSERT_EQ(f[0], static_cast<std::uint8_t>(received));
+        ++received;
+        received_bytes += f.size();
+      });
+    }
+    EXPECT_TRUE(rx_alive);
+    EXPECT_EQ(received, kFrames);
+    EXPECT_EQ(received_bytes, kFrames * kSize);
+    EXPECT_EQ(rx.close_reason(), CloseReason::kNone);
+  }
+
+  ASSERT_EQ(::setitimer(ITIMER_REAL, &old_timer, nullptr), 0);
+  ASSERT_EQ(::sigaction(SIGALRM, &old_sa, nullptr), 0);
+}
+
+// --- Manifest round-trip with resilience and fault knobs ---------------
+
+TEST(ManifestResilience, RoundTripsNewKnobs) {
+  Manifest m;
+  m.seed = 7;
+  m.provider = "sim";
+  m.hb_period = 123 * kMillisecond;
+  m.liveness_timeout = 4 * kSecond;
+  m.backoff_min = 10 * kMillisecond;
+  m.backoff_max = 900 * kMillisecond;
+  m.faults = mixed_spec();
+  m.peers = {{0, "127.0.0.1", 1000}, {1, "127.0.0.1", 1001}};
+  std::istringstream in(m.encode());
+  const Manifest back = Manifest::decode(in);
+  EXPECT_EQ(back.hb_period, m.hb_period);
+  EXPECT_EQ(back.liveness_timeout, m.liveness_timeout);
+  EXPECT_EQ(back.backoff_min, m.backoff_min);
+  EXPECT_EQ(back.backoff_max, m.backoff_max);
+  EXPECT_EQ(back.faults.connect_refuse_rate, m.faults.connect_refuse_rate);
+  EXPECT_EQ(back.faults.write_rst_rate, m.faults.write_rst_rate);
+  EXPECT_EQ(back.faults.short_write_rate, m.faults.short_write_rate);
+  EXPECT_EQ(back.faults.short_write_cap, m.faults.short_write_cap);
+  EXPECT_EQ(back.faults.stall_rate, m.faults.stall_rate);
+  EXPECT_EQ(back.faults.stall_max, m.faults.stall_max);
+  EXPECT_EQ(back.faults.read_delay_rate, m.faults.read_delay_rate);
+  EXPECT_EQ(back.faults.read_delay_max, m.faults.read_delay_max);
+  EXPECT_EQ(back.faults.read_rst_rate, m.faults.read_rst_rate);
+  EXPECT_TRUE(back.faults.any());
+}
+
+TEST(ManifestResilience, RejectsInvertedBackoffWindow) {
+  Manifest m;
+  m.provider = "sim";
+  m.backoff_min = 2 * kSecond;
+  m.backoff_max = 50 * kMillisecond;  // max < min: invalid
+  m.peers = {{0, "127.0.0.1", 1000}, {1, "127.0.0.1", 1001}};
+  std::istringstream in(m.encode());
+  EXPECT_THROW(Manifest::decode(in), std::runtime_error);
+}
+
+// --- In-process kill-and-respawn integration ---------------------------
+
+Manifest restart_manifest(const std::vector<std::uint16_t>& ports) {
+  Manifest m;
+  m.seed = 11;
+  m.num_groups = 1;
+  m.provider = "sim";
+  m.node.payload_size = 64;
+  m.node.send_period = 20 * kMillisecond;
+  m.node.check_timeout = 30 * kSecond;  // no accusations against the dead
+  m.node.check_sweep_period = 500 * kMillisecond;
+  m.node.num_relays = 1;
+  m.node.num_rings = 2;
+  m.hb_period = 100 * kMillisecond;
+  m.liveness_timeout = 2 * kSecond;
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    m.peers.push_back({static_cast<EndpointId>(i), "127.0.0.1", ports[i]});
+  }
+  return m;
+}
+
+TEST(NodeRestart, SurvivorsReconvergeOnHigherEpochIncarnation) {
+  // Three in-process NodeDrivers on loopback. Node 2 runs briefly, its
+  // driver is destroyed (sockets die — the unit-sized SIGKILL), then a
+  // fresh incarnation rebinds the same port. Survivors must observe the
+  // disconnect, redial with backoff, adopt the higher session epoch, and
+  // keep the protocol running the whole time.
+  std::vector<std::uint16_t> ports(3, 0);
+  std::vector<int> fds(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    fds[i] = listen_tcp("127.0.0.1", ports[i]);
+    ASSERT_GE(fds[i], 0);
+  }
+  const Manifest base = restart_manifest(ports);
+
+  Report reports[3];
+  std::uint64_t first_epoch = 0;
+  std::uint64_t second_epoch = 0;
+
+  auto survivor = [&](int ep) {
+    Manifest m = base;
+    m.duration = 2500 * kMillisecond;
+    NodeDriver driver(m, static_cast<EndpointId>(ep), fds[ep]);
+    reports[ep] = driver.run();
+  };
+  std::thread t0(survivor, 0);
+  std::thread t1(survivor, 1);
+
+  std::thread t2([&] {
+    {
+      Manifest m = base;
+      m.duration = 500 * kMillisecond;
+      NodeDriver driver(m, 2, fds[2]);
+      first_epoch = driver.session_epoch();
+      const Report r = driver.run();
+      ASSERT_TRUE(r.ok) << r.error;
+    }  // dtor closes every socket: the respawnable "crash"
+    std::uint16_t port = ports[2];
+    const int fd = listen_tcp("127.0.0.1", port);
+    ASSERT_GE(fd, 0);
+    ASSERT_EQ(port, ports[2]);
+    Manifest m = base;
+    m.duration = 1200 * kMillisecond;
+    NodeDriver driver(m, 2, fd);
+    second_epoch = driver.session_epoch();
+    reports[2] = driver.run();
+  });
+
+  t0.join();
+  t1.join();
+  t2.join();
+
+  EXPECT_GT(second_epoch, first_epoch);
+  ASSERT_TRUE(reports[2].ok) << reports[2].error;
+  for (int ep = 0; ep < 2; ++ep) {
+    const Report& r = reports[ep];
+    ASSERT_TRUE(r.ok) << "survivor " << ep << ": " << r.error;
+    EXPECT_GE(r.disconnects, 1u) << "survivor " << ep;
+    EXPECT_GE(r.reconnects, 1u) << "survivor " << ep;
+    EXPECT_GE(r.peer_reincarnations, 1u) << "survivor " << ep;
+    EXPECT_GE(r.heartbeats_sent, 1u) << "survivor " << ep;
+    EXPECT_GT(r.peer_downtime_ms[2], 0.0) << "survivor " << ep;
+    EXPECT_EQ(r.peer_downtime_ms[ep], 0.0) << "survivor " << ep;
+    EXPECT_EQ(r.session_epoch == 0, false);
+  }
+  // The replacement answered survivors' redials and kept delivering.
+  EXPECT_GE(reports[2].payloads_sent, 1u);
+}
+
+}  // namespace
+}  // namespace rac::net

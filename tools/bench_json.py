@@ -88,13 +88,49 @@ def run_fig3(binary, nodes, sim_ms, payload, shards=0):
     return result
 
 
-def run_sharded(binary):
-    """One micro_engine_sharded --json sweep (K = 1,2,4,8)."""
-    with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
-        _, rss = run_child([binary, "--json", tmp.name])
-        result = json.load(open(tmp.name))
-    result["peak_rss_bytes"] = rss
-    return result
+def run_sharded(binary, repeat):
+    """Best-of-N micro_engine_sharded --json sweeps (K = 1,2,4,8).
+
+    Rates keep the best repeat per K — under a loaded ctest -j8 scheduler
+    noise only ever slows a run down, so a single-shot measurement flakes
+    against the ratchet. The simulation outcomes, by contrast, must be
+    bit-identical across repeats: a mismatch there is a determinism bug,
+    not noise, and fails the bench immediately.
+    """
+    best = None
+    peak_rss = 0
+    for _ in range(repeat):
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".json") as tmp:
+            _, rss = run_child([binary, "--json", tmp.name])
+            result = json.load(open(tmp.name))
+        peak_rss = max(peak_rss, rss)
+        if best is None:
+            best = result
+            continue
+        best["cross_k_deterministic"] = bool(
+            best.get("cross_k_deterministic", False)
+            and result.get("cross_k_deterministic", False))
+        for cur, new in zip(best["runs"], result["runs"]):
+            for key in ("shards", "delivered_payloads", "delivered_bytes",
+                        "events"):
+                if cur.get(key) != new.get(key):
+                    print(f"bench_json: REGRESSION sharded K="
+                          f"{cur.get('shards')} {key} differs across "
+                          f"repeats: {cur.get(key)} vs {new.get(key)} "
+                          "(windowed kernel not deterministic)",
+                          file=sys.stderr)
+                    sys.exit(1)
+            if new["events_per_sec"] > cur["events_per_sec"]:
+                cur["events_per_sec"] = new["events_per_sec"]
+    base = next((r for r in best["runs"] if r.get("shards") == 1), None)
+    if base is not None and base["events_per_sec"] > 0:
+        for r in best["runs"]:
+            if "speedup_vs_1" in r:
+                r["speedup_vs_1"] = (r["events_per_sec"]
+                                     / base["events_per_sec"])
+    best["best_of"] = repeat
+    best["peak_rss_bytes"] = peak_rss
+    return best
 
 
 def run_crypto(binary, repeat, min_time_s):
@@ -278,7 +314,7 @@ def main():
                 line += f", {b['bytes_per_second'] / 1e6:.0f} MB/s"
             print(line + ")")
     elif args.sharded:
-        sharded = run_sharded(args.sharded)
+        sharded = run_sharded(args.sharded, args.repeat)
         # The 10^4-node sharded point exists for the memory figure
         # (peak-RSS-per-node) and a big-N determinism pin, not a rate
         # measurement, so a very short horizon keeps it affordable.

@@ -9,8 +9,17 @@
 //
 //   live_demo --nodes 8 --relays 2 --duration-s 3
 //
+// Chaos mode (--chaos) is the resilience harness: mid-run the launcher
+// SIGKILLs one node, waits for it to die, respawns it on the same port
+// (rac_noded --port) and feeds it the same manifest with the remaining
+// duration. It then asserts reconvergence: every survivor must observe
+// the disconnect, reconnect to the replacement, and see its higher
+// session epoch (peer_reincarnations >= 1), and the replacement must
+// deliver payloads again. Fault-rate flags (--fault-*) enable the
+// deterministic socket fault plane in every child instead.
+//
 // Exits 0 iff every child reported a clean run AND at least one onion was
-// delivered end to end.
+// delivered end to end (AND, with --chaos, the mesh reconverged).
 #include <sys/prctl.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -18,6 +27,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -51,10 +61,17 @@ void on_alarm(int) {
 }
 
 int usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--nodes N] [--relays L] [--rings R] [--payload B]"
-               " [--period-ms MS] [--duration-s S] [--provider P]"
-               " [--seed S] [--noded PATH]\n";
+  std::cerr
+      << "usage: " << argv0
+      << " [--nodes N] [--relays L] [--rings R] [--payload B]"
+         " [--period-ms MS] [--duration-s S] [--provider P]"
+         " [--seed S] [--noded PATH] [--json PATH]\n"
+         "  resilience: [--hb-ms MS] [--liveness-ms MS]\n"
+         "  chaos:      [--chaos] [--kill-node N] [--kill-at-ms MS]\n"
+         "  faults:     [--fault-connect-refuse R] [--fault-rst R]"
+         " [--fault-short-write R] [--fault-short-cap B]"
+         " [--fault-stall R] [--fault-stall-ms MS]"
+         " [--fault-read-delay R] [--fault-read-delay-ms MS]\n";
   return 2;
 }
 
@@ -71,6 +88,66 @@ bool json_ok(const std::string& json) {
   return json.find("\"ok\": true") != std::string::npos;
 }
 
+/// Fork+exec one rac_noded. fixed_port == 0 binds an ephemeral port (the
+/// child reports it); a respawn passes the incarnation's original port.
+Child spawn_node(const std::string& noded, unsigned endpoint,
+                 std::uint16_t fixed_port) {
+  Child child;
+  int to_child[2];
+  int from_child[2];
+  if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
+    std::perror("pipe");
+    return child;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return child;
+  }
+  if (pid == 0) {
+    // Child: die with the launcher, wire the pipes, exec the node.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    ::dup2(to_child[0], STDIN_FILENO);
+    ::dup2(from_child[1], STDOUT_FILENO);
+    ::close(to_child[0]);
+    ::close(to_child[1]);
+    ::close(from_child[0]);
+    ::close(from_child[1]);
+    const std::string ep = std::to_string(endpoint);
+    const std::string port = std::to_string(fixed_port);
+    ::execl(noded.c_str(), noded.c_str(), "--endpoint", ep.c_str(),
+            "--port", port.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl rac_noded");
+    _exit(127);
+  }
+  ::close(to_child[0]);
+  ::close(from_child[1]);
+  child.pid = pid;
+  child.stdin_fd = to_child[1];
+  child.stdout_f = ::fdopen(from_child[0], "r");
+  return child;
+}
+
+bool read_port(Child& child) {
+  char line[4096];
+  return child.stdout_f != nullptr &&
+         std::fgets(line, sizeof(line), child.stdout_f) != nullptr &&
+         std::sscanf(line, "PORT %hu", &child.port) == 1;
+}
+
+void write_manifest(Child& child, const std::string& wire) {
+  const char* p = wire.data();
+  std::size_t left = wire.size();
+  while (left > 0) {
+    const ssize_t n = ::write(child.stdin_fd, p, left);
+    if (n <= 0) break;  // dead child; surfaces at report time
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  ::close(child.stdin_fd);
+  child.stdin_fd = -1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -83,6 +160,13 @@ int main(int argc, char** argv) {
   std::string provider = "openssl";
   std::uint64_t seed = 42;
   std::string noded;
+  std::string json_path;
+  long hb_ms = 500;
+  long liveness_ms = 3000;
+  bool chaos = false;
+  long kill_node = -1;   // default: nodes / 2
+  long kill_at_ms = -1;  // default: duration / 3
+  rac::net::FaultSpec faults;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--nodes" && i + 1 < argc) nodes = std::stoul(argv[++i]);
@@ -94,11 +178,35 @@ int main(int argc, char** argv) {
     else if (arg == "--provider" && i + 1 < argc) provider = argv[++i];
     else if (arg == "--seed" && i + 1 < argc) seed = std::stoull(argv[++i]);
     else if (arg == "--noded" && i + 1 < argc) noded = argv[++i];
+    else if (arg == "--json" && i + 1 < argc) json_path = argv[++i];
+    else if (arg == "--hb-ms" && i + 1 < argc) hb_ms = std::stol(argv[++i]);
+    else if (arg == "--liveness-ms" && i + 1 < argc) liveness_ms = std::stol(argv[++i]);
+    else if (arg == "--chaos") chaos = true;
+    else if (arg == "--kill-node" && i + 1 < argc) kill_node = std::stol(argv[++i]);
+    else if (arg == "--kill-at-ms" && i + 1 < argc) kill_at_ms = std::stol(argv[++i]);
+    else if (arg == "--fault-connect-refuse" && i + 1 < argc) faults.connect_refuse_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-rst" && i + 1 < argc) faults.write_rst_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-short-write" && i + 1 < argc) faults.short_write_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-short-cap" && i + 1 < argc) faults.short_write_cap = std::stoul(argv[++i]);
+    else if (arg == "--fault-stall" && i + 1 < argc) faults.stall_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-stall-ms" && i + 1 < argc) faults.stall_max = std::stol(argv[++i]) * rac::kMillisecond;
+    else if (arg == "--fault-read-delay" && i + 1 < argc) faults.read_delay_rate = std::stod(argv[++i]);
+    else if (arg == "--fault-read-delay-ms" && i + 1 < argc) faults.read_delay_max = std::stol(argv[++i]) * rac::kMillisecond;
     else return usage(argv[0]);
   }
   if (nodes < 2 || relays + 1 >= nodes) {
     std::cerr << "live_demo: need nodes >= 2 and relays + 1 < nodes\n";
     return 2;
+  }
+  if (chaos) {
+    if (kill_node < 0) kill_node = nodes / 2;
+    if (kill_at_ms < 0) kill_at_ms = duration_s * 1000 / 3;
+    if (kill_node >= static_cast<long>(nodes) ||
+        kill_at_ms >= duration_s * 1000) {
+      std::cerr << "live_demo: --kill-node must be < nodes and "
+                   "--kill-at-ms < the run duration\n";
+      return 2;
+    }
   }
   if (noded.empty()) {
     // Default: rac_noded sits next to this binary.
@@ -111,52 +219,22 @@ int main(int argc, char** argv) {
 
   std::signal(SIGPIPE, SIG_IGN);
   std::signal(SIGALRM, on_alarm);
-  // Watchdog: barrier (<=20s in practice) + run + drain + slack.
-  ::alarm(static_cast<unsigned>(duration_s + 60));
+  // Watchdog: barrier (<=20s in practice) + run + drain + chaos + slack.
+  ::alarm(static_cast<unsigned>(duration_s + (chaos ? kill_at_ms / 1000 : 0) +
+                                60));
 
-  // Spawn: stdin pipe for the manifest, stdout pipe for PORT/REPORT.
   g_children.resize(nodes);
   for (unsigned i = 0; i < nodes; ++i) {
-    int to_child[2];
-    int from_child[2];
-    if (::pipe(to_child) != 0 || ::pipe(from_child) != 0) {
-      std::perror("pipe");
+    g_children[i] = spawn_node(noded, i, /*fixed_port=*/0);
+    if (g_children[i].pid < 0) {
       kill_children();
       return 1;
     }
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      std::perror("fork");
-      kill_children();
-      return 1;
-    }
-    if (pid == 0) {
-      // Child: die with the launcher, wire the pipes, exec the node.
-      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
-      ::dup2(to_child[0], STDIN_FILENO);
-      ::dup2(from_child[1], STDOUT_FILENO);
-      ::close(to_child[0]);
-      ::close(to_child[1]);
-      ::close(from_child[0]);
-      ::close(from_child[1]);
-      const std::string ep = std::to_string(i);
-      ::execl(noded.c_str(), noded.c_str(), "--endpoint", ep.c_str(),
-              static_cast<char*>(nullptr));
-      std::perror("execl rac_noded");
-      _exit(127);
-    }
-    ::close(to_child[0]);
-    ::close(from_child[1]);
-    g_children[i].pid = pid;
-    g_children[i].stdin_fd = to_child[1];
-    g_children[i].stdout_f = ::fdopen(from_child[0], "r");
   }
 
   // Collect ports (each child prints PORT before reading stdin).
-  char line[4096];
   for (unsigned i = 0; i < nodes; ++i) {
-    if (std::fgets(line, sizeof(line), g_children[i].stdout_f) == nullptr ||
-        std::sscanf(line, "PORT %hu", &g_children[i].port) != 1) {
+    if (!read_port(g_children[i])) {
       std::cerr << "live_demo: node " << i << " failed to report a port\n";
       kill_children();
       return 1;
@@ -174,35 +252,67 @@ int main(int argc, char** argv) {
   manifest.node.send_period = period_ms * rac::kMillisecond;
   // Rate-check window (2 * check_timeout) longer than the run: the
   // freerider sweeps stay armed but can never fire a false accusation
-  // against a node that is simply shutting down.
+  // against a node that is simply shutting down (or, in chaos mode, one
+  // that is legitimately dead for a respawn cycle).
   manifest.node.check_timeout = 2 * duration_s * rac::kSecond;
   manifest.node.check_sweep_period = 500 * rac::kMillisecond;
   manifest.duration = duration_s * rac::kSecond;
+  manifest.hb_period = hb_ms * rac::kMillisecond;
+  manifest.liveness_timeout = liveness_ms * rac::kMillisecond;
+  manifest.faults = faults;
   for (unsigned i = 0; i < nodes; ++i) {
     manifest.peers.push_back(
         {static_cast<rac::EndpointId>(i), "127.0.0.1", g_children[i].port});
   }
   const std::string wire = manifest.encode();
-  for (Child& c : g_children) {
-    const char* p = wire.data();
-    std::size_t left = wire.size();
-    while (left > 0) {
-      const ssize_t n = ::write(c.stdin_fd, p, left);
-      if (n <= 0) break;  // dead child; surfaces at report time
-      p += n;
-      left -= static_cast<std::size_t>(n);
+  for (Child& c : g_children) write_manifest(c, wire);
+
+  // Chaos: SIGKILL the victim mid-run, respawn it on the same port with
+  // the remaining duration. Peers must reconverge on the new incarnation.
+  bool respawned = false;
+  if (chaos) {
+    ::usleep(static_cast<useconds_t>(kill_at_ms) * 1000);
+    Child& victim = g_children[static_cast<unsigned>(kill_node)];
+    ::kill(victim.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(victim.pid, &status, 0);
+    victim.pid = -1;
+    std::fclose(victim.stdout_f);
+    victim.stdout_f = nullptr;
+    const std::uint16_t port = victim.port;
+
+    Child fresh = spawn_node(noded, static_cast<unsigned>(kill_node), port);
+    if (fresh.pid < 0 || !read_port(fresh) || fresh.port != port) {
+      std::cerr << "live_demo: chaos respawn of node " << kill_node
+                << " failed\n";
+      kill_children();
+      return 1;
     }
-    ::close(c.stdin_fd);
-    c.stdin_fd = -1;
+    // Same manifest, shortened to roughly the survivors' remaining run
+    // (idents derive only from seed and peer count, so the replacement is
+    // the same protocol identity at a higher session epoch).
+    rac::net::Manifest rest = manifest;
+    rest.duration = std::max<rac::SimDuration>(
+        rac::kSecond / 2,
+        manifest.duration - kill_at_ms * rac::kMillisecond);
+    write_manifest(fresh, rest.encode());
+    victim = std::move(fresh);
+    respawned = true;
   }
 
   // Collect reports and exits.
+  char line[4096];
   bool all_ok = true;
   for (unsigned i = 0; i < nodes; ++i) {
     Child& c = g_children[i];
     while (std::fgets(line, sizeof(line), c.stdout_f) != nullptr) {
       if (std::strncmp(line, "REPORT ", 7) == 0) {
         c.report.assign(line + 7);
+        // Trim the trailing newline so embedding stays tidy.
+        while (!c.report.empty() &&
+               (c.report.back() == '\n' || c.report.back() == '\r')) {
+          c.report.pop_back();
+        }
         break;
       }
     }
@@ -216,7 +326,7 @@ int main(int argc, char** argv) {
       all_ok = false;
       std::cerr << "live_demo: node " << i << " failed (exit "
                 << c.exit_code << "): "
-                << (c.report.empty() ? "no report" : c.report);
+                << (c.report.empty() ? "no report" : c.report) << "\n";
     }
   }
 
@@ -224,6 +334,11 @@ int main(int argc, char** argv) {
   double sent = 0, delivered = 0, bytes = 0, goodput = 0;
   double lat_n = 0, lat_sum = 0, lat_max = 0;
   double rebroadcasts = 0, noise = 0, dropped = 0;
+  double disconnects = 0, reconnects = 0, dial_retries = 0;
+  double hb_sent = 0, hb_recv = 0, liveness_drops = 0;
+  double stale = 0, reincarnations = 0;
+  double inj_refuse = 0, inj_rst = 0, inj_short = 0, inj_stall = 0,
+         inj_delay = 0;
   for (const Child& c : g_children) {
     sent += json_num(c.report, "payloads_sent");
     delivered += json_num(c.report, "payloads_delivered");
@@ -236,12 +351,51 @@ int main(int argc, char** argv) {
     rebroadcasts += json_num(c.report, "relay_rebroadcasts");
     noise += json_num(c.report, "noise_cells");
     dropped += json_num(c.report, "frames_dropped");
+    disconnects += json_num(c.report, "disconnects");
+    reconnects += json_num(c.report, "reconnects");
+    dial_retries += json_num(c.report, "dial_retries");
+    hb_sent += json_num(c.report, "heartbeats_sent");
+    hb_recv += json_num(c.report, "heartbeats_received");
+    liveness_drops += json_num(c.report, "liveness_drops");
+    stale += json_num(c.report, "stale_frames_dropped");
+    reincarnations += json_num(c.report, "peer_reincarnations");
+    inj_refuse += json_num(c.report, "injected_connect_refusals");
+    inj_rst += json_num(c.report, "injected_rsts");
+    inj_short += json_num(c.report, "injected_short_writes");
+    inj_stall += json_num(c.report, "injected_stalls");
+    inj_delay += json_num(c.report, "injected_read_delays");
+  }
+
+  // Chaos reconvergence assertions (the tentpole's acceptance bar).
+  bool chaos_ok = true;
+  if (chaos) {
+    if (!respawned) chaos_ok = false;
+    for (unsigned i = 0; i < nodes; ++i) {
+      if (static_cast<long>(i) == kill_node) continue;
+      const Child& c = g_children[i];
+      if (json_num(c.report, "disconnects") < 1 ||
+          json_num(c.report, "reconnects") < 1 ||
+          json_num(c.report, "peer_reincarnations") < 1) {
+        chaos_ok = false;
+        std::cerr << "live_demo: survivor " << i
+                  << " did not reconverge on the respawned node: "
+                  << c.report << "\n";
+      }
+    }
+    const Child& repl = g_children[static_cast<unsigned>(kill_node)];
+    if (json_num(repl.report, "payloads_delivered") < 1) {
+      chaos_ok = false;
+      std::cerr << "live_demo: replacement node " << kill_node
+                << " delivered nothing after the respawn: " << repl.report
+                << "\n";
+    }
   }
 
   std::ostringstream out;
   out << "live mesh: " << nodes << " nodes, L=" << relays
       << ", rings=" << rings << ", payload=" << payload << "B, period="
       << period_ms << "ms, " << duration_s << "s, provider=" << provider
+      << (chaos ? " [chaos]" : "") << (faults.any() ? " [faults]" : "")
       << "\n"
       << "  onions sent:      " << sent << "\n"
       << "  onions delivered: " << delivered << "\n"
@@ -252,10 +406,63 @@ int main(int argc, char** argv) {
       << " ms max (" << lat_n << " samples)\n"
       << "  relay rebroadcasts: " << rebroadcasts
       << ", noise cells: " << noise << ", frames dropped: " << dropped
-      << "\n";
+      << "\n"
+      << "  resilience:       " << disconnects << " disconnects, "
+      << reconnects << " reconnects, " << dial_retries << " dial retries, "
+      << liveness_drops << " liveness drops\n"
+      << "  heartbeats:       " << hb_sent << " sent, " << hb_recv
+      << " received; stale frames dropped: " << stale
+      << ", reincarnations seen: " << reincarnations << "\n";
+  if (faults.any()) {
+    out << "  injected faults:  " << inj_refuse << " refusals, " << inj_rst
+        << " rsts, " << inj_short << " short writes, " << inj_stall
+        << " stalls, " << inj_delay << " read delays\n";
+  }
   std::cout << out.str();
 
+  const bool ok = all_ok && chaos_ok && delivered > 0;
+  if (!json_path.empty()) {
+    std::ofstream jf(json_path);
+    jf << "{\"schema\": \"rac.net.live_report/1\", \"nodes\": " << nodes
+       << ", \"ok\": " << (ok ? "true" : "false")
+       << ", \"chaos\": {\"enabled\": " << (chaos ? "true" : "false")
+       << ", \"kill_node\": " << (chaos ? kill_node : -1)
+       << ", \"kill_at_ms\": " << (chaos ? kill_at_ms : -1)
+       << ", \"respawned\": " << (respawned ? "true" : "false") << "}"
+       << ", \"aggregate\": {"
+       << "\"payloads_sent\": " << sent
+       << ", \"payloads_delivered\": " << delivered
+       << ", \"delivered_bytes\": " << bytes
+       << ", \"goodput_bps\": " << goodput
+       << ", \"latency_mean_ms\": " << (lat_n > 0 ? lat_sum / lat_n : 0)
+       << ", \"latency_max_ms\": " << lat_max
+       << ", \"frames_dropped\": " << dropped
+       << ", \"disconnects\": " << disconnects
+       << ", \"reconnects\": " << reconnects
+       << ", \"dial_retries\": " << dial_retries
+       << ", \"heartbeats_sent\": " << hb_sent
+       << ", \"heartbeats_received\": " << hb_recv
+       << ", \"liveness_drops\": " << liveness_drops
+       << ", \"stale_frames_dropped\": " << stale
+       << ", \"peer_reincarnations\": " << reincarnations
+       << ", \"injected_connect_refusals\": " << inj_refuse
+       << ", \"injected_rsts\": " << inj_rst
+       << ", \"injected_short_writes\": " << inj_short
+       << ", \"injected_stalls\": " << inj_stall
+       << ", \"injected_read_delays\": " << inj_delay << "}"
+       << ", \"reports\": [";
+    for (unsigned i = 0; i < nodes; ++i) {
+      if (i > 0) jf << ", ";
+      jf << (g_children[i].report.empty() ? "null" : g_children[i].report);
+    }
+    jf << "]}\n";
+  }
+
   if (!all_ok) return 1;
+  if (!chaos_ok) {
+    std::cerr << "live_demo: chaos run failed to reconverge\n";
+    return 1;
+  }
   if (delivered <= 0) {
     std::cerr << "live_demo: mesh ran but delivered nothing\n";
     return 1;

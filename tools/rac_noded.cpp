@@ -21,8 +21,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " --endpoint N [--host 127.0.0.1] [--start-timeout-s S]\n"
-            << "Reads a rac-manifest-v1 on stdin after printing PORT.\n";
+            << " --endpoint N [--host 127.0.0.1] [--port N]"
+            << " [--start-timeout-s S]\n"
+            << "Reads a rac-manifest-v1 on stdin after printing PORT.\n"
+            << "--port 0 (default) binds an ephemeral port; a respawned\n"
+            << "incarnation passes its old port so peers can find it again.\n";
   return 2;
 }
 
@@ -31,6 +34,7 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   long endpoint = -1;
+  long fixed_port = 0;
   long start_timeout_s = 60;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -38,16 +42,20 @@ int main(int argc, char** argv) {
       endpoint = std::stol(argv[++i]);
     } else if (arg == "--host" && i + 1 < argc) {
       host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      fixed_port = std::stol(argv[++i]);
     } else if (arg == "--start-timeout-s" && i + 1 < argc) {
       start_timeout_s = std::stol(argv[++i]);
     } else {
       return usage(argv[0]);
     }
   }
-  if (endpoint < 0) return usage(argv[0]);
+  if (endpoint < 0 || fixed_port < 0 || fixed_port > 65535) {
+    return usage(argv[0]);
+  }
 
   try {
-    std::uint16_t port = 0;
+    auto port = static_cast<std::uint16_t>(fixed_port);
     const int listen_fd = rac::net::listen_tcp(host, port);
     std::cout << "PORT " << port << "\n" << std::flush;
 

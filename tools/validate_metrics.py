@@ -39,6 +39,22 @@ Attack-plane artifacts (PR 8) are validated too:
                              byte-identical attacks JSON (the windowed
                              tap's canonical-merge contract)
 
+Live-mesh artifacts (PR 9) are validated too:
+
+  --live-report FILE         "rac.net.live_report/1" JSON written by
+                             tools/live_demo --json: launcher aggregate
+                             plus every node's resilience report
+                             (disconnect/reconnect/heartbeat counters,
+                             session epoch, per-peer downtime vector)
+  --live-runner BIN          live_demo binary: run it with --json into a
+                             temp file and validate that (repeatable
+                             --live-arg flags are forwarded verbatim)
+  --expect-chaos             require a chaos run that reconverged: kill +
+                             respawn recorded, every survivor saw the
+                             higher-epoch reincarnation
+  --expect-faults            require the deterministic fault plane to have
+                             actually fired (some injected_* counter > 0)
+
 With --runner, --trace/--series/--attacks name the artifact paths passed
 through to the runner and are validated after it exits.
 
@@ -54,6 +70,7 @@ import tempfile
 SCHEMA_ID = "rac.faults.campaign/1"
 SERIES_SCHEMA_ID = "rac.telemetry.series/1"
 ATTACKS_SCHEMA_ID = "rac.attacks.report/1"
+LIVE_SCHEMA_ID = "rac.net.live_report/1"
 TRACE_PHASES = {"B", "E", "b", "e", "i", "C", "X", "M"}
 ATTACK_NAMES = {"intersection", "predecessor", "first_spy"}
 
@@ -372,6 +389,109 @@ def validate_attacks(path, expect_calibrated):
           f" observer {obs['mode']}, analyzers {obs['attacks']})")
 
 
+LIVE_NODE_COUNTERS = (
+    "payloads_sent", "payloads_delivered", "delivered_bytes",
+    "latency_count", "relay_rebroadcasts", "noise_cells", "accusations",
+    "evictions", "frames_dropped", "connections", "disconnects",
+    "reconnects", "dial_retries", "heartbeats_sent", "heartbeats_received",
+    "liveness_drops", "stale_frames_dropped", "peer_reincarnations",
+    "injected_connect_refusals", "injected_rsts", "injected_short_writes",
+    "injected_stalls", "injected_read_delays",
+)
+
+LIVE_AGG_KEYS = (
+    "payloads_sent", "payloads_delivered", "delivered_bytes", "goodput_bps",
+    "latency_mean_ms", "latency_max_ms", "frames_dropped", "disconnects",
+    "reconnects", "dial_retries", "heartbeats_sent", "heartbeats_received",
+    "liveness_drops", "stale_frames_dropped", "peer_reincarnations",
+    "injected_connect_refusals", "injected_rsts", "injected_short_writes",
+    "injected_stalls", "injected_read_delays",
+)
+
+
+def validate_live(path, expect_chaos, expect_faults):
+    """Launcher-level live-mesh report (tools/live_demo --json)."""
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = "$(live)"
+    if require(doc, "schema", str, ctx) != LIVE_SCHEMA_ID:
+        fail(f"{ctx}.schema: expected {LIVE_SCHEMA_ID!r},"
+             f" got {doc['schema']!r}")
+    nodes = require(doc, "nodes", int, ctx)
+    if nodes < 2:
+        fail(f"{ctx}.nodes: {nodes} < 2")
+    require(doc, "ok", bool, ctx)
+    chaos = require(doc, "chaos", dict, ctx)
+    require(chaos, "enabled", bool, f"{ctx}.chaos")
+    require(chaos, "kill_node", int, f"{ctx}.chaos")
+    require(chaos, "kill_at_ms", int, f"{ctx}.chaos")
+    require(chaos, "respawned", bool, f"{ctx}.chaos")
+    agg = require(doc, "aggregate", dict, ctx)
+    for key in LIVE_AGG_KEYS:
+        require(agg, key, float, f"{ctx}.aggregate")
+    reports = require(doc, "reports", list, ctx)
+    if len(reports) != nodes:
+        fail(f"{ctx}.reports: {len(reports)} entries for {nodes} nodes")
+    epochs = []
+    for i, rep in enumerate(reports):
+        rctx = f"{ctx}.reports[{i}]"
+        if rep is None:
+            fail(f"{rctx}: missing node report")
+        require(rep, "ok", bool, rctx)
+        require(rep, "error", str, rctx)
+        for key in LIVE_NODE_COUNTERS:
+            v = require(rep, key, int, rctx)
+            if v < 0:
+                fail(f"{rctx}.{key}: negative counter {v}")
+        for key in ("duration_s", "goodput_bps", "latency_mean_ms",
+                    "latency_max_ms"):
+            if require(rep, key, float, rctx) < 0:
+                fail(f"{rctx}.{key}: negative")
+        epochs.append(require(rep, "session_epoch", int, rctx))
+        if epochs[-1] <= 0:
+            fail(f"{rctx}.session_epoch: must be positive")
+        down = num_list(rep, "peer_downtime_ms", rctx, length=nodes)
+        if down[i] != 0:
+            fail(f"{rctx}.peer_downtime_ms[{i}]: self entry must be 0,"
+                 f" got {down[i]}")
+        if any(v < 0 for v in down):
+            fail(f"{rctx}.peer_downtime_ms: negative downtime")
+    if expect_chaos:
+        if not chaos["enabled"] or not chaos["respawned"]:
+            fail(f"{ctx}: --expect-chaos but the report records no"
+                 " kill/respawn cycle")
+        victim = chaos["kill_node"]
+        if not 0 <= victim < nodes:
+            fail(f"{ctx}.chaos.kill_node: {victim} out of range")
+        for i, rep in enumerate(reports):
+            if i == victim:
+                continue
+            if (rep["disconnects"] < 1 or rep["reconnects"] < 1
+                    or rep["peer_reincarnations"] < 1):
+                fail(f"{ctx}.reports[{i}]: survivor did not observe the"
+                     " respawn (disconnects/reconnects/reincarnations)")
+            if rep["peer_downtime_ms"][victim] <= 0:
+                fail(f"{ctx}.reports[{i}]: no downtime recorded for the"
+                     f" killed node {victim}")
+        if reports[victim]["payloads_delivered"] < 1:
+            fail(f"{ctx}.reports[{victim}]: replacement delivered nothing")
+        if not doc["ok"]:
+            fail(f"{ctx}.ok: chaos run did not pass the launcher's own"
+                 " reconvergence assertions")
+    if expect_faults:
+        injected = sum(agg[k] for k in LIVE_AGG_KEYS if k.startswith(
+            "injected_"))
+        if injected <= 0:
+            fail(f"{ctx}.aggregate: --expect-faults but no injected_*"
+                 " counter fired")
+        if not doc["ok"]:
+            fail(f"{ctx}.ok: fault soak did not survive")
+    print(f"validate_metrics: live report OK ({nodes} nodes,"
+          f" chaos={'on' if chaos['enabled'] else 'off'},"
+          f" {int(agg['payloads_delivered'])} delivered,"
+          f" {int(agg['reconnects'])} reconnects)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("metrics", nargs="?", default=None,
@@ -409,7 +529,33 @@ def main():
                     help="with --runner and --attacks: run with --shards 1"
                          " and --shards K and require byte-identical"
                          " attacks JSON")
+    ap.add_argument("--live-report", default=None,
+                    help="rac.net.live_report/1 JSON to validate")
+    ap.add_argument("--live-runner", default=None,
+                    help="live_demo binary: run it (with --json to a temp"
+                         " file) and validate the report")
+    ap.add_argument("--live-arg", action="append", default=[],
+                    help="extra argument forwarded to --live-runner"
+                         " (repeatable)")
+    ap.add_argument("--expect-chaos", action="store_true",
+                    help="require a reconverged kill/respawn cycle in the"
+                         " live report")
+    ap.add_argument("--expect-faults", action="store_true",
+                    help="require the live fault plane to have fired")
     args = ap.parse_args()
+
+    if args.live_runner is not None:
+        out = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
+        out.close()
+        cmd = [args.live_runner] + args.live_arg + ["--json", out.name]
+        subprocess.run(cmd, check=True)
+        args.live_report = out.name
+    if args.live_report is not None:
+        validate_live(args.live_report, args.expect_chaos,
+                      args.expect_faults)
+        if args.metrics is None and args.runner is None \
+                and args.attacks is None:
+            return
 
     if args.runner is not None:
         if args.scenario is None:
