@@ -495,15 +495,13 @@ void NodeDriver::on_link_event(int fd, std::uint32_t events) {
   Link& link = it->second;
 
   if (link.connecting) {
-    const EndpointId target = link.intended;
     if ((events & (EPOLLERR | EPOLLHUP)) != 0 || !connect_finished(fd)) {
       // A dead or refusing peer; back off and retry (it may be a
-      // respawning incarnation that is not listening yet).
-      loop_.remove(fd);
-      ::close(fd);
-      links_.erase(it);
+      // respawning incarnation that is not listening yet). Teardown is
+      // deferred through drop_link/reap_links (rule N2) like every other
+      // path: erasing here would free the Link under our own frame.
       ++dial_retries_;
-      schedule_redial(target);
+      drop_link(fd, "connect failed");
       return;
     }
     link.conn = std::make_unique<Connection>(fd, max_frame_);
@@ -696,7 +694,9 @@ void NodeDriver::drop_link(int fd, const std::string& why) {
 void NodeDriver::reap_links() {
   for (auto it = links_.begin(); it != links_.end();) {
     if (it->second.dead) {
-      it = links_.erase(it);  // Connection dtor closes the fd
+      // A dial that never completed has no Connection to close its fd.
+      if (!it->second.conn) ::close(it->first);
+      it = links_.erase(it);  // Connection dtor closes the fd otherwise
     } else {
       ++it;
     }

@@ -1,0 +1,60 @@
+#pragma once
+
+// EINTR-robust syscall wrappers (rule N5, DESIGN.md §15). The live lanes
+// run under deliberate signal storms (watchdog SIGALRM, chaos kill
+// timers), so every raw syscall outside the transport's hardened paths
+// goes through these helpers instead of hand-rolled retry loops.
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstddef>
+#include <ctime>
+
+namespace rac::net {
+
+// Re-issues `fn` (a syscall-shaped callable returning a signed result,
+// errno on failure) until it stops failing with EINTR.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+// Writes all of [data, data+len), retrying EINTR and short writes.
+// Returns false on any other error (including a 0-byte write, which
+// means no forward progress is possible).
+inline bool write_all(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+// waitpid that survives signal delivery to the waiting process.
+inline pid_t waitpid_eintr(pid_t pid, int* status, int options) {
+  return retry_eintr([&] { return ::waitpid(pid, status, options); });
+}
+
+// Sleeps the full duration: nanosleep's remaining-time out-parameter is
+// fed back in on EINTR, so signals cannot shorten the nap.
+inline void sleep_ms_eintr(long ms) {
+  timespec req{ms / 1000, (ms % 1000) * 1000000L};
+  while (::nanosleep(&req, &req) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace rac::net

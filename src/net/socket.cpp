@@ -1,7 +1,6 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
-#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -20,13 +19,6 @@ namespace {
   throw std::system_error(errno, std::generic_category(), what);
 }
 
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    throw_errno("fcntl(O_NONBLOCK)");
-  }
-}
-
 sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -41,7 +33,10 @@ sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
 }  // namespace
 
 int listen_tcp(const std::string& host, std::uint16_t& port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Nonblocking from birth (rule N4): a fcntl after the fact would leave
+  // a window where an accept/connect on the fd could block under epoll.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) throw_errno("socket");
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -62,14 +57,13 @@ int listen_tcp(const std::string& host, std::uint16_t& port) {
     throw_errno("getsockname");
   }
   port = ntohs(bound.sin_port);
-  set_nonblocking(fd);
   return fd;
 }
 
 int connect_tcp(const std::string& host, std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) throw_errno("socket");
-  set_nonblocking(fd);
   const sockaddr_in addr = make_addr(host, port);
   // EINTR on a non-blocking connect means the connect continues
   // asynchronously (POSIX) — identical to EINPROGRESS for our purposes.

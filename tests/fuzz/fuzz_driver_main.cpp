@@ -1,0 +1,123 @@
+// Standalone driver for the fuzz harnesses when the toolchain has no
+// libFuzzer (`-fsanitize=fuzzer` unsupported — e.g. plain gcc). Replays
+// every seed-corpus file through LLVMFuzzerTestOneInput, then runs
+// deterministic xorshift-mutated variants of the corpus until the time
+// budget expires. Accepts the libFuzzer-style flags the smoke lane
+// passes (-max_total_time=N, -seed=N); unknown dash-flags are ignored,
+// bare arguments are corpus files or directories. A crash/trap aborts
+// the process, which the lane reports as a failure — same contract as
+// libFuzzer, minus coverage feedback.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+using Blob = std::vector<std::uint8_t>;
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void load_corpus(const std::string& path, std::vector<Blob>& out) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    std::vector<fs::path> entries;
+    for (const auto& e : fs::directory_iterator(path, ec)) {
+      if (e.is_regular_file()) entries.push_back(e.path());
+    }
+    std::sort(entries.begin(), entries.end());
+    for (const auto& p : entries) load_corpus(p.string(), out);
+    return;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return;
+  Blob blob((std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+  out.push_back(std::move(blob));
+}
+
+Blob mutate(const Blob& base, std::uint64_t& rng) {
+  Blob b = base;
+  if (b.empty()) b.push_back(0);
+  const int edits = 1 + static_cast<int>(splitmix64(rng) % 8);
+  for (int e = 0; e < edits; ++e) {
+    switch (splitmix64(rng) % 4) {
+      case 0:  // flip a byte
+        b[splitmix64(rng) % b.size()] ^=
+            static_cast<std::uint8_t>(1u << (splitmix64(rng) % 8));
+        break;
+      case 1:  // overwrite with a random byte
+        b[splitmix64(rng) % b.size()] =
+            static_cast<std::uint8_t>(splitmix64(rng));
+        break;
+      case 2:  // truncate
+        b.resize(1 + splitmix64(rng) % b.size());
+        break;
+      case 3:  // insert a random byte
+        b.insert(b.begin() +
+                     static_cast<std::ptrdiff_t>(splitmix64(rng) %
+                                                 (b.size() + 1)),
+                 static_cast<std::uint8_t>(splitmix64(rng)));
+        break;
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  long budget_s = 10;
+  std::uint64_t seed = 42;
+  std::vector<Blob> corpus;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "-max_total_time=", 16) == 0) {
+      budget_s = std::strtol(a + 16, nullptr, 10);
+    } else if (std::strncmp(a, "-seed=", 6) == 0) {
+      seed = std::strtoull(a + 6, nullptr, 10);
+    } else if (a[0] == '-') {
+      // Other libFuzzer flags: accepted and ignored.
+    } else {
+      load_corpus(a, corpus);
+    }
+  }
+  std::uint64_t execs = 0;
+  for (const Blob& b : corpus) {
+    LLVMFuzzerTestOneInput(b.data(), b.size());
+    ++execs;
+  }
+  std::fprintf(stderr, "fuzz-fallback: %llu corpus file(s) replayed\n",
+               static_cast<unsigned long long>(execs));
+  if (!corpus.empty() && budget_s > 0) {
+    const std::time_t deadline = std::time(nullptr) + budget_s;
+    std::uint64_t rng = seed;
+    while (std::time(nullptr) < deadline) {
+      for (int burst = 0; burst < 256; ++burst) {
+        const Blob b = mutate(corpus[splitmix64(rng) % corpus.size()], rng);
+        LLVMFuzzerTestOneInput(b.data(), b.size());
+        ++execs;
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "fuzz-fallback: done, %llu exec(s), seed %llu, no crashes\n",
+               static_cast<unsigned long long>(execs),
+               static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fuzz harness for net::FrameReader (tests/fuzz, `fuzzlane`).
+//
+// Input layout: byte 0 seeds the chunking pattern, the rest is the raw
+// stream. The harness feeds the stream in pseudo-random chunk sizes and
+// drains frames as it goes — the reader must never crash, leak, or hand
+// back a frame larger than its limit, whatever the bytes or the
+// segmentation. FramingError (an oversized length header) is the one
+// sanctioned escape: the connection owner drops the stream.
+#include <cstddef>
+#include <cstdint>
+
+#include "net/framing.hpp"
+
+namespace {
+constexpr std::size_t kMaxFrame = 4096;
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  rac::net::FrameReader reader(kMaxFrame);
+  std::uint8_t chunk_seed = data[0];
+  std::size_t i = 1;
+  try {
+    while (i < size) {
+      std::size_t step = 1 + chunk_seed % 37;
+      chunk_seed = static_cast<std::uint8_t>(chunk_seed * 167u + 13u);
+      if (step > size - i) step = size - i;
+      reader.feed(data + i, step);
+      i += step;
+      while (auto frame = reader.next()) {
+        if (frame->size() > kMaxFrame) __builtin_trap();
+      }
+    }
+    // Round-trip property on the tail: whatever survived as residue must
+    // re-frame and re-parse to the identical payload.
+    if (reader.bytes_buffered() == 0 && size > 1) {
+      rac::ByteView payload(data + 1, (size - 1) % (kMaxFrame + 1));
+      if (payload.size() <= kMaxFrame) {
+        const rac::Bytes wire = rac::net::encode_frame(payload);
+        rac::net::FrameReader again(kMaxFrame);
+        again.feed(wire.data(), wire.size());
+        const auto out = again.next();
+        if (!out || out->size() != payload.size()) __builtin_trap();
+        for (std::size_t k = 0; k < payload.size(); ++k) {
+          if ((*out)[k] != payload[k]) __builtin_trap();
+        }
+      }
+    }
+  } catch (const rac::net::FramingError&) {
+    // Oversized header: the defensive path, not a bug.
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fuzz harness for net::Manifest::decode (tests/fuzz, `fuzzlane`).
+//
+// Arbitrary text on stdin is exactly what a hostile or corrupted
+// launcher could hand a node; decode must either reject it with
+// std::runtime_error or produce a structurally valid manifest. For
+// accepted inputs the encode/decode pair must be a fixed point and the
+// ident derivation must stay in bounds.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <sstream>
+#include <string>
+
+#include "net/manifest.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const rac::net::Manifest m = rac::net::Manifest::decode(in);
+    // decode() promises peers sorted with endpoints 0..n-1.
+    for (std::size_t i = 0; i < m.peers.size(); ++i) {
+      if (m.peers[i].endpoint != i) __builtin_trap();
+    }
+    const std::vector<std::uint64_t> idents = m.derive_idents();
+    if (idents.size() != m.peers.size()) __builtin_trap();
+    // Fixed point: re-encoding a decoded-from-encoded manifest must
+    // reproduce the wire text bit-for-bit.
+    const std::string wire = m.encode();
+    std::istringstream again(wire);
+    const rac::net::Manifest m2 = rac::net::Manifest::decode(again);
+    if (m2.encode() != wire) __builtin_trap();
+  } catch (const std::exception&) {
+    // Malformed manifest: the sanctioned rejection path.
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Smoke-run one fuzz harness over its seed corpus (`fuzzlane`).
+
+Invokes the harness binary libFuzzer-style: a writable scratch dir for
+new corpus entries first (so libFuzzer never writes into the source
+tree), then the read-only seed corpus, with a wall-clock budget and a
+fixed seed. Works identically for real libFuzzer binaries and the
+fallback driver (which accepts the same flags). Exits 77 (the ctest
+SKIP_RETURN_CODE) when the binary was not built.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--binary", required=True)
+    ap.add_argument("--corpus", required=True)
+    ap.add_argument("--seconds", type=int, default=10)
+    ap.add_argument("--seed", type=int, default=42)
+    args = ap.parse_args()
+
+    if not os.path.exists(args.binary):
+        print("run_fuzz: %s not built; skipping" % args.binary)
+        return 77
+    if not os.path.isdir(args.corpus):
+        print("run_fuzz: seed corpus %s missing" % args.corpus,
+              file=sys.stderr)
+        return 1
+
+    with tempfile.TemporaryDirectory(prefix="rac_fuzz_") as scratch:
+        cmd = [args.binary,
+               "-max_total_time=%d" % args.seconds,
+               "-seed=%d" % args.seed,
+               "-print_final_stats=1",
+               scratch, args.corpus]
+        proc = subprocess.run(cmd)
+    if proc.returncode != 0:
+        print("run_fuzz: %s crashed (exit %d)" % (
+            os.path.basename(args.binary), proc.returncode),
+            file=sys.stderr)
+        return 1
+    print("run_fuzz: %s clean over seed corpus + %ds budget" % (
+        os.path.basename(args.binary), args.seconds))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <string>
 #include <thread>
@@ -21,6 +22,7 @@
 #include "net/framing.hpp"
 #include "net/manifest.hpp"
 #include "net/node_driver.hpp"
+#include "net/retry.hpp"
 #include "net/socket.hpp"
 #include "net/timer_queue.hpp"
 
@@ -468,6 +470,121 @@ TEST(ConnectionEintr, SignalStormDoesNotCorruptOrKillTheStream) {
 
   ASSERT_EQ(::setitimer(ITIMER_REAL, &old_timer, nullptr), 0);
   ASSERT_EQ(::sigaction(SIGALRM, &old_sa, nullptr), 0);
+}
+
+// --- net/retry.hpp: the N5 helper surface under a signal storm ---------
+
+// Same 1ms-SIGALRM-without-SA_RESTART recipe as ConnectionEintr above,
+// packaged RAII-style so each helper test gets a real EINTR source.
+class SignalStorm {
+ public:
+  SignalStorm() {
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) {};
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: syscalls fail with EINTR
+    EXPECT_EQ(::sigaction(SIGALRM, &sa, &old_sa_), 0);
+    itimerval storm = {};
+    storm.it_interval.tv_usec = 1000;
+    storm.it_value.tv_usec = 1000;
+    EXPECT_EQ(::setitimer(ITIMER_REAL, &storm, &old_timer_), 0);
+  }
+  ~SignalStorm() {
+    ::setitimer(ITIMER_REAL, &old_timer_, nullptr);
+    ::sigaction(SIGALRM, &old_sa_, nullptr);
+  }
+
+ private:
+  struct sigaction old_sa_;
+  itimerval old_timer_;
+};
+
+TEST(RetryHelpers, WriteAllDeliversEveryByteThroughAStorm) {
+  // Blocking socketpair with a small kernel buffer, a draining reader
+  // thread, and 1ms EINTRs: write_all must absorb both the interrupts
+  // and the short writes and deliver the payload byte-exactly.
+  SignalStorm storm;
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const int sndbuf = 4096;
+  ::setsockopt(fds[0], SOL_SOCKET, SO_SNDBUF, &sndbuf, sizeof(sndbuf));
+
+  constexpr std::size_t kLen = 256 * 1024;
+  std::vector<std::uint8_t> payload(kLen);
+  for (std::size_t i = 0; i < kLen; ++i) {
+    payload[i] = static_cast<std::uint8_t>(i * 131 + (i >> 8));
+  }
+  std::vector<std::uint8_t> received;
+  received.reserve(kLen);
+  std::thread reader([&] {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(fds[1], buf, sizeof(buf));
+      if (n > 0) {
+        received.insert(received.end(), buf, buf + n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or real error
+    }
+  });
+  EXPECT_TRUE(write_all(fds[0], payload.data(), payload.size()));
+  ::close(fds[0]);  // EOF lets the reader finish
+  reader.join();
+  ::close(fds[1]);
+  EXPECT_EQ(received, payload);
+}
+
+TEST(RetryHelpers, WriteAllFailsClosedWhenThePeerIsGone) {
+  int fds[2];
+  ASSERT_EQ(nonblocking_pair(fds), 0);
+  ::close(fds[1]);
+  struct sigaction ign = {};
+  ign.sa_handler = SIG_IGN;
+  struct sigaction old_pipe;
+  ASSERT_EQ(::sigaction(SIGPIPE, &ign, &old_pipe), 0);
+  const char byte = 'x';
+  EXPECT_FALSE(write_all(fds[0], &byte, 1));  // EPIPE, not a retry loop
+  ASSERT_EQ(::sigaction(SIGPIPE, &old_pipe, nullptr), 0);
+  ::close(fds[0]);
+}
+
+TEST(RetryHelpers, WaitpidEintrReapsAChildThroughAStorm) {
+  SignalStorm storm;
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: outlive a few storm ticks, then exit with a marker status.
+    timespec nap{0, 30 * 1000 * 1000};
+    while (::nanosleep(&nap, &nap) != 0 && errno == EINTR) {
+    }
+    ::_exit(7);
+  }
+  int status = 0;
+  EXPECT_EQ(waitpid_eintr(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 7);
+}
+
+TEST(RetryHelpers, SleepMsEintrSleepsTheFullDuration) {
+  // nanosleep without the remaining-time feedback returns early on every
+  // storm tick; the helper must still deliver the whole nap.
+  SignalStorm storm;
+  const auto t0 = std::chrono::steady_clock::now();
+  sleep_ms_eintr(60);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_GE(elapsed.count(), 60);
+}
+
+TEST(RetryHelpers, RetryEintrPassesThroughNonEintrFailures) {
+  errno = EBADF;
+  const int r = retry_eintr([] {
+    errno = EBADF;
+    return -1;
+  });
+  EXPECT_EQ(r, -1);
+  EXPECT_EQ(errno, EBADF);
 }
 
 // --- Manifest round-trip with resilience and fault knobs ---------------

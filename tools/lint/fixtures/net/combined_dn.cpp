@@ -1,0 +1,19 @@
+// D- and N-rules compose in a single report on one net-scope file: the
+// blocking, EINTR-less read in a callback trips both N1 and N5, and the
+// raw std engine trips D3 (net/ exempts D2 time sources, never entropy
+// or raw engines).
+#include <random>
+#include <unistd.h>
+
+class Pump {
+ public:
+  void handle_readable(int fd) {
+    char buf[8];
+    ::read(fd, buf, sizeof(buf));  // expect: N1 // expect: N5
+    (void)fd;
+  }
+  int jitter() {
+    std::mt19937 gen(7);  // expect: D3
+    return static_cast<int>(gen());
+  }
+};

@@ -1,0 +1,48 @@
+// N1 negative: the sanctioned shapes. epoll_wait in the spin loop (the
+// loop's one block point, and not a callback extent), a nonblocking
+// recv in a callback, and a nonblocking dial (EINPROGRESS) reached from
+// a timer closure.
+#include <cerrno>
+#include <cstdint>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+struct Timers {
+  void arm(long deadline, void (*cb)());
+  template <typename F>
+  void arm(long deadline, F f) { (void)deadline; f(); }
+};
+
+class Pump {
+ public:
+  void spin_once(int epfd) {
+    epoll_event evs[16];
+    int n;
+    do {
+      n = ::epoll_wait(epfd, evs, 16, 10);
+    } while (n < 0 && errno == EINTR);
+  }
+  void handle_readable(int fd) {
+    char buf[64];
+    ssize_t n;
+    do {
+      n = ::recv(fd, buf, sizeof(buf), 0);
+    } while (n < 0 && errno == EINTR);
+    (void)fd;
+  }
+  void schedule_redial(long now) {
+    timers_.arm(now + 50, [this] { dial(7); });
+  }
+  void dial(int fd) {
+    sockaddr addr{};
+    // Nonblocking connect: EINPROGRESS means completion arrives via
+    // epoll, so the syscall never blocks this thread.
+    if (::connect(fd, &addr, sizeof(addr)) != 0 && errno != EINPROGRESS &&
+        errno != EINTR) {
+      return;
+    }
+  }
+
+ private:
+  Timers timers_;
+};

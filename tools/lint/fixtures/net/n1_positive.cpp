@@ -1,0 +1,32 @@
+// N1 positive: blocking syscalls reachable from event-loop callback
+// extents — directly (the read in on_link_event) and transitively
+// through the call graph (handle_readable -> flush_audit -> audit_log
+// -> write). The EINTR loops keep N5 quiet so this fixture isolates N1.
+#include <cerrno>
+#include <cstdint>
+#include <unistd.h>
+
+void audit_log(const char* msg, int len) {
+  ssize_t n;
+  do {
+    n = ::write(2, msg, len);
+  } while (n < 0 && errno == EINTR);
+}
+
+void flush_audit(const char* msg) { audit_log(msg, 3); }
+
+class Pump {
+ public:
+  void on_link_event(int fd, std::uint32_t events) {
+    char buf[64];
+    ssize_t n;
+    do {
+      n = ::read(fd, buf, sizeof(buf));  // expect: N1
+    } while (n < 0 && errno == EINTR);
+    (void)events;
+  }
+  void handle_readable(int fd) {
+    flush_audit("rx");  // expect: N1
+    (void)fd;
+  }
+};

@@ -1,0 +1,35 @@
+// N2 negative: the sanctioned deferred-teardown shape. Callbacks only
+// mark the link dead via drop_link(); reap_links() erases dead entries
+// from the spin loop, when no link callback frame is on the stack.
+#include <map>
+#include <memory>
+
+struct Connection {};
+struct Link {
+  std::unique_ptr<Connection> conn;
+  bool dead = false;
+};
+
+class Driver {
+ public:
+  void on_frame(int fd) { drop_link(fd); }
+  void on_link_event(int fd) { drop_link(fd); }
+  void drop_link(int fd) {
+    const auto it = links_.find(fd);
+    if (it == links_.end() || it->second.dead) return;
+    it->second.dead = true;
+  }
+  void spin_once() { reap_links(); }
+  void reap_links() {
+    for (auto it = links_.begin(); it != links_.end();) {
+      if (it->second.dead) {
+        it = links_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+ private:
+  std::map<int, Link> links_;
+};

@@ -1,0 +1,37 @@
+// N2 positive: direct teardown of Link/Connection state under a
+// callback frame. transmit() mirrors the exact PR 7 use-after-free:
+// on_frame (dispatched from inside Connection::handle_readable) reaches
+// transmit(), which erases the very link whose read callback is still
+// on the stack. The erases in on_link_event and the conn.reset() in
+// handle_readable are the same class, one hop shorter.
+#include <map>
+#include <memory>
+
+struct Connection {
+  int fd() const { return 3; }
+};
+struct Link {
+  std::unique_ptr<Connection> conn;
+  bool dead = false;
+};
+
+class Driver {
+ public:
+  void on_frame(int fd) { transmit(fd); }
+  void transmit(int fd) {
+    const auto it = links_.find(fd);
+    if (it == links_.end()) return;
+    links_.erase(it);  // expect: N2
+  }
+  void on_link_event(int fd) {
+    links_.erase(fd);  // expect: N2
+    conns_.erase(fd);  // expect: N2
+  }
+  void handle_readable(Link& link) {
+    link.conn.reset();  // expect: N2
+  }
+
+ private:
+  std::map<int, Link> links_;
+  std::map<int, std::unique_ptr<Connection>> conns_;
+};

@@ -1,0 +1,46 @@
+// N3 negative: the Link.serial idiom and benign captures. The gate-lift
+// closure re-finds the link and compares the captured serial before
+// touching it; the heartbeat closure touches no per-link state; the
+// loop registration only forwards to the dispatch entry point.
+#include <cstdint>
+#include <map>
+
+struct Link {
+  std::uint64_t serial = 0;
+  bool read_gated = false;
+};
+struct Timers {
+  template <typename F>
+  void arm(long deadline, F f);
+};
+struct Loop {
+  template <typename F>
+  void add(int fd, std::uint32_t mask, F f);
+};
+
+class Driver {
+ public:
+  void schedule_gate_lift(int fd, long now) {
+    const std::uint64_t serial = links_.find(fd)->second.serial;
+    timers_.arm(now + 50, [this, fd, serial] {
+      const auto it = links_.find(fd);
+      if (it == links_.end() || it->second.serial != serial) return;
+      it->second.read_gated = false;
+    });
+  }
+  void schedule_heartbeat(long now) {
+    timers_.arm(now + 250, [this] { heartbeat_tick(); });
+  }
+  void watch(int fd) {
+    loop_.add(fd, 1u, [this, fd](std::uint32_t events) {
+      on_link_event(fd, events);
+    });
+  }
+  void heartbeat_tick();
+  void on_link_event(int fd, std::uint32_t events);
+
+ private:
+  Timers timers_;
+  Loop loop_;
+  std::map<int, Link> links_;
+};

@@ -1,0 +1,33 @@
+// N3 positive: deferred closures with hazardous captures. The first
+// arm() captures raw `this` and dereferences per-link state with no
+// serial/epoch guard — the fd can be reused by a new link before the
+// timer fires. The second captures the registering frame by reference,
+// which dangles by construction once the call returns.
+#include <map>
+
+struct Link {
+  bool read_gated = false;
+};
+struct Timers {
+  template <typename F>
+  void arm(long deadline, F f);
+};
+
+class Driver {
+ public:
+  void schedule_gate_lift(int fd, long now) {
+    timers_.arm(now + 50, [this, fd] {  // expect: N3
+      links_.find(fd)->second.read_gated = false;
+    });
+  }
+  void schedule_ping(int fd, long now) {
+    timers_.arm(now + 50, [&] {  // expect: N3
+      ping(fd);
+    });
+  }
+  void ping(int fd);
+
+ private:
+  Timers timers_;
+  std::map<int, Link> links_;
+};

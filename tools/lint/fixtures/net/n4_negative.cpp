@@ -1,0 +1,40 @@
+// N4 negative: sanctioned fd lifecycles. make_listener() acquires the
+// socket nonblocking+cloexec at creation, closes it on the error path
+// and returns it to the caller otherwise; the epoll fd lands in a
+// member; the accepted fd is handed to an adopting owner.
+#include <cerrno>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+struct Owner {
+  void adopt(int fd);
+};
+
+int make_listener() {
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  if (::listen(fd, 8) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+class Loop {
+ public:
+  Loop() { epfd_ = ::epoll_create1(EPOLL_CLOEXEC); }
+
+ private:
+  int epfd_ = -1;
+};
+
+void take(int listen_fd, Owner& owner) {
+  int fd;
+  do {
+    fd = ::accept4(listen_fd, nullptr, nullptr,
+                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+  } while (fd < 0 && errno == EINTR);
+  if (fd >= 0) owner.adopt(fd);
+}

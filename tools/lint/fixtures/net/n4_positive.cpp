@@ -1,0 +1,17 @@
+// N4 positive: fd-lifecycle violations. leaky_probe() acquires a
+// blocking socket (no SOCK_NONBLOCK|SOCK_CLOEXEC) and then leaks it —
+// the fd is neither closed, returned, nor handed to an owner. beacon()
+// discards an eventfd outright.
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+
+int leaky_probe() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);  // expect: N4
+  if (fd < 0) return -1;
+  ::listen(fd, 8);
+  return 0;
+}
+
+void beacon() {
+  ::eventfd(0, 0);  // expect: N4
+}

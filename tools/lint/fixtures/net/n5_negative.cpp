@@ -1,0 +1,28 @@
+// N5 negative: every syscall result is EINTR-disciplined — either an
+// explicit compare-and-retry loop or the retry_eintr wrapper.
+#include <cerrno>
+#include <sys/wait.h>
+#include <unistd.h>
+
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  decltype(fn()) r;
+  do {
+    r = fn();
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+ssize_t drain(int fd, char* buf, long n) {
+  ssize_t r;
+  do {
+    r = ::read(fd, buf, static_cast<size_t>(n));
+  } while (r < 0 && errno == EINTR);
+  return r;
+}
+
+int wait_child(int pid) {
+  int status = 0;
+  (void)retry_eintr([&] { return ::waitpid(pid, &status, 0); });
+  return status;
+}

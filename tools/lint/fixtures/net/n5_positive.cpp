@@ -1,0 +1,13 @@
+// N5 positive: raw syscall sites whose extents have no EINTR/EAGAIN
+// discipline — under a signal storm (the chaos lane's watchdog SIGALRM)
+// drain() fails spuriously and wait_ready() returns early.
+#include <sys/epoll.h>
+#include <unistd.h>
+
+ssize_t drain(int fd, char* buf, long n) {
+  return ::read(fd, buf, static_cast<size_t>(n));  // expect: N5
+}
+
+int wait_ready(int epfd, epoll_event* evs) {
+  return ::epoll_wait(epfd, evs, 64, -1);  // expect: N5
+}

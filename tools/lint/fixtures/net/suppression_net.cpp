@@ -1,0 +1,27 @@
+// N-rule suppression semantics: a justified allow(N2) on its own line
+// and on the flagged line both suppress; a reason-less allow(N2) is
+// itself an S1 finding and suppresses nothing, so the teardown it
+// decorates stays an unsuppressed N2.
+// expect-suppressed-count: 2
+#include <map>
+
+struct Link {
+  bool dead = false;
+};
+
+class Driver {
+ public:
+  void on_link_event(int fd) {
+    // rac-lint: allow(N2) fixture: teardown proven re-entrancy safe here
+    links_.erase(fd);
+    conns_.erase(fd);  // rac-lint: allow(N2) fixture: same-line form
+  }
+  void handle_readable(int fd) {
+    // expect-next-line: S1 // expect-next-line: N2
+    links_.erase(fd);  // rac-lint: allow(N2)
+  }
+
+ private:
+  std::map<int, Link> links_;
+  std::map<int, int> conns_;
+};

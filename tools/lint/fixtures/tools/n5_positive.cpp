@@ -1,0 +1,18 @@
+// N5 positive, tools/ scope: launcher code is in the N family's scope
+// (it drives the live transport and runs under the watchdog's SIGALRM),
+// so the EINTR-less reap and nap are flagged. The std::rand() call is
+// NOT: the D family never runs on tools/.
+#include <cstdlib>
+#include <sys/wait.h>
+#include <unistd.h>
+
+int harvest(int pid) {
+  int status = 0;
+  ::waitpid(pid, &status, 0);  // expect: N5
+  (void)std::rand();           // D2 stays scoped to src/: no finding
+  return status;
+}
+
+void nap() {
+  ::usleep(1000);  // expect: N5
+}

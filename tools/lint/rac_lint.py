@@ -26,6 +26,39 @@ reproductions (see DESIGN.md §9 for the contract and the rule catalogue):
       with encode/decode/serialize members) — emission order would be
       implementation-defined.
 
+Net-safety rules (N family, DESIGN.md §15) guard the live transport's
+memory-, fd- and event-loop-safety contracts. They run only on net-scope
+files (src/net/ and tools/); the D family conversely never runs on tools/
+(launchers legitimately print, sleep and fork):
+
+  N1  blocking syscall (read/write/poll/select/sleep/usleep/nanosleep/
+      getaddrinfo/blocking connect/waitpid) reachable from an event-loop
+      callback extent (handle_readable/handle_writable/on_frame/
+      on_link_event/on_listen_ready or a closure registered with a timer
+      queue or the event loop) via the project call graph — one blocked
+      callback wedges every link of the node. connect() is exempt inside
+      extents that set up the non-blocking pattern (EINPROGRESS /
+      SOCK_NONBLOCK / O_NONBLOCK).
+  N2  direct destruction or container-erase of Link/Connection state
+      inside a callback extent (or any function reachable from one) —
+      the PR 7 use-after-free class. Teardown must mark the link dead and
+      route through the sanctioned drop_link()/reap_links() deferred
+      path; invoking the reaper from a callback is flagged too.
+  N3  closure registered with a timer queue or the event loop that
+      captures by reference (dangling by construction once deferred), or
+      captures raw `this` and dereferences per-link state without a
+      serial/epoch guard (the Link.serial idiom: re-find the link, compare
+      the captured serial, bail if it changed).
+  N4  fd-acquiring call (socket/accept4/epoll_create1/timerfd_create/
+      eventfd/pipe2) whose fd neither reaches a RAII owner / member /
+      caller nor a close() in the same extent; socket()/accept4() must
+      also request SOCK_NONBLOCK|SOCK_CLOEXEC at creation (a blocking
+      window between acquisition and fcntl is a real hazard under epoll).
+  N5  raw syscall site (recv/send/read/write/accept4/epoll_wait/connect/
+      waitpid/usleep/nanosleep) in an extent with no EINTR handling and
+      no retry-helper use — the PR 9 signal-storm hardening frozen as a
+      rule.
+
 Engines:
   textual  — always available; a comment/string-blanking tokenizer plus a
              lightweight structural pass (container decls, function extents,
@@ -62,6 +95,11 @@ RULES = {
     "D4": "pointer-keyed ordered container or pointer comparator",
     "D5": "float accumulation in merge path without documented order",
     "D6": "unordered container inside a wire/serializable struct",
+    "N1": "blocking syscall reachable from an event-loop callback extent",
+    "N2": "direct Link/Connection teardown inside a callback extent",
+    "N3": "unguarded raw-state capture in a deferred timer/loop closure",
+    "N4": "fd acquired without owner, close-on-all-paths, or NONBLOCK|CLOEXEC",
+    "N5": "syscall site without EINTR/EAGAIN discipline",
     "S1": "suppression pragma without a reason",
 }
 
@@ -236,6 +274,17 @@ class Func:
 
 
 @dataclass
+class DeferredLambda:
+    """A closure registered with a timer queue (`.arm(`) or the event loop
+    (`.add(`): it outlives the registering call, so its captures are the
+    N3 hazard surface and its body is an event-loop callback extent."""
+    kind: str                   # "arm" | "add"
+    line: int
+    captures: str               # text between [ and ]
+    body_span: tuple[int, int]  # [start, end) offsets into code
+
+
+@dataclass
 class FileModel:
     path: str
     rel: str
@@ -245,6 +294,7 @@ class FileModel:
     unordered_methods: set = field(default_factory=set)
     funcs: list = field(default_factory=list)
     loops: list = field(default_factory=list)
+    lambdas: list = field(default_factory=list)  # DeferredLambda
     float_idents: set = field(default_factory=set)
     suppress_line: dict = field(default_factory=dict)  # line -> (rules, reason)
     suppress_file: dict = field(default_factory=dict)  # rule -> reason
@@ -399,6 +449,53 @@ def scan_loops(model: FileModel) -> None:
 
 RX_FLOAT_DECL = re.compile(r"\b(?:double|float)\s+([A-Za-z_]\w*)")
 
+# Registration sites whose closure argument is deferred past the current
+# stack frame: timer queues (`ttimers_.arm(...)`) and the event loop
+# (`loop_.add(fd, mask, ...)`). Member-qualified on purpose — a bare
+# `add(`/`arm(` is too common a vocabulary to claim.
+RX_REGISTER = re.compile(r"(?:\.|->)\s*(arm|add)\s*\(")
+
+
+def scan_deferred_lambdas(model: FileModel) -> None:
+    code = model.code
+    for m in RX_REGISTER.finditer(code):
+        open_paren = m.end() - 1
+        close_paren = match_paren(code, open_paren)
+        if close_paren < 0:
+            continue
+        i, end = open_paren + 1, close_paren
+        while i < end:
+            if code[i] != "[":
+                i += 1
+                continue
+            rb = match_paren(code, i, "[", "]")
+            if rb < 0 or rb > end:
+                break
+            j = rb + 1
+            while j < end and code[j] in " \t\n":
+                j += 1
+            if j < end and code[j] == "(":  # parameter list
+                pc = match_paren(code, j)
+                if pc < 0 or pc > end:
+                    i = rb + 1
+                    continue
+                j = pc + 1
+            # Skip qualifiers (mutable/noexcept/trailing return) up to the
+            # body brace; a subscript like peers_[ep].x hits '.'/';' first.
+            k = j
+            while k < end and code[k] not in "{;)](,":
+                k += 1
+            if k < end and code[k] == "{":
+                bc = match_paren(code, k, "{", "}")
+                if bc < 0:
+                    break
+                model.lambdas.append(DeferredLambda(
+                    kind=m.group(1), line=line_of(code, i),
+                    captures=code[i + 1:rb], body_span=(k, bc + 1)))
+                i = bc + 1
+            else:
+                i = rb + 1
+
 
 def build_model(path: str, root: str) -> FileModel:
     with open(path, "r", encoding="utf-8", errors="replace") as fh:
@@ -409,13 +506,81 @@ def build_model(path: str, root: str) -> FileModel:
     scan_container_decls(model)
     scan_functions(model)
     scan_loops(model)
+    scan_deferred_lambdas(model)
     model.float_idents = set(RX_FLOAT_DECL.findall(model.code))
     return model
 
 
 # ---------------------------------------------------------------------------
+# Net-safety scope and callback extents (N family)
+# ---------------------------------------------------------------------------
+
+RX_TOOLS_SCOPE = re.compile(r"(^|/)tools/")
+
+# Named event-loop entry points: the EventLoop/NodeDriver dispatch surface.
+# A slow body in any of these stalls every link of the node.
+CALLBACK_FN_NAMES = frozenset({
+    "handle_readable", "handle_writable", "on_frame", "on_link_event",
+    "on_listen_ready", "on_readable", "on_writable", "on_timer",
+})
+
+
+def in_net_scope(rel: str) -> bool:
+    return bool(RX_NET_SCOPE.search(rel) or RX_TOOLS_SCOPE.search(rel))
+
+
+def callback_extents(model: FileModel) -> list:
+    """(description, line, body_span) for every event-loop callback extent:
+    the named dispatch entry points plus every deferred closure body."""
+    ext = []
+    for f in model.funcs:
+        if f.name in CALLBACK_FN_NAMES:
+            ext.append(("callback %s()" % f.name, f.line, f.body_span))
+    for lam in model.lambdas:
+        ext.append(("closure registered via .%s()" % lam.kind, lam.line,
+                    lam.body_span))
+    return ext
+
+
+def enclosing_func(model: FileModel, idx: int):
+    """Innermost named function whose body contains offset idx."""
+    best = None
+    for f in model.funcs:
+        a, b = f.body_span
+        if a <= idx < b and (best is None or
+                             a > best.body_span[0]):
+            best = f
+    return best
+
+
+# ---------------------------------------------------------------------------
 # Project model: all files + companion pairing + hazard fixpoint
 # ---------------------------------------------------------------------------
+
+# Syscalls that can block the calling thread indefinitely (N1). The
+# lookbehind rejects member calls (`loop_.poll(`) and suffixed names
+# (`write_u32(`). epoll_wait is deliberately absent: it is the loop's one
+# sanctioned block point. connect() is exempted per-extent when the
+# non-blocking dial pattern (EINPROGRESS / SOCK_NONBLOCK / O_NONBLOCK)
+# is visible.
+BLOCKING_SYSCALLS = {
+    name: re.compile(r"(?<![\w.>])%s\s*\(" % name)
+    for name in ("read", "write", "poll", "select", "sleep", "usleep",
+                 "nanosleep", "getaddrinfo", "gethostbyname", "connect",
+                 "waitpid")
+}
+RX_NONBLOCK_SETUP = re.compile(
+    r"\bEINPROGRESS\b|\bSOCK_NONBLOCK\b|\bO_NONBLOCK\b")
+
+
+def direct_blocking(body: str) -> set:
+    hits = set()
+    for name, rx in BLOCKING_SYSCALLS.items():
+        if rx.search(body):
+            if name == "connect" and RX_NONBLOCK_SETUP.search(body):
+                continue
+            hits.add(name)
+    return hits
 
 
 class Project:
@@ -427,21 +592,52 @@ class Project:
             self.unordered_methods |= m.unordered_methods
         # Hazardous-function fixpoint over bare names.
         self.fn_hazards: dict[str, set] = {}
-        fn_calls: dict[str, set] = {}
+        self.fn_calls: dict[str, set] = {}
+        # Blocking-syscall fixpoint (N1): fn name -> set of blocking
+        # syscalls reachable through its body or callees.
+        self.fn_blocking: dict[str, set] = {}
         for m in models:
             for f in m.funcs:
                 self.fn_hazards.setdefault(f.name, set()).update(
                     f.direct_hazards)
-                fn_calls.setdefault(f.name, set()).update(f.calls)
+                self.fn_calls.setdefault(f.name, set()).update(f.calls)
+                self.fn_blocking.setdefault(f.name, set())
+                if in_net_scope(m.rel):
+                    body = m.code[f.body_span[0]:f.body_span[1]]
+                    self.fn_blocking[f.name] |= direct_blocking(body)
         changed = True
         while changed:
             changed = False
-            for name, calls in fn_calls.items():
+            for name, calls in self.fn_calls.items():
                 for callee in calls:
                     extra = self.fn_hazards.get(callee)
                     if extra and not extra <= self.fn_hazards[name]:
                         self.fn_hazards[name] |= extra
                         changed = True
+                    blk = self.fn_blocking.get(callee)
+                    if blk and not blk <= self.fn_blocking[name]:
+                        self.fn_blocking[name] |= blk
+                        changed = True
+        # Function names reachable from any net-scope callback extent
+        # (N2): a teardown there runs with a callback frame on the stack.
+        seeds: set[str] = set()
+        for m in models:
+            if not in_net_scope(m.rel):
+                continue
+            for _desc, _line, span in callback_extents(m):
+                body = m.code[span[0]:span[1]]
+                for cm in RX_CALL.finditer(body):
+                    if cm.group(1) not in CALL_STOPLIST:
+                        seeds.add(cm.group(1))
+        reach = set(seeds)
+        frontier = list(seeds)
+        while frontier:
+            name = frontier.pop()
+            for callee in self.fn_calls.get(name, ()):
+                if callee not in reach:
+                    reach.add(callee)
+                    frontier.append(callee)
+        self.callback_reachable = reach
 
     def companion(self, model: FileModel) -> FileModel | None:
         base, ext = os.path.splitext(model.path)
@@ -682,8 +878,281 @@ def rule_d6(project: Project, model: FileModel) -> list[Finding]:
     return out
 
 
+# ---------------------------------------------------------------------------
+# N rules: net-safety (src/net/ + tools/ only; see module docstring)
+# ---------------------------------------------------------------------------
+
+
+def rule_n1(project: Project, model: FileModel) -> list[Finding]:
+    if not in_net_scope(model.rel):
+        return []
+    out: list[Finding] = []
+    seen = set()
+    code = model.code
+    for desc, _eline, span in callback_extents(model):
+        body = code[span[0]:span[1]]
+        nonblock = bool(RX_NONBLOCK_SETUP.search(body))
+        for name, rx in BLOCKING_SYSCALLS.items():
+            if name == "connect" and nonblock:
+                continue
+            for sm in rx.finditer(body):
+                ln = line_of(code, span[0] + sm.start())
+                if ("direct", ln, name) in seen:
+                    continue
+                seen.add(("direct", ln, name))
+                out.append(Finding(
+                    "N1", model.rel, ln,
+                    "blocking %s() inside %s — one blocked callback stalls "
+                    "every link on this node; make the fd nonblocking or "
+                    "defer the work through the timer queue" % (name, desc)))
+        for cm in RX_CALL.finditer(body):
+            callee = cm.group(1)
+            if callee in CALL_STOPLIST:
+                continue
+            blk = project.fn_blocking.get(callee)
+            if not blk:
+                continue
+            ln = line_of(code, span[0] + cm.start())
+            if ("call", ln, callee) in seen:
+                continue
+            seen.add(("call", ln, callee))
+            out.append(Finding(
+                "N1", model.rel, ln,
+                "call to %s() from %s reaches blocking syscall(s) %s via "
+                "the call graph — event-loop callbacks must never block" % (
+                    callee, desc, "/".join(sorted(blk)))))
+    return out
+
+
+# Teardown sites: container-erase / reset / delete of identifiers that name
+# Link/Connection state. The deferred path (drop_link marks dead,
+# reap_links erases once the stack is clear, spin_once calls the reaper) is
+# sanctioned; anything else repeats the PR 7 use-after-free.
+RX_N2_SITES = [
+    (re.compile(r"\b(\w*(?:[Ll]ink|[Cc]onn)\w*)\s*(?:\.|->)\s*erase\s*\("),
+     "container-erase on '%s'"),
+    (re.compile(r"\b(\w*[Cc]onn\w*)\s*(?:\.|->)\s*reset\s*\(\s*\)"),
+     "reset() of '%s'"),
+    (re.compile(r"\bdelete\s+(\w*(?:link|conn)\w*)\b"), "delete of '%s'"),
+]
+N2_SANCTIONED = frozenset({"drop_link", "reap_links"})
+RX_REAPER_CALL = re.compile(r"(?<![\w.>])reap_links\s*\(")
+
+
+def _in_callback_extent(model: FileModel, idx: int):
+    for desc, _eline, span in callback_extents(model):
+        if span[0] <= idx < span[1]:
+            return desc
+    return None
+
+
+def rule_n2(project: Project, model: FileModel) -> list[Finding]:
+    if not in_net_scope(model.rel):
+        return []
+    out: list[Finding] = []
+    code = model.code
+    for rx, what in RX_N2_SITES:
+        for m in rx.finditer(code):
+            f = enclosing_func(model, m.start())
+            if f is not None and f.name in N2_SANCTIONED:
+                continue
+            where = _in_callback_extent(model, m.start())
+            if where is None and not (
+                    f is not None and f.name in project.callback_reachable):
+                continue
+            ctx = where or ("%s(), reachable from a callback extent"
+                            % f.name)
+            out.append(Finding(
+                "N2", model.rel, line_of(code, m.start()),
+                ("%s inside %s — destroying Link/Connection state while a "
+                 "callback frame may still be on the stack is the PR 7 "
+                 "use-after-free; mark the link dead and let "
+                 "drop_link()/reap_links() tear it down off-stack")
+                % (what % m.group(1), ctx)))
+    for m in RX_REAPER_CALL.finditer(code):
+        where = _in_callback_extent(model, m.start())
+        f = enclosing_func(model, m.start())
+        if where is None and not (
+                f is not None and f.name in project.callback_reachable
+                and f.name not in N2_SANCTIONED):
+            continue
+        out.append(Finding(
+            "N2", model.rel, line_of(code, m.start()),
+            "reap_links() invoked from %s — the reaper erases live links "
+            "and must only run from the spin loop, never under a callback "
+            "frame" % (where or f.name + "()")))
+    return out
+
+
+RX_N3_TOUCH = re.compile(
+    r"\blinks_|\blink\s*(?:\.|->)|\bconn(?:\b|_)|\bconnections?_")
+RX_N3_GUARD = re.compile(r"\bserial\b|\bepoch\b|\bgeneration\b")
+
+
+def rule_n3(project: Project, model: FileModel) -> list[Finding]:
+    if not in_net_scope(model.rel):
+        return []
+    out: list[Finding] = []
+    code = model.code
+    for lam in model.lambdas:
+        caps = [c.strip() for c in split_top_level(lam.captures, ",")
+                if c.strip()]
+        by_ref = [c for c in caps
+                  if c == "&" or (c.startswith("&") and "=" not in c)]
+        if by_ref:
+            out.append(Finding(
+                "N3", model.rel, lam.line,
+                "deferred closure registered via .%s() captures by "
+                "reference (%s) — the registering frame is gone when the "
+                "closure fires; capture by value" % (
+                    lam.kind, ", ".join(by_ref))))
+            continue
+        if "this" not in caps:
+            continue
+        body = code[lam.body_span[0]:lam.body_span[1]]
+        if RX_N3_TOUCH.search(body) and not RX_N3_GUARD.search(body):
+            out.append(Finding(
+                "N3", model.rel, lam.line,
+                "deferred closure captures raw `this` and dereferences "
+                "per-link state without a serial/epoch guard — the fd can "
+                "be reused by a new link before the timer fires; capture "
+                "the link serial, re-find the link and bail if the serial "
+                "changed (the Link.serial idiom)"))
+    return out
+
+
+RX_N4_ACQUIRE = re.compile(
+    r"(?<![\w.>])(socket|accept4|epoll_create1|timerfd_create|eventfd|"
+    r"pipe2)\s*\(")
+# Calls that merely *use* an fd; passing the fd to one of these is not an
+# ownership transfer. Anything else taking the fd as an argument is
+# presumed to adopt it (RAII wrapper, Connection ctor, registry).
+FD_USE_CALLS = frozenset({
+    "socket", "accept4", "accept", "epoll_create1", "timerfd_create",
+    "eventfd", "pipe2", "bind", "listen", "connect", "getsockname",
+    "getpeername", "setsockopt", "getsockopt", "fcntl", "send", "recv",
+    "sendto", "recvfrom", "read", "write", "shutdown", "epoll_ctl",
+    "ioctl", "close", "dup", "dup2", "timerfd_settime", "epoll_wait",
+}) | CONTROL_KEYWORDS
+
+
+def _fd_owned(body: str, var: str) -> bool:
+    esc = re.escape(var)
+    if re.search(r"\bclose\s*\(\s*%s\b" % esc, body):
+        return True
+    if re.search(r"\breturn\s+%s\b" % esc, body):
+        return True
+    if re.search(r"make_unique\s*<[^;{}]*>\s*\([^;]*\b%s\b" % esc, body):
+        return True
+    if re.search(r"\w+\s*\{[^;{}()]*\b%s\b[^;{}()]*\}" % esc, body):
+        return True  # brace-init into an owner
+    for cm in RX_CALL.finditer(body):
+        if cm.group(1) in FD_USE_CALLS:
+            continue
+        close = match_paren(body, cm.end() - 1)
+        if close < 0:
+            continue
+        if re.search(r"\b%s\b" % esc, body[cm.end():close]):
+            return True  # handed to an adopting call
+    return False
+
+
+def rule_n4(project: Project, model: FileModel) -> list[Finding]:
+    if not in_net_scope(model.rel):
+        return []
+    out: list[Finding] = []
+    code = model.code
+    for m in RX_N4_ACQUIRE.finditer(code):
+        name = m.group(1)
+        close = match_paren(code, m.end() - 1)
+        if close < 0:
+            continue
+        if RX_FUNC_TAIL.match(code, close + 1, close + 300):
+            continue  # a definition of a same-named wrapper, not a call
+        ln = line_of(code, m.start())
+        args = code[m.end():close]
+        if name in ("socket", "accept4") and (
+                "SOCK_NONBLOCK" not in args or "SOCK_CLOEXEC" not in args):
+            out.append(Finding(
+                "N4", model.rel, ln,
+                "%s() without SOCK_NONBLOCK|SOCK_CLOEXEC at creation — a "
+                "later fcntl leaves a window where the fd is blocking "
+                "under epoll (and leaks across exec)" % name))
+        f = enclosing_func(model, m.start())
+        if f is None:
+            continue
+        body = code[f.body_span[0]:f.body_span[1]]
+        if name == "pipe2":
+            vm = re.match(r"\s*&?\s*([A-Za-z_]\w*)", args)
+            if vm and not _fd_owned(body, vm.group(1)):
+                out.append(Finding(
+                    "N4", model.rel, ln,
+                    "pipe2() fds in '%s' are neither closed nor handed to "
+                    "an owner in %s()" % (vm.group(1), f.name)))
+            continue
+        k = m.start() - 1
+        while k >= 0 and code[k] not in ";{}":
+            k -= 1
+        stmt = code[k + 1:m.start()]
+        am = re.search(r"([A-Za-z_]\w*)\s*=\s*(?:::\s*)?$", stmt)
+        if am is None:
+            if re.search(r"\breturn\s*(?:::\s*)?$", stmt):
+                continue  # fd handed straight to the caller
+            out.append(Finding(
+                "N4", model.rel, ln,
+                "result of %s() discarded — the fd leaks immediately; "
+                "store it in a RAII owner or close it on every path"
+                % name))
+            continue
+        var = am.group(1)
+        if var.endswith("_"):
+            continue  # member fd, owned by the enclosing object
+        if not _fd_owned(body, var):
+            out.append(Finding(
+                "N4", model.rel, ln,
+                "fd '%s' from %s() is neither closed on all paths, "
+                "returned, nor handed to a RAII owner within %s() — it "
+                "leaks on the early-exit paths" % (var, name, f.name)))
+    return out
+
+
+RX_N5_SYSCALL = re.compile(
+    r"(?<![\w.>])(recv|recvfrom|send|sendto|read|write|accept4|accept|"
+    r"epoll_wait|connect|waitpid|usleep|nanosleep)\s*\(")
+RX_N5_OK = re.compile(r"\bEINTR\b|\bretry_eintr\b")
+
+
+def rule_n5(project: Project, model: FileModel) -> list[Finding]:
+    if not in_net_scope(model.rel):
+        return []
+    out: list[Finding] = []
+    code = model.code
+    for m in RX_N5_SYSCALL.finditer(code):
+        name = m.group(1)
+        close = match_paren(code, m.end() - 1)
+        if close >= 0 and RX_FUNC_TAIL.match(code, close + 1, close + 300):
+            continue  # definition of a same-named wrapper, not a call
+        f = enclosing_func(model, m.start())
+        if f is None:
+            continue
+        body = code[f.body_span[0]:f.body_span[1]]
+        if RX_N5_OK.search(body):
+            continue
+        if name == "connect" and RX_NONBLOCK_SETUP.search(body):
+            continue  # nonblocking dial; completion handled via epoll
+        out.append(Finding(
+            "N5", model.rel, line_of(code, m.start()),
+            "%s() in %s() with no EINTR/EAGAIN handling in the extent — "
+            "a signal storm (see the PR 9 hardening) makes this fail or "
+            "short-deliver spuriously; compare against EINTR and retry, "
+            "or use the net/retry.hpp helpers" % (name, f.name)))
+    return out
+
+
 RULE_FNS = {"D1": rule_d1, "D2": rule_d2, "D3": rule_d3, "D4": rule_d4,
-            "D5": rule_d5, "D6": rule_d6}
+            "D5": rule_d5, "D6": rule_d6,
+            "N1": rule_n1, "N2": rule_n2, "N3": rule_n3, "N4": rule_n4,
+            "N5": rule_n5}
 
 
 def apply_suppressions(model: FileModel,
@@ -812,18 +1281,23 @@ def collect_files(args) -> tuple[list[str], list[str]]:
     with open(args.compile_commands, "r", encoding="utf-8") as fh:
         entries = json.load(fh)
     src_root = os.path.abspath(os.path.join(args.src_root, "src"))
+    # tools/ TUs are in scope for the N family (the launchers drive the
+    # live transport); the D family skips them in the rule dispatch.
+    tools_root = os.path.abspath(os.path.join(args.src_root, "tools"))
+    roots = (src_root, tools_root)
     seen = set()
     for e in entries:
         f = os.path.abspath(os.path.join(e.get("directory", "."), e["file"]))
-        if f.startswith(src_root + os.sep) and f not in seen:
+        if any(f.startswith(r + os.sep) for r in roots) and f not in seen:
             seen.add(f)
             tus.append(f)
-    for dirpath, _dirs, names in os.walk(src_root):
-        for n in sorted(names):
-            if n.endswith((".hpp", ".h")):
-                f = os.path.join(dirpath, n)
-                if f not in seen:
-                    seen.add(f)
+    for root_dir in roots:
+        for dirpath, _dirs, names in os.walk(root_dir):
+            for n in sorted(names):
+                if n.endswith((".hpp", ".h")):
+                    f = os.path.join(dirpath, n)
+                    if f not in seen:
+                        seen.add(f)
     files = sorted(seen)
     return files, sorted(tus)
 
@@ -838,7 +1312,7 @@ def main(argv=None) -> int:
                     help="repo root; lint scope is <src-root>/src")
     ap.add_argument("--engine", choices=["auto", "textual", "clang"],
                     default="auto")
-    ap.add_argument("--rules", default="D1,D2,D3,D4,D5,D6",
+    ap.add_argument("--rules", default="D1,D2,D3,D4,D5,D6,N1,N2,N3,N4,N5",
                     help="comma-separated rule subset")
     ap.add_argument("--json", dest="json_out", help="write JSON report here")
     ap.add_argument("--schema",
@@ -883,8 +1357,14 @@ def main(argv=None) -> int:
         per_file: list[Finding] = []
         for rid in sorted(wanted):
             fn = RULE_FNS.get(rid)
-            if fn:
-                per_file += fn(project, model)
+            if fn is None:
+                continue
+            # Determinism rules never ran on tools/ (launchers legitimately
+            # print, sleep and fork); keep that scope now tools/ TUs are
+            # collected for the N family.
+            if rid.startswith("D") and RX_TOOLS_SCOPE.search(model.rel):
+                continue
+            per_file += fn(project, model)
         if clang_hits is not None and "D1" in wanted:
             textual_d1 = {(f.file, f.line) for f in per_file
                           if f.rule == "D1"}

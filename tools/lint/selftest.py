@@ -28,8 +28,8 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 LINT = os.path.join(HERE, "rac_lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
 
-RX_EXPECT = re.compile(r"//\s*expect:\s*([DS]\d)")
-RX_EXPECT_NEXT = re.compile(r"//\s*expect-next-line:\s*([DS]\d)")
+RX_EXPECT = re.compile(r"//\s*expect:\s*([DSN]\d)")
+RX_EXPECT_NEXT = re.compile(r"//\s*expect-next-line:\s*([DSN]\d)")
 RX_EXPECT_SUPP = re.compile(r"//\s*expect-suppressed-count:\s*(\d+)")
 
 
@@ -103,7 +103,8 @@ def main() -> int:
         return 1
 
     # Every rule must have at least one positive and one negative fixture.
-    rules = ("D1", "D2", "D3", "D4", "D5", "D6")
+    rules = ("D1", "D2", "D3", "D4", "D5", "D6",
+             "N1", "N2", "N3", "N4", "N5")
     by_rule = {r: {"pos": 0, "neg": 0} for r in rules}
     for f in fixtures:
         expected, _ = parse_expectations(f)

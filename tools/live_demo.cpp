@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "net/manifest.hpp"
+#include "net/retry.hpp"
 
 namespace {
 
@@ -136,14 +137,10 @@ bool read_port(Child& child) {
 }
 
 void write_manifest(Child& child, const std::string& wire) {
-  const char* p = wire.data();
-  std::size_t left = wire.size();
-  while (left > 0) {
-    const ssize_t n = ::write(child.stdin_fd, p, left);
-    if (n <= 0) break;  // dead child; surfaces at report time
-    p += n;
-    left -= static_cast<std::size_t>(n);
-  }
+  // EINTR-robust (rule N5): the watchdog's SIGALRM must not truncate the
+  // manifest mid-write — a partial manifest hangs the child at decode.
+  // A false return means a dead child; that surfaces at report time.
+  (void)rac::net::write_all(child.stdin_fd, wire.data(), wire.size());
   ::close(child.stdin_fd);
   child.stdin_fd = -1;
 }
@@ -271,11 +268,13 @@ int main(int argc, char** argv) {
   // the remaining duration. Peers must reconverge on the new incarnation.
   bool respawned = false;
   if (chaos) {
-    ::usleep(static_cast<useconds_t>(kill_at_ms) * 1000);
+    // Full-duration sleep and EINTR-proof reap (rule N5): a signal here
+    // would otherwise fire the kill early or leak the victim as a zombie.
+    rac::net::sleep_ms_eintr(kill_at_ms);
     Child& victim = g_children[static_cast<unsigned>(kill_node)];
     ::kill(victim.pid, SIGKILL);
     int status = 0;
-    ::waitpid(victim.pid, &status, 0);
+    rac::net::waitpid_eintr(victim.pid, &status, 0);
     victim.pid = -1;
     std::fclose(victim.stdout_f);
     victim.stdout_f = nullptr;
@@ -319,7 +318,7 @@ int main(int argc, char** argv) {
     std::fclose(c.stdout_f);
     c.stdout_f = nullptr;
     int status = 0;
-    ::waitpid(c.pid, &status, 0);
+    rac::net::waitpid_eintr(c.pid, &status, 0);
     c.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
     c.pid = -1;
     if (c.report.empty() || !json_ok(c.report) || c.exit_code != 0) {

@@ -55,6 +55,15 @@ Live-mesh artifacts (PR 9) are validated too:
   --expect-faults            require the deterministic fault plane to have
                              actually fired (some injected_* counter > 0)
 
+Static-analysis artifacts (PR 10) are validated too:
+
+  --lint-report FILE         "rac.lint.report/1" JSON written by
+                             tools/lint/rac_lint.py --json: rule-id shape,
+                             D+N family coverage in the rules table, and
+                             internal consistency of the findings/summary
+                             blocks (counts, by_rule recount, reasons
+                             present exactly on suppressed findings)
+
 With --runner, --trace/--series/--attacks name the artifact paths passed
 through to the runner and are validated after it exits.
 
@@ -63,6 +72,7 @@ Exit status 0 on success; prints the first violation and exits 1 otherwise.
 
 import argparse
 import json
+import re
 import subprocess
 import sys
 import tempfile
@@ -71,6 +81,7 @@ SCHEMA_ID = "rac.faults.campaign/1"
 SERIES_SCHEMA_ID = "rac.telemetry.series/1"
 ATTACKS_SCHEMA_ID = "rac.attacks.report/1"
 LIVE_SCHEMA_ID = "rac.net.live_report/1"
+LINT_SCHEMA_ID = "rac.lint.report/1"
 TRACE_PHASES = {"B", "E", "b", "e", "i", "C", "X", "M"}
 ATTACK_NAMES = {"intersection", "predecessor", "first_spy"}
 
@@ -492,6 +503,70 @@ def validate_live(path, expect_chaos, expect_faults):
           f" {int(agg['reconnects'])} reconnects)")
 
 
+def validate_lint(path):
+    """rac_lint report (tools/lint/rac_lint.py --json): the schema file
+    checks structure; this checks cross-field consistency."""
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = "$(lint)"
+    if require(doc, "schema", str, ctx) != LINT_SCHEMA_ID:
+        fail(f"{ctx}.schema: expected {LINT_SCHEMA_ID!r},"
+             f" got {doc['schema']!r}")
+    if require(doc, "engine", str, ctx) not in ("textual", "clang+textual"):
+        fail(f"{ctx}.engine: bad value {doc['engine']!r}")
+    if require(doc, "files_scanned", int, ctx) <= 0:
+        fail(f"{ctx}.files_scanned: nothing scanned")
+    rules = require(doc, "rules", dict, ctx)
+    rx_rule = re.compile(r"^[DSN][0-9]$")
+    for rid, desc in rules.items():
+        if not rx_rule.match(rid):
+            fail(f"{ctx}.rules: malformed rule id {rid!r}")
+        if not isinstance(desc, str) or not desc:
+            fail(f"{ctx}.rules[{rid}]: empty description")
+    for family, label in (("D", "determinism"), ("N", "net-safety")):
+        if not any(r.startswith(family) for r in rules):
+            fail(f"{ctx}.rules: no {family}-family ({label}) rules —"
+                 " the lane is not running the full catalogue")
+    findings = require(doc, "findings", list, ctx)
+    by_rule = {}
+    suppressed = 0
+    for i, f_ in enumerate(findings):
+        fctx = f"{ctx}.findings[{i}]"
+        rid = require(f_, "rule", str, fctx)
+        if not rx_rule.match(rid):
+            fail(f"{fctx}.rule: malformed rule id {rid!r}")
+        if rid not in rules:
+            fail(f"{fctx}.rule: {rid!r} missing from the rules table")
+        require(f_, "file", str, fctx)
+        if require(f_, "line", int, fctx) <= 0:
+            fail(f"{fctx}.line: not positive")
+        require(f_, "message", str, fctx)
+        is_sup = require(f_, "suppressed", bool, fctx)
+        if is_sup != ("suppression_reason" in f_):
+            fail(f"{fctx}: suppression_reason must be present exactly on"
+                 " suppressed findings")
+        if is_sup:
+            suppressed += 1
+            if not f_["suppression_reason"].strip():
+                fail(f"{fctx}.suppression_reason: blank")
+        by_rule[rid] = by_rule.get(rid, 0) + 1
+    summary = require(doc, "summary", dict, ctx)
+    n_unsup = require(summary, "unsuppressed", int, f"{ctx}.summary")
+    n_sup = require(summary, "suppressed", int, f"{ctx}.summary")
+    if n_unsup + n_sup != len(findings):
+        fail(f"{ctx}.summary: unsuppressed {n_unsup} + suppressed {n_sup}"
+             f" != {len(findings)} findings")
+    if n_sup != suppressed:
+        fail(f"{ctx}.summary.suppressed: {n_sup} but {suppressed}"
+             " findings carry suppressed=true")
+    if require(summary, "by_rule", dict, f"{ctx}.summary") != by_rule:
+        fail(f"{ctx}.summary.by_rule: {summary['by_rule']} does not match"
+             f" recount {by_rule}")
+    print(f"validate_metrics: lint report OK ({doc['files_scanned']} files,"
+          f" {len(rules)} rules, {n_unsup} unsuppressed /"
+          f" {n_sup} suppressed)")
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("metrics", nargs="?", default=None,
@@ -542,7 +617,16 @@ def main():
                          " live report")
     ap.add_argument("--expect-faults", action="store_true",
                     help="require the live fault plane to have fired")
+    ap.add_argument("--lint-report", default=None,
+                    help="rac.lint.report/1 JSON to validate")
     args = ap.parse_args()
+
+    if args.lint_report is not None:
+        validate_lint(args.lint_report)
+        if args.metrics is None and args.runner is None \
+                and args.attacks is None and args.live_report is None \
+                and args.live_runner is None:
+            return
 
     if args.live_runner is not None:
         out = tempfile.NamedTemporaryFile(suffix=".json", delete=False)
